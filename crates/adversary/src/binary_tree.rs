@@ -1,0 +1,200 @@
+//! The Theorem 15 lower-bound construction: the binary-tree adversary.
+//!
+//! For `n = 2^q`, draw a uniformly random permutation `P` of the nodes,
+//! place them as the leaves of a balanced binary tree, and reveal requests
+//! level by level, bottom-up. The request of internal vertex `z` connects
+//! the rightmost leaf of `z`'s left subtree with the leftmost leaf of its
+//! right subtree — i.e. the two `P`-adjacent leaves across the subtree
+//! boundary. The final graph is the path (or clique chain) in `P` order.
+//!
+//! Against this distribution, every online algorithm pays `Ω(n² log n)` in
+//! expectation while the offline optimum pays at most `n²` (order by `P`
+//! immediately), giving the `Ω(log n)` competitive lower bound via Yao's
+//! principle.
+
+use mla_graph::{Instance, RevealEvent, Topology};
+use mla_permutation::Permutation;
+use rand::Rng;
+
+/// The Theorem 15 binary-tree request distribution.
+///
+/// # Examples
+///
+/// ```
+/// use mla_adversary::BinaryTreeAdversary;
+/// use mla_graph::Topology;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let adversary = BinaryTreeAdversary::sample(3, Topology::Lines, &mut rng);
+/// assert_eq!(adversary.n(), 8);
+/// assert_eq!(adversary.levels(), 3);
+/// assert_eq!(adversary.instance().len(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryTreeAdversary {
+    instance: Instance,
+    leaf_order: Permutation,
+    /// `level_ranges[l]` is the index range of level `l`'s requests within
+    /// the event list (level 0 = bottom, adjacent leaf pairs).
+    level_ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl BinaryTreeAdversary {
+    /// Samples the construction for `n = 2^q` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0` or `q > 20`.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(q: u32, topology: Topology, rng: &mut R) -> Self {
+        assert!((1..=20).contains(&q), "q must be in 1..=20, got {q}");
+        let n = 1usize << q;
+        let leaf_order = Permutation::random(n, rng);
+        Self::from_leaf_order(leaf_order, topology)
+    }
+
+    /// Builds the construction for an explicit leaf order (used by tests
+    /// and the derandomized experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of leaves is not a power of two ≥ 2.
+    #[must_use]
+    pub fn from_leaf_order(leaf_order: Permutation, topology: Topology) -> Self {
+        let n = leaf_order.len();
+        assert!(n >= 2 && n.is_power_of_two(), "need 2^q leaves, got {n}");
+        let q = n.trailing_zeros();
+        let mut events = Vec::with_capacity(n - 1);
+        let mut level_ranges = Vec::with_capacity(q as usize);
+        // Level l (0-based from the bottom): internal vertices cover
+        // blocks of 2^(l+1) leaves; the request joins the two P-adjacent
+        // leaves across the mid boundary of each block.
+        for level in 0..q {
+            let start = events.len();
+            let block = 1usize << (level + 1);
+            let mut begin = 0usize;
+            while begin < n {
+                let mid = begin + block / 2;
+                // Rightmost leaf of the left half, leftmost of the right.
+                let u = leaf_order.node_at(mid - 1);
+                let v = leaf_order.node_at(mid);
+                events.push(RevealEvent::new(u, v));
+                begin += block;
+            }
+            level_ranges.push(start..events.len());
+        }
+        let instance =
+            Instance::new(topology, n, events).expect("binary tree construction is valid");
+        BinaryTreeAdversary {
+            instance,
+            leaf_order,
+            level_ranges,
+        }
+    }
+
+    /// Number of nodes `n = 2^q`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.instance.n()
+    }
+
+    /// Number of levels `q = log₂ n`.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.level_ranges.len()
+    }
+
+    /// The generated (oblivious) instance.
+    #[must_use]
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The random leaf permutation `P`.
+    #[must_use]
+    pub fn leaf_order(&self) -> &Permutation {
+        &self.leaf_order
+    }
+
+    /// The event index range of one level (0 = bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.levels()`.
+    #[must_use]
+    pub fn level_range(&self, level: usize) -> std::ops::Range<usize> {
+        self.level_ranges[level].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_permutation::Node;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn final_graph_is_the_leaf_path() {
+        let leaf_order = Permutation::from_indices(&[3, 0, 2, 1]).unwrap();
+        let adversary = BinaryTreeAdversary::from_leaf_order(leaf_order, Topology::Lines);
+        let state = adversary.instance().final_state();
+        assert_eq!(state.component_count(), 1);
+        let path = state.component_nodes(Node::new(0));
+        let expected: Vec<Node> = vec![3, 0, 2, 1].into_iter().map(Node::new).collect();
+        let reversed: Vec<Node> = expected.iter().rev().copied().collect();
+        assert!(path == expected || path == reversed);
+    }
+
+    #[test]
+    fn level_structure_is_balanced() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let adversary = BinaryTreeAdversary::sample(4, Topology::Cliques, &mut rng);
+        assert_eq!(adversary.n(), 16);
+        assert_eq!(adversary.levels(), 4);
+        // Level l has n / 2^(l+1) requests.
+        for level in 0..4 {
+            assert_eq!(adversary.level_range(level).len(), 16 >> (level + 1));
+        }
+        // Total: n - 1.
+        assert_eq!(adversary.instance().len(), 15);
+    }
+
+    #[test]
+    fn level_requests_merge_equal_sized_components() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let adversary = BinaryTreeAdversary::sample(3, Topology::Cliques, &mut rng);
+        let mut state = mla_graph::GraphState::new(Topology::Cliques, 8);
+        for level in 0..3 {
+            let expected_size = 1usize << level;
+            for idx in adversary.level_range(level) {
+                let event = adversary.instance().events()[idx];
+                let info = state.apply(event).unwrap();
+                assert_eq!(info.x.len(), expected_size);
+                assert_eq!(info.z.len(), expected_size);
+            }
+        }
+    }
+
+    #[test]
+    fn clique_variant_is_valid_too() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let adversary = BinaryTreeAdversary::sample(5, Topology::Cliques, &mut rng);
+        assert_eq!(adversary.instance().final_state().component_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in 1..=20")]
+    fn q_zero_is_rejected() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = BinaryTreeAdversary::sample(0, Topology::Lines, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 2^q leaves")]
+    fn non_power_of_two_rejected() {
+        let _ = BinaryTreeAdversary::from_leaf_order(Permutation::identity(6), Topology::Lines);
+    }
+}

@@ -1,0 +1,173 @@
+//! The motivating workload of Section 1.2: dynamic virtual network
+//! embedding in a datacenter.
+//!
+//! Tenants arrive with virtual clusters of skewed sizes; each cluster's
+//! internal communication pattern is learned incrementally (sequential
+//! merges), and tenant arrivals interleave. Optionally, a fraction of
+//! tenants later federate (merge with each other), modelling scale-out
+//! services that start talking across clusters.
+
+use mla_graph::{GraphState, Instance, RevealEvent, Topology};
+use mla_permutation::Node;
+use rand::Rng;
+
+/// Parameters of the datacenter workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatacenterConfig {
+    /// Geometric parameter for tenant sizes: each next node joins the
+    /// current tenant with probability `1 - p_new_tenant`.
+    pub p_new_tenant: f64,
+    /// Fraction of the final merge budget spent federating tenant cliques
+    /// with each other after all tenants are built (0.0 = never).
+    pub federation: f64,
+}
+
+impl Default for DatacenterConfig {
+    fn default() -> Self {
+        DatacenterConfig {
+            p_new_tenant: 0.25,
+            federation: 0.3,
+        }
+    }
+}
+
+/// Generates the datacenter workload on `n` nodes under the clique
+/// topology (collocated tenant clusters).
+///
+/// Returns the instance together with the tenant assignment (tenant id per
+/// node) for reporting.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the probabilities are outside `[0, 1]`.
+#[must_use]
+pub fn datacenter_instance<R: Rng + ?Sized>(
+    n: usize,
+    config: &DatacenterConfig,
+    rng: &mut R,
+) -> (Instance, Vec<usize>) {
+    assert!(n > 0, "instance needs at least one node");
+    assert!(
+        (0.0..=1.0).contains(&config.p_new_tenant) && (0.0..=1.0).contains(&config.federation),
+        "probabilities must be in [0, 1]"
+    );
+    // Assign nodes to tenants by a geometric process.
+    let mut tenant_of = vec![0usize; n];
+    let mut tenant = 0usize;
+    for (i, slot) in tenant_of.iter_mut().enumerate() {
+        if i > 0 && rng.gen_bool(config.p_new_tenant) {
+            tenant += 1;
+        }
+        *slot = tenant;
+    }
+    let tenant_count = tenant + 1;
+
+    // Build each tenant clique by sequential merges, interleaving tenants
+    // in random arrival order (simulating requests arriving over time).
+    let mut state = GraphState::new(Topology::Cliques, n);
+    let mut events = Vec::new();
+    let mut pending: Vec<Vec<Node>> = vec![Vec::new(); tenant_count];
+    for i in 0..n {
+        pending[tenant_of[i]].push(Node::new(i));
+    }
+    // Each tenant's nodes join one by one; tenants take turns randomly.
+    let mut anchors: Vec<Option<Node>> = vec![None; tenant_count];
+    let mut remaining: Vec<usize> = (0..tenant_count).collect();
+    while !remaining.is_empty() {
+        let pick = rng.gen_range(0..remaining.len());
+        let t = remaining[pick];
+        let node = pending[t].pop().expect("tenant with remaining nodes");
+        match anchors[t] {
+            None => anchors[t] = Some(node),
+            Some(anchor) => {
+                let event = RevealEvent::new(anchor, node);
+                state.apply(event).expect("intra-tenant merge is valid");
+                events.push(event);
+            }
+        }
+        if pending[t].is_empty() {
+            remaining.swap_remove(pick);
+        }
+    }
+
+    // Federation phase: merge random tenant pairs.
+    let federations = ((tenant_count.saturating_sub(1)) as f64 * config.federation) as usize;
+    for _ in 0..federations {
+        if state.component_count() <= 1 {
+            break;
+        }
+        let components = state.components();
+        let i = rng.gen_range(0..components.len());
+        let mut j = rng.gen_range(0..components.len());
+        while j == i {
+            j = rng.gen_range(0..components.len());
+        }
+        let event = RevealEvent::new(components[i][0], components[j][0]);
+        state.apply(event).expect("federation merge is valid");
+        events.push(event);
+    }
+
+    let instance = Instance::new(Topology::Cliques, n, events).expect("workload is valid");
+    (instance, tenant_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tenants_become_cliques() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let config = DatacenterConfig {
+            p_new_tenant: 0.3,
+            federation: 0.0,
+        };
+        let (instance, tenant_of) = datacenter_instance(24, &config, &mut rng);
+        let state = instance.final_state();
+        // Without federation, components = tenants exactly.
+        let tenant_count = tenant_of.iter().max().unwrap() + 1;
+        assert_eq!(state.component_count(), tenant_count);
+        for component in state.components() {
+            let t = tenant_of[component[0].index()];
+            assert!(
+                component.iter().all(|v| tenant_of[v.index()] == t),
+                "component mixes tenants without federation"
+            );
+        }
+    }
+
+    #[test]
+    fn federation_reduces_component_count() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let no_fed = DatacenterConfig {
+            p_new_tenant: 0.4,
+            federation: 0.0,
+        };
+        let with_fed = DatacenterConfig {
+            p_new_tenant: 0.4,
+            federation: 1.0,
+        };
+        let (a, _) = datacenter_instance(30, &no_fed, &mut SmallRng::seed_from_u64(7));
+        let (b, _) = datacenter_instance(30, &with_fed, &mut rng);
+        assert!(b.final_state().component_count() <= a.final_state().component_count());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = DatacenterConfig::default();
+        let (a, ta) = datacenter_instance(20, &config, &mut SmallRng::seed_from_u64(9));
+        let (b, tb) = datacenter_instance(20, &config, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn single_node() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (instance, tenants) = datacenter_instance(1, &DatacenterConfig::default(), &mut rng);
+        assert!(instance.is_empty());
+        assert_eq!(tenants, vec![0]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # `mla-adversary`
+//!
+//! Request generators for the online learning MinLA workspace: the paper's
+//! two lower-bound constructions plus random and application-inspired
+//! workloads.
+//!
+//! * [`Adversary`] — the generator interface (oblivious or adaptive);
+//! * [`BinaryTreeAdversary`] — Theorem 15: the `Ω(log n)` randomized lower
+//!   bound distribution (balanced, level-by-level reveals of a random
+//!   permutation path);
+//! * [`DetLineAdversary`] — Theorem 16: the adaptive middle-node
+//!   construction forcing closest-to-`π0` deterministic algorithms to pay
+//!   `Ω(n²)` while `Opt = O(n)`;
+//! * [`random_clique_instance`] / [`random_line_instance`] — random
+//!   workloads in four [`MergeShape`]s;
+//! * [`datacenter_instance`] — the Section 1.2 motivation: tenant clusters
+//!   arriving, growing and federating.
+//!
+//! # Examples
+//!
+//! ```
+//! use mla_adversary::{random_clique_instance, MergeShape};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let instance = random_clique_instance(32, MergeShape::Balanced, &mut rng);
+//! assert_eq!(instance.len(), 31); // full merge: n - 1 reveals
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod binary_tree;
+mod datacenter;
+mod det_line;
+mod random;
+mod traits;
+
+pub use binary_tree::BinaryTreeAdversary;
+pub use datacenter::{datacenter_instance, DatacenterConfig};
+pub use det_line::DetLineAdversary;
+pub use random::{random_clique_instance, random_line_instance, MergeShape};
+pub use traits::{Adversary, Oblivious};

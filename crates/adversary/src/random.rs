@@ -1,0 +1,288 @@
+//! Random workload generators for both topologies.
+
+use mla_graph::{GraphState, Instance, RevealEvent, Topology};
+use mla_permutation::Node;
+use rand::Rng;
+
+/// The shape of a random merge schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeShape {
+    /// Merge two components chosen uniformly at random (default).
+    #[default]
+    Uniform,
+    /// Merge two components chosen with probability proportional to their
+    /// sizes — large components merge early, producing skewed trees.
+    SizeBiased,
+    /// One growing component absorbs a random singleton each step
+    /// (caterpillar merge tree; the regime where `Rand`'s size-biased coin
+    /// matters most).
+    Sequential,
+    /// Round-based pairing: components are paired up each round, halving
+    /// the component count (balanced merge tree, the Theorem 15 shape).
+    Balanced,
+}
+
+impl MergeShape {
+    /// All shapes, for sweeps.
+    #[must_use]
+    pub fn all() -> [MergeShape; 4] {
+        [
+            MergeShape::Uniform,
+            MergeShape::SizeBiased,
+            MergeShape::Sequential,
+            MergeShape::Balanced,
+        ]
+    }
+
+    /// A short label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MergeShape::Uniform => "uniform",
+            MergeShape::SizeBiased => "size-biased",
+            MergeShape::Sequential => "sequential",
+            MergeShape::Balanced => "balanced",
+        }
+    }
+}
+
+/// Generates a complete random clique workload on `n` nodes (merging until
+/// a single clique remains).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn random_clique_instance<R: Rng + ?Sized>(
+    n: usize,
+    shape: MergeShape,
+    rng: &mut R,
+) -> Instance {
+    assert!(n > 0, "instance needs at least one node");
+    let events = build_events(Topology::Cliques, n, shape, rng);
+    Instance::new(Topology::Cliques, n, events).expect("generated events are valid")
+}
+
+/// Generates a complete random line workload on `n` nodes (joining paths
+/// until a single path remains).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn random_line_instance<R: Rng + ?Sized>(n: usize, shape: MergeShape, rng: &mut R) -> Instance {
+    assert!(n > 0, "instance needs at least one node");
+    let events = build_events(Topology::Lines, n, shape, rng);
+    Instance::new(Topology::Lines, n, events).expect("generated events are valid")
+}
+
+fn build_events<R: Rng + ?Sized>(
+    topology: Topology,
+    n: usize,
+    shape: MergeShape,
+    rng: &mut R,
+) -> Vec<RevealEvent> {
+    let mut state = GraphState::new(topology, n);
+    let mut events = Vec::with_capacity(n.saturating_sub(1));
+    match shape {
+        MergeShape::Uniform => {
+            while state.component_count() > 1 {
+                let components = state.components();
+                let i = rng.gen_range(0..components.len());
+                let mut j = rng.gen_range(0..components.len());
+                while j == i {
+                    j = rng.gen_range(0..components.len());
+                }
+                push_join(&mut state, &mut events, &components[i], &components[j], rng);
+            }
+        }
+        MergeShape::SizeBiased => {
+            while state.component_count() > 1 {
+                let components = state.components();
+                let total: usize = components.iter().map(Vec::len).sum();
+                let i = weighted_pick(&components, total, usize::MAX, rng);
+                let mut j = weighted_pick(&components, total, i, rng);
+                while j == i {
+                    j = weighted_pick(&components, total, i, rng);
+                }
+                push_join(&mut state, &mut events, &components[i], &components[j], rng);
+            }
+        }
+        MergeShape::Sequential => {
+            // The component of node 0 absorbs the others in random order.
+            let mut order: Vec<usize> = (1..n).collect();
+            shuffle(&mut order, rng);
+            for v in order {
+                let components = state.components();
+                let anchor = components
+                    .iter()
+                    .find(|c| c.contains(&Node::new(0)))
+                    .expect("node 0 has a component")
+                    .clone();
+                let other = components
+                    .iter()
+                    .find(|c| c.contains(&Node::new(v)))
+                    .expect("node v has a component")
+                    .clone();
+                push_join(&mut state, &mut events, &anchor, &other, rng);
+            }
+        }
+        MergeShape::Balanced => {
+            while state.component_count() > 1 {
+                let mut components = state.components();
+                shuffle(&mut components, rng);
+                let mut pairs = Vec::new();
+                let mut iter = components.chunks_exact(2);
+                for chunk in &mut iter {
+                    pairs.push((chunk[0].clone(), chunk[1].clone()));
+                }
+                for (a, b) in pairs {
+                    push_join(&mut state, &mut events, &a, &b, rng);
+                }
+            }
+        }
+    }
+    events
+}
+
+/// Picks a component index with probability proportional to its size,
+/// excluding `skip` (pass `usize::MAX` for no exclusion).
+fn weighted_pick<R: Rng + ?Sized>(
+    components: &[Vec<Node>],
+    total: usize,
+    skip: usize,
+    rng: &mut R,
+) -> usize {
+    let total = if skip == usize::MAX {
+        total
+    } else {
+        total - components[skip].len()
+    };
+    let mut target = rng.gen_range(0..total);
+    for (i, component) in components.iter().enumerate() {
+        if i == skip {
+            continue;
+        }
+        if target < component.len() {
+            return i;
+        }
+        target -= component.len();
+    }
+    unreachable!("weighted pick must land in some component")
+}
+
+fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Joins two components with a valid event for the state's topology and
+/// records it. For lines, components are in path order, so their endpoints
+/// are the first and last nodes.
+fn push_join<R: Rng + ?Sized>(
+    state: &mut GraphState,
+    events: &mut Vec<RevealEvent>,
+    a: &[Node],
+    b: &[Node],
+    rng: &mut R,
+) {
+    let event = match state.topology() {
+        Topology::Cliques => {
+            RevealEvent::new(a[rng.gen_range(0..a.len())], b[rng.gen_range(0..b.len())])
+        }
+        Topology::Lines => {
+            let pick = |path: &[Node], rng: &mut R| {
+                if rng.gen_bool(0.5) {
+                    path[0]
+                } else {
+                    path[path.len() - 1]
+                }
+            };
+            RevealEvent::new(pick(a, rng), pick(b, rng))
+        }
+    };
+    state.apply(event).expect("generated join is valid");
+    events.push(event);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_shapes_produce_full_merges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for shape in MergeShape::all() {
+            for topology in [Topology::Cliques, Topology::Lines] {
+                let instance = match topology {
+                    Topology::Cliques => random_clique_instance(16, shape, &mut rng),
+                    Topology::Lines => random_line_instance(16, shape, &mut rng),
+                };
+                assert_eq!(instance.len(), 15, "{shape:?}/{topology:?}");
+                assert_eq!(
+                    instance.final_state().component_count(),
+                    1,
+                    "{shape:?}/{topology:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_shape_has_caterpillar_tree() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let instance = random_clique_instance(10, MergeShape::Sequential, &mut rng);
+        let tree = instance.merge_tree();
+        // Every internal vertex must contain node 0's side growing by one:
+        // one child of each internal vertex is a leaf (the absorbed node) or
+        // the previous internal vertex.
+        for i in 0..tree.internal_count() {
+            let id = 10 + i;
+            let (l, r) = tree.children(id).unwrap();
+            let sizes = (tree.size_of(l), tree.size_of(r));
+            assert!(
+                sizes.0 == 1 || sizes.1 == 1,
+                "sequential merge absorbs singletons, got {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_shape_has_logarithmic_depth() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let instance = random_line_instance(16, MergeShape::Balanced, &mut rng);
+        let tree = instance.merge_tree();
+        let max_depth = (0..16).map(|leaf| tree.depth_of(leaf)).max().unwrap();
+        assert!(
+            max_depth <= 5,
+            "balanced tree depth {max_depth} > log2(16)+1"
+        );
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = random_clique_instance(12, MergeShape::Uniform, &mut SmallRng::seed_from_u64(7));
+        let b = random_clique_instance(12, MergeShape::Uniform, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_node_instances() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let instance = random_clique_instance(1, MergeShape::Uniform, &mut rng);
+        assert!(instance.is_empty());
+        let instance = random_line_instance(1, MergeShape::Balanced, &mut rng);
+        assert!(instance.is_empty());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            MergeShape::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! The adversary interface: oblivious and adaptive request generators.
+
+use mla_graph::{GraphState, Instance, RevealEvent, Topology};
+use mla_permutation::Permutation;
+
+/// A request generator driven by the simulation engine.
+///
+/// Oblivious adversaries ignore the `current` permutation (the paper's
+/// randomized guarantees hold against these); adaptive adversaries — like
+/// the Theorem 16 construction — inspect the online algorithm's current
+/// permutation before emitting the next reveal.
+pub trait Adversary {
+    /// Number of nodes of the instance being generated.
+    fn n(&self) -> usize;
+
+    /// Topology of the generated reveals.
+    fn topology(&self) -> Topology;
+
+    /// Produces the next reveal, or `None` when the sequence is over.
+    /// `current` is the online algorithm's permutation *after* serving the
+    /// previous reveal; `state` is the revealed graph so far.
+    fn next(&mut self, current: &Permutation, state: &GraphState) -> Option<RevealEvent>;
+}
+
+/// An oblivious adversary replaying a fixed [`Instance`].
+///
+/// # Examples
+///
+/// ```
+/// use mla_adversary::{Adversary, Oblivious};
+/// use mla_graph::{GraphState, Instance, RevealEvent, Topology};
+/// use mla_permutation::{Node, Permutation};
+///
+/// let instance = Instance::new(
+///     Topology::Cliques,
+///     3,
+///     vec![RevealEvent::new(Node::new(0), Node::new(2))],
+/// )
+/// .unwrap();
+/// let mut adversary = Oblivious::new(instance);
+/// let perm = Permutation::identity(3);
+/// let state = GraphState::new(Topology::Cliques, 3);
+/// assert!(adversary.next(&perm, &state).is_some());
+/// assert!(adversary.next(&perm, &state).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Oblivious {
+    instance: Instance,
+    cursor: usize,
+}
+
+impl Oblivious {
+    /// Wraps a validated instance.
+    #[must_use]
+    pub fn new(instance: Instance) -> Self {
+        Oblivious {
+            instance,
+            cursor: 0,
+        }
+    }
+
+    /// The wrapped instance.
+    #[must_use]
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+}
+
+impl Adversary for Oblivious {
+    fn n(&self) -> usize {
+        self.instance.n()
+    }
+
+    fn topology(&self) -> Topology {
+        self.instance.topology()
+    }
+
+    fn next(&mut self, _current: &Permutation, _state: &GraphState) -> Option<RevealEvent> {
+        let event = self.instance.events().get(self.cursor).copied();
+        self.cursor += event.is_some() as usize;
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_permutation::Node;
+
+    #[test]
+    fn oblivious_replays_in_order() {
+        let events = vec![
+            RevealEvent::new(Node::new(0), Node::new(1)),
+            RevealEvent::new(Node::new(2), Node::new(0)),
+        ];
+        let instance = Instance::new(Topology::Cliques, 3, events.clone()).unwrap();
+        let mut adversary = Oblivious::new(instance);
+        assert_eq!(adversary.n(), 3);
+        assert_eq!(adversary.topology(), Topology::Cliques);
+        let perm = Permutation::identity(3);
+        let state = GraphState::new(Topology::Cliques, 3);
+        assert_eq!(adversary.next(&perm, &state), Some(events[0]));
+        assert_eq!(adversary.next(&perm, &state), Some(events[1]));
+        assert_eq!(adversary.next(&perm, &state), None);
+        assert_eq!(adversary.next(&perm, &state), None);
+    }
+}

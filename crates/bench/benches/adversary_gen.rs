@@ -1,0 +1,67 @@
+//! Workload generation benchmarks: instance construction cost per shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mla_adversary::{
+    datacenter_instance, random_clique_instance, random_line_instance, BinaryTreeAdversary,
+    DatacenterConfig, MergeShape,
+};
+use mla_graph::Topology;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_random_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_instance_generation");
+    let n = 1024;
+    group.throughput(Throughput::Elements(n as u64));
+    for shape in MergeShape::all() {
+        group.bench_with_input(
+            BenchmarkId::new("cliques", shape.label()),
+            &shape,
+            |bencher, &shape| {
+                bencher.iter(|| {
+                    let mut rng = SmallRng::seed_from_u64(1);
+                    random_clique_instance(n, shape, &mut rng).len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lines", shape.label()),
+            &shape,
+            |bencher, &shape| {
+                bencher.iter(|| {
+                    let mut rng = SmallRng::seed_from_u64(2);
+                    random_line_instance(n, shape, &mut rng).len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_structured_adversaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structured_adversaries");
+    group.bench_function("binary_tree_q10", |bencher| {
+        bencher.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            BinaryTreeAdversary::sample(10, Topology::Lines, &mut rng)
+                .instance()
+                .len()
+        });
+    });
+    group.bench_function("datacenter_1024", |bencher| {
+        bencher.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(4);
+            datacenter_instance(1024, &DatacenterConfig::default(), &mut rng)
+                .0
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_random_instances,
+    bench_structured_adversaries
+);
+criterion_main!(benches);

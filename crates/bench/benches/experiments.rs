@@ -1,0 +1,31 @@
+//! One bench target per experiment: `cargo bench` regenerates every table
+//! of the reproduction at `Scale::Tiny` (statistically light but the same
+//! code paths as `mla-experiments --full`), timing each.
+//!
+//! Use `cargo run -p mla-sim --release --bin mla-experiments -- --full` for
+//! the publication-scale tables recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mla_sim::{all_experiments, ExperimentContext, Scale};
+
+fn bench_experiments(c: &mut Criterion) {
+    let ctx = ExperimentContext {
+        scale: Scale::Tiny,
+        seed: 42,
+    };
+    let mut group = c.benchmark_group("experiments_tiny");
+    group.sample_size(10);
+    for experiment in all_experiments() {
+        group.bench_function(experiment.id(), |bencher| {
+            bencher.iter(|| {
+                let tables = experiment.run(&ctx);
+                assert!(!tables.is_empty());
+                tables.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

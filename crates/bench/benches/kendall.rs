@@ -1,0 +1,59 @@
+//! Substrate micro-benchmarks: Kendall tau distance and inversion
+//! counting as a function of `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mla_permutation::{count_inversions, Permutation};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_kendall_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kendall_distance");
+    for &n in &[64usize, 256, 1024, 4096] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = Permutation::random(n, &mut rng);
+        let b = Permutation::random(n, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| a.kendall_distance(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_inversions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_inversions");
+    for &n in &[256usize, 4096, 65536] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..n as u32)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| count_inversions(&seq));
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_move(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_move");
+    for &n in &[256usize, 1024, 4096] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let base = Permutation::random(n, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter_batched(
+                || base.clone(),
+                |mut perm| perm.move_block(0..n / 4, n / 2),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kendall_distance,
+    bench_count_inversions,
+    bench_block_move
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Offline solver benchmarks: the LOP solver ladder and the placement DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mla_adversary::{random_clique_instance, MergeShape};
+use mla_graph::Instance;
+use mla_offline::{
+    closest_feasible, solve_branch_bound, solve_exact_dp, solve_local_search, BlockWeights,
+    LopConfig, LopStrategy,
+};
+use mla_permutation::{Node, Permutation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn random_weights(blocks: usize, nodes_per_block: usize, seed: u64) -> BlockWeights {
+    let n = blocks * nodes_per_block;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pi0 = Permutation::random(n, &mut rng);
+    let mut assignment: Vec<Vec<Node>> = vec![Vec::new(); blocks];
+    for i in 0..n {
+        assignment[i % blocks].push(Node::new(i));
+    }
+    BlockWeights::from_blocks(&pi0, &assignment)
+}
+
+fn bench_lop_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lop_solvers");
+    for &blocks in &[8usize, 12, 16] {
+        let weights = random_weights(blocks, 4, blocks as u64);
+        group.bench_with_input(
+            BenchmarkId::new("exact_dp", blocks),
+            &weights,
+            |bencher, weights| {
+                bencher.iter(|| solve_exact_dp(weights).cost);
+            },
+        );
+        // Branch and bound may exhaust any fixed budget on hard random
+        // tournaments; bench it only on instances it provably solves
+        // within a small node budget (probed once up front).
+        let bb_budget = 500_000;
+        if solve_branch_bound(&weights, bb_budget).is_some() {
+            group.bench_with_input(
+                BenchmarkId::new("branch_bound", blocks),
+                &weights,
+                |bencher, weights| {
+                    bencher.iter(|| {
+                        solve_branch_bound(weights, bb_budget)
+                            .expect("probed solvable within the budget")
+                            .cost
+                    });
+                },
+            );
+        }
+        let seed_order: Vec<usize> = (0..blocks).collect();
+        group.bench_with_input(
+            BenchmarkId::new("local_search", blocks),
+            &weights,
+            |bencher, weights| {
+                bencher.iter(|| solve_local_search(weights, &seed_order).cost);
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_closest_feasible(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closest_feasible");
+    group.sample_size(20);
+    for &n in &[16usize, 24, 64, 256] {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let full = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+        let instance = Instance::new(full.topology(), n, full.events()[..n / 2].to_vec()).unwrap();
+        let state = instance.final_state();
+        let pi0 = Permutation::random(n, &mut rng);
+        // Exact for small n, heuristic beyond the block limit.
+        let config = LopConfig {
+            strategy: LopStrategy::Auto,
+            ..LopConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| closest_feasible(&state, &pi0, &config).unwrap().distance);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lop_solvers, bench_closest_feasible);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! End-to-end online algorithm throughput: full runs of each algorithm
+//! over complete workloads, per topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mla_adversary::{random_clique_instance, random_line_instance, MergeShape};
+use mla_core::{DetClosest, RandCliques, RandLines};
+use mla_offline::LopConfig;
+use mla_permutation::Permutation;
+use mla_sim::Simulation;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_rand_cliques_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rand_cliques_full_run");
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+        let pi0 = Permutation::random(n, &mut rng);
+        group.throughput(Throughput::Elements(instance.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| {
+                Simulation::new(
+                    instance.clone(),
+                    RandCliques::new(pi0.clone(), SmallRng::seed_from_u64(7)),
+                )
+                .run()
+                .unwrap()
+                .total_cost
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rand_lines_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rand_lines_full_run");
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let instance = random_line_instance(n, MergeShape::Uniform, &mut rng);
+        let pi0 = Permutation::random(n, &mut rng);
+        group.throughput(Throughput::Elements(instance.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| {
+                Simulation::new(
+                    instance.clone(),
+                    RandLines::new(pi0.clone(), SmallRng::seed_from_u64(9)),
+                )
+                .run()
+                .unwrap()
+                .total_cost
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_det_run(c: &mut Criterion) {
+    // Det re-solves a placement per reveal: far heavier, smaller sizes.
+    let mut group = c.benchmark_group("det_closest_full_run");
+    group.sample_size(10);
+    for &n in &[12usize, 16, 20] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+        let pi0 = Permutation::random(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| {
+                Simulation::new(
+                    instance.clone(),
+                    DetClosest::new(pi0.clone(), LopConfig::default()),
+                )
+                .run()
+                .unwrap()
+                .total_cost
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rand_cliques_run,
+    bench_rand_lines_run,
+    bench_det_run
+);
+criterion_main!(benches);

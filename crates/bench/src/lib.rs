@@ -1,0 +1,13 @@
+//! # `mla-bench`
+//!
+//! Criterion benchmark harness for the online MinLA reproduction. This
+//! crate has no library API — all content lives in `benches/`:
+//!
+//! * `kendall` — Kendall tau distance, inversion counting, block moves;
+//! * `online_update` — full runs of each online algorithm per topology;
+//! * `offline_lop` — the LOP solver ladder and the placement DP;
+//! * `adversary_gen` — workload generation throughput;
+//! * `experiments` — one target per experiment (`Scale::Tiny`), so
+//!   `cargo bench` exercises every table-producing code path.
+//!
+//! Run `cargo bench --workspace`; results land in `target/criterion/`.

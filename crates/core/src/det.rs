@@ -1,0 +1,176 @@
+//! The deterministic algorithm `Det` (Section 2 of the paper).
+
+use mla_graph::{GraphState, MergeInfo, RevealEvent};
+use mla_offline::{closest_feasible, LopConfig};
+use mla_permutation::Permutation;
+
+use crate::report::UpdateReport;
+use crate::traits::OnlineMinla;
+
+/// `Det`: upon each reveal, move to a MinLA of `G_i` that minimizes the
+/// Kendall tau distance **to the initial permutation `π0`** (not to the
+/// current one).
+///
+/// Theorem 1: `(2n−2)`-competitive for cliques and lines. Theorem 16: any
+/// algorithm of this family is `Ω(n)`-competitive, so the analysis is
+/// tight.
+///
+/// Finding the closest feasible permutation is NP-hard in general (see
+/// `mla-offline`), so `Det` delegates to the configured solver: exact for
+/// few multi-node components, heuristic beyond. The experiments that probe
+/// `Det`'s competitive ratio (E-T1, E-T16) use instances where the exact
+/// solver applies, so the implemented behavior *is* the analyzed family.
+///
+/// # Examples
+///
+/// ```
+/// use mla_core::{DetClosest, OnlineMinla};
+/// use mla_graph::{GraphState, RevealEvent, Topology};
+/// use mla_offline::LopConfig;
+/// use mla_permutation::{Node, Permutation};
+///
+/// let pi0 = Permutation::identity(4);
+/// let mut alg = DetClosest::new(pi0, LopConfig::default());
+/// let mut graph = GraphState::new(Topology::Cliques, 4);
+/// let event = RevealEvent::new(Node::new(0), Node::new(2));
+/// let info = graph.apply(event).unwrap();
+/// let report = alg.serve(event, &info, &graph);
+/// assert_eq!(report.total(), 1); // [0,2,1,3] is one swap from identity
+/// assert!(graph.is_minla(alg.permutation()));
+/// ```
+#[derive(Debug)]
+pub struct DetClosest {
+    pi0: Permutation,
+    perm: Permutation,
+    config: LopConfig,
+    /// Whether every solve so far used the exact solver.
+    all_exact: bool,
+}
+
+impl DetClosest {
+    /// Creates `Det` starting (and anchored) at `pi0`.
+    #[must_use]
+    pub fn new(pi0: Permutation, config: LopConfig) -> Self {
+        DetClosest {
+            perm: pi0.clone(),
+            pi0,
+            config,
+            all_exact: true,
+        }
+    }
+
+    /// `true` while every update so far was solved exactly, i.e. the run
+    /// faithfully implements the analyzed family.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.all_exact
+    }
+
+    /// The anchor permutation `π0`.
+    #[must_use]
+    pub fn initial(&self) -> &Permutation {
+        &self.pi0
+    }
+}
+
+impl OnlineMinla for DetClosest {
+    fn name(&self) -> &str {
+        "det-closest"
+    }
+
+    fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    fn serve(
+        &mut self,
+        _event: RevealEvent,
+        _info: &MergeInfo,
+        state: &GraphState,
+    ) -> UpdateReport {
+        let placement = closest_feasible(state, &self.pi0, &self.config)
+            .expect("engine guarantees matching sizes; Auto strategy cannot fail");
+        self.all_exact &= placement.exact;
+        let cost = self.perm.kendall_distance(&placement.perm);
+        self.perm = placement.perm;
+        UpdateReport::moving(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_graph::Topology;
+    use mla_permutation::Node;
+
+    fn ev(a: usize, b: usize) -> RevealEvent {
+        RevealEvent::new(Node::new(a), Node::new(b))
+    }
+
+    #[test]
+    fn det_stays_close_to_pi0() {
+        let pi0 = Permutation::identity(6);
+        let mut alg = DetClosest::new(pi0.clone(), LopConfig::default());
+        let mut graph = GraphState::new(Topology::Cliques, 6);
+        let mut total = 0u64;
+        for event in [ev(0, 5), ev(1, 4)] {
+            let info = graph.apply(event).unwrap();
+            total += alg.serve(event, &info, &graph).total();
+            assert!(graph.is_minla(alg.permutation()));
+        }
+        assert!(alg.is_exact());
+        assert!(total > 0);
+        // Det's current permutation distance to pi0 never exceeds the
+        // distance of the final closest feasible permutation (which here we
+        // bound loosely by C(6,2)).
+        assert!(pi0.kendall_distance(alg.permutation()) <= 15);
+    }
+
+    #[test]
+    fn det_on_lines_respects_orientation_feasibility() {
+        let pi0 = Permutation::from_indices(&[5, 3, 1, 0, 2, 4]).unwrap();
+        let mut alg = DetClosest::new(pi0, LopConfig::default());
+        let mut graph = GraphState::new(Topology::Lines, 6);
+        for event in [ev(0, 1), ev(1, 2), ev(3, 4)] {
+            let info = graph.apply(event).unwrap();
+            alg.serve(event, &info, &graph);
+            assert!(graph.is_minla(alg.permutation()));
+        }
+    }
+
+    #[test]
+    fn det_alternation_on_middle_node_instance() {
+        // The Theorem 16 phenomenon in miniature: grow a line around the
+        // middle node x = 2 of pi0 = [0,1,2,3,4]. Det keeps flipping x from
+        // one side of the component to the other.
+        let pi0 = Permutation::identity(5);
+        let mut alg = DetClosest::new(pi0, LopConfig::default());
+        let mut graph = GraphState::new(Topology::Lines, 5);
+        // Request y1=1, y2=3 (x's neighbors): component {1,3}.
+        let info = graph.apply(ev(1, 3)).unwrap();
+        alg.serve(ev(1, 3), &info, &graph);
+        let mut costs = Vec::new();
+        // Grow with 0 then 4, attaching to component endpoints.
+        for event in [ev(0, 1), ev(4, 3)] {
+            let info = graph.apply(event).unwrap();
+            costs.push(alg.serve(event, &info, &graph).total());
+            assert!(graph.is_minla(alg.permutation()));
+        }
+        // All updates must keep node 2 outside the growing component's
+        // range yet Det pays to reshuffle.
+        assert!(costs.iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn serve_cost_is_distance_traveled() {
+        let pi0 = Permutation::from_indices(&[2, 0, 3, 1]).unwrap();
+        let mut alg = DetClosest::new(pi0, LopConfig::default());
+        let mut graph = GraphState::new(Topology::Cliques, 4);
+        for event in [ev(0, 1), ev(2, 3)] {
+            let before = alg.permutation().clone();
+            let info = graph.apply(event).unwrap();
+            let report = alg.serve(event, &info, &graph);
+            assert_eq!(report.total(), before.kendall_distance(alg.permutation()));
+        }
+    }
+}

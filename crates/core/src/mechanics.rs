@@ -1,0 +1,420 @@
+//! Shared update mechanics: locating component blocks, the moving part
+//! (Figure 1) and the rearranging part (Figure 2).
+//!
+//! Both randomized algorithms and all baselines are built from these
+//! primitives, so their cost accounting is identical by construction:
+//! every primitive returns the exact number of adjacent transpositions it
+//! performed.
+
+use mla_graph::ComponentSnapshot;
+use mla_permutation::{Node, Permutation};
+
+/// Positions of the two merging components in the current permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Range of the `X` component.
+    pub x_range: std::ops::Range<usize>,
+    /// Range of the `Z` component.
+    pub z_range: std::ops::Range<usize>,
+}
+
+impl BlockLayout {
+    /// Locates the components; panics if either is not contiguous — that
+    /// would mean the feasibility invariant was already broken before this
+    /// update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a component does not occupy contiguous positions.
+    #[must_use]
+    pub fn locate(perm: &Permutation, x: &ComponentSnapshot, z: &ComponentSnapshot) -> Self {
+        let x_range = perm
+            .contiguous_range(&x.nodes)
+            .expect("X component must be contiguous (feasibility invariant)");
+        let z_range = perm
+            .contiguous_range(&z.nodes)
+            .expect("Z component must be contiguous (feasibility invariant)");
+        BlockLayout { x_range, z_range }
+    }
+
+    /// Returns `true` if `X` lies left of `Z`.
+    #[must_use]
+    pub fn x_is_left(&self) -> bool {
+        self.x_range.start < self.z_range.start
+    }
+
+    /// Number of foreign nodes strictly between the two components.
+    #[must_use]
+    pub fn gap(&self) -> usize {
+        if self.x_is_left() {
+            self.z_range.start - self.x_range.end
+        } else {
+            self.x_range.start - self.z_range.end
+        }
+    }
+}
+
+/// Executes the moving part: the chosen component travels over the gap so
+/// the two components become adjacent (preserving internal orders and
+/// which side each component ends up on). Returns the cost
+/// `|mover| × gap`.
+///
+/// # Panics
+///
+/// Panics if a component is not contiguous.
+pub fn execute_move(
+    perm: &mut Permutation,
+    x: &ComponentSnapshot,
+    z: &ComponentSnapshot,
+    x_moves: bool,
+) -> u64 {
+    let layout = BlockLayout::locate(perm, x, z);
+    let gap = layout.gap();
+    if gap == 0 {
+        return 0;
+    }
+    let (mover, stay_range) = if x_moves {
+        (layout.x_range.clone(), layout.z_range.clone())
+    } else {
+        (layout.z_range.clone(), layout.x_range.clone())
+    };
+    let mover_is_left = mover.start < stay_range.start;
+    let dest = if mover_is_left {
+        // Shift right so the mover ends where the stayer begins.
+        stay_range.start - mover.len()
+    } else {
+        // Shift left so the mover starts where the stayer ends.
+        stay_range.end
+    };
+    perm.move_block(mover, dest)
+}
+
+/// The current orientation of a component block relative to its snapshot
+/// path order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// The block reads exactly as the snapshot's node order.
+    Forward,
+    /// The block reads as the reversed snapshot order.
+    Reversed,
+}
+
+/// Determines the orientation of `snapshot.nodes` inside the permutation.
+/// Singleton blocks report [`Orientation::Forward`].
+///
+/// # Panics
+///
+/// Panics if the block is neither forward nor reversed — a feasibility
+/// violation for lines.
+#[must_use]
+pub fn orientation_of(perm: &Permutation, nodes: &[Node]) -> Orientation {
+    if nodes.len() <= 1 {
+        return Orientation::Forward;
+    }
+    let positions: Vec<usize> = nodes.iter().map(|&v| perm.position_of(v)).collect();
+    if positions.windows(2).all(|w| w[0] < w[1]) {
+        Orientation::Forward
+    } else if positions.windows(2).all(|w| w[0] > w[1]) {
+        Orientation::Reversed
+    } else {
+        panic!("line component is neither forward nor reversed (feasibility violation)")
+    }
+}
+
+/// One of the two rearranging options of Figure 2: which blocks to reverse
+/// and whether to swap them, with the total cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RearrangeOption {
+    /// Reverse the `X` block (cost `C(|X|, 2)`).
+    pub reverse_x: bool,
+    /// Reverse the `Z` block (cost `C(|Z|, 2)`).
+    pub reverse_z: bool,
+    /// Swap the two adjacent blocks (cost `|X|·|Z|`).
+    pub swap: bool,
+    /// Total cost of this option in adjacent transpositions.
+    pub cost: u64,
+}
+
+/// The two rearranging options for the merged line: reach the forward
+/// target (`x.nodes ++ z.nodes` reading left to right) or the reversed
+/// target. Their costs always sum to `C(|X|+|Z|, 2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RearrangeChoices {
+    /// Ops to make the merged block read `x.nodes ++ z.nodes`.
+    pub forward: RearrangeOption,
+    /// Ops to make it read `reverse(z.nodes) ++ reverse(x.nodes)`.
+    pub reversed: RearrangeOption,
+}
+
+fn binomial2(m: usize) -> u64 {
+    let m = m as u64;
+    m * m.saturating_sub(1) / 2
+}
+
+/// Computes both rearranging options for the current adjacent layout of
+/// `X` and `Z`.
+///
+/// Preconditions: the two blocks are adjacent in `perm` (the moving part
+/// ran first) and each is internally forward or reversed relative to its
+/// snapshot.
+///
+/// # Panics
+///
+/// Panics on feasibility violations (non-contiguous or scrambled blocks).
+#[must_use]
+pub fn rearrange_choices(
+    perm: &Permutation,
+    x: &ComponentSnapshot,
+    z: &ComponentSnapshot,
+) -> RearrangeChoices {
+    let layout = BlockLayout::locate(perm, x, z);
+    assert_eq!(
+        layout.gap(),
+        0,
+        "blocks must be adjacent before rearranging"
+    );
+    let x_left = layout.x_is_left();
+    let x_orientation = orientation_of(perm, &x.nodes);
+    let z_orientation = orientation_of(perm, &z.nodes);
+
+    // Forward target: X block left (order = snapshot), Z block right
+    // (order = snapshot). Required ops relative to the current state:
+    let forward = RearrangeOption {
+        reverse_x: x_orientation == Orientation::Reversed,
+        reverse_z: z_orientation == Orientation::Reversed,
+        swap: !x_left,
+        cost: 0,
+    };
+    // Reversed target: Z block left reading reverse(z.nodes), X block
+    // right reading reverse(x.nodes) — the mirror image of the forward
+    // target, so the op set is exactly complemented.
+    let reversed = RearrangeOption {
+        reverse_x: !forward.reverse_x,
+        reverse_z: !forward.reverse_z,
+        swap: !forward.swap,
+        cost: 0,
+    };
+    let price = |option: RearrangeOption| -> u64 {
+        let mut cost = 0u64;
+        if option.reverse_x {
+            cost += binomial2(x.nodes.len());
+        }
+        if option.reverse_z {
+            cost += binomial2(z.nodes.len());
+        }
+        if option.swap {
+            cost += (x.nodes.len() * z.nodes.len()) as u64;
+        }
+        cost
+    };
+    let choices = RearrangeChoices {
+        forward: RearrangeOption {
+            cost: price(forward),
+            ..forward
+        },
+        reversed: RearrangeOption {
+            cost: price(reversed),
+            ..reversed
+        },
+    };
+    debug_assert_eq!(
+        choices.forward.cost + choices.reversed.cost,
+        binomial2(x.nodes.len() + z.nodes.len()),
+        "option costs must sum to C(|X|+|Z|, 2)"
+    );
+    choices
+}
+
+/// Applies a rearranging option. Returns the exact cost (always equals
+/// `option.cost`).
+///
+/// # Panics
+///
+/// Panics if the blocks are not adjacent.
+pub fn execute_rearrange(
+    perm: &mut Permutation,
+    x: &ComponentSnapshot,
+    z: &ComponentSnapshot,
+    option: RearrangeOption,
+) -> u64 {
+    let layout = BlockLayout::locate(perm, x, z);
+    assert_eq!(
+        layout.gap(),
+        0,
+        "blocks must be adjacent before rearranging"
+    );
+    let mut cost = 0u64;
+    if option.reverse_x {
+        cost += perm.reverse_block(layout.x_range.clone());
+    }
+    if option.reverse_z {
+        cost += perm.reverse_block(layout.z_range.clone());
+    }
+    if option.swap {
+        let (left, right) = if layout.x_is_left() {
+            (layout.x_range.clone(), layout.z_range.clone())
+        } else {
+            (layout.z_range.clone(), layout.x_range.clone())
+        };
+        cost += perm.swap_adjacent_blocks(left, right);
+    }
+    debug_assert_eq!(cost, option.cost);
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(indices: &[usize]) -> ComponentSnapshot {
+        ComponentSnapshot {
+            nodes: indices.iter().map(|&i| Node::new(i)).collect(),
+            joined: Node::new(indices[indices.len() - 1]),
+        }
+    }
+
+    #[test]
+    fn layout_and_gap() {
+        let perm = Permutation::from_indices(&[0, 1, 5, 2, 3, 4]).unwrap();
+        let x = snapshot(&[0, 1]);
+        let z = snapshot(&[2, 3]);
+        let layout = BlockLayout::locate(&perm, &x, &z);
+        assert!(layout.x_is_left());
+        assert_eq!(layout.gap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be contiguous")]
+    fn locate_panics_on_scattered_block() {
+        let perm = Permutation::from_indices(&[0, 2, 1, 3]).unwrap();
+        let x = snapshot(&[0, 1]);
+        let z = snapshot(&[3]);
+        let _ = BlockLayout::locate(&perm, &x, &z);
+    }
+
+    #[test]
+    fn execute_move_brings_adjacent_both_directions() {
+        // X = {0,1} at left, Z = {4,5} at right, gap {2,3}.
+        let base = Permutation::identity(6);
+        let x = snapshot(&[0, 1]);
+        let z = snapshot(&[4, 5]);
+
+        let mut right = base.clone();
+        let cost = execute_move(&mut right, &x, &z, true);
+        assert_eq!(cost, 4); // |X|=2 over gap 2
+        assert_eq!(right.to_index_vec(), vec![2, 3, 0, 1, 4, 5]);
+
+        let mut left = base.clone();
+        let cost = execute_move(&mut left, &x, &z, false);
+        assert_eq!(cost, 4);
+        assert_eq!(left.to_index_vec(), vec![0, 1, 4, 5, 2, 3]);
+    }
+
+    #[test]
+    fn execute_move_zero_gap_is_free() {
+        let mut perm = Permutation::identity(4);
+        let x = snapshot(&[0, 1]);
+        let z = snapshot(&[2, 3]);
+        assert_eq!(execute_move(&mut perm, &x, &z, true), 0);
+        assert_eq!(perm.to_index_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn orientation_detection() {
+        let perm = Permutation::from_indices(&[2, 1, 0, 3]).unwrap();
+        assert_eq!(
+            orientation_of(&perm, &[Node::new(2), Node::new(1), Node::new(0)]),
+            Orientation::Forward
+        );
+        assert_eq!(
+            orientation_of(&perm, &[Node::new(0), Node::new(1), Node::new(2)]),
+            Orientation::Reversed
+        );
+        assert_eq!(orientation_of(&perm, &[Node::new(3)]), Orientation::Forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "neither forward nor reversed")]
+    fn orientation_panics_on_scramble() {
+        let perm = Permutation::from_indices(&[1, 0, 2]).unwrap();
+        let _ = orientation_of(&perm, &[Node::new(0), Node::new(1), Node::new(2)]);
+    }
+
+    #[test]
+    fn figure2_case_outward_endpoints() {
+        // The exact configuration of Figure 2: X left (x_i at the inner
+        // side? no — x_i at the LEFT end, i.e. snapshot reversed), Z right
+        // with z_i at its left end (snapshot forward).
+        //
+        // Snapshots: x.nodes ends at x_i; z.nodes starts at z_i.
+        // Current permutation: [x_i, a, | z_i, b] where X path is a-x_i
+        // (so block reads reversed) and Z path is z_i-b (forward).
+        // x_i = 1, a = 0, z_i = 2, b = 3.
+        let perm = Permutation::from_indices(&[1, 0, 2, 3]).unwrap();
+        let x = ComponentSnapshot {
+            nodes: vec![Node::new(0), Node::new(1)],
+            joined: Node::new(1),
+        };
+        let z = ComponentSnapshot {
+            nodes: vec![Node::new(2), Node::new(3)],
+            joined: Node::new(2),
+        };
+        let choices = rearrange_choices(&perm, &x, &z);
+        // Forward target [0,1,2,3]: reverse X only → cost C(2,2)=1.
+        assert!(choices.forward.reverse_x);
+        assert!(!choices.forward.reverse_z);
+        assert!(!choices.forward.swap);
+        assert_eq!(choices.forward.cost, 1);
+        // Reversed target [3,2,1,0]: reverse Z and swap → 1 + 4 = 5.
+        assert_eq!(choices.reversed.cost, 5);
+        // Paper invariant: costs sum to C(4,2) = 6.
+        assert_eq!(choices.forward.cost + choices.reversed.cost, 6);
+    }
+
+    #[test]
+    fn execute_rearrange_reaches_targets() {
+        let x = ComponentSnapshot {
+            nodes: vec![Node::new(0), Node::new(1)],
+            joined: Node::new(1),
+        };
+        let z = ComponentSnapshot {
+            nodes: vec![Node::new(2), Node::new(3)],
+            joined: Node::new(2),
+        };
+        for start in [
+            vec![1usize, 0, 2, 3],
+            vec![0, 1, 2, 3],
+            vec![2, 3, 1, 0],
+            vec![3, 2, 0, 1],
+        ] {
+            let base = Permutation::from_indices(&start).unwrap();
+            let choices = rearrange_choices(&base, &x, &z);
+            let mut fwd = base.clone();
+            let cost = execute_rearrange(&mut fwd, &x, &z, choices.forward);
+            assert_eq!(cost, choices.forward.cost, "start {start:?}");
+            assert_eq!(fwd.to_index_vec(), vec![0, 1, 2, 3], "start {start:?}");
+            let mut rev = base.clone();
+            let cost = execute_rearrange(&mut rev, &x, &z, choices.reversed);
+            assert_eq!(cost, choices.reversed.cost, "start {start:?}");
+            assert_eq!(rev.to_index_vec(), vec![3, 2, 1, 0], "start {start:?}");
+        }
+    }
+
+    #[test]
+    fn rearrange_with_singletons() {
+        let x = ComponentSnapshot {
+            nodes: vec![Node::new(0)],
+            joined: Node::new(0),
+        };
+        let z = ComponentSnapshot {
+            nodes: vec![Node::new(1)],
+            joined: Node::new(1),
+        };
+        let perm = Permutation::from_indices(&[1, 0, 2]).unwrap();
+        let choices = rearrange_choices(&perm, &x, &z);
+        // Forward target [0,1]: needs the swap (cost 1); reversed is free.
+        assert_eq!(choices.forward.cost, 1);
+        assert_eq!(choices.reversed.cost, 0);
+        assert_eq!(choices.forward.cost + choices.reversed.cost, 1);
+    }
+}

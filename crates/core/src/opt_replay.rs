@@ -1,0 +1,108 @@
+//! Replay of a precomputed offline trajectory.
+
+use mla_graph::{GraphState, MergeInfo, RevealEvent};
+use mla_permutation::Permutation;
+
+use crate::report::UpdateReport;
+use crate::traits::OnlineMinla;
+
+/// Replays the canonical offline strategy: jump to a precomputed target
+/// permutation on the **first** reveal and never move again.
+///
+/// Used to verify empirically that offline upper bounds are *achievable*:
+/// run `OptReplay` with the upper-bound permutation from
+/// [`offline_optimum`](mla_offline::offline_optimum) through the engine
+/// with feasibility checking on — the run passes iff the target is feasible
+/// at every step, and its measured cost is exactly `d(π0, target)`.
+///
+/// # Examples
+///
+/// ```
+/// use mla_core::{OnlineMinla, OptReplay};
+/// use mla_graph::{GraphState, RevealEvent, Topology};
+/// use mla_permutation::{Node, Permutation};
+///
+/// let pi0 = Permutation::identity(3);
+/// let target = Permutation::from_indices(&[0, 2, 1]).unwrap();
+/// let mut alg = OptReplay::new(pi0, target);
+/// let mut graph = GraphState::new(Topology::Cliques, 3);
+/// let event = RevealEvent::new(Node::new(0), Node::new(2));
+/// let info = graph.apply(event).unwrap();
+/// assert_eq!(alg.serve(event, &info, &graph).total(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OptReplay {
+    perm: Permutation,
+    target: Permutation,
+    jumped: bool,
+}
+
+impl OptReplay {
+    /// Creates a replayer that starts at `pi0` and jumps to `target` on the
+    /// first reveal.
+    #[must_use]
+    pub fn new(pi0: Permutation, target: Permutation) -> Self {
+        OptReplay {
+            perm: pi0,
+            target,
+            jumped: false,
+        }
+    }
+
+    /// The target permutation.
+    #[must_use]
+    pub fn target(&self) -> &Permutation {
+        &self.target
+    }
+}
+
+impl OnlineMinla for OptReplay {
+    fn name(&self) -> &str {
+        "opt-replay"
+    }
+
+    fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    fn serve(
+        &mut self,
+        _event: RevealEvent,
+        _info: &MergeInfo,
+        _state: &GraphState,
+    ) -> UpdateReport {
+        if self.jumped {
+            return UpdateReport::default();
+        }
+        self.jumped = true;
+        let cost = self.perm.kendall_distance(&self.target);
+        self.perm = self.target.clone();
+        UpdateReport::moving(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_graph::Topology;
+    use mla_permutation::Node;
+
+    #[test]
+    fn jumps_once_then_stays() {
+        let pi0 = Permutation::identity(4);
+        let target = Permutation::from_indices(&[1, 0, 3, 2]).unwrap();
+        let mut alg = OptReplay::new(pi0, target.clone());
+        let mut graph = GraphState::new(Topology::Cliques, 4);
+
+        let e1 = RevealEvent::new(Node::new(0), Node::new(1));
+        let info = graph.apply(e1).unwrap();
+        assert_eq!(alg.serve(e1, &info, &graph).total(), 2);
+        assert_eq!(alg.permutation(), &target);
+
+        let e2 = RevealEvent::new(Node::new(2), Node::new(3));
+        let info = graph.apply(e2).unwrap();
+        assert_eq!(alg.serve(e2, &info, &graph).total(), 0);
+        assert_eq!(alg.permutation(), &target);
+        assert_eq!(alg.target(), &target);
+    }
+}

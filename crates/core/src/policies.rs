@@ -1,0 +1,46 @@
+//! Decision policies for the randomized algorithms and their ablations.
+
+/// How an algorithm decides **which component moves** in the moving part of
+/// an update (Figure 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MovePolicy {
+    /// The paper's `Rand`: `X` moves with probability `|Z| / (|X| + |Z|)`
+    /// and `Z` with the complementary probability. Each component's move
+    /// probability is proportional to the *other* side's size, so the
+    /// smaller component is the likelier mover. This is the policy behind
+    /// the `4 ln n` bound.
+    #[default]
+    SizeBiased,
+    /// Ablation: a fair coin, ignoring sizes.
+    Fair,
+    /// Deterministic baseline from the self-adjusting-networks literature:
+    /// the smaller component always moves toward the larger (ties: the
+    /// event's `X` side moves).
+    SmallerMoves,
+}
+
+/// How a line algorithm decides **which orientation** the merged path takes
+/// in the rearranging part (Figure 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RearrangePolicy {
+    /// The paper's `Rand`: pick a target orientation with probability
+    /// proportional to the *other* option's cost. This is the policy
+    /// behind the `8 ln n` bound.
+    #[default]
+    CostBiased,
+    /// Ablation: a fair coin between the two orientations.
+    Fair,
+    /// Greedy baseline: always the cheaper rearrangement (ties: forward).
+    Cheapest,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_policies() {
+        assert_eq!(MovePolicy::default(), MovePolicy::SizeBiased);
+        assert_eq!(RearrangePolicy::default(), RearrangePolicy::CostBiased);
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-update cost reports.
+
+use std::fmt;
+use std::ops::Add;
+
+/// The cost of serving one reveal, split the way the paper's analysis
+/// splits it (Section 4): the *moving* part brings the two components next
+/// to each other; the *rearranging* part (lines only) fixes the merged
+/// component's internal order.
+///
+/// All costs are counted in adjacent transpositions and equal the Kendall
+/// tau distance actually traveled — the moving part flips only
+/// `X × (gap)` pairs and the rearranging part only intra-`X`, intra-`Z`
+/// and `X × Z` pairs, so no pair is ever flipped twice within an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateReport {
+    /// Cost of the moving part (`M` in the paper).
+    pub moving_cost: u64,
+    /// Cost of the rearranging part (`R` in the paper; zero for cliques).
+    pub rearranging_cost: u64,
+}
+
+impl UpdateReport {
+    /// A report with only a moving part.
+    #[must_use]
+    pub fn moving(cost: u64) -> Self {
+        UpdateReport {
+            moving_cost: cost,
+            rearranging_cost: 0,
+        }
+    }
+
+    /// Total cost of the update.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.moving_cost + self.rearranging_cost
+    }
+}
+
+impl Add for UpdateReport {
+    type Output = UpdateReport;
+
+    fn add(self, other: UpdateReport) -> UpdateReport {
+        UpdateReport {
+            moving_cost: self.moving_cost + other.moving_cost,
+            rearranging_cost: self.rearranging_cost + other.rearranging_cost,
+        }
+    }
+}
+
+impl fmt::Display for UpdateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cost {} (move {}, rearrange {})",
+            self.total(),
+            self.moving_cost,
+            self.rearranging_cost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_addition() {
+        let a = UpdateReport {
+            moving_cost: 3,
+            rearranging_cost: 2,
+        };
+        let b = UpdateReport::moving(4);
+        assert_eq!(a.total(), 5);
+        assert_eq!(b.total(), 4);
+        let sum = a + b;
+        assert_eq!(sum.moving_cost, 7);
+        assert_eq!(sum.rearranging_cost, 2);
+        assert_eq!(UpdateReport::default().total(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let report = UpdateReport {
+            moving_cost: 1,
+            rearranging_cost: 2,
+        };
+        assert_eq!(report.to_string(), "cost 3 (move 1, rearrange 2)");
+    }
+}

@@ -1,0 +1,57 @@
+//! The online algorithm interface.
+
+use mla_graph::{GraphState, MergeInfo, RevealEvent};
+use mla_permutation::Permutation;
+
+use crate::report::UpdateReport;
+
+/// An online algorithm for the learning MinLA problem.
+///
+/// The simulation engine owns the graph state: it applies each reveal,
+/// obtains the [`MergeInfo`] (pre-merge component snapshots), and hands
+/// both to the algorithm. The algorithm owns only its permutation and must
+/// return the exact cost (in adjacent transpositions) of its update.
+///
+/// After [`OnlineMinla::serve`] returns, the algorithm's permutation must
+/// be a MinLA of `state` — the engine can verify this invariant.
+///
+/// The trait is object-safe: the engine stores `Box<dyn OnlineMinla>`.
+pub trait OnlineMinla {
+    /// Short machine-readable name (e.g. `"rand-cliques"`).
+    fn name(&self) -> &str;
+
+    /// The algorithm's current permutation.
+    fn permutation(&self) -> &Permutation;
+
+    /// Serves one reveal. `info` snapshots the merging components as they
+    /// were *before* the merge; `state` is the graph *after* it.
+    ///
+    /// Returns the exact update cost.
+    fn serve(&mut self, event: RevealEvent, info: &MergeInfo, state: &GraphState) -> UpdateReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Stub(Permutation);
+
+    impl OnlineMinla for Stub {
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn permutation(&self) -> &Permutation {
+            &self.0
+        }
+        fn serve(&mut self, _: RevealEvent, _: &MergeInfo, _: &GraphState) -> UpdateReport {
+            UpdateReport::default()
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let stub: Box<dyn OnlineMinla> = Box::new(Stub(Permutation::identity(3)));
+        assert_eq!(stub.name(), "stub");
+        assert_eq!(stub.permutation().len(), 3);
+    }
+}

@@ -1,0 +1,45 @@
+//! # `mla-general`
+//!
+//! Extension beyond the paper: the online learning MinLA problem on
+//! **arbitrary graphs**, at the small scales where exact MinLA is
+//! tractable (`n ≤ 20`).
+//!
+//! The paper proves tight `Θ(log n)` competitiveness for collections of
+//! cliques and lines and closes with the open question whether logarithmic
+//! ratios extend to general graphs. This crate provides the experimental
+//! apparatus to probe that question empirically:
+//!
+//! * [`GeneralState`] — arbitrary edge reveals (cycles, chords, anything);
+//! * [`GeneralDet`] — an online algorithm maintaining an **exact** MinLA
+//!   after every reveal, anchored to the initial ([`Anchor::Initial`],
+//!   the `Det` generalization) or current ([`Anchor::Current`], lazy)
+//!   permutation, built on the lexicographic `(stretch, distance)` subset
+//!   DP of [`mla_offline::minla_exact_closest`].
+//!
+//! The `E-GEN` experiment in `mla-sim` uses these to measure competitive
+//! ratios on random trees, cycles and sparse graphs.
+//!
+//! # Examples
+//!
+//! ```
+//! use mla_general::{Anchor, GeneralDet};
+//! use mla_permutation::{Node, Permutation};
+//!
+//! // Reveal a 4-cycle; the algorithm keeps an exact MinLA throughout.
+//! let mut alg = GeneralDet::new(Permutation::identity(4), Anchor::Current);
+//! for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+//!     alg.serve(Node::new(a), Node::new(b)).unwrap();
+//! }
+//! let value = alg.state().minla_value().unwrap();
+//! assert_eq!(alg.state().arrangement_cost(alg.permutation()), value);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod online;
+mod state;
+
+pub use online::{Anchor, GeneralDet, GeneralUpdate};
+pub use state::GeneralState;

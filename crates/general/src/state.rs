@@ -1,0 +1,185 @@
+//! Dynamic state of an arbitrary revealed graph.
+//!
+//! Unlike [`mla_graph::GraphState`], no topology restriction applies: any
+//! new edge between distinct nodes is a valid reveal. Feasibility (is the
+//! permutation a MinLA?) can no longer be checked structurally — it
+//! requires the exact solver — so it is exposed as
+//! [`GeneralState::is_minla`] with an explicit cost caveat.
+
+use mla_graph::{GraphError, UnionFind};
+use mla_offline::{arrangement_value, minla_exact, OfflineError};
+use mla_permutation::{Node, Permutation};
+
+/// An arbitrary graph revealed edge by edge.
+///
+/// # Examples
+///
+/// ```
+/// use mla_general::GeneralState;
+/// use mla_permutation::Node;
+///
+/// let mut state = GeneralState::new(4);
+/// state.reveal(Node::new(0), Node::new(1)).unwrap();
+/// state.reveal(Node::new(1), Node::new(2)).unwrap();
+/// state.reveal(Node::new(2), Node::new(0)).unwrap(); // cycles allowed!
+/// assert_eq!(state.edge_count(), 3);
+/// assert_eq!(state.component_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneralState {
+    n: usize,
+    adjacency: Vec<Vec<Node>>,
+    edges: Vec<(Node, Node)>,
+    dsu: UnionFind,
+}
+
+impl GeneralState {
+    /// The empty graph on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        GeneralState {
+            n,
+            adjacency: vec![Vec::new(); n],
+            edges: Vec::new(),
+            dsu: UnionFind::new(n),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of revealed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of connected components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.dsu.component_count()
+    }
+
+    /// The revealed edges.
+    #[must_use]
+    pub fn edges(&self) -> &[(Node, Node)] {
+        &self.edges
+    }
+
+    /// Neighbors of `v`.
+    #[must_use]
+    pub fn neighbors(&self, v: Node) -> &[Node] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Reveals the edge `a — b`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfRange`] for out-of-range endpoints;
+    /// * [`GraphError::SelfLoop`] for `a == b`;
+    /// * [`GraphError::SameComponent`] is **not** an error here (cycles
+    ///   and chords are allowed), but duplicate edges are rejected as
+    ///   [`GraphError::SameComponent`] when the exact edge already exists.
+    pub fn reveal(&mut self, a: Node, b: Node) -> Result<(), GraphError> {
+        for node in [a, b] {
+            if node.index() >= self.n {
+                return Err(GraphError::NodeOutOfRange { node, n: self.n });
+            }
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        if self.adjacency[a.index()].contains(&b) {
+            return Err(GraphError::SameComponent { a, b });
+        }
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+        self.edges.push((a, b));
+        self.dsu.union(a, b);
+        Ok(())
+    }
+
+    /// Total stretch of `pi` over the revealed edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` covers a different node count.
+    #[must_use]
+    pub fn arrangement_cost(&self, pi: &Permutation) -> u64 {
+        assert_eq!(pi.len(), self.n, "permutation/state size mismatch");
+        arrangement_value(pi, &self.edges)
+    }
+
+    /// The exact MinLA value of the revealed graph (`O(2ⁿ·n)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfflineError::TooLarge`] for `n > 20`.
+    pub fn minla_value(&self) -> Result<u64, OfflineError> {
+        minla_exact(self.n, &self.edges).map(|(value, _)| value)
+    }
+
+    /// Is `pi` a minimum linear arrangement of the revealed graph?
+    /// Requires solving MinLA exactly — `O(2ⁿ·n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfflineError::TooLarge`] for `n > 20`.
+    pub fn is_minla(&self, pi: &Permutation) -> Result<bool, OfflineError> {
+        Ok(self.arrangement_cost(pi) == self.minla_value()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reveal_validation() {
+        let mut state = GeneralState::new(3);
+        assert!(state.reveal(Node::new(0), Node::new(1)).is_ok());
+        assert!(matches!(
+            state.reveal(Node::new(0), Node::new(1)),
+            Err(GraphError::SameComponent { .. })
+        ));
+        assert!(matches!(
+            state.reveal(Node::new(1), Node::new(1)),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            state.reveal(Node::new(0), Node::new(9)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        // Closing a cycle is fine in the general model.
+        state.reveal(Node::new(1), Node::new(2)).unwrap();
+        assert!(state.reveal(Node::new(2), Node::new(0)).is_ok());
+    }
+
+    #[test]
+    fn minla_of_triangle() {
+        let mut state = GeneralState::new(3);
+        state.reveal(Node::new(0), Node::new(1)).unwrap();
+        state.reveal(Node::new(1), Node::new(2)).unwrap();
+        state.reveal(Node::new(2), Node::new(0)).unwrap();
+        assert_eq!(state.minla_value().unwrap(), 4);
+        let pi = Permutation::identity(3);
+        assert!(state.is_minla(&pi).unwrap());
+        assert_eq!(state.arrangement_cost(&pi), 4);
+    }
+
+    #[test]
+    fn neighbors_and_counts() {
+        let mut state = GeneralState::new(4);
+        state.reveal(Node::new(0), Node::new(2)).unwrap();
+        state.reveal(Node::new(0), Node::new(3)).unwrap();
+        assert_eq!(state.neighbors(Node::new(0)).len(), 2);
+        assert_eq!(state.edge_count(), 2);
+        assert_eq!(state.component_count(), 2);
+        assert_eq!(state.n(), 4);
+        assert_eq!(state.edges().len(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Dynamic state of a collection of disjoint cliques.
+
+use mla_permutation::Node;
+
+use crate::error::GraphError;
+use crate::event::RevealEvent;
+use crate::state::{ComponentSnapshot, MergeInfo};
+use crate::union_find::UnionFind;
+
+/// A collection of disjoint cliques, growing by merge reveals.
+///
+/// Initially every node is a singleton clique. A [`RevealEvent`] merges the
+/// two cliques containing its endpoints: all edges between them appear at
+/// once, so the result is again a clique.
+///
+/// # Examples
+///
+/// ```
+/// use mla_graph::{CliqueState, RevealEvent};
+/// use mla_permutation::Node;
+///
+/// let mut state = CliqueState::new(4);
+/// let info = state.apply(RevealEvent::new(Node::new(0), Node::new(2))).unwrap();
+/// assert_eq!(info.x.nodes, vec![Node::new(0)]);
+/// assert_eq!(info.z.nodes, vec![Node::new(2)]);
+/// assert_eq!(state.component_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CliqueState {
+    dsu: UnionFind,
+}
+
+impl CliqueState {
+    /// Creates `n` singleton cliques.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        CliqueState {
+            dsu: UnionFind::new(n),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.dsu.len()
+    }
+
+    /// Number of cliques (components).
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.dsu.component_count()
+    }
+
+    /// Returns `true` if `a` and `b` belong to the same clique.
+    #[must_use]
+    pub fn same_component(&self, a: Node, b: Node) -> bool {
+        self.dsu.same_set(a, b)
+    }
+
+    /// Nodes of the clique containing `v` (arbitrary order).
+    #[must_use]
+    pub fn component_nodes(&self, v: Node) -> Vec<Node> {
+        self.dsu.members_of(v).to_vec()
+    }
+
+    /// All cliques as node lists.
+    #[must_use]
+    pub fn components(&self) -> Vec<Vec<Node>> {
+        self.dsu.components()
+    }
+
+    /// Applies a merge reveal, returning snapshots of the two cliques as
+    /// they were **before** the merge (`x` contains `event.a()`, `z`
+    /// contains `event.b()`).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfRange`] if an endpoint is not in `0..n`;
+    /// * [`GraphError::SelfLoop`] if both endpoints are the same node;
+    /// * [`GraphError::SameComponent`] if the endpoints already share a
+    ///   clique.
+    pub fn apply(&mut self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
+        let (a, b) = (event.a(), event.b());
+        let n = self.n();
+        for node in [a, b] {
+            if node.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node, n });
+            }
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        if self.dsu.same_set(a, b) {
+            return Err(GraphError::SameComponent { a, b });
+        }
+        let x_nodes = self.dsu.members_of(a).to_vec();
+        let z_nodes = self.dsu.members_of(b).to_vec();
+        self.dsu
+            .union(a, b)
+            .expect("distinct components must merge");
+        Ok(MergeInfo {
+            x: ComponentSnapshot {
+                nodes: x_nodes,
+                joined: a,
+            },
+            z: ComponentSnapshot {
+                nodes: z_nodes,
+                joined: b,
+            },
+        })
+    }
+
+    /// All edges of the current graph: every intra-clique pair. Quadratic
+    /// in component sizes; intended for verification and small instances.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(Node, Node)> {
+        let mut edges = Vec::new();
+        for component in self.components() {
+            for i in 0..component.len() {
+                for j in (i + 1)..component.len() {
+                    edges.push((component[i], component[j]));
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// The optimum MinLA value of a clique on `m` nodes embedded contiguously:
+/// `(m³ − m) / 6`.
+///
+/// Placing the clique on positions `p+1..p+m` gives total stretch
+/// `Σ_{d=1}^{m−1} d·(m−d) = (m³ − m)/6`, and any non-contiguous placement is
+/// strictly worse (verified against the exact solver in `mla-offline`
+/// tests).
+///
+/// # Examples
+///
+/// ```
+/// use mla_graph::clique_minla_value;
+/// assert_eq!(clique_minla_value(1), 0);
+/// assert_eq!(clique_minla_value(2), 1);
+/// assert_eq!(clique_minla_value(3), 4);
+/// assert_eq!(clique_minla_value(4), 10);
+/// ```
+#[must_use]
+pub fn clique_minla_value(m: usize) -> u64 {
+    let m = m as u64;
+    (m * m * m - m) / 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sequence_tracks_components() {
+        let mut state = CliqueState::new(6);
+        state
+            .apply(RevealEvent::new(Node::new(0), Node::new(1)))
+            .unwrap();
+        state
+            .apply(RevealEvent::new(Node::new(2), Node::new(3)))
+            .unwrap();
+        let info = state
+            .apply(RevealEvent::new(Node::new(1), Node::new(3)))
+            .unwrap();
+        let mut x: Vec<usize> = info.x.nodes.iter().map(|v| v.index()).collect();
+        let mut z: Vec<usize> = info.z.nodes.iter().map(|v| v.index()).collect();
+        x.sort_unstable();
+        z.sort_unstable();
+        assert_eq!(x, vec![0, 1]);
+        assert_eq!(z, vec![2, 3]);
+        assert_eq!(state.component_count(), 3);
+        assert!(state.same_component(Node::new(0), Node::new(3)));
+    }
+
+    #[test]
+    fn apply_rejects_invalid_events() {
+        let mut state = CliqueState::new(3);
+        assert_eq!(
+            state.apply(RevealEvent::new(Node::new(0), Node::new(7))),
+            Err(GraphError::NodeOutOfRange {
+                node: Node::new(7),
+                n: 3
+            })
+        );
+        assert_eq!(
+            state.apply(RevealEvent::new(Node::new(1), Node::new(1))),
+            Err(GraphError::SelfLoop { node: Node::new(1) })
+        );
+        state
+            .apply(RevealEvent::new(Node::new(0), Node::new(1)))
+            .unwrap();
+        assert_eq!(
+            state.apply(RevealEvent::new(Node::new(1), Node::new(0))),
+            Err(GraphError::SameComponent {
+                a: Node::new(1),
+                b: Node::new(0)
+            })
+        );
+    }
+
+    #[test]
+    fn edges_enumerates_intra_clique_pairs() {
+        let mut state = CliqueState::new(4);
+        state
+            .apply(RevealEvent::new(Node::new(0), Node::new(1)))
+            .unwrap();
+        state
+            .apply(RevealEvent::new(Node::new(1), Node::new(2)))
+            .unwrap();
+        let edges = state.edges();
+        assert_eq!(edges.len(), 3); // triangle on {0,1,2}, node 3 isolated
+    }
+
+    #[test]
+    fn clique_value_formula() {
+        // Cross-check the closed form against direct summation.
+        for m in 1..=20u64 {
+            let direct: u64 = (1..m).map(|d| d * (m - d)).sum();
+            assert_eq!(clique_minla_value(m as usize), direct);
+        }
+        assert_eq!(clique_minla_value(0), 0);
+    }
+}

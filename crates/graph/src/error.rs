@@ -1,0 +1,108 @@
+//! Error types for graph state construction and reveal validation.
+
+use std::error::Error;
+use std::fmt;
+
+use mla_permutation::Node;
+
+/// Error returned when a reveal event or instance is invalid for the current
+/// graph state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node identifier was outside the dense range `0..n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: Node,
+        /// The number of nodes of the instance.
+        n: usize,
+    },
+    /// A reveal connected two nodes already in the same component.
+    SameComponent {
+        /// First endpoint of the reveal.
+        a: Node,
+        /// Second endpoint of the reveal.
+        b: Node,
+    },
+    /// A line reveal touched a node that is not an endpoint of its path.
+    NotAnEndpoint {
+        /// The offending interior node.
+        node: Node,
+    },
+    /// A reveal connected a node to itself.
+    SelfLoop {
+        /// The node connected to itself.
+        node: Node,
+    },
+    /// An instance contained more reveals than `n - 1` (a collection of
+    /// disjoint cliques or lines admits at most `n - 1` merges).
+    TooManyReveals {
+        /// Number of reveals in the instance.
+        reveals: usize,
+        /// Number of nodes.
+        n: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "{node} is outside the dense range 0..{n}")
+            }
+            GraphError::SameComponent { a, b } => {
+                write!(f, "{a} and {b} are already in the same component")
+            }
+            GraphError::NotAnEndpoint { node } => {
+                write!(f, "{node} is an interior node of its path, not an endpoint")
+            }
+            GraphError::SelfLoop { node } => write!(f, "reveal connects {node} to itself"),
+            GraphError::TooManyReveals { reveals, n } => {
+                write!(
+                    f,
+                    "{reveals} reveals exceed the maximum of n - 1 = {}",
+                    n.saturating_sub(1)
+                )
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let n9 = Node::new(9);
+        let n1 = Node::new(1);
+        assert_eq!(
+            GraphError::NodeOutOfRange { node: n9, n: 4 }.to_string(),
+            "v9 is outside the dense range 0..4"
+        );
+        assert_eq!(
+            GraphError::SameComponent { a: n1, b: n9 }.to_string(),
+            "v1 and v9 are already in the same component"
+        );
+        assert_eq!(
+            GraphError::NotAnEndpoint { node: n1 }.to_string(),
+            "v1 is an interior node of its path, not an endpoint"
+        );
+        assert_eq!(
+            GraphError::SelfLoop { node: n1 }.to_string(),
+            "reveal connects v1 to itself"
+        );
+        assert_eq!(
+            GraphError::TooManyReveals { reveals: 9, n: 4 }.to_string(),
+            "9 reveals exceed the maximum of n - 1 = 3"
+        );
+    }
+
+    #[test]
+    fn implements_error_and_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<GraphError>();
+    }
+}

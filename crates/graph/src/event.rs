@@ -1,0 +1,95 @@
+//! Reveal events and topology selection.
+
+use std::fmt;
+
+use mla_permutation::Node;
+
+/// The restricted graph classes studied by the paper.
+///
+/// Every revealed graph `G_i` is a collection of disjoint **cliques** or a
+/// collection of disjoint **lines** (simple paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Each component of every `G_i` is a complete graph.
+    Cliques,
+    /// Each component of every `G_i` is a simple path.
+    Lines,
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Cliques => write!(f, "cliques"),
+            Topology::Lines => write!(f, "lines"),
+        }
+    }
+}
+
+/// One reveal: the piece of the graph disclosed between `G_i` and `G_{i+1}`.
+///
+/// * Under [`Topology::Cliques`], the event merges the two cliques
+///   containing `a` and `b` into one larger clique (all cross edges appear
+///   at once).
+/// * Under [`Topology::Lines`], the event reveals the single edge `a — b`;
+///   both nodes must currently be endpoints of their (distinct) paths.
+///
+/// # Examples
+///
+/// ```
+/// use mla_graph::RevealEvent;
+/// use mla_permutation::Node;
+///
+/// let ev = RevealEvent::new(Node::new(0), Node::new(3));
+/// assert_eq!(ev.a(), Node::new(0));
+/// assert_eq!(ev.b(), Node::new(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RevealEvent {
+    a: Node,
+    b: Node,
+}
+
+impl RevealEvent {
+    /// Creates a reveal connecting the components of `a` and `b`.
+    #[must_use]
+    pub fn new(a: Node, b: Node) -> Self {
+        RevealEvent { a, b }
+    }
+
+    /// First endpoint (in the lines case: the endpoint on the `X` side).
+    #[must_use]
+    pub fn a(&self) -> Node {
+        self.a
+    }
+
+    /// Second endpoint (in the lines case: the endpoint on the `Z` side).
+    #[must_use]
+    pub fn b(&self) -> Node {
+        self.b
+    }
+}
+
+impl fmt::Display for RevealEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}—{}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let ev = RevealEvent::new(Node::new(2), Node::new(5));
+        assert_eq!(ev.a(), Node::new(2));
+        assert_eq!(ev.b(), Node::new(5));
+        assert_eq!(ev.to_string(), "v2—v5");
+    }
+
+    #[test]
+    fn topology_display() {
+        assert_eq!(Topology::Cliques.to_string(), "cliques");
+        assert_eq!(Topology::Lines.to_string(), "lines");
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline-validated problem instances (oblivious request sequences).
+
+use mla_permutation::Node;
+
+use crate::error::GraphError;
+use crate::event::{RevealEvent, Topology};
+use crate::merge_tree::MergeTree;
+use crate::state::GraphState;
+
+/// A complete, validated request sequence: the topology, the node count and
+/// the ordered reveals `G_1, …, G_k`.
+///
+/// An `Instance` captures an **oblivious** adversary — the whole sequence is
+/// fixed up front. (Adaptive adversaries, like the one in Theorem 16, are a
+/// separate trait in `mla-sim`.)
+///
+/// # Examples
+///
+/// ```
+/// use mla_graph::{Instance, RevealEvent, Topology};
+/// use mla_permutation::Node;
+///
+/// let instance = Instance::new(
+///     Topology::Cliques,
+///     4,
+///     vec![
+///         RevealEvent::new(Node::new(0), Node::new(1)),
+///         RevealEvent::new(Node::new(2), Node::new(3)),
+///         RevealEvent::new(Node::new(0), Node::new(3)),
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(instance.final_state().component_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    topology: Topology,
+    n: usize,
+    events: Vec<RevealEvent>,
+}
+
+impl Instance {
+    /// Creates and validates an instance by replaying its reveals.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] produced during replay, or
+    /// [`GraphError::TooManyReveals`] if more than `n − 1` reveals are
+    /// given.
+    pub fn new(topology: Topology, n: usize, events: Vec<RevealEvent>) -> Result<Self, GraphError> {
+        if events.len() + 1 > n.max(1) {
+            return Err(GraphError::TooManyReveals {
+                reveals: events.len(),
+                n,
+            });
+        }
+        let mut state = GraphState::new(topology, n);
+        for &event in &events {
+            state.apply(event)?;
+        }
+        Ok(Instance {
+            topology,
+            n,
+            events,
+        })
+    }
+
+    /// The topology of the instance.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The reveal sequence.
+    #[must_use]
+    pub fn events(&self) -> &[RevealEvent] {
+        &self.events
+    }
+
+    /// Number of reveals `k`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the instance has no reveals.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays all reveals and returns the final graph state `G_k`.
+    #[must_use]
+    pub fn final_state(&self) -> GraphState {
+        let mut state = GraphState::new(self.topology, self.n);
+        for &event in &self.events {
+            state
+                .apply(event)
+                .expect("validated instance replays cleanly");
+        }
+        state
+    }
+
+    /// The components of the final graph `G_k` (for lines: in path order).
+    #[must_use]
+    pub fn final_components(&self) -> Vec<Vec<Node>> {
+        self.final_state().components()
+    }
+
+    /// Builds the merge tree of the instance (leaves = nodes, one internal
+    /// node per reveal).
+    #[must_use]
+    pub fn merge_tree(&self) -> MergeTree {
+        MergeTree::from_instance(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(a: usize, b: usize) -> RevealEvent {
+        RevealEvent::new(Node::new(a), Node::new(b))
+    }
+
+    #[test]
+    fn valid_instance_round_trip() {
+        let instance = Instance::new(Topology::Lines, 3, vec![ev(0, 1), ev(1, 2)]).unwrap();
+        assert_eq!(instance.n(), 3);
+        assert_eq!(instance.len(), 2);
+        assert!(!instance.is_empty());
+        assert_eq!(instance.topology(), Topology::Lines);
+        assert_eq!(
+            instance.final_components(),
+            vec![vec![Node::new(0), Node::new(1), Node::new(2)]]
+        );
+    }
+
+    #[test]
+    fn invalid_instances_are_rejected() {
+        // Cycle for lines.
+        assert!(Instance::new(Topology::Lines, 3, vec![ev(0, 1), ev(1, 2), ev(2, 0)]).is_err());
+        // Re-merge for cliques.
+        assert!(matches!(
+            Instance::new(Topology::Cliques, 4, vec![ev(0, 1), ev(1, 0)]),
+            Err(GraphError::SameComponent { .. })
+        ));
+        // Too many reveals.
+        assert!(matches!(
+            Instance::new(Topology::Cliques, 2, vec![ev(0, 1), ev(0, 1)]),
+            Err(GraphError::TooManyReveals { reveals: 2, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let instance = Instance::new(Topology::Cliques, 5, vec![]).unwrap();
+        assert!(instance.is_empty());
+        assert_eq!(instance.final_state().component_count(), 5);
+    }
+}

@@ -1,0 +1,56 @@
+//! # `mla-graph`
+//!
+//! Dynamic graph substrate for the online learning MinLA workspace: the
+//! revealed graph `G_0 ⊆ G_1 ⊆ … ⊆ G_k` where every `G_i` is a collection of
+//! disjoint **cliques** or **lines**, per the ICDCS 2024 paper *Learning
+//! Minimum Linear Arrangement of Cliques and Lines*.
+//!
+//! * [`GraphState`] — apply [`RevealEvent`]s, query components, check the
+//!   MinLA feasibility invariant ([`GraphState::is_minla`]);
+//! * [`CliqueState`] / [`LineState`] — the per-topology dynamic states with
+//!   full reveal validation;
+//! * [`Instance`] — an offline-validated (oblivious) request sequence;
+//! * [`MergeTree`] — the dendrogram of a request sequence;
+//! * [`UnionFind`] — disjoint sets with per-root member lists;
+//! * closed-form MinLA optima: [`clique_minla_value`] (`(m³−m)/6`) and
+//!   [`path_minla_value`] (`m−1`).
+//!
+//! # Examples
+//!
+//! ```
+//! use mla_graph::{GraphState, RevealEvent, Topology};
+//! use mla_permutation::{Node, Permutation};
+//!
+//! let mut g = GraphState::new(Topology::Lines, 4);
+//! g.apply(RevealEvent::new(Node::new(1), Node::new(2))).unwrap();
+//! g.apply(RevealEvent::new(Node::new(2), Node::new(3))).unwrap();
+//!
+//! // The path 1-2-3 must be contiguous and in path order:
+//! let pi = Permutation::from_indices(&[0, 3, 2, 1]).unwrap();
+//! assert!(g.is_minla(&pi));
+//! assert_eq!(g.arrangement_cost(&pi), g.minla_value());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clique_state;
+mod error;
+mod event;
+mod instance;
+mod line_state;
+mod merge_tree;
+mod state;
+mod text;
+mod union_find;
+
+pub use clique_state::{clique_minla_value, CliqueState};
+pub use error::GraphError;
+pub use event::{RevealEvent, Topology};
+pub use instance::Instance;
+pub use line_state::{path_minla_value, LineState};
+pub use merge_tree::{MergeTree, TreeId};
+pub use state::{ComponentSnapshot, GraphState, MergeInfo};
+pub use text::{instance_to_text, text_to_instance, ParseInstanceError};
+pub use union_find::UnionFind;

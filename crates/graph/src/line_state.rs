@@ -1,0 +1,377 @@
+//! Dynamic state of a collection of disjoint lines (simple paths).
+
+use mla_permutation::Node;
+
+use crate::error::GraphError;
+use crate::event::RevealEvent;
+use crate::state::{ComponentSnapshot, MergeInfo};
+use crate::union_find::UnionFind;
+
+/// A collection of disjoint simple paths, growing one edge at a time.
+///
+/// Initially every node is a singleton path. A [`RevealEvent`] `a — b`
+/// requires `a` and `b` to be endpoints of two *distinct* paths and joins
+/// them into one longer path.
+///
+/// # Examples
+///
+/// ```
+/// use mla_graph::{LineState, RevealEvent};
+/// use mla_permutation::Node;
+///
+/// let mut state = LineState::new(4);
+/// state.apply(RevealEvent::new(Node::new(0), Node::new(1))).unwrap();
+/// let info = state.apply(RevealEvent::new(Node::new(1), Node::new(2))).unwrap();
+/// // X snapshot ends at the joined endpoint, Z snapshot starts at it:
+/// assert_eq!(info.x.nodes, vec![Node::new(0), Node::new(1)]);
+/// assert_eq!(info.z.nodes, vec![Node::new(2)]);
+/// assert_eq!(state.path_of(Node::new(0)), vec![Node::new(0), Node::new(1), Node::new(2)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineState {
+    neighbors: Vec<[Option<Node>; 2]>,
+    dsu: UnionFind,
+}
+
+impl LineState {
+    /// Creates `n` singleton paths.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        LineState {
+            neighbors: vec![[None, None]; n],
+            dsu: UnionFind::new(n),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of paths (components).
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.dsu.component_count()
+    }
+
+    /// Returns `true` if `a` and `b` belong to the same path.
+    #[must_use]
+    pub fn same_component(&self, a: Node, b: Node) -> bool {
+        self.dsu.same_set(a, b)
+    }
+
+    /// Degree of `v` in the current graph (0, 1 or 2).
+    #[must_use]
+    pub fn degree(&self, v: Node) -> usize {
+        self.neighbors[v.index()].iter().flatten().count()
+    }
+
+    /// Returns `true` if `v` is an endpoint of its path (degree ≤ 1;
+    /// singletons count as endpoints).
+    #[must_use]
+    pub fn is_endpoint(&self, v: Node) -> bool {
+        self.degree(v) <= 1
+    }
+
+    /// Nodes of the path containing `v` (unordered; use
+    /// [`LineState::path_of`] for path order).
+    #[must_use]
+    pub fn component_nodes(&self, v: Node) -> Vec<Node> {
+        self.dsu.members_of(v).to_vec()
+    }
+
+    /// The path containing `v` in path order, starting from its
+    /// lowest-indexed endpoint (a canonical orientation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn path_of(&self, v: Node) -> Vec<Node> {
+        let (e1, e2) = self.endpoints_of(v);
+        let start = if e1 <= e2 { e1 } else { e2 };
+        self.walk_from(start)
+    }
+
+    /// The two endpoints of the path containing `v`. For a singleton both
+    /// are `v` itself.
+    #[must_use]
+    pub fn endpoints_of(&self, v: Node) -> (Node, Node) {
+        let mut ends = Vec::with_capacity(2);
+        for &u in self.dsu.members_of(v) {
+            if self.degree(u) <= 1 {
+                ends.push(u);
+            }
+        }
+        match ends.len() {
+            1 => (ends[0], ends[0]), // singleton
+            2 => (ends[0], ends[1]),
+            k => unreachable!("path component with {k} endpoints"),
+        }
+    }
+
+    /// Walks the path starting at endpoint `start` (must have degree ≤ 1),
+    /// returning nodes in path order.
+    fn walk_from(&self, start: Node) -> Vec<Node> {
+        let mut order = vec![start];
+        let mut prev: Option<Node> = None;
+        let mut current = start;
+        loop {
+            let next = self.neighbors[current.index()]
+                .iter()
+                .flatten()
+                .copied()
+                .find(|&u| Some(u) != prev);
+            match next {
+                Some(u) => {
+                    order.push(u);
+                    prev = Some(current);
+                    current = u;
+                }
+                None => return order,
+            }
+        }
+    }
+
+    /// All paths, each in path order (canonical orientation), in ascending
+    /// order of their first node.
+    #[must_use]
+    pub fn components_ordered(&self) -> Vec<Vec<Node>> {
+        let mut roots = self.dsu.roots();
+        roots.sort_unstable();
+        roots.into_iter().map(|r| self.path_of(r)).collect()
+    }
+
+    /// All paths as unordered node lists.
+    #[must_use]
+    pub fn components(&self) -> Vec<Vec<Node>> {
+        self.dsu.components()
+    }
+
+    /// Applies an edge reveal `a — b`, returning snapshots of the two paths
+    /// as they were **before** the merge. The snapshot orders are chosen so
+    /// that the merged path reads `x.nodes ++ z.nodes`:
+    ///
+    /// * `x.nodes` is the path of `a` ordered to **end** at `a`;
+    /// * `z.nodes` is the path of `b` ordered to **start** at `b`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfRange`] if an endpoint is not in `0..n`;
+    /// * [`GraphError::SelfLoop`] if both endpoints are the same node;
+    /// * [`GraphError::SameComponent`] if the endpoints already share a
+    ///   path (the reveal would close a cycle);
+    /// * [`GraphError::NotAnEndpoint`] if either node has degree 2.
+    pub fn apply(&mut self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
+        let (a, b) = (event.a(), event.b());
+        let n = self.n();
+        for node in [a, b] {
+            if node.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node, n });
+            }
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        if self.dsu.same_set(a, b) {
+            return Err(GraphError::SameComponent { a, b });
+        }
+        for node in [a, b] {
+            if !self.is_endpoint(node) {
+                return Err(GraphError::NotAnEndpoint { node });
+            }
+        }
+        // Snapshot path orders before linking.
+        let mut x_nodes = self.walk_from(a);
+        x_nodes.reverse(); // ends at a
+        let z_nodes = self.walk_from(b); // starts at b
+
+        // Link.
+        let slot_a = self.neighbors[a.index()]
+            .iter()
+            .position(Option::is_none)
+            .expect("endpoint has a free slot");
+        self.neighbors[a.index()][slot_a] = Some(b);
+        let slot_b = self.neighbors[b.index()]
+            .iter()
+            .position(Option::is_none)
+            .expect("endpoint has a free slot");
+        self.neighbors[b.index()][slot_b] = Some(a);
+        self.dsu
+            .union(a, b)
+            .expect("distinct components must merge");
+
+        Ok(MergeInfo {
+            x: ComponentSnapshot {
+                nodes: x_nodes,
+                joined: a,
+            },
+            z: ComponentSnapshot {
+                nodes: z_nodes,
+                joined: b,
+            },
+        })
+    }
+
+    /// All edges of the current graph.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(Node, Node)> {
+        let mut edges = Vec::new();
+        for i in 0..self.n() {
+            for &u in self.neighbors[i].iter().flatten() {
+                if i < u.index() {
+                    edges.push((Node::new(i), u));
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// The optimum MinLA value of a path on `m` nodes embedded contiguously in
+/// path order: `m − 1` (each of the `m − 1` edges has stretch exactly 1).
+///
+/// # Examples
+///
+/// ```
+/// use mla_graph::path_minla_value;
+/// assert_eq!(path_minla_value(1), 0);
+/// assert_eq!(path_minla_value(5), 4);
+/// ```
+#[must_use]
+pub fn path_minla_value(m: usize) -> u64 {
+    m.saturating_sub(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(a: usize, b: usize) -> RevealEvent {
+        RevealEvent::new(Node::new(a), Node::new(b))
+    }
+
+    #[test]
+    fn build_path_in_order() {
+        let mut state = LineState::new(5);
+        state.apply(ev(0, 1)).unwrap();
+        state.apply(ev(1, 2)).unwrap();
+        state.apply(ev(2, 3)).unwrap();
+        assert_eq!(
+            state.path_of(Node::new(2)),
+            vec![Node::new(0), Node::new(1), Node::new(2), Node::new(3)]
+        );
+        assert_eq!(state.component_count(), 2);
+        assert_eq!(state.degree(Node::new(1)), 2);
+        assert!(state.is_endpoint(Node::new(3)));
+        assert!(!state.is_endpoint(Node::new(2)));
+    }
+
+    #[test]
+    fn merge_snapshots_concatenate() {
+        let mut state = LineState::new(6);
+        state.apply(ev(0, 1)).unwrap();
+        state.apply(ev(3, 4)).unwrap();
+        // Join endpoint 1 (path [0,1]) with endpoint 4 (path [3,4]).
+        let info = state.apply(ev(1, 4)).unwrap();
+        assert_eq!(info.x.nodes, vec![Node::new(0), Node::new(1)]);
+        assert_eq!(info.z.nodes, vec![Node::new(4), Node::new(3)]);
+        // Merged path is x ++ z.
+        let merged: Vec<Node> = info
+            .x
+            .nodes
+            .iter()
+            .chain(info.z.nodes.iter())
+            .copied()
+            .collect();
+        let actual = state.path_of(Node::new(0));
+        // path_of canonicalizes from the lowest endpoint; both orders valid.
+        let reversed: Vec<Node> = merged.iter().rev().copied().collect();
+        assert!(actual == merged || actual == reversed);
+    }
+
+    #[test]
+    fn apply_rejects_interior_nodes() {
+        let mut state = LineState::new(4);
+        state.apply(ev(0, 1)).unwrap();
+        state.apply(ev(1, 2)).unwrap();
+        assert_eq!(
+            state.apply(ev(1, 3)),
+            Err(GraphError::NotAnEndpoint { node: Node::new(1) })
+        );
+    }
+
+    #[test]
+    fn apply_rejects_cycles_self_loops_and_range() {
+        let mut state = LineState::new(3);
+        state.apply(ev(0, 1)).unwrap();
+        assert_eq!(
+            state.apply(ev(0, 1)),
+            Err(GraphError::SameComponent {
+                a: Node::new(0),
+                b: Node::new(1)
+            })
+        );
+        assert_eq!(
+            state.apply(ev(2, 2)),
+            Err(GraphError::SelfLoop { node: Node::new(2) })
+        );
+        assert_eq!(
+            state.apply(ev(0, 5)),
+            Err(GraphError::NodeOutOfRange {
+                node: Node::new(5),
+                n: 3
+            })
+        );
+    }
+
+    #[test]
+    fn endpoints_of_singleton_and_path() {
+        let mut state = LineState::new(3);
+        assert_eq!(
+            state.endpoints_of(Node::new(2)),
+            (Node::new(2), Node::new(2))
+        );
+        state.apply(ev(0, 1)).unwrap();
+        let (e1, e2) = state.endpoints_of(Node::new(0));
+        let mut ends = [e1.index(), e2.index()];
+        ends.sort_unstable();
+        assert_eq!(ends, [0, 1]);
+    }
+
+    #[test]
+    fn components_ordered_gives_path_orders() {
+        let mut state = LineState::new(5);
+        state.apply(ev(2, 1)).unwrap();
+        state.apply(ev(1, 4)).unwrap();
+        let components = state.components_ordered();
+        assert_eq!(components.len(), 3);
+        // Path {2,1,4} canonicalized from node 1? Lowest endpoint is 2 or 4;
+        // endpoints are 2 and 4, so it starts at 2.
+        assert!(components
+            .iter()
+            .any(|p| p == &vec![Node::new(2), Node::new(1), Node::new(4)]));
+    }
+
+    #[test]
+    fn edges_enumeration() {
+        let mut state = LineState::new(4);
+        state.apply(ev(0, 1)).unwrap();
+        state.apply(ev(2, 1)).unwrap();
+        let mut edges: Vec<(usize, usize)> = state
+            .edges()
+            .iter()
+            .map(|&(u, v)| (u.index(), v.index()))
+            .collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn path_value_formula() {
+        assert_eq!(path_minla_value(0), 0);
+        assert_eq!(path_minla_value(1), 0);
+        assert_eq!(path_minla_value(10), 9);
+    }
+}

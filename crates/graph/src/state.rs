@@ -1,0 +1,346 @@
+//! Unified dynamic graph state over both topologies, plus MinLA
+//! feasibility checking.
+
+use mla_permutation::{Node, Permutation};
+
+use crate::clique_state::{clique_minla_value, CliqueState};
+use crate::error::GraphError;
+use crate::event::{RevealEvent, Topology};
+use crate::line_state::{path_minla_value, LineState};
+
+/// Snapshot of one merging component, taken just before the merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSnapshot {
+    /// The component's nodes. For lines this is in **path order**, oriented
+    /// so that the joined endpoint is last for the `X` side and first for
+    /// the `Z` side (the merged path reads `x.nodes ++ z.nodes`). For
+    /// cliques the order is arbitrary.
+    pub nodes: Vec<Node>,
+    /// The node named in the reveal event on this side.
+    pub joined: Node,
+}
+
+impl ComponentSnapshot {
+    /// Component size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the snapshot is empty (never produced by a valid
+    /// merge, but useful for default values).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// The result of applying one reveal: the two components that merged, in
+/// the paper's notation `X_i` (containing the event's `a`) and `Z_i`
+/// (containing the event's `b`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeInfo {
+    /// Component `X_i`.
+    pub x: ComponentSnapshot,
+    /// Component `Z_i`.
+    pub z: ComponentSnapshot,
+}
+
+impl MergeInfo {
+    /// Total size of the merged component.
+    #[must_use]
+    pub fn merged_len(&self) -> usize {
+        self.x.len() + self.z.len()
+    }
+}
+
+/// Dynamic state of the revealed graph, for either topology.
+///
+/// This is the single entry point the simulation engine and the online
+/// algorithms use: apply reveals, query components, and check the MinLA
+/// feasibility invariant.
+///
+/// # Examples
+///
+/// ```
+/// use mla_graph::{GraphState, RevealEvent, Topology};
+/// use mla_permutation::{Node, Permutation};
+///
+/// let mut state = GraphState::new(Topology::Cliques, 4);
+/// state.apply(RevealEvent::new(Node::new(1), Node::new(3))).unwrap();
+///
+/// // {1,3} must be contiguous for a permutation to be a MinLA.
+/// let good = Permutation::from_indices(&[0, 1, 3, 2]).unwrap();
+/// let bad = Permutation::from_indices(&[1, 0, 3, 2]).unwrap();
+/// assert!(state.is_minla(&good));
+/// assert!(!state.is_minla(&bad));
+/// ```
+#[derive(Debug, Clone)]
+pub enum GraphState {
+    /// Collection of disjoint cliques.
+    Cliques(CliqueState),
+    /// Collection of disjoint lines.
+    Lines(LineState),
+}
+
+impl GraphState {
+    /// Creates the empty graph `G_0` on `n` nodes under the given topology.
+    #[must_use]
+    pub fn new(topology: Topology, n: usize) -> Self {
+        match topology {
+            Topology::Cliques => GraphState::Cliques(CliqueState::new(n)),
+            Topology::Lines => GraphState::Lines(LineState::new(n)),
+        }
+    }
+
+    /// The topology of this state.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        match self {
+            GraphState::Cliques(_) => Topology::Cliques,
+            GraphState::Lines(_) => Topology::Lines,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        match self {
+            GraphState::Cliques(s) => s.n(),
+            GraphState::Lines(s) => s.n(),
+        }
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        match self {
+            GraphState::Cliques(s) => s.component_count(),
+            GraphState::Lines(s) => s.component_count(),
+        }
+    }
+
+    /// Returns `true` if `a` and `b` are in the same component.
+    #[must_use]
+    pub fn same_component(&self, a: Node, b: Node) -> bool {
+        match self {
+            GraphState::Cliques(s) => s.same_component(a, b),
+            GraphState::Lines(s) => s.same_component(a, b),
+        }
+    }
+
+    /// Nodes of the component containing `v`. For lines, in path order
+    /// (canonical orientation); for cliques, arbitrary order.
+    #[must_use]
+    pub fn component_nodes(&self, v: Node) -> Vec<Node> {
+        match self {
+            GraphState::Cliques(s) => s.component_nodes(v),
+            GraphState::Lines(s) => s.path_of(v),
+        }
+    }
+
+    /// All components as node lists. For lines, each in path order.
+    #[must_use]
+    pub fn components(&self) -> Vec<Vec<Node>> {
+        match self {
+            GraphState::Cliques(s) => s.components(),
+            GraphState::Lines(s) => s.components_ordered(),
+        }
+    }
+
+    /// Applies one reveal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of the underlying state; see
+    /// [`CliqueState::apply`] and [`LineState::apply`].
+    pub fn apply(&mut self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
+        match self {
+            GraphState::Cliques(s) => s.apply(event),
+            GraphState::Lines(s) => s.apply(event),
+        }
+    }
+
+    /// All edges of the revealed graph so far.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(Node, Node)> {
+        match self {
+            GraphState::Cliques(s) => s.edges(),
+            GraphState::Lines(s) => s.edges(),
+        }
+    }
+
+    /// Total stretch `Σ_{(u,v)∈E} |π(u) − π(v)|` of the arrangement `pi`
+    /// over the revealed edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` does not cover all nodes of the graph.
+    #[must_use]
+    pub fn arrangement_cost(&self, pi: &Permutation) -> u64 {
+        self.edges()
+            .iter()
+            .map(|&(u, v)| pi.position_of(u).abs_diff(pi.position_of(v)) as u64)
+            .sum()
+    }
+
+    /// The optimum MinLA value of the revealed graph: the sum of the
+    /// closed-form optima of its components (`(m³−m)/6` per clique, `m−1`
+    /// per path).
+    #[must_use]
+    pub fn minla_value(&self) -> u64 {
+        match self {
+            GraphState::Cliques(s) => s
+                .components()
+                .iter()
+                .map(|c| clique_minla_value(c.len()))
+                .sum(),
+            GraphState::Lines(s) => s
+                .components()
+                .iter()
+                .map(|c| path_minla_value(c.len()))
+                .sum(),
+        }
+    }
+
+    /// Checks the paper's feasibility invariant: is `pi` a minimum linear
+    /// arrangement of the revealed graph?
+    ///
+    /// * Cliques: every clique occupies contiguous positions.
+    /// * Lines: every path occupies contiguous positions **and** its
+    ///   internal order is path order, forward or reversed.
+    ///
+    /// Runs in `O(n)` (amortized over components).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` has a different node count than the graph.
+    #[must_use]
+    pub fn is_minla(&self, pi: &Permutation) -> bool {
+        assert_eq!(
+            pi.len(),
+            self.n(),
+            "permutation covers {} nodes, graph has {}",
+            pi.len(),
+            self.n()
+        );
+        match self {
+            GraphState::Cliques(s) => s
+                .components()
+                .iter()
+                .all(|c| pi.contiguous_range(c).is_some()),
+            GraphState::Lines(s) => s.components_ordered().iter().all(|path| {
+                if pi.contiguous_range(path).is_none() {
+                    return false;
+                }
+                is_monotone_in(pi, path)
+            }),
+        }
+    }
+}
+
+/// Returns `true` if the nodes of `path` appear in `pi` in exactly the
+/// given order or exactly the reversed order.
+fn is_monotone_in(pi: &Permutation, path: &[Node]) -> bool {
+    if path.len() <= 2 {
+        return true;
+    }
+    let positions: Vec<usize> = path.iter().map(|&v| pi.position_of(v)).collect();
+    positions.windows(2).all(|w| w[0] < w[1]) || positions.windows(2).all(|w| w[0] > w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(a: usize, b: usize) -> RevealEvent {
+        RevealEvent::new(Node::new(a), Node::new(b))
+    }
+
+    #[test]
+    fn clique_feasibility_requires_contiguity_only() {
+        let mut state = GraphState::new(Topology::Cliques, 5);
+        state.apply(ev(0, 1)).unwrap();
+        state.apply(ev(1, 2)).unwrap();
+        // {0,1,2} contiguous in any internal order is feasible.
+        for arrangement in [[2usize, 0, 1, 3, 4], [1, 2, 0, 4, 3], [0, 1, 2, 3, 4]] {
+            let pi = Permutation::from_indices(&arrangement).unwrap();
+            assert!(state.is_minla(&pi), "{arrangement:?} should be feasible");
+        }
+        let bad = Permutation::from_indices(&[0, 3, 1, 2, 4]).unwrap();
+        assert!(!state.is_minla(&bad));
+    }
+
+    #[test]
+    fn line_feasibility_requires_path_order() {
+        let mut state = GraphState::new(Topology::Lines, 5);
+        state.apply(ev(0, 1)).unwrap();
+        state.apply(ev(1, 2)).unwrap();
+        // Path 0-1-2: contiguous in path order or reversed.
+        let fwd = Permutation::from_indices(&[0, 1, 2, 3, 4]).unwrap();
+        let rev = Permutation::from_indices(&[3, 2, 1, 0, 4]).unwrap();
+        let scrambled = Permutation::from_indices(&[1, 0, 2, 3, 4]).unwrap();
+        assert!(state.is_minla(&fwd));
+        assert!(state.is_minla(&rev));
+        assert!(!state.is_minla(&scrambled));
+    }
+
+    #[test]
+    fn arrangement_cost_matches_minla_value_when_feasible() {
+        let mut state = GraphState::new(Topology::Cliques, 6);
+        state.apply(ev(0, 1)).unwrap();
+        state.apply(ev(0, 2)).unwrap();
+        state.apply(ev(4, 5)).unwrap();
+        let pi = Permutation::from_indices(&[2, 0, 1, 3, 5, 4]).unwrap();
+        assert!(state.is_minla(&pi));
+        assert_eq!(state.arrangement_cost(&pi), state.minla_value());
+        // Infeasible arrangements cost strictly more.
+        let bad = Permutation::from_indices(&[2, 3, 0, 1, 5, 4]).unwrap();
+        assert!(!state.is_minla(&bad));
+        assert!(state.arrangement_cost(&bad) > state.minla_value());
+    }
+
+    #[test]
+    fn line_arrangement_cost_matches_value() {
+        let mut state = GraphState::new(Topology::Lines, 4);
+        state.apply(ev(0, 1)).unwrap();
+        state.apply(ev(1, 2)).unwrap();
+        state.apply(ev(2, 3)).unwrap();
+        let rev = Permutation::from_indices(&[3, 2, 1, 0]).unwrap();
+        assert!(state.is_minla(&rev));
+        assert_eq!(state.arrangement_cost(&rev), 3);
+        assert_eq!(state.minla_value(), 3);
+    }
+
+    #[test]
+    fn merge_info_lengths() {
+        let mut state = GraphState::new(Topology::Cliques, 4);
+        state.apply(ev(0, 1)).unwrap();
+        let info = state.apply(ev(0, 2)).unwrap();
+        assert_eq!(info.x.len(), 2);
+        assert_eq!(info.z.len(), 1);
+        assert_eq!(info.merged_len(), 3);
+        assert!(!info.x.is_empty());
+    }
+
+    #[test]
+    fn unified_accessors() {
+        let mut state = GraphState::new(Topology::Lines, 3);
+        assert_eq!(state.topology(), Topology::Lines);
+        assert_eq!(state.n(), 3);
+        assert_eq!(state.component_count(), 3);
+        state.apply(ev(0, 2)).unwrap();
+        assert!(state.same_component(Node::new(0), Node::new(2)));
+        assert_eq!(state.component_nodes(Node::new(0)).len(), 2);
+        assert_eq!(state.components().len(), 2);
+        assert_eq!(state.edges().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation covers")]
+    fn is_minla_size_mismatch_panics() {
+        let state = GraphState::new(Topology::Cliques, 3);
+        let pi = Permutation::identity(4);
+        let _ = state.is_minla(&pi);
+    }
+}

@@ -1,0 +1,236 @@
+//! A plain-text interchange format for instances.
+//!
+//! Experiments and bug reports need reproducible workloads. The format is
+//! deliberately trivial — one header line and one reveal per line — so
+//! instances can be produced and consumed by anything:
+//!
+//! ```text
+//! mla-instance v1 cliques 8
+//! 0 3
+//! 1 2
+//! 0 1
+//! ```
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use mla_permutation::Node;
+
+use crate::error::GraphError;
+use crate::event::{RevealEvent, Topology};
+use crate::instance::Instance;
+
+/// Error parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseInstanceError {
+    /// The header line is missing or malformed.
+    BadHeader {
+        /// The offending line.
+        line: String,
+    },
+    /// A reveal line is not two integers.
+    BadReveal {
+        /// 1-based line number.
+        line_number: usize,
+    },
+    /// The reveals do not form a valid instance.
+    Invalid(GraphError),
+}
+
+impl std::fmt::Display for ParseInstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseInstanceError::BadHeader { line } => {
+                write!(
+                    f,
+                    "bad header line {line:?}: expected `mla-instance v1 <cliques|lines> <n>`"
+                )
+            }
+            ParseInstanceError::BadReveal { line_number } => {
+                write!(
+                    f,
+                    "bad reveal on line {line_number}: expected two node indices"
+                )
+            }
+            ParseInstanceError::Invalid(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseInstanceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseInstanceError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ParseInstanceError {
+    fn from(e: GraphError) -> Self {
+        ParseInstanceError::Invalid(e)
+    }
+}
+
+/// Renders an instance in the text format.
+///
+/// # Examples
+///
+/// ```
+/// use mla_graph::{instance_to_text, text_to_instance, Instance, RevealEvent, Topology};
+/// use mla_permutation::Node;
+///
+/// let instance = Instance::new(
+///     Topology::Lines,
+///     3,
+///     vec![RevealEvent::new(Node::new(0), Node::new(2))],
+/// )
+/// .unwrap();
+/// let text = instance_to_text(&instance);
+/// assert_eq!(text_to_instance(&text).unwrap(), instance);
+/// ```
+#[must_use]
+pub fn instance_to_text(instance: &Instance) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mla-instance v1 {} {}",
+        instance.topology(),
+        instance.n()
+    );
+    for event in instance.events() {
+        let _ = writeln!(out, "{} {}", event.a().index(), event.b().index());
+    }
+    out
+}
+
+/// Parses the text format back into a validated instance.
+///
+/// Blank lines and lines starting with `#` are ignored.
+///
+/// # Errors
+///
+/// Returns a [`ParseInstanceError`] for malformed input or invalid reveal
+/// sequences.
+pub fn text_to_instance(text: &str) -> Result<Instance, ParseInstanceError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| (i + 1, line.trim()))
+        .filter(|(_, line)| !line.is_empty() && !line.starts_with('#'));
+    let (_, header) = lines.next().ok_or_else(|| ParseInstanceError::BadHeader {
+        line: String::new(),
+    })?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    let bad_header = || ParseInstanceError::BadHeader {
+        line: header.to_owned(),
+    };
+    if parts.len() != 4 || parts[0] != "mla-instance" || parts[1] != "v1" {
+        return Err(bad_header());
+    }
+    let topology = match parts[2] {
+        "cliques" => Topology::Cliques,
+        "lines" => Topology::Lines,
+        _ => return Err(bad_header()),
+    };
+    let n = usize::from_str(parts[3]).map_err(|_| bad_header())?;
+    let mut events = Vec::new();
+    for (line_number, line) in lines {
+        let mut fields = line.split_whitespace();
+        let parse = |field: Option<&str>| {
+            field
+                .and_then(|f| usize::from_str(f).ok())
+                .ok_or(ParseInstanceError::BadReveal { line_number })
+        };
+        let a = parse(fields.next())?;
+        let b = parse(fields.next())?;
+        if fields.next().is_some() {
+            return Err(ParseInstanceError::BadReveal { line_number });
+        }
+        events.push(RevealEvent::new(Node::new(a), Node::new(b)));
+    }
+    Ok(Instance::new(topology, n, events)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        Instance::new(
+            Topology::Cliques,
+            5,
+            vec![
+                RevealEvent::new(Node::new(0), Node::new(3)),
+                RevealEvent::new(Node::new(1), Node::new(2)),
+                RevealEvent::new(Node::new(0), Node::new(1)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let instance = sample();
+        let text = instance_to_text(&instance);
+        assert!(text.starts_with("mla-instance v1 cliques 5\n"));
+        assert_eq!(text_to_instance(&text).unwrap(), instance);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# workload\n\nmla-instance v1 lines 3\n# first reveal\n0 1\n\n1 2\n";
+        let instance = text_to_instance(text).unwrap();
+        assert_eq!(instance.topology(), Topology::Lines);
+        assert_eq!(instance.len(), 2);
+    }
+
+    #[test]
+    fn header_errors() {
+        assert!(matches!(
+            text_to_instance(""),
+            Err(ParseInstanceError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            text_to_instance("mla-instance v2 cliques 4\n"),
+            Err(ParseInstanceError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            text_to_instance("mla-instance v1 rings 4\n"),
+            Err(ParseInstanceError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            text_to_instance("mla-instance v1 cliques four\n"),
+            Err(ParseInstanceError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn reveal_errors() {
+        assert!(matches!(
+            text_to_instance("mla-instance v1 cliques 4\n0\n"),
+            Err(ParseInstanceError::BadReveal { line_number: 2 })
+        ));
+        assert!(matches!(
+            text_to_instance("mla-instance v1 cliques 4\n0 1 2\n"),
+            Err(ParseInstanceError::BadReveal { line_number: 2 })
+        ));
+        assert!(matches!(
+            text_to_instance("mla-instance v1 cliques 4\nx y\n"),
+            Err(ParseInstanceError::BadReveal { line_number: 2 })
+        ));
+    }
+
+    #[test]
+    fn semantic_errors_propagate() {
+        let result = text_to_instance("mla-instance v1 cliques 4\n0 0\n");
+        assert!(matches!(
+            result,
+            Err(ParseInstanceError::Invalid(GraphError::SelfLoop { .. }))
+        ));
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("invalid instance"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

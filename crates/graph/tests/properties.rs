@@ -1,0 +1,187 @@
+//! Property tests for the dynamic graph states.
+//!
+//! Random valid reveal sequences are generated for both topologies and the
+//! structural invariants of the paper's model are checked after every
+//! reveal.
+
+use mla_graph::{
+    clique_minla_value, path_minla_value, GraphState, Instance, RevealEvent, Topology,
+};
+use mla_permutation::{Node, Permutation};
+use proptest::prelude::*;
+
+/// Builds a random valid reveal sequence for the given topology by
+/// repeatedly joining two random components (for lines: two random
+/// endpoints of distinct paths).
+fn random_events(topology: Topology, n: usize, reveals: usize, seed: u64) -> Vec<RevealEvent> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut state = GraphState::new(topology, n);
+    let mut events = Vec::new();
+    while events.len() < reveals && state.component_count() > 1 {
+        // Pick representatives of two distinct components.
+        let components = state.components();
+        let i = rng.gen_range(0..components.len());
+        let mut j = rng.gen_range(0..components.len());
+        while j == i {
+            j = rng.gen_range(0..components.len());
+        }
+        let (a, b) = match topology {
+            Topology::Cliques => (
+                components[i][rng.gen_range(0..components[i].len())],
+                components[j][rng.gen_range(0..components[j].len())],
+            ),
+            Topology::Lines => {
+                // Components are in path order: endpoints are first/last.
+                let pick_end = |path: &[Node], rng: &mut SmallRng| {
+                    if rng.gen_bool(0.5) {
+                        path[0]
+                    } else {
+                        path[path.len() - 1]
+                    }
+                };
+                (
+                    pick_end(&components[i], &mut rng),
+                    pick_end(&components[j], &mut rng),
+                )
+            }
+        };
+        let event = RevealEvent::new(a, b);
+        state.apply(event).expect("constructed event is valid");
+        events.push(event);
+    }
+    events
+}
+
+proptest! {
+    #[test]
+    fn component_count_decreases_by_one_per_reveal(
+        (n, reveals, seed) in (2usize..40, 0usize..40, any::<u64>())
+    ) {
+        for topology in [Topology::Cliques, Topology::Lines] {
+            let events = random_events(topology, n, reveals.min(n - 1), seed);
+            let mut state = GraphState::new(topology, n);
+            for (i, &event) in events.iter().enumerate() {
+                state.apply(event).unwrap();
+                prop_assert_eq!(state.component_count(), n - i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn minla_value_matches_component_closed_forms(
+        (n, seed) in (2usize..30, any::<u64>())
+    ) {
+        for topology in [Topology::Cliques, Topology::Lines] {
+            let events = random_events(topology, n, n - 1, seed);
+            let mut state = GraphState::new(topology, n);
+            for &event in &events {
+                state.apply(event).unwrap();
+                let expected: u64 = state
+                    .components()
+                    .iter()
+                    .map(|c| match topology {
+                        Topology::Cliques => clique_minla_value(c.len()),
+                        Topology::Lines => path_minla_value(c.len()),
+                    })
+                    .sum();
+                prop_assert_eq!(state.minla_value(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_component_layout_achieves_minla_value(
+        (n, seed) in (2usize..24, any::<u64>())
+    ) {
+        // Lay out each component contiguously (lines: in path order) and
+        // check the arrangement cost equals the closed-form optimum and
+        // is_minla accepts it.
+        for topology in [Topology::Cliques, Topology::Lines] {
+            let events = random_events(topology, n, n / 2, seed);
+            let instance = Instance::new(topology, n, events).unwrap();
+            let state = instance.final_state();
+            let mut order: Vec<Node> = Vec::with_capacity(n);
+            for component in state.components() {
+                order.extend(component);
+            }
+            let pi = Permutation::from_nodes(order).unwrap();
+            prop_assert!(state.is_minla(&pi));
+            prop_assert_eq!(state.arrangement_cost(&pi), state.minla_value());
+        }
+    }
+
+    #[test]
+    fn scrambling_a_component_breaks_feasibility(
+        (n, seed) in (4usize..24, any::<u64>())
+    ) {
+        // Split some component across the arrangement: is_minla must reject
+        // and the arrangement cost must exceed the optimum. Keep at least
+        // two components so an outside node exists.
+        let events = random_events(Topology::Cliques, n, n - 2, seed);
+        let instance = Instance::new(Topology::Cliques, n, events).unwrap();
+        let state = instance.final_state();
+        let big = state
+            .components()
+            .into_iter()
+            .max_by_key(Vec::len)
+            .unwrap();
+        prop_assume!(big.len() >= 2 && big.len() < n);
+        // Contiguous layout, then swap the first node of `big` with a node
+        // outside it.
+        let mut order: Vec<Node> = Vec::with_capacity(n);
+        for component in state.components() {
+            order.extend(component);
+        }
+        let pos_in = order.iter().position(|v| *v == big[0]).unwrap();
+        let pos_out = order.iter().position(|v| !big.contains(v)).unwrap();
+        order.swap(pos_in, pos_out);
+        let pi = Permutation::from_nodes(order).unwrap();
+        // The swapped-out node might still be adjacent; only assert when
+        // contiguity is actually broken.
+        if !state.is_minla(&pi) {
+            prop_assert!(state.arrangement_cost(&pi) > state.minla_value());
+        }
+    }
+
+    #[test]
+    fn merge_tree_sizes_are_consistent(
+        (n, seed) in (2usize..30, any::<u64>())
+    ) {
+        let events = random_events(Topology::Cliques, n, n - 1, seed);
+        let instance = Instance::new(Topology::Cliques, n, events).unwrap();
+        let tree = instance.merge_tree();
+        let roots = tree.roots();
+        let total: usize = roots.iter().map(|&r| tree.size_of(r)).sum();
+        prop_assert_eq!(total, n);
+        for root in roots {
+            prop_assert_eq!(tree.leaves_under(root).len(), tree.size_of(root));
+        }
+    }
+
+    #[test]
+    fn line_merge_snapshot_concatenation(
+        (n, seed) in (2usize..30, any::<u64>())
+    ) {
+        // MergeInfo contract: merged path reads x.nodes ++ z.nodes with the
+        // joined endpoints adjacent in the middle.
+        let events = random_events(Topology::Lines, n, n - 1, seed);
+        let mut state = GraphState::new(Topology::Lines, n);
+        for &event in &events {
+            let info = state.apply(event).unwrap();
+            prop_assert_eq!(*info.x.nodes.last().unwrap(), event.a());
+            prop_assert_eq!(info.z.nodes[0], event.b());
+            let merged: Vec<Node> = info
+                .x
+                .nodes
+                .iter()
+                .chain(info.z.nodes.iter())
+                .copied()
+                .collect();
+            let actual = state.component_nodes(event.a());
+            let reversed: Vec<Node> = merged.iter().rev().copied().collect();
+            prop_assert!(actual == merged || actual == reversed);
+        }
+    }
+}

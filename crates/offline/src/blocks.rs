@@ -1,0 +1,295 @@
+//! Block descriptors: a component's fixed internal order plus the
+//! inversions that order pays against the reference permutation.
+//!
+//! The offline solvers reduce "find a feasible permutation closest to `π0`"
+//! to placing *blocks* (the multi-node components) into the sequence of
+//! free nodes. Each feasibility class fixes the internal freedom
+//! differently:
+//!
+//! * cliques — any internal order is feasible, so the `π0`-induced order is
+//!   optimal and costs zero ([`free_order_block`]);
+//! * lines — path order or its reverse ([`oriented_block`]);
+//! * merge-tree-consistent clique layouts — each tree vertex chooses which
+//!   child goes left ([`hierarchical_block`]), giving the achievable upper
+//!   bound for clique OPT.
+
+use mla_graph::{MergeTree, TreeId};
+use mla_permutation::{count_inversions, cross_inversions_sorted, Node, Permutation};
+
+/// A block with a fixed internal node order and the Kendall cost that order
+/// pays against the reference permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDescriptor {
+    /// The block's nodes in their fixed internal order (left to right).
+    pub nodes: Vec<Node>,
+    /// Number of intra-block pairs ordered differently than in `π0`.
+    pub intra_cost: u64,
+}
+
+impl BlockDescriptor {
+    /// Block size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` for an empty block (not produced by the builders).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Builds a block whose internal order is free (cliques): uses the
+/// `π0`-induced order, which costs zero intra-block inversions.
+///
+/// # Examples
+///
+/// ```
+/// use mla_offline::free_order_block;
+/// use mla_permutation::{Node, Permutation};
+///
+/// let pi0 = Permutation::from_indices(&[2, 0, 1]).unwrap();
+/// let block = free_order_block(&[Node::new(0), Node::new(2)], &pi0);
+/// assert_eq!(block.nodes, vec![Node::new(2), Node::new(0)]);
+/// assert_eq!(block.intra_cost, 0);
+/// ```
+#[must_use]
+pub fn free_order_block(nodes: &[Node], pi0: &Permutation) -> BlockDescriptor {
+    BlockDescriptor {
+        nodes: pi0.sort_by_position(nodes),
+        intra_cost: 0,
+    }
+}
+
+/// Builds a block whose internal order must be the given path order or its
+/// reverse (lines): picks the orientation with fewer inversions against
+/// `π0` (ties prefer the forward orientation).
+///
+/// # Examples
+///
+/// ```
+/// use mla_offline::oriented_block;
+/// use mla_permutation::{Node, Permutation};
+///
+/// let pi0 = Permutation::identity(3);
+/// // Path revealed as 2-1-0: reversed orientation matches π0 exactly.
+/// let block = oriented_block(&[Node::new(2), Node::new(1), Node::new(0)], &pi0);
+/// assert_eq!(block.nodes, vec![Node::new(0), Node::new(1), Node::new(2)]);
+/// assert_eq!(block.intra_cost, 0);
+/// ```
+#[must_use]
+pub fn oriented_block(path: &[Node], pi0: &Permutation) -> BlockDescriptor {
+    let positions: Vec<u32> = path.iter().map(|&v| pi0.position_of(v) as u32).collect();
+    let forward = count_inversions(&positions);
+    let m = path.len() as u64;
+    let reverse = m * m.saturating_sub(1) / 2 - forward;
+    if forward <= reverse {
+        BlockDescriptor {
+            nodes: path.to_vec(),
+            intra_cost: forward,
+        }
+    } else {
+        BlockDescriptor {
+            nodes: path.iter().rev().copied().collect(),
+            intra_cost: reverse,
+        }
+    }
+}
+
+/// Builds a merge-tree-consistent block for the subtree rooted at `root`:
+/// every tree vertex independently chooses which child goes left, which is
+/// globally optimal because a vertex's choice does not change any other
+/// vertex's cross-pair counts.
+///
+/// The resulting internal order keeps **every intermediate component
+/// contiguous**, so a permutation using it is feasible at *all* steps of
+/// the request sequence — this powers the achievable clique OPT upper
+/// bound (see `DESIGN.md`, note on Theorem 1).
+#[must_use]
+pub fn hierarchical_block(tree: &MergeTree, root: TreeId, pi0: &Permutation) -> BlockDescriptor {
+    // Iterative post-order: children before parents. Tree ids of children
+    // are always smaller than their parent's id, so a simple bottom-up
+    // sweep over ids in the subtree works; gather subtree ids first.
+    let mut subtree = Vec::new();
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        subtree.push(v);
+        if let Some((l, r)) = tree.children(v) {
+            stack.push(l);
+            stack.push(r);
+        }
+    }
+    subtree.sort_unstable();
+
+    // Per tree vertex: layout (node order) and sorted π0 positions.
+    use std::collections::HashMap;
+    let mut layouts: HashMap<TreeId, (Vec<Node>, Vec<u32>, u64)> = HashMap::new();
+    for &v in &subtree {
+        match tree.children(v) {
+            None => {
+                let node = tree.leaf_node(v);
+                let pos = pi0.position_of(node) as u32;
+                layouts.insert(v, (vec![node], vec![pos], 0));
+            }
+            Some((l, r)) => {
+                let (l_nodes, l_pos, l_cost) = layouts.remove(&l).expect("post-order");
+                let (r_nodes, r_pos, r_cost) = layouts.remove(&r).expect("post-order");
+                let lr = cross_inversions_sorted(&l_pos, &r_pos);
+                let total = (l_pos.len() * r_pos.len()) as u64;
+                let rl = total - lr;
+                let (nodes, cross) = if lr <= rl {
+                    let mut nodes = l_nodes;
+                    nodes.extend(r_nodes);
+                    (nodes, lr)
+                } else {
+                    let mut nodes = r_nodes;
+                    nodes.extend(l_nodes);
+                    (nodes, rl)
+                };
+                // Merge the sorted position lists.
+                let mut merged = Vec::with_capacity(l_pos.len() + r_pos.len());
+                let (mut i, mut j) = (0, 0);
+                while i < l_pos.len() && j < r_pos.len() {
+                    if l_pos[i] <= r_pos[j] {
+                        merged.push(l_pos[i]);
+                        i += 1;
+                    } else {
+                        merged.push(r_pos[j]);
+                        j += 1;
+                    }
+                }
+                merged.extend_from_slice(&l_pos[i..]);
+                merged.extend_from_slice(&r_pos[j..]);
+                layouts.insert(v, (nodes, merged, l_cost + r_cost + cross));
+            }
+        }
+    }
+    let (nodes, _, intra_cost) = layouts.remove(&root).expect("root layout computed");
+    BlockDescriptor { nodes, intra_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_graph::{Instance, RevealEvent, Topology};
+    use mla_permutation::count_inversions_usize;
+
+    fn nodes(indices: &[usize]) -> Vec<Node> {
+        indices.iter().map(|&i| Node::new(i)).collect()
+    }
+
+    #[test]
+    fn free_order_block_costs_zero() {
+        let pi0 = Permutation::from_indices(&[4, 3, 2, 1, 0]).unwrap();
+        let block = free_order_block(&nodes(&[1, 3]), &pi0);
+        assert_eq!(block.nodes, nodes(&[3, 1]));
+        assert_eq!(block.intra_cost, 0);
+        assert_eq!(block.len(), 2);
+        assert!(!block.is_empty());
+    }
+
+    #[test]
+    fn oriented_block_picks_cheaper_orientation() {
+        let pi0 = Permutation::identity(4);
+        // Path 3-1-2-0: forward inversions of [3,1,2,0] = 5; reverse = 1.
+        let fwd_positions = [3usize, 1, 2, 0];
+        assert_eq!(count_inversions_usize(&fwd_positions), 5);
+        let block = oriented_block(&nodes(&[3, 1, 2, 0]), &pi0);
+        assert_eq!(block.nodes, nodes(&[0, 2, 1, 3]));
+        assert_eq!(block.intra_cost, 1);
+    }
+
+    #[test]
+    fn oriented_block_tie_prefers_forward() {
+        let pi0 = Permutation::identity(2);
+        // Two-node path: forward 0 inversions ties... forward = 0, reverse = 1.
+        let block = oriented_block(&nodes(&[0, 1]), &pi0);
+        assert_eq!(block.nodes, nodes(&[0, 1]));
+        assert_eq!(block.intra_cost, 0);
+        // Actually tied case: single node.
+        let single = oriented_block(&nodes(&[1]), &pi0);
+        assert_eq!(single.intra_cost, 0);
+    }
+
+    #[test]
+    fn hierarchical_block_keeps_subcomponents_contiguous() {
+        // Merge ((0,1),(2,3)) then with (4).
+        let instance = Instance::new(
+            Topology::Cliques,
+            5,
+            vec![
+                RevealEvent::new(Node::new(0), Node::new(1)),
+                RevealEvent::new(Node::new(2), Node::new(3)),
+                RevealEvent::new(Node::new(0), Node::new(2)),
+                RevealEvent::new(Node::new(4), Node::new(0)),
+            ],
+        )
+        .unwrap();
+        let tree = instance.merge_tree();
+        let root = tree.roots()[0];
+        let pi0 = Permutation::from_indices(&[3, 0, 4, 1, 2]).unwrap();
+        let block = hierarchical_block(&tree, root, &pi0);
+        assert_eq!(block.len(), 5);
+        // {0,1} and {2,3} and {0,1,2,3} must each be contiguous in the layout.
+        let index_of = |v: usize| block.nodes.iter().position(|&x| x == Node::new(v)).unwrap();
+        for group in [vec![0, 1], vec![2, 3], vec![0, 1, 2, 3]] {
+            let mut positions: Vec<usize> = group.iter().map(|&v| index_of(v)).collect();
+            positions.sort_unstable();
+            assert_eq!(
+                positions[positions.len() - 1] - positions[0] + 1,
+                positions.len(),
+                "group {group:?} not contiguous in {:?}",
+                block.nodes
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_intra_cost_matches_layout_inversions() {
+        let instance = Instance::new(
+            Topology::Cliques,
+            6,
+            vec![
+                RevealEvent::new(Node::new(0), Node::new(5)),
+                RevealEvent::new(Node::new(1), Node::new(2)),
+                RevealEvent::new(Node::new(0), Node::new(1)),
+                RevealEvent::new(Node::new(3), Node::new(0)),
+            ],
+        )
+        .unwrap();
+        let tree = instance.merge_tree();
+        let root = *tree
+            .roots()
+            .iter()
+            .max_by_key(|&&r| tree.size_of(r))
+            .unwrap();
+        let pi0 = Permutation::from_indices(&[2, 5, 0, 3, 1, 4]).unwrap();
+        let block = hierarchical_block(&tree, root, &pi0);
+        // Recompute the intra cost directly as inversions of the layout's
+        // π0 positions.
+        let positions: Vec<usize> = block.nodes.iter().map(|&v| pi0.position_of(v)).collect();
+        assert_eq!(block.intra_cost, count_inversions_usize(&positions));
+    }
+
+    #[test]
+    fn hierarchical_never_beats_free_order_never_loses_to_fixed() {
+        // Intra cost ordering: free (0) <= hierarchical <= worst fixed.
+        let instance = Instance::new(
+            Topology::Cliques,
+            4,
+            vec![
+                RevealEvent::new(Node::new(0), Node::new(2)),
+                RevealEvent::new(Node::new(1), Node::new(3)),
+                RevealEvent::new(Node::new(0), Node::new(1)),
+            ],
+        )
+        .unwrap();
+        let tree = instance.merge_tree();
+        let root = tree.roots()[0];
+        let pi0 = Permutation::from_indices(&[1, 3, 0, 2]).unwrap();
+        let hier = hierarchical_block(&tree, root, &pi0);
+        let max_pairs = 4 * 3 / 2;
+        assert!(hier.intra_cost <= max_pairs);
+    }
+}

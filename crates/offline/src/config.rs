@@ -1,0 +1,60 @@
+//! Solver configuration.
+
+/// Which solver family [`place_blocks`](crate::place_blocks) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LopStrategy {
+    /// Exact when the block count allows, heuristic otherwise (default).
+    #[default]
+    Auto,
+    /// Exact or error — never silently approximate.
+    Exact,
+    /// Always the polynomial heuristic.
+    Heuristic,
+}
+
+/// Configuration for the offline solvers.
+///
+/// # Examples
+///
+/// ```
+/// use mla_offline::{LopConfig, LopStrategy};
+///
+/// let config = LopConfig {
+///     strategy: LopStrategy::Exact,
+///     ..LopConfig::default()
+/// };
+/// assert_eq!(config.max_exact_blocks, 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LopConfig {
+    /// Solver selection policy.
+    pub strategy: LopStrategy,
+    /// Maximum number of blocks for the exact subset DP. The DP costs
+    /// `O(m · 2^B · B)` time and `O(m · 2^B)` space, so keep this modest.
+    pub max_exact_blocks: usize,
+    /// Node budget for the pure-LOP branch and bound solver.
+    pub bb_node_limit: u64,
+}
+
+impl Default for LopConfig {
+    fn default() -> Self {
+        LopConfig {
+            strategy: LopStrategy::Auto,
+            max_exact_blocks: 12,
+            bb_node_limit: 5_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let config = LopConfig::default();
+        assert_eq!(config.strategy, LopStrategy::Auto);
+        assert_eq!(config.max_exact_blocks, 12);
+        assert!(config.bb_node_limit > 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the offline solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the offline optimum solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OfflineError {
+    /// An exact solver was requested but the instance has too many blocks.
+    TooManyBlocks {
+        /// Number of blocks in the instance.
+        blocks: usize,
+        /// The configured exact limit.
+        max: usize,
+    },
+    /// The exact general-MinLA solver was called with too many nodes.
+    TooLarge {
+        /// Number of nodes.
+        n: usize,
+        /// The solver's hard limit.
+        max: usize,
+    },
+    /// The reference permutation does not cover the instance's node set.
+    SizeMismatch {
+        /// Nodes in the instance.
+        expected: usize,
+        /// Nodes in the permutation.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for OfflineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfflineError::TooManyBlocks { blocks, max } => {
+                write!(
+                    f,
+                    "exact solver limited to {max} blocks, instance has {blocks}"
+                )
+            }
+            OfflineError::TooLarge { n, max } => {
+                write!(
+                    f,
+                    "exact MinLA solver limited to {max} nodes, graph has {n}"
+                )
+            }
+            OfflineError::SizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "permutation covers {actual} nodes, instance has {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for OfflineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            OfflineError::TooManyBlocks {
+                blocks: 30,
+                max: 12
+            }
+            .to_string(),
+            "exact solver limited to 12 blocks, instance has 30"
+        );
+        assert_eq!(
+            OfflineError::TooLarge { n: 30, max: 20 }.to_string(),
+            "exact MinLA solver limited to 20 nodes, graph has 30"
+        );
+        assert_eq!(
+            OfflineError::SizeMismatch {
+                expected: 8,
+                actual: 9
+            }
+            .to_string(),
+            "permutation covers 9 nodes, instance has 8"
+        );
+    }
+
+    #[test]
+    fn implements_error_and_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<OfflineError>();
+    }
+}

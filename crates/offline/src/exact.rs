@@ -1,0 +1,525 @@
+//! Exact general-graph MinLA via boundary-cut subset DP.
+//!
+//! For an arrangement built left to right, the total stretch equals the sum
+//! over every proper prefix `P` of the cut `|E(P, V∖P)|`. Minimizing over
+//! orders is a subset DP: `dp[S] = cut(S) + min_{v∈S} dp[S∖{v}]`, with
+//! `O(2ⁿ·n)` time — exact up to `n = 20`.
+//!
+//! This solver exists to *validate* the structural facts the paper's model
+//! relies on (each clique contiguous ⇔ MinLA; paths in path order ⇔ MinLA)
+//! and to cross-check the closed-form optima `(m³−m)/6` and `m−1`.
+
+use mla_permutation::{Node, Permutation};
+
+use crate::error::OfflineError;
+
+/// Hard node limit for [`minla_exact`].
+pub const EXACT_MINLA_MAX_NODES: usize = 20;
+
+/// Computes an exact minimum linear arrangement of the graph given by
+/// `edges` over the nodes `0..n`.
+///
+/// Returns the optimal total stretch and one optimal arrangement.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::TooLarge`] if `n > 20`.
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use mla_offline::minla_exact;
+/// use mla_permutation::Node;
+///
+/// // A triangle: optimum is any contiguous layout, value (3³−3)/6 = 4.
+/// let edges = [
+///     (Node::new(0), Node::new(1)),
+///     (Node::new(1), Node::new(2)),
+///     (Node::new(0), Node::new(2)),
+/// ];
+/// let (value, _) = minla_exact(3, &edges)?;
+/// assert_eq!(value, 4);
+/// # Ok::<(), mla_offline::OfflineError>(())
+/// ```
+pub fn minla_exact(n: usize, edges: &[(Node, Node)]) -> Result<(u64, Permutation), OfflineError> {
+    if n > EXACT_MINLA_MAX_NODES {
+        return Err(OfflineError::TooLarge {
+            n,
+            max: EXACT_MINLA_MAX_NODES,
+        });
+    }
+    if n == 0 {
+        return Ok((0, Permutation::identity(0)));
+    }
+    let mut adjacency = vec![0u32; n];
+    for &(u, v) in edges {
+        assert!(
+            u.index() < n && v.index() < n,
+            "edge ({u}, {v}) out of range"
+        );
+        assert_ne!(u, v, "self loop ({u}, {v})");
+        adjacency[u.index()] |= 1 << v.index();
+        adjacency[v.index()] |= 1 << u.index();
+    }
+    let full: usize = if n == usize::BITS as usize {
+        usize::MAX
+    } else {
+        (1usize << n) - 1
+    };
+
+    // cut[S] = number of edges between S and its complement.
+    // dp[S] = cut(S) + min_{v in S} dp[S \ {v}].
+    let mut cut = vec![0u32; full + 1];
+    let mut dp = vec![u64::MAX; full + 1];
+    dp[0] = 0;
+    for set in 1..=full {
+        let v0 = set.trailing_zeros() as usize;
+        let rest = set & !(1 << v0);
+        let adj = adjacency[v0] as usize;
+        let inside = (adj & rest).count_ones();
+        let degree = adjacency[v0].count_ones();
+        cut[set] = cut[rest] + degree - 2 * inside;
+
+        let mut best = u64::MAX;
+        let mut members = set;
+        while members != 0 {
+            let v = members.trailing_zeros() as usize;
+            members &= members - 1;
+            let prev = dp[set & !(1 << v)];
+            if prev < best {
+                best = prev;
+            }
+        }
+        dp[set] = best + u64::from(cut[set]);
+    }
+
+    // Reconstruct an optimal order back to front.
+    let mut order = vec![Node::new(0); n];
+    let mut set = full;
+    for slot in (0..n).rev() {
+        let target = dp[set] - u64::from(cut[set]);
+        let mut members = set;
+        let mut chosen = None;
+        while members != 0 {
+            let v = members.trailing_zeros() as usize;
+            members &= members - 1;
+            if dp[set & !(1 << v)] == target {
+                chosen = Some(v);
+                break;
+            }
+        }
+        let v = chosen.expect("DP reconstruction finds a predecessor");
+        order[slot] = Node::new(v);
+        set &= !(1 << v);
+    }
+    let perm = Permutation::from_nodes(order).expect("reconstruction covers all nodes");
+    Ok((dp[full], perm))
+}
+
+/// Total stretch of `pi` on the given edges — the MinLA objective.
+///
+/// # Panics
+///
+/// Panics if an endpoint is out of range for `pi`.
+#[must_use]
+pub fn arrangement_value(pi: &Permutation, edges: &[(Node, Node)]) -> u64 {
+    edges
+        .iter()
+        .map(|&(u, v)| pi.position_of(u).abs_diff(pi.position_of(v)) as u64)
+        .sum()
+}
+
+/// Computes, among **all** exact minimum linear arrangements of the graph,
+/// one minimizing the Kendall tau distance to `reference` — by a
+/// lexicographic `(stretch, distance)` subset DP.
+///
+/// Both objectives decompose additively over the prefix chain: extending a
+/// prefix set `S` by node `v` adds `cut(S ∪ {v})` stretch and
+/// `|{u ∈ S : reference places u after v}|` inversions, so the
+/// lexicographic DP has optimal substructure and stays `O(2ⁿ·n)`.
+///
+/// Returns `(optimal stretch, distance to reference, arrangement)`.
+///
+/// This powers the general-graph online algorithm in `mla-general`,
+/// probing the paper's concluding open question (logarithmic
+/// competitiveness beyond cliques and lines) at small scales.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::TooLarge`] if `n > 20` and
+/// [`OfflineError::SizeMismatch`] if `reference` covers a different node
+/// count.
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use mla_offline::minla_exact_closest;
+/// use mla_permutation::{Node, Permutation};
+///
+/// // A path 0-1-2: both [0,1,2] and [2,1,0] are optimal. The closest one
+/// // to the reference [2,1,0] must be picked.
+/// let edges = [(Node::new(0), Node::new(1)), (Node::new(1), Node::new(2))];
+/// let reference = Permutation::from_indices(&[2, 1, 0]).unwrap();
+/// let (value, distance, perm) = minla_exact_closest(3, &edges, &reference)?;
+/// assert_eq!(value, 2);
+/// assert_eq!(distance, 0);
+/// assert_eq!(perm, reference);
+/// # Ok::<(), mla_offline::OfflineError>(())
+/// ```
+pub fn minla_exact_closest(
+    n: usize,
+    edges: &[(Node, Node)],
+    reference: &Permutation,
+) -> Result<(u64, u64, Permutation), OfflineError> {
+    if n > EXACT_MINLA_MAX_NODES {
+        return Err(OfflineError::TooLarge {
+            n,
+            max: EXACT_MINLA_MAX_NODES,
+        });
+    }
+    if reference.len() != n {
+        return Err(OfflineError::SizeMismatch {
+            expected: n,
+            actual: reference.len(),
+        });
+    }
+    if n == 0 {
+        return Ok((0, 0, Permutation::identity(0)));
+    }
+    let mut adjacency = vec![0u32; n];
+    for &(u, v) in edges {
+        assert!(
+            u.index() < n && v.index() < n,
+            "edge ({u}, {v}) out of range"
+        );
+        assert_ne!(u, v, "self loop ({u}, {v})");
+        adjacency[u.index()] |= 1 << v.index();
+        adjacency[v.index()] |= 1 << u.index();
+    }
+    let full: usize = (1usize << n) - 1;
+
+    // Reference positions for the secondary objective.
+    let ref_pos: Vec<u32> = (0..n)
+        .map(|v| reference.position_of(Node::new(v)) as u32)
+        .collect();
+    // later_mask[v]: nodes the reference places strictly after v.
+    let later_mask: Vec<u32> = (0..n)
+        .map(|v| {
+            let mut mask = 0u32;
+            for u in 0..n {
+                if ref_pos[u] > ref_pos[v] {
+                    mask |= 1 << u;
+                }
+            }
+            mask
+        })
+        .collect();
+
+    let mut cut = vec![0u32; full + 1];
+    let mut cost = vec![u64::MAX; full + 1];
+    let mut dist = vec![u64::MAX; full + 1];
+    cost[0] = 0;
+    dist[0] = 0;
+    for set in 1..=full {
+        let v0 = set.trailing_zeros() as usize;
+        let rest = set & !(1 << v0);
+        let inside = (adjacency[v0] as usize & rest).count_ones();
+        cut[set] = cut[rest] + adjacency[v0].count_ones() - 2 * inside;
+
+        let mut best_cost = u64::MAX;
+        let mut best_dist = u64::MAX;
+        let mut members = set;
+        while members != 0 {
+            let v = members.trailing_zeros() as usize;
+            members &= members - 1;
+            let prev = set & !(1 << v);
+            // Inversions added by placing v after the set `prev`:
+            // nodes already placed that the reference puts after v.
+            let added = (later_mask[v] as usize & prev).count_ones() as u64;
+            let candidate_cost = cost[prev];
+            let candidate_dist = dist[prev] + added;
+            if candidate_cost < best_cost
+                || (candidate_cost == best_cost && candidate_dist < best_dist)
+            {
+                best_cost = candidate_cost;
+                best_dist = candidate_dist;
+            }
+        }
+        cost[set] = best_cost + u64::from(cut[set]);
+        dist[set] = best_dist;
+    }
+
+    // Reconstruct.
+    let mut order = vec![Node::new(0); n];
+    let mut set = full;
+    for slot in (0..n).rev() {
+        let target_cost = cost[set] - u64::from(cut[set]);
+        let target_dist = dist[set];
+        let mut members = set;
+        let mut chosen = None;
+        while members != 0 {
+            let v = members.trailing_zeros() as usize;
+            members &= members - 1;
+            let prev = set & !(1 << v);
+            let added = (later_mask[v] as usize & prev).count_ones() as u64;
+            if cost[prev] == target_cost && dist[prev] + added == target_dist {
+                chosen = Some(v);
+                break;
+            }
+        }
+        let v = chosen.expect("lexicographic DP reconstruction finds a predecessor");
+        order[slot] = Node::new(v);
+        set &= !(1 << v);
+    }
+    let perm = Permutation::from_nodes(order).expect("reconstruction covers all nodes");
+    debug_assert_eq!(reference.kendall_distance(&perm), dist[full]);
+    Ok((cost[full], dist[full], perm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_graph::{clique_minla_value, path_minla_value};
+
+    fn clique_edges(nodes: &[usize]) -> Vec<(Node, Node)> {
+        let mut edges = Vec::new();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                edges.push((Node::new(nodes[i]), Node::new(nodes[j])));
+            }
+        }
+        edges
+    }
+
+    fn path_edges(nodes: &[usize]) -> Vec<(Node, Node)> {
+        nodes
+            .windows(2)
+            .map(|w| (Node::new(w[0]), Node::new(w[1])))
+            .collect()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (value, perm) = minla_exact(4, &[]).unwrap();
+        assert_eq!(value, 0);
+        assert_eq!(perm.len(), 4);
+    }
+
+    #[test]
+    fn single_edge() {
+        let (value, perm) = minla_exact(4, &[(Node::new(0), Node::new(3))]).unwrap();
+        assert_eq!(value, 1);
+        assert_eq!(
+            perm.position_of(Node::new(0))
+                .abs_diff(perm.position_of(Node::new(3))),
+            1
+        );
+    }
+
+    #[test]
+    fn clique_value_matches_closed_form() {
+        for m in 2..=8 {
+            let nodes: Vec<usize> = (0..m).collect();
+            let (value, perm) = minla_exact(m, &clique_edges(&nodes)).unwrap();
+            assert_eq!(value, clique_minla_value(m), "clique K_{m}");
+            assert_eq!(arrangement_value(&perm, &clique_edges(&nodes)), value);
+        }
+    }
+
+    #[test]
+    fn path_value_matches_closed_form() {
+        for m in 2..=10 {
+            let nodes: Vec<usize> = (0..m).collect();
+            let (value, _) = minla_exact(m, &path_edges(&nodes)).unwrap();
+            assert_eq!(value, path_minla_value(m), "path P_{m}");
+        }
+    }
+
+    #[test]
+    fn disjoint_clique_collection_value_is_additive() {
+        // K_3 on {0,1,2} plus K_2 on {3,4}.
+        let mut edges = clique_edges(&[0, 1, 2]);
+        edges.extend(clique_edges(&[3, 4]));
+        let (value, perm) = minla_exact(5, &edges).unwrap();
+        assert_eq!(value, clique_minla_value(3) + clique_minla_value(2));
+        // Each clique must be contiguous in the optimal arrangement.
+        let c1: Vec<Node> = [0, 1, 2].iter().map(|&i| Node::new(i)).collect();
+        let c2: Vec<Node> = [3, 4].iter().map(|&i| Node::new(i)).collect();
+        assert!(perm.contiguous_range(&c1).is_some());
+        assert!(perm.contiguous_range(&c2).is_some());
+    }
+
+    #[test]
+    fn line_collection_optimum_is_path_orders() {
+        // Path 0-1-2 and path 3-4: value (3-1) + (2-1) = 3.
+        let mut edges = path_edges(&[0, 1, 2]);
+        edges.extend(path_edges(&[3, 4]));
+        let (value, _) = minla_exact(5, &edges).unwrap();
+        assert_eq!(value, 3);
+    }
+
+    #[test]
+    fn star_graph_value() {
+        // Star K_{1,4}: center 0. Optimal MinLA of a star with k leaves:
+        // center in the middle; value = sum of distances.
+        let edges: Vec<(Node, Node)> = (1..5).map(|i| (Node::new(0), Node::new(i))).collect();
+        let (value, _) = minla_exact(5, &edges).unwrap();
+        // Leaves at offsets -2,-1,+1,+2: total 6.
+        assert_eq!(value, 6);
+    }
+
+    #[test]
+    fn cycle_graph_value() {
+        // C_4: known MinLA value 2(n-1) = 6 for a cycle embedded as nested
+        // arcs... verify against brute force.
+        let edges = vec![
+            (Node::new(0), Node::new(1)),
+            (Node::new(1), Node::new(2)),
+            (Node::new(2), Node::new(3)),
+            (Node::new(3), Node::new(0)),
+        ];
+        let (value, _) = minla_exact(4, &edges).unwrap();
+        let mut brute = u64::MAX;
+        let mut indices = vec![0usize, 1, 2, 3];
+        fn rec(ix: &mut Vec<usize>, at: usize, edges: &[(Node, Node)], best: &mut u64) {
+            if at == ix.len() {
+                let perm = Permutation::from_indices(ix).unwrap();
+                *best = (*best).min(arrangement_value(&perm, edges));
+                return;
+            }
+            for i in at..ix.len() {
+                ix.swap(at, i);
+                rec(ix, at + 1, edges, best);
+                ix.swap(at, i);
+            }
+        }
+        rec(&mut indices, 0, &edges, &mut brute);
+        assert_eq!(value, brute);
+    }
+
+    #[test]
+    fn too_large_is_an_error() {
+        assert!(matches!(
+            minla_exact(21, &[]),
+            Err(OfflineError::TooLarge { n: 21, max: 20 })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod closest_tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_edges(n: usize, m: usize, rng: &mut SmallRng) -> Vec<(Node, Node)> {
+        let mut edges = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        while edges.len() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                edges.push((Node::new(key.0), Node::new(key.1)));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn closest_value_matches_plain_exact() {
+        let mut rng = SmallRng::seed_from_u64(71);
+        for _ in 0..15 {
+            let n = rng.gen_range(3..9);
+            let m = rng.gen_range(1..n * (n - 1) / 2);
+            let edges = random_edges(n, m, &mut rng);
+            let reference = Permutation::random(n, &mut rng);
+            let (value, _) = minla_exact(n, &edges).unwrap();
+            let (closest_value, distance, perm) =
+                minla_exact_closest(n, &edges, &reference).unwrap();
+            assert_eq!(value, closest_value);
+            assert_eq!(arrangement_value(&perm, &edges), value);
+            assert_eq!(reference.kendall_distance(&perm), distance);
+        }
+    }
+
+    #[test]
+    fn closest_is_truly_closest_among_optima() {
+        // Brute force: enumerate all permutations, keep the optimal-value
+        // ones, find the minimum distance to the reference.
+        let mut rng = SmallRng::seed_from_u64(73);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..7);
+            let m = rng.gen_range(1..=n * (n - 1) / 2);
+            let edges = random_edges(n, m, &mut rng);
+            let reference = Permutation::random(n, &mut rng);
+            let (value, distance, _) = minla_exact_closest(n, &edges, &reference).unwrap();
+            let mut best_distance = u64::MAX;
+            let mut indices: Vec<usize> = (0..n).collect();
+            fn rec(
+                ix: &mut Vec<usize>,
+                at: usize,
+                edges: &[(Node, Node)],
+                value: u64,
+                reference: &Permutation,
+                best: &mut u64,
+            ) {
+                if at == ix.len() {
+                    let perm = Permutation::from_indices(ix).unwrap();
+                    if arrangement_value(&perm, edges) == value {
+                        *best = (*best).min(reference.kendall_distance(&perm));
+                    }
+                    return;
+                }
+                for i in at..ix.len() {
+                    ix.swap(at, i);
+                    rec(ix, at + 1, edges, value, reference, best);
+                    ix.swap(at, i);
+                }
+            }
+            rec(
+                &mut indices,
+                0,
+                &edges,
+                value,
+                &reference,
+                &mut best_distance,
+            );
+            assert_eq!(distance, best_distance);
+        }
+    }
+
+    #[test]
+    fn closest_with_identity_reference_on_identity_optimum() {
+        // Path already in reference order: zero distance.
+        let edges: Vec<(Node, Node)> = (0..4).map(|i| (Node::new(i), Node::new(i + 1))).collect();
+        let reference = Permutation::identity(5);
+        let (value, distance, perm) = minla_exact_closest(5, &edges, &reference).unwrap();
+        assert_eq!(value, 4);
+        assert_eq!(distance, 0);
+        assert_eq!(perm, reference);
+    }
+
+    #[test]
+    fn closest_errors() {
+        assert!(matches!(
+            minla_exact_closest(21, &[], &Permutation::identity(21)),
+            Err(OfflineError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            minla_exact_closest(4, &[], &Permutation::identity(5)),
+            Err(OfflineError::SizeMismatch { .. })
+        ));
+    }
+}

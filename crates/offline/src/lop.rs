@@ -1,0 +1,406 @@
+//! Linear ordering problem (LOP) solvers over a [`BlockWeights`] matrix.
+//!
+//! Finding the block order minimizing `Σ_{i before j} w[i][j]` is NP-hard in
+//! general (it is the *grouping by swapping* problem, Garey–Johnson SR21),
+//! so this module offers a ladder of solvers:
+//!
+//! * [`solve_exact_dp`] — Held–Karp subset DP, `O(2^B · B²)`, exact up to
+//!   ~20 blocks;
+//! * [`solve_branch_bound`] — depth-first branch and bound with the
+//!   unordered-pair lower bound, exact with a configurable node budget;
+//! * [`solve_local_search`] — best-insertion local search from a seed
+//!   order, polynomial and used for large instances;
+//! * [`brute_force`] — factorial enumeration for cross-checking tests.
+
+use crate::weights::BlockWeights;
+
+/// A block order together with its cross cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LopSolution {
+    /// Block indices, left to right.
+    pub order: Vec<usize>,
+    /// Total cross cost `Σ_{i before j} w[i][j]`.
+    pub cost: u64,
+}
+
+/// Exact Held–Karp subset DP. `O(2^B · B²)` time, `O(2^B)` space.
+///
+/// # Panics
+///
+/// Panics if `weights.block_count() > 25` (the DP table would not fit in
+/// memory); use [`solve_branch_bound`] or [`solve_local_search`] instead.
+#[must_use]
+pub fn solve_exact_dp(weights: &BlockWeights) -> LopSolution {
+    let b = weights.block_count();
+    assert!(b <= 25, "subset DP limited to 25 blocks, got {b}");
+    if b == 0 {
+        return LopSolution {
+            order: Vec::new(),
+            cost: 0,
+        };
+    }
+    let full: usize = (1usize << b) - 1;
+    let mut dp = vec![u64::MAX; full + 1];
+    dp[0] = 0;
+    for set in 0..=full {
+        let base = dp[set];
+        if base == u64::MAX {
+            continue;
+        }
+        // Try appending each absent block j after the blocks in `set`.
+        let mut absent = full & !set;
+        while absent != 0 {
+            let j = absent.trailing_zeros() as usize;
+            absent &= absent - 1;
+            let mut append_cost = 0u64;
+            let mut present = set;
+            while present != 0 {
+                let i = present.trailing_zeros() as usize;
+                present &= present - 1;
+                append_cost += weights.weight(i, j);
+            }
+            let candidate = base + append_cost;
+            let next = set | (1 << j);
+            if candidate < dp[next] {
+                dp[next] = candidate;
+            }
+        }
+    }
+    // Reconstruct backwards: find the last block of each optimal prefix.
+    let mut order = vec![0usize; b];
+    let mut set = full;
+    for slot in (0..b).rev() {
+        let mut found = false;
+        let mut present = set;
+        while present != 0 {
+            let j = present.trailing_zeros() as usize;
+            present &= present - 1;
+            let prev = set & !(1 << j);
+            if dp[prev] == u64::MAX {
+                continue;
+            }
+            let mut append_cost = 0u64;
+            let mut others = prev;
+            while others != 0 {
+                let i = others.trailing_zeros() as usize;
+                others &= others - 1;
+                append_cost += weights.weight(i, j);
+            }
+            if dp[prev] + append_cost == dp[set] {
+                order[slot] = j;
+                set = prev;
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "DP reconstruction failed");
+    }
+    LopSolution {
+        order,
+        cost: dp[full],
+    }
+}
+
+/// Exact depth-first branch and bound using
+/// [`BlockWeights::unordered_lower_bound`] for pruning. Explores at most
+/// `node_limit` search nodes; returns `None` if the budget is exhausted
+/// before optimality is proven.
+#[must_use]
+pub fn solve_branch_bound(weights: &BlockWeights, node_limit: u64) -> Option<LopSolution> {
+    let b = weights.block_count();
+    if b == 0 {
+        return Some(LopSolution {
+            order: Vec::new(),
+            cost: 0,
+        });
+    }
+    // Start from the local-search solution as the incumbent.
+    let mut incumbent = solve_local_search(weights, &borda_seed(weights));
+    let mut nodes_visited = 0u64;
+
+    struct Frame {
+        prefix: Vec<usize>,
+        remaining: Vec<usize>,
+        cost: u64,
+    }
+    let mut stack = vec![Frame {
+        prefix: Vec::new(),
+        remaining: (0..b).collect(),
+        cost: 0,
+    }];
+    while let Some(frame) = stack.pop() {
+        nodes_visited += 1;
+        if nodes_visited > node_limit {
+            return None;
+        }
+        if frame.remaining.is_empty() {
+            if frame.cost < incumbent.cost {
+                incumbent = LopSolution {
+                    order: frame.prefix,
+                    cost: frame.cost,
+                };
+            }
+            continue;
+        }
+        let bound = frame.cost + weights.unordered_lower_bound(&frame.remaining);
+        if bound >= incumbent.cost && incumbent.cost > 0 {
+            continue;
+        }
+        if bound >= incumbent.cost {
+            continue;
+        }
+        // Expand: order children by optimistic appended cost so promising
+        // branches are explored first (stack: push worst first).
+        let mut children: Vec<(u64, usize)> = frame
+            .remaining
+            .iter()
+            .map(|&j| {
+                let append: u64 = frame.prefix.iter().map(|&i| weights.weight(i, j)).sum();
+                (append, j)
+            })
+            .collect();
+        children.sort_unstable_by_key(|&(append, _)| std::cmp::Reverse(append));
+        for (append, j) in children {
+            let mut prefix = frame.prefix.clone();
+            prefix.push(j);
+            let remaining: Vec<usize> = frame
+                .remaining
+                .iter()
+                .copied()
+                .filter(|&x| x != j)
+                .collect();
+            // Extra forced cost: nothing beyond append (cross with the rest
+            // is bounded below inside the child's own bound).
+            stack.push(Frame {
+                prefix,
+                remaining,
+                cost: frame.cost + append,
+            });
+        }
+    }
+    Some(incumbent)
+}
+
+/// Seed order by *Borda score*: blocks sorted by the mean `π0` position of
+/// their nodes, which is optimal for many benign instances and a strong
+/// starting point for local search.
+#[must_use]
+pub fn borda_seed(weights: &BlockWeights) -> Vec<usize> {
+    // Mean position is not directly recoverable from weights, but the
+    // tournament score Σ_j w[j][i] (total cost of placing i last) induces
+    // the same kind of ranking: blocks that "want" to be left have small
+    // incoming weight sums. Normalize by size to avoid biasing toward
+    // large blocks.
+    let b = weights.block_count();
+    let mut keyed: Vec<(f64, usize)> = (0..b)
+        .map(|i| {
+            let incoming: u64 = (0..b)
+                .filter(|&j| j != i)
+                .map(|j| weights.weight(j, i))
+                .sum();
+            let size = weights.size(i).max(1) as f64;
+            (incoming as f64 / size, i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Best-insertion local search: repeatedly remove a block and reinsert it
+/// at the position minimizing the order cost, until a fixpoint. `O(B³)`
+/// per round, at most `B²` rounds in theory, few in practice.
+#[must_use]
+pub fn solve_local_search(weights: &BlockWeights, seed: &[usize]) -> LopSolution {
+    let b = weights.block_count();
+    assert_eq!(seed.len(), b, "seed must order all blocks");
+    let mut order = seed.to_vec();
+    let mut cost = weights.order_cost(&order);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for idx in 0..b {
+            let block = order[idx];
+            // Delta of moving `block` from idx to every other slot.
+            // Walk left and right accumulating swap deltas.
+            let mut best_delta = 0i64;
+            let mut best_slot = idx;
+            let mut running = 0i64;
+            for slot in (0..idx).rev() {
+                let other = order[slot];
+                running +=
+                    weights.weight(block, other) as i64 - weights.weight(other, block) as i64;
+                if running < best_delta {
+                    best_delta = running;
+                    best_slot = slot;
+                }
+            }
+            running = 0;
+            for (slot, &other) in order.iter().enumerate().skip(idx + 1) {
+                running +=
+                    weights.weight(other, block) as i64 - weights.weight(block, other) as i64;
+                if running < best_delta {
+                    best_delta = running;
+                    best_slot = slot;
+                }
+            }
+            if best_slot != idx {
+                let block = order.remove(idx);
+                order.insert(best_slot, block);
+                cost = (cost as i64 + best_delta) as u64;
+                improved = true;
+            }
+        }
+    }
+    debug_assert_eq!(cost, weights.order_cost(&order));
+    LopSolution { order, cost }
+}
+
+/// Factorial brute force; exact reference for tests.
+///
+/// # Panics
+///
+/// Panics if there are more than 9 blocks.
+#[must_use]
+pub fn brute_force(weights: &BlockWeights) -> LopSolution {
+    let b = weights.block_count();
+    assert!(b <= 9, "brute force limited to 9 blocks, got {b}");
+    let mut order: Vec<usize> = (0..b).collect();
+    let mut best = LopSolution {
+        order: order.clone(),
+        cost: weights.order_cost(&order),
+    };
+    permute(&mut order, 0, &mut |candidate| {
+        let cost = weights.order_cost(candidate);
+        if cost < best.cost {
+            best = LopSolution {
+                order: candidate.to_vec(),
+                cost,
+            };
+        }
+    });
+    best
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_permutation::{Node, Permutation};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_weights(blocks: usize, nodes_per_block: usize, seed: u64) -> BlockWeights {
+        let n = blocks * nodes_per_block;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pi0 = Permutation::random(n, &mut rng);
+        let mut assignment: Vec<Vec<Node>> = vec![Vec::new(); blocks];
+        for i in 0..n {
+            assignment[i % blocks].push(Node::new(i));
+        }
+        let _ = rng.gen::<u64>();
+        BlockWeights::from_blocks(&pi0, &assignment)
+    }
+
+    #[test]
+    fn exact_dp_matches_brute_force() {
+        for seed in 0..10 {
+            let weights = random_weights(6, 3, seed);
+            let dp = solve_exact_dp(&weights);
+            let brute = brute_force(&weights);
+            assert_eq!(dp.cost, brute.cost, "seed {seed}");
+            assert_eq!(weights.order_cost(&dp.order), dp.cost);
+        }
+    }
+
+    #[test]
+    fn branch_bound_matches_brute_force() {
+        for seed in 0..10 {
+            let weights = random_weights(7, 2, seed);
+            let bb = solve_branch_bound(&weights, 10_000_000).expect("budget is ample");
+            let brute = brute_force(&weights);
+            assert_eq!(bb.cost, brute.cost, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn branch_bound_budget_exhaustion_returns_none() {
+        // A cyclic (Condorcet-style) tournament: the root lower bound is
+        // strictly below the optimum, so pruning cannot close the search
+        // immediately and the tiny budget must be exhausted.
+        let positions: Vec<Vec<u32>> = vec![vec![0, 5, 7], vec![1, 3, 8], vec![2, 4, 6]];
+        let weights = BlockWeights::from_sorted_positions(&positions);
+        let lb = weights.unordered_lower_bound(&[0, 1, 2]);
+        let optimum = brute_force(&weights).cost;
+        assert!(lb < optimum, "instance must not be root-prunable");
+        assert!(solve_branch_bound(&weights, 2).is_none());
+    }
+
+    #[test]
+    fn local_search_never_worse_than_seed() {
+        for seed in 0..10 {
+            let weights = random_weights(9, 2, seed);
+            let seed_order: Vec<usize> = (0..9).collect();
+            let seeded_cost = weights.order_cost(&seed_order);
+            let solution = solve_local_search(&weights, &seed_order);
+            assert!(solution.cost <= seeded_cost);
+            assert_eq!(weights.order_cost(&solution.order), solution.cost);
+        }
+    }
+
+    #[test]
+    fn local_search_finds_optimum_on_benign_instance() {
+        // Identity reference, interval blocks: optimum is the natural order
+        // with zero cost.
+        let pi0 = Permutation::identity(12);
+        let blocks: Vec<Vec<Node>> = (0..4)
+            .map(|b| (0..3).map(|i| Node::new(b * 3 + i)).collect())
+            .collect();
+        let weights = BlockWeights::from_blocks(&pi0, &blocks);
+        let solution = solve_local_search(&weights, &[3, 1, 2, 0]);
+        assert_eq!(solution.cost, 0);
+        assert_eq!(solution.order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_singleton_instances() {
+        let pi0 = Permutation::identity(2);
+        let empty = BlockWeights::from_blocks(&pi0, &[]);
+        assert_eq!(solve_exact_dp(&empty).cost, 0);
+        assert_eq!(brute_force(&empty).cost, 0);
+        let single = BlockWeights::from_blocks(&pi0, &[vec![Node::new(0), Node::new(1)]]);
+        let solution = solve_exact_dp(&single);
+        assert_eq!(solution.cost, 0);
+        assert_eq!(solution.order, vec![0]);
+    }
+
+    #[test]
+    fn borda_seed_is_a_permutation() {
+        let weights = random_weights(8, 3, 9);
+        let mut seed = borda_seed(&weights);
+        seed.sort_unstable();
+        assert_eq!(seed, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dp_reconstruction_cost_consistency() {
+        for seed in 20..30 {
+            let weights = random_weights(10, 2, seed);
+            let solution = solve_exact_dp(&weights);
+            assert_eq!(weights.order_cost(&solution.order), solution.cost);
+            let mut check = solution.order.clone();
+            check.sort_unstable();
+            assert_eq!(check, (0..10).collect::<Vec<_>>());
+        }
+    }
+}

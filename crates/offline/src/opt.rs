@@ -1,0 +1,266 @@
+//! Offline optimum (`Opt`) bounds for a complete request sequence.
+//!
+//! `Opt` is the minimum total update cost of any offline algorithm that
+//! maintains feasibility at every step. The paper's Observation 7 lower
+//! bounds it by `Δ* = min { d(π0, π) : π feasible for G_k }`. The
+//! achievability side depends on the topology:
+//!
+//! * **lines** — `Δ*` is achievable: intermediate components are
+//!   contiguous sub-paths of final paths, so any final-feasible permutation
+//!   is feasible at every step; jump there on the first reveal. Hence
+//!   `Opt = Δ*` and [`offline_optimum`] returns matching bounds.
+//! * **cliques** — a final-feasible permutation may scatter an intermediate
+//!   sub-clique (see `tests/feasibility_nesting.rs` in the workspace root),
+//!   so `Δ*` is only a lower bound. The merge-tree-consistent layout from
+//!   [`hierarchical_block`](crate::hierarchical_block) *is* feasible at
+//!   every step, giving the achievable upper bound.
+
+use mla_graph::{Instance, Topology};
+use mla_permutation::{Node, Permutation};
+
+use crate::blocks::{hierarchical_block, BlockDescriptor};
+use crate::closest::{closest_feasible, state_blocks};
+use crate::config::LopConfig;
+use crate::error::OfflineError;
+use crate::placement::{place_blocks, placement_lower_bound};
+
+/// Bounds on the offline optimum of an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptBounds {
+    /// A valid lower bound on `Opt` (equals `Δ*` when `exact_lower`).
+    pub lower: u64,
+    /// An achievable upper bound on `Opt` (the cost of a concrete feasible
+    /// trajectory: jump to `upper_perm` at the first reveal and stay).
+    pub upper: u64,
+    /// The final permutation realizing `lower` when the exact solver ran
+    /// (feasible for `G_k`; for lines also feasible at every step).
+    pub lower_perm: Option<Permutation>,
+    /// The final permutation of the upper-bound trajectory (feasible at
+    /// every step of the sequence).
+    pub upper_perm: Permutation,
+    /// Whether `lower` is exactly `Δ*` (the exact placement solver ran).
+    pub exact_lower: bool,
+}
+
+impl OptBounds {
+    /// Returns `true` if the bounds pin `Opt` exactly.
+    #[must_use]
+    pub fn is_tight(&self) -> bool {
+        self.lower == self.upper
+    }
+}
+
+/// Computes offline optimum bounds for the instance starting from `pi0`.
+///
+/// # Errors
+///
+/// * [`OfflineError::SizeMismatch`] if `pi0` does not cover `instance.n()`
+///   nodes;
+/// * [`OfflineError::TooManyBlocks`] when
+///   [`LopStrategy::Exact`](crate::LopStrategy::Exact) is configured and
+///   the instance exceeds the exact block limit.
+///
+/// # Examples
+///
+/// ```
+/// use mla_graph::{Instance, RevealEvent, Topology};
+/// use mla_offline::{offline_optimum, LopConfig};
+/// use mla_permutation::{Node, Permutation};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let instance = Instance::new(
+///     Topology::Lines,
+///     4,
+///     vec![RevealEvent::new(Node::new(0), Node::new(3))],
+/// )?;
+/// let pi0 = Permutation::identity(4);
+/// let bounds = offline_optimum(&instance, &pi0, &LopConfig::default())?;
+/// // Bringing 3 next to 0 (or vice versa) costs 2 adjacent swaps.
+/// assert_eq!(bounds.lower, 2);
+/// assert!(bounds.is_tight());
+/// # Ok(())
+/// # }
+/// ```
+pub fn offline_optimum(
+    instance: &Instance,
+    pi0: &Permutation,
+    config: &LopConfig,
+) -> Result<OptBounds, OfflineError> {
+    if pi0.len() != instance.n() {
+        return Err(OfflineError::SizeMismatch {
+            expected: instance.n(),
+            actual: pi0.len(),
+        });
+    }
+    let final_state = instance.final_state();
+    let placement = closest_feasible(&final_state, pi0, config)?;
+
+    match instance.topology() {
+        Topology::Lines => {
+            // Δ* is exact when the solver was exact; always achievable.
+            let lower = if placement.exact {
+                placement.distance
+            } else {
+                placement_lower_bound_for(&final_state, pi0)
+            };
+            Ok(OptBounds {
+                lower,
+                upper: placement.distance,
+                lower_perm: placement.exact.then(|| placement.perm.clone()),
+                upper_perm: placement.perm,
+                exact_lower: placement.exact,
+            })
+        }
+        Topology::Cliques => {
+            // Lower: Δ* (exact) or the pairwise bound. Upper: merge-tree
+            // consistent layout, feasible at every step.
+            let lower = if placement.exact {
+                placement.distance
+            } else {
+                placement_lower_bound_for(&final_state, pi0)
+            };
+            let tree = instance.merge_tree();
+            let mut blocks: Vec<BlockDescriptor> = Vec::new();
+            let mut free: Vec<Node> = Vec::new();
+            for root in tree.roots() {
+                if tree.size_of(root) == 1 {
+                    free.push(tree.leaf_node(root));
+                } else {
+                    blocks.push(hierarchical_block(&tree, root, pi0));
+                }
+            }
+            let hier = place_blocks(pi0, &blocks, &free, config)?;
+            // The hierarchical layout is one particular feasible final
+            // permutation, so it can never beat Δ*.
+            debug_assert!(hier.distance >= lower || !placement.exact);
+            Ok(OptBounds {
+                lower,
+                upper: hier.distance.max(lower),
+                lower_perm: placement.exact.then_some(placement.perm),
+                upper_perm: hier.perm,
+                exact_lower: placement.exact,
+            })
+        }
+    }
+}
+
+fn placement_lower_bound_for(state: &mla_graph::GraphState, pi0: &Permutation) -> u64 {
+    let (blocks, free) = state_blocks(state, pi0);
+    placement_lower_bound(pi0, &blocks, &free)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LopStrategy;
+    use mla_graph::RevealEvent;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ev(a: usize, b: usize) -> RevealEvent {
+        RevealEvent::new(Node::new(a), Node::new(b))
+    }
+
+    #[test]
+    fn lines_bounds_are_tight() {
+        let instance = Instance::new(Topology::Lines, 5, vec![ev(0, 2), ev(2, 4)]).unwrap();
+        let pi0 = Permutation::identity(5);
+        let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+        assert!(bounds.is_tight());
+        assert!(bounds.exact_lower);
+        let state = instance.final_state();
+        assert!(state.is_minla(&bounds.upper_perm));
+        assert_eq!(bounds.upper, pi0.kendall_distance(&bounds.upper_perm));
+    }
+
+    #[test]
+    fn clique_upper_perm_is_feasible_at_every_step() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let n = 10;
+            // Random merge order.
+            let mut events = Vec::new();
+            let mut state = mla_graph::GraphState::new(Topology::Cliques, n);
+            while state.component_count() > 1 {
+                let components = state.components();
+                let i = rng.gen_range(0..components.len());
+                let mut j = rng.gen_range(0..components.len());
+                while j == i {
+                    j = rng.gen_range(0..components.len());
+                }
+                let e = RevealEvent::new(components[i][0], components[j][0]);
+                state.apply(e).unwrap();
+                events.push(e);
+            }
+            let instance = Instance::new(Topology::Cliques, n, events).unwrap();
+            let pi0 = Permutation::random(n, &mut rng);
+            let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+            assert!(bounds.lower <= bounds.upper);
+            // Replay: upper_perm must be a MinLA of every intermediate G_i.
+            let mut replay = mla_graph::GraphState::new(Topology::Cliques, n);
+            assert!(replay.is_minla(&bounds.upper_perm));
+            for &e in instance.events() {
+                replay.apply(e).unwrap();
+                assert!(
+                    replay.is_minla(&bounds.upper_perm),
+                    "hierarchical layout infeasible mid-sequence"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance_has_zero_opt() {
+        let instance = Instance::new(Topology::Cliques, 4, vec![]).unwrap();
+        let pi0 = Permutation::from_indices(&[3, 1, 2, 0]).unwrap();
+        let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+        assert_eq!(bounds.lower, 0);
+        assert_eq!(bounds.upper, 0);
+        assert_eq!(bounds.upper_perm, pi0);
+    }
+
+    #[test]
+    fn heuristic_strategy_gives_valid_sandwich() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 12;
+        let mut events = Vec::new();
+        let mut state = mla_graph::GraphState::new(Topology::Cliques, n);
+        for _ in 0..6 {
+            let components = state.components();
+            let i = rng.gen_range(0..components.len());
+            let mut j = rng.gen_range(0..components.len());
+            while j == i {
+                j = rng.gen_range(0..components.len());
+            }
+            let e = RevealEvent::new(components[i][0], components[j][0]);
+            state.apply(e).unwrap();
+            events.push(e);
+        }
+        let instance = Instance::new(Topology::Cliques, n, events).unwrap();
+        let pi0 = Permutation::random(n, &mut rng);
+        let heuristic_config = LopConfig {
+            strategy: LopStrategy::Heuristic,
+            ..LopConfig::default()
+        };
+        let exact_config = LopConfig::default();
+        let heuristic = offline_optimum(&instance, &pi0, &heuristic_config).unwrap();
+        let exact = offline_optimum(&instance, &pi0, &exact_config).unwrap();
+        assert!(heuristic.lower <= exact.lower);
+        assert!(heuristic.upper >= exact.lower);
+        assert!(exact.exact_lower);
+        assert!(!heuristic.exact_lower);
+    }
+
+    #[test]
+    fn size_mismatch_error() {
+        let instance = Instance::new(Topology::Lines, 3, vec![]).unwrap();
+        let pi0 = Permutation::identity(4);
+        assert!(matches!(
+            offline_optimum(&instance, &pi0, &LopConfig::default()),
+            Err(OfflineError::SizeMismatch {
+                expected: 3,
+                actual: 4
+            })
+        ));
+    }
+}

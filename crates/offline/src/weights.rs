@@ -1,0 +1,210 @@
+//! Pairwise block weights for the linear ordering problem (LOP).
+//!
+//! Arranging component blocks side by side and minimizing the Kendall tau
+//! distance to a reference permutation `π0` reduces to a linear ordering
+//! problem over the blocks: placing block `i` before block `j` costs
+//! `w[i][j]` — the number of node pairs `(u ∈ B_i, v ∈ B_j)` that `π0`
+//! orders the other way (`v` left of `u`). The weights satisfy
+//! `w[i][j] + w[j][i] = |B_i| · |B_j|`.
+
+use mla_permutation::{cross_inversions_sorted, Node, Permutation};
+
+/// The LOP weight matrix for a set of blocks relative to a reference
+/// permutation.
+///
+/// # Examples
+///
+/// ```
+/// use mla_offline::BlockWeights;
+/// use mla_permutation::{Node, Permutation};
+///
+/// let pi0 = Permutation::identity(4);
+/// let blocks = vec![
+///     vec![Node::new(0), Node::new(3)],
+///     vec![Node::new(1), Node::new(2)],
+/// ];
+/// let weights = BlockWeights::from_blocks(&pi0, &blocks);
+/// // Block 0 before block 1 inverts (3,1) and (3,2).
+/// assert_eq!(weights.weight(0, 1), 2);
+/// assert_eq!(weights.weight(1, 0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockWeights {
+    /// `w[i][j]`: cost of placing block `i` anywhere before block `j`.
+    w: Vec<Vec<u64>>,
+    sizes: Vec<usize>,
+}
+
+impl BlockWeights {
+    /// Builds the weight matrix from block node lists and the reference
+    /// permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is out of range for `pi0`.
+    #[must_use]
+    pub fn from_blocks(pi0: &Permutation, blocks: &[Vec<Node>]) -> Self {
+        let sorted_positions: Vec<Vec<u32>> = blocks
+            .iter()
+            .map(|block| {
+                let mut positions: Vec<u32> =
+                    block.iter().map(|&v| pi0.position_of(v) as u32).collect();
+                positions.sort_unstable();
+                positions
+            })
+            .collect();
+        Self::from_sorted_positions(&sorted_positions)
+    }
+
+    /// Builds the weight matrix from pre-sorted `π0` position lists.
+    #[must_use]
+    pub fn from_sorted_positions(sorted_positions: &[Vec<u32>]) -> Self {
+        let b = sorted_positions.len();
+        let mut w = vec![vec![0u64; b]; b];
+        for i in 0..b {
+            for j in (i + 1)..b {
+                let ij = cross_inversions_sorted(&sorted_positions[i], &sorted_positions[j]);
+                let total = (sorted_positions[i].len() * sorted_positions[j].len()) as u64;
+                w[i][j] = ij;
+                w[j][i] = total - ij;
+            }
+        }
+        BlockWeights {
+            w,
+            sizes: sorted_positions.iter().map(Vec::len).collect(),
+        }
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of block `i`.
+    #[must_use]
+    pub fn size(&self, i: usize) -> usize {
+        self.sizes[i]
+    }
+
+    /// Cost of placing block `i` before block `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn weight(&self, i: usize, j: usize) -> u64 {
+        self.w[i][j]
+    }
+
+    /// Total cross cost of arranging the blocks in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..block_count()`.
+    #[must_use]
+    pub fn order_cost(&self, order: &[usize]) -> u64 {
+        assert_eq!(
+            order.len(),
+            self.block_count(),
+            "order must cover all blocks"
+        );
+        let mut cost = 0u64;
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                cost += self.w[order[i]][order[j]];
+            }
+        }
+        cost
+    }
+
+    /// A lower bound on the cross cost of any order of the blocks in `set`
+    /// (given as indices): `Σ_{i<j} min(w[i][j], w[j][i])`.
+    #[must_use]
+    pub fn unordered_lower_bound(&self, set: &[usize]) -> u64 {
+        let mut bound = 0u64;
+        for (a, &i) in set.iter().enumerate() {
+            for &j in &set[(a + 1)..] {
+                bound += self.w[i][j].min(self.w[j][i]);
+            }
+        }
+        bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(indices: &[usize]) -> Vec<Node> {
+        indices.iter().map(|&i| Node::new(i)).collect()
+    }
+
+    #[test]
+    fn weights_partition_pair_count() {
+        let pi0 = Permutation::from_indices(&[2, 0, 3, 1, 4]).unwrap();
+        let blocks = vec![nodes(&[0, 1]), nodes(&[2, 3]), nodes(&[4])];
+        let w = BlockWeights::from_blocks(&pi0, &blocks);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert_eq!(
+                        w.weight(i, j) + w.weight(j, i),
+                        (w.size(i) * w.size(j)) as u64
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_match_manual_count() {
+        // pi0 = identity(4); blocks {0,2} and {1,3}.
+        let pi0 = Permutation::identity(4);
+        let blocks = vec![nodes(&[0, 2]), nodes(&[1, 3])];
+        let w = BlockWeights::from_blocks(&pi0, &blocks);
+        // Block 0 before block 1: pairs (0,1),(0,3),(2,1),(2,3); inverted
+        // in pi0 only (2,1).
+        assert_eq!(w.weight(0, 1), 1);
+        assert_eq!(w.weight(1, 0), 3);
+    }
+
+    #[test]
+    fn order_cost_sums_pairwise() {
+        let pi0 = Permutation::identity(6);
+        let blocks = vec![nodes(&[4, 5]), nodes(&[2, 3]), nodes(&[0, 1])];
+        let w = BlockWeights::from_blocks(&pi0, &blocks);
+        // Natural order [2,1,0] restores identity: zero cost.
+        assert_eq!(w.order_cost(&[2, 1, 0]), 0);
+        // Fully reversed order pays every pair.
+        assert_eq!(w.order_cost(&[0, 1, 2]), 12);
+    }
+
+    #[test]
+    fn unordered_lower_bound_is_sound() {
+        let pi0 = Permutation::from_indices(&[3, 1, 4, 0, 2, 5]).unwrap();
+        let blocks = vec![nodes(&[0, 1]), nodes(&[2, 3]), nodes(&[4, 5])];
+        let w = BlockWeights::from_blocks(&pi0, &blocks);
+        let bound = w.unordered_lower_bound(&[0, 1, 2]);
+        // Every order must cost at least the bound.
+        for order in [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            assert!(w.order_cost(&order) >= bound);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover all blocks")]
+    fn order_cost_validates_length() {
+        let pi0 = Permutation::identity(2);
+        let blocks = vec![nodes(&[0]), nodes(&[1])];
+        let w = BlockWeights::from_blocks(&pi0, &blocks);
+        let _ = w.order_cost(&[0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! The [`Node`] identifier newtype.
+//!
+//! Nodes of the revealed graph are dense integer identifiers `0..n`. A
+//! dedicated newtype keeps node identifiers from being confused with
+//! *positions* in a permutation (plain `usize`), which is the single most
+//! common class of bug in linear-arrangement code.
+
+use std::fmt;
+
+/// Identifier of a graph node.
+///
+/// Node identifiers are dense: an instance on `n` nodes uses exactly the
+/// identifiers `Node(0), …, Node(n - 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use mla_permutation::Node;
+///
+/// let v = Node::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "v3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Node(u32);
+
+impl Node {
+    /// Creates a node identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Node(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node, usable for slice indexing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mla_permutation::Node;
+    /// let sizes = [10usize, 20, 30];
+    /// assert_eq!(sizes[Node::new(1).index()], 20);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` representation.
+    #[inline]
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for Node {
+    #[inline]
+    fn from(value: u32) -> Self {
+        Node(value)
+    }
+}
+
+impl From<Node> for u32 {
+    #[inline]
+    fn from(value: Node) -> Self {
+        value.0
+    }
+}
+
+impl From<Node> for usize {
+    #[inline]
+    fn from(value: Node) -> Self {
+        value.index()
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Returns the vector of all `n` node identifiers in index order.
+///
+/// # Examples
+///
+/// ```
+/// use mla_permutation::{all_nodes, Node};
+/// assert_eq!(all_nodes(3), vec![Node::new(0), Node::new(1), Node::new(2)]);
+/// ```
+#[must_use]
+pub fn all_nodes(n: usize) -> Vec<Node> {
+    (0..n).map(Node::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in [0usize, 1, 7, 1000, u32::MAX as usize] {
+            assert_eq!(Node::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn new_rejects_oversized_index() {
+        let _ = Node::new(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn conversions() {
+        let v = Node::from(5u32);
+        assert_eq!(u32::from(v), 5);
+        assert_eq!(usize::from(v), 5);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Node::new(2)), "v2");
+        assert_eq!(format!("{:?}", Node::new(2)), "v2");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Node::new(1) < Node::new(2));
+        assert_eq!(Node::new(3), Node::new(3));
+    }
+
+    #[test]
+    fn all_nodes_is_dense() {
+        let nodes = all_nodes(4);
+        assert_eq!(nodes.len(), 4);
+        for (i, v) in nodes.iter().enumerate() {
+            assert_eq!(v.index(), i);
+        }
+        assert!(all_nodes(0).is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Pair-set (`L_π`) utilities.
+//!
+//! The paper's analysis is phrased in terms of the set `L_π` of ordered node
+//! pairs `(x, y)` with `x` left of `y` in the permutation `π`. This module
+//! provides the counting primitives used to evaluate the closed-form
+//! probabilities of Lemma 3 and Lemma 10 and the `|L_{π0} \ L_{πOpt}|`
+//! potential that lower-bounds the offline optimum (Observation 7):
+//!
+//! * [`concordant_pairs`] — `|X × Y ∩ L_π|`: pairs with the `X` node left of
+//!   the `Y` node;
+//! * [`pair_set_difference`] — `|L_a \ L_b|`, which equals the Kendall tau
+//!   distance;
+//! * [`internal_concordant_pairs`] — `|L_→T ∩ L_π|` for an oriented block.
+
+use crate::inversions::cross_inversions_sorted;
+use crate::node::Node;
+use crate::perm::Permutation;
+
+/// Counts pairs `(x, y) ∈ X × Y` such that `x` is left of `y` in `pi` —
+/// the quantity `|X × Y ∩ L_π|` from Lemma 3 of the paper.
+///
+/// `X` and `Y` must be disjoint node sets; this is not checked (shared nodes
+/// are counted according to position comparisons, with a node never counted
+/// against itself).
+///
+/// Runs in `O((|X| + |Y|) log(|X| + |Y|))`.
+///
+/// # Examples
+///
+/// ```
+/// use mla_permutation::{concordant_pairs, Node, Permutation};
+///
+/// let pi = Permutation::from_indices(&[0, 2, 1, 3]).unwrap();
+/// let x = [Node::new(0), Node::new(1)];
+/// let y = [Node::new(2), Node::new(3)];
+/// // (0,2), (0,3), (1,3) are concordant; (1,2) is not.
+/// assert_eq!(concordant_pairs(&pi, &x, &y), 3);
+/// ```
+#[must_use]
+pub fn concordant_pairs(pi: &Permutation, x: &[Node], y: &[Node]) -> u64 {
+    let mut x_pos: Vec<u32> = x.iter().map(|&v| pi.position_of(v) as u32).collect();
+    let mut y_pos: Vec<u32> = y.iter().map(|&v| pi.position_of(v) as u32).collect();
+    x_pos.sort_unstable();
+    y_pos.sort_unstable();
+    // Total pairs minus pairs where the X node is right of the Y node.
+    let total = (x.len() as u64) * (y.len() as u64);
+    total - cross_inversions_sorted(&x_pos, &y_pos)
+}
+
+/// Counts `|L_a \ L_b|`: ordered pairs that are left-to-right in `a` but not
+/// in `b`. For permutations over the same node set this equals the Kendall
+/// tau distance `d(a, b)`; the function exists to make analysis code read
+/// like the paper.
+///
+/// # Panics
+///
+/// Panics if the permutations have different lengths.
+#[must_use]
+pub fn pair_set_difference(a: &Permutation, b: &Permutation) -> u64 {
+    a.kendall_distance(b)
+}
+
+/// Counts pairs `(t, t')` of nodes of the block `oriented` (given in a fixed
+/// orientation order) such that `t` precedes `t'` in the orientation **and**
+/// `t` is left of `t'` in `pi` — the quantity `|L_→T ∩ L_π|` from Lemma 10.
+///
+/// Runs in `O(m log m)` for a block of `m` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use mla_permutation::{internal_concordant_pairs, Node, Permutation};
+///
+/// let pi = Permutation::from_indices(&[2, 0, 1]).unwrap();
+/// let orientation = [Node::new(0), Node::new(1), Node::new(2)];
+/// // Orientation pairs: (0,1), (0,2), (1,2). In pi only (0,1) agrees.
+/// assert_eq!(internal_concordant_pairs(&pi, &orientation), 1);
+/// ```
+#[must_use]
+pub fn internal_concordant_pairs(pi: &Permutation, oriented: &[Node]) -> u64 {
+    let positions: Vec<u32> = oriented.iter().map(|&v| pi.position_of(v) as u32).collect();
+    let m = positions.len() as u64;
+    let total = m * m.saturating_sub(1) / 2;
+    total - crate::inversions::count_inversions(&positions)
+}
+
+/// Enumerates `L_π` as ordered pairs, leftmost-first. Quadratic; intended
+/// for tests and tiny instances only.
+#[must_use]
+pub fn left_pairs(pi: &Permutation) -> Vec<(Node, Node)> {
+    let nodes = pi.as_nodes();
+    let mut pairs = Vec::with_capacity(nodes.len() * nodes.len().saturating_sub(1) / 2);
+    for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            pairs.push((nodes[i], nodes[j]));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perm(indices: &[usize]) -> Permutation {
+        Permutation::from_indices(indices).unwrap()
+    }
+
+    fn nodes(indices: &[usize]) -> Vec<Node> {
+        indices.iter().map(|&i| Node::new(i)).collect()
+    }
+
+    #[test]
+    fn concordant_pairs_extremes() {
+        let pi = perm(&[0, 1, 2, 3, 4, 5]);
+        let x = nodes(&[0, 1, 2]);
+        let y = nodes(&[3, 4, 5]);
+        assert_eq!(concordant_pairs(&pi, &x, &y), 9);
+        assert_eq!(concordant_pairs(&pi, &y, &x), 0);
+    }
+
+    #[test]
+    fn concordant_pairs_interleaved() {
+        let pi = perm(&[0, 3, 1, 4, 2, 5]);
+        let x = nodes(&[0, 1, 2]);
+        let y = nodes(&[3, 4, 5]);
+        // Naive count.
+        let mut naive = 0;
+        for &a in &x {
+            for &b in &y {
+                if pi.is_left_of(a, b) {
+                    naive += 1;
+                }
+            }
+        }
+        assert_eq!(concordant_pairs(&pi, &x, &y), naive);
+        assert_eq!(
+            concordant_pairs(&pi, &x, &y) + concordant_pairs(&pi, &y, &x),
+            9
+        );
+    }
+
+    #[test]
+    fn concordant_pairs_empty_sets() {
+        let pi = perm(&[0, 1]);
+        assert_eq!(concordant_pairs(&pi, &[], &nodes(&[0])), 0);
+        assert_eq!(concordant_pairs(&pi, &nodes(&[0]), &[]), 0);
+    }
+
+    #[test]
+    fn pair_set_difference_is_distance() {
+        let a = perm(&[0, 1, 2, 3]);
+        let b = perm(&[1, 3, 0, 2]);
+        assert_eq!(pair_set_difference(&a, &b), a.kendall_distance(&b));
+    }
+
+    #[test]
+    fn internal_concordant_extremes() {
+        let pi = perm(&[0, 1, 2, 3]);
+        let fwd = nodes(&[0, 1, 2, 3]);
+        let rev = nodes(&[3, 2, 1, 0]);
+        assert_eq!(internal_concordant_pairs(&pi, &fwd), 6);
+        assert_eq!(internal_concordant_pairs(&pi, &rev), 0);
+    }
+
+    #[test]
+    fn internal_concordant_complement() {
+        // For any orientation, forward + reversed counts = C(m, 2).
+        let pi = perm(&[4, 0, 3, 1, 2]);
+        let fwd = nodes(&[1, 3, 0, 4]);
+        let rev: Vec<Node> = fwd.iter().rev().copied().collect();
+        let m = fwd.len() as u64;
+        assert_eq!(
+            internal_concordant_pairs(&pi, &fwd) + internal_concordant_pairs(&pi, &rev),
+            m * (m - 1) / 2
+        );
+    }
+
+    #[test]
+    fn left_pairs_enumeration() {
+        let pi = perm(&[1, 0, 2]);
+        let pairs = left_pairs(&pi);
+        assert_eq!(
+            pairs,
+            vec![
+                (Node::new(1), Node::new(0)),
+                (Node::new(1), Node::new(2)),
+                (Node::new(0), Node::new(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn distance_equals_left_pair_disagreements() {
+        // |L_a \ L_b| computed naively equals kendall distance.
+        let a = perm(&[2, 0, 3, 1]);
+        let b = perm(&[0, 1, 2, 3]);
+        let la = left_pairs(&a);
+        let mut disagreements = 0u64;
+        for (x, y) in la {
+            if !b.is_left_of(x, y) {
+                disagreements += 1;
+            }
+        }
+        assert_eq!(disagreements, a.kendall_distance(&b));
+    }
+}

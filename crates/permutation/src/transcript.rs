@@ -1,0 +1,240 @@
+//! Explicit adjacent-swap transcripts.
+//!
+//! The cost model counts *adjacent transpositions*, and the block
+//! operations on [`Permutation`] report their cost as closed-form counts.
+//! This module makes those counts **executable**: it generates the actual
+//! sequence of adjacent swaps realizing a block move, block reversal or
+//! block swap, so tests (and skeptical users) can replay them one by one
+//! and confirm that
+//!
+//! 1. the sequence length equals the reported cost, and
+//! 2. replaying the sequence reproduces the block operation exactly.
+
+use crate::perm::Permutation;
+
+/// A sequence of adjacent transpositions; entry `p` means "swap positions
+/// `p` and `p + 1`".
+///
+/// # Examples
+///
+/// ```
+/// use mla_permutation::{Permutation, SwapTranscript};
+///
+/// let mut perm = Permutation::identity(4);
+/// let transcript = SwapTranscript::for_block_move(0..2, 2, 4);
+/// assert_eq!(transcript.len(), 4); // 2 nodes × 2 crossed positions
+/// transcript.apply(&mut perm);
+/// assert_eq!(perm.to_index_vec(), vec![2, 3, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SwapTranscript {
+    swaps: Vec<usize>,
+}
+
+impl SwapTranscript {
+    /// The empty transcript.
+    #[must_use]
+    pub fn new() -> Self {
+        SwapTranscript::default()
+    }
+
+    /// Number of adjacent swaps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.swaps.len()
+    }
+
+    /// Returns `true` if no swaps are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.swaps.is_empty()
+    }
+
+    /// The recorded swap positions.
+    #[must_use]
+    pub fn swaps(&self) -> &[usize] {
+        &self.swaps
+    }
+
+    /// Applies the transcript to a permutation, one adjacent swap at a
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a swap position is out of bounds for `perm`.
+    pub fn apply(&self, perm: &mut Permutation) {
+        for &position in &self.swaps {
+            perm.swap_adjacent(position);
+        }
+    }
+
+    /// The transcript realizing
+    /// [`Permutation::move_block`]`(src, dest)` on a permutation of `n`
+    /// nodes: bubble the block one position at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation would be out of bounds.
+    #[must_use]
+    pub fn for_block_move(src: std::ops::Range<usize>, dest: usize, n: usize) -> Self {
+        assert!(src.end <= n, "block {src:?} out of bounds for length {n}");
+        let len = src.len();
+        assert!(dest + len <= n, "destination {dest} out of bounds");
+        let mut swaps = Vec::new();
+        if len == 0 {
+            return SwapTranscript { swaps };
+        }
+        if dest > src.start {
+            // Move right: repeatedly swap the element just after the block
+            // across the whole block (equivalently, bubble the block right
+            // one slot per round).
+            for shift in 0..(dest - src.start) {
+                let block_start = src.start + shift;
+                // The foreign element sits at block_start + len; walk it
+                // left across the block.
+                for p in (block_start..block_start + len).rev() {
+                    swaps.push(p);
+                }
+            }
+        } else {
+            // Move left symmetrically.
+            for shift in 0..(src.start - dest) {
+                let block_start = src.start - shift;
+                // Foreign element at block_start - 1 walks right across.
+                for p in (block_start - 1)..(block_start - 1 + len) {
+                    swaps.push(p);
+                }
+            }
+        }
+        SwapTranscript { swaps }
+    }
+
+    /// The transcript realizing [`Permutation::reverse_block`]`(range)`:
+    /// selection-style bubbling, `C(len, 2)` swaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn for_block_reverse(range: std::ops::Range<usize>, n: usize) -> Self {
+        assert!(
+            range.end <= n,
+            "block {range:?} out of bounds for length {n}"
+        );
+        let mut swaps = Vec::new();
+        // For i from range.start..range.end, bubble the element currently
+        // at range.end-1 left to position i: reverses the block in
+        // C(len, 2) adjacent swaps.
+        for i in range.clone() {
+            for p in (i..range.end - 1).rev() {
+                swaps.push(p);
+            }
+        }
+        SwapTranscript { swaps }
+    }
+
+    /// The transcript realizing
+    /// [`Permutation::swap_adjacent_blocks`]`(left, right)`:
+    /// `|left| × |right|` swaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks are not adjacent or out of bounds.
+    #[must_use]
+    pub fn for_block_swap(
+        left: std::ops::Range<usize>,
+        right: std::ops::Range<usize>,
+        n: usize,
+    ) -> Self {
+        assert_eq!(left.end, right.start, "blocks must be adjacent");
+        assert!(right.end <= n, "blocks out of bounds for length {n}");
+        // Swapping two adjacent blocks = moving the left block right by
+        // |right| positions.
+        Self::for_block_move(left.clone(), left.start + right.len(), n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn block_move_transcript_matches_operation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..14);
+            let base = Permutation::random(n, &mut rng);
+            let start = rng.gen_range(0..n);
+            let end = rng.gen_range(start..=n);
+            let len = end - start;
+            let dest = rng.gen_range(0..=n - len);
+
+            let mut direct = base.clone();
+            let cost = direct.move_block(start..end, dest);
+
+            let transcript = SwapTranscript::for_block_move(start..end, dest, n);
+            let mut replayed = base.clone();
+            transcript.apply(&mut replayed);
+
+            assert_eq!(transcript.len() as u64, cost, "length must equal cost");
+            assert_eq!(replayed, direct, "replay must reproduce the operation");
+        }
+    }
+
+    #[test]
+    fn block_reverse_transcript_matches_operation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..14);
+            let base = Permutation::random(n, &mut rng);
+            let start = rng.gen_range(0..n);
+            let end = rng.gen_range(start..=n);
+
+            let mut direct = base.clone();
+            let cost = direct.reverse_block(start..end);
+
+            let transcript = SwapTranscript::for_block_reverse(start..end, n);
+            let mut replayed = base.clone();
+            transcript.apply(&mut replayed);
+
+            assert_eq!(transcript.len() as u64, cost);
+            assert_eq!(replayed, direct);
+        }
+    }
+
+    #[test]
+    fn block_swap_transcript_matches_operation() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..60 {
+            let n = rng.gen_range(2..14);
+            let base = Permutation::random(n, &mut rng);
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(a..=n);
+            let c = rng.gen_range(b..=n);
+            if a == b || b == c {
+                continue;
+            }
+            let mut direct = base.clone();
+            let cost = direct.swap_adjacent_blocks(a..b, b..c);
+
+            let transcript = SwapTranscript::for_block_swap(a..b, b..c, n);
+            let mut replayed = base.clone();
+            transcript.apply(&mut replayed);
+
+            assert_eq!(transcript.len() as u64, cost);
+            assert_eq!(replayed, direct);
+        }
+    }
+
+    #[test]
+    fn empty_and_identity_transcripts() {
+        let transcript = SwapTranscript::for_block_move(1..1, 0, 3);
+        assert!(transcript.is_empty());
+        let transcript = SwapTranscript::for_block_move(0..2, 0, 3);
+        assert!(transcript.is_empty());
+        assert!(SwapTranscript::new().is_empty());
+        assert_eq!(SwapTranscript::new().swaps(), &[] as &[usize]);
+    }
+}

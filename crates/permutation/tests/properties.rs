@@ -1,0 +1,185 @@
+//! Property-based tests for the permutation substrate.
+//!
+//! These pin down the algebraic facts the rest of the workspace (and the
+//! paper's analysis) relies on: Kendall tau is a metric, block operations
+//! cost exactly their Kendall delta, and the fast counters agree with
+//! quadratic reference implementations.
+
+use mla_permutation::{
+    concordant_pairs, count_inversions, count_inversions_naive, internal_concordant_pairs,
+    left_pairs, Node, Permutation,
+};
+use proptest::prelude::*;
+
+/// Strategy: a permutation of `n` nodes encoded as a shuffled index vector.
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            indices.swap(i, j);
+        }
+        Permutation::from_indices(&indices).expect("shuffle produces a valid permutation")
+    })
+}
+
+fn sized_permutation() -> impl Strategy<Value = Permutation> {
+    (1usize..40).prop_flat_map(permutation)
+}
+
+proptest! {
+    #[test]
+    fn inversion_counter_matches_naive(seq in proptest::collection::vec(0u32..64, 0..128)) {
+        prop_assert_eq!(count_inversions(&seq), count_inversions_naive(&seq));
+    }
+
+    #[test]
+    fn kendall_is_a_metric((a, b, c) in (1usize..24).prop_flat_map(|n| {
+        (permutation(n), permutation(n), permutation(n))
+    })) {
+        let dab = a.kendall_distance(&b);
+        let dba = b.kendall_distance(&a);
+        let dac = a.kendall_distance(&c);
+        let dcb = c.kendall_distance(&b);
+        // Identity of indiscernibles.
+        prop_assert_eq!(a.kendall_distance(&a), 0);
+        prop_assert_eq!(dab == 0, a == b);
+        // Symmetry.
+        prop_assert_eq!(dab, dba);
+        // Triangle inequality.
+        prop_assert!(dab <= dac + dcb);
+    }
+
+    #[test]
+    fn kendall_equals_pairwise_disagreements((a, b) in (1usize..16).prop_flat_map(|n| {
+        (permutation(n), permutation(n))
+    })) {
+        let mut disagreements = 0u64;
+        for (x, y) in left_pairs(&a) {
+            if !b.is_left_of(x, y) {
+                disagreements += 1;
+            }
+        }
+        prop_assert_eq!(disagreements, a.kendall_distance(&b));
+    }
+
+    #[test]
+    fn move_block_cost_is_kendall_delta(
+        (before, start, len_frac, dest_frac) in sized_permutation()
+            .prop_flat_map(|p| {
+                let n = p.len();
+                (Just(p), 0..n, any::<f64>(), any::<f64>())
+            })
+    ) {
+        let n = before.len();
+        let max_len = n - start;
+        let len = ((len_frac.abs() % 1.0) * (max_len as f64 + 1.0)) as usize;
+        let len = len.min(max_len);
+        let dest = ((dest_frac.abs() % 1.0) * ((n - len) as f64 + 1.0)) as usize;
+        let dest = dest.min(n - len);
+        let mut after = before.clone();
+        let cost = after.move_block(start..start + len, dest);
+        prop_assert_eq!(cost, before.kendall_distance(&after));
+        prop_assert!(after.check_consistent());
+    }
+
+    #[test]
+    fn reverse_block_cost_is_kendall_delta(
+        (before, start, end) in sized_permutation().prop_flat_map(|p| {
+            let n = p.len();
+            (Just(p), 0..=n, 0..=n)
+        })
+    ) {
+        let (lo, hi) = if start <= end { (start, end) } else { (end, start) };
+        let mut after = before.clone();
+        let cost = after.reverse_block(lo..hi);
+        prop_assert_eq!(cost, before.kendall_distance(&after));
+        prop_assert!(after.check_consistent());
+    }
+
+    #[test]
+    fn block_ops_preserve_permutation_property(p in sized_permutation()) {
+        let n = p.len();
+        let mut q = p.clone();
+        let mid = n / 2;
+        q.reverse_block(0..mid);
+        let _ = q.move_block(0..mid, n - mid);
+        prop_assert!(q.check_consistent());
+        // Every node appears exactly once.
+        let mut seen = vec![false; n];
+        for &v in q.as_nodes() {
+            prop_assert!(!seen[v.index()]);
+            seen[v.index()] = true;
+        }
+    }
+
+    #[test]
+    fn concordant_pairs_partition(p in permutation(12)) {
+        // For disjoint X, Y: concordant(X, Y) + concordant(Y, X) = |X||Y|.
+        let x: Vec<Node> = (0..5).map(Node::new).collect();
+        let y: Vec<Node> = (5..12).map(Node::new).collect();
+        let fwd = concordant_pairs(&p, &x, &y);
+        let bwd = concordant_pairs(&p, &y, &x);
+        prop_assert_eq!(fwd + bwd, (x.len() * y.len()) as u64);
+    }
+
+    #[test]
+    fn internal_concordant_partition(p in permutation(10)) {
+        let fwd: Vec<Node> = (0..10).map(Node::new).collect();
+        let rev: Vec<Node> = fwd.iter().rev().copied().collect();
+        let m = fwd.len() as u64;
+        prop_assert_eq!(
+            internal_concordant_pairs(&p, &fwd) + internal_concordant_pairs(&p, &rev),
+            m * (m - 1) / 2
+        );
+    }
+
+    #[test]
+    fn inverse_composition_identity(p in sized_permutation()) {
+        let inv = p.inverse();
+        // node i sits at position p_pos(i); in the inverse, the node at
+        // position i is the node whose position in p is i.
+        for pos in 0..p.len() {
+            let node = p.node_at(pos);
+            prop_assert_eq!(inv.node_at(node.index()).index(), pos);
+        }
+    }
+
+    #[test]
+    fn swap_adjacent_changes_distance_by_one(p in (2usize..30).prop_flat_map(permutation)) {
+        let mut q = p.clone();
+        let pos = p.len() / 2 - 1;
+        q.swap_adjacent(pos);
+        prop_assert_eq!(p.kendall_distance(&q), 1);
+    }
+}
+
+proptest! {
+    #[test]
+    fn composition_group_laws((a, b, c) in (1usize..20).prop_flat_map(|n| {
+        (permutation(n), permutation(n), permutation(n))
+    })) {
+        let n = a.len();
+        let identity = Permutation::identity(n);
+        // Identity element.
+        prop_assert_eq!(a.compose(&identity), a.clone());
+        prop_assert_eq!(identity.compose(&a), a.clone());
+        prop_assert!(identity.is_identity());
+        // Inverses.
+        prop_assert!(a.compose(&a.inverse()).is_identity());
+        prop_assert!(a.inverse().compose(&a).is_identity());
+        // Associativity.
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn kendall_is_right_invariant((a, b, g) in (1usize..20).prop_flat_map(|n| {
+        (permutation(n), permutation(n), permutation(n))
+    })) {
+        // Kendall tau is invariant under relabeling both arrangements by
+        // the same permutation.
+        let da = a.kendall_distance(&b);
+        let db = a.compose(&g).kendall_distance(&b.compose(&g));
+        prop_assert_eq!(da, db);
+    }
+}

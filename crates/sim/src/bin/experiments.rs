@@ -1,0 +1,126 @@
+//! `mla-experiments`: run the experiment suite reproducing every theorem,
+//! lemma and figure of *Learning Minimum Linear Arrangement of Cliques and
+//! Lines* (ICDCS 2024).
+//!
+//! ```text
+//! mla-experiments [--full | --tiny] [--seed N] [--csv DIR] [ID...]
+//!
+//!   --full     minutes-scale runs (the EXPERIMENTS.md numbers)
+//!   --tiny     sub-second smoke runs
+//!   --seed N   base seed (default 42)
+//!   --csv DIR  also write each table as CSV into DIR
+//!   ID...      experiment ids to run (default: all); see --list
+//!   --list     print the experiment index and exit
+//! ```
+
+use std::io::Write as _;
+
+use mla_sim::{all_experiments, find_experiment, Experiment, ExperimentContext, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut seed = 42u64;
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--tiny" => scale = Scale::Tiny,
+            "--quick" => scale = Scale::Quick,
+            "--list" => list = true,
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed requires an integer"));
+            }
+            "--csv" => {
+                csv_dir = Some(
+                    iter.next()
+                        .unwrap_or_else(|| die("--csv requires a directory")),
+                );
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            id => ids.push(id.to_owned()),
+        }
+    }
+
+    if list {
+        println!("{:<7} {:<28} title", "id", "reproduces");
+        for experiment in all_experiments() {
+            println!(
+                "{:<7} {:<28} {}",
+                experiment.id(),
+                experiment.paper_ref(),
+                experiment.title()
+            );
+        }
+        return;
+    }
+
+    let experiments: Vec<Box<dyn Experiment>> = if ids.is_empty() {
+        all_experiments()
+    } else {
+        ids.iter()
+            .map(|id| {
+                find_experiment(id).unwrap_or_else(|| die(&format!("unknown experiment {id}")))
+            })
+            .collect()
+    };
+
+    let ctx = ExperimentContext { scale, seed };
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
+    }
+    println!(
+        "running {} experiment(s) at scale {:?}, seed {}",
+        experiments.len(),
+        scale,
+        seed
+    );
+    for experiment in experiments {
+        println!();
+        println!(
+            "### {} — {} (reproduces {})",
+            experiment.id(),
+            experiment.title(),
+            experiment.paper_ref()
+        );
+        let start = std::time::Instant::now();
+        let tables = experiment.run(&ctx);
+        for (index, table) in tables.iter().enumerate() {
+            println!();
+            print!("{}", table.render());
+            if let Some(dir) = &csv_dir {
+                let path = format!(
+                    "{dir}/{}-{index}.csv",
+                    experiment.id().to_lowercase().replace(' ', "-")
+                );
+                let mut file = std::fs::File::create(&path)
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                file.write_all(table.to_csv().as_bytes())
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            }
+        }
+        println!("[{} finished in {:.2?}]", experiment.id(), start.elapsed());
+    }
+}
+
+fn print_help() {
+    println!(
+        "mla-experiments [--full | --tiny] [--seed N] [--csv DIR] [--list] [ID...]\n\
+         Runs the experiment suite; default scale is --quick. See DESIGN.md for the index."
+    );
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

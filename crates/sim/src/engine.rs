@@ -1,0 +1,261 @@
+//! The simulation engine: drives an adversary against an online algorithm.
+
+use mla_adversary::{Adversary, Oblivious};
+use mla_core::{OnlineMinla, UpdateReport};
+use mla_graph::{GraphState, Instance, RevealEvent};
+use mla_permutation::Permutation;
+
+use crate::error::SimError;
+
+/// Outcome of one complete run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Sum of all update costs.
+    pub total_cost: u64,
+    /// Sum of the moving parts.
+    pub moving_cost: u64,
+    /// Sum of the rearranging parts.
+    pub rearranging_cost: u64,
+    /// Per-reveal cost reports, in reveal order.
+    pub per_event: Vec<UpdateReport>,
+    /// The reveals served (useful for adaptive adversaries, whose sequence
+    /// is only known after the run).
+    pub events: Vec<RevealEvent>,
+    /// The algorithm's final permutation.
+    pub final_perm: Permutation,
+}
+
+impl RunOutcome {
+    /// The served reveals as a validated [`Instance`] (for offline
+    /// post-analysis of adaptive runs).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for outcomes produced by [`Simulation::run`]; the
+    /// events were already validated during the run.
+    #[must_use]
+    pub fn to_instance(&self, topology: mla_graph::Topology, n: usize) -> Instance {
+        Instance::new(topology, n, self.events.clone()).expect("served events replay cleanly")
+    }
+}
+
+/// Drives one online algorithm through one request sequence.
+///
+/// # Examples
+///
+/// ```
+/// use mla_adversary::{random_clique_instance, MergeShape};
+/// use mla_core::RandCliques;
+/// use mla_permutation::Permutation;
+/// use mla_sim::Simulation;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let instance = random_clique_instance(8, MergeShape::Uniform, &mut rng);
+/// let alg = RandCliques::new(Permutation::identity(8), SmallRng::seed_from_u64(2));
+/// let outcome = Simulation::new(instance, alg)
+///     .check_feasibility(true)
+///     .run()
+///     .expect("valid run");
+/// assert_eq!(outcome.per_event.len(), 7);
+/// ```
+pub struct Simulation<A> {
+    adversary: Box<dyn Adversary>,
+    algorithm: A,
+    check_feasibility: bool,
+}
+
+impl<A> std::fmt::Debug for Simulation<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.adversary.n())
+            .field("topology", &self.adversary.topology())
+            .field("check_feasibility", &self.check_feasibility)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: OnlineMinla> Simulation<A> {
+    /// A simulation of an oblivious (pre-validated) instance.
+    #[must_use]
+    pub fn new(instance: Instance, algorithm: A) -> Self {
+        Simulation {
+            adversary: Box::new(Oblivious::new(instance)),
+            algorithm,
+            check_feasibility: false,
+        }
+    }
+
+    /// A simulation driven by an arbitrary (possibly adaptive) adversary.
+    #[must_use]
+    pub fn with_adversary(adversary: Box<dyn Adversary>, algorithm: A) -> Self {
+        Simulation {
+            adversary,
+            algorithm,
+            check_feasibility: false,
+        }
+    }
+
+    /// Enables verification that the algorithm's permutation is a MinLA of
+    /// the revealed graph after every reveal (`O(n)` per reveal).
+    #[must_use]
+    pub fn check_feasibility(mut self, on: bool) -> Self {
+        self.check_feasibility = on;
+        self
+    }
+
+    /// Runs the sequence to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::SizeMismatch`] if the algorithm's permutation does not
+    ///   cover the adversary's node count;
+    /// * [`SimError::Graph`] if the adversary emits an invalid reveal;
+    /// * [`SimError::FeasibilityViolation`] if checking is enabled and the
+    ///   algorithm breaks the MinLA invariant.
+    pub fn run(mut self) -> Result<RunOutcome, SimError> {
+        let n = self.adversary.n();
+        if self.algorithm.permutation().len() != n {
+            return Err(SimError::SizeMismatch {
+                expected: n,
+                actual: self.algorithm.permutation().len(),
+            });
+        }
+        let mut state = GraphState::new(self.adversary.topology(), n);
+        let mut per_event = Vec::new();
+        let mut events = Vec::new();
+        let mut moving_cost = 0u64;
+        let mut rearranging_cost = 0u64;
+        while let Some(event) = self.adversary.next(self.algorithm.permutation(), &state) {
+            let info = state.apply(event)?;
+            let report = self.algorithm.serve(event, &info, &state);
+            if self.check_feasibility && !state.is_minla(self.algorithm.permutation()) {
+                return Err(SimError::FeasibilityViolation {
+                    step: per_event.len() + 1,
+                    algorithm: self.algorithm.name().to_owned(),
+                });
+            }
+            moving_cost += report.moving_cost;
+            rearranging_cost += report.rearranging_cost;
+            per_event.push(report);
+            events.push(event);
+        }
+        Ok(RunOutcome {
+            total_cost: moving_cost + rearranging_cost,
+            moving_cost,
+            rearranging_cost,
+            per_event,
+            events,
+            final_perm: self.algorithm.permutation().clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_adversary::{random_line_instance, DetLineAdversary, MergeShape};
+    use mla_core::{DetClosest, RandCliques, RandLines};
+    use mla_graph::Topology;
+    use mla_offline::LopConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn oblivious_run_accumulates_costs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let instance = random_line_instance(10, MergeShape::Uniform, &mut rng);
+        let alg = RandLines::new(Permutation::identity(10), SmallRng::seed_from_u64(4));
+        let outcome = Simulation::new(instance, alg)
+            .check_feasibility(true)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.per_event.len(), 9);
+        assert_eq!(
+            outcome.total_cost,
+            outcome.moving_cost + outcome.rearranging_cost
+        );
+        let per_event_total: u64 = outcome.per_event.iter().map(UpdateReport::total).sum();
+        assert_eq!(outcome.total_cost, per_event_total);
+    }
+
+    #[test]
+    fn total_cost_bounds_distance_from_start() {
+        // The sum of per-update distances upper-bounds the end-to-end
+        // Kendall distance (triangle inequality).
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pi0 = Permutation::random(12, &mut rng);
+        let instance = random_line_instance(12, MergeShape::Sequential, &mut rng);
+        let alg = RandLines::new(pi0.clone(), SmallRng::seed_from_u64(6));
+        let outcome = Simulation::new(instance, alg).run().unwrap();
+        assert!(pi0.kendall_distance(&outcome.final_perm) <= outcome.total_cost);
+    }
+
+    #[test]
+    fn adaptive_adversary_records_events() {
+        let pi0 = Permutation::identity(9);
+        let adversary = DetLineAdversary::new(pi0.clone(), Topology::Lines);
+        let alg = DetClosest::new(pi0, LopConfig::default());
+        let outcome = Simulation::with_adversary(Box::new(adversary), alg)
+            .check_feasibility(true)
+            .run()
+            .unwrap();
+        // n - 2 = 7 reveals (everything except the pivot merges).
+        assert_eq!(outcome.events.len(), 7);
+        let instance = outcome.to_instance(Topology::Lines, 9);
+        assert_eq!(instance.len(), 7);
+    }
+
+    #[test]
+    fn size_mismatch_is_reported() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let instance = random_line_instance(5, MergeShape::Uniform, &mut rng);
+        let alg = RandCliques::new(Permutation::identity(6), SmallRng::seed_from_u64(8));
+        assert_eq!(
+            Simulation::new(instance, alg).run().unwrap_err(),
+            SimError::SizeMismatch {
+                expected: 5,
+                actual: 6
+            }
+        );
+    }
+
+    #[test]
+    fn feasibility_violation_is_caught() {
+        // A deliberately broken "algorithm" that never moves.
+        struct Lazy(Permutation);
+        impl OnlineMinla for Lazy {
+            fn name(&self) -> &str {
+                "lazy"
+            }
+            fn permutation(&self) -> &Permutation {
+                &self.0
+            }
+            fn serve(
+                &mut self,
+                _: RevealEvent,
+                _: &mla_graph::MergeInfo,
+                _: &GraphState,
+            ) -> UpdateReport {
+                UpdateReport::default()
+            }
+        }
+        let instance = Instance::new(
+            Topology::Cliques,
+            4,
+            vec![RevealEvent::new(
+                mla_permutation::Node::new(0),
+                mla_permutation::Node::new(2),
+            )],
+        )
+        .unwrap();
+        let outcome = Simulation::new(instance, Lazy(Permutation::identity(4)))
+            .check_feasibility(true)
+            .run();
+        assert!(matches!(
+            outcome,
+            Err(SimError::FeasibilityViolation { step: 1, .. })
+        ));
+    }
+}

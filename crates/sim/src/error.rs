@@ -1,0 +1,90 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use mla_graph::GraphError;
+
+/// Error produced while driving a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The adversary emitted an invalid reveal.
+    Graph(GraphError),
+    /// The algorithm's permutation was not a MinLA of the revealed graph
+    /// after serving a reveal (feasibility checking was enabled).
+    FeasibilityViolation {
+        /// 1-based index of the offending reveal.
+        step: usize,
+        /// The algorithm's name.
+        algorithm: String,
+    },
+    /// The algorithm's permutation does not cover the instance's nodes.
+    SizeMismatch {
+        /// Nodes in the instance.
+        expected: usize,
+        /// Nodes in the algorithm's permutation.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Graph(e) => write!(f, "invalid reveal: {e}"),
+            SimError::FeasibilityViolation { step, algorithm } => {
+                write!(
+                    f,
+                    "{algorithm} violated the MinLA invariant at reveal {step}"
+                )
+            }
+            SimError::SizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "algorithm permutation covers {actual} nodes, instance has {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SimError {
+    fn from(e: GraphError) -> Self {
+        SimError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_permutation::Node;
+
+    #[test]
+    fn display_and_source() {
+        let graph_error = GraphError::SelfLoop { node: Node::new(1) };
+        let error = SimError::from(graph_error);
+        assert_eq!(
+            error.to_string(),
+            "invalid reveal: reveal connects v1 to itself"
+        );
+        assert!(error.source().is_some());
+        let violation = SimError::FeasibilityViolation {
+            step: 3,
+            algorithm: "stub".into(),
+        };
+        assert_eq!(
+            violation.to_string(),
+            "stub violated the MinLA invariant at reveal 3"
+        );
+        assert!(violation.source().is_none());
+    }
+}

@@ -1,0 +1,110 @@
+//! The experiment framework: every theorem, lemma and figure of the paper
+//! maps to one [`Experiment`] that prints tables.
+
+use crate::table::Table;
+
+/// How much work an experiment run performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Sub-second smoke run (used by `cargo bench` and integration tests).
+    Tiny,
+    /// Seconds-scale run with meaningful statistics (binary default).
+    #[default]
+    Quick,
+    /// Minutes-scale run reproducing `EXPERIMENTS.md` (binary `--full`).
+    Full,
+}
+
+/// Run-time parameters shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExperimentContext {
+    /// Work scale.
+    pub scale: Scale,
+    /// Base seed; all randomness derives deterministically from it.
+    pub seed: u64,
+}
+
+impl ExperimentContext {
+    /// Picks one of three values by scale.
+    #[must_use]
+    pub fn pick<T: Copy>(&self, tiny: T, quick: T, full: T) -> T {
+        match self.scale {
+            Scale::Tiny => tiny,
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// One reproducible experiment.
+pub trait Experiment {
+    /// Stable identifier, e.g. `"E-T2"`.
+    fn id(&self) -> &'static str;
+
+    /// Human-readable one-line title.
+    fn title(&self) -> &'static str;
+
+    /// The paper result this reproduces, e.g. `"Theorem 2"`.
+    fn paper_ref(&self) -> &'static str;
+
+    /// Runs the experiment, returning one or more tables.
+    fn run(&self, ctx: &ExperimentContext) -> Vec<Table>;
+}
+
+/// All experiments in presentation order.
+#[must_use]
+pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(crate::experiments::e_f1::FigureOne),
+        Box::new(crate::experiments::e_f2::FigureTwo),
+        Box::new(crate::experiments::e_l3::LemmaThree),
+        Box::new(crate::experiments::e_l5::HarmonicLemmas),
+        Box::new(crate::experiments::e_l10::LemmaTen),
+        Box::new(crate::experiments::e_t1::TheoremOne),
+        Box::new(crate::experiments::e_t2::TheoremTwo),
+        Box::new(crate::experiments::e_t8::TheoremEight),
+        Box::new(crate::experiments::e_t15::TheoremFifteen),
+        Box::new(crate::experiments::e_t16::TheoremSixteen),
+        Box::new(crate::experiments::e_abl::Ablation),
+        Box::new(crate::experiments::e_opt::OptCrossCheck),
+        Box::new(crate::experiments::e_gen::GeneralGraphs),
+        Box::new(crate::experiments::e_heur::HeuristicGap),
+    ]
+}
+
+/// Finds an experiment by (case-insensitive) id.
+#[must_use]
+pub fn find_experiment(id: &str) -> Option<Box<dyn Experiment>> {
+    all_experiments()
+        .into_iter()
+        .find(|e| e.id().eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let experiments = all_experiments();
+        let mut ids: Vec<&str> = experiments.iter().map(|e| e.id()).collect();
+        assert_eq!(ids.len(), 14);
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 14, "duplicate experiment ids");
+        assert!(find_experiment("e-t2").is_some());
+        assert!(find_experiment("E-T16").is_some());
+        assert!(find_experiment("nope").is_none());
+    }
+
+    #[test]
+    fn context_pick_by_scale() {
+        let mut ctx = ExperimentContext::default();
+        assert_eq!(ctx.scale, Scale::Quick);
+        assert_eq!(ctx.pick(1, 2, 3), 2);
+        ctx.scale = Scale::Tiny;
+        assert_eq!(ctx.pick(1, 2, 3), 1);
+        ctx.scale = Scale::Full;
+        assert_eq!(ctx.pick(1, 2, 3), 3);
+    }
+}

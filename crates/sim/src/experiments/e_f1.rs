@@ -1,0 +1,138 @@
+//! `E-F1`: Figure 1 — the clique algorithm's two possible actions and
+//! their probabilities, validated against the implementation.
+//!
+//! A micro-scenario is built for every size pair: `X` and `Z` sit one node
+//! apart, a merge is revealed, and the mover is detected from the
+//! resulting permutation. Empirical move frequencies must match
+//! `P[X moves] = |Z| / (|X| + |Z|)`.
+
+use mla_core::{OnlineMinla, RandCliques};
+use mla_graph::{GraphState, RevealEvent, Topology};
+use mla_permutation::{Node, Permutation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::experiments::{check, f3};
+use crate::table::Table;
+
+/// The Figure 1 action-table reproduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FigureOne;
+
+/// Runs one micro-merge; returns `true` if `X` moved.
+///
+/// Layout: `[X block][spacer][Z block]` in `π0` = identity; `X` =
+/// `{0..x}`, spacer = `{x}`, `Z` = `{x+1..x+1+z}`. Whoever moved ends up
+/// on the far side of the spacer.
+fn x_moved(x: usize, z: usize, seed: u64) -> bool {
+    let n = x + z + 1;
+    let spacer = Node::new(x);
+    let pi0 = Permutation::identity(n);
+    let mut graph = GraphState::new(Topology::Cliques, n);
+    let mut alg = RandCliques::new(pi0, SmallRng::seed_from_u64(seed));
+    // Build the X and Z cliques (already contiguous: free).
+    let serve = |graph: &mut GraphState, alg: &mut RandCliques<SmallRng>, a: usize, b: usize| {
+        let event = RevealEvent::new(Node::new(a), Node::new(b));
+        let info = graph.apply(event).unwrap();
+        alg.serve(event, &info, graph);
+    };
+    for i in 1..x {
+        serve(&mut graph, &mut alg, 0, i);
+    }
+    for i in 1..z {
+        serve(&mut graph, &mut alg, x + 1, x + 1 + i);
+    }
+    // The merge under test.
+    serve(&mut graph, &mut alg, 0, x + 1);
+    // If X moved right, the spacer now precedes all X nodes.
+    let spacer_pos = alg.permutation().position_of(spacer);
+    let x_first = (0..x)
+        .map(|i| alg.permutation().position_of(Node::new(i)))
+        .min()
+        .unwrap();
+    spacer_pos < x_first
+}
+
+impl Experiment for FigureOne {
+    fn id(&self) -> &'static str {
+        "E-F1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 1: move probabilities |Z|/(|X|+|Z|) per component-size pair"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 1 (Section 3.1)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+        let trials = ctx.pick(400, 4_000, 20_000);
+        let sizes = [1usize, 2, 4, 8];
+        let mut table = Table::new(
+            "E-F1: P[X moves] — theory vs measured implementation",
+            &["|X|", "|Z|", "theory", "measured", "|diff|", "within 3.5σ"],
+        );
+        for &x in &sizes {
+            for &z in &sizes {
+                let theory = z as f64 / (x + z) as f64;
+                let mut moved = 0u64;
+                for trial in 0..trials {
+                    if x_moved(
+                        x,
+                        z,
+                        ctx.seed ^ 0xf1 ^ trial << 8 ^ ((x * 16 + z) as u64) << 40,
+                    ) {
+                        moved += 1;
+                    }
+                }
+                let measured = moved as f64 / trials as f64;
+                let sigma = (theory * (1.0 - theory) / trials as f64).sqrt();
+                let diff = (measured - theory).abs();
+                table.row(&[
+                    &x.to_string(),
+                    &z.to_string(),
+                    &f3(theory),
+                    &f3(measured),
+                    &f3(diff),
+                    check(diff <= 3.5 * sigma + 1e-9),
+                ]);
+            }
+        }
+        table.note("moving costs: X pays |X|·gap, Z pays |Z|·gap (verified in mla-core tests)");
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Scale;
+
+    #[test]
+    fn probabilities_match_theory() {
+        let ctx = ExperimentContext {
+            scale: Scale::Tiny,
+            seed: 1,
+        };
+        let tables = FigureOne.run(&ctx);
+        let csv = tables[0].to_csv();
+        assert!(!csv.contains(",NO\n"), "{csv}");
+    }
+
+    #[test]
+    fn deterministic_extremes() {
+        // |X| = 1, |Z| = 8: P[X moves] = 8/9 — check both outcomes occur.
+        let mut any_moved = false;
+        let mut any_stayed = false;
+        for seed in 0..200 {
+            if x_moved(1, 8, seed) {
+                any_moved = true;
+            } else {
+                any_stayed = true;
+            }
+        }
+        assert!(any_moved && any_stayed);
+    }
+}

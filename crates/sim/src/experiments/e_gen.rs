@@ -1,0 +1,181 @@
+//! `E-GEN`: extension — the paper's open question at small scales.
+//!
+//! Section 6 asks whether logarithmic competitive ratios extend to general
+//! graphs. Using the exact solvers (`n ≤ 14` here), we run the two
+//! general-graph `Det` variants on graph families beyond cliques and
+//! lines — random trees, cycles, and sparse graphs — and measure cost
+//! against the valid offline lower bound
+//! `min { d(π0, π) : π an exact MinLA of G_k }`.
+//!
+//! This is exploratory, not a theorem reproduction: the observed ratios
+//! indicate how hostile each family is to deterministic strategies.
+
+use mla_general::{Anchor, GeneralDet};
+use mla_permutation::{Node, Permutation};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::experiments::f2;
+use crate::table::Table;
+
+/// The general-graph extension experiment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GeneralGraphs;
+
+/// Edge families beyond the paper's topologies.
+#[derive(Debug, Clone, Copy)]
+enum Family {
+    /// A random spanning tree revealed in random order (forests at every
+    /// step — strictly generalizes lines).
+    RandomTree,
+    /// A cycle: a path revealed in order, then closed.
+    Cycle,
+    /// A sparse random graph with `2n` edges in random order.
+    Sparse,
+}
+
+impl Family {
+    fn label(self) -> &'static str {
+        match self {
+            Family::RandomTree => "random-tree",
+            Family::Cycle => "cycle",
+            Family::Sparse => "sparse-2n",
+        }
+    }
+
+    /// Generates the reveal list.
+    fn edges(self, n: usize, rng: &mut SmallRng) -> Vec<(Node, Node)> {
+        match self {
+            Family::RandomTree => {
+                // Random attachment tree, edges then shuffled is NOT valid
+                // (a reveal may reference nodes in no particular order —
+                // any order is fine for the general model). Shuffle away.
+                let mut edges: Vec<(Node, Node)> = (1..n)
+                    .map(|v| (Node::new(rng.gen_range(0..v)), Node::new(v)))
+                    .collect();
+                for i in (1..edges.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    edges.swap(i, j);
+                }
+                edges
+            }
+            Family::Cycle => {
+                let mut edges: Vec<(Node, Node)> = (0..n - 1)
+                    .map(|v| (Node::new(v), Node::new(v + 1)))
+                    .collect();
+                edges.push((Node::new(n - 1), Node::new(0)));
+                edges
+            }
+            Family::Sparse => {
+                let mut seen = std::collections::HashSet::new();
+                let mut edges = Vec::new();
+                let target = (2 * n).min(n * (n - 1) / 2);
+                while edges.len() < target {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    if a == b {
+                        continue;
+                    }
+                    if seen.insert((a.min(b), a.max(b))) {
+                        edges.push((Node::new(a), Node::new(b)));
+                    }
+                }
+                edges
+            }
+        }
+    }
+}
+
+impl Experiment for GeneralGraphs {
+    fn id(&self) -> &'static str {
+        "E-GEN"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: online exact MinLA on general graphs (open question)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Section 6 (open question)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+        let ns: &[usize] = ctx.pick(&[8][..], &[8, 10, 12][..], &[8, 10, 12, 14][..]);
+        let instances = ctx.pick(2, 4, 8);
+        let mut table = Table::new(
+            "E-GEN: GeneralDet on trees / cycles / sparse graphs (exact maintenance)",
+            &["family", "n", "anchor", "cost", "opt-lb", "ratio", "ln n"],
+        );
+        for family in [Family::RandomTree, Family::Cycle, Family::Sparse] {
+            for &n in ns {
+                for anchor in [Anchor::Initial, Anchor::Current] {
+                    let mut worst_ratio = 0.0f64;
+                    let mut worst: Option<(u64, u64)> = None;
+                    for inst in 0..instances {
+                        let mut rng = SmallRng::seed_from_u64(
+                            ctx.seed ^ (n as u64) << 24 ^ inst << 4 ^ family.label().len() as u64,
+                        );
+                        let edges = family.edges(n, &mut rng);
+                        let pi0 = Permutation::random(n, &mut rng);
+                        let mut alg = GeneralDet::new(pi0.clone(), anchor);
+                        for &(a, b) in &edges {
+                            alg.serve(a, b).expect("valid reveal, n <= 14");
+                        }
+                        // Valid OPT lower bound: any trajectory must end at
+                        // some exact MinLA of the final graph.
+                        let (_, opt_lb, _) =
+                            mla_offline::minla_exact_closest(n, alg.state().edges(), &pi0)
+                                .expect("n <= 14");
+                        let ratio = alg.total_cost() as f64 / opt_lb.max(1) as f64;
+                        if ratio > worst_ratio {
+                            worst_ratio = ratio;
+                            worst = Some((alg.total_cost(), opt_lb));
+                        }
+                    }
+                    let (cost, opt_lb) = worst.expect("at least one instance");
+                    let anchor_label = match anchor {
+                        Anchor::Initial => "initial",
+                        Anchor::Current => "current",
+                    };
+                    table.row(&[
+                        family.label(),
+                        &n.to_string(),
+                        anchor_label,
+                        &cost.to_string(),
+                        &opt_lb.to_string(),
+                        &f2(worst_ratio),
+                        &f2((n as f64).ln()),
+                    ]);
+                }
+            }
+        }
+        table
+            .note("exploratory: opt-lb = d(pi0, closest exact MinLA of G_k) — a valid lower bound");
+        table.note(
+            "cycles are hostile to the initial anchor: closing the cycle can force a global flip",
+        );
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Scale;
+
+    #[test]
+    fn runs_and_produces_sane_ratios() {
+        let ctx = ExperimentContext {
+            scale: Scale::Tiny,
+            seed: 3,
+        };
+        let tables = GeneralGraphs.run(&ctx);
+        let csv = tables[0].to_csv();
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let ratio: f64 = cells[5].parse().unwrap();
+            assert!(ratio.is_finite() && ratio >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! `E-L10`: Lemma 10 — for any current line component `X` with more than
+//! one node, the probability of observing orientation `→X` equals
+//! `|L_{→X} ∩ L_{π0}| / C(|X|, 2)`.
+//!
+//! Same protocol as `E-L3`, with orientations instead of relative orders.
+
+use mla_adversary::{random_line_instance, MergeShape};
+use mla_core::{OnlineMinla, RandLines};
+use mla_graph::GraphState;
+use mla_permutation::{internal_concordant_pairs, Node, Permutation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::experiments::f4;
+use crate::table::Table;
+
+/// The Lemma 10 invariant validation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LemmaTen;
+
+impl Experiment for LemmaTen {
+    fn id(&self) -> &'static str {
+        "E-L10"
+    }
+
+    fn title(&self) -> &'static str {
+        "Lemma 10: component orientation probabilities match the closed form"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Lemma 10"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+        let n = ctx.pick(8, 12, 16);
+        let trials = ctx.pick(800, 5_000, 20_000);
+        let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0xa0);
+        let instance = random_line_instance(n, MergeShape::Uniform, &mut rng);
+        let pi0 = Permutation::random(n, &mut rng);
+
+        // Checkpoints: (event index, canonical path order, predicted
+        // P[path reads in canonical order]).
+        let mut predicted: Vec<(usize, Vec<Node>, f64)> = Vec::new();
+        {
+            let mut state = GraphState::new(instance.topology(), n);
+            for (step, &event) in instance.events().iter().enumerate() {
+                state.apply(event).unwrap();
+                for path in state.components() {
+                    if path.len() < 2 {
+                        continue;
+                    }
+                    let m = path.len() as u64;
+                    let p =
+                        internal_concordant_pairs(&pi0, &path) as f64 / (m * (m - 1) / 2) as f64;
+                    predicted.push((step, path, p));
+                }
+            }
+        }
+
+        let mut observed = vec![0u64; predicted.len()];
+        for trial in 0..trials {
+            let mut state = GraphState::new(instance.topology(), n);
+            let mut alg = RandLines::new(
+                pi0.clone(),
+                SmallRng::seed_from_u64(ctx.seed ^ 0xa110 ^ trial << 16),
+            );
+            let mut cursor = 0usize;
+            for (step, &event) in instance.events().iter().enumerate() {
+                let info = state.apply(event).unwrap();
+                alg.serve(event, &info, &state);
+                while cursor < predicted.len() && predicted[cursor].0 == step {
+                    let (_, ref path, _) = predicted[cursor];
+                    // Forward orientation: path positions strictly increase.
+                    let positions: Vec<usize> = path
+                        .iter()
+                        .map(|&v| alg.permutation().position_of(v))
+                        .collect();
+                    if positions.windows(2).all(|w| w[0] < w[1]) {
+                        observed[cursor] += 1;
+                    }
+                    cursor += 1;
+                }
+            }
+        }
+
+        let mut max_dev = 0.0f64;
+        let mut sum_dev = 0.0f64;
+        for (idx, &(_, _, p)) in predicted.iter().enumerate() {
+            let freq = observed[idx] as f64 / trials as f64;
+            let dev = (freq - p).abs();
+            sum_dev += dev;
+            max_dev = max_dev.max(dev);
+        }
+        let mut table = Table::new(
+            "E-L10: P[→X] vs |L_→X ∩ L_pi0| / C(|X|,2)",
+            &["metric", "value"],
+        );
+        table.row(&["n", &n.to_string()]);
+        table.row(&["trials", &trials.to_string()]);
+        table.row(&[
+            "tracked (step, component) checkpoints",
+            &predicted.len().to_string(),
+        ]);
+        table.row(&[
+            "mean |observed − predicted|",
+            &f4(sum_dev / predicted.len().max(1) as f64),
+        ]);
+        table.row(&["max |observed − predicted|", &f4(max_dev)]);
+        let tolerance = 3.5 * (0.25f64 / trials as f64).sqrt() + 0.01;
+        table.row(&["tolerance (≈3.5σ)", &f4(tolerance)]);
+        table.row(&[
+            "within tolerance",
+            if max_dev <= tolerance { "yes" } else { "NO" },
+        ]);
+        table.note("Lemma 10: orientation probabilities depend only on pi0");
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Scale;
+
+    #[test]
+    fn lemma10_holds_within_tolerance() {
+        let ctx = ExperimentContext {
+            scale: Scale::Tiny,
+            seed: 6,
+        };
+        let tables = LemmaTen.run(&ctx);
+        let csv = tables[0].to_csv();
+        assert!(csv.contains("within tolerance,yes"), "{csv}");
+    }
+}

@@ -1,0 +1,176 @@
+//! `E-L5`: the harmonic-sum lemmas (Lemma 5 and Lemma 13) checked
+//! numerically over structured and random series.
+//!
+//! * Lemma 5: `Σᵢ sᵢ / (Σ_{j≤i} sⱼ) ≤ H_S`;
+//! * Lemma 13 (first): `Σᵢ sᵢ² / C(Σ_{j≤i} sⱼ, 2) ≤ 2·H_S`;
+//! * Lemma 13 (second): `Σ_{i≥2} sᵢ₋₁·sᵢ / C(Σ_{j=2..i} sⱼ, 2) ≤ 2·H_S`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::experiments::f3;
+use crate::stats::harmonic;
+use crate::table::Table;
+
+/// The Lemma 5 / Lemma 13 numeric validation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HarmonicLemmas;
+
+fn binomial2(x: u64) -> f64 {
+    (x as f64) * (x.saturating_sub(1) as f64) / 2.0
+}
+
+/// Left-hand side of Lemma 5.
+fn lemma5_lhs(series: &[u64]) -> f64 {
+    let mut prefix = 0u64;
+    let mut sum = 0.0;
+    for &s in series {
+        prefix += s;
+        sum += s as f64 / prefix as f64;
+    }
+    sum
+}
+
+/// Left-hand side of the first Lemma 13 inequality.
+///
+/// As applied in Theorem 14, every denominator covers at least two merged
+/// components, so the sum starts at `i = 2` (the literal `i = 1` term has
+/// the degenerate denominator `C(s_1, 2)` and would even be infinite for
+/// `s_1 = 1`).
+fn lemma13_first_lhs(series: &[u64]) -> f64 {
+    let mut prefix = series.first().copied().unwrap_or(0);
+    let mut sum = 0.0;
+    for &s in series.iter().skip(1) {
+        prefix += s;
+        let denom = binomial2(prefix);
+        if denom > 0.0 {
+            sum += (s * s) as f64 / denom;
+        }
+    }
+    sum
+}
+
+/// Left-hand side of the second Lemma 13 inequality.
+///
+/// As with the first inequality, the denominator's prefix must cover both
+/// factors `s_{i−1}` and `s_i` for the bound to hold (the literal
+/// `Σ_{j=2..i}` prefix degenerates at `i = 2`); Theorem 14 applies the
+/// lemma with denominators `C(|Y_{i+1}| + |Y_i| + …, 2)`, i.e. full
+/// prefixes, which is what we evaluate.
+fn lemma13_second_lhs(series: &[u64]) -> f64 {
+    let mut sum = 0.0;
+    let mut prefix = series.first().copied().unwrap_or(0); // Σ_{j<=i} s_j
+    for i in 1..series.len() {
+        prefix += series[i];
+        let denom = binomial2(prefix);
+        if denom > 0.0 {
+            sum += (series[i - 1] * series[i]) as f64 / denom;
+        }
+    }
+    sum
+}
+
+impl Experiment for HarmonicLemmas {
+    fn id(&self) -> &'static str {
+        "E-L5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Lemmas 5 & 13: harmonic-sum inequalities hold with slack"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Lemma 5, Lemma 13"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+        let random_series = ctx.pick(200, 2_000, 10_000);
+        let mut families: Vec<(&str, Vec<Vec<u64>>)> = vec![
+            ("all ones (worst case of Lemma 5)", vec![vec![1; 256]]),
+            ("doubling", vec![(0..12).map(|i| 1u64 << i).collect()]),
+            ("single element", vec![vec![1_000_000]]),
+            ("arith. increasing", vec![(1..=64).collect::<Vec<u64>>()]),
+            (
+                "arith. decreasing",
+                vec![(1..=64).rev().collect::<Vec<u64>>()],
+            ),
+        ];
+        let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x55);
+        let mut random: Vec<Vec<u64>> = Vec::new();
+        for _ in 0..random_series {
+            let len = rng.gen_range(1..40);
+            random.push((0..len).map(|_| rng.gen_range(1..100)).collect());
+        }
+        families.push(("random (1..100 entries)", random));
+
+        let mut table = Table::new(
+            "E-L5: max normalized LHS over each series family (must be ≤ 1)",
+            &[
+                "family",
+                "series",
+                "L5 max LHS/H_S",
+                "L13a max LHS/2H_S",
+                "L13b max LHS/2H_S",
+                "all hold",
+            ],
+        );
+        for (name, family) in &families {
+            let mut max5 = 0.0f64;
+            let mut max13a = 0.0f64;
+            let mut max13b = 0.0f64;
+            for series in family {
+                let total: u64 = series.iter().sum();
+                let h = harmonic(total);
+                max5 = max5.max(lemma5_lhs(series) / h);
+                max13a = max13a.max(lemma13_first_lhs(series) / (2.0 * h));
+                max13b = max13b.max(lemma13_second_lhs(series) / (2.0 * h));
+            }
+            let ok = max5 <= 1.0 + 1e-9 && max13a <= 1.0 + 1e-9 && max13b <= 1.0 + 1e-9;
+            table.row(&[
+                name,
+                &family.len().to_string(),
+                &f3(max5),
+                &f3(max13a),
+                &f3(max13b),
+                if ok { "yes" } else { "NO" },
+            ]);
+        }
+        table.note("all-ones achieves LHS/H_S = 1 exactly: Lemma 5 is tight");
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Scale;
+
+    #[test]
+    fn inequalities_hold_on_all_families() {
+        let ctx = ExperimentContext {
+            scale: Scale::Tiny,
+            seed: 9,
+        };
+        let tables = HarmonicLemmas.run(&ctx);
+        let csv = tables[0].to_csv();
+        assert!(!csv.contains(",NO\n"), "{csv}");
+    }
+
+    #[test]
+    fn all_ones_is_tight_for_lemma5() {
+        let series = vec![1u64; 100];
+        let lhs = lemma5_lhs(&series);
+        assert!((lhs - harmonic(100)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma13_lhs_manual_case() {
+        // series [2, 3] with the i >= 2 convention: single term
+        // 3² / C(5, 2) = 9/10. Bound: 2·H_5 ≈ 4.567.
+        let series = vec![2u64, 3];
+        let lhs = lemma13_first_lhs(&series);
+        assert!((lhs - 0.9).abs() < 1e-9);
+        assert!(lhs <= 2.0 * harmonic(5));
+    }
+}

@@ -1,0 +1,173 @@
+//! `E-OPT`: cross-validation of the offline solver stack.
+//!
+//! Three independent implementations must agree on small instances:
+//!
+//! 1. the closed-form component optima `(m³−m)/6` and `m−1` versus the
+//!    exact general-MinLA subset DP;
+//! 2. `closest_feasible` (block placement DP) versus brute force over all
+//!    feasible permutations;
+//! 3. the clique OPT sandwich: `lower ≤ upper`, with the upper bound's
+//!    permutation feasible at *every* step of the sequence.
+
+use mla_adversary::{random_clique_instance, random_line_instance, MergeShape};
+use mla_graph::{GraphState, Instance, Topology};
+use mla_offline::{closest_feasible, minla_exact, offline_optimum, LopConfig};
+use mla_permutation::Permutation;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::experiments::check;
+use crate::table::Table;
+
+/// The offline-solver cross-check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptCrossCheck;
+
+/// Brute-force minimum distance from `pi0` to any feasible permutation.
+fn brute_force_delta(state: &GraphState, pi0: &Permutation) -> u64 {
+    let n = state.n();
+    let mut best = u64::MAX;
+    let mut indices: Vec<usize> = (0..n).collect();
+    fn rec(
+        indices: &mut Vec<usize>,
+        at: usize,
+        state: &GraphState,
+        pi0: &Permutation,
+        best: &mut u64,
+    ) {
+        if at == indices.len() {
+            let perm = Permutation::from_indices(indices).unwrap();
+            if state.is_minla(&perm) {
+                *best = (*best).min(pi0.kendall_distance(&perm));
+            }
+            return;
+        }
+        for i in at..indices.len() {
+            indices.swap(at, i);
+            rec(indices, at + 1, state, pi0, best);
+            indices.swap(at, i);
+        }
+    }
+    rec(&mut indices, 0, state, pi0, &mut best);
+    best
+}
+
+impl Experiment for OptCrossCheck {
+    fn id(&self) -> &'static str {
+        "E-OPT"
+    }
+
+    fn title(&self) -> &'static str {
+        "Offline solver stack: three-way cross-validation"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Observation 7 (and the model's MinLA characterization)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+        let cases = ctx.pick(5, 20, 60);
+        let mut table = Table::new(
+            "E-OPT: solver agreement over random instances",
+            &["check", "cases", "agreements", "ok"],
+        );
+
+        // 1. Closed forms vs exact subset DP.
+        let mut closed_ok = 0usize;
+        for seed in 0..cases {
+            let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x07 ^ seed as u64);
+            let n = 8 + (seed % 5);
+            let instance = if seed % 2 == 0 {
+                random_clique_instance(n, MergeShape::Uniform, &mut rng)
+            } else {
+                random_line_instance(n, MergeShape::Uniform, &mut rng)
+            };
+            // Truncate to keep several components.
+            let events = instance.events()[..n / 2].to_vec();
+            let truncated = Instance::new(instance.topology(), n, events).unwrap();
+            let state = truncated.final_state();
+            let (exact, _) = minla_exact(n, &state.edges()).expect("n <= 12");
+            if exact == state.minla_value() {
+                closed_ok += 1;
+            }
+        }
+        table.row(&[
+            "closed-form optima == exact subset DP",
+            &cases.to_string(),
+            &closed_ok.to_string(),
+            check(closed_ok == cases),
+        ]);
+
+        // 2. closest_feasible vs brute force (n <= 7).
+        let mut closest_ok = 0usize;
+        for seed in 0..cases {
+            let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x0b ^ (seed as u64) << 3);
+            let n = 6 + (seed % 2);
+            let instance = if seed % 2 == 0 {
+                random_clique_instance(n, MergeShape::Uniform, &mut rng)
+            } else {
+                random_line_instance(n, MergeShape::Uniform, &mut rng)
+            };
+            let events = instance.events()[..n / 2].to_vec();
+            let truncated = Instance::new(instance.topology(), n, events).unwrap();
+            let state = truncated.final_state();
+            let pi0 = Permutation::random(n, &mut rng);
+            let placement = closest_feasible(&state, &pi0, &LopConfig::default()).unwrap();
+            if placement.exact && placement.distance == brute_force_delta(&state, &pi0) {
+                closest_ok += 1;
+            }
+        }
+        table.row(&[
+            "closest_feasible == brute force",
+            &cases.to_string(),
+            &closest_ok.to_string(),
+            check(closest_ok == cases),
+        ]);
+
+        // 3. Clique OPT sandwich and step-wise feasibility of the upper
+        //    bound's permutation.
+        let mut sandwich_ok = 0usize;
+        for seed in 0..cases {
+            let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x0d ^ (seed as u64) << 5);
+            let n = 8 + (seed % 5);
+            let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+            let pi0 = Permutation::random(n, &mut rng);
+            let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+            let mut replay = GraphState::new(Topology::Cliques, n);
+            let mut feasible = replay.is_minla(&bounds.upper_perm);
+            for &event in instance.events() {
+                replay.apply(event).unwrap();
+                feasible &= replay.is_minla(&bounds.upper_perm);
+            }
+            if bounds.lower <= bounds.upper && feasible {
+                sandwich_ok += 1;
+            }
+        }
+        table.row(&[
+            "clique bounds sandwich + stepwise-feasible upper",
+            &cases.to_string(),
+            &sandwich_ok.to_string(),
+            check(sandwich_ok == cases),
+        ]);
+        table.note("see also the property tests in mla-offline and tests/ for deeper coverage");
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Scale;
+
+    #[test]
+    fn all_cross_checks_pass() {
+        let ctx = ExperimentContext {
+            scale: Scale::Tiny,
+            seed: 12,
+        };
+        let tables = OptCrossCheck.run(&ctx);
+        let csv = tables[0].to_csv();
+        assert!(!csv.contains(",NO\n"), "{csv}");
+    }
+}

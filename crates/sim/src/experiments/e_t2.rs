@@ -1,0 +1,119 @@
+//! `E-T2`: Theorem 2 — `Rand` is `4 ln n`-competitive on cliques.
+//!
+//! For each instance we estimate `E[cost]` of `RandCliques` over many coin
+//! trials and compare against the achievable offline reference `Δ_hier`
+//! (the closest merge-tree-consistent permutation — see the Theorem 1/6
+//! repair note in `DESIGN.md`): the repaired Theorem 6 guarantees
+//! `E[cost] ≤ 4·H_n·d(π0, π_f)` for *every* step-wise-feasible final
+//! permutation `π_f`, in particular the one our solver produces.
+
+use mla_adversary::{random_clique_instance, MergeShape};
+use mla_core::RandCliques;
+use mla_offline::{offline_optimum, LopConfig};
+use mla_permutation::Permutation;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::experiments::{check, expected_cost, f2};
+use crate::stats::harmonic;
+use crate::table::Table;
+
+/// The Theorem 2 reproduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TheoremTwo;
+
+impl Experiment for TheoremTwo {
+    fn id(&self) -> &'static str {
+        "E-T2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Rand on cliques: expected competitive ratio vs 4 ln n"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Theorem 2 (+ Theorem 6)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+        let ns: &[usize] = ctx.pick(
+            &[16, 32][..],
+            &[16, 32, 64, 128, 256][..],
+            &[16, 32, 64, 128, 256, 512, 1024][..],
+        );
+        let instances_per_cell = ctx.pick(1, 3, 4);
+        let trials = ctx.pick(10, 60, 200);
+        let shapes = [
+            MergeShape::Uniform,
+            MergeShape::Sequential,
+            MergeShape::Balanced,
+        ];
+
+        let mut table = Table::new(
+            "E-T2: E[cost(RandCliques)] / d(pi0, hier-feasible) vs 4·H_n",
+            &[
+                "n", "shape", "E[cost]", "±95%", "opt-ref", "ratio", "4·H_n", "within",
+            ],
+        );
+        for &n in ns {
+            let bound = 4.0 * harmonic(n as u64);
+            for shape in shapes {
+                let mut worst_ratio = 0.0f64;
+                let mut worst_row: Option<(f64, f64, u64)> = None;
+                for inst in 0..instances_per_cell {
+                    let mut rng = SmallRng::seed_from_u64(ctx.seed ^ (n as u64) << 20 ^ inst << 8);
+                    let instance = random_clique_instance(n, shape, &mut rng);
+                    let pi0 = Permutation::random(n, &mut rng);
+                    let opt = offline_optimum(&instance, &pi0, &LopConfig::default())
+                        .expect("sizes match");
+                    // Achievable feasible-at-every-step reference.
+                    let reference = opt.upper.max(1);
+                    let stats = expected_cost(&instance, trials, |trial| {
+                        RandCliques::new(
+                            pi0.clone(),
+                            SmallRng::seed_from_u64(ctx.seed ^ 0xaaaa ^ trial << 32 ^ inst),
+                        )
+                    });
+                    let ratio = stats.mean() / reference as f64;
+                    if ratio > worst_ratio {
+                        worst_ratio = ratio;
+                        worst_row = Some((stats.mean(), stats.ci95(), reference));
+                    }
+                }
+                let (mean, ci, reference) = worst_row.expect("at least one instance");
+                table.row(&[
+                    &n.to_string(),
+                    shape.label(),
+                    &f2(mean),
+                    &f2(ci),
+                    &reference.to_string(),
+                    &f2(worst_ratio),
+                    &f2(bound),
+                    check(worst_ratio <= bound),
+                ]);
+            }
+        }
+        table.note("ratio = worst instance's E[cost] / d(pi0, merge-tree-consistent optimum)");
+        table.note("paper shape: ratio grows logarithmically and stays below 4 ln n");
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Scale;
+
+    #[test]
+    fn tiny_run_respects_the_bound() {
+        let ctx = ExperimentContext {
+            scale: Scale::Tiny,
+            seed: 7,
+        };
+        let tables = TheoremTwo.run(&ctx);
+        assert_eq!(tables.len(), 1);
+        let csv = tables[0].to_csv();
+        assert!(!csv.contains(",NO\n"), "bound violated:\n{csv}");
+    }
+}

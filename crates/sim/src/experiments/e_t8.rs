@@ -1,0 +1,131 @@
+//! `E-T8`: Theorem 8 — `Rand` is `8 ln n`-competitive on lines.
+//!
+//! For lines the offline optimum is computed exactly (`Opt = Δ*`,
+//! Observation 7 is tight — see `mla-offline`), so the measured ratio
+//! `E[cost] / Opt` is the competitive ratio itself. The moving and
+//! rearranging parts are reported separately, mirroring the `M + R`
+//! decomposition of Theorem 14.
+
+use mla_adversary::{random_line_instance, MergeShape};
+use mla_core::RandLines;
+use mla_offline::{offline_optimum, LopConfig};
+use mla_permutation::Permutation;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::engine::Simulation;
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::experiments::{check, f2};
+use crate::stats::{harmonic, OnlineStats};
+use crate::table::Table;
+
+/// The Theorem 8 reproduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TheoremEight;
+
+impl Experiment for TheoremEight {
+    fn id(&self) -> &'static str {
+        "E-T8"
+    }
+
+    fn title(&self) -> &'static str {
+        "Rand on lines: expected competitive ratio vs 8 ln n"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Theorem 8 (+ Theorem 14)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+        let ns: &[usize] = ctx.pick(
+            &[16, 32][..],
+            &[16, 32, 64, 128, 256][..],
+            &[16, 32, 64, 128, 256, 512, 1024][..],
+        );
+        let instances_per_cell = ctx.pick(1, 3, 4);
+        let trials = ctx.pick(10, 60, 200);
+        let shapes = [
+            MergeShape::Uniform,
+            MergeShape::Sequential,
+            MergeShape::Balanced,
+        ];
+
+        let mut table = Table::new(
+            "E-T8: E[cost(RandLines)] / Opt vs 8·H_n (moving + rearranging)",
+            &[
+                "n", "shape", "E[move]", "E[rearr]", "E[total]", "opt", "ratio", "8·H_n", "within",
+            ],
+        );
+        for &n in ns {
+            let bound = 8.0 * harmonic(n as u64);
+            for shape in shapes {
+                let mut worst: Option<(f64, f64, f64, u64, f64)> = None;
+                for inst in 0..instances_per_cell {
+                    let mut rng = SmallRng::seed_from_u64(ctx.seed ^ (n as u64) << 21 ^ inst << 9);
+                    let instance = random_line_instance(n, shape, &mut rng);
+                    let pi0 = Permutation::random(n, &mut rng);
+                    let opt = offline_optimum(&instance, &pi0, &LopConfig::default())
+                        .expect("sizes match");
+                    let reference = opt.upper.max(1);
+                    let mut moving = OnlineStats::new();
+                    let mut rearranging = OnlineStats::new();
+                    let mut total = OnlineStats::new();
+                    for trial in 0..trials {
+                        let alg = RandLines::new(
+                            pi0.clone(),
+                            SmallRng::seed_from_u64(ctx.seed ^ 0xbbbb ^ trial << 32 ^ inst),
+                        );
+                        let outcome = Simulation::new(instance.clone(), alg)
+                            .run()
+                            .expect("validated instance");
+                        moving.push(outcome.moving_cost as f64);
+                        rearranging.push(outcome.rearranging_cost as f64);
+                        total.push(outcome.total_cost as f64);
+                    }
+                    let ratio = total.mean() / reference as f64;
+                    if worst.is_none() || ratio > worst.unwrap().4 {
+                        worst = Some((
+                            moving.mean(),
+                            rearranging.mean(),
+                            total.mean(),
+                            reference,
+                            ratio,
+                        ));
+                    }
+                }
+                let (mv, re, tot, opt, ratio) = worst.expect("at least one instance");
+                table.row(&[
+                    &n.to_string(),
+                    shape.label(),
+                    &f2(mv),
+                    &f2(re),
+                    &f2(tot),
+                    &opt.to_string(),
+                    &f2(ratio),
+                    &f2(bound),
+                    check(ratio <= bound),
+                ]);
+            }
+        }
+        table.note("opt is the exact line optimum (Observation 7 is tight for lines)");
+        table.note("paper shape: ratio grows logarithmically and stays below 8 ln n");
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Scale;
+
+    #[test]
+    fn tiny_run_respects_the_bound() {
+        let ctx = ExperimentContext {
+            scale: Scale::Tiny,
+            seed: 11,
+        };
+        let tables = TheoremEight.run(&ctx);
+        let csv = tables[0].to_csv();
+        assert!(!csv.contains(",NO\n"), "bound violated:\n{csv}");
+    }
+}

@@ -1,0 +1,67 @@
+//! The experiment suite: one module per paper result (see `DESIGN.md` for
+//! the full index).
+
+pub mod e_abl;
+pub mod e_f1;
+pub mod e_f2;
+pub mod e_gen;
+pub mod e_heur;
+pub mod e_l10;
+pub mod e_l3;
+pub mod e_l5;
+pub mod e_opt;
+pub mod e_t1;
+pub mod e_t15;
+pub mod e_t16;
+pub mod e_t2;
+pub mod e_t8;
+
+use mla_core::OnlineMinla;
+use mla_graph::Instance;
+
+use crate::engine::Simulation;
+use crate::stats::OnlineStats;
+
+/// Estimates the expected total cost of a randomized algorithm on a fixed
+/// instance by averaging over `trials` independent runs.
+///
+/// `make` receives the trial index and must build a freshly seeded
+/// algorithm.
+pub(crate) fn expected_cost<A, F>(instance: &Instance, trials: u64, make: F) -> OnlineStats
+where
+    A: OnlineMinla,
+    F: Fn(u64) -> A,
+{
+    let mut stats = OnlineStats::new();
+    for trial in 0..trials {
+        let outcome = Simulation::new(instance.clone(), make(trial))
+            .run()
+            .expect("validated instance runs cleanly");
+        stats.push(outcome.total_cost as f64);
+    }
+    stats
+}
+
+/// Formats a float with 2 decimals.
+pub(crate) fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub(crate) fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 4 decimals.
+pub(crate) fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// A yes/no check cell.
+pub(crate) fn check(ok: bool) -> &'static str {
+    if ok {
+        "yes"
+    } else {
+        "NO"
+    }
+}

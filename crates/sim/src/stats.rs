@@ -1,0 +1,280 @@
+//! Streaming statistics for experiment measurements.
+
+/// Streaming mean/variance accumulator (Welford's algorithm), plus
+/// minimum and maximum.
+///
+/// # Examples
+///
+/// ```
+/// use mla_sim::OnlineStats;
+///
+/// let mut stats = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     stats.push(x);
+/// }
+/// assert_eq!(stats.count(), 8);
+/// assert!((stats.mean() - 5.0).abs() < 1e-12);
+/// assert!((stats.stddev() - 2.138_089_935).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn stderr(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval for
+    /// the mean.
+    #[must_use]
+    pub fn ci95(&self) -> f64 {
+        1.959_963_985 * self.stderr()
+    }
+
+    /// Smallest observation (`∞` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// The harmonic number `H_n = 1 + 1/2 + … + 1/n`.
+///
+/// # Examples
+///
+/// ```
+/// use mla_sim::harmonic;
+/// assert!((harmonic(1) - 1.0).abs() < 1e-12);
+/// assert!((harmonic(4) - 2.083_333_333).abs() < 1e-6);
+/// assert_eq!(harmonic(0), 0.0);
+/// ```
+#[must_use]
+pub fn harmonic(n: u64) -> f64 {
+    (1..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let stats = OnlineStats::new();
+        assert_eq!(stats.count(), 0);
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.variance(), 0.0);
+        assert_eq!(stats.stderr(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut stats = OnlineStats::new();
+        stats.push(3.5);
+        assert_eq!(stats.mean(), 3.5);
+        assert_eq!(stats.variance(), 0.0);
+        assert_eq!(stats.min(), 3.5);
+        assert_eq!(stats.max(), 3.5);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 31) % 17) as f64).collect();
+        let mut stats = OnlineStats::new();
+        for &x in &data {
+            stats.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let variance =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((stats.mean() - mean).abs() < 1e-9);
+        assert!((stats.variance() - variance).abs() < 1e-9);
+        assert!(stats.ci95() > 0.0);
+    }
+
+    #[test]
+    fn harmonic_values() {
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        // H_n ≈ ln n + γ for large n.
+        let n = 100_000u64;
+        let approx = (n as f64).ln() + 0.577_215_664_9;
+        assert!((harmonic(n) - approx).abs() < 1e-4);
+    }
+}
+
+/// Five-number summary of a sample (plus mean), for cost-distribution
+/// reporting.
+///
+/// # Examples
+///
+/// ```
+/// use mla_sim::Summary;
+///
+/// let summary = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+/// assert_eq!(summary.min, 1.0);
+/// assert_eq!(summary.median, 3.0);
+/// assert_eq!(summary.max, 5.0);
+/// assert!((summary.mean - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest observation.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Summary {
+            min: sorted[0],
+            p25: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            max: sorted[sorted.len() - 1],
+            mean,
+            count: sorted.len(),
+        }
+    }
+}
+
+/// Linear-interpolation percentile of a **sorted** sample.
+///
+/// # Panics
+///
+/// Panics on an empty sample or a percentile outside `0..=100`.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], percentile: f64) -> f64 {
+    assert!(!sorted.is_empty(), "cannot take a percentile of nothing");
+    assert!(
+        (0.0..=100.0).contains(&percentile),
+        "percentile {percentile} out of range"
+    );
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = percentile / 100.0 * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    let weight = rank - low as f64;
+    sorted[low] * (1.0 - weight) + sorted[high] * weight
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 4.0);
+        assert!((percentile_sorted(&sorted, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn summary_of_unsorted_sample() {
+        let summary = Summary::of(&[10.0, 0.0, 5.0]);
+        assert_eq!(summary.min, 0.0);
+        assert_eq!(summary.max, 10.0);
+        assert_eq!(summary.median, 5.0);
+        assert_eq!(summary.count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+}

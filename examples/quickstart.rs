@@ -1,0 +1,64 @@
+//! Quickstart: the online learning MinLA model end to end.
+//!
+//! Reveals a random clique-merge workload, serves it with the paper's
+//! randomized algorithm, and compares the paid cost against the offline
+//! optimum bounds and the `4 ln n` guarantee.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mla::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 64;
+    let mut rng = SmallRng::seed_from_u64(2024);
+
+    // The adversary: a random sequence of clique merges (every component of
+    // every revealed graph is a clique).
+    let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+    println!(
+        "instance: {} nodes, {} reveals, topology {}",
+        n,
+        instance.len(),
+        instance.topology()
+    );
+
+    // The algorithm starts at a fixed initial arrangement.
+    let pi0 = Permutation::random(n, &mut rng);
+
+    // Serve the sequence with Rand (Section 3 of the paper): on each merge,
+    // move X with probability |Z|/(|X|+|Z|), else move Z.
+    let algorithm = RandCliques::new(pi0.clone(), SmallRng::seed_from_u64(7));
+    let outcome = Simulation::new(instance.clone(), algorithm)
+        .check_feasibility(true) // assert the MinLA invariant after every reveal
+        .run()
+        .expect("the revealed sequence is valid and Rand maintains feasibility");
+
+    println!(
+        "rand-cliques paid {} adjacent swaps over {} reveals",
+        outcome.total_cost,
+        outcome.per_event.len()
+    );
+
+    // Offline bounds: what an optimal offline algorithm pays.
+    let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("solvable");
+    println!(
+        "offline optimum is between {} (Δ*, Observation 7) and {} (merge-tree-consistent jump)",
+        opt.lower, opt.upper
+    );
+
+    let ratio = outcome.total_cost as f64 / opt.upper.max(1) as f64;
+    let bound = 4.0 * harmonic(n as u64);
+    println!("measured ratio {ratio:.2} vs paper guarantee 4·H_n = {bound:.2} (Theorem 2)");
+    assert!(
+        ratio <= bound,
+        "a single run exceeding the expected-cost bound is possible but rare"
+    );
+
+    // The trajectory end-to-end distance never exceeds the paid cost.
+    assert!(pi0.kendall_distance(&outcome.final_perm) <= outcome.total_cost);
+    println!("final arrangement: {}", outcome.final_perm);
+}

@@ -1,0 +1,68 @@
+//! # `mla` — Learning Minimum Linear Arrangement of Cliques and Lines
+//!
+//! Facade crate for the workspace reproducing the ICDCS 2024 paper
+//! *Learning Minimum Linear Arrangement of Cliques and Lines* (Dallot,
+//! Pacut, Bienkowski, Melnyk, Schmid; arXiv:2405.15963).
+//!
+//! The workspace implements the paper's online learning MinLA model — a
+//! graph revealed piece-by-piece, a permutation that must be a minimum
+//! linear arrangement of everything revealed so far, and costs counted in
+//! adjacent transpositions — together with every algorithm, bound and
+//! adversary the paper analyses:
+//!
+//! * [`permutation`] — arrangements, Kendall tau, block operations;
+//! * [`graph`] — dynamic clique/line collection states and reveal events;
+//! * [`offline`] — offline optimum solvers (exact and heuristic);
+//! * [`core`] — the online algorithms: `Det`, `Rand` for cliques
+//!   (`4 ln n`-competitive) and `Rand` for lines (`8 ln n`-competitive);
+//! * [`adversary`] — lower-bound constructions and workload generators;
+//! * [`sim`] — the simulation engine and the experiment suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mla::prelude::*;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // 16 nodes, a random sequence of clique merges, the paper's randomized
+//! // algorithm, and the exact offline lower bound.
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let instance = random_clique_instance(16, MergeShape::Uniform, &mut rng);
+//! let pi0 = Permutation::identity(16);
+//!
+//! let mut run = Simulation::new(
+//!     instance.clone(),
+//!     RandCliques::new(pi0.clone(), SmallRng::seed_from_u64(8)),
+//! )
+//! .check_feasibility(true);
+//! let outcome = run.run().expect("valid instance");
+//!
+//! let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("solvable");
+//! assert!(outcome.total_cost <= 1000); // small instance, tiny cost
+//! assert!(opt.lower <= outcome.total_cost.max(1));
+//! ```
+
+pub use mla_adversary as adversary;
+pub use mla_core as core;
+pub use mla_general as general;
+pub use mla_graph as graph;
+pub use mla_offline as offline;
+pub use mla_permutation as permutation;
+pub use mla_sim as sim;
+
+/// Convenience re-exports of the most frequently used items.
+pub mod prelude {
+    pub use mla_adversary::{
+        datacenter_instance, random_clique_instance, random_line_instance, Adversary,
+        BinaryTreeAdversary, DatacenterConfig, DetLineAdversary, MergeShape, Oblivious,
+    };
+    pub use mla_core::{
+        DetClosest, MovePolicy, OnlineMinla, OptReplay, RandCliques, RandLines, RearrangePolicy,
+        UpdateReport,
+    };
+    pub use mla_graph::{GraphState, Instance, MergeInfo, RevealEvent, Topology};
+    pub use mla_offline::{closest_feasible, offline_optimum, LopConfig, LopStrategy, OptBounds};
+    pub use mla_permutation::{Node, Permutation};
+    pub use mla_sim::{harmonic, OnlineStats, RunOutcome, SimError, Simulation, Table};
+}

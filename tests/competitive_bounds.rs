@@ -1,0 +1,150 @@
+//! Statistical verification of the paper's competitive guarantees.
+//!
+//! * Theorem 2 / 6: `E[cost(RandCliques)] ≤ 4·H_n · d(π0, π_f)` for the
+//!   merge-tree-consistent reference `π_f`;
+//! * Theorem 8 / 14: `E[cost(RandLines)] ≤ 8·H_n · d(π0, π_f)` for any
+//!   final-feasible reference;
+//! * Theorem 1: `cost(Det) ≤ (2n−2) · Opt`.
+//!
+//! Expected costs are estimated over enough trials that the sample mean is
+//! far from the bound whenever the theorem holds with slack (which the
+//! experiments show it does, by a factor ≥ 3).
+
+use mla::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn mean_cost<A: OnlineMinla>(instance: &Instance, trials: u64, make: impl Fn(u64) -> A) -> f64 {
+    let mut stats = OnlineStats::new();
+    for trial in 0..trials {
+        let outcome = Simulation::new(instance.clone(), make(trial))
+            .run()
+            .unwrap();
+        stats.push(outcome.total_cost as f64);
+    }
+    stats.mean()
+}
+
+#[test]
+fn theorem2_expected_cost_bound_cliques() {
+    for (seed, shape) in [
+        (1u64, MergeShape::Uniform),
+        (2, MergeShape::Sequential),
+        (3, MergeShape::Balanced),
+    ] {
+        let n = 48;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let instance = random_clique_instance(n, shape, &mut rng);
+        let pi0 = Permutation::random(n, &mut rng);
+        let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+        let reference = bounds.upper.max(1) as f64;
+        let mean = mean_cost(&instance, 60, |trial| {
+            RandCliques::new(pi0.clone(), SmallRng::seed_from_u64(seed ^ trial << 16))
+        });
+        let bound = 4.0 * harmonic(n as u64) * reference;
+        assert!(
+            mean <= bound,
+            "Theorem 2 violated: E[cost] {mean:.1} > bound {bound:.1} (shape {shape:?})"
+        );
+    }
+}
+
+#[test]
+fn theorem8_expected_cost_bound_lines() {
+    for (seed, shape) in [
+        (4u64, MergeShape::Uniform),
+        (5, MergeShape::Sequential),
+        (6, MergeShape::Balanced),
+    ] {
+        let n = 48;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let instance = random_line_instance(n, shape, &mut rng);
+        let pi0 = Permutation::random(n, &mut rng);
+        let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+        let reference = bounds.upper.max(1) as f64;
+        let mean = mean_cost(&instance, 60, |trial| {
+            RandLines::new(pi0.clone(), SmallRng::seed_from_u64(seed ^ trial << 16))
+        });
+        let bound = 8.0 * harmonic(n as u64) * reference;
+        assert!(
+            mean <= bound,
+            "Theorem 8 violated: E[cost] {mean:.1} > bound {bound:.1} (shape {shape:?})"
+        );
+    }
+}
+
+#[test]
+fn theorem1_det_cost_bound() {
+    for topology in [Topology::Cliques, Topology::Lines] {
+        for seed in 10..16u64 {
+            let n = 16;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let full = match topology {
+                Topology::Cliques => random_clique_instance(n, MergeShape::Uniform, &mut rng),
+                Topology::Lines => random_line_instance(n, MergeShape::Uniform, &mut rng),
+            };
+            // Truncated workload keeps the offline optimum positive.
+            let instance = Instance::new(topology, n, full.events()[..n / 2].to_vec()).unwrap();
+            let pi0 = Permutation::random(n, &mut rng);
+            let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+            let outcome = Simulation::new(instance, DetClosest::new(pi0, LopConfig::default()))
+                .check_feasibility(true)
+                .run()
+                .unwrap();
+            let bound = (2 * n - 2) as u64 * bounds.upper;
+            assert!(
+                outcome.total_cost <= bound,
+                "Theorem 1 violated: cost {} > (2n-2)·opt {} ({topology}, seed {seed})",
+                outcome.total_cost,
+                bound
+            );
+        }
+    }
+}
+
+#[test]
+fn observation7_opt_lower_bound_is_respected_by_every_algorithm() {
+    // No algorithm (online or offline) can beat d(pi0, feasible): any
+    // trajectory's total cost is at least the end-to-end distance, which is
+    // at least Δ*.
+    let n = 20;
+    let mut rng = SmallRng::seed_from_u64(42);
+    let instance = random_line_instance(n, MergeShape::Uniform, &mut rng);
+    let pi0 = Permutation::random(n, &mut rng);
+    let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+    assert!(bounds.exact_lower);
+    for trial in 0..20u64 {
+        let outcome = Simulation::new(
+            instance.clone(),
+            RandLines::new(pi0.clone(), SmallRng::seed_from_u64(trial)),
+        )
+        .run()
+        .unwrap();
+        assert!(
+            outcome.total_cost >= bounds.lower,
+            "no run can pay less than Δ* = {}",
+            bounds.lower
+        );
+    }
+}
+
+#[test]
+fn rand_beats_det_on_the_adversarial_family() {
+    // The quantitative separation at a moderate n.
+    let n = 65;
+    let pi0 = Permutation::identity(n);
+    let adversary = DetLineAdversary::new(pi0.clone(), Topology::Lines);
+    let det = DetClosest::new(pi0.clone(), LopConfig::default());
+    let det_outcome = Simulation::with_adversary(Box::new(adversary), det)
+        .run()
+        .unwrap();
+    let instance = det_outcome.to_instance(Topology::Lines, n);
+    let rand_mean = mean_cost(&instance, 30, |trial| {
+        RandLines::new(pi0.clone(), SmallRng::seed_from_u64(trial))
+    });
+    assert!(
+        (rand_mean as u64) * 4 < det_outcome.total_cost,
+        "Rand ({rand_mean:.0}) should be far cheaper than Det ({}) at n = {n}",
+        det_outcome.total_cost
+    );
+}

@@ -1,0 +1,107 @@
+//! Error-path and panic-freedom tests: arbitrary (including invalid)
+//! inputs must produce `Err`, never a panic, across the validation
+//! surfaces of the workspace.
+
+use mla::prelude::*;
+use mla_graph::{instance_to_text, text_to_instance};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_state_never_panics_on_arbitrary_reveals(
+        (n, raw_events) in (1usize..12, proptest::collection::vec((0usize..14, 0usize..14), 0..30))
+    ) {
+        for topology in [Topology::Cliques, Topology::Lines] {
+            let mut state = GraphState::new(topology, n);
+            for (a, b) in &raw_events {
+                // Out-of-range, self-loops, duplicate merges, interior
+                // endpoints: all must be rejected gracefully.
+                let _ = state.apply(RevealEvent::new(Node::new(*a), Node::new(*b)));
+            }
+            // The state stays internally consistent: component sizes sum
+            // to n.
+            let total: usize = state.components().iter().map(Vec::len).sum();
+            prop_assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn instance_construction_never_panics(
+        (n, raw_events) in (1usize..10, proptest::collection::vec((0usize..12, 0usize..12), 0..20))
+    ) {
+        for topology in [Topology::Cliques, Topology::Lines] {
+            let events: Vec<RevealEvent> = raw_events
+                .iter()
+                .map(|&(a, b)| RevealEvent::new(Node::new(a), Node::new(b)))
+                .collect();
+            // Ok or Err, never a panic.
+            let _ = Instance::new(topology, n, events);
+        }
+    }
+
+    #[test]
+    fn text_parser_never_panics(text in ".{0,200}") {
+        let _ = text_to_instance(&text);
+    }
+
+    #[test]
+    fn text_round_trip_for_valid_instances(
+        (n, seed) in (2usize..16, any::<u64>())
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let instance = random_line_instance(n, MergeShape::Uniform, &mut rng);
+        let text = instance_to_text(&instance);
+        prop_assert_eq!(text_to_instance(&text).unwrap(), instance);
+    }
+
+    #[test]
+    fn permutation_construction_never_panics(
+        indices in proptest::collection::vec(0usize..20, 0..20)
+    ) {
+        // Duplicates and out-of-range indices must be rejected as errors.
+        let _ = Permutation::from_indices(&indices);
+    }
+}
+
+#[test]
+fn simulation_surfaces_adversary_errors() {
+    // An adversary that emits an invalid reveal: the engine must return
+    // SimError::Graph, not panic.
+    struct Broken;
+    impl Adversary for Broken {
+        fn n(&self) -> usize {
+            3
+        }
+        fn topology(&self) -> Topology {
+            Topology::Cliques
+        }
+        fn next(&mut self, _: &Permutation, _: &GraphState) -> Option<mla_graph::RevealEvent> {
+            Some(RevealEvent::new(Node::new(1), Node::new(1)))
+        }
+    }
+    let alg = DetClosest::new(Permutation::identity(3), LopConfig::default());
+    let result = Simulation::with_adversary(Box::new(Broken), alg).run();
+    assert!(matches!(result, Err(SimError::Graph(_))));
+}
+
+#[test]
+fn offline_errors_are_reported_not_panicked() {
+    use mla_offline::{minla_exact, minla_exact_closest, OfflineError};
+    assert!(matches!(
+        minla_exact(25, &[]),
+        Err(OfflineError::TooLarge { .. })
+    ));
+    assert!(matches!(
+        minla_exact_closest(5, &[], &Permutation::identity(4)),
+        Err(OfflineError::SizeMismatch { .. })
+    ));
+    let instance = Instance::new(Topology::Cliques, 4, vec![]).unwrap();
+    assert!(matches!(
+        offline_optimum(&instance, &Permutation::identity(5), &LopConfig::default()),
+        Err(OfflineError::SizeMismatch { .. })
+    ));
+}

