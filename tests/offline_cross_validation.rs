@@ -18,31 +18,75 @@ fn truncated_instance(topology: Topology, n: usize, seed: u64) -> Instance {
     Instance::new(topology, n, full.events()[..n / 2].to_vec()).unwrap()
 }
 
-/// Brute-force Δ*: minimum distance from pi0 over all feasible perms.
-fn brute_delta(state: &GraphState, pi0: &Permutation) -> u64 {
-    let n = state.n();
-    let mut best = u64::MAX;
-    let mut indices: Vec<usize> = (0..n).collect();
-    fn rec(ix: &mut Vec<usize>, at: usize, state: &GraphState, pi0: &Permutation, best: &mut u64) {
+/// Calls `visit` with every permutation of `n` nodes (n ≤ 8).
+fn for_each_permutation(n: usize, visit: &mut dyn FnMut(&Permutation)) {
+    assert!(n <= 8, "factorial enumeration is only sane for n <= 8");
+    fn rec(ix: &mut Vec<usize>, at: usize, visit: &mut dyn FnMut(&Permutation)) {
         if at == ix.len() {
-            let perm = Permutation::from_indices(ix).unwrap();
-            if state.is_minla(&perm) {
-                *best = (*best).min(pi0.kendall_distance(&perm));
-            }
+            visit(&Permutation::from_indices(ix).unwrap());
             return;
         }
         for i in at..ix.len() {
             ix.swap(at, i);
-            rec(ix, at + 1, state, pi0, best);
+            rec(ix, at + 1, visit);
             ix.swap(at, i);
         }
     }
-    rec(&mut indices, 0, state, pi0, &mut best);
+    rec(&mut (0..n).collect(), 0, visit);
+}
+
+/// Brute-force Δ*: minimum distance from pi0 over all feasible perms.
+fn brute_delta(state: &GraphState, pi0: &Permutation) -> u64 {
+    let mut best = u64::MAX;
+    for_each_permutation(state.n(), &mut |perm| {
+        if state.is_minla(perm) {
+            best = best.min(pi0.kendall_distance(perm));
+        }
+    });
+    best
+}
+
+/// Brute-force MinLA oracle: minimum arrangement cost over all `n!`
+/// permutations (n ≤ 8).
+fn brute_minla_value(state: &GraphState) -> u64 {
+    let mut best = u64::MAX;
+    for_each_permutation(state.n(), &mut |perm| {
+        best = best.min(state.arrangement_cost(perm));
+    });
     best
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn minla_value_matches_brute_force_oracle((seed, topo) in (any::<u64>(), any::<bool>())) {
+        // The model's `minla_value` (sum of per-component closed forms)
+        // must equal the exhaustive optimum over every permutation.
+        let topology = if topo { Topology::Cliques } else { Topology::Lines };
+        let n = 7;
+        let instance = truncated_instance(topology, n, seed);
+        let state = instance.final_state();
+        prop_assert_eq!(brute_minla_value(&state), state.minla_value());
+    }
+
+    #[test]
+    fn offline_optimum_lower_matches_brute_delta((seed, pi_seed, topo) in (any::<u64>(), any::<u64>(), any::<bool>())) {
+        // Observation 7 cross-check: the exact lower bound reported by
+        // `offline_optimum` is exactly the brute-force Δ*.
+        let topology = if topo { Topology::Cliques } else { Topology::Lines };
+        let n = 7;
+        let instance = truncated_instance(topology, n, seed);
+        let mut rng = SmallRng::seed_from_u64(pi_seed);
+        let pi0 = Permutation::random(n, &mut rng);
+        let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+        prop_assert!(bounds.exact_lower);
+        prop_assert_eq!(bounds.lower, brute_delta(&instance.final_state(), &pi0));
+        if instance.topology() == Topology::Lines {
+            // For lines Δ* is achievable, so the bounds pin Opt exactly.
+            prop_assert!(bounds.is_tight());
+        }
+    }
 
     #[test]
     fn closest_feasible_matches_brute_force((seed, pi_seed, topo) in (any::<u64>(), any::<u64>(), any::<bool>())) {
@@ -112,6 +156,38 @@ proptest! {
         let perm = Permutation::random(n, &mut rng);
         let is_optimal = state.arrangement_cost(&perm) == state.minla_value();
         prop_assert_eq!(state.is_minla(&perm), is_optimal);
+    }
+}
+
+#[test]
+fn closed_forms_match_exhaustive_single_component() {
+    // One fully merged component of every size m ≤ 8: the closed forms
+    // `(m³ − m)/6` (clique) and `m − 1` (path) equal the exhaustive
+    // optimum computed by permutation enumeration.
+    use mla_graph::{clique_minla_value, path_minla_value};
+    for m in 1usize..=8 {
+        for topology in [Topology::Cliques, Topology::Lines] {
+            let events: Vec<RevealEvent> = (1..m)
+                .map(|i| match topology {
+                    // Cliques: attach node i to the growing clique.
+                    Topology::Cliques => RevealEvent::new(Node::new(0), Node::new(i)),
+                    // Lines: extend the path at its current endpoint.
+                    Topology::Lines => RevealEvent::new(Node::new(i - 1), Node::new(i)),
+                })
+                .collect();
+            let instance = Instance::new(topology, m, events).unwrap();
+            let state = instance.final_state();
+            let expected = match topology {
+                Topology::Cliques => clique_minla_value(m),
+                Topology::Lines => path_minla_value(m),
+            };
+            assert_eq!(
+                brute_minla_value(&state),
+                expected,
+                "closed form disagrees with brute force for {topology:?} of size {m}"
+            );
+            assert_eq!(state.minla_value(), expected);
+        }
     }
 }
 

@@ -1,0 +1,272 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no network access to a
+//! crates registry, so this vendored crate provides the subset of the
+//! criterion 0.5 API the `mla-bench` targets use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical sampling, each benchmark body is
+//! timed over a small fixed number of iterations and a single line per
+//! benchmark is printed:
+//!
+//! ```text
+//! bench kendall_distance/64 ... 1.23 µs/iter
+//! ```
+//!
+//! Set `MLA_BENCH_ITERS` to change the iteration count (default 3; `1`
+//! makes `cargo test`'s smoke run of the bench targets as cheap as
+//! possible).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How many times each benchmark body runs (`MLA_BENCH_ITERS`, default 3).
+fn iterations() -> u64 {
+    std::env::var("MLA_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Formats a per-iteration duration human-readably.
+fn per_iter(total: Duration, iters: u64) -> String {
+    let nanos = total.as_nanos() as f64 / iters as f64;
+    if nanos < 1_000.0 {
+        format!("{nanos:.0} ns/iter")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs/iter", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s/iter", nanos / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed in this stand-in.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_benchmark_id()), &mut f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a per-instance input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.into_benchmark_id()),
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters > 0 {
+        println!(
+            "bench {label} ... {}",
+            per_iter(bencher.elapsed, bencher.iters)
+        );
+    }
+}
+
+/// Times closures; handed to every benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a small fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = iterations();
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let iters = iterations();
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += iters;
+    }
+}
+
+/// Batch sizing hint; accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation; accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name, parameter, or both.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Converts to the display form.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench-target `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,66 @@
+//! Collection strategies: [`vec`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: a half-open range, an inclusive
+/// range, or an exact length.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<::core::ops::Range<usize>> for SizeRange {
+    fn from(r: ::core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<::core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: ::core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec length range");
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self {
+            lo: len,
+            hi_inclusive: len,
+        }
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.lo + rng.below(self.size.hi_inclusive - self.size.lo + 1);
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}

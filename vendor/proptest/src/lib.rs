@@ -1,0 +1,177 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no network access to a
+//! crates registry, so this vendored crate implements the subset of the
+//! proptest API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`];
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map` and
+//!   `prop_perturb`, implemented for integer ranges, tuples, [`Just`] and
+//!   simple string patterns (`&str`);
+//! * [`arbitrary::any`] for the primitive types;
+//! * [`collection::vec`] with a `Range<usize>` length;
+//! * [`test_runner::TestRng`] and [`ProptestConfig`].
+//!
+//! Unlike upstream proptest this stand-in does **not** shrink failing
+//! inputs; it reports the failing case's generated value and seed instead.
+//! Generation is fully deterministic per test name and case index, so a
+//! reported failure always reproduces.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Everything the property tests `use`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pattern in strategy) { body }`
+/// becomes a `#[test]` that evaluates `body` over `config.cases`
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($pat:pat in $strategy:expr) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __strategy = $strategy;
+                let __seed = $crate::test_runner::fnv1a(stringify!($name));
+                let mut __rejected: u32 = 0;
+                let mut __case: u32 = 0;
+                while __case < __config.cases {
+                    let mut __rng =
+                        $crate::TestRng::deterministic(__seed, (__case + __rejected) as u64);
+                    let __value =
+                        $crate::Strategy::gen_value(&__strategy, &mut __rng);
+                    let __debug = format!("{:?}", &__value);
+                    // catch_unwind so a body that panics outright (unwrap,
+                    // assert!) still gets its generated input reported.
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            let $pat = __value;
+                            $body
+                            ::std::result::Result::Ok(())
+                        }),
+                    );
+                    match __outcome {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => __case += 1,
+                        ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::TestCaseError::Reject,
+                        )) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected < 4096,
+                                "proptest {}: too many prop_assume! rejections",
+                                stringify!($name),
+                            );
+                        }
+                        ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::TestCaseError::Fail(__msg),
+                        )) => {
+                            panic!(
+                                "proptest {} failed at case {} (input = {}):\n{}",
+                                stringify!($name), __case, __debug, __msg,
+                            );
+                        }
+                        ::std::result::Result::Err(__payload) => {
+                            panic!(
+                                "proptest {} panicked at case {} (input = {}): {}",
+                                stringify!($name),
+                                __case,
+                                __debug,
+                                $crate::test_runner::panic_message(&__payload),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(__l == __r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+        );
+    }};
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
