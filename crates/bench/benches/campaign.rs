@@ -1,0 +1,65 @@
+//! Campaign throughput: sequential vs parallel execution of an
+//! embarrassingly-parallel batch of simulation runs.
+//!
+//! Each spec is one full `RandCliques` run on its own derived workload —
+//! the shape every experiment cell has after the `mla-runner` port. On
+//! multi-core hardware the `threads/4` target should show the >2x
+//! speedup the campaign subsystem exists for; on a single core all
+//! targets degenerate to sequential throughput (the determinism tests
+//! still guarantee identical results either way).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mla_adversary::{random_clique_instance, MergeShape};
+use mla_core::RandCliques;
+use mla_permutation::Permutation;
+use mla_runner::{Campaign, SeedSequence};
+use mla_sim::Simulation;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const RUNS: usize = 32;
+const N: usize = 96;
+
+fn one_run(seeds: SeedSequence) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
+    let instance = random_clique_instance(N, MergeShape::Uniform, &mut rng);
+    let pi0 = Permutation::random(N, &mut rng);
+    let alg = RandCliques::new(
+        pi0,
+        SmallRng::seed_from_u64(seeds.child_str("coins").seed(0)),
+    );
+    Simulation::new(instance, alg)
+        .run()
+        .expect("valid instance")
+        .total_cost
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let specs: Vec<usize> = (0..RUNS).collect();
+    let reference: Vec<u64> = Campaign::new(SeedSequence::new(1))
+        .threads(1)
+        .run(&specs, |_, seeds| one_run(seeds));
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(RUNS as u64));
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| {
+                    let outcomes = Campaign::new(SeedSequence::new(1))
+                        .threads(threads)
+                        .run(&specs, |_, seeds| one_run(seeds));
+                    // Thread count must never change the results.
+                    assert_eq!(outcomes, reference);
+                    outcomes.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_throughput);
+criterion_main!(benches);

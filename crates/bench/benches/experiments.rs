@@ -9,10 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mla_sim::{all_experiments, ExperimentContext, Scale};
 
 fn bench_experiments(c: &mut Criterion) {
-    let ctx = ExperimentContext {
-        scale: Scale::Tiny,
-        seed: 42,
-    };
+    let ctx = ExperimentContext::new(Scale::Tiny, 42);
     let mut group = c.benchmark_group("experiments_tiny");
     group.sample_size(10);
     for experiment in all_experiments() {

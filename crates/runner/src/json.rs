@@ -1,0 +1,262 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The build environment has no crates registry, so — mirroring the
+//! hand-rolled CSV in `mla-sim`'s `Table` — artifacts are serialized
+//! through this small value tree instead of `serde_json`. Only writing is
+//! supported; object keys keep insertion order so output is byte-stable.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (rendered via [`format_number`]).
+    Number(f64),
+    /// An unsigned integer, rendered exactly — use this (via
+    /// `From<u64>`/`From<usize>`) for counts and ids; routing them
+    /// through [`Json::Number`]'s `f64` would round above `2^53`.
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder seed.
+    #[must_use]
+    pub fn object() -> Self {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds a field to an object (panics on non-objects — builder misuse
+    /// is a programming error).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_owned(), value.into())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders compactly (no whitespace).
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with two-space indentation.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(x) => out.push_str(&format_number(*x)),
+            Json::UInt(x) => out.push_str(&x.to_string()),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_sequence(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Object(fields) => {
+                write_sequence(out, indent, depth, '{', '}', fields.len(), |out, i, d| {
+                    let (key, value) = &fields[i];
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+fn write_sequence(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a number the shortest way that round-trips: integers without a
+/// fraction, everything else via `{:?}` (Rust's shortest-roundtrip float
+/// formatting). Non-finite values become `null` per JSON.
+#[must_use]
+pub fn format_number(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_owned();
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    if x == x.trunc() && x.abs() < 9.0e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:?}")
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::Number(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Self {
+        Json::UInt(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Self {
+        Json::UInt(x as u64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Self {
+        Json::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(value: Option<T>) -> Self {
+        value.map_or(Json::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let value = Json::object()
+            .field("id", "E-T2")
+            .field("ok", true)
+            .field("none", Json::Null)
+            .field("xs", vec![1u64, 2, 3]);
+        assert_eq!(
+            value.render_compact(),
+            r#"{"id":"E-T2","ok":true,"none":null,"xs":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented_and_stable() {
+        let value = Json::object().field("a", 1u64).field("b", vec!["x"]);
+        assert_eq!(
+            value.render_pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let value = Json::Str("a\"b\\c\nd\u{1}".to_owned());
+        assert_eq!(value.render_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_minimally() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(-7.0), "-7");
+        assert_eq!(format_number(0.5), "0.5");
+        assert_eq!(format_number(f64::NAN), "null");
+        assert_eq!(format_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn integers_above_2_pow_53_survive_exactly() {
+        let value = Json::from(u64::MAX);
+        assert_eq!(value.render_compact(), "18446744073709551615");
+        assert_eq!(
+            Json::from((1u64 << 53) + 1).render_compact(),
+            "9007199254740993"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Array(vec![]).render_compact(), "[]");
+        assert_eq!(Json::object().render_compact(), "{}");
+    }
+}

@@ -3,25 +3,35 @@
 //! Lines* (ICDCS 2024).
 //!
 //! ```text
-//! mla-experiments [--full | --tiny] [--seed N] [--csv DIR] [ID...]
+//! mla-experiments [--full | --tiny] [--seed N] [--threads N] [--csv DIR] [--json DIR] [ID...]
 //!
-//!   --full     minutes-scale runs (the EXPERIMENTS.md numbers)
-//!   --tiny     sub-second smoke runs
-//!   --seed N   base seed (default 42)
-//!   --csv DIR  also write each table as CSV into DIR
-//!   ID...      experiment ids to run (default: all); see --list
-//!   --list     print the experiment index and exit
+//!   --full       minutes-scale runs (the EXPERIMENTS.md numbers)
+//!   --tiny       sub-second smoke runs
+//!   --seed N     base seed (default 42)
+//!   --threads N  campaign worker threads (default: available parallelism;
+//!                never changes results, only wall-clock time)
+//!   --csv DIR    also write each table as CSV into DIR
+//!   --json DIR   also write per-experiment JSON campaign artifacts
+//!                (runs + tables + metadata) and an index.json into DIR
+//!   ID...        experiment ids to run (default: all); see --list
+//!   --list       print the experiment index and exit
 //! ```
 
 use std::io::Write as _;
+use std::sync::Arc;
 
+use mla_runner::{
+    git_describe, resolve_threads, ArtifactStore, CampaignReport, ReportMeta, RunSink,
+};
 use mla_sim::{all_experiments, find_experiment, Experiment, ExperimentContext, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut seed = 42u64;
+    let mut threads = 0usize;
     let mut csv_dir: Option<String> = None;
+    let mut json_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut list = false;
     let mut iter = args.into_iter();
@@ -37,10 +47,22 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed requires an integer"));
             }
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--threads requires an integer"));
+            }
             "--csv" => {
                 csv_dir = Some(
                     iter.next()
                         .unwrap_or_else(|| die("--csv requires a directory")),
+                );
+            }
+            "--json" => {
+                json_dir = Some(
+                    iter.next()
+                        .unwrap_or_else(|| die("--json requires a directory")),
                 );
             }
             "--help" | "-h" => {
@@ -75,15 +97,20 @@ fn main() {
             .collect()
     };
 
-    let ctx = ExperimentContext { scale, seed };
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
     }
+    let mut store = json_dir.as_ref().map(|dir| {
+        ArtifactStore::create(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")))
+    });
+    let git = store.as_ref().and_then(|_| git_describe());
+
     println!(
-        "running {} experiment(s) at scale {:?}, seed {}",
+        "running {} experiment(s) at scale {:?}, seed {}, {} thread(s)",
         experiments.len(),
         scale,
-        seed
+        seed,
+        resolve_threads(threads),
     );
     for experiment in experiments {
         println!();
@@ -93,8 +120,15 @@ fn main() {
             experiment.title(),
             experiment.paper_ref()
         );
+        // Only pay for per-run record collection when artifacts are on.
+        let sink = store.as_ref().map(|_| Arc::new(RunSink::new()));
+        let mut ctx = ExperimentContext::new(scale, seed).with_threads(threads);
+        if let Some(sink) = &sink {
+            ctx = ctx.with_sink(Arc::clone(sink));
+        }
         let start = std::time::Instant::now();
         let tables = experiment.run(&ctx);
+        let elapsed = start.elapsed();
         for (index, table) in tables.iter().enumerate() {
             println!();
             print!("{}", table.render());
@@ -109,14 +143,45 @@ fn main() {
                     .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             }
         }
-        println!("[{} finished in {:.2?}]", experiment.id(), start.elapsed());
+        if let Some(store) = &mut store {
+            let report = CampaignReport {
+                id: experiment.id().to_owned(),
+                title: experiment.title().to_owned(),
+                paper_ref: experiment.paper_ref().to_owned(),
+                meta: ReportMeta {
+                    base_seed: seed,
+                    scale: scale.label().to_owned(),
+                    threads: resolve_threads(threads),
+                    git: git.clone(),
+                    elapsed_ms: elapsed.as_secs_f64() * 1_000.0,
+                },
+                tables: tables.iter().map(mla_sim::Table::to_artifact).collect(),
+                runs: sink.as_ref().expect("sink exists when store does").drain(),
+            };
+            let path = store
+                .write(&report)
+                .unwrap_or_else(|e| die(&format!("cannot write artifact: {e}")));
+            println!("[artifact: {}]", path.display());
+        }
+        println!("[{} finished in {elapsed:.2?}]", experiment.id());
+    }
+    if let Some(store) = &store {
+        let index = store
+            .finish()
+            .unwrap_or_else(|e| die(&format!("cannot write index: {e}")));
+        println!();
+        println!("[campaign index: {}]", index.display());
     }
 }
 
 fn print_help() {
     println!(
-        "mla-experiments [--full | --tiny] [--seed N] [--csv DIR] [--list] [ID...]\n\
-         Runs the experiment suite; default scale is --quick. See DESIGN.md for the index."
+        "mla-experiments [--full | --tiny] [--seed N] [--threads N] [--csv DIR] [--json DIR] [--list] [ID...]\n\
+         Runs the experiment suite; default scale is --quick. See DESIGN.md for the index.\n\
+         --threads N  campaign worker threads (default 0 = available parallelism).\n\
+         \x20            Results are bit-identical for every thread count.\n\
+         --json DIR   write per-experiment campaign artifacts (per-run costs, tables,\n\
+         \x20            seed/scale/threads/git metadata) plus index.json into DIR."
     );
 }
 

@@ -1,5 +1,16 @@
 //! The experiment framework: every theorem, lemma and figure of the paper
 //! maps to one [`Experiment`] that prints tables.
+//!
+//! Experiments execute their repetition loops through the deterministic
+//! [`Campaign`](mla_runner::Campaign) runner: the context carries a
+//! worker-thread count and (optionally) a [`RunSink`] collecting per-run
+//! artifact records. Results are bit-identical for every thread count —
+//! see `mla-runner`'s crate docs for the guarantee and `tests/determinism.rs`
+//! for the enforcement.
+
+use std::sync::Arc;
+
+use mla_runner::{Campaign, RunRecord, RunSink, SeedSequence};
 
 use crate::table::Table;
 
@@ -15,16 +26,63 @@ pub enum Scale {
     Full,
 }
 
+impl Scale {
+    /// Lower-case label, used in artifact metadata.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
 /// Run-time parameters shared by all experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Construct with [`ExperimentContext::new`] and the `with_*` builders;
+/// the artifact sink is deliberately not public so that experiments can
+/// only reach it through [`record`](ExperimentContext::record).
+#[derive(Debug, Clone, Default)]
 pub struct ExperimentContext {
     /// Work scale.
     pub scale: Scale,
-    /// Base seed; all randomness derives deterministically from it.
+    /// Base seed; all randomness derives deterministically from it via
+    /// [`SeedSequence`].
     pub seed: u64,
+    /// Campaign worker threads; `0` means available parallelism. The
+    /// thread count never affects results, only wall-clock time.
+    pub threads: usize,
+    sink: Option<Arc<RunSink>>,
 }
 
 impl ExperimentContext {
+    /// A context at the given scale and base seed, with automatic thread
+    /// count and no artifact sink.
+    #[must_use]
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        ExperimentContext {
+            scale,
+            seed,
+            threads: 0,
+            sink: None,
+        }
+    }
+
+    /// Sets the campaign worker count (`0` = available parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Installs an artifact sink collecting per-run [`RunRecord`]s.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<RunSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Picks one of three values by scale.
     #[must_use]
     pub fn pick<T: Copy>(&self, tiny: T, quick: T, full: T) -> T {
@@ -32,6 +90,26 @@ impl ExperimentContext {
             Scale::Tiny => tiny,
             Scale::Quick => quick,
             Scale::Full => full,
+        }
+    }
+
+    /// The root seed sequence for this context.
+    #[must_use]
+    pub fn seeds(&self) -> SeedSequence {
+        SeedSequence::new(self.seed)
+    }
+
+    /// A campaign rooted at the labelled child stream (one label per
+    /// experiment phase keeps streams independent across experiments).
+    #[must_use]
+    pub fn campaign(&self, label: &str) -> Campaign {
+        Campaign::new(self.seeds().child_str(label)).threads(self.threads)
+    }
+
+    /// Records one run into the artifact sink, if one is installed.
+    pub fn record(&self, record: RunRecord) {
+        if let Some(sink) = &self.sink {
+            sink.push(record);
         }
     }
 }
@@ -106,5 +184,34 @@ mod tests {
         assert_eq!(ctx.pick(1, 2, 3), 1);
         ctx.scale = Scale::Full;
         assert_eq!(ctx.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn context_builders_and_sink() {
+        let sink = Arc::new(RunSink::new());
+        let ctx = ExperimentContext::new(Scale::Tiny, 7)
+            .with_threads(3)
+            .with_sink(Arc::clone(&sink));
+        assert_eq!(ctx.threads, 3);
+        ctx.record(RunRecord::new("r", 1).metric("x", 2.0));
+        assert_eq!(sink.len(), 1);
+        // Without a sink, record() is a no-op.
+        ExperimentContext::new(Scale::Tiny, 7).record(RunRecord::new("r", 1));
+    }
+
+    #[test]
+    fn campaigns_derive_independent_streams_per_label() {
+        let ctx = ExperimentContext::new(Scale::Tiny, 42);
+        let a = ctx.campaign("E-T2").seeds();
+        let b = ctx.campaign("E-T8").seeds();
+        assert_ne!(a.seed(0), b.seed(0));
+        assert_eq!(a, ctx.campaign("E-T2").seeds());
+    }
+
+    #[test]
+    fn scale_labels() {
+        assert_eq!(Scale::Tiny.label(), "tiny");
+        assert_eq!(Scale::Quick.label(), "quick");
+        assert_eq!(Scale::Full.label(), "full");
     }
 }

@@ -12,11 +12,12 @@ use mla_core::{MovePolicy, RandCliques, RandLines, RearrangePolicy};
 use mla_graph::Topology;
 use mla_offline::{offline_optimum, LopConfig};
 use mla_permutation::Permutation;
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{expected_cost, f2};
+use crate::experiments::{expected_cost, f2, run_label, zip_seeds};
 use crate::table::Table;
 
 /// The design-choice ablation.
@@ -56,48 +57,78 @@ impl Experiment for Ablation {
             "E-ABL: mean cost / offline reference (sequential & uniform workloads)",
             &["topology", "n", "shape", "policy", "E[cost]", "ratio"],
         );
-        for topology in [Topology::Cliques, Topology::Lines] {
-            for &n in ns {
-                for shape in [MergeShape::Sequential, MergeShape::Uniform] {
-                    let mut rng = SmallRng::seed_from_u64(
-                        ctx.seed ^ (n as u64) << 13 ^ shape.label().len() as u64,
-                    );
-                    let instance = match topology {
-                        Topology::Cliques => random_clique_instance(n, shape, &mut rng),
-                        Topology::Lines => random_line_instance(n, shape, &mut rng),
+        // One spec per (topology, n, shape) cell; each job measures all
+        // three policies on its shared instance so ratios compare
+        // like-for-like.
+        let specs: Vec<(Topology, usize, MergeShape)> = [Topology::Cliques, Topology::Lines]
+            .into_iter()
+            .flat_map(|topology| {
+                ns.iter().flat_map(move |&n| {
+                    [MergeShape::Sequential, MergeShape::Uniform]
+                        .into_iter()
+                        .map(move |shape| (topology, n, shape))
+                })
+            })
+            .collect();
+        let campaign = ctx.campaign("E-ABL");
+        let results = campaign.run(&specs, |&(topology, n, shape), seeds| {
+            let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
+            let instance = match topology {
+                Topology::Cliques => random_clique_instance(n, shape, &mut rng),
+                Topology::Lines => random_line_instance(n, shape, &mut rng),
+            };
+            let pi0 = Permutation::random(n, &mut rng);
+            let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("sizes match");
+            let reference = opt.upper.max(1) as f64;
+            // One shared coin stream for all three policies: common random
+            // numbers keep the cross-policy comparison variance-matched.
+            let coins = seeds.child_str("coins");
+            let means: Vec<f64> = policies
+                .iter()
+                .map(|&(_, move_policy, rearrange_policy)| {
+                    let stats = match topology {
+                        Topology::Cliques => expected_cost(&instance, trials, coins, |seed| {
+                            RandCliques::with_policy(
+                                pi0.clone(),
+                                SmallRng::seed_from_u64(seed),
+                                move_policy,
+                            )
+                        }),
+                        Topology::Lines => expected_cost(&instance, trials, coins, |seed| {
+                            RandLines::with_policies(
+                                pi0.clone(),
+                                SmallRng::seed_from_u64(seed),
+                                move_policy,
+                                rearrange_policy,
+                            )
+                        }),
                     };
-                    let pi0 = Permutation::random(n, &mut rng);
-                    let opt = offline_optimum(&instance, &pi0, &LopConfig::default())
-                        .expect("sizes match");
-                    let reference = opt.upper.max(1) as f64;
-                    for (label, move_policy, rearrange_policy) in policies {
-                        let stats = match topology {
-                            Topology::Cliques => expected_cost(&instance, trials, |trial| {
-                                RandCliques::with_policy(
-                                    pi0.clone(),
-                                    SmallRng::seed_from_u64(ctx.seed ^ trial << 20 ^ n as u64),
-                                    move_policy,
-                                )
-                            }),
-                            Topology::Lines => expected_cost(&instance, trials, |trial| {
-                                RandLines::with_policies(
-                                    pi0.clone(),
-                                    SmallRng::seed_from_u64(ctx.seed ^ trial << 20 ^ n as u64),
-                                    move_policy,
-                                    rearrange_policy,
-                                )
-                            }),
-                        };
-                        table.row(&[
-                            &topology.to_string(),
-                            &n.to_string(),
-                            shape.label(),
-                            label,
-                            &f2(stats.mean()),
-                            &f2(stats.mean() / reference),
-                        ]);
-                    }
-                }
+                    stats.mean()
+                })
+                .collect();
+            (reference, means)
+        });
+        for (&(topology, n, shape), seeds, (reference, means)) in
+            zip_seeds(&specs, &campaign, &results)
+        {
+            let mut record = RunRecord::new(
+                run_label(format!("{topology}-{}", shape.label()), "policies", n, 0),
+                seeds.key(),
+            )
+            .metric("opt_ref", *reference);
+            for ((label, _, _), &mean) in policies.iter().zip(means) {
+                record = record.metric(&format!("mean_cost[{label}]"), mean);
+            }
+            ctx.record(record);
+            for ((label, _, _), &mean) in policies.iter().zip(means) {
+                table.row(&[
+                    &topology.to_string(),
+                    &n.to_string(),
+                    shape.label(),
+                    label,
+                    &f2(mean),
+                    &f2(mean / reference),
+                ]);
             }
         }
         table.note(
@@ -115,10 +146,7 @@ mod tests {
 
     #[test]
     fn biased_coin_beats_fair_coin_on_sequential_cliques() {
-        let ctx = ExperimentContext {
-            scale: Scale::Quick,
-            seed: 21,
-        };
+        let ctx = ExperimentContext::new(Scale::Quick, 21);
         let tables = Ablation.run(&ctx);
         let csv = tables[0].to_csv();
         // Collect (policy, ratio) for cliques/sequential at the largest n.

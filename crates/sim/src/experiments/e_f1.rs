@@ -9,11 +9,12 @@
 use mla_core::{OnlineMinla, RandCliques};
 use mla_graph::{GraphState, RevealEvent, Topology};
 use mla_permutation::{Node, Permutation};
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{check, f3};
+use crate::experiments::{check, f3, run_label, zip_seeds};
 use crate::table::Table;
 
 /// The Figure 1 action-table reproduction.
@@ -68,37 +69,48 @@ impl Experiment for FigureOne {
     }
 
     fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
-        let trials = ctx.pick(400, 4_000, 20_000);
+        let trials = ctx.pick(1_000, 4_000, 20_000);
         let sizes = [1usize, 2, 4, 8];
         let mut table = Table::new(
             "E-F1: P[X moves] — theory vs measured implementation",
             &["|X|", "|Z|", "theory", "measured", "|diff|", "within 3.5σ"],
         );
-        for &x in &sizes {
-            for &z in &sizes {
-                let theory = z as f64 / (x + z) as f64;
-                let mut moved = 0u64;
-                for trial in 0..trials {
-                    if x_moved(
-                        x,
-                        z,
-                        ctx.seed ^ 0xf1 ^ trial << 8 ^ ((x * 16 + z) as u64) << 40,
-                    ) {
-                        moved += 1;
-                    }
-                }
-                let measured = moved as f64 / trials as f64;
-                let sigma = (theory * (1.0 - theory) / trials as f64).sqrt();
-                let diff = (measured - theory).abs();
-                table.row(&[
-                    &x.to_string(),
-                    &z.to_string(),
-                    &f3(theory),
-                    &f3(measured),
-                    &f3(diff),
-                    check(diff <= 3.5 * sigma + 1e-9),
-                ]);
-            }
+        // One spec per (|X|, |Z|) cell; each job flips its own coin
+        // stream for `trials` micro-runs.
+        let specs: Vec<(usize, usize)> = sizes
+            .iter()
+            .flat_map(|&x| sizes.iter().map(move |&z| (x, z)))
+            .collect();
+        let campaign = ctx.campaign("E-F1");
+        let moved_counts = campaign.run(&specs, |&(x, z), seeds| {
+            let coins = seeds.child_str("coins");
+            (0..trials)
+                .filter(|&trial| x_moved(x, z, coins.seed(trial)))
+                .count() as u64
+        });
+        for (&(x, z), seeds, &moved) in zip_seeds(&specs, &campaign, &moved_counts) {
+            ctx.record(
+                RunRecord::new(
+                    run_label("micro-merge", format!("RandCliques-x{x}-z{z}"), x + z, 0),
+                    seeds.key(),
+                )
+                .metric("x", x as f64)
+                .metric("z", z as f64)
+                .metric("trials", trials as f64)
+                .metric("moved", moved as f64),
+            );
+            let theory = z as f64 / (x + z) as f64;
+            let measured = moved as f64 / trials as f64;
+            let sigma = (theory * (1.0 - theory) / trials as f64).sqrt();
+            let diff = (measured - theory).abs();
+            table.row(&[
+                &x.to_string(),
+                &z.to_string(),
+                &f3(theory),
+                &f3(measured),
+                &f3(diff),
+                check(diff <= 3.5 * sigma + 1e-9),
+            ]);
         }
         table.note("moving costs: X pays |X|·gap, Z pays |Z|·gap (verified in mla-core tests)");
         vec![table]
@@ -112,10 +124,7 @@ mod tests {
 
     #[test]
     fn probabilities_match_theory() {
-        let ctx = ExperimentContext {
-            scale: Scale::Tiny,
-            seed: 1,
-        };
+        let ctx = ExperimentContext::new(Scale::Tiny, 1);
         let tables = FigureOne.run(&ctx);
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "{csv}");

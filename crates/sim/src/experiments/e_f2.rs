@@ -10,9 +10,10 @@
 use mla_core::mechanics::{rearrange_choices, RearrangeChoices};
 use mla_graph::ComponentSnapshot;
 use mla_permutation::{Node, Permutation};
+use mla_runner::RunRecord;
 
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{check, f3};
+use crate::experiments::{check, f3, run_label, zip_seeds};
 use crate::table::Table;
 
 /// The Figure 2 action-table reproduction.
@@ -68,12 +69,13 @@ impl Experiment for FigureTwo {
         "Figure 2 (Section 4.1)"
     }
 
-    fn run(&self, _ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
         let (x, z) = (3usize, 2usize);
         let pairs_total = {
             let m = (x + z) as u64;
             m * (m - 1) / 2
         };
+        let campaign = ctx.campaign("E-F2");
         let mut table = Table::new(
             "E-F2: |X| = 3, |Z| = 2 — both options per configuration",
             &[
@@ -86,29 +88,46 @@ impl Experiment for FigureTwo {
                 "sum=C(5,2)",
             ],
         );
+        // The eight configurations are pure enumeration (no coins), but
+        // they still go through the campaign runner so every experiment's
+        // work — and its artifacts — flows through one substrate.
+        let mut specs: Vec<(bool, bool, bool)> = Vec::new();
         for x_left in [true, false] {
             for x_reversed in [false, true] {
                 for z_reversed in [false, true] {
-                    let choices = configuration(x, z, x_left, x_reversed, z_reversed);
-                    let total = choices.forward.cost + choices.reversed.cost;
-                    let p_fwd = choices.reversed.cost as f64 / total as f64;
-                    let label = format!(
-                        "{}{}{}",
-                        if x_left { "XZ" } else { "ZX" },
-                        if x_reversed { ",X rev" } else { ",X fwd" },
-                        if z_reversed { ",Z rev" } else { ",Z fwd" },
-                    );
-                    table.row(&[
-                        &label,
-                        &choices.forward.cost.to_string(),
-                        &choices.reversed.cost.to_string(),
-                        &total.to_string(),
-                        &f3(p_fwd),
-                        &f3(1.0 - p_fwd),
-                        check(total == pairs_total),
-                    ]);
+                    specs.push((x_left, x_reversed, z_reversed));
                 }
             }
+        }
+        let results = campaign.run(&specs, |&(x_left, x_reversed, z_reversed), _seeds| {
+            let choices = configuration(x, z, x_left, x_reversed, z_reversed);
+            (choices.forward.cost, choices.reversed.cost)
+        });
+        for (&(x_left, x_reversed, z_reversed), seeds, &(fwd, rev)) in
+            zip_seeds(&specs, &campaign, &results)
+        {
+            let total = fwd + rev;
+            let p_fwd = rev as f64 / total as f64;
+            let label = format!(
+                "{}{}{}",
+                if x_left { "XZ" } else { "ZX" },
+                if x_reversed { ",X rev" } else { ",X fwd" },
+                if z_reversed { ",Z rev" } else { ",Z fwd" },
+            );
+            ctx.record(
+                RunRecord::new(run_label("figure2", &label, x + z, 0), seeds.key())
+                    .metric("cost_forward", fwd as f64)
+                    .metric("cost_reversed", rev as f64),
+            );
+            table.row(&[
+                &label,
+                &fwd.to_string(),
+                &rev.to_string(),
+                &total.to_string(),
+                &f3(p_fwd),
+                &f3(1.0 - p_fwd),
+                check(total == pairs_total),
+            ]);
         }
         table.note("P[option] = cost(other option) / C(|X|+|Z|, 2) — the paper's biased coin");
         table.note("the paper's drawn case is row 'XZ,X rev,Z fwd': reverse X w.p. (|X||Z|+C(|Z|,2))/C(|X|+|Z|,2)");
@@ -149,10 +168,7 @@ mod tests {
 
     #[test]
     fn all_configurations_sum_to_total_pairs() {
-        let ctx = ExperimentContext {
-            scale: Scale::Tiny,
-            seed: 0,
-        };
+        let ctx = ExperimentContext::new(Scale::Tiny, 0);
         let tables = FigureTwo.run(&ctx);
         assert_eq!(tables.len(), 2);
         assert!(!tables[0].to_csv().contains(",NO\n"));

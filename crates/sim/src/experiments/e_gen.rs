@@ -12,11 +12,12 @@
 
 use mla_general::{Anchor, GeneralDet};
 use mla_permutation::{Node, Permutation};
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::f2;
+use crate::experiments::{f2, run_label, worst_by, zip_seeds};
 use crate::table::Table;
 
 /// The general-graph extension experiment.
@@ -107,48 +108,74 @@ impl Experiment for GeneralGraphs {
             "E-GEN: GeneralDet on trees / cycles / sparse graphs (exact maintenance)",
             &["family", "n", "anchor", "cost", "opt-lb", "ratio", "ln n"],
         );
-        for family in [Family::RandomTree, Family::Cycle, Family::Sparse] {
-            for &n in ns {
-                for anchor in [Anchor::Initial, Anchor::Current] {
-                    let mut worst_ratio = 0.0f64;
-                    let mut worst: Option<(u64, u64)> = None;
-                    for inst in 0..instances {
-                        let mut rng = SmallRng::seed_from_u64(
-                            ctx.seed ^ (n as u64) << 24 ^ inst << 4 ^ family.label().len() as u64,
-                        );
-                        let edges = family.edges(n, &mut rng);
-                        let pi0 = Permutation::random(n, &mut rng);
-                        let mut alg = GeneralDet::new(pi0.clone(), anchor);
-                        for &(a, b) in &edges {
-                            alg.serve(a, b).expect("valid reveal, n <= 14");
-                        }
-                        // Valid OPT lower bound: any trajectory must end at
-                        // some exact MinLA of the final graph.
-                        let (_, opt_lb, _) =
-                            mla_offline::minla_exact_closest(n, alg.state().edges(), &pi0)
-                                .expect("n <= 14");
-                        let ratio = alg.total_cost() as f64 / opt_lb.max(1) as f64;
-                        if ratio > worst_ratio {
-                            worst_ratio = ratio;
-                            worst = Some((alg.total_cost(), opt_lb));
-                        }
-                    }
-                    let (cost, opt_lb) = worst.expect("at least one instance");
-                    let anchor_label = match anchor {
-                        Anchor::Initial => "initial",
-                        Anchor::Current => "current",
-                    };
-                    table.row(&[
-                        family.label(),
-                        &n.to_string(),
-                        anchor_label,
-                        &cost.to_string(),
-                        &opt_lb.to_string(),
-                        &f2(worst_ratio),
-                        &f2((n as f64).ln()),
-                    ]);
-                }
+        // One spec per (family, n, anchor, instance): a full GeneralDet
+        // run plus the exact-MinLA lower bound, all independent.
+        let specs: Vec<(Family, usize, Anchor, u64)> =
+            [Family::RandomTree, Family::Cycle, Family::Sparse]
+                .into_iter()
+                .flat_map(|family| {
+                    ns.iter().flat_map(move |&n| {
+                        [Anchor::Initial, Anchor::Current]
+                            .into_iter()
+                            .flat_map(move |anchor| {
+                                (0..instances).map(move |inst| (family, n, anchor, inst))
+                            })
+                    })
+                })
+                .collect();
+        let campaign = ctx.campaign("E-GEN");
+        let results = campaign.run(&specs, |&(family, n, anchor, _), seeds| {
+            let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
+            let edges = family.edges(n, &mut rng);
+            let pi0 = Permutation::random(n, &mut rng);
+            let mut alg = GeneralDet::new(pi0.clone(), anchor);
+            for &(a, b) in &edges {
+                alg.serve(a, b).expect("valid reveal, n <= 14");
             }
+            // Valid OPT lower bound: any trajectory must end at some
+            // exact MinLA of the final graph.
+            let (_, opt_lb, _) =
+                mla_offline::minla_exact_closest(n, alg.state().edges(), &pi0).expect("n <= 14");
+            (alg.total_cost(), opt_lb)
+        });
+        for (&(family, n, anchor, inst), seeds, &(cost, opt_lb)) in
+            zip_seeds(&specs, &campaign, &results)
+        {
+            let anchor_label = match anchor {
+                Anchor::Initial => "initial",
+                Anchor::Current => "current",
+            };
+            ctx.record(
+                RunRecord::new(
+                    run_label(
+                        family.label(),
+                        format!("GeneralDet-{anchor_label}"),
+                        n,
+                        inst,
+                    ),
+                    seeds.key(),
+                )
+                .metric("total_cost", cost as f64)
+                .metric("opt_lb", opt_lb as f64),
+            );
+        }
+        for (cell, chunk) in results.chunks(instances as usize).enumerate() {
+            let (family, n, anchor, _) = specs[cell * instances as usize];
+            let (cost, opt_lb) = worst_by(chunk, |&(c, lb)| c as f64 / lb.max(1) as f64);
+            let worst_ratio = cost as f64 / opt_lb.max(1) as f64;
+            let anchor_label = match anchor {
+                Anchor::Initial => "initial",
+                Anchor::Current => "current",
+            };
+            table.row(&[
+                family.label(),
+                &n.to_string(),
+                anchor_label,
+                &cost.to_string(),
+                &opt_lb.to_string(),
+                &f2(worst_ratio),
+                &f2((n as f64).ln()),
+            ]);
         }
         table
             .note("exploratory: opt-lb = d(pi0, closest exact MinLA of G_k) — a valid lower bound");
@@ -166,10 +193,7 @@ mod tests {
 
     #[test]
     fn runs_and_produces_sane_ratios() {
-        let ctx = ExperimentContext {
-            scale: Scale::Tiny,
-            seed: 3,
-        };
+        let ctx = ExperimentContext::new(Scale::Tiny, 3);
         let tables = GeneralGraphs.run(&ctx);
         let csv = tables[0].to_csv();
         for line in csv.lines().skip(1) {

@@ -11,11 +11,12 @@ use mla_adversary::{random_clique_instance, random_line_instance, MergeShape};
 use mla_graph::{Instance, Topology};
 use mla_offline::{closest_feasible, LopConfig, LopStrategy};
 use mla_permutation::Permutation;
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{f3, f4};
+use crate::experiments::{f3, f4, run_label, zip_seeds};
 use crate::stats::OnlineStats;
 use crate::table::Table;
 
@@ -54,67 +55,97 @@ impl Experiment for HeuristicGap {
                 "exact hits",
             ],
         );
-        for topology in [Topology::Cliques, Topology::Lines] {
-            for shape in [MergeShape::Balanced, MergeShape::Uniform] {
-                for &blocks in block_counts {
-                    let n = blocks * 3; // three nodes per block on average
-                    let mut gaps = OnlineStats::new();
-                    let mut exact_hits = 0usize;
-                    for case in 0..cases {
-                        let mut rng = SmallRng::seed_from_u64(
-                            ctx.seed ^ (blocks as u64) << 32 ^ case << 2 ^ (n as u64),
-                        );
-                        let full = match topology {
-                            Topology::Cliques => random_clique_instance(n, shape, &mut rng),
-                            Topology::Lines => random_line_instance(n, shape, &mut rng),
-                        };
-                        // Keep roughly `blocks` multi-node components: stop the
-                        // balanced pairing after ~2n/3 merges.
-                        let keep = (n - blocks).min(full.len());
-                        let instance =
-                            Instance::new(topology, n, full.events()[..keep].to_vec()).unwrap();
-                        let state = instance.final_state();
-                        let pi0 = Permutation::random(n, &mut rng);
-                        let exact = closest_feasible(
-                            &state,
-                            &pi0,
-                            &LopConfig {
-                                strategy: LopStrategy::Exact,
-                                max_exact_blocks: 14,
-                                ..LopConfig::default()
-                            },
-                        );
-                        let Ok(exact) = exact else {
-                            continue; // more blocks than the exact cap; skip
-                        };
-                        let heuristic = closest_feasible(
-                            &state,
-                            &pi0,
-                            &LopConfig {
-                                strategy: LopStrategy::Heuristic,
-                                ..LopConfig::default()
-                            },
-                        )
-                        .expect("heuristic always runs");
-                        debug_assert!(heuristic.distance >= exact.distance);
-                        let gap = (heuristic.distance - exact.distance) as f64
-                            / exact.distance.max(1) as f64;
-                        gaps.push(gap);
-                        if heuristic.distance == exact.distance {
-                            exact_hits += 1;
-                        }
-                    }
-                    table.row(&[
-                        &topology.to_string(),
-                        shape.label(),
-                        &blocks.to_string(),
-                        &gaps.count().to_string(),
-                        &f4(gaps.mean()),
-                        &f3(gaps.max()),
-                        &format!("{exact_hits}/{}", gaps.count()),
-                    ]);
+        // One spec per (topology, shape, blocks, case); a case may opt
+        // out (None) when it exceeds the exact solver's block cap.
+        let specs: Vec<(Topology, MergeShape, usize, u64)> = [Topology::Cliques, Topology::Lines]
+            .into_iter()
+            .flat_map(|topology| {
+                [MergeShape::Balanced, MergeShape::Uniform]
+                    .into_iter()
+                    .flat_map(move |shape| {
+                        block_counts.iter().flat_map(move |&blocks| {
+                            (0..cases).map(move |case| (topology, shape, blocks, case))
+                        })
+                    })
+            })
+            .collect();
+        let campaign = ctx.campaign("E-HEUR");
+        let results = campaign.run(&specs, |&(topology, shape, blocks, _), seeds| {
+            let n = blocks * 3; // three nodes per block on average
+            let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
+            let full = match topology {
+                Topology::Cliques => random_clique_instance(n, shape, &mut rng),
+                Topology::Lines => random_line_instance(n, shape, &mut rng),
+            };
+            // Keep roughly `blocks` multi-node components: stop the
+            // balanced pairing after ~2n/3 merges.
+            let keep = (n - blocks).min(full.len());
+            let instance = Instance::new(topology, n, full.events()[..keep].to_vec()).unwrap();
+            let state = instance.final_state();
+            let pi0 = Permutation::random(n, &mut rng);
+            let exact = closest_feasible(
+                &state,
+                &pi0,
+                &LopConfig {
+                    strategy: LopStrategy::Exact,
+                    max_exact_blocks: 14,
+                    ..LopConfig::default()
+                },
+            );
+            let Ok(exact) = exact else {
+                return None; // more blocks than the exact cap; skip
+            };
+            let heuristic = closest_feasible(
+                &state,
+                &pi0,
+                &LopConfig {
+                    strategy: LopStrategy::Heuristic,
+                    ..LopConfig::default()
+                },
+            )
+            .expect("heuristic always runs");
+            debug_assert!(heuristic.distance >= exact.distance);
+            let gap = (heuristic.distance - exact.distance) as f64 / exact.distance.max(1) as f64;
+            Some((gap, heuristic.distance == exact.distance))
+        });
+        for (&(topology, shape, blocks, case), seeds, result) in
+            zip_seeds(&specs, &campaign, &results)
+        {
+            if let Some((gap, hit)) = result {
+                ctx.record(
+                    RunRecord::new(
+                        run_label(
+                            format!("{topology}-{}", shape.label()),
+                            "heuristic-vs-exact",
+                            blocks * 3,
+                            case,
+                        ),
+                        seeds.key(),
+                    )
+                    .metric("gap", *gap)
+                    .metric("exact_hit", f64::from(u8::from(*hit))),
+                );
+            }
+        }
+        for (cell, chunk) in results.chunks(cases as usize).enumerate() {
+            let (topology, shape, blocks, _) = specs[cell * cases as usize];
+            let mut gaps = OnlineStats::new();
+            let mut exact_hits = 0usize;
+            for (gap, hit) in chunk.iter().flatten() {
+                gaps.push(*gap);
+                if *hit {
+                    exact_hits += 1;
                 }
             }
+            table.row(&[
+                &topology.to_string(),
+                shape.label(),
+                &blocks.to_string(),
+                &gaps.count().to_string(),
+                &f4(gaps.mean()),
+                &f3(gaps.max()),
+                &format!("{exact_hits}/{}", gaps.count()),
+            ]);
         }
         table.note("gap = (heuristic − exact)/exact on the closest-feasible distance");
         table.note("small gaps justify heuristic offline references at n > exact range");
@@ -129,10 +160,7 @@ mod tests {
 
     #[test]
     fn gaps_are_small_and_nonnegative() {
-        let ctx = ExperimentContext {
-            scale: Scale::Tiny,
-            seed: 8,
-        };
+        let ctx = ExperimentContext::new(Scale::Tiny, 8);
         let tables = HeuristicGap.run(&ctx);
         let csv = tables[0].to_csv();
         for line in csv.lines().skip(1) {

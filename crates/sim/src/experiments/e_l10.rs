@@ -8,11 +8,12 @@ use mla_adversary::{random_line_instance, MergeShape};
 use mla_core::{OnlineMinla, RandLines};
 use mla_graph::GraphState;
 use mla_permutation::{internal_concordant_pairs, Node, Permutation};
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::f4;
+use crate::experiments::{f4, run_label, trial_chunks};
 use crate::table::Table;
 
 /// The Lemma 10 invariant validation.
@@ -35,7 +36,7 @@ impl Experiment for LemmaTen {
     fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
         let n = ctx.pick(8, 12, 16);
         let trials = ctx.pick(800, 5_000, 20_000);
-        let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0xa0);
+        let mut rng = SmallRng::seed_from_u64(ctx.seeds().child_str("E-L10/workload").seed(0));
         let instance = random_line_instance(n, MergeShape::Uniform, &mut rng);
         let pi0 = Permutation::random(n, &mut rng);
 
@@ -58,30 +59,49 @@ impl Experiment for LemmaTen {
             }
         }
 
-        let mut observed = vec![0u64; predicted.len()];
-        for trial in 0..trials {
-            let mut state = GraphState::new(instance.topology(), n);
-            let mut alg = RandLines::new(
-                pi0.clone(),
-                SmallRng::seed_from_u64(ctx.seed ^ 0xa110 ^ trial << 16),
-            );
-            let mut cursor = 0usize;
-            for (step, &event) in instance.events().iter().enumerate() {
-                let info = state.apply(event).unwrap();
-                alg.serve(event, &info, &state);
-                while cursor < predicted.len() && predicted[cursor].0 == step {
-                    let (_, ref path, _) = predicted[cursor];
-                    // Forward orientation: path positions strictly increase.
-                    let positions: Vec<usize> = path
-                        .iter()
-                        .map(|&v| alg.permutation().position_of(v))
-                        .collect();
-                    if positions.windows(2).all(|w| w[0] < w[1]) {
-                        observed[cursor] += 1;
+        // Same chunked-campaign protocol as `E-L3`: fixed chunks, global
+        // per-trial coin stream, thread-count invariant counts.
+        let coins = ctx.seeds().child_str("E-L10/coins");
+        let chunks = trial_chunks(trials);
+        let partials = ctx.campaign("E-L10").run(&chunks, |range, _seeds| {
+            let mut observed = vec![0u64; predicted.len()];
+            for trial in range.clone() {
+                let mut state = GraphState::new(instance.topology(), n);
+                let mut alg =
+                    RandLines::new(pi0.clone(), SmallRng::seed_from_u64(coins.seed(trial)));
+                let mut cursor = 0usize;
+                for (step, &event) in instance.events().iter().enumerate() {
+                    let info = state.apply(event).unwrap();
+                    alg.serve(event, &info, &state);
+                    while cursor < predicted.len() && predicted[cursor].0 == step {
+                        let (_, ref path, _) = predicted[cursor];
+                        // Forward orientation: path positions strictly increase.
+                        let positions: Vec<usize> = path
+                            .iter()
+                            .map(|&v| alg.permutation().position_of(v))
+                            .collect();
+                        if positions.windows(2).all(|w| w[0] < w[1]) {
+                            observed[cursor] += 1;
+                        }
+                        cursor += 1;
                     }
-                    cursor += 1;
                 }
             }
+            observed
+        });
+        let mut observed = vec![0u64; predicted.len()];
+        for (chunk, partial) in chunks.iter().zip(&partials) {
+            for (total, count) in observed.iter_mut().zip(partial) {
+                *total += count;
+            }
+            ctx.record(
+                RunRecord::new(
+                    run_label("lines-uniform", "RandLines", n, chunk.start),
+                    coins.key(),
+                )
+                .metric("trials", (chunk.end - chunk.start) as f64)
+                .metric("checkpoints", predicted.len() as f64),
+            );
         }
 
         let mut max_dev = 0.0f64;
@@ -125,10 +145,7 @@ mod tests {
 
     #[test]
     fn lemma10_holds_within_tolerance() {
-        let ctx = ExperimentContext {
-            scale: Scale::Tiny,
-            seed: 6,
-        };
+        let ctx = ExperimentContext::new(Scale::Tiny, 6);
         let tables = LemmaTen.run(&ctx);
         let csv = tables[0].to_csv();
         assert!(csv.contains("within tolerance,yes"), "{csv}");

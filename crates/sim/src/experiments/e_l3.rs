@@ -10,11 +10,12 @@ use mla_adversary::{random_clique_instance, MergeShape};
 use mla_core::{OnlineMinla, RandCliques};
 use mla_graph::GraphState;
 use mla_permutation::{concordant_pairs, Permutation};
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::f4;
+use crate::experiments::{f4, run_label, trial_chunks};
 use crate::table::Table;
 
 /// The Lemma 3 invariant validation.
@@ -37,7 +38,7 @@ impl Experiment for LemmaThree {
     fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
         let n = ctx.pick(8, 12, 16);
         let trials = ctx.pick(800, 5_000, 20_000);
-        let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x13);
+        let mut rng = SmallRng::seed_from_u64(ctx.seeds().child_str("E-L3/workload").seed(0));
         let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
         let pi0 = Permutation::random(n, &mut rng);
 
@@ -64,28 +65,49 @@ impl Experiment for LemmaThree {
             }
         }
 
-        // Empirical counts per checkpoint.
-        let mut observed = vec![0u64; predicted.len()];
-        for trial in 0..trials {
-            let mut state = GraphState::new(instance.topology(), n);
-            let mut alg = RandCliques::new(
-                pi0.clone(),
-                SmallRng::seed_from_u64(ctx.seed ^ 0x1331 ^ trial << 16),
-            );
-            let mut cursor = 0usize;
-            for (step, &event) in instance.events().iter().enumerate() {
-                let info = state.apply(event).unwrap();
-                alg.serve(event, &info, &state);
-                while cursor < predicted.len() && predicted[cursor].0 == step {
-                    let (_, ref x, ref y, _) = predicted[cursor];
-                    let x_pos = alg.permutation().position_of(x[0]);
-                    let y_pos = alg.permutation().position_of(y[0]);
-                    if x_pos < y_pos {
-                        observed[cursor] += 1;
+        // Empirical counts per checkpoint: the trial mass is split into
+        // fixed chunks submitted through the campaign runner. Chunking is
+        // pure scheduling — every trial's coins come from the global
+        // per-trial stream, so the counts are identical for any chunk or
+        // thread count.
+        let coins = ctx.seeds().child_str("E-L3/coins");
+        let chunks = trial_chunks(trials);
+        let partials = ctx.campaign("E-L3").run(&chunks, |range, _seeds| {
+            let mut observed = vec![0u64; predicted.len()];
+            for trial in range.clone() {
+                let mut state = GraphState::new(instance.topology(), n);
+                let mut alg =
+                    RandCliques::new(pi0.clone(), SmallRng::seed_from_u64(coins.seed(trial)));
+                let mut cursor = 0usize;
+                for (step, &event) in instance.events().iter().enumerate() {
+                    let info = state.apply(event).unwrap();
+                    alg.serve(event, &info, &state);
+                    while cursor < predicted.len() && predicted[cursor].0 == step {
+                        let (_, ref x, ref y, _) = predicted[cursor];
+                        let x_pos = alg.permutation().position_of(x[0]);
+                        let y_pos = alg.permutation().position_of(y[0]);
+                        if x_pos < y_pos {
+                            observed[cursor] += 1;
+                        }
+                        cursor += 1;
                     }
-                    cursor += 1;
                 }
             }
+            observed
+        });
+        let mut observed = vec![0u64; predicted.len()];
+        for (chunk, partial) in chunks.iter().zip(&partials) {
+            for (total, count) in observed.iter_mut().zip(partial) {
+                *total += count;
+            }
+            ctx.record(
+                RunRecord::new(
+                    run_label("cliques-uniform", "RandCliques", n, chunk.start),
+                    coins.key(),
+                )
+                .metric("trials", (chunk.end - chunk.start) as f64)
+                .metric("checkpoints", predicted.len() as f64),
+            );
         }
 
         let mut max_dev = 0.0f64;
@@ -140,10 +162,7 @@ mod tests {
 
     #[test]
     fn lemma3_holds_within_tolerance() {
-        let ctx = ExperimentContext {
-            scale: Scale::Tiny,
-            seed: 4,
-        };
+        let ctx = ExperimentContext::new(Scale::Tiny, 4);
         let tables = LemmaThree.run(&ctx);
         let csv = tables[0].to_csv();
         assert!(csv.contains("within tolerance,yes"), "{csv}");

@@ -5,11 +5,12 @@
 //! * Lemma 13 (first): `Σᵢ sᵢ² / C(Σ_{j≤i} sⱼ, 2) ≤ 2·H_S`;
 //! * Lemma 13 (second): `Σ_{i≥2} sᵢ₋₁·sᵢ / C(Σ_{j=2..i} sⱼ, 2) ≤ 2·H_S`.
 
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::f3;
+use crate::experiments::{f3, run_label, zip_seeds};
 use crate::stats::harmonic;
 use crate::table::Table;
 
@@ -85,24 +86,47 @@ impl Experiment for HarmonicLemmas {
     }
 
     fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+        let campaign = ctx.campaign("E-L5");
         let random_series = ctx.pick(200, 2_000, 10_000);
-        let mut families: Vec<(&str, Vec<Vec<u64>>)> = vec![
-            ("all ones (worst case of Lemma 5)", vec![vec![1; 256]]),
-            ("doubling", vec![(0..12).map(|i| 1u64 << i).collect()]),
-            ("single element", vec![vec![1_000_000]]),
-            ("arith. increasing", vec![(1..=64).collect::<Vec<u64>>()]),
-            (
-                "arith. decreasing",
-                vec![(1..=64).rev().collect::<Vec<u64>>()],
-            ),
+        // One campaign spec per series family; the random family
+        // generates its series inside its job, from its derived stream.
+        let family_names = [
+            "all ones (worst case of Lemma 5)",
+            "doubling",
+            "single element",
+            "arith. increasing",
+            "arith. decreasing",
+            "random (1..100 entries)",
         ];
-        let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x55);
-        let mut random: Vec<Vec<u64>> = Vec::new();
-        for _ in 0..random_series {
-            let len = rng.gen_range(1..40);
-            random.push((0..len).map(|_| rng.gen_range(1..100)).collect());
-        }
-        families.push(("random (1..100 entries)", random));
+        let results = campaign.run(&family_names, |&name, seeds| {
+            let family: Vec<Vec<u64>> = match name {
+                "all ones (worst case of Lemma 5)" => vec![vec![1; 256]],
+                "doubling" => vec![(0..12).map(|i| 1u64 << i).collect()],
+                "single element" => vec![vec![1_000_000]],
+                "arith. increasing" => vec![(1..=64).collect::<Vec<u64>>()],
+                "arith. decreasing" => vec![(1..=64).rev().collect::<Vec<u64>>()],
+                _ => {
+                    let mut rng = SmallRng::seed_from_u64(seeds.child_str("series").seed(0));
+                    (0..random_series)
+                        .map(|_| {
+                            let len = rng.gen_range(1..40);
+                            (0..len).map(|_| rng.gen_range(1..100)).collect()
+                        })
+                        .collect()
+                }
+            };
+            let mut max5 = 0.0f64;
+            let mut max13a = 0.0f64;
+            let mut max13b = 0.0f64;
+            for series in &family {
+                let total: u64 = series.iter().sum();
+                let h = harmonic(total);
+                max5 = max5.max(lemma5_lhs(series) / h);
+                max13a = max13a.max(lemma13_first_lhs(series) / (2.0 * h));
+                max13b = max13b.max(lemma13_second_lhs(series) / (2.0 * h));
+            }
+            (family.len(), max5, max13a, max13b)
+        });
 
         let mut table = Table::new(
             "E-L5: max normalized LHS over each series family (must be ≤ 1)",
@@ -115,21 +139,19 @@ impl Experiment for HarmonicLemmas {
                 "all hold",
             ],
         );
-        for (name, family) in &families {
-            let mut max5 = 0.0f64;
-            let mut max13a = 0.0f64;
-            let mut max13b = 0.0f64;
-            for series in family {
-                let total: u64 = series.iter().sum();
-                let h = harmonic(total);
-                max5 = max5.max(lemma5_lhs(series) / h);
-                max13a = max13a.max(lemma13_first_lhs(series) / (2.0 * h));
-                max13b = max13b.max(lemma13_second_lhs(series) / (2.0 * h));
-            }
+        for (&name, seeds, &(count, max5, max13a, max13b)) in
+            zip_seeds(&family_names, &campaign, &results)
+        {
+            ctx.record(
+                RunRecord::new(run_label("series", name, count, 0), seeds.key())
+                    .metric("max_l5", max5)
+                    .metric("max_l13a", max13a)
+                    .metric("max_l13b", max13b),
+            );
             let ok = max5 <= 1.0 + 1e-9 && max13a <= 1.0 + 1e-9 && max13b <= 1.0 + 1e-9;
             table.row(&[
                 name,
-                &family.len().to_string(),
+                &count.to_string(),
                 &f3(max5),
                 &f3(max13a),
                 &f3(max13b),
@@ -148,10 +170,7 @@ mod tests {
 
     #[test]
     fn inequalities_hold_on_all_families() {
-        let ctx = ExperimentContext {
-            scale: Scale::Tiny,
-            seed: 9,
-        };
+        let ctx = ExperimentContext::new(Scale::Tiny, 9);
         let tables = HarmonicLemmas.run(&ctx);
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "{csv}");

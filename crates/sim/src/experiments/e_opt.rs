@@ -13,11 +13,12 @@ use mla_adversary::{random_clique_instance, random_line_instance, MergeShape};
 use mla_graph::{GraphState, Instance, Topology};
 use mla_offline::{closest_feasible, minla_exact, offline_optimum, LopConfig};
 use mla_permutation::Permutation;
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::check;
+use crate::experiments::{check, run_label, zip_seeds};
 use crate::table::Table;
 
 /// The offline-solver cross-check.
@@ -73,83 +74,90 @@ impl Experiment for OptCrossCheck {
             &["check", "cases", "agreements", "ok"],
         );
 
-        // 1. Closed forms vs exact subset DP.
-        let mut closed_ok = 0usize;
-        for seed in 0..cases {
-            let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x07 ^ seed as u64);
-            let n = 8 + (seed % 5);
-            let instance = if seed % 2 == 0 {
-                random_clique_instance(n, MergeShape::Uniform, &mut rng)
-            } else {
-                random_line_instance(n, MergeShape::Uniform, &mut rng)
-            };
-            // Truncate to keep several components.
-            let events = instance.events()[..n / 2].to_vec();
-            let truncated = Instance::new(instance.topology(), n, events).unwrap();
-            let state = truncated.final_state();
-            let (exact, _) = minla_exact(n, &state.edges()).expect("n <= 12");
-            if exact == state.minla_value() {
-                closed_ok += 1;
-            }
-        }
-        table.row(&[
+        let checks = [
             "closed-form optima == exact subset DP",
-            &cases.to_string(),
-            &closed_ok.to_string(),
-            check(closed_ok == cases),
-        ]);
-
-        // 2. closest_feasible vs brute force (n <= 7).
-        let mut closest_ok = 0usize;
-        for seed in 0..cases {
-            let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x0b ^ (seed as u64) << 3);
-            let n = 6 + (seed % 2);
-            let instance = if seed % 2 == 0 {
-                random_clique_instance(n, MergeShape::Uniform, &mut rng)
-            } else {
-                random_line_instance(n, MergeShape::Uniform, &mut rng)
-            };
-            let events = instance.events()[..n / 2].to_vec();
-            let truncated = Instance::new(instance.topology(), n, events).unwrap();
-            let state = truncated.final_state();
-            let pi0 = Permutation::random(n, &mut rng);
-            let placement = closest_feasible(&state, &pi0, &LopConfig::default()).unwrap();
-            if placement.exact && placement.distance == brute_force_delta(&state, &pi0) {
-                closest_ok += 1;
-            }
-        }
-        table.row(&[
             "closest_feasible == brute force",
-            &cases.to_string(),
-            &closest_ok.to_string(),
-            check(closest_ok == cases),
-        ]);
-
-        // 3. Clique OPT sandwich and step-wise feasibility of the upper
-        //    bound's permutation.
-        let mut sandwich_ok = 0usize;
-        for seed in 0..cases {
-            let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x0d ^ (seed as u64) << 5);
-            let n = 8 + (seed % 5);
-            let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
-            let pi0 = Permutation::random(n, &mut rng);
-            let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
-            let mut replay = GraphState::new(Topology::Cliques, n);
-            let mut feasible = replay.is_minla(&bounds.upper_perm);
-            for &event in instance.events() {
-                replay.apply(event).unwrap();
-                feasible &= replay.is_minla(&bounds.upper_perm);
-            }
-            if bounds.lower <= bounds.upper && feasible {
-                sandwich_ok += 1;
-            }
-        }
-        table.row(&[
             "clique bounds sandwich + stepwise-feasible upper",
-            &cases.to_string(),
-            &sandwich_ok.to_string(),
-            check(sandwich_ok == cases),
-        ]);
+        ];
+        // One spec per (check, case); every case is an independent random
+        // instance cross-validated by two solvers.
+        let specs: Vec<(usize, usize)> = (0..checks.len())
+            .flat_map(|check_idx| (0..cases).map(move |case| (check_idx, case)))
+            .collect();
+        let campaign = ctx.campaign("E-OPT");
+        let agreements = campaign.run(&specs, |&(check_idx, case), seeds| {
+            let mut rng = SmallRng::seed_from_u64(seeds.child_str("instance").seed(0));
+            match check_idx {
+                // 1. Closed forms vs exact subset DP.
+                0 => {
+                    let n = 8 + (case % 5);
+                    let instance = if case % 2 == 0 {
+                        random_clique_instance(n, MergeShape::Uniform, &mut rng)
+                    } else {
+                        random_line_instance(n, MergeShape::Uniform, &mut rng)
+                    };
+                    // Truncate to keep several components.
+                    let events = instance.events()[..n / 2].to_vec();
+                    let truncated = Instance::new(instance.topology(), n, events).unwrap();
+                    let state = truncated.final_state();
+                    let (exact, _) = minla_exact(n, &state.edges()).expect("n <= 12");
+                    exact == state.minla_value()
+                }
+                // 2. closest_feasible vs brute force (n <= 7).
+                1 => {
+                    let n = 6 + (case % 2);
+                    let instance = if case % 2 == 0 {
+                        random_clique_instance(n, MergeShape::Uniform, &mut rng)
+                    } else {
+                        random_line_instance(n, MergeShape::Uniform, &mut rng)
+                    };
+                    let events = instance.events()[..n / 2].to_vec();
+                    let truncated = Instance::new(instance.topology(), n, events).unwrap();
+                    let state = truncated.final_state();
+                    let pi0 = Permutation::random(n, &mut rng);
+                    let placement = closest_feasible(&state, &pi0, &LopConfig::default()).unwrap();
+                    placement.exact && placement.distance == brute_force_delta(&state, &pi0)
+                }
+                // 3. Clique OPT sandwich and step-wise feasibility of the
+                //    upper bound's permutation.
+                _ => {
+                    let n = 8 + (case % 5);
+                    let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+                    let pi0 = Permutation::random(n, &mut rng);
+                    let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
+                    let mut replay = GraphState::new(Topology::Cliques, n);
+                    let mut feasible = replay.is_minla(&bounds.upper_perm);
+                    for &event in instance.events() {
+                        replay.apply(event).unwrap();
+                        feasible &= replay.is_minla(&bounds.upper_perm);
+                    }
+                    bounds.lower <= bounds.upper && feasible
+                }
+            }
+        });
+        for (&(check_idx, case), seeds, &ok) in zip_seeds(&specs, &campaign, &agreements) {
+            // Mirror each check's own case-index → n mapping.
+            let n = match check_idx {
+                1 => 6 + (case % 2),
+                _ => 8 + (case % 5),
+            };
+            ctx.record(
+                RunRecord::new(
+                    run_label(format!("solver-check-{check_idx}"), "case", n, case as u64),
+                    seeds.key(),
+                )
+                .metric("agrees", f64::from(u8::from(ok))),
+            );
+        }
+        for (check_idx, chunk) in agreements.chunks(cases).enumerate() {
+            let agreed = chunk.iter().filter(|&&ok| ok).count();
+            table.row(&[
+                checks[check_idx],
+                &cases.to_string(),
+                &agreed.to_string(),
+                check(agreed == cases),
+            ]);
+        }
         table.note("see also the property tests in mla-offline and tests/ for deeper coverage");
         vec![table]
     }
@@ -162,10 +170,7 @@ mod tests {
 
     #[test]
     fn all_cross_checks_pass() {
-        let ctx = ExperimentContext {
-            scale: Scale::Tiny,
-            seed: 12,
-        };
+        let ctx = ExperimentContext::new(Scale::Tiny, 12);
         let tables = OptCrossCheck.run(&ctx);
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "{csv}");

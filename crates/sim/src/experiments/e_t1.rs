@@ -11,12 +11,13 @@ use mla_core::DetClosest;
 use mla_graph::{Instance, Topology};
 use mla_offline::{offline_optimum, LopConfig};
 use mla_permutation::Permutation;
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::engine::Simulation;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{check, f2};
+use crate::experiments::{check, f2, run_label, worst_by, zip_seeds};
 use crate::table::Table;
 
 /// The Theorem 1 reproduction.
@@ -39,53 +40,70 @@ impl Experiment for TheoremOne {
     fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
         let ns: &[usize] = ctx.pick(&[8, 12][..], &[8, 12, 16, 20][..], &[8, 12, 16, 20, 24][..]);
         let instances_per_cell = ctx.pick(2, 5, 10);
+        let campaign = ctx.campaign("E-T1");
         let mut table = Table::new(
             "E-T1: Det total cost vs (2n-2) x offline bounds",
             &[
                 "n", "topology", "det-cost", "opt-lo", "opt-hi", "ratio-hi", "2n-2", "within",
             ],
         );
-        for &n in ns {
-            for topology in [Topology::Cliques, Topology::Lines] {
-                let mut worst: Option<(u64, u64, u64, f64)> = None;
-                for inst in 0..instances_per_cell {
-                    let mut rng = SmallRng::seed_from_u64(ctx.seed ^ (n as u64) << 16 ^ inst << 4);
-                    let full = match topology {
-                        Topology::Cliques => {
-                            random_clique_instance(n, MergeShape::Uniform, &mut rng)
-                        }
-                        Topology::Lines => random_line_instance(n, MergeShape::Uniform, &mut rng),
-                    };
-                    // Truncate to keep several final components.
-                    let events = full.events()[..n / 2].to_vec();
-                    let instance =
-                        Instance::new(topology, n, events).expect("truncated prefix is valid");
-                    let pi0 = Permutation::random(n, &mut rng);
-                    let opt = offline_optimum(&instance, &pi0, &LopConfig::default())
-                        .expect("sizes match");
-                    let alg = DetClosest::new(pi0, LopConfig::default());
-                    let outcome = Simulation::new(instance, alg)
-                        .check_feasibility(true)
-                        .run()
-                        .expect("Det run is feasible");
-                    let ratio_hi = outcome.total_cost as f64 / opt.upper.max(1) as f64;
-                    if worst.is_none() || ratio_hi > worst.unwrap().3 {
-                        worst = Some((outcome.total_cost, opt.lower, opt.upper, ratio_hi));
-                    }
-                }
-                let (cost, lo, hi, ratio_hi) = worst.expect("at least one instance");
-                let bound = (2 * n - 2) as f64;
-                table.row(&[
-                    &n.to_string(),
-                    &topology.to_string(),
-                    &cost.to_string(),
-                    &lo.to_string(),
-                    &hi.to_string(),
-                    &f2(ratio_hi),
-                    &f2(bound),
-                    check(ratio_hi <= bound),
-                ]);
-            }
+        // One spec per (n, topology, instance): a single Det run each, an
+        // embarrassingly-parallel campaign.
+        let specs: Vec<(usize, Topology, u64)> = ns
+            .iter()
+            .flat_map(|&n| {
+                [Topology::Cliques, Topology::Lines]
+                    .into_iter()
+                    .flat_map(move |topology| {
+                        (0..instances_per_cell).map(move |inst| (n, topology, inst))
+                    })
+            })
+            .collect();
+        let results = campaign.run(&specs, |&(n, topology, _), seeds| {
+            let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
+            let full = match topology {
+                Topology::Cliques => random_clique_instance(n, MergeShape::Uniform, &mut rng),
+                Topology::Lines => random_line_instance(n, MergeShape::Uniform, &mut rng),
+            };
+            // Truncate to keep several final components.
+            let events = full.events()[..n / 2].to_vec();
+            let instance = Instance::new(topology, n, events).expect("truncated prefix is valid");
+            let pi0 = Permutation::random(n, &mut rng);
+            let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("sizes match");
+            let alg = DetClosest::new(pi0, LopConfig::default());
+            let outcome = Simulation::new(instance, alg)
+                .check_feasibility(true)
+                .run()
+                .expect("Det run is feasible");
+            (outcome.total_cost, opt.lower, opt.upper)
+        });
+        for (&(n, topology, inst), seeds, &(cost, lo, hi)) in zip_seeds(&specs, &campaign, &results)
+        {
+            ctx.record(
+                RunRecord::new(
+                    run_label(format!("{topology}-uniform"), "DetClosest", n, inst),
+                    seeds.key(),
+                )
+                .metric("total_cost", cost as f64)
+                .metric("opt_lower", lo as f64)
+                .metric("opt_upper", hi as f64),
+            );
+        }
+        for (cell, chunk) in results.chunks(instances_per_cell as usize).enumerate() {
+            let (n, topology, _) = specs[cell * instances_per_cell as usize];
+            let (cost, lo, hi) = worst_by(chunk, |&(c, _, h)| c as f64 / h.max(1) as f64);
+            let ratio_hi = cost as f64 / hi.max(1) as f64;
+            let bound = (2 * n - 2) as f64;
+            table.row(&[
+                &n.to_string(),
+                &topology.to_string(),
+                &cost.to_string(),
+                &lo.to_string(),
+                &hi.to_string(),
+                &f2(ratio_hi),
+                &f2(bound),
+                check(ratio_hi <= bound),
+            ]);
         }
         table.note("ratio-hi = det-cost / opt-hi; the theorem implies ratio-hi <= 2n-2");
         table.note(
@@ -102,10 +120,7 @@ mod tests {
 
     #[test]
     fn tiny_run_respects_the_bound() {
-        let ctx = ExperimentContext {
-            scale: Scale::Tiny,
-            seed: 3,
-        };
+        let ctx = ExperimentContext::new(Scale::Tiny, 3);
         let tables = TheoremOne.run(&ctx);
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "bound violated:\n{csv}");

@@ -12,11 +12,12 @@ use mla_core::RandLines;
 use mla_graph::Topology;
 use mla_offline::{offline_optimum, LopConfig};
 use mla_permutation::Permutation;
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{expected_cost, f2, f3};
+use crate::experiments::{expected_cost, f2, f3, run_label, zip_seeds};
 use crate::stats::{harmonic, OnlineStats};
 use crate::table::Table;
 
@@ -49,27 +50,48 @@ impl Experiment for TheoremFifteen {
             "E-T15: Rand on the binary-tree distribution (lines)",
             &["n", "E[cost]", "opt", "ratio", "ratio/log2 n", "8·H_n"],
         );
-        for &q in qs {
+        // One spec per (q, sample) draw from the binary-tree distribution.
+        let specs: Vec<(u32, u64)> = qs
+            .iter()
+            .flat_map(|&q| (0..samples).map(move |sample| (q, sample)))
+            .collect();
+        let campaign = ctx.campaign("E-T15");
+        let results = campaign.run(&specs, |&(q, _), seeds| {
+            let n = 1usize << q;
+            let mut rng = SmallRng::seed_from_u64(seeds.child_str("tree").seed(0));
+            let adversary = BinaryTreeAdversary::sample(q, Topology::Lines, &mut rng);
+            let pi0 = Permutation::identity(n);
+            let opt = offline_optimum(adversary.instance(), &pi0, &LopConfig::default())
+                .expect("sizes match");
+            let opt_value = opt.upper.max(1);
+            let stats = expected_cost(
+                adversary.instance(),
+                trials,
+                seeds.child_str("coins"),
+                |seed| RandLines::new(pi0.clone(), SmallRng::seed_from_u64(seed)),
+            );
+            (stats.mean(), opt_value)
+        });
+        for (&(q, sample), seeds, &(mean, opt_value)) in zip_seeds(&specs, &campaign, &results) {
+            ctx.record(
+                RunRecord::new(
+                    run_label("binary-tree", "RandLines", 1usize << q, sample),
+                    seeds.key(),
+                )
+                .metric("mean_cost", mean)
+                .metric("opt", opt_value as f64),
+            );
+        }
+        for (cell, chunk) in results.chunks(samples as usize).enumerate() {
+            let q = specs[cell * samples as usize].0;
             let n = 1usize << q;
             let mut ratio_stats = OnlineStats::new();
             let mut cost_stats = OnlineStats::new();
             let mut opt_stats = OnlineStats::new();
-            for sample in 0..samples {
-                let mut rng = SmallRng::seed_from_u64(ctx.seed ^ u64::from(q) << 40 ^ sample << 8);
-                let adversary = BinaryTreeAdversary::sample(q, Topology::Lines, &mut rng);
-                let pi0 = Permutation::identity(n);
-                let opt = offline_optimum(adversary.instance(), &pi0, &LopConfig::default())
-                    .expect("sizes match");
-                let opt_value = opt.upper.max(1);
-                let stats = expected_cost(adversary.instance(), trials, |trial| {
-                    RandLines::new(
-                        pi0.clone(),
-                        SmallRng::seed_from_u64(ctx.seed ^ 0xdd ^ trial << 16 ^ sample),
-                    )
-                });
-                cost_stats.push(stats.mean());
+            for &(mean, opt_value) in chunk {
+                cost_stats.push(mean);
                 opt_stats.push(opt_value as f64);
-                ratio_stats.push(stats.mean() / opt_value as f64);
+                ratio_stats.push(mean / opt_value as f64);
             }
             table.row(&[
                 &n.to_string(),
@@ -88,28 +110,48 @@ impl Experiment for TheoremFifteen {
         // per-level cost on the largest sampled n.
         let q = *qs.last().expect("at least one q");
         let n = 1usize << q;
-        let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x15);
+        let mut rng = SmallRng::seed_from_u64(ctx.seeds().child_str("E-T15/level-tree").seed(0));
         let adversary = BinaryTreeAdversary::sample(q, Topology::Lines, &mut rng);
         let pi0 = Permutation::identity(n);
+        // Per-level accounting: one campaign spec per trial, each a full
+        // independent simulation of the same sampled instance.
+        let coins = ctx.seeds().child_str("E-T15/level-coins");
+        let trial_specs: Vec<u64> = (0..trials).collect();
+        let level_costs = ctx
+            .campaign("E-T15-levels")
+            .run(&trial_specs, |&trial, _seeds| {
+                let outcome = crate::engine::Simulation::new(
+                    adversary.instance().clone(),
+                    RandLines::new(pi0.clone(), SmallRng::seed_from_u64(coins.seed(trial))),
+                )
+                .run()
+                .expect("valid instance");
+                (0..adversary.levels())
+                    .map(|level| {
+                        outcome.per_event[adversary.level_range(level)]
+                            .iter()
+                            .map(mla_core::UpdateReport::total)
+                            .sum::<u64>()
+                    })
+                    .collect::<Vec<u64>>()
+            });
         let mut per_level = vec![OnlineStats::new(); adversary.levels()];
-        for trial in 0..trials {
-            let outcome = crate::engine::Simulation::new(
-                adversary.instance().clone(),
-                RandLines::new(
-                    pi0.clone(),
-                    SmallRng::seed_from_u64(ctx.seed ^ 0x1515 ^ trial << 8),
-                ),
-            )
-            .run()
-            .expect("valid instance");
-            for (level, stats) in per_level.iter_mut().enumerate() {
-                let range = adversary.level_range(level);
-                let level_cost: u64 = outcome.per_event[range]
-                    .iter()
-                    .map(mla_core::UpdateReport::total)
-                    .sum();
-                stats.push(level_cost as f64);
+        for costs in &level_costs {
+            for (stats, &cost) in per_level.iter_mut().zip(costs) {
+                stats.push(cost as f64);
             }
+        }
+        for (trial, costs) in level_costs.iter().enumerate() {
+            ctx.record(
+                // Key is the shared coin-stream node (trials differ by the
+                // rep field of the label), matching the chunked
+                // experiments' convention.
+                RunRecord::new(
+                    run_label("binary-tree-levels", "RandLines", n, trial as u64),
+                    coins.key(),
+                )
+                .metric("total_cost", costs.iter().sum::<u64>() as f64),
+            );
         }
         let mut levels = Table::new(
             &format!("E-T15: per-level cost of Rand at n = {n} (proof accounting)"),
@@ -136,10 +178,7 @@ mod tests {
 
     #[test]
     fn ratio_grows_with_n_and_respects_upper_bound() {
-        let ctx = ExperimentContext {
-            scale: Scale::Quick,
-            seed: 2,
-        };
+        let ctx = ExperimentContext::new(Scale::Quick, 2);
         let tables = TheoremFifteen.run(&ctx);
         let csv = tables[0].to_csv();
         let rows: Vec<Vec<f64>> = csv

@@ -10,12 +10,13 @@ use mla_core::{DetClosest, RandLines};
 use mla_graph::Topology;
 use mla_offline::{offline_optimum, LopConfig};
 use mla_permutation::Permutation;
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::engine::Simulation;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{expected_cost, f2, f3};
+use crate::experiments::{expected_cost, f2, f3, run_label, zip_seeds};
 use crate::table::Table;
 
 /// The Theorem 16 reproduction.
@@ -55,7 +56,10 @@ impl Experiment for TheoremSixteen {
                 "rand-ratio/ln n",
             ],
         );
-        for &n in ns {
+        // One spec per n: the adaptive Det run plus Rand's trials on the
+        // recorded sequence.
+        let campaign = ctx.campaign("E-T16");
+        let results = campaign.run(ns, |&n, seeds| {
             let pi0 = Permutation::identity(n);
             // Run Det against the adaptive adversary.
             let adversary = DetLineAdversary::new(pi0.clone(), Topology::Lines);
@@ -68,22 +72,28 @@ impl Experiment for TheoremSixteen {
             let instance = outcome.to_instance(Topology::Lines, n);
             let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("sizes match");
             let opt_value = opt.upper.max(1);
-            let det_ratio = outcome.total_cost as f64 / opt_value as f64;
             // Rand on the same (recorded) sequence.
-            let rand_stats = expected_cost(&instance, trials, |trial| {
-                RandLines::new(
-                    pi0.clone(),
-                    SmallRng::seed_from_u64(ctx.seed ^ 0xcc ^ trial << 24 ^ n as u64),
-                )
+            let rand_stats = expected_cost(&instance, trials, seeds.child_str("coins"), |seed| {
+                RandLines::new(pi0.clone(), SmallRng::seed_from_u64(seed))
             });
-            let rand_ratio = rand_stats.mean() / opt_value as f64;
+            (outcome.total_cost, opt_value, rand_stats.mean())
+        });
+        for (&n, seeds, &(det_cost, opt_value, rand_mean)) in zip_seeds(ns, &campaign, &results) {
+            ctx.record(
+                RunRecord::new(run_label("adaptive-line", "Det+Rand", n, 0), seeds.key())
+                    .metric("det_cost", det_cost as f64)
+                    .metric("opt", opt_value as f64)
+                    .metric("rand_mean_cost", rand_mean),
+            );
+            let det_ratio = det_cost as f64 / opt_value as f64;
+            let rand_ratio = rand_mean / opt_value as f64;
             table.row(&[
                 &n.to_string(),
-                &outcome.total_cost.to_string(),
+                &det_cost.to_string(),
                 &opt_value.to_string(),
                 &f2(det_ratio),
                 &f3(det_ratio / n as f64),
-                &f2(rand_stats.mean()),
+                &f2(rand_mean),
                 &f2(rand_ratio),
                 &f3(rand_ratio / (n as f64).ln()),
             ]);
@@ -101,10 +111,7 @@ mod tests {
 
     #[test]
     fn det_ratio_grows_with_n() {
-        let ctx = ExperimentContext {
-            scale: Scale::Quick,
-            seed: 5,
-        };
+        let ctx = ExperimentContext::new(Scale::Quick, 5);
         let tables = TheoremSixteen.run(&ctx);
         let csv = tables[0].to_csv();
         let rows: Vec<Vec<f64>> = csv

@@ -10,12 +10,13 @@ use mla_adversary::{random_line_instance, MergeShape};
 use mla_core::RandLines;
 use mla_offline::{offline_optimum, LopConfig};
 use mla_permutation::Permutation;
+use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::engine::Simulation;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{check, f2};
+use crate::experiments::{check, f2, run_label, worst_by, zip_seeds};
 use crate::stats::{harmonic, OnlineStats};
 use crate::table::Table;
 
@@ -50,62 +51,73 @@ impl Experiment for TheoremEight {
             MergeShape::Balanced,
         ];
 
+        let specs: Vec<(usize, MergeShape, u64)> = ns
+            .iter()
+            .flat_map(|&n| {
+                shapes.iter().flat_map(move |&shape| {
+                    (0..instances_per_cell).map(move |inst| (n, shape, inst))
+                })
+            })
+            .collect();
+        let campaign = ctx.campaign("E-T8");
+        let results = campaign.run(&specs, |&(n, shape, _), seeds| {
+            let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
+            let instance = random_line_instance(n, shape, &mut rng);
+            let pi0 = Permutation::random(n, &mut rng);
+            let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("sizes match");
+            let reference = opt.upper.max(1);
+            let coins = seeds.child_str("coins");
+            let mut moving = OnlineStats::new();
+            let mut rearranging = OnlineStats::new();
+            let mut total = OnlineStats::new();
+            for trial in 0..trials {
+                let alg = RandLines::new(pi0.clone(), SmallRng::seed_from_u64(coins.seed(trial)));
+                let outcome = Simulation::new(instance.clone(), alg)
+                    .run()
+                    .expect("validated instance");
+                moving.push(outcome.moving_cost as f64);
+                rearranging.push(outcome.rearranging_cost as f64);
+                total.push(outcome.total_cost as f64);
+            }
+            (moving.mean(), rearranging.mean(), total.mean(), reference)
+        });
+        for (&(n, shape, inst), seeds, &(mv, re, tot, reference)) in
+            zip_seeds(&specs, &campaign, &results)
+        {
+            ctx.record(
+                RunRecord::new(
+                    run_label(format!("lines-{}", shape.label()), "RandLines", n, inst),
+                    seeds.key(),
+                )
+                .metric("mean_moving", mv)
+                .metric("mean_rearranging", re)
+                .metric("mean_total", tot)
+                .metric("opt", reference as f64),
+            );
+        }
+
         let mut table = Table::new(
             "E-T8: E[cost(RandLines)] / Opt vs 8·H_n (moving + rearranging)",
             &[
                 "n", "shape", "E[move]", "E[rearr]", "E[total]", "opt", "ratio", "8·H_n", "within",
             ],
         );
-        for &n in ns {
+        for (cell, chunk) in results.chunks(instances_per_cell as usize).enumerate() {
+            let (n, shape, _) = specs[cell * instances_per_cell as usize];
             let bound = 8.0 * harmonic(n as u64);
-            for shape in shapes {
-                let mut worst: Option<(f64, f64, f64, u64, f64)> = None;
-                for inst in 0..instances_per_cell {
-                    let mut rng = SmallRng::seed_from_u64(ctx.seed ^ (n as u64) << 21 ^ inst << 9);
-                    let instance = random_line_instance(n, shape, &mut rng);
-                    let pi0 = Permutation::random(n, &mut rng);
-                    let opt = offline_optimum(&instance, &pi0, &LopConfig::default())
-                        .expect("sizes match");
-                    let reference = opt.upper.max(1);
-                    let mut moving = OnlineStats::new();
-                    let mut rearranging = OnlineStats::new();
-                    let mut total = OnlineStats::new();
-                    for trial in 0..trials {
-                        let alg = RandLines::new(
-                            pi0.clone(),
-                            SmallRng::seed_from_u64(ctx.seed ^ 0xbbbb ^ trial << 32 ^ inst),
-                        );
-                        let outcome = Simulation::new(instance.clone(), alg)
-                            .run()
-                            .expect("validated instance");
-                        moving.push(outcome.moving_cost as f64);
-                        rearranging.push(outcome.rearranging_cost as f64);
-                        total.push(outcome.total_cost as f64);
-                    }
-                    let ratio = total.mean() / reference as f64;
-                    if worst.is_none() || ratio > worst.unwrap().4 {
-                        worst = Some((
-                            moving.mean(),
-                            rearranging.mean(),
-                            total.mean(),
-                            reference,
-                            ratio,
-                        ));
-                    }
-                }
-                let (mv, re, tot, opt, ratio) = worst.expect("at least one instance");
-                table.row(&[
-                    &n.to_string(),
-                    shape.label(),
-                    &f2(mv),
-                    &f2(re),
-                    &f2(tot),
-                    &opt.to_string(),
-                    &f2(ratio),
-                    &f2(bound),
-                    check(ratio <= bound),
-                ]);
-            }
+            let (mv, re, tot, opt) = worst_by(chunk, |&(_, _, t, r)| t / r as f64);
+            let ratio = tot / opt as f64;
+            table.row(&[
+                &n.to_string(),
+                shape.label(),
+                &f2(mv),
+                &f2(re),
+                &f2(tot),
+                &opt.to_string(),
+                &f2(ratio),
+                &f2(bound),
+                check(ratio <= bound),
+            ]);
         }
         table.note("opt is the exact line optimum (Observation 7 is tight for lines)");
         table.note("paper shape: ratio grows logarithmically and stays below 8 ln n");
@@ -120,10 +132,7 @@ mod tests {
 
     #[test]
     fn tiny_run_respects_the_bound() {
-        let ctx = ExperimentContext {
-            scale: Scale::Tiny,
-            seed: 11,
-        };
+        let ctx = ExperimentContext::new(Scale::Tiny, 11);
         let tables = TheoremEight.run(&ctx);
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "bound violated:\n{csv}");

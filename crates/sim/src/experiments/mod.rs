@@ -18,6 +18,7 @@ pub mod e_t8;
 
 use mla_core::OnlineMinla;
 use mla_graph::Instance;
+use mla_runner::{Campaign, RunSpec, SeedSequence};
 
 use crate::engine::Simulation;
 use crate::stats::OnlineStats;
@@ -25,21 +26,92 @@ use crate::stats::OnlineStats;
 /// Estimates the expected total cost of a randomized algorithm on a fixed
 /// instance by averaging over `trials` independent runs.
 ///
-/// `make` receives the trial index and must build a freshly seeded
-/// algorithm.
-pub(crate) fn expected_cost<A, F>(instance: &Instance, trials: u64, make: F) -> OnlineStats
+/// Trial coin seeds come from `coins` (one leaf seed per trial index);
+/// `make` receives the derived seed and must build a freshly seeded
+/// algorithm. The loop itself is sequential — it runs *inside* a campaign
+/// job, whose cell-level parallelism is handled by the runner.
+pub(crate) fn expected_cost<A, F>(
+    instance: &Instance,
+    trials: u64,
+    coins: SeedSequence,
+    make: F,
+) -> OnlineStats
 where
     A: OnlineMinla,
     F: Fn(u64) -> A,
 {
     let mut stats = OnlineStats::new();
     for trial in 0..trials {
-        let outcome = Simulation::new(instance.clone(), make(trial))
+        let outcome = Simulation::new(instance.clone(), make(coins.seed(trial)))
             .run()
             .expect("validated instance runs cleanly");
         stats.push(outcome.total_cost as f64);
     }
     stats
+}
+
+/// Zips campaign specs with each job's derived seed sequence and result —
+/// the standard post-campaign bookkeeping iterator. The sequence handed
+/// out for index `i` is exactly the one [`Campaign::run`] gave job `i`.
+pub(crate) fn zip_seeds<'a, S, T>(
+    specs: &'a [S],
+    campaign: &Campaign,
+    results: &'a [T],
+) -> impl Iterator<Item = (&'a S, SeedSequence, &'a T)> {
+    let seeds = campaign.seeds();
+    specs
+        .iter()
+        .zip(results)
+        .enumerate()
+        .map(move |(index, (spec, result))| (spec, seeds.child(index as u64), result))
+}
+
+/// The worst entry of a result cell under a ratio function (ties: last
+/// wins). Shared by every experiment that reports its worst instance.
+///
+/// # Panics
+///
+/// Panics on an empty cell — campaign cells always hold at least one run.
+pub(crate) fn worst_by<T: Copy>(chunk: &[T], ratio: impl Fn(&T) -> f64) -> T {
+    chunk
+        .iter()
+        .copied()
+        .max_by(|a, b| ratio(a).total_cmp(&ratio(b)))
+        .expect("at least one entry per cell")
+}
+
+/// The canonical artifact run key for one campaign cell — every
+/// experiment's `RunRecord` labels go through [`RunSpec::label`] so the
+/// key schema lives in exactly one place.
+pub(crate) fn run_label(
+    adversary: impl Into<String>,
+    algorithm: impl Into<String>,
+    n: usize,
+    repetition: u64,
+) -> String {
+    RunSpec {
+        adversary: adversary.into(),
+        algorithm: algorithm.into(),
+        n,
+        repetition,
+    }
+    .label()
+}
+
+/// Splits a trial count into at most 32 contiguous index ranges, for
+/// submitting a trial-mass loop as campaign specs.
+///
+/// The chunk boundaries depend only on `trials` — never on the thread
+/// count — and per-trial seeds are drawn from a global stream by trial
+/// index, so chunking is pure scheduling and cannot affect results.
+pub(crate) fn trial_chunks(trials: u64) -> Vec<std::ops::Range<u64>> {
+    const CHUNKS: u64 = 32;
+    let count = CHUNKS.min(trials.max(1));
+    let size = trials.div_ceil(count);
+    (0..count)
+        .map(|c| (c * size).min(trials)..((c + 1) * size).min(trials))
+        .filter(|range| !range.is_empty())
+        .collect()
 }
 
 /// Formats a float with 2 decimals.

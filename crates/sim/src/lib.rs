@@ -12,6 +12,12 @@
 //!   and figure of the paper (see `DESIGN.md` for the index, and the
 //!   `mla-experiments` binary to run them).
 //!
+//! Every experiment submits its repetition loops through `mla-runner`'s
+//! deterministic [`Campaign`](mla_runner::Campaign) executor: results are
+//! bit-identical for every `--threads` count, and when an artifact sink
+//! is installed on the [`ExperimentContext`], per-run records and tables
+//! are persisted as JSON campaign artifacts.
+//!
 //! [`OnlineMinla`]: mla_core::OnlineMinla
 //!
 //! # Examples

@@ -93,6 +93,18 @@ impl Table {
         self.notes.push(note.to_owned());
     }
 
+    /// The table in structured artifact form (for `mla-runner`'s JSON
+    /// campaign reports).
+    #[must_use]
+    pub fn to_artifact(&self) -> mla_runner::TableData {
+        mla_runner::TableData {
+            title: self.title.clone(),
+            headers: self.headers.clone(),
+            rows: self.rows.clone(),
+            notes: self.notes.clone(),
+        }
+    }
+
     /// Renders the table as aligned plain text.
     #[must_use]
     pub fn render(&self) -> String {

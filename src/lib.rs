@@ -16,6 +16,7 @@
 //! * [`core`] — the online algorithms: `Det`, `Rand` for cliques
 //!   (`4 ln n`-competitive) and `Rand` for lines (`8 ln n`-competitive);
 //! * [`adversary`] — lower-bound constructions and workload generators;
+//! * [`runner`] — deterministic parallel campaigns and JSON artifacts;
 //! * [`sim`] — the simulation engine and the experiment suite.
 //!
 //! # Quickstart
@@ -49,6 +50,7 @@ pub use mla_general as general;
 pub use mla_graph as graph;
 pub use mla_offline as offline;
 pub use mla_permutation as permutation;
+pub use mla_runner as runner;
 pub use mla_sim as sim;
 
 /// Convenience re-exports of the most frequently used items.
@@ -64,5 +66,6 @@ pub mod prelude {
     pub use mla_graph::{GraphState, Instance, MergeInfo, RevealEvent, Topology};
     pub use mla_offline::{closest_feasible, offline_optimum, LopConfig, LopStrategy, OptBounds};
     pub use mla_permutation::{Node, Permutation};
+    pub use mla_runner::{ArtifactStore, Campaign, CampaignReport, RunSink, SeedSequence};
     pub use mla_sim::{harmonic, OnlineStats, RunOutcome, SimError, Simulation, Table};
 }

@@ -3,8 +3,17 @@
 //! and final permutation — for every algorithm, on fixed instances of both
 //! topologies. This is what makes every experiment in `mla-sim` (and every
 //! failure reported by the property tests) reproducible from its seeds.
+//!
+//! The second half enforces `mla-runner`'s campaign guarantee: worker
+//! thread count is pure scheduling — run outcomes, experiment tables,
+//! artifact records and serialized artifact bodies are bit-identical for
+//! `T = 1`, `4` and `8`.
+
+use std::sync::Arc;
 
 use mla::prelude::*;
+use mla::runner::{strip_meta_lines, ReportMeta, RunRecord, TableData};
+use mla::sim::{find_experiment, ExperimentContext, Scale};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -99,6 +108,128 @@ fn different_coin_seeds_change_randomized_trajectories() {
     assert_ne!(
         a.final_perm, b.final_perm,
         "independent coin seeds produced byte-identical trajectories"
+    );
+}
+
+/// A campaign job covering both topologies: fresh workload, fresh coins,
+/// one full simulation — everything derived from the handed sequence.
+fn campaign_job(&(topology, n): &(Topology, usize), seeds: SeedSequence) -> RunOutcome {
+    let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
+    let coins = SmallRng::seed_from_u64(seeds.child_str("coins").seed(0));
+    let pi0 = Permutation::random(n, &mut rng);
+    match topology {
+        Topology::Cliques => {
+            let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+            Simulation::new(instance, RandCliques::new(pi0, coins))
+                .run()
+                .expect("valid instance")
+        }
+        Topology::Lines => {
+            let instance = random_line_instance(n, MergeShape::Uniform, &mut rng);
+            Simulation::new(instance, RandLines::new(pi0, coins))
+                .run()
+                .expect("valid instance")
+        }
+    }
+}
+
+#[test]
+fn campaign_outcomes_are_thread_count_invariant() {
+    let specs: Vec<(Topology, usize)> = (0..24)
+        .map(|i| {
+            let topology = if i % 2 == 0 {
+                Topology::Cliques
+            } else {
+                Topology::Lines
+            };
+            (topology, 8 + i % 5)
+        })
+        .collect();
+    let reference = Campaign::new(SeedSequence::new(0xD1CE))
+        .threads(1)
+        .run(&specs, campaign_job);
+    assert_eq!(reference.len(), specs.len());
+    for threads in [4, 8] {
+        let outcomes = Campaign::new(SeedSequence::new(0xD1CE))
+            .threads(threads)
+            .run(&specs, campaign_job);
+        assert_eq!(
+            outcomes, reference,
+            "campaign outcomes diverged at {threads} threads"
+        );
+    }
+}
+
+/// Runs one experiment at the given thread count, returning its tables
+/// and drained artifact records.
+fn run_experiment_with_sink(id: &str, threads: usize) -> (Vec<TableData>, Vec<RunRecord>) {
+    let sink = Arc::new(RunSink::new());
+    let ctx = ExperimentContext::new(Scale::Tiny, 42)
+        .with_threads(threads)
+        .with_sink(Arc::clone(&sink));
+    let tables = find_experiment(id)
+        .expect("known experiment id")
+        .run(&ctx)
+        .iter()
+        .map(mla::sim::Table::to_artifact)
+        .collect();
+    (tables, sink.drain())
+}
+
+#[test]
+fn experiment_tables_and_artifacts_are_thread_count_invariant() {
+    // One trial-chunked experiment (E-L3) and one cell-parallel
+    // experiment (E-T2) — the two campaign shapes the suite uses.
+    for id in ["E-T2", "E-L3"] {
+        let reference = run_experiment_with_sink(id, 1);
+        assert!(!reference.1.is_empty(), "{id} recorded no runs");
+        for threads in [4, 8] {
+            assert_eq!(
+                run_experiment_with_sink(id, threads),
+                reference,
+                "{id} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn artifact_files_are_byte_identical_modulo_meta() {
+    // Serialize the same campaign body under different thread counts and
+    // timings: the files must agree byte-for-byte once the single-line
+    // "meta" field is dropped.
+    let write = |threads: usize, elapsed_ms: f64| {
+        let (tables, runs) = run_experiment_with_sink("E-T2", threads);
+        let report = CampaignReport {
+            id: "E-T2".to_owned(),
+            title: "determinism probe".to_owned(),
+            paper_ref: "Theorem 2".to_owned(),
+            meta: ReportMeta {
+                base_seed: 42,
+                scale: "tiny".to_owned(),
+                threads,
+                git: None,
+                elapsed_ms,
+            },
+            tables,
+            runs,
+        };
+        let dir =
+            std::env::temp_dir().join(format!("mla-determinism-{}-t{threads}", std::process::id()));
+        let mut store = ArtifactStore::create(&dir).expect("create store");
+        let path = store.write(&report).expect("write artifact");
+        store.finish().expect("write index");
+        let text = std::fs::read_to_string(path).expect("read artifact");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        text
+    };
+    let a = write(1, 1.0);
+    let b = write(8, 999.0);
+    assert_ne!(a, b, "meta must record the differing environment");
+    assert_eq!(
+        strip_meta_lines(&a),
+        strip_meta_lines(&b),
+        "artifact bodies must not depend on thread count"
     );
 }
 

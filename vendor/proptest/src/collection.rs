@@ -1,9 +1,9 @@
-//! Collection strategies: [`vec`].
+//! Collection strategies: [`vec()`](fn@vec).
 
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Length specification for [`vec`]: a half-open range, an inclusive
+/// Length specification for [`vec()`](fn@vec): a half-open range, an inclusive
 /// range, or an exact length.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
@@ -49,7 +49,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`](fn@vec).
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,
