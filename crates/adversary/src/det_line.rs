@@ -11,7 +11,7 @@
 //! (`≤ n` swaps) and never moves again.
 
 use mla_graph::{GraphState, RevealEvent, Topology};
-use mla_permutation::{Node, Permutation};
+use mla_permutation::{Arrangement, Node, Permutation};
 
 use crate::traits::Adversary;
 
@@ -120,7 +120,7 @@ impl Adversary for DetLineAdversary {
         self.topology
     }
 
-    fn next(&mut self, current: &Permutation, _state: &GraphState) -> Option<RevealEvent> {
+    fn next(&mut self, current: &dyn Arrangement, _state: &GraphState) -> Option<RevealEvent> {
         if !self.started {
             self.started = true;
             let y1 = self.take_left().expect("n >= 3 has a left neighbor");

@@ -1,14 +1,16 @@
 //! The adversary interface: oblivious and adaptive request generators.
 
 use mla_graph::{GraphState, Instance, RevealEvent, Topology};
-use mla_permutation::Permutation;
+use mla_permutation::Arrangement;
 
 /// A request generator driven by the simulation engine.
 ///
-/// Oblivious adversaries ignore the `current` permutation (the paper's
+/// Oblivious adversaries ignore the `current` arrangement (the paper's
 /// randomized guarantees hold against these); adaptive adversaries — like
 /// the Theorem 16 construction — inspect the online algorithm's current
-/// permutation before emitting the next reveal.
+/// arrangement before emitting the next reveal. The arrangement arrives
+/// as `&dyn Arrangement`, so adaptive adversaries work against any
+/// backend without forcing an `O(n)` materialization per reveal.
 pub trait Adversary {
     /// Number of nodes of the instance being generated.
     fn n(&self) -> usize;
@@ -17,9 +19,9 @@ pub trait Adversary {
     fn topology(&self) -> Topology;
 
     /// Produces the next reveal, or `None` when the sequence is over.
-    /// `current` is the online algorithm's permutation *after* serving the
+    /// `current` is the online algorithm's arrangement *after* serving the
     /// previous reveal; `state` is the revealed graph so far.
-    fn next(&mut self, current: &Permutation, state: &GraphState) -> Option<RevealEvent>;
+    fn next(&mut self, current: &dyn Arrangement, state: &GraphState) -> Option<RevealEvent>;
 }
 
 /// An oblivious adversary replaying a fixed [`Instance`].
@@ -75,7 +77,7 @@ impl Adversary for Oblivious {
         self.instance.topology()
     }
 
-    fn next(&mut self, _current: &Permutation, _state: &GraphState) -> Option<RevealEvent> {
+    fn next(&mut self, _current: &dyn Arrangement, _state: &GraphState) -> Option<RevealEvent> {
         let event = self.instance.events().get(self.cursor).copied();
         self.cursor += event.is_some() as usize;
         event
@@ -85,7 +87,7 @@ impl Adversary for Oblivious {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mla_permutation::Node;
+    use mla_permutation::{Node, Permutation};
 
     #[test]
     fn oblivious_replays_in_order() {

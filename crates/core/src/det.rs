@@ -2,7 +2,7 @@
 
 use mla_graph::{GraphState, MergeInfo, RevealEvent};
 use mla_offline::{closest_feasible, LopConfig};
-use mla_permutation::Permutation;
+use mla_permutation::{Arrangement, Permutation};
 
 use crate::report::UpdateReport;
 use crate::traits::OnlineMinla;
@@ -36,24 +36,41 @@ use crate::traits::OnlineMinla;
 /// let info = graph.apply(event).unwrap();
 /// let report = alg.serve(event, &info, &graph);
 /// assert_eq!(report.total(), 1); // [0,2,1,3] is one swap from identity
-/// assert!(graph.is_minla(alg.permutation()));
+/// assert!(graph.is_minla(alg.arrangement()));
 /// ```
 #[derive(Debug)]
-pub struct DetClosest {
+pub struct DetClosest<P = Permutation> {
     pi0: Permutation,
-    perm: Permutation,
+    perm: P,
     config: LopConfig,
     /// Whether every solve so far used the exact solver.
     all_exact: bool,
 }
 
-impl DetClosest {
-    /// Creates `Det` starting (and anchored) at `pi0`.
+impl DetClosest<Permutation> {
+    /// Creates `Det` starting (and anchored) at `pi0`, on the dense
+    /// backend.
     #[must_use]
     pub fn new(pi0: Permutation, config: LopConfig) -> Self {
         DetClosest {
             perm: pi0.clone(),
             pi0,
+            config,
+            all_exact: true,
+        }
+    }
+}
+
+impl<P: Arrangement> DetClosest<P> {
+    /// Creates `Det` anchored at the dense snapshot of `initial`, running
+    /// on any backend. (`Det` jumps to solver outputs wholesale, so the
+    /// dense backend is the natural fit; the generic constructor exists
+    /// for backend-equivalence testing.)
+    #[must_use]
+    pub fn with_backend(initial: P, config: LopConfig) -> Self {
+        DetClosest {
+            pi0: initial.to_permutation(),
+            perm: initial,
             config,
             all_exact: true,
         }
@@ -73,12 +90,14 @@ impl DetClosest {
     }
 }
 
-impl OnlineMinla for DetClosest {
+impl<P: Arrangement> OnlineMinla for DetClosest<P> {
+    type Arr = P;
+
     fn name(&self) -> &str {
         "det-closest"
     }
 
-    fn permutation(&self) -> &Permutation {
+    fn arrangement(&self) -> &P {
         &self.perm
     }
 
@@ -91,8 +110,7 @@ impl OnlineMinla for DetClosest {
         let placement = closest_feasible(state, &self.pi0, &self.config)
             .expect("engine guarantees matching sizes; Auto strategy cannot fail");
         self.all_exact &= placement.exact;
-        let cost = self.perm.kendall_distance(&placement.perm);
-        self.perm = placement.perm;
+        let cost = self.perm.assign(&placement.perm);
         UpdateReport::moving(cost)
     }
 }
@@ -116,14 +134,14 @@ mod tests {
         for event in [ev(0, 5), ev(1, 4)] {
             let info = graph.apply(event).unwrap();
             total += alg.serve(event, &info, &graph).total();
-            assert!(graph.is_minla(alg.permutation()));
+            assert!(graph.is_minla(alg.arrangement()));
         }
         assert!(alg.is_exact());
         assert!(total > 0);
         // Det's current permutation distance to pi0 never exceeds the
         // distance of the final closest feasible permutation (which here we
         // bound loosely by C(6,2)).
-        assert!(pi0.kendall_distance(alg.permutation()) <= 15);
+        assert!(pi0.kendall_distance(alg.arrangement()) <= 15);
     }
 
     #[test]
@@ -134,7 +152,7 @@ mod tests {
         for event in [ev(0, 1), ev(1, 2), ev(3, 4)] {
             let info = graph.apply(event).unwrap();
             alg.serve(event, &info, &graph);
-            assert!(graph.is_minla(alg.permutation()));
+            assert!(graph.is_minla(alg.arrangement()));
         }
     }
 
@@ -154,7 +172,7 @@ mod tests {
         for event in [ev(0, 1), ev(4, 3)] {
             let info = graph.apply(event).unwrap();
             costs.push(alg.serve(event, &info, &graph).total());
-            assert!(graph.is_minla(alg.permutation()));
+            assert!(graph.is_minla(alg.arrangement()));
         }
         // All updates must keep node 2 outside the growing component's
         // range yet Det pays to reshuffle.
@@ -167,10 +185,10 @@ mod tests {
         let mut alg = DetClosest::new(pi0, LopConfig::default());
         let mut graph = GraphState::new(Topology::Cliques, 4);
         for event in [ev(0, 1), ev(2, 3)] {
-            let before = alg.permutation().clone();
+            let before = alg.arrangement().clone();
             let info = graph.apply(event).unwrap();
             let report = alg.serve(event, &info, &graph);
-            assert_eq!(report.total(), before.kendall_distance(alg.permutation()));
+            assert_eq!(report.total(), before.kendall_distance(alg.arrangement()));
         }
     }
 }

@@ -19,8 +19,16 @@
 //!
 //! All algorithms implement [`OnlineMinla`]: the simulation engine applies
 //! each reveal to the graph state and passes the pre-merge component
-//! snapshots to the algorithm, which updates its permutation and returns
+//! snapshots to the algorithm, which updates its arrangement and returns
 //! the exact cost in adjacent transpositions.
+//!
+//! Every algorithm is generic over the
+//! [`Arrangement`](mla_permutation::Arrangement) backend: the dense
+//! [`Permutation`](mla_permutation::Permutation) (the default type
+//! parameter — `O(n)` block splices) or the
+//! [`SegmentArrangement`](mla_permutation::SegmentArrangement)
+//! (`O(log n)` splices, the large-`n` workhorse). Both backends produce
+//! bit-identical permutations and costs — see the equivalence tests.
 //!
 //! # Examples
 //!
@@ -38,7 +46,7 @@
 //!     let event = RevealEvent::new(Node::new(a), Node::new(b));
 //!     let info = graph.apply(event).unwrap();
 //!     total += alg.serve(event, &info, &graph).total();
-//!     assert!(graph.is_minla(alg.permutation()));
+//!     assert!(graph.is_minla(alg.arrangement()));
 //! }
 //! assert!(total > 0);
 //! ```

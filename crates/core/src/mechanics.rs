@@ -7,7 +7,7 @@
 //! performed.
 
 use mla_graph::ComponentSnapshot;
-use mla_permutation::{Node, Permutation};
+use mla_permutation::{Arrangement, Node};
 
 /// Positions of the two merging components in the current permutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,7 +27,11 @@ impl BlockLayout {
     ///
     /// Panics if a component does not occupy contiguous positions.
     #[must_use]
-    pub fn locate(perm: &Permutation, x: &ComponentSnapshot, z: &ComponentSnapshot) -> Self {
+    pub fn locate<P: Arrangement + ?Sized>(
+        perm: &P,
+        x: &ComponentSnapshot,
+        z: &ComponentSnapshot,
+    ) -> Self {
         let x_range = perm
             .contiguous_range(&x.nodes)
             .expect("X component must be contiguous (feasibility invariant)");
@@ -35,6 +39,39 @@ impl BlockLayout {
             .contiguous_range(&z.nodes)
             .expect("Z component must be contiguous (feasibility invariant)");
         BlockLayout { x_range, z_range }
+    }
+
+    /// Like [`BlockLayout::locate`], additionally returning each block's
+    /// [`Orientation`] from the same lookups (the lines hot path: one
+    /// oriented locate per merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a component does not occupy contiguous positions.
+    #[must_use]
+    pub fn locate_oriented<P: Arrangement + ?Sized>(
+        perm: &P,
+        x: &ComponentSnapshot,
+        z: &ComponentSnapshot,
+    ) -> (Self, Orientation, Orientation) {
+        let (x_range, x_forward) = perm
+            .oriented_contiguous_range(&x.nodes)
+            .expect("X component must be contiguous (feasibility invariant)");
+        let (z_range, z_forward) = perm
+            .oriented_contiguous_range(&z.nodes)
+            .expect("Z component must be contiguous (feasibility invariant)");
+        let orientation = |forward| {
+            if forward {
+                Orientation::Forward
+            } else {
+                Orientation::Reversed
+            }
+        };
+        (
+            BlockLayout { x_range, z_range },
+            orientation(x_forward),
+            orientation(z_forward),
+        )
     }
 
     /// Returns `true` if `X` lies left of `Z`.
@@ -62,15 +99,25 @@ impl BlockLayout {
 /// # Panics
 ///
 /// Panics if a component is not contiguous.
-pub fn execute_move(
-    perm: &mut Permutation,
+pub fn execute_move<P: Arrangement + ?Sized>(
+    perm: &mut P,
     x: &ComponentSnapshot,
     z: &ComponentSnapshot,
     x_moves: bool,
 ) -> u64 {
     let layout = BlockLayout::locate(perm, x, z);
-    let gap = layout.gap();
-    if gap == 0 {
+    execute_move_located(perm, &layout, x_moves)
+}
+
+/// The moving part against an already-located layout (the hot path: one
+/// [`BlockLayout::locate`] per merge update, threaded through the moving,
+/// rearranging and coalescing stages).
+pub fn execute_move_located<P: Arrangement + ?Sized>(
+    perm: &mut P,
+    layout: &BlockLayout,
+    x_moves: bool,
+) -> u64 {
+    if layout.gap() == 0 {
         return 0;
     }
     let (mover, stay_range) = if x_moves {
@@ -102,22 +149,53 @@ pub enum Orientation {
 /// Determines the orientation of `snapshot.nodes` inside the permutation.
 /// Singleton blocks report [`Orientation::Forward`].
 ///
+/// Under the feasibility invariant a contiguous line block reads either
+/// forward or reversed, so its two endpoints decide in `O(1)` lookups;
+/// debug builds still scan the whole block and panic on a scramble (a
+/// feasibility violation the engine's incremental check also catches).
+///
 /// # Panics
 ///
-/// Panics if the block is neither forward nor reversed — a feasibility
-/// violation for lines.
+/// In debug builds, panics if the block is neither forward nor reversed.
 #[must_use]
-pub fn orientation_of(perm: &Permutation, nodes: &[Node]) -> Orientation {
+pub fn orientation_of<P: Arrangement + ?Sized>(perm: &P, nodes: &[Node]) -> Orientation {
     if nodes.len() <= 1 {
         return Orientation::Forward;
     }
-    let positions: Vec<usize> = nodes.iter().map(|&v| perm.position_of(v)).collect();
-    if positions.windows(2).all(|w| w[0] < w[1]) {
+    #[cfg(debug_assertions)]
+    {
+        let positions: Vec<usize> = nodes.iter().map(|&v| perm.position_of(v)).collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]) || positions.windows(2).all(|w| w[0] > w[1]),
+            "line component is neither forward nor reversed (feasibility violation)"
+        );
+    }
+    if perm.position_of(nodes[0]) < perm.position_of(nodes[nodes.len() - 1]) {
         Orientation::Forward
-    } else if positions.windows(2).all(|w| w[0] > w[1]) {
-        Orientation::Reversed
     } else {
-        panic!("line component is neither forward nor reversed (feasibility violation)")
+        Orientation::Reversed
+    }
+}
+
+/// [`orientation_of`] when the block's range is already known: a single
+/// position lookup decides — the snapshot's first node sits at the
+/// range's start iff the block reads forward.
+#[must_use]
+pub fn orientation_in<P: Arrangement + ?Sized>(
+    perm: &P,
+    nodes: &[Node],
+    range: &std::ops::Range<usize>,
+) -> Orientation {
+    if nodes.len() <= 1 {
+        return Orientation::Forward;
+    }
+    debug_assert_eq!(orientation_of(perm, nodes) == Orientation::Forward, {
+        perm.position_of(nodes[0]) == range.start
+    });
+    if perm.position_of(nodes[0]) == range.start {
+        Orientation::Forward
+    } else {
+        Orientation::Reversed
     }
 }
 
@@ -162,8 +240,8 @@ fn binomial2(m: usize) -> u64 {
 ///
 /// Panics on feasibility violations (non-contiguous or scrambled blocks).
 #[must_use]
-pub fn rearrange_choices(
-    perm: &Permutation,
+pub fn rearrange_choices<P: Arrangement + ?Sized>(
+    perm: &P,
     x: &ComponentSnapshot,
     z: &ComponentSnapshot,
 ) -> RearrangeChoices {
@@ -173,10 +251,45 @@ pub fn rearrange_choices(
         0,
         "blocks must be adjacent before rearranging"
     );
-    let x_left = layout.x_is_left();
-    let x_orientation = orientation_of(perm, &x.nodes);
-    let z_orientation = orientation_of(perm, &z.nodes);
+    rearrange_choices_located(perm, &layout, x, z)
+}
 
+/// The rearranging options against an already-located layout.
+///
+/// Unlike [`rearrange_choices`], the blocks need not be adjacent yet:
+/// the choices depend only on sizes, orientations and sides, none of
+/// which the moving part changes — so they can be computed before or
+/// after it (the engine's merge-update hot path computes them before,
+/// with one layout lookup per merge).
+#[must_use]
+pub fn rearrange_choices_located<P: Arrangement + ?Sized>(
+    perm: &P,
+    layout: &BlockLayout,
+    x: &ComponentSnapshot,
+    z: &ComponentSnapshot,
+) -> RearrangeChoices {
+    let x_orientation = orientation_in(perm, &x.nodes, &layout.x_range);
+    let z_orientation = orientation_in(perm, &z.nodes, &layout.z_range);
+    rearrange_choices_pure(
+        x.len(),
+        z.len(),
+        layout.x_is_left(),
+        x_orientation,
+        z_orientation,
+    )
+}
+
+/// The closed-form core of the rearranging options: no arrangement
+/// access at all — sizes, sides and orientations fully determine both
+/// options and their costs.
+#[must_use]
+pub fn rearrange_choices_pure(
+    x_len: usize,
+    z_len: usize,
+    x_left: bool,
+    x_orientation: Orientation,
+    z_orientation: Orientation,
+) -> RearrangeChoices {
     // Forward target: X block left (order = snapshot), Z block right
     // (order = snapshot). Required ops relative to the current state:
     let forward = RearrangeOption {
@@ -197,13 +310,13 @@ pub fn rearrange_choices(
     let price = |option: RearrangeOption| -> u64 {
         let mut cost = 0u64;
         if option.reverse_x {
-            cost += binomial2(x.nodes.len());
+            cost += binomial2(x_len);
         }
         if option.reverse_z {
-            cost += binomial2(z.nodes.len());
+            cost += binomial2(z_len);
         }
         if option.swap {
-            cost += (x.nodes.len() * z.nodes.len()) as u64;
+            cost += (x_len * z_len) as u64;
         }
         cost
     };
@@ -219,7 +332,7 @@ pub fn rearrange_choices(
     };
     debug_assert_eq!(
         choices.forward.cost + choices.reversed.cost,
-        binomial2(x.nodes.len() + z.nodes.len()),
+        binomial2(x_len + z_len),
         "option costs must sum to C(|X|+|Z|, 2)"
     );
     choices
@@ -231,13 +344,27 @@ pub fn rearrange_choices(
 /// # Panics
 ///
 /// Panics if the blocks are not adjacent.
-pub fn execute_rearrange(
-    perm: &mut Permutation,
+pub fn execute_rearrange<P: Arrangement + ?Sized>(
+    perm: &mut P,
     x: &ComponentSnapshot,
     z: &ComponentSnapshot,
     option: RearrangeOption,
 ) -> u64 {
     let layout = BlockLayout::locate(perm, x, z);
+    execute_rearrange_located(perm, &layout, option)
+}
+
+/// Applies a rearranging option against an already-located layout.
+/// Returns the exact cost (always equals `option.cost`).
+///
+/// # Panics
+///
+/// Panics if the blocks are not adjacent.
+pub fn execute_rearrange_located<P: Arrangement + ?Sized>(
+    perm: &mut P,
+    layout: &BlockLayout,
+    option: RearrangeOption,
+) -> u64 {
     assert_eq!(
         layout.gap(),
         0,
@@ -262,9 +389,33 @@ pub fn execute_rearrange(
     cost
 }
 
+/// Tells the arrangement backend that the just-merged components `X` and
+/// `Z` now form one block (they are adjacent after the moving — and, for
+/// lines, rearranging — part). A pure structural hint: segment backends
+/// compact the two component segments into one so that the *next* merge
+/// touching this component locates it in a single `O(log n)` splice; the
+/// dense backend ignores it. Call once at the end of every `serve`.
+///
+/// # Panics
+///
+/// Panics if a component is not contiguous or the blocks are not
+/// adjacent — the merge update did not run to completion.
+pub fn coalesce_merged<P: Arrangement + ?Sized>(
+    perm: &mut P,
+    x: &ComponentSnapshot,
+    z: &ComponentSnapshot,
+) {
+    let layout = BlockLayout::locate(perm, x, z);
+    assert_eq!(layout.gap(), 0, "blocks must be adjacent before coalescing");
+    let start = layout.x_range.start.min(layout.z_range.start);
+    let end = layout.x_range.end.max(layout.z_range.end);
+    perm.coalesce_range(start..end);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mla_permutation::{Permutation, SegmentArrangement};
 
     fn snapshot(indices: &[usize]) -> ComponentSnapshot {
         ComponentSnapshot {
@@ -398,6 +549,37 @@ mod tests {
             assert_eq!(cost, choices.reversed.cost, "start {start:?}");
             assert_eq!(rev.to_index_vec(), vec![3, 2, 1, 0], "start {start:?}");
         }
+    }
+
+    #[test]
+    fn mechanics_are_backend_agnostic() {
+        // The full merge update — move, rearrange, coalesce — must behave
+        // identically on the dense and segment backends.
+        let x = ComponentSnapshot {
+            nodes: vec![Node::new(0), Node::new(1)],
+            joined: Node::new(1),
+        };
+        let z = ComponentSnapshot {
+            nodes: vec![Node::new(4), Node::new(5)],
+            joined: Node::new(4),
+        };
+        let mut dense = Permutation::from_indices(&[1, 0, 2, 3, 4, 5]).unwrap();
+        let mut segment = SegmentArrangement::from_permutation(&dense);
+        let dense_move = execute_move(&mut dense, &x, &z, true);
+        let segment_move = execute_move(&mut segment, &x, &z, true);
+        assert_eq!(dense_move, segment_move);
+        let dense_choices = rearrange_choices(&dense, &x, &z);
+        let segment_choices = rearrange_choices(&segment, &x, &z);
+        assert_eq!(dense_choices, segment_choices);
+        let dense_cost = execute_rearrange(&mut dense, &x, &z, dense_choices.forward);
+        let segment_cost = execute_rearrange(&mut segment, &x, &z, segment_choices.forward);
+        assert_eq!(dense_cost, segment_cost);
+        coalesce_merged(&mut dense, &x, &z);
+        coalesce_merged(&mut segment, &x, &z);
+        assert_eq!(segment.to_permutation(), dense);
+        // After the coalesce hint the merged component is one segment.
+        let merged: Vec<Node> = x.nodes.iter().chain(z.nodes.iter()).copied().collect();
+        assert!(segment.contiguous_range(&merged).is_some());
     }
 
     #[test]

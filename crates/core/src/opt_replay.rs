@@ -1,7 +1,7 @@
 //! Replay of a precomputed offline trajectory.
 
 use mla_graph::{GraphState, MergeInfo, RevealEvent};
-use mla_permutation::Permutation;
+use mla_permutation::{Arrangement, Permutation};
 
 use crate::report::UpdateReport;
 use crate::traits::OnlineMinla;
@@ -31,17 +31,17 @@ use crate::traits::OnlineMinla;
 /// assert_eq!(alg.serve(event, &info, &graph).total(), 1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct OptReplay {
-    perm: Permutation,
+pub struct OptReplay<P = Permutation> {
+    perm: P,
     target: Permutation,
     jumped: bool,
 }
 
-impl OptReplay {
+impl<P: Arrangement> OptReplay<P> {
     /// Creates a replayer that starts at `pi0` and jumps to `target` on the
     /// first reveal.
     #[must_use]
-    pub fn new(pi0: Permutation, target: Permutation) -> Self {
+    pub fn new(pi0: P, target: Permutation) -> Self {
         OptReplay {
             perm: pi0,
             target,
@@ -56,12 +56,14 @@ impl OptReplay {
     }
 }
 
-impl OnlineMinla for OptReplay {
+impl<P: Arrangement> OnlineMinla for OptReplay<P> {
+    type Arr = P;
+
     fn name(&self) -> &str {
         "opt-replay"
     }
 
-    fn permutation(&self) -> &Permutation {
+    fn arrangement(&self) -> &P {
         &self.perm
     }
 
@@ -75,8 +77,7 @@ impl OnlineMinla for OptReplay {
             return UpdateReport::default();
         }
         self.jumped = true;
-        let cost = self.perm.kendall_distance(&self.target);
-        self.perm = self.target.clone();
+        let cost = self.perm.assign(&self.target);
         UpdateReport::moving(cost)
     }
 }
@@ -97,12 +98,12 @@ mod tests {
         let e1 = RevealEvent::new(Node::new(0), Node::new(1));
         let info = graph.apply(e1).unwrap();
         assert_eq!(alg.serve(e1, &info, &graph).total(), 2);
-        assert_eq!(alg.permutation(), &target);
+        assert_eq!(alg.arrangement(), &target);
 
         let e2 = RevealEvent::new(Node::new(2), Node::new(3));
         let info = graph.apply(e2).unwrap();
         assert_eq!(alg.serve(e2, &info, &graph).total(), 0);
-        assert_eq!(alg.permutation(), &target);
+        assert_eq!(alg.arrangement(), &target);
         assert_eq!(alg.target(), &target);
     }
 }

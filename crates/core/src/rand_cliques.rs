@@ -2,10 +2,10 @@
 //! (Section 3) and its policy ablations.
 
 use mla_graph::{GraphState, MergeInfo, RevealEvent, Topology};
-use mla_permutation::Permutation;
+use mla_permutation::{Arrangement, Permutation};
 use rand::Rng;
 
-use crate::mechanics::execute_move;
+use crate::mechanics::BlockLayout;
 use crate::policies::MovePolicy;
 use crate::report::UpdateReport;
 use crate::traits::OnlineMinla;
@@ -18,6 +18,11 @@ use crate::traits::OnlineMinla;
 /// Theorem 2 of the paper: this algorithm is `4 ln n`-competitive against
 /// the oblivious adversary. [`MovePolicy`] ablations (fair coin,
 /// deterministic smaller-moves) are provided for the ablation experiments.
+///
+/// Generic over the [`Arrangement`] backend: construct with a dense
+/// [`Permutation`] for small `n`, or a
+/// [`SegmentArrangement`](mla_permutation::SegmentArrangement) to serve
+/// each merge in `O(log n)` splices at large `n`.
 ///
 /// # Examples
 ///
@@ -34,26 +39,26 @@ use crate::traits::OnlineMinla;
 /// let info = graph.apply(event).unwrap();
 /// let report = alg.serve(event, &info, &graph);
 /// assert_eq!(report.total(), 2); // a singleton crossed the gap {1, 2}
-/// assert!(graph.is_minla(alg.permutation()));
+/// assert!(graph.is_minla(alg.arrangement()));
 /// ```
 #[derive(Debug)]
-pub struct RandCliques<R> {
-    perm: Permutation,
+pub struct RandCliques<R, P = Permutation> {
+    perm: P,
     rng: R,
     policy: MovePolicy,
     name: &'static str,
 }
 
-impl<R: Rng> RandCliques<R> {
+impl<R: Rng, P: Arrangement> RandCliques<R, P> {
     /// The paper's algorithm: size-biased coin.
     #[must_use]
-    pub fn new(initial: Permutation, rng: R) -> Self {
+    pub fn new(initial: P, rng: R) -> Self {
         Self::with_policy(initial, rng, MovePolicy::SizeBiased)
     }
 
     /// An ablation variant with an explicit move policy.
     #[must_use]
-    pub fn with_policy(initial: Permutation, rng: R, policy: MovePolicy) -> Self {
+    pub fn with_policy(initial: P, rng: R, policy: MovePolicy) -> Self {
         let name = match policy {
             MovePolicy::SizeBiased => "rand-cliques",
             MovePolicy::Fair => "fair-cliques",
@@ -91,19 +96,29 @@ pub(crate) fn x_moves<R: Rng>(
     }
 }
 
-impl<R: Rng> OnlineMinla for RandCliques<R> {
+impl<R: Rng, P: Arrangement> OnlineMinla for RandCliques<R, P> {
+    type Arr = P;
+
     fn name(&self) -> &str {
         self.name
     }
 
-    fn permutation(&self) -> &Permutation {
+    fn arrangement(&self) -> &P {
         &self.perm
     }
 
     fn serve(&mut self, _event: RevealEvent, info: &MergeInfo, state: &GraphState) -> UpdateReport {
         debug_assert_eq!(state.topology(), Topology::Cliques);
         let x_moves = x_moves(&mut self.rng, self.policy, info.x.len(), info.z.len());
-        let cost = execute_move(&mut self.perm, &info.x, &info.z, x_moves);
+        // One locate, then the whole update — move + coalesce — as a
+        // single backend operation.
+        let layout = BlockLayout::locate(&self.perm, &info.x, &info.z);
+        let (mover, stayer) = if x_moves {
+            (layout.x_range, layout.z_range)
+        } else {
+            (layout.z_range, layout.x_range)
+        };
+        let cost = self.perm.merge_move(mover, stayer, None);
         UpdateReport::moving(cost)
     }
 }
@@ -134,7 +149,7 @@ mod tests {
         let event = RevealEvent::new(Node::new(0), Node::new(5));
         let info = replay.apply(event).unwrap();
         let report = alg.serve(event, &info, &replay);
-        (alg.permutation().clone(), report.total())
+        (alg.arrangement().clone(), report.total())
     }
 
     #[test]
@@ -194,15 +209,15 @@ mod tests {
                     j = rng.gen_range(0..components.len());
                 }
                 let event = RevealEvent::new(components[i][0], components[j][0]);
-                let before = alg.permutation().clone();
+                let before = alg.arrangement().clone();
                 let info = graph.apply(event).unwrap();
                 let report = alg.serve(event, &info, &graph);
                 assert_eq!(
                     report.total(),
-                    before.kendall_distance(alg.permutation()),
+                    before.kendall_distance(alg.arrangement()),
                     "reported cost must equal distance traveled"
                 );
-                assert!(graph.is_minla(alg.permutation()), "feasibility invariant");
+                assert!(graph.is_minla(alg.arrangement()), "feasibility invariant");
             }
         }
     }

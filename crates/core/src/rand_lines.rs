@@ -2,14 +2,15 @@
 //! and its policy ablations.
 
 use mla_graph::{GraphState, MergeInfo, RevealEvent, Topology};
-use mla_permutation::Permutation;
+use mla_permutation::{Arrangement, Permutation};
 use rand::Rng;
 
-use crate::mechanics::{execute_move, execute_rearrange, rearrange_choices, RearrangeChoices};
+use crate::mechanics::{rearrange_choices_pure, BlockLayout, RearrangeChoices};
 use crate::policies::{MovePolicy, RearrangePolicy};
 use crate::rand_cliques::x_moves;
 use crate::report::UpdateReport;
 use crate::traits::OnlineMinla;
+use mla_permutation::Node;
 
 /// `Rand` for lines: each update has two parts (Section 4.1).
 ///
@@ -22,6 +23,9 @@ use crate::traits::OnlineMinla;
 ///
 /// Theorem 8: this algorithm is `8 ln n`-competitive against the oblivious
 /// adversary.
+///
+/// Generic over the [`Arrangement`] backend, like
+/// [`RandCliques`](crate::RandCliques).
 ///
 /// # Examples
 ///
@@ -37,21 +41,23 @@ use crate::traits::OnlineMinla;
 /// let event = RevealEvent::new(Node::new(1), Node::new(2));
 /// let info = graph.apply(event).unwrap();
 /// alg.serve(event, &info, &graph);
-/// assert!(graph.is_minla(alg.permutation()));
+/// assert!(graph.is_minla(alg.arrangement()));
 /// ```
 #[derive(Debug)]
-pub struct RandLines<R> {
-    perm: Permutation,
+pub struct RandLines<R, P = Permutation> {
+    perm: P,
     rng: R,
     move_policy: MovePolicy,
     rearrange_policy: RearrangePolicy,
     name: &'static str,
+    /// Reused buffer for each merge's target path content.
+    scratch: Vec<Node>,
 }
 
-impl<R: Rng> RandLines<R> {
+impl<R: Rng, P: Arrangement> RandLines<R, P> {
     /// The paper's algorithm: size-biased move, cost-biased rearrange.
     #[must_use]
-    pub fn new(initial: Permutation, rng: R) -> Self {
+    pub fn new(initial: P, rng: R) -> Self {
         Self::with_policies(
             initial,
             rng,
@@ -63,7 +69,7 @@ impl<R: Rng> RandLines<R> {
     /// An ablation variant with explicit policies.
     #[must_use]
     pub fn with_policies(
-        initial: Permutation,
+        initial: P,
         rng: R,
         move_policy: MovePolicy,
         rearrange_policy: RearrangePolicy,
@@ -80,6 +86,7 @@ impl<R: Rng> RandLines<R> {
             move_policy,
             rearrange_policy,
             name,
+            scratch: Vec::new(),
         }
     }
 
@@ -108,31 +115,68 @@ impl<R: Rng> RandLines<R> {
     }
 }
 
-impl<R: Rng> OnlineMinla for RandLines<R> {
+impl<R: Rng, P: Arrangement> OnlineMinla for RandLines<R, P> {
+    type Arr = P;
+
     fn name(&self) -> &str {
         self.name
     }
 
-    fn permutation(&self) -> &Permutation {
+    fn arrangement(&self) -> &P {
         &self.perm
     }
 
     fn serve(&mut self, _event: RevealEvent, info: &MergeInfo, state: &GraphState) -> UpdateReport {
         debug_assert_eq!(state.topology(), Topology::Lines);
-        // Part 1: moving (identical to the clique case).
+        // One locate per merge. The rearranging choices depend only on
+        // sizes, orientations and sides — none changed by the moving
+        // part — so both parts are decided up front and the whole update
+        // executes as a single backend operation: the merged path's final
+        // content is known in closed form from the snapshots.
         let mover_is_x = x_moves(&mut self.rng, self.move_policy, info.x.len(), info.z.len());
-        let moving_cost = execute_move(&mut self.perm, &info.x, &info.z, mover_is_x);
-        // Part 2: rearranging.
-        let choices = rearrange_choices(&self.perm, &info.x, &info.z);
-        let option = if self.pick_forward(&choices) {
+        let (layout, x_orientation, z_orientation) =
+            BlockLayout::locate_oriented(&self.perm, &info.x, &info.z);
+        let choices = rearrange_choices_pure(
+            info.x.len(),
+            info.z.len(),
+            layout.x_is_left(),
+            x_orientation,
+            z_orientation,
+        );
+        let forward = self.pick_forward(&choices);
+        let option = if forward {
             choices.forward
         } else {
             choices.reversed
         };
-        let rearranging_cost = execute_rearrange(&mut self.perm, &info.x, &info.z, option);
+        // A free option means every required op is a no-op (singleton
+        // reversals), i.e. the post-move content already reads as the
+        // target — skip the bulk rewrite so the backend's cheap
+        // order-preserving fold applies.
+        let target = if option.cost > 0 {
+            self.scratch.clear();
+            if forward {
+                // x.nodes ++ z.nodes, reading left to right.
+                self.scratch.extend(info.x.nodes.iter().copied());
+                self.scratch.extend(info.z.nodes.iter().copied());
+            } else {
+                // reverse(z.nodes) ++ reverse(x.nodes).
+                self.scratch.extend(info.z.nodes.iter().rev().copied());
+                self.scratch.extend(info.x.nodes.iter().rev().copied());
+            }
+            Some(self.scratch.as_slice())
+        } else {
+            None
+        };
+        let (mover, stayer) = if mover_is_x {
+            (layout.x_range, layout.z_range)
+        } else {
+            (layout.z_range, layout.x_range)
+        };
+        let moving_cost = self.perm.merge_move(mover, stayer, target);
         UpdateReport {
             moving_cost,
-            rearranging_cost,
+            rearranging_cost: option.cost,
         }
     }
 }
@@ -179,16 +223,16 @@ mod tests {
                 pick(&components[i], &mut rng),
                 pick(&components[j], &mut rng),
             );
-            let before = alg.permutation().clone();
+            let before = alg.arrangement().clone();
             let info = graph.apply(event).unwrap();
             let report = alg.serve(event, &info, &graph);
             assert_eq!(
                 report.total(),
-                before.kendall_distance(alg.permutation()),
+                before.kendall_distance(alg.arrangement()),
                 "cost must equal distance traveled (seed {seed})"
             );
             assert!(
-                graph.is_minla(alg.permutation()),
+                graph.is_minla(alg.arrangement()),
                 "feasibility invariant (seed {seed})"
             );
         }
@@ -225,11 +269,11 @@ mod tests {
         }
         // Path 0-1-2-4-5 must be contiguous and monotone in the permutation.
         let path: Vec<Node> = [0usize, 1, 2, 4, 5].iter().map(|&i| Node::new(i)).collect();
-        let range = alg.permutation().contiguous_range(&path).unwrap();
+        let range = alg.arrangement().contiguous_range(&path).unwrap();
         assert_eq!(range.len(), 5);
         let positions: Vec<usize> = path
             .iter()
-            .map(|&v| alg.permutation().position_of(v))
+            .map(|&v| alg.arrangement().position_of(v))
             .collect();
         assert!(
             positions.windows(2).all(|w| w[0] < w[1]) || positions.windows(2).all(|w| w[0] > w[1])
@@ -254,7 +298,7 @@ mod tests {
                 let info = graph.apply(event).unwrap();
                 alg.serve(event, &info, &graph);
             }
-            results.push(alg.permutation().clone());
+            results.push(alg.arrangement().clone());
         }
         assert_eq!(results[0], results[1]);
     }
@@ -280,10 +324,10 @@ mod tests {
             let event = ev(1, 2);
             let info = graph.apply(event).unwrap();
             alg.serve(event, &info, &graph);
-            if alg.permutation().to_index_vec() == vec![0, 1, 2, 3] {
+            if alg.arrangement().to_index_vec() == vec![0, 1, 2, 3] {
                 forward_count += 1;
             } else {
-                assert_eq!(alg.permutation().to_index_vec(), vec![3, 2, 1, 0]);
+                assert_eq!(alg.arrangement().to_index_vec(), vec![3, 2, 1, 0]);
             }
         }
         let frequency = f64::from(forward_count) / f64::from(trials);

@@ -1,7 +1,7 @@
 //! The online algorithm interface.
 
 use mla_graph::{GraphState, MergeInfo, RevealEvent};
-use mla_permutation::Permutation;
+use mla_permutation::Arrangement;
 
 use crate::report::UpdateReport;
 
@@ -9,19 +9,24 @@ use crate::report::UpdateReport;
 ///
 /// The simulation engine owns the graph state: it applies each reveal,
 /// obtains the [`MergeInfo`] (pre-merge component snapshots), and hands
-/// both to the algorithm. The algorithm owns only its permutation and must
-/// return the exact cost (in adjacent transpositions) of its update.
+/// both to the algorithm. The algorithm owns only its arrangement — any
+/// [`Arrangement`] backend, chosen at construction — and must return the
+/// exact cost (in adjacent transpositions) of its update.
 ///
-/// After [`OnlineMinla::serve`] returns, the algorithm's permutation must
+/// After [`OnlineMinla::serve`] returns, the algorithm's arrangement must
 /// be a MinLA of `state` — the engine can verify this invariant.
 ///
-/// The trait is object-safe: the engine stores `Box<dyn OnlineMinla>`.
+/// The trait is object-safe per backend: the engine can store
+/// `Box<dyn OnlineMinla<Arr = Permutation>>`.
 pub trait OnlineMinla {
+    /// The arrangement backend this algorithm runs on.
+    type Arr: Arrangement;
+
     /// Short machine-readable name (e.g. `"rand-cliques"`).
     fn name(&self) -> &str;
 
-    /// The algorithm's current permutation.
-    fn permutation(&self) -> &Permutation;
+    /// The algorithm's current arrangement.
+    fn arrangement(&self) -> &Self::Arr;
 
     /// Serves one reveal. `info` snapshots the merging components as they
     /// were *before* the merge; `state` is the graph *after* it.
@@ -33,14 +38,16 @@ pub trait OnlineMinla {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mla_permutation::{Permutation, SegmentArrangement};
 
-    struct Stub(Permutation);
+    struct Stub<P>(P);
 
-    impl OnlineMinla for Stub {
+    impl<P: Arrangement> OnlineMinla for Stub<P> {
+        type Arr = P;
         fn name(&self) -> &str {
             "stub"
         }
-        fn permutation(&self) -> &Permutation {
+        fn arrangement(&self) -> &P {
             &self.0
         }
         fn serve(&mut self, _: RevealEvent, _: &MergeInfo, _: &GraphState) -> UpdateReport {
@@ -49,9 +56,13 @@ mod tests {
     }
 
     #[test]
-    fn trait_is_object_safe() {
-        let stub: Box<dyn OnlineMinla> = Box::new(Stub(Permutation::identity(3)));
-        assert_eq!(stub.name(), "stub");
-        assert_eq!(stub.permutation().len(), 3);
+    fn trait_is_object_safe_per_backend() {
+        let dense: Box<dyn OnlineMinla<Arr = Permutation>> =
+            Box::new(Stub(Permutation::identity(3)));
+        assert_eq!(dense.name(), "stub");
+        assert_eq!(dense.arrangement().len(), 3);
+        let segment: Box<dyn OnlineMinla<Arr = SegmentArrangement>> =
+            Box::new(Stub(SegmentArrangement::identity(3)));
+        assert_eq!(segment.arrangement().len(), 3);
     }
 }

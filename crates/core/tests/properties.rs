@@ -5,7 +5,7 @@
 use mla_core::{DetClosest, MovePolicy, OnlineMinla, RandCliques, RandLines, RearrangePolicy};
 use mla_graph::{GraphState, RevealEvent, Topology};
 use mla_offline::LopConfig;
-use mla_permutation::{Node, Permutation};
+use mla_permutation::{Arrangement, Node, Permutation};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -53,18 +53,22 @@ fn drive<A: OnlineMinla>(
     let mut state = GraphState::new(topology, n);
     let mut total = 0u64;
     for &event in events {
-        let before = alg.permutation().clone();
+        let before = alg.arrangement().to_permutation();
         let info = state.apply(event).unwrap();
         let report = alg.serve(event, &info, &state);
         assert_eq!(
             report.total(),
-            before.kendall_distance(alg.permutation()),
+            alg.arrangement().kendall_to(&before),
             "reported cost must equal distance traveled"
         );
-        assert!(state.is_minla(alg.permutation()), "feasibility invariant");
+        assert!(state.is_minla(alg.arrangement()), "feasibility invariant");
+        assert!(
+            state.merge_keeps_minla(alg.arrangement(), &info),
+            "incremental feasibility must agree"
+        );
         total += report.total();
     }
-    (total, alg.permutation().clone())
+    (total, alg.arrangement().to_permutation())
 }
 
 proptest! {
@@ -112,7 +116,7 @@ proptest! {
         }
         let path = state.component_nodes(Node::new(0));
         prop_assert_eq!(path.len(), n);
-        let positions: Vec<usize> = path.iter().map(|&v| alg.permutation().position_of(v)).collect();
+        let positions: Vec<usize> = path.iter().map(|&v| alg.arrangement().position_of(v)).collect();
         prop_assert!(
             positions.windows(2).all(|w| w[0] < w[1])
                 || positions.windows(2).all(|w| w[0] > w[1])
@@ -153,5 +157,114 @@ proptest! {
             drive(Topology::Cliques, n, &events, alg).1
         };
         prop_assert_eq!(run(7), run(7));
+    }
+}
+
+// ---- backend equivalence: every algorithm, both topologies -------------
+
+use mla_core::OptReplay;
+use mla_permutation::SegmentArrangement;
+
+/// Drives the same algorithm on both backends through the same reveals,
+/// asserting bit-identical update reports and arrangements at every step.
+fn drive_both<D, S, FD, FS>(topology: Topology, n: usize, events: &[RevealEvent], make: (FD, FS))
+where
+    D: OnlineMinla<Arr = Permutation>,
+    S: OnlineMinla<Arr = SegmentArrangement>,
+    FD: FnOnce(Permutation) -> D,
+    FS: FnOnce(SegmentArrangement) -> S,
+{
+    let pi0 = Permutation::identity(n);
+    let mut dense = make.0(pi0.clone());
+    let mut segment = make.1(SegmentArrangement::from_permutation(&pi0));
+    let mut dense_state = GraphState::new(topology, n);
+    let mut segment_state = GraphState::new(topology, n);
+    for &event in events {
+        let dense_info = dense_state.apply(event).unwrap();
+        let segment_info = segment_state.apply(event).unwrap();
+        assert_eq!(dense_info, segment_info, "graph layer must agree");
+        let dense_report = dense.serve(event, &dense_info, &dense_state);
+        let segment_report = segment.serve(event, &segment_info, &segment_state);
+        assert_eq!(
+            dense_report, segment_report,
+            "update reports diverged (moving and rearranging costs)"
+        );
+        assert_eq!(
+            segment.arrangement().to_permutation(),
+            *dense.arrangement(),
+            "arrangements diverged after {event:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rand_cliques_backends_are_bit_identical((n, w_seed, a_seed) in (2usize..24, any::<u64>(), any::<u64>())) {
+        let events = random_events(Topology::Cliques, n, w_seed);
+        for policy in [MovePolicy::SizeBiased, MovePolicy::Fair, MovePolicy::SmallerMoves] {
+            drive_both(
+                Topology::Cliques,
+                n,
+                &events,
+                (
+                    |pi0| RandCliques::with_policy(pi0, SmallRng::seed_from_u64(a_seed), policy),
+                    |arr| RandCliques::with_policy(arr, SmallRng::seed_from_u64(a_seed), policy),
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn rand_lines_backends_are_bit_identical((n, w_seed, a_seed) in (2usize..24, any::<u64>(), any::<u64>())) {
+        let events = random_events(Topology::Lines, n, w_seed);
+        for (mp, rp) in [
+            (MovePolicy::SizeBiased, RearrangePolicy::CostBiased),
+            (MovePolicy::Fair, RearrangePolicy::Fair),
+            (MovePolicy::SmallerMoves, RearrangePolicy::Cheapest),
+        ] {
+            drive_both(
+                Topology::Lines,
+                n,
+                &events,
+                (
+                    |pi0| RandLines::with_policies(pi0, SmallRng::seed_from_u64(a_seed), mp, rp),
+                    |arr| RandLines::with_policies(arr, SmallRng::seed_from_u64(a_seed), mp, rp),
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn det_closest_backends_are_bit_identical((n, w_seed) in (2usize..12, any::<u64>())) {
+        for topology in [Topology::Cliques, Topology::Lines] {
+            let events = random_events(topology, n, w_seed);
+            let truncated = &events[..events.len().div_ceil(2)];
+            drive_both(
+                topology,
+                n,
+                truncated,
+                (
+                    |pi0| DetClosest::new(pi0, LopConfig::default()),
+                    |arr| DetClosest::with_backend(arr, LopConfig::default()),
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn opt_replay_backends_are_bit_identical((n, w_seed, t_seed) in (2usize..16, any::<u64>(), any::<u64>())) {
+        let events = random_events(Topology::Cliques, n, w_seed);
+        let target = Permutation::random(n, &mut SmallRng::seed_from_u64(t_seed));
+        drive_both(
+            Topology::Cliques,
+            n,
+            &events[..1],
+            (
+                |pi0| OptReplay::new(pi0, target.clone()),
+                |arr| OptReplay::new(arr, target.clone()),
+            ),
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Unified dynamic graph state over both topologies, plus MinLA
 //! feasibility checking.
 
-use mla_permutation::{Node, Permutation};
+use mla_permutation::{Arrangement, Node};
 
 use crate::clique_state::{clique_minla_value, CliqueState};
 use crate::error::GraphError;
@@ -177,7 +177,7 @@ impl GraphState {
     ///
     /// Panics if `pi` does not cover all nodes of the graph.
     #[must_use]
-    pub fn arrangement_cost(&self, pi: &Permutation) -> u64 {
+    pub fn arrangement_cost<P: Arrangement + ?Sized>(&self, pi: &P) -> u64 {
         self.edges()
             .iter()
             .map(|&(u, v)| pi.position_of(u).abs_diff(pi.position_of(v)) as u64)
@@ -210,13 +210,15 @@ impl GraphState {
     /// * Lines: every path occupies contiguous positions **and** its
     ///   internal order is path order, forward or reversed.
     ///
-    /// Runs in `O(n)` (amortized over components).
+    /// Runs in `O(n)` (amortized over components). For the per-reveal
+    /// check inside the simulation engine, prefer the incremental
+    /// [`GraphState::merge_keeps_minla`].
     ///
     /// # Panics
     ///
     /// Panics if `pi` has a different node count than the graph.
     #[must_use]
-    pub fn is_minla(&self, pi: &Permutation) -> bool {
+    pub fn is_minla<P: Arrangement + ?Sized>(&self, pi: &P) -> bool {
         assert_eq!(
             pi.len(),
             self.n(),
@@ -237,11 +239,43 @@ impl GraphState {
             }),
         }
     }
+
+    /// Incremental per-reveal feasibility: assuming `pi` was a MinLA of
+    /// the graph *before* the merge recorded in `info`, is it still one
+    /// now? Only the merged component can have broken the invariant —
+    /// block moves shift foreign components without reordering them — so
+    /// this validates just the two merging segments, in `O(|X| + |Z|)`
+    /// instead of the full `O(n)` scan of [`GraphState::is_minla`].
+    ///
+    /// * Cliques: the merged node set must be contiguous.
+    /// * Lines: the merged path `x.nodes ++ z.nodes` must additionally
+    ///   read in path order, forward or reversed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `info` names nodes outside `pi`.
+    #[must_use]
+    pub fn merge_keeps_minla<P: Arrangement + ?Sized>(&self, pi: &P, info: &MergeInfo) -> bool {
+        let merged: Vec<Node> = info
+            .x
+            .nodes
+            .iter()
+            .chain(info.z.nodes.iter())
+            .copied()
+            .collect();
+        if pi.contiguous_range(&merged).is_none() {
+            return false;
+        }
+        match self {
+            GraphState::Cliques(_) => true,
+            GraphState::Lines(_) => is_monotone_in(pi, &merged),
+        }
+    }
 }
 
 /// Returns `true` if the nodes of `path` appear in `pi` in exactly the
 /// given order or exactly the reversed order.
-fn is_monotone_in(pi: &Permutation, path: &[Node]) -> bool {
+fn is_monotone_in<P: Arrangement + ?Sized>(pi: &P, path: &[Node]) -> bool {
     if path.len() <= 2 {
         return true;
     }
@@ -252,6 +286,7 @@ fn is_monotone_in(pi: &Permutation, path: &[Node]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mla_permutation::Permutation;
 
     fn ev(a: usize, b: usize) -> RevealEvent {
         RevealEvent::new(Node::new(a), Node::new(b))
@@ -334,6 +369,48 @@ mod tests {
         assert_eq!(state.component_nodes(Node::new(0)).len(), 2);
         assert_eq!(state.components().len(), 2);
         assert_eq!(state.edges().len(), 1);
+    }
+
+    #[test]
+    fn incremental_check_agrees_with_full_scan() {
+        // Cliques: after merging {0,1} with {2}, contiguity of {0,1,2}
+        // decides feasibility.
+        let mut state = GraphState::new(Topology::Cliques, 5);
+        state.apply(ev(0, 1)).unwrap();
+        let info = state.apply(ev(1, 2)).unwrap();
+        let good = Permutation::from_indices(&[2, 0, 1, 3, 4]).unwrap();
+        let bad = Permutation::from_indices(&[0, 3, 1, 2, 4]).unwrap();
+        assert!(state.merge_keeps_minla(&good, &info));
+        assert!(state.is_minla(&good));
+        assert!(!state.merge_keeps_minla(&bad, &info));
+        assert!(!state.is_minla(&bad));
+
+        // Lines: the merged path must additionally be monotone.
+        let mut lines = GraphState::new(Topology::Lines, 5);
+        lines.apply(ev(0, 1)).unwrap();
+        let info = lines.apply(ev(1, 2)).unwrap();
+        let forward = Permutation::from_indices(&[0, 1, 2, 3, 4]).unwrap();
+        let reversed = Permutation::from_indices(&[3, 2, 1, 0, 4]).unwrap();
+        let scrambled = Permutation::from_indices(&[1, 0, 2, 3, 4]).unwrap();
+        assert!(lines.merge_keeps_minla(&forward, &info));
+        assert!(lines.merge_keeps_minla(&reversed, &info));
+        assert!(!lines.merge_keeps_minla(&scrambled, &info));
+        assert!(!lines.is_minla(&scrambled));
+    }
+
+    #[test]
+    fn generic_checks_accept_the_segment_backend() {
+        use mla_permutation::SegmentArrangement;
+        let mut state = GraphState::new(Topology::Cliques, 4);
+        let info = state.apply(ev(1, 3)).unwrap();
+        let arr = SegmentArrangement::from_permutation(
+            &Permutation::from_indices(&[0, 1, 3, 2]).unwrap(),
+        );
+        assert!(state.is_minla(&arr));
+        assert!(state.merge_keeps_minla(&arr, &info));
+        assert_eq!(state.arrangement_cost(&arr), 1);
+        let dynamic: &dyn mla_permutation::Arrangement = &arr;
+        assert!(state.is_minla(dynamic));
     }
 
     #[test]

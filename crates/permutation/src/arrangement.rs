@@ -1,0 +1,315 @@
+//! The backend-agnostic [`Arrangement`] abstraction.
+//!
+//! Every online MinLA algorithm in this workspace manipulates a linear
+//! arrangement through the same small vocabulary: position/node lookups,
+//! the contiguity query behind the feasibility invariant, and the three
+//! block operations of the paper's update mechanics (move, reverse, swap),
+//! each priced in **adjacent transpositions**. This trait captures exactly
+//! that vocabulary so the algorithms, the simulation engine and the
+//! experiments are generic over the storage layout:
+//!
+//! * [`Permutation`] — the dense backend: `O(1)` lookups, `O(n)` block
+//!   splices (a memmove plus a position refresh);
+//! * [`SegmentArrangement`](crate::SegmentArrangement) — the segment
+//!   backend: an ordered list of component segments over an implicit-key
+//!   treap, `O(log n)` block splices with costs computed in closed form.
+//!
+//! The trait is object-safe: adaptive adversaries receive the online
+//! algorithm's arrangement as `&dyn Arrangement`.
+
+use std::ops::Range;
+
+use crate::node::Node;
+use crate::perm::Permutation;
+
+/// A mutable linear arrangement of the nodes `0..n`.
+///
+/// All mutating operations return their exact cost in adjacent
+/// transpositions — the unit of cost in the online learning MinLA model —
+/// and every implementation must be **observably identical** to the dense
+/// [`Permutation`] reference: same layouts, same costs, same panics on
+/// invalid ranges (see the backend-equivalence property tests).
+pub trait Arrangement {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// Returns `true` for the empty arrangement.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= self.len()`.
+    fn node_at(&self, position: usize) -> Node;
+
+    /// The position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this arrangement.
+    fn position_of(&self, node: Node) -> usize;
+
+    /// Returns `true` if `a` occupies a position strictly left of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    fn is_left_of(&self, a: Node, b: Node) -> bool {
+        self.position_of(a) < self.position_of(b)
+    }
+
+    /// If the given set of (distinct) nodes occupies contiguous positions,
+    /// returns that position range; otherwise `None`. This is the
+    /// *feasibility* primitive: an arrangement is a MinLA of a collection
+    /// of cliques iff every clique's node set is contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is out of range.
+    fn contiguous_range(&self, nodes: &[Node]) -> Option<Range<usize>>;
+
+    /// [`contiguous_range`](Arrangement::contiguous_range) plus the
+    /// block's reading direction: the second component is `true` iff
+    /// `nodes[0]` sits at the range's start (the block reads in snapshot
+    /// order; singletons report `true`). This is the lines feasibility
+    /// primitive — backends can answer the orientation bit without a
+    /// second position lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is out of range.
+    fn oriented_contiguous_range(&self, nodes: &[Node]) -> Option<(Range<usize>, bool)> {
+        let range = self.contiguous_range(nodes)?;
+        let forward = nodes.len() <= 1 || self.position_of(nodes[0]) == range.start;
+        Some((range, forward))
+    }
+
+    /// Moves the contiguous block occupying `src` so that it starts at
+    /// position `dest`, preserving its internal order. Returns the cost
+    /// `src.len() × |dest − src.start|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of bounds or `dest` would push the block
+    /// past either end.
+    fn move_block(&mut self, src: Range<usize>, dest: usize) -> u64;
+
+    /// Reverses the block occupying `range`. Returns the cost
+    /// `C(len, 2) = len·(len−1)/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    fn reverse_block(&mut self, range: Range<usize>) -> u64;
+
+    /// Swaps two adjacent blocks (requires `left.end == right.start`),
+    /// preserving internal orders. Returns the cost `left.len() × right.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks are not adjacent or out of bounds.
+    fn swap_adjacent_blocks(&mut self, left: Range<usize>, right: Range<usize>) -> u64;
+
+    /// Kendall's tau distance to a dense target: the minimum number of
+    /// adjacent transpositions transforming this arrangement into
+    /// `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    fn kendall_to(&self, target: &Permutation) -> u64;
+
+    /// Replaces this arrangement with `target`, returning the Kendall tau
+    /// cost of the jump (exactly [`kendall_to`](Arrangement::kendall_to)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    fn assign(&mut self, target: &Permutation) -> u64;
+
+    /// Structural hint: the nodes in `range` now form one logical block
+    /// (a merged component) that future operations will treat as a unit.
+    /// Backends may compact internal structure; the arrangement itself is
+    /// **never** observably changed. The dense backend ignores the hint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    fn coalesce_range(&mut self, range: Range<usize>) {
+        let _ = range;
+    }
+
+    /// Materializes the arrangement as a dense [`Permutation`].
+    fn to_permutation(&self) -> Permutation;
+
+    /// Completes one full merge update in a single operation — the hot
+    /// path of every online algorithm, so backends can specialize it:
+    ///
+    /// 1. **Moving part**: the `mover` block travels over the gap to sit
+    ///    flush against `stayer` (exactly [`move_block`] semantics with
+    ///    the destination derived from the two ranges; the stayer does
+    ///    not move). Returns that cost, `mover.len() × gap`.
+    /// 2. **Rearranging part** (lines): if `target` is given, the merged
+    ///    block's content becomes `target` — which must be a permutation
+    ///    of the two blocks' nodes. The caller accounts this part's cost
+    ///    in closed form (see the mechanics' rearrange choices).
+    /// 3. **Coalesce hint**: as [`coalesce_range`] over the merged range.
+    ///
+    /// Observably identical to the equivalent primitive-op sequence —
+    /// the backend-equivalence property tests pin this down.
+    ///
+    /// [`move_block`]: Arrangement::move_block
+    /// [`coalesce_range`]: Arrangement::coalesce_range
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges overlap or are out of bounds, or if
+    /// `target`'s length is not the blocks' combined length.
+    fn merge_move(
+        &mut self,
+        mover: Range<usize>,
+        stayer: Range<usize>,
+        target: Option<&[Node]>,
+    ) -> u64 {
+        let dest = merge_move_dest(&mover, &stayer);
+        let cost = self.move_block(mover.clone(), dest);
+        let merged = dest.min(stayer.start)..(dest + mover.len()).max(stayer.end);
+        if let Some(content) = target {
+            self.write_merged_block(merged.clone(), content);
+        }
+        self.coalesce_range(merged);
+        cost
+    }
+
+    /// Bulk-overwrites the (contiguous) block at `range` with `content`,
+    /// a permutation of its current nodes — the primitive behind
+    /// [`merge_move`](Arrangement::merge_move)'s rearranging part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or the lengths differ.
+    fn write_merged_block(&mut self, range: Range<usize>, content: &[Node]);
+}
+
+/// The [`move_block`](Arrangement::move_block) destination that lands
+/// `mover` flush against `stayer` on its own side.
+///
+/// # Panics
+///
+/// Panics if the ranges overlap.
+#[must_use]
+pub fn merge_move_dest(mover: &Range<usize>, stayer: &Range<usize>) -> usize {
+    if mover.start < stayer.start {
+        assert!(
+            mover.end <= stayer.start,
+            "blocks {mover:?} and {stayer:?} overlap"
+        );
+        stayer.start - mover.len()
+    } else {
+        assert!(
+            stayer.end <= mover.start,
+            "blocks {stayer:?} and {mover:?} overlap"
+        );
+        stayer.end
+    }
+}
+
+impl Arrangement for Permutation {
+    fn len(&self) -> usize {
+        Permutation::len(self)
+    }
+
+    fn node_at(&self, position: usize) -> Node {
+        Permutation::node_at(self, position)
+    }
+
+    fn position_of(&self, node: Node) -> usize {
+        Permutation::position_of(self, node)
+    }
+
+    fn is_left_of(&self, a: Node, b: Node) -> bool {
+        Permutation::is_left_of(self, a, b)
+    }
+
+    fn contiguous_range(&self, nodes: &[Node]) -> Option<Range<usize>> {
+        Permutation::contiguous_range(self, nodes)
+    }
+
+    fn move_block(&mut self, src: Range<usize>, dest: usize) -> u64 {
+        Permutation::move_block(self, src, dest)
+    }
+
+    fn reverse_block(&mut self, range: Range<usize>) -> u64 {
+        Permutation::reverse_block(self, range)
+    }
+
+    fn swap_adjacent_blocks(&mut self, left: Range<usize>, right: Range<usize>) -> u64 {
+        Permutation::swap_adjacent_blocks(self, left, right)
+    }
+
+    fn kendall_to(&self, target: &Permutation) -> u64 {
+        self.kendall_distance(target)
+    }
+
+    fn assign(&mut self, target: &Permutation) -> u64 {
+        let cost = self.kendall_distance(target);
+        target.clone_into(self);
+        cost
+    }
+
+    fn to_permutation(&self) -> Permutation {
+        self.clone()
+    }
+
+    fn write_merged_block(&mut self, range: Range<usize>, content: &[Node]) {
+        self.write_block(range, content);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn as_dyn(arrangement: &dyn Arrangement) -> Vec<usize> {
+        (0..arrangement.len())
+            .map(|p| arrangement.node_at(p).index())
+            .collect()
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_delegates() {
+        let mut pi = Permutation::identity(4);
+        let cost = Arrangement::move_block(&mut pi, 0..2, 2);
+        assert_eq!(cost, 4);
+        assert_eq!(as_dyn(&pi), vec![2, 3, 0, 1]);
+        assert!(Arrangement::is_left_of(&pi, Node::new(2), Node::new(0)));
+        assert!(!Arrangement::is_empty(&pi));
+    }
+
+    #[test]
+    fn assign_costs_the_kendall_distance() {
+        let mut pi = Permutation::identity(4);
+        let target = Permutation::from_indices(&[3, 2, 1, 0]).unwrap();
+        assert_eq!(Arrangement::kendall_to(&pi, &target), 6);
+        assert_eq!(Arrangement::assign(&mut pi, &target), 6);
+        assert_eq!(pi, target);
+        assert_eq!(Arrangement::assign(&mut pi, &target), 0);
+    }
+
+    #[test]
+    fn coalesce_is_a_no_op_for_dense() {
+        let mut pi = Permutation::from_indices(&[1, 0, 2]).unwrap();
+        let before = pi.clone();
+        Arrangement::coalesce_range(&mut pi, 0..2);
+        assert_eq!(pi, before);
+    }
+
+    #[test]
+    fn to_permutation_round_trips() {
+        let pi = Permutation::from_indices(&[2, 0, 1]).unwrap();
+        assert_eq!(Arrangement::to_permutation(&pi), pi);
+    }
+}

@@ -5,9 +5,16 @@
 //! every other crate:
 //!
 //! * [`Node`] — dense node identifiers, distinct from positions;
-//! * [`Permutation`] — a linear arrangement with `O(1)` bidirectional
-//!   lookups, block move / reverse / swap operations that return their exact
-//!   cost in adjacent transpositions, and `O(n log n)` Kendall tau distance;
+//! * [`Arrangement`] — the backend-agnostic arrangement abstraction: the
+//!   lookup, contiguity and block-operation vocabulary every online MinLA
+//!   algorithm uses, priced in adjacent transpositions;
+//! * [`Permutation`] — the **dense** backend: a linear arrangement with
+//!   `O(1)` bidirectional lookups, block move / reverse / swap operations
+//!   that return their exact cost in adjacent transpositions, and
+//!   `O(n log n)` Kendall tau distance;
+//! * [`SegmentArrangement`] — the **segment** backend: an ordered list of
+//!   component segments over an implicit-key treap, `O(log n)` block
+//!   splices with closed-form costs — the large-`n` workhorse;
 //! * inversion counting ([`count_inversions`], [`FenwickTree`]);
 //! * pair-set utilities mirroring the paper's `L_π` notation
 //!   ([`concordant_pairs`], [`internal_concordant_pairs`],
@@ -35,13 +42,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arrangement;
 mod error;
 mod inversions;
 mod node;
 mod pairs;
 mod perm;
+mod segment;
 mod transcript;
 
+pub use arrangement::Arrangement;
 pub use error::PermutationError;
 pub use inversions::{
     count_inversions, count_inversions_naive, count_inversions_usize, cross_inversions_sorted,
@@ -50,4 +60,5 @@ pub use inversions::{
 pub use node::{all_nodes, Node};
 pub use pairs::{concordant_pairs, internal_concordant_pairs, left_pairs, pair_set_difference};
 pub use perm::Permutation;
+pub use segment::SegmentArrangement;
 pub use transcript::SwapTranscript;

@@ -1,0 +1,1471 @@
+//! [`SegmentArrangement`]: the segment-based arrangement backend.
+//!
+//! Every revealed graph in the paper is a disjoint union of cliques or
+//! lines, so an online algorithm's arrangement is always a sequence of
+//! **component segments**. This backend stores the arrangement as an
+//! ordered list of such segments over an implicit-key treap (an
+//! order-statistic index on segment lengths), so that the block operations
+//! of the update mechanics splice whole segments in `O(log n)` with costs
+//! computed in closed form from segment lengths and offsets — instead of
+//! the dense backend's `O(n)` memmove per operation.
+//!
+//! * Position/node lookups walk the treap: `O(log n)`.
+//! * [`move_block`](SegmentArrangement::move_block) /
+//!   [`swap_adjacent_blocks`](SegmentArrangement::swap_adjacent_blocks)
+//!   on segment-aligned ranges are pure tree splices: `O(log n)`.
+//! * [`reverse_block`](SegmentArrangement::reverse_block) of a single
+//!   segment flips a lazy orientation bit: `O(log n)`.
+//! * [`coalesce_range`](SegmentArrangement::coalesce_range) — the hint the
+//!   update mechanics emit after each merge — compacts the two merging
+//!   segments into one, amortized against the merge size (the graph layer
+//!   already pays the same to snapshot the components).
+//! * Ranges that do **not** align with segment boundaries fall back to
+//!   splitting or rebuilding the touched segments (`O(segment)`), so the
+//!   backend is correct for arbitrary operation sequences, merely fastest
+//!   on the component-structured ones the algorithms produce.
+//!
+//! The backend is observably identical to the dense [`Permutation`]:
+//! same layouts, same costs, same panics (see the equivalence property
+//! tests in `tests/properties.rs`).
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+
+use crate::arrangement::Arrangement;
+use crate::inversions::count_inversions;
+use crate::node::Node;
+use crate::perm::Permutation;
+
+/// Arena null marker.
+const NIL: u32 = u32::MAX;
+
+/// A memoized "this range is exactly this segment" fact, valid only at
+/// the version it was recorded (any mutation bumps the version).
+#[derive(Debug, Clone, Copy)]
+struct RangeMemo {
+    version: u64,
+    start: usize,
+    len: u32,
+    slot: u32,
+}
+
+const EMPTY_MEMO: RangeMemo = RangeMemo {
+    version: u64::MAX,
+    start: 0,
+    len: 0,
+    slot: NIL,
+};
+
+/// SplitMix64 — deterministic treap priorities from an allocation counter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One contiguous run of nodes plus its treap bookkeeping.
+#[derive(Debug, Clone)]
+struct Seg {
+    /// Content in storage order; read right-to-left when `reversed`.
+    nodes: Vec<Node>,
+    /// Lazy orientation: `true` means the segment reads as the reversed
+    /// storage order.
+    reversed: bool,
+    /// Treap heap priority (deterministic, from the allocation counter).
+    prio: u64,
+    left: u32,
+    right: u32,
+    parent: u32,
+    /// Total node count of the subtree rooted here.
+    subtree: usize,
+}
+
+/// A linear arrangement stored as an ordered list of segments over an
+/// implicit-key treap — `O(log n)` block splices for the segment-aligned
+/// operations the online MinLA algorithms perform.
+///
+/// # Examples
+///
+/// ```
+/// use mla_permutation::{Arrangement, Node, Permutation, SegmentArrangement};
+///
+/// let mut arr = SegmentArrangement::identity(4);
+/// let cost = arr.move_block(0..2, 2);
+/// assert_eq!(cost, 4);
+/// assert_eq!(arr.to_permutation().to_index_vec(), vec![2, 3, 0, 1]);
+/// assert_eq!(arr.position_of(Node::new(0)), 2);
+/// ```
+#[derive(Clone)]
+pub struct SegmentArrangement {
+    segs: Vec<Seg>,
+    free: Vec<u32>,
+    root: u32,
+    /// Node → arena slot of its segment.
+    node_seg: Vec<u32>,
+    /// Node → offset in its segment's **storage** order.
+    node_off: Vec<u32>,
+    /// Allocation counter feeding the deterministic priority stream.
+    prio_counter: u64,
+    /// Mutation counter: bumped before every structural change so the
+    /// range memo below can be trusted only between mutations.
+    version: u64,
+    /// The last two verified range→segment facts (the two blocks a merge
+    /// update locates), so the update itself needs no rediscovery walks.
+    memo: Cell<[RangeMemo; 2]>,
+}
+
+impl SegmentArrangement {
+    /// The identity arrangement: node `i` at position `i`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self::from_order((0..n).map(Node::new), n)
+    }
+
+    /// Builds the segment arrangement matching a dense permutation.
+    #[must_use]
+    pub fn from_permutation(perm: &Permutation) -> Self {
+        Self::from_order(perm.iter().copied(), perm.len())
+    }
+
+    /// Builds from nodes in position order, one singleton segment per node
+    /// (components start as singletons), in `O(n)`.
+    fn from_order(nodes: impl Iterator<Item = Node>, n: usize) -> Self {
+        let mut arr = SegmentArrangement {
+            segs: Vec::with_capacity(n),
+            free: Vec::new(),
+            root: NIL,
+            node_seg: vec![NIL; n],
+            node_off: vec![0; n],
+            prio_counter: 0,
+            version: 0,
+            memo: Cell::new([EMPTY_MEMO; 2]),
+        };
+        let slots: Vec<u32> = nodes.map(|v| arr.alloc_seg(vec![v], false)).collect();
+        debug_assert_eq!(slots.len(), n, "builder must supply exactly n nodes");
+        let root = arr.build(&slots);
+        arr.set_root(root);
+        arr
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.node_seg.len()
+    }
+
+    /// Returns `true` for the empty arrangement.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_seg.is_empty()
+    }
+
+    /// Number of live segments (an internal structure measure: one per
+    /// coalesced component in algorithm runs).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segs.len() - self.free.len()
+    }
+
+    /// The node at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= self.len()`.
+    #[must_use]
+    pub fn node_at(&self, position: usize) -> Node {
+        assert!(
+            position < self.len(),
+            "position {position} out of bounds for length {}",
+            self.len()
+        );
+        let mut t = self.root;
+        let mut pos = position;
+        loop {
+            let seg = &self.segs[t as usize];
+            let left_size = self.sub(seg.left);
+            if pos < left_size {
+                t = seg.left;
+            } else if pos < left_size + seg.nodes.len() {
+                let index = pos - left_size;
+                let storage = if seg.reversed {
+                    seg.nodes.len() - 1 - index
+                } else {
+                    index
+                };
+                return seg.nodes[storage];
+            } else {
+                pos -= left_size + seg.nodes.len();
+                t = seg.right;
+            }
+        }
+    }
+
+    /// The position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this arrangement.
+    #[must_use]
+    pub fn position_of(&self, node: Node) -> usize {
+        let slot = self.node_seg[node.index()];
+        let seg = &self.segs[slot as usize];
+        let off = self.node_off[node.index()] as usize;
+        let index = if seg.reversed {
+            seg.nodes.len() - 1 - off
+        } else {
+            off
+        };
+        self.seg_start(slot) + index
+    }
+
+    /// Returns `true` if `a` occupies a position strictly left of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    #[must_use]
+    pub fn is_left_of(&self, a: Node, b: Node) -> bool {
+        self.position_of(a) < self.position_of(b)
+    }
+
+    /// If the given set of (distinct) nodes occupies contiguous positions,
+    /// returns that position range; otherwise `None`.
+    ///
+    /// Fast path: when the nodes are exactly one segment (the steady state
+    /// for coalesced components) this costs `O(|nodes|)` slot comparisons
+    /// plus one `O(log n)` rank query; otherwise it falls back to the
+    /// dense backend's min/max scan at `O(|nodes| log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is out of range.
+    #[must_use]
+    pub fn contiguous_range(&self, nodes: &[Node]) -> Option<Range<usize>> {
+        if nodes.is_empty() {
+            return Some(0..0);
+        }
+        let slot = self.node_seg[nodes[0].index()];
+        if self.segs[slot as usize].nodes.len() == nodes.len()
+            && nodes.iter().all(|&v| self.node_seg[v.index()] == slot)
+        {
+            let start = self.seg_start(slot);
+            self.remember_segment(start, nodes.len(), slot);
+            return Some(start..start + nodes.len());
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        for &v in nodes {
+            let p = self.position_of(v);
+            min = min.min(p);
+            max = max.max(p);
+        }
+        if max - min + 1 == nodes.len() {
+            Some(min..max + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Moves the block occupying `src` so that it starts at position
+    /// `dest`. Returns the closed-form cost `src.len() × |dest − src.start|`
+    /// — no node is touched when the range is segment-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of bounds or `dest` would push the block
+    /// past either end.
+    pub fn move_block(&mut self, src: Range<usize>, dest: usize) -> u64 {
+        let n = self.len();
+        assert!(src.end <= n, "block {src:?} out of bounds for length {n}");
+        assert!(src.start <= src.end, "invalid block range {src:?}");
+        let len = src.len();
+        assert!(
+            dest + len <= n,
+            "destination {dest} pushes block of length {len} past length {n}"
+        );
+        if len == 0 || dest == src.start {
+            return 0;
+        }
+        let shift = dest.abs_diff(src.start);
+        let cost = (len as u64) * (shift as u64);
+        // Fast path: a segment-exact source splices as unlink + reinsert
+        // (no boundary splits).
+        let exact = self.exact_segment(&src);
+        self.bump_version();
+        if let Some(slot) = exact {
+            self.unlink_seg(slot);
+            self.insert_seg_at(slot, dest);
+            return cost;
+        }
+        let (before, block, after) = self.extract(src);
+        let rest = self.merge(before, after);
+        let (left, right) = self.split(rest, dest);
+        let joined = self.merge(left, block);
+        let root = self.merge(joined, right);
+        self.set_root(root);
+        cost
+    }
+
+    /// Reverses the block occupying `range`. Returns the cost
+    /// `C(len, 2)`. A single-segment range flips a lazy orientation bit;
+    /// a multi-segment range is compacted into one reversed segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    pub fn reverse_block(&mut self, range: Range<usize>) -> u64 {
+        assert!(
+            range.end <= self.len(),
+            "block {range:?} out of bounds for length {}",
+            self.len()
+        );
+        let len = range.len() as u64;
+        let cost = len * len.saturating_sub(1) / 2;
+        if range.len() <= 1 {
+            return cost;
+        }
+        // Fast path: reversing a whole segment is a lazy flag flip — no
+        // tree restructuring, subtree sizes unchanged (the range memo
+        // stays valid: boundaries are untouched).
+        if let Some(slot) = self.exact_segment(&range) {
+            let seg = &mut self.segs[slot as usize];
+            seg.reversed = !seg.reversed;
+            return cost;
+        }
+        self.bump_version();
+        let (before, block, after) = self.extract(range);
+        let block = self.reverse_detached(block);
+        let joined = self.merge(before, block);
+        let root = self.merge(joined, after);
+        self.set_root(root);
+        cost
+    }
+
+    /// Swaps two adjacent blocks, preserving internal orders. Returns the
+    /// cost `left.len() × right.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks are not adjacent or out of bounds.
+    pub fn swap_adjacent_blocks(&mut self, left: Range<usize>, right: Range<usize>) -> u64 {
+        assert_eq!(
+            left.end, right.start,
+            "blocks {left:?} and {right:?} are not adjacent"
+        );
+        assert!(
+            right.end <= self.len(),
+            "block {right:?} out of bounds for length {}",
+            self.len()
+        );
+        let cost = (left.len() as u64) * (right.len() as u64);
+        self.bump_version();
+        let root = self.root;
+        let (before, rest) = self.split(root, left.start);
+        let (first, rest) = self.split(rest, left.len());
+        let (second, after) = self.split(rest, right.len());
+        let joined = self.merge(before, second);
+        let joined = self.merge(joined, first);
+        let root = self.merge(joined, after);
+        self.set_root(root);
+        cost
+    }
+
+    /// Kendall's tau distance to a dense target, via one `O(n)`
+    /// materialization and an `O(n log n)` inversion count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    #[must_use]
+    pub fn kendall_to(&self, target: &Permutation) -> u64 {
+        assert_eq!(
+            self.len(),
+            target.len(),
+            "kendall_to: size mismatch ({} vs {})",
+            self.len(),
+            target.len()
+        );
+        let order = self.collect_all();
+        let mut position = vec![0u32; self.len()];
+        for (pos, v) in order.iter().enumerate() {
+            position[v.index()] = pos as u32;
+        }
+        let seq: Vec<u32> = target.iter().map(|&v| position[v.index()]).collect();
+        count_inversions(&seq)
+    }
+
+    /// Replaces the arrangement with `target`, returning the Kendall tau
+    /// cost of the jump. The new state is stored as a single segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn assign(&mut self, target: &Permutation) -> u64 {
+        let cost = self.kendall_to(target);
+        self.bump_version();
+        self.segs.clear();
+        self.free.clear();
+        if target.is_empty() {
+            self.set_root(NIL);
+            return cost;
+        }
+        let slot = self.alloc_seg(target.iter().copied().collect(), false);
+        self.set_root(slot);
+        cost
+    }
+
+    /// Compacts the segments covering `range` into one (the hint emitted
+    /// by the update mechanics after each component merge). Never changes
+    /// the observable arrangement. Amortized `O(min)` against the merge
+    /// when one side can absorb the other in place, `O(range)` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    pub fn coalesce_range(&mut self, range: Range<usize>) {
+        assert!(
+            range.end <= self.len(),
+            "block {range:?} out of bounds for length {}",
+            self.len()
+        );
+        if range.len() <= 1 {
+            return;
+        }
+        // Already one segment? Both ends sharing a segment implies the
+        // whole (contiguous) range does. Steady state for repeated hints.
+        let first_node = self.node_at(range.start);
+        let last_node = self.node_at(range.end - 1);
+        let first_slot = self.node_seg[first_node.index()];
+        let last_slot = self.node_seg[last_node.index()];
+        if first_slot == last_slot {
+            return;
+        }
+        // Fast path — the shape every merge update produces: exactly two
+        // adjacent segments. Absorb content in place, unlink the emptied
+        // tree node; no boundary splits, no re-merge of the whole range.
+        if self.in_seg_index(first_node) == 0
+            && self.in_seg_index(last_node) == self.segs[last_slot as usize].nodes.len() - 1
+            && self.segs[first_slot as usize].nodes.len()
+                + self.segs[last_slot as usize].nodes.len()
+                == range.len()
+        {
+            self.bump_version();
+            let (kept, emptied) = self.absorb_adjacent_content(first_slot, last_slot);
+            self.unlink_seg(emptied);
+            self.free_seg(emptied);
+            self.recompute_sizes_upward(kept);
+            return;
+        }
+        self.bump_version();
+        let (before, block, after) = self.extract(range);
+        let block = self.compact_detached(block);
+        let joined = self.merge(before, block);
+        let root = self.merge(joined, after);
+        self.set_root(root);
+    }
+
+    /// Materializes the arrangement as a dense [`Permutation`].
+    #[must_use]
+    pub fn to_permutation(&self) -> Permutation {
+        Permutation::from_nodes(self.collect_all())
+            .expect("segment arrangement always holds a valid permutation")
+    }
+
+    /// [`contiguous_range`](SegmentArrangement::contiguous_range) plus
+    /// the block's reading direction. On the single-segment fast path the
+    /// orientation bit falls out of the node→offset map for free — no
+    /// extra tree walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is out of range.
+    #[must_use]
+    pub fn oriented_contiguous_range(&self, nodes: &[Node]) -> Option<(Range<usize>, bool)> {
+        if nodes.is_empty() {
+            return Some((0..0, true));
+        }
+        let slot = self.node_seg[nodes[0].index()];
+        if self.segs[slot as usize].nodes.len() == nodes.len()
+            && nodes.iter().all(|&v| self.node_seg[v.index()] == slot)
+        {
+            let start = self.seg_start(slot);
+            self.remember_segment(start, nodes.len(), slot);
+            let forward = nodes.len() <= 1 || self.in_seg_index(nodes[0]) == 0;
+            return Some((start..start + nodes.len(), forward));
+        }
+        let range = self.contiguous_range(nodes)?;
+        let forward = nodes.len() <= 1 || self.position_of(nodes[0]) == range.start;
+        Some((range, forward))
+    }
+
+    /// Completes one merge update in a single pass — see
+    /// [`Arrangement::merge_move`] for the contract. The fast path (both
+    /// blocks segment-exact, the steady state under coalesce hints)
+    /// unlinks the mover's tree node and folds its content into the
+    /// stayer's segment: ~5 tree walks per merge instead of the ~13 the
+    /// primitive-op sequence costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges overlap or are out of bounds, or if
+    /// `target`'s length is not the blocks' combined length.
+    pub fn merge_move(
+        &mut self,
+        mover: Range<usize>,
+        stayer: Range<usize>,
+        target: Option<&[Node]>,
+    ) -> u64 {
+        let dest = crate::arrangement::merge_move_dest(&mover, &stayer);
+        assert!(
+            mover.end.max(stayer.end) <= self.len(),
+            "blocks {mover:?}/{stayer:?} out of bounds for length {}",
+            self.len()
+        );
+        if let Some(content) = target {
+            assert_eq!(
+                content.len(),
+                mover.len() + stayer.len(),
+                "target length must equal the blocks' combined length"
+            );
+        }
+        let gap = dest.abs_diff(mover.start);
+        let cost = (mover.len() as u64) * (gap as u64);
+        let mover_is_left = mover.start < stayer.start;
+        if mover.is_empty() || stayer.is_empty() {
+            // Degenerate blocks: fall back to the primitive sequence.
+            let moved = self.move_block(mover.clone(), dest);
+            debug_assert_eq!(moved, cost);
+            let merged = dest.min(stayer.start)..(dest + mover.len()).max(stayer.end);
+            if let Some(content) = target {
+                self.write_merged_block(merged.clone(), content);
+            }
+            self.coalesce_range(merged);
+            return cost;
+        }
+        let mover_exact = self.exact_segment(&mover);
+        let stayer_exact = self.exact_segment(&stayer);
+        let (Some(mover_slot), Some(stayer_slot)) = (mover_exact, stayer_exact) else {
+            let moved = self.move_block(mover.clone(), dest);
+            debug_assert_eq!(moved, cost);
+            let merged = dest.min(stayer.start)..(dest + mover.len()).max(stayer.end);
+            if let Some(content) = target {
+                self.write_merged_block(merged.clone(), content);
+            }
+            self.coalesce_range(merged);
+            return cost;
+        };
+        self.bump_version();
+        self.unlink_seg(mover_slot);
+        match target {
+            Some(content) => {
+                // Rearranged merge: the merged block's content is known in
+                // closed form — overwrite the stayer segment wholesale,
+                // reusing its buffer.
+                self.free_seg(mover_slot);
+                self.replace_seg_content(stayer_slot, content);
+            }
+            None => {
+                // Order-preserving merge: fold the mover's content into
+                // the stayer at the junction side.
+                self.fold_into_seg(stayer_slot, mover_slot, mover_is_left);
+            }
+        }
+        self.recompute_sizes_upward(stayer_slot);
+        cost
+    }
+
+    /// Bulk-overwrites the block at `range` with `content` — see
+    /// [`Arrangement::write_merged_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or the lengths differ.
+    pub fn write_merged_block(&mut self, range: Range<usize>, content: &[Node]) {
+        assert!(
+            range.end <= self.len(),
+            "block {range:?} out of bounds for length {}",
+            self.len()
+        );
+        assert_eq!(
+            range.len(),
+            content.len(),
+            "content length {} does not match block {range:?}",
+            content.len()
+        );
+        if range.is_empty() {
+            return;
+        }
+        let exact = self.exact_segment(&range);
+        self.bump_version();
+        if let Some(slot) = exact {
+            self.replace_seg_content(slot, content);
+            self.recompute_sizes_upward(slot);
+            return;
+        }
+        let (before, block, after) = self.extract(range);
+        self.free_subtree(block);
+        let fresh = self.alloc_seg(content.to_vec(), false);
+        let joined = self.merge(before, fresh);
+        let root = self.merge(joined, after);
+        self.set_root(root);
+    }
+
+    /// Checks internal consistency: in-order traversal, both lookup
+    /// directions and subtree sizes must agree. Used by tests.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn check_consistent(&self) -> bool {
+        let order = self.collect_all();
+        if order.len() != self.len() || self.sub(self.root) != self.len() {
+            return false;
+        }
+        order
+            .iter()
+            .enumerate()
+            .all(|(pos, &v)| self.position_of(v) == pos && self.node_at(pos) == v)
+    }
+
+    // ---- treap internals ----------------------------------------------
+
+    fn sub(&self, t: u32) -> usize {
+        if t == NIL {
+            0
+        } else {
+            self.segs[t as usize].subtree
+        }
+    }
+
+    fn next_prio(&mut self) -> u64 {
+        self.prio_counter = self.prio_counter.wrapping_add(1);
+        splitmix64(self.prio_counter)
+    }
+
+    /// Allocates a detached segment and points its nodes' lookup entries
+    /// at it.
+    fn alloc_seg(&mut self, nodes: Vec<Node>, reversed: bool) -> u32 {
+        let prio = self.next_prio();
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.segs.push(Seg {
+                    nodes: Vec::new(),
+                    reversed: false,
+                    prio: 0,
+                    left: NIL,
+                    right: NIL,
+                    parent: NIL,
+                    subtree: 0,
+                });
+                (self.segs.len() - 1) as u32
+            }
+        };
+        for (off, v) in nodes.iter().enumerate() {
+            self.node_seg[v.index()] = slot;
+            self.node_off[v.index()] = off as u32;
+        }
+        let seg = &mut self.segs[slot as usize];
+        seg.subtree = nodes.len();
+        seg.nodes = nodes;
+        seg.reversed = reversed;
+        seg.prio = prio;
+        seg.left = NIL;
+        seg.right = NIL;
+        seg.parent = NIL;
+        slot
+    }
+
+    fn free_seg(&mut self, slot: u32) {
+        self.segs[slot as usize].nodes = Vec::new();
+        self.free.push(slot);
+    }
+
+    /// Recomputes `subtree` and re-parents the children of `t`.
+    fn upd(&mut self, t: u32) {
+        let (left, right) = {
+            let seg = &self.segs[t as usize];
+            (seg.left, seg.right)
+        };
+        let total = self.segs[t as usize].nodes.len() + self.sub(left) + self.sub(right);
+        self.segs[t as usize].subtree = total;
+        if left != NIL {
+            self.segs[left as usize].parent = t;
+        }
+        if right != NIL {
+            self.segs[right as usize].parent = t;
+        }
+    }
+
+    fn set_root(&mut self, root: u32) {
+        self.root = root;
+        if root != NIL {
+            self.segs[root as usize].parent = NIL;
+        }
+    }
+
+    /// Builds a treap from detached segments in position order, `O(n)`
+    /// via the right-spine stack method.
+    fn build(&mut self, slots: &[u32]) -> u32 {
+        let mut spine: Vec<u32> = Vec::new();
+        for &slot in slots {
+            let mut last = NIL;
+            while let Some(&top) = spine.last() {
+                if self.segs[top as usize].prio >= self.segs[slot as usize].prio {
+                    break;
+                }
+                spine.pop();
+                self.upd(top);
+                last = top;
+            }
+            self.segs[slot as usize].left = last;
+            if let Some(&top) = spine.last() {
+                self.segs[top as usize].right = slot;
+            }
+            spine.push(slot);
+        }
+        let mut root = NIL;
+        while let Some(top) = spine.pop() {
+            self.upd(top);
+            root = top;
+        }
+        root
+    }
+
+    /// Rank of segment `slot`: total nodes strictly left of it, via parent
+    /// pointers in `O(log n)` expected.
+    fn seg_start(&self, slot: u32) -> usize {
+        let mut acc = self.sub(self.segs[slot as usize].left);
+        let mut current = slot;
+        let mut parent = self.segs[slot as usize].parent;
+        while parent != NIL {
+            let seg = &self.segs[parent as usize];
+            if seg.right == current {
+                acc += self.sub(seg.left) + seg.nodes.len();
+            }
+            current = parent;
+            parent = seg.parent;
+        }
+        acc
+    }
+
+    /// Splits off the first `k` nodes. Interior cuts split the containing
+    /// segment's content (the only non-`O(log n)` case).
+    fn split(&mut self, t: u32, k: usize) -> (u32, u32) {
+        if t == NIL {
+            debug_assert_eq!(k, 0, "split point beyond tree");
+            return (NIL, NIL);
+        }
+        let (left_child, right_child, seg_len) = {
+            let seg = &self.segs[t as usize];
+            (seg.left, seg.right, seg.nodes.len())
+        };
+        let left_size = self.sub(left_child);
+        if k <= left_size {
+            let (a, b) = self.split(left_child, k);
+            self.segs[t as usize].left = b;
+            self.upd(t);
+            (a, t)
+        } else if k >= left_size + seg_len {
+            let (a, b) = self.split(right_child, k - left_size - seg_len);
+            self.segs[t as usize].right = a;
+            self.upd(t);
+            (t, b)
+        } else {
+            // Interior cut: split this segment's content in two.
+            let cut = k - left_size;
+            let tail = self.split_seg_content(t, cut);
+            self.segs[t as usize].right = NIL;
+            self.upd(t);
+            let rest = self.merge(tail, right_child);
+            (t, rest)
+        }
+    }
+
+    /// Joins two treaps (every node of `l` left of every node of `r`).
+    fn merge(&mut self, l: u32, r: u32) -> u32 {
+        if l == NIL {
+            return r;
+        }
+        if r == NIL {
+            return l;
+        }
+        if self.segs[l as usize].prio >= self.segs[r as usize].prio {
+            let lr = self.segs[l as usize].right;
+            let m = self.merge(lr, r);
+            self.segs[l as usize].right = m;
+            self.upd(l);
+            l
+        } else {
+            let rl = self.segs[r as usize].left;
+            let m = self.merge(l, rl);
+            self.segs[r as usize].left = m;
+            self.upd(r);
+            r
+        }
+    }
+
+    /// Splits out `range` as a detached subtree: `(before, block, after)`.
+    fn extract(&mut self, range: Range<usize>) -> (u32, u32, u32) {
+        let root = self.root;
+        let (before, rest) = self.split(root, range.start);
+        let (block, after) = self.split(rest, range.len());
+        (before, block, after)
+    }
+
+    /// Cuts the first `cut` arrangement-order nodes off segment `t`,
+    /// keeping them in `t`; returns a new detached segment holding the
+    /// remainder. `O(segment)`.
+    fn split_seg_content(&mut self, t: u32, cut: usize) -> u32 {
+        let reversed = self.segs[t as usize].reversed;
+        let len = self.segs[t as usize].nodes.len();
+        debug_assert!(cut > 0 && cut < len, "interior cut expected");
+        if reversed {
+            // Arrangement order is reversed storage: the first `cut`
+            // arrangement nodes are the last `cut` storage nodes.
+            let mut stored = std::mem::take(&mut self.segs[t as usize].nodes);
+            let kept = stored.split_off(len - cut);
+            for (off, v) in kept.iter().enumerate() {
+                self.node_off[v.index()] = off as u32;
+            }
+            self.segs[t as usize].nodes = kept;
+            self.alloc_seg(stored, true)
+        } else {
+            let tail = self.segs[t as usize].nodes.split_off(cut);
+            self.alloc_seg(tail, false)
+        }
+    }
+
+    /// Reverses a detached subtree: a lazy flag flip when it is a single
+    /// segment, otherwise compaction into one reversed segment.
+    fn reverse_detached(&mut self, block: u32) -> u32 {
+        debug_assert_ne!(block, NIL);
+        let seg = &self.segs[block as usize];
+        if seg.left == NIL && seg.right == NIL {
+            let seg = &mut self.segs[block as usize];
+            seg.reversed = !seg.reversed;
+            return block;
+        }
+        let order = self.collect_subtree(block);
+        self.free_subtree(block);
+        self.alloc_seg(order, true)
+    }
+
+    /// Compacts a detached subtree into a single segment, absorbing the
+    /// smaller neighbor in place when the orientation allows a tail
+    /// append (the common two-segment merge case).
+    fn compact_detached(&mut self, block: u32) -> u32 {
+        debug_assert_ne!(block, NIL);
+        if self.segs[block as usize].left == NIL && self.segs[block as usize].right == NIL {
+            return block;
+        }
+        let slots = self.collect_slots(block);
+        if slots.len() == 2 {
+            return self.coalesce_pair(slots[0], slots[1]);
+        }
+        let order = self.collect_subtree(block);
+        self.free_subtree(block);
+        self.alloc_seg(order, false)
+    }
+
+    /// Merges two detached adjacent segments (`first` arrangement-left of
+    /// `second`) into one, appending at a storage tail when possible.
+    fn coalesce_pair(&mut self, first: u32, second: u32) -> u32 {
+        // Detach both from their two-node tree.
+        for &slot in &[first, second] {
+            let seg = &mut self.segs[slot as usize];
+            seg.left = NIL;
+            seg.right = NIL;
+            seg.parent = NIL;
+            seg.subtree = seg.nodes.len();
+        }
+        let (kept, emptied) = self.absorb_adjacent_content(first, second);
+        self.free_seg(emptied);
+        self.segs[kept as usize].subtree = self.segs[kept as usize].nodes.len();
+        kept
+    }
+
+    /// In-order nodes of a detached subtree (arrangement order).
+    fn collect_subtree(&self, t: u32) -> Vec<Node> {
+        let mut out = Vec::with_capacity(self.sub(t));
+        let mut stack: Vec<u32> = Vec::new();
+        let mut current = t;
+        while current != NIL || !stack.is_empty() {
+            while current != NIL {
+                stack.push(current);
+                current = self.segs[current as usize].left;
+            }
+            let slot = stack.pop().expect("loop guard ensures non-empty stack");
+            let seg = &self.segs[slot as usize];
+            if seg.reversed {
+                out.extend(seg.nodes.iter().rev().copied());
+            } else {
+                out.extend(seg.nodes.iter().copied());
+            }
+            current = seg.right;
+        }
+        out
+    }
+
+    /// Arena slots of a detached subtree, in arrangement order.
+    fn collect_slots(&self, t: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+        let mut current = t;
+        while current != NIL || !stack.is_empty() {
+            while current != NIL {
+                stack.push(current);
+                current = self.segs[current as usize].left;
+            }
+            let slot = stack.pop().expect("loop guard ensures non-empty stack");
+            out.push(slot);
+            current = self.segs[slot as usize].right;
+        }
+        out
+    }
+
+    /// Invalidates the range memo (call before any structural change).
+    fn bump_version(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// Records a verified range→segment fact for the current version.
+    fn remember_segment(&self, start: usize, len: usize, slot: u32) {
+        let Ok(len) = u32::try_from(len) else { return };
+        let mut entries = self.memo.get();
+        entries[1] = entries[0];
+        entries[0] = RangeMemo {
+            version: self.version,
+            start,
+            len,
+            slot,
+        };
+        self.memo.set(entries);
+    }
+
+    /// Looks up a remembered, still-valid range→segment fact.
+    fn recall_segment(&self, range: &Range<usize>) -> Option<u32> {
+        self.memo.get().iter().find_map(|entry| {
+            (entry.version == self.version
+                && entry.start == range.start
+                && entry.len as usize == range.len())
+            .then_some(entry.slot)
+        })
+    }
+
+    /// The arrangement-order index of `node` inside its segment.
+    fn in_seg_index(&self, node: Node) -> usize {
+        let slot = self.node_seg[node.index()];
+        let seg = &self.segs[slot as usize];
+        let off = self.node_off[node.index()] as usize;
+        if seg.reversed {
+            seg.nodes.len() - 1 - off
+        } else {
+            off
+        }
+    }
+
+    /// Returns the segment slot iff `range` covers exactly one segment.
+    fn exact_segment(&self, range: &Range<usize>) -> Option<u32> {
+        if range.is_empty() {
+            return None;
+        }
+        if let Some(slot) = self.recall_segment(range) {
+            return Some(slot);
+        }
+        let first = self.node_at(range.start);
+        let slot = self.node_seg[first.index()];
+        (self.segs[slot as usize].nodes.len() == range.len() && self.in_seg_index(first) == 0)
+            .then_some(slot)
+    }
+
+    /// Recomputes subtree sizes from `t` up to the root (child links and
+    /// segment contents must already be final).
+    fn recompute_sizes_upward(&mut self, t: u32) {
+        let mut current = t;
+        while current != NIL {
+            let (left, right) = {
+                let seg = &self.segs[current as usize];
+                (seg.left, seg.right)
+            };
+            self.segs[current as usize].subtree =
+                self.segs[current as usize].nodes.len() + self.sub(left) + self.sub(right);
+            current = self.segs[current as usize].parent;
+        }
+    }
+
+    /// Unlinks segment `slot` from the tree in place by merging its
+    /// children into its position. Heap order is preserved: both children
+    /// carry lower priorities than `slot`, hence than its parent. The
+    /// slot itself is left detached (content untouched, not freed).
+    fn unlink_seg(&mut self, slot: u32) {
+        let (left, right, parent) = {
+            let seg = &self.segs[slot as usize];
+            (seg.left, seg.right, seg.parent)
+        };
+        let replacement = self.merge(left, right);
+        if parent == NIL {
+            self.set_root(replacement);
+        } else {
+            let parent_seg = &mut self.segs[parent as usize];
+            if parent_seg.left == slot {
+                parent_seg.left = replacement;
+            } else {
+                parent_seg.right = replacement;
+            }
+            if replacement != NIL {
+                self.segs[replacement as usize].parent = parent;
+            }
+            self.recompute_sizes_upward(parent);
+        }
+        let seg = &mut self.segs[slot as usize];
+        seg.left = NIL;
+        seg.right = NIL;
+        seg.parent = NIL;
+        seg.subtree = seg.nodes.len();
+    }
+
+    /// Reinserts a detached segment so that it starts at `position`.
+    fn insert_seg_at(&mut self, slot: u32, position: usize) {
+        let root = self.root;
+        let (left, right) = self.split(root, position);
+        let joined = self.merge(left, slot);
+        let root = self.merge(joined, right);
+        self.set_root(root);
+    }
+
+    /// Absorbs the content of adjacent segment `second` (arrangement-right
+    /// of `first`) into `first` — or vice versa when the orientations make
+    /// that the cheap tail append — leaving both slots' tree links
+    /// untouched. Returns `(kept, emptied)`.
+    fn absorb_adjacent_content(&mut self, first: u32, second: u32) -> (u32, u32) {
+        let first_reversed = self.segs[first as usize].reversed;
+        let second_reversed = self.segs[second as usize].reversed;
+        if !first_reversed {
+            // Append `second`'s arrangement order to `first`'s tail.
+            let absorbed = std::mem::take(&mut self.segs[second as usize].nodes);
+            self.push_storage_tail(first, &absorbed, second_reversed);
+            (first, second)
+        } else if second_reversed {
+            // `second` reads right-to-left, so `first`'s reversed
+            // arrangement order — its storage order — appends at the tail.
+            let absorbed = std::mem::take(&mut self.segs[first as usize].nodes);
+            self.push_storage_tail(second, &absorbed, false);
+            (second, first)
+        } else {
+            // first reversed, second forward: rebuild into `first` forward.
+            let first_nodes = std::mem::take(&mut self.segs[first as usize].nodes);
+            let second_nodes = std::mem::take(&mut self.segs[second as usize].nodes);
+            let mut order = Vec::with_capacity(first_nodes.len() + second_nodes.len());
+            order.extend(first_nodes.iter().rev().copied());
+            order.extend(second_nodes.iter().copied());
+            self.install_seg_content(first, order);
+            (first, second)
+        }
+    }
+
+    /// Appends `nodes` — iterated in storage order, reversed when `rev` —
+    /// onto `dst`'s storage tail, keeping the node→segment/offset maps in
+    /// sync. The single place absorb bookkeeping lives.
+    fn push_storage_tail(&mut self, dst: u32, nodes: &[Node], rev: bool) {
+        let base = self.segs[dst as usize].nodes.len();
+        let iter: Box<dyn Iterator<Item = Node>> = if rev {
+            Box::new(nodes.iter().rev().copied())
+        } else {
+            Box::new(nodes.iter().copied())
+        };
+        for (i, v) in iter.enumerate() {
+            self.node_seg[v.index()] = dst;
+            self.node_off[v.index()] = (base + i) as u32;
+            self.segs[dst as usize].nodes.push(v);
+        }
+    }
+
+    /// Installs `content` as `slot`'s storage (forward order), syncing the
+    /// node maps. The owned-buffer sibling of `replace_seg_content`.
+    fn install_seg_content(&mut self, slot: u32, content: Vec<Node>) {
+        for (off, v) in content.iter().enumerate() {
+            self.node_seg[v.index()] = slot;
+            self.node_off[v.index()] = off as u32;
+        }
+        let seg = &mut self.segs[slot as usize];
+        seg.nodes = content;
+        seg.reversed = false;
+    }
+
+    /// Overwrites a (linked) segment's content in place, forward order,
+    /// reusing its buffer. Subtree sizes are NOT fixed up — callers do
+    /// that.
+    fn replace_seg_content(&mut self, slot: u32, content: &[Node]) {
+        for (off, v) in content.iter().enumerate() {
+            self.node_seg[v.index()] = slot;
+            self.node_off[v.index()] = off as u32;
+        }
+        let seg = &mut self.segs[slot as usize];
+        seg.nodes.clear();
+        seg.nodes.extend_from_slice(content);
+        seg.reversed = false;
+    }
+
+    /// Folds the content of detached segment `other` into linked segment
+    /// `slot`, attaching it on the left or right side in arrangement
+    /// order (preserving both internal orders). Frees `other`. Subtree
+    /// sizes are NOT fixed up — callers do that.
+    fn fold_into_seg(&mut self, slot: u32, other: u32, other_is_left: bool) {
+        let other_nodes = std::mem::take(&mut self.segs[other as usize].nodes);
+        let other_reversed = self.segs[other as usize].reversed;
+        self.free_seg(other);
+        let keep_reversed = self.segs[slot as usize].reversed;
+        // Cheap tail appends: arrangement-right content onto a forward
+        // segment (in arrangement order), or arrangement-left content
+        // onto a reversed one (in reversed arrangement order).
+        if !other_is_left && !keep_reversed {
+            self.push_storage_tail(slot, &other_nodes, other_reversed);
+            return;
+        }
+        if other_is_left && keep_reversed {
+            self.push_storage_tail(slot, &other_nodes, !other_reversed);
+            return;
+        }
+        // Otherwise rebuild the merged content forward, other side first
+        // or last as dictated.
+        let mut order =
+            Vec::with_capacity(self.segs[slot as usize].nodes.len() + other_nodes.len());
+        let extend_arr = |order: &mut Vec<Node>, nodes: &[Node], reversed: bool| {
+            if reversed {
+                order.extend(nodes.iter().rev().copied());
+            } else {
+                order.extend(nodes.iter().copied());
+            }
+        };
+        if other_is_left {
+            extend_arr(&mut order, &other_nodes, other_reversed);
+            extend_arr(&mut order, &self.segs[slot as usize].nodes, keep_reversed);
+        } else {
+            extend_arr(&mut order, &self.segs[slot as usize].nodes, keep_reversed);
+            extend_arr(&mut order, &other_nodes, other_reversed);
+        }
+        self.install_seg_content(slot, order);
+    }
+
+    fn free_subtree(&mut self, t: u32) {
+        for slot in self.collect_slots(t) {
+            self.free_seg(slot);
+        }
+    }
+
+    fn collect_all(&self) -> Vec<Node> {
+        if self.root == NIL {
+            return Vec::new();
+        }
+        self.collect_subtree(self.root)
+    }
+}
+
+impl Arrangement for SegmentArrangement {
+    fn len(&self) -> usize {
+        SegmentArrangement::len(self)
+    }
+
+    fn node_at(&self, position: usize) -> Node {
+        SegmentArrangement::node_at(self, position)
+    }
+
+    fn position_of(&self, node: Node) -> usize {
+        SegmentArrangement::position_of(self, node)
+    }
+
+    fn contiguous_range(&self, nodes: &[Node]) -> Option<Range<usize>> {
+        SegmentArrangement::contiguous_range(self, nodes)
+    }
+
+    fn move_block(&mut self, src: Range<usize>, dest: usize) -> u64 {
+        SegmentArrangement::move_block(self, src, dest)
+    }
+
+    fn reverse_block(&mut self, range: Range<usize>) -> u64 {
+        SegmentArrangement::reverse_block(self, range)
+    }
+
+    fn swap_adjacent_blocks(&mut self, left: Range<usize>, right: Range<usize>) -> u64 {
+        SegmentArrangement::swap_adjacent_blocks(self, left, right)
+    }
+
+    fn kendall_to(&self, target: &Permutation) -> u64 {
+        SegmentArrangement::kendall_to(self, target)
+    }
+
+    fn assign(&mut self, target: &Permutation) -> u64 {
+        SegmentArrangement::assign(self, target)
+    }
+
+    fn coalesce_range(&mut self, range: Range<usize>) {
+        SegmentArrangement::coalesce_range(self, range);
+    }
+
+    fn to_permutation(&self) -> Permutation {
+        SegmentArrangement::to_permutation(self)
+    }
+
+    fn oriented_contiguous_range(&self, nodes: &[Node]) -> Option<(Range<usize>, bool)> {
+        SegmentArrangement::oriented_contiguous_range(self, nodes)
+    }
+
+    fn merge_move(
+        &mut self,
+        mover: Range<usize>,
+        stayer: Range<usize>,
+        target: Option<&[Node]>,
+    ) -> u64 {
+        SegmentArrangement::merge_move(self, mover, stayer, target)
+    }
+
+    fn write_merged_block(&mut self, range: Range<usize>, content: &[Node]) {
+        SegmentArrangement::write_merged_block(self, range, content);
+    }
+}
+
+impl fmt::Debug for SegmentArrangement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SegmentArrangement[")?;
+        for (i, v) in self.collect_all().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", v.raw())?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl PartialEq for SegmentArrangement {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.collect_all() == other.collect_all()
+    }
+}
+
+impl Eq for SegmentArrangement {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(indices: &[usize]) -> SegmentArrangement {
+        SegmentArrangement::from_permutation(&Permutation::from_indices(indices).unwrap())
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let arr = SegmentArrangement::identity(5);
+        for i in 0..5 {
+            assert_eq!(arr.node_at(i), Node::new(i));
+            assert_eq!(arr.position_of(Node::new(i)), i);
+        }
+        assert!(arr.check_consistent());
+        assert_eq!(arr.to_permutation(), Permutation::identity(5));
+    }
+
+    #[test]
+    fn empty_arrangement() {
+        let arr = SegmentArrangement::identity(0);
+        assert!(arr.is_empty());
+        assert_eq!(arr.to_permutation(), Permutation::identity(0));
+        assert_eq!(arr.contiguous_range(&[]), Some(0..0));
+        assert!(arr.check_consistent());
+    }
+
+    #[test]
+    fn move_block_matches_dense() {
+        let mut arr = SegmentArrangement::identity(5);
+        let mut pi = Permutation::identity(5);
+        assert_eq!(arr.move_block(1..3, 3), pi.move_block(1..3, 3));
+        assert_eq!(arr.to_permutation(), pi);
+        assert!(arr.check_consistent());
+        assert_eq!(arr.move_block(3..5, 1), pi.move_block(3..5, 1));
+        assert_eq!(arr.to_permutation(), pi);
+        assert_eq!(arr.move_block(1..1, 0), 0);
+        assert_eq!(arr.move_block(0..2, 0), 0);
+    }
+
+    #[test]
+    fn reverse_block_lazy_flag_and_fallback() {
+        let mut arr = SegmentArrangement::identity(6);
+        let mut pi = Permutation::identity(6);
+        // Coalesce 2..5 into one segment, then the reversal is a bit flip.
+        arr.coalesce_range(2..5);
+        assert_eq!(arr.reverse_block(2..5), pi.reverse_block(2..5));
+        assert_eq!(arr.to_permutation(), pi);
+        // Multi-segment reversal falls back to compaction.
+        assert_eq!(arr.reverse_block(0..6), pi.reverse_block(0..6));
+        assert_eq!(arr.to_permutation(), pi);
+        assert!(arr.check_consistent());
+    }
+
+    #[test]
+    fn reversed_segment_lookups() {
+        let mut arr = SegmentArrangement::identity(4);
+        arr.coalesce_range(0..4);
+        arr.reverse_block(0..4);
+        assert_eq!(arr.position_of(Node::new(0)), 3);
+        assert_eq!(arr.node_at(0), Node::new(3));
+        assert!(arr.check_consistent());
+    }
+
+    #[test]
+    fn swap_adjacent_blocks_matches_dense() {
+        let mut arr = seg(&[0, 1, 2, 3, 4]);
+        let mut pi = Permutation::from_indices(&[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(arr.swap_adjacent_blocks(1..3, 3..5), 4);
+        pi.swap_adjacent_blocks(1..3, 3..5);
+        assert_eq!(arr.to_permutation(), pi);
+        assert!(arr.check_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn swap_non_adjacent_panics() {
+        let mut arr = SegmentArrangement::identity(5);
+        let _ = arr.swap_adjacent_blocks(0..1, 3..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn move_block_out_of_bounds_panics() {
+        let mut arr = SegmentArrangement::identity(3);
+        let _ = arr.move_block(1..4, 0);
+    }
+
+    #[test]
+    fn contiguous_range_fast_and_slow_paths() {
+        let mut arr = seg(&[4, 2, 3, 0, 1]);
+        // Slow path: nodes spread over singleton segments.
+        assert_eq!(
+            arr.contiguous_range(&[Node::new(2), Node::new(3)]),
+            Some(1..3)
+        );
+        assert_eq!(arr.contiguous_range(&[Node::new(4), Node::new(3)]), None);
+        // Fast path after coalescing.
+        arr.coalesce_range(1..3);
+        assert_eq!(arr.segment_count(), 4);
+        assert_eq!(
+            arr.contiguous_range(&[Node::new(2), Node::new(3)]),
+            Some(1..3)
+        );
+        assert_eq!(arr.contiguous_range(&[Node::new(4)]), Some(0..1));
+    }
+
+    #[test]
+    fn coalesce_orientation_cases() {
+        // Exercise all three coalesce_pair branches via reversals.
+        for (rev_left, rev_right) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut arr = SegmentArrangement::identity(6);
+            let mut pi = Permutation::identity(6);
+            arr.coalesce_range(0..3);
+            arr.coalesce_range(3..6);
+            if rev_left {
+                arr.reverse_block(0..3);
+                pi.reverse_block(0..3);
+            }
+            if rev_right {
+                arr.reverse_block(3..6);
+                pi.reverse_block(3..6);
+            }
+            arr.coalesce_range(0..6);
+            assert_eq!(arr.segment_count(), 1, "({rev_left}, {rev_right})");
+            assert_eq!(arr.to_permutation(), pi, "({rev_left}, {rev_right})");
+            assert!(arr.check_consistent(), "({rev_left}, {rev_right})");
+        }
+    }
+
+    #[test]
+    fn interior_splits_of_reversed_segments() {
+        let mut arr = SegmentArrangement::identity(8);
+        let mut pi = Permutation::identity(8);
+        arr.coalesce_range(0..8);
+        arr.reverse_block(0..8);
+        pi.reverse_block(0..8);
+        // Move a range that cuts the single reversed segment twice.
+        assert_eq!(arr.move_block(2..5, 4), pi.move_block(2..5, 4));
+        assert_eq!(arr.to_permutation(), pi);
+        assert!(arr.check_consistent());
+    }
+
+    #[test]
+    fn kendall_and_assign_match_dense() {
+        let mut arr = seg(&[2, 0, 1, 3]);
+        let target = Permutation::from_indices(&[3, 1, 0, 2]).unwrap();
+        let dense = Permutation::from_indices(&[2, 0, 1, 3]).unwrap();
+        assert_eq!(arr.kendall_to(&target), dense.kendall_distance(&target));
+        let cost = arr.assign(&target);
+        assert_eq!(cost, dense.kendall_distance(&target));
+        assert_eq!(arr.to_permutation(), target);
+        assert_eq!(arr.assign(&target), 0);
+        assert!(arr.check_consistent());
+    }
+
+    #[test]
+    fn debug_format_matches_order() {
+        let arr = seg(&[1, 0]);
+        assert_eq!(format!("{arr:?}"), "SegmentArrangement[1 0]");
+    }
+
+    #[test]
+    fn equality_is_by_arrangement_order() {
+        let mut a = SegmentArrangement::identity(4);
+        let b = SegmentArrangement::identity(4);
+        assert_eq!(a, b);
+        a.coalesce_range(0..4); // structure differs, order identical
+        assert_eq!(a, b);
+        a.reverse_block(0..4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn randomized_ops_match_dense() {
+        // Deterministic pseudo-random op fuzz against the dense reference.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move |bound: usize| {
+            state = splitmix64(state);
+            (state % bound.max(1) as u64) as usize
+        };
+        for n in [1usize, 2, 3, 7, 16, 33] {
+            let mut arr = SegmentArrangement::identity(n);
+            let mut pi = Permutation::identity(n);
+            for _ in 0..120 {
+                match next(4) {
+                    0 => {
+                        let start = next(n + 1);
+                        let end = start + next(n - start + 1);
+                        let len = end - start;
+                        let dest = next(n - len + 1);
+                        assert_eq!(
+                            arr.move_block(start..end, dest),
+                            pi.move_block(start..end, dest)
+                        );
+                    }
+                    1 => {
+                        let start = next(n + 1);
+                        let end = start + next(n - start + 1);
+                        assert_eq!(arr.reverse_block(start..end), pi.reverse_block(start..end));
+                    }
+                    2 => {
+                        let start = next(n + 1);
+                        let mid = start + next(n - start + 1);
+                        let end = mid + next(n - mid + 1);
+                        assert_eq!(
+                            arr.swap_adjacent_blocks(start..mid, mid..end),
+                            pi.swap_adjacent_blocks(start..mid, mid..end)
+                        );
+                    }
+                    _ => {
+                        let start = next(n + 1);
+                        let end = start + next(n - start + 1);
+                        arr.coalesce_range(start..end);
+                    }
+                }
+                assert_eq!(arr.to_permutation(), pi);
+                assert!(arr.check_consistent());
+            }
+        }
+    }
+}

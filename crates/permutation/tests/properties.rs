@@ -183,3 +183,266 @@ proptest! {
         prop_assert_eq!(da, db);
     }
 }
+
+// ---- backend equivalence: SegmentArrangement vs dense Permutation ------
+
+use mla_permutation::{Arrangement, SegmentArrangement};
+
+/// One randomly generated arrangement operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Move {
+        src: std::ops::Range<usize>,
+        dest: usize,
+    },
+    Reverse(std::ops::Range<usize>),
+    SwapBlocks {
+        mid: usize,
+        start: usize,
+        end: usize,
+    },
+    Coalesce(std::ops::Range<usize>),
+    Assign(Vec<usize>),
+    /// The composite merge update; `pattern` (a permutation of the two
+    /// blocks' combined length) selects the rearranging target from the
+    /// state at execution time.
+    MergeMove {
+        mover: std::ops::Range<usize>,
+        stayer: std::ops::Range<usize>,
+        pattern: Option<Vec<usize>>,
+    },
+    /// Bulk block-content overwrite, `pattern` relative to the block's
+    /// nodes at execution time.
+    WriteBlock {
+        range: std::ops::Range<usize>,
+        pattern: Vec<usize>,
+    },
+}
+
+/// A random permutation of `0..len` drawn from the strategy RNG.
+fn pattern_of(
+    len: usize,
+    next: impl Fn(usize, &mut TestRng) -> usize,
+    rng: &mut TestRng,
+) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = next(i + 1, rng);
+        indices.swap(i, j);
+    }
+    indices
+}
+
+/// Strategy: a random op sequence for an arrangement of `n` nodes,
+/// including the empty/full/boundary-adjacent edge cases the dense
+/// asserts allow. (The vendored proptest has no `prop_oneof`, so the ops
+/// are drawn from the perturbation RNG.)
+fn op_sequence() -> impl Strategy<Value = (Permutation, Vec<Op>)> {
+    (1usize..24).prop_flat_map(|n| {
+        permutation(n).prop_perturb(move |start, mut rng| {
+            let next =
+                |bound: usize, rng: &mut TestRng| (rng.next_u64() % bound.max(1) as u64) as usize;
+            let count = next(40, &mut rng);
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                ops.push(match next(17, &mut rng) {
+                    0..=3 => {
+                        let start = next(n + 1, &mut rng);
+                        let end = start + next(n - start + 1, &mut rng);
+                        let dest = next(n - (end - start) + 1, &mut rng);
+                        Op::Move {
+                            src: start..end,
+                            dest,
+                        }
+                    }
+                    4..=6 => {
+                        let start = next(n + 1, &mut rng);
+                        let end = start + next(n - start + 1, &mut rng);
+                        Op::Reverse(start..end)
+                    }
+                    7..=9 => {
+                        let start = next(n + 1, &mut rng);
+                        let mid = start + next(n - start + 1, &mut rng);
+                        let end = mid + next(n - mid + 1, &mut rng);
+                        Op::SwapBlocks { start, mid, end }
+                    }
+                    10 | 11 => {
+                        let start = next(n + 1, &mut rng);
+                        let end = start + next(n - start + 1, &mut rng);
+                        Op::Coalesce(start..end)
+                    }
+                    12 => Op::Assign(pattern_of(n, next, &mut rng)),
+                    13 | 14 if n >= 2 => {
+                        // Two disjoint non-empty blocks; mover on a random
+                        // side; rearranging target on a coin flip.
+                        let mut cuts = [
+                            next(n + 1, &mut rng),
+                            next(n + 1, &mut rng),
+                            next(n + 1, &mut rng),
+                            next(n + 1, &mut rng),
+                        ];
+                        cuts.sort_unstable();
+                        let [a, mut b, mut c, mut d] = cuts;
+                        if b == a {
+                            b = a + 1;
+                        }
+                        c = c.max(b);
+                        if d <= c {
+                            d = c + 1;
+                        }
+                        if d > n {
+                            Op::Coalesce(0..n)
+                        } else {
+                            let (first, second) = (a..b, c..d);
+                            let (mover, stayer) = if next(2, &mut rng) == 0 {
+                                (first, second)
+                            } else {
+                                (second, first)
+                            };
+                            let pattern = (next(2, &mut rng) == 0)
+                                .then(|| pattern_of(mover.len() + stayer.len(), next, &mut rng));
+                            Op::MergeMove {
+                                mover,
+                                stayer,
+                                pattern,
+                            }
+                        }
+                    }
+                    15 | 16 => {
+                        let start = next(n + 1, &mut rng);
+                        let end = start + next(n - start + 1, &mut rng);
+                        Op::WriteBlock {
+                            range: start..end,
+                            pattern: pattern_of(end - start, next, &mut rng),
+                        }
+                    }
+                    _ => Op::Coalesce(0..n),
+                });
+            }
+            (start, ops)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn segment_backend_is_bit_identical_to_dense((start, ops) in op_sequence()) {
+        let mut dense = start.clone();
+        let mut segment = SegmentArrangement::from_permutation(&start);
+        for operation in &ops {
+            let (dense_cost, segment_cost) = match operation.clone() {
+                Op::Move { src, dest } => (
+                    dense.move_block(src.clone(), dest),
+                    segment.move_block(src, dest),
+                ),
+                Op::Reverse(range) => (
+                    dense.reverse_block(range.clone()),
+                    segment.reverse_block(range),
+                ),
+                Op::SwapBlocks { start, mid, end } => (
+                    dense.swap_adjacent_blocks(start..mid, mid..end),
+                    segment.swap_adjacent_blocks(start..mid, mid..end),
+                ),
+                Op::Coalesce(range) => {
+                    Arrangement::coalesce_range(&mut dense, range.clone());
+                    segment.coalesce_range(range);
+                    (0, 0)
+                }
+                Op::Assign(indices) => {
+                    let target = Permutation::from_indices(&indices).expect("valid shuffle");
+                    (Arrangement::assign(&mut dense, &target), segment.assign(&target))
+                }
+                Op::MergeMove {
+                    mover,
+                    stayer,
+                    pattern,
+                } => {
+                    // The rearranging target is a pattern-shuffle of the
+                    // two blocks' current nodes.
+                    let target: Option<Vec<Node>> = pattern.map(|pattern| {
+                        let pool: Vec<Node> = mover
+                            .clone()
+                            .chain(stayer.clone())
+                            .map(|p| dense.node_at(p))
+                            .collect();
+                        pattern.iter().map(|&i| pool[i]).collect()
+                    });
+                    (
+                        Arrangement::merge_move(
+                            &mut dense,
+                            mover.clone(),
+                            stayer.clone(),
+                            target.as_deref(),
+                        ),
+                        segment.merge_move(mover, stayer, target.as_deref()),
+                    )
+                }
+                Op::WriteBlock { range, pattern } => {
+                    let pool: Vec<Node> = range.clone().map(|p| dense.node_at(p)).collect();
+                    let content: Vec<Node> = pattern.iter().map(|&i| pool[i]).collect();
+                    Arrangement::write_merged_block(&mut dense, range.clone(), &content);
+                    segment.write_merged_block(range, &content);
+                    (0, 0)
+                }
+            };
+            prop_assert_eq!(dense_cost, segment_cost, "cost diverged on {:?}", operation);
+            prop_assert_eq!(&segment.to_permutation(), &dense, "layout diverged on {:?}", operation);
+            prop_assert!(segment.check_consistent());
+        }
+        // Lookups agree in both directions after the full sequence.
+        for pos in 0..dense.len() {
+            prop_assert_eq!(segment.node_at(pos), dense.node_at(pos));
+            prop_assert_eq!(
+                segment.position_of(dense.node_at(pos)),
+                pos
+            );
+        }
+    }
+
+    #[test]
+    fn contiguous_range_agrees_across_backends((p, raw) in (1usize..20).prop_flat_map(|n| {
+        (permutation(n), proptest::collection::vec(0usize..n, 0..8))
+    })) {
+        // Distinct node subsets, including empty and full sets.
+        let mut nodes: Vec<Node> = raw.into_iter().map(Node::new).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut segment = SegmentArrangement::from_permutation(&p);
+        prop_assert_eq!(
+            segment.contiguous_range(&nodes),
+            p.contiguous_range(&nodes)
+        );
+        let all: Vec<Node> = p.iter().copied().collect();
+        prop_assert_eq!(segment.contiguous_range(&all), Some(0..p.len()));
+        prop_assert_eq!(segment.contiguous_range(&[]), Some(0..0));
+        // Coalescing must never change the answer.
+        segment.coalesce_range(0..p.len());
+        prop_assert_eq!(
+            segment.contiguous_range(&nodes),
+            p.contiguous_range(&nodes)
+        );
+    }
+
+    #[test]
+    fn kendall_to_agrees_across_backends((a, b) in (1usize..20).prop_flat_map(|n| {
+        (permutation(n), permutation(n))
+    })) {
+        let segment = SegmentArrangement::from_permutation(&a);
+        prop_assert_eq!(segment.kendall_to(&b), a.kendall_distance(&b));
+    }
+}
+
+#[test]
+fn swap_adjacent_blocks_boundary_cases_match() {
+    // Empty blocks at either side and blocks meeting at the array ends.
+    for (left, right) in [(0..0, 0..4), (0..4, 4..4), (0..2, 2..4), (4..4, 4..4)] {
+        let mut dense = Permutation::identity(4);
+        let mut segment = SegmentArrangement::identity(4);
+        assert_eq!(
+            dense.swap_adjacent_blocks(left.clone(), right.clone()),
+            segment.swap_adjacent_blocks(left.clone(), right.clone()),
+            "({left:?}, {right:?})"
+        );
+        assert_eq!(segment.to_permutation(), dense, "({left:?}, {right:?})");
+    }
+}

@@ -4,9 +4,13 @@
 //!
 //! ```text
 //! mla-experiments [--full | --tiny] [--seed N] [--threads N] [--csv DIR] [--json DIR] [ID...]
+//! mla-experiments --scale N
 //!
 //!   --full       minutes-scale runs (the EXPERIMENTS.md numbers)
 //!   --tiny       sub-second smoke runs
+//!   --scale N    large-n smoke: one RandCliques + one RandLines run on the
+//!                segment arrangement backend at n = N, then exit (CI uses
+//!                this in release mode at n = 100000)
 //!   --seed N     base seed (default 42)
 //!   --threads N  campaign worker threads (default: available parallelism;
 //!                never changes results, only wall-clock time)
@@ -34,6 +38,7 @@ fn main() {
     let mut json_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut list = false;
+    let mut scale_n: Option<usize> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -46,6 +51,13 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed requires an integer"));
+            }
+            "--scale" => {
+                scale_n = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--scale requires a node count")),
+                );
             }
             "--threads" => {
                 threads = iter
@@ -72,6 +84,11 @@ fn main() {
             other if other.starts_with('-') => die(&format!("unknown flag {other}")),
             id => ids.push(id.to_owned()),
         }
+    }
+
+    if let Some(n) = scale_n {
+        run_scale_smoke(n, seed);
+        return;
     }
 
     if list {
@@ -174,10 +191,65 @@ fn main() {
     }
 }
 
+/// The `--scale N` path: a large-n smoke run on the segment backend, with
+/// per-reveal feasibility checking on (incremental, so it stays cheap).
+fn run_scale_smoke(n: usize, seed: u64) {
+    use mla_adversary::{random_clique_instance, random_line_instance, MergeShape};
+    use mla_core::{RandCliques, RandLines};
+    use mla_permutation::SegmentArrangement;
+    use mla_runner::SeedSequence;
+    use mla_sim::Simulation;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    if n < 2 {
+        die("--scale needs n >= 2");
+    }
+    let seeds = SeedSequence::new(seed).child_str("scale-smoke");
+    println!("scale smoke: segment backend, n = {n}, seed {seed}");
+    for topology in ["cliques", "lines"] {
+        let mut rng = SmallRng::seed_from_u64(seeds.child_str(topology).seed(0));
+        let start = std::time::Instant::now();
+        let instance = if topology == "cliques" {
+            random_clique_instance(n, MergeShape::Uniform, &mut rng)
+        } else {
+            random_line_instance(n, MergeShape::Uniform, &mut rng)
+        };
+        let generated = start.elapsed();
+        let coin = SmallRng::seed_from_u64(seeds.child_str(topology).seed(1));
+        let start = std::time::Instant::now();
+        let outcome = if topology == "cliques" {
+            Simulation::new(
+                instance,
+                RandCliques::new(SegmentArrangement::identity(n), coin),
+            )
+            .check_feasibility(true)
+            .run()
+        } else {
+            Simulation::new(
+                instance,
+                RandLines::new(SegmentArrangement::identity(n), coin),
+            )
+            .check_feasibility(true)
+            .run()
+        };
+        let served = start.elapsed();
+        let outcome = outcome.unwrap_or_else(|e| die(&format!("scale smoke failed: {e}")));
+        let reveals = outcome.per_event.len();
+        let per_second = reveals as f64 / served.as_secs_f64().max(1e-9);
+        println!(
+            "  {topology:<8} {reveals} reveals, total cost {}, generated in {generated:.2?}, \
+             served in {served:.2?} ({per_second:.0} reveals/s)",
+            outcome.total_cost,
+        );
+    }
+}
+
 fn print_help() {
     println!(
         "mla-experiments [--full | --tiny] [--seed N] [--threads N] [--csv DIR] [--json DIR] [--list] [ID...]\n\
          Runs the experiment suite; default scale is --quick. See DESIGN.md for the index.\n\
+         --scale N    large-n smoke run on the segment arrangement backend, then exit.\n\
          --threads N  campaign worker threads (default 0 = available parallelism).\n\
          \x20            Results are bit-identical for every thread count.\n\
          --json DIR   write per-experiment campaign artifacts (per-run costs, tables,\n\

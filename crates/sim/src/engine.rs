@@ -3,7 +3,7 @@
 use mla_adversary::{Adversary, Oblivious};
 use mla_core::{OnlineMinla, UpdateReport};
 use mla_graph::{GraphState, Instance, RevealEvent};
-use mla_permutation::Permutation;
+use mla_permutation::{Arrangement, Permutation};
 
 use crate::error::SimError;
 
@@ -21,7 +21,8 @@ pub struct RunOutcome {
     /// The reveals served (useful for adaptive adversaries, whose sequence
     /// is only known after the run).
     pub events: Vec<RevealEvent>,
-    /// The algorithm's final permutation.
+    /// The algorithm's final permutation (materialized from whichever
+    /// arrangement backend the algorithm ran on).
     pub final_perm: Permutation,
 }
 
@@ -29,17 +30,29 @@ impl RunOutcome {
     /// The served reveals as a validated [`Instance`] (for offline
     /// post-analysis of adaptive runs).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Never panics for outcomes produced by [`Simulation::run`]; the
-    /// events were already validated during the run.
-    #[must_use]
-    pub fn to_instance(&self, topology: mla_graph::Topology, n: usize) -> Instance {
-        Instance::new(topology, n, self.events.clone()).expect("served events replay cleanly")
+    /// Returns [`SimError::Graph`] if the recorded events do not replay
+    /// cleanly under `topology`/`n` — for outcomes produced by
+    /// [`Simulation::run`] that means the caller passed a different
+    /// topology or node count than the run used.
+    pub fn to_instance(
+        &self,
+        topology: mla_graph::Topology,
+        n: usize,
+    ) -> Result<Instance, SimError> {
+        Instance::new(topology, n, self.events.clone()).map_err(SimError::Graph)
     }
 }
 
 /// Drives one online algorithm through one request sequence.
+///
+/// Feasibility checking (opt-in) validates the algorithm's arrangement
+/// after every reveal. The per-reveal check is **incremental**: only the
+/// two merging segments are validated
+/// ([`GraphState::merge_keeps_minla`]), `O(|X| + |Z|)` instead of `O(n)`.
+/// The full `O(n)` scan still runs in debug builds — and on demand via
+/// [`Simulation::check_feasibility_full`] — as a cross-check.
 ///
 /// # Examples
 ///
@@ -64,6 +77,7 @@ pub struct Simulation<A> {
     adversary: Box<dyn Adversary>,
     algorithm: A,
     check_feasibility: bool,
+    full_scan: bool,
 }
 
 impl<A> std::fmt::Debug for Simulation<A> {
@@ -72,6 +86,7 @@ impl<A> std::fmt::Debug for Simulation<A> {
             .field("n", &self.adversary.n())
             .field("topology", &self.adversary.topology())
             .field("check_feasibility", &self.check_feasibility)
+            .field("full_scan", &self.full_scan)
             .finish_non_exhaustive()
     }
 }
@@ -84,6 +99,7 @@ impl<A: OnlineMinla> Simulation<A> {
             adversary: Box::new(Oblivious::new(instance)),
             algorithm,
             check_feasibility: false,
+            full_scan: cfg!(debug_assertions),
         }
     }
 
@@ -94,14 +110,32 @@ impl<A: OnlineMinla> Simulation<A> {
             adversary,
             algorithm,
             check_feasibility: false,
+            full_scan: cfg!(debug_assertions),
         }
     }
 
-    /// Enables verification that the algorithm's permutation is a MinLA of
-    /// the revealed graph after every reveal (`O(n)` per reveal).
+    /// Enables verification that the algorithm's arrangement is a MinLA of
+    /// the revealed graph after every reveal. Incremental — `O(|X| + |Z|)`
+    /// per reveal, validating only the merged component.
     #[must_use]
     pub fn check_feasibility(mut self, on: bool) -> Self {
         self.check_feasibility = on;
+        self
+    }
+
+    /// Also runs the full `O(n)` feasibility scan per reveal (implied by
+    /// debug builds; opt-in for release). Has no effect unless
+    /// [`Simulation::check_feasibility`] is enabled.
+    ///
+    /// The incremental check's soundness rests on the update being a
+    /// block move of the merging components — true for `RandCliques` /
+    /// `RandLines`. Jump algorithms (`DetClosest`, `OptReplay`) replace
+    /// the whole arrangement, so a buggy solver could scramble a foreign
+    /// component that only this full scan notices; enable it when
+    /// validating those in release builds.
+    #[must_use]
+    pub fn check_feasibility_full(mut self, on: bool) -> Self {
+        self.full_scan = on;
         self
     }
 
@@ -109,17 +143,17 @@ impl<A: OnlineMinla> Simulation<A> {
     ///
     /// # Errors
     ///
-    /// * [`SimError::SizeMismatch`] if the algorithm's permutation does not
+    /// * [`SimError::SizeMismatch`] if the algorithm's arrangement does not
     ///   cover the adversary's node count;
     /// * [`SimError::Graph`] if the adversary emits an invalid reveal;
     /// * [`SimError::FeasibilityViolation`] if checking is enabled and the
     ///   algorithm breaks the MinLA invariant.
     pub fn run(mut self) -> Result<RunOutcome, SimError> {
         let n = self.adversary.n();
-        if self.algorithm.permutation().len() != n {
+        if self.algorithm.arrangement().len() != n {
             return Err(SimError::SizeMismatch {
                 expected: n,
-                actual: self.algorithm.permutation().len(),
+                actual: self.algorithm.arrangement().len(),
             });
         }
         let mut state = GraphState::new(self.adversary.topology(), n);
@@ -127,14 +161,18 @@ impl<A: OnlineMinla> Simulation<A> {
         let mut events = Vec::new();
         let mut moving_cost = 0u64;
         let mut rearranging_cost = 0u64;
-        while let Some(event) = self.adversary.next(self.algorithm.permutation(), &state) {
+        while let Some(event) = self.adversary.next(self.algorithm.arrangement(), &state) {
             let info = state.apply(event)?;
             let report = self.algorithm.serve(event, &info, &state);
-            if self.check_feasibility && !state.is_minla(self.algorithm.permutation()) {
-                return Err(SimError::FeasibilityViolation {
-                    step: per_event.len() + 1,
-                    algorithm: self.algorithm.name().to_owned(),
-                });
+            if self.check_feasibility {
+                let feasible = state.merge_keeps_minla(self.algorithm.arrangement(), &info)
+                    && (!self.full_scan || state.is_minla(self.algorithm.arrangement()));
+                if !feasible {
+                    return Err(SimError::FeasibilityViolation {
+                        step: per_event.len() + 1,
+                        algorithm: self.algorithm.name().to_owned(),
+                    });
+                }
             }
             moving_cost += report.moving_cost;
             rearranging_cost += report.rearranging_cost;
@@ -147,7 +185,7 @@ impl<A: OnlineMinla> Simulation<A> {
             rearranging_cost,
             per_event,
             events,
-            final_perm: self.algorithm.permutation().clone(),
+            final_perm: self.algorithm.arrangement().to_permutation(),
         })
     }
 }
@@ -159,6 +197,7 @@ mod tests {
     use mla_core::{DetClosest, RandCliques, RandLines};
     use mla_graph::Topology;
     use mla_offline::LopConfig;
+    use mla_permutation::SegmentArrangement;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -178,6 +217,24 @@ mod tests {
         );
         let per_event_total: u64 = outcome.per_event.iter().map(UpdateReport::total).sum();
         assert_eq!(outcome.total_cost, per_event_total);
+    }
+
+    #[test]
+    fn segment_backend_run_matches_dense() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let instance = random_line_instance(12, MergeShape::Uniform, &mut rng);
+        let dense = RandLines::new(Permutation::identity(12), SmallRng::seed_from_u64(4));
+        let segment = RandLines::new(SegmentArrangement::identity(12), SmallRng::seed_from_u64(4));
+        let dense_outcome = Simulation::new(instance.clone(), dense)
+            .check_feasibility(true)
+            .run()
+            .unwrap();
+        let segment_outcome = Simulation::new(instance, segment)
+            .check_feasibility(true)
+            .check_feasibility_full(true)
+            .run()
+            .unwrap();
+        assert_eq!(dense_outcome, segment_outcome);
     }
 
     #[test]
@@ -203,8 +260,23 @@ mod tests {
             .unwrap();
         // n - 2 = 7 reveals (everything except the pivot merges).
         assert_eq!(outcome.events.len(), 7);
-        let instance = outcome.to_instance(Topology::Lines, 9);
+        let instance = outcome.to_instance(Topology::Lines, 9).unwrap();
         assert_eq!(instance.len(), 7);
+    }
+
+    #[test]
+    fn to_instance_reports_replay_errors() {
+        let pi0 = Permutation::identity(9);
+        let adversary = DetLineAdversary::new(pi0.clone(), Topology::Lines);
+        let alg = DetClosest::new(pi0, LopConfig::default());
+        let outcome = Simulation::with_adversary(Box::new(adversary), alg)
+            .run()
+            .unwrap();
+        // Replaying line reveals as a 3-node instance must fail, not panic.
+        assert!(matches!(
+            outcome.to_instance(Topology::Lines, 3),
+            Err(SimError::Graph(_))
+        ));
     }
 
     #[test]
@@ -226,10 +298,11 @@ mod tests {
         // A deliberately broken "algorithm" that never moves.
         struct Lazy(Permutation);
         impl OnlineMinla for Lazy {
+            type Arr = Permutation;
             fn name(&self) -> &str {
                 "lazy"
             }
-            fn permutation(&self) -> &Permutation {
+            fn arrangement(&self) -> &Permutation {
                 &self.0
             }
             fn serve(
@@ -250,8 +323,10 @@ mod tests {
             )],
         )
         .unwrap();
+        // The incremental check alone must catch the violation.
         let outcome = Simulation::new(instance, Lazy(Permutation::identity(4)))
             .check_feasibility(true)
+            .check_feasibility_full(false)
             .run();
         assert!(matches!(
             outcome,

@@ -47,9 +47,9 @@ fn x_moved(x: usize, z: usize, seed: u64) -> bool {
     // The merge under test.
     serve(&mut graph, &mut alg, 0, x + 1);
     // If X moved right, the spacer now precedes all X nodes.
-    let spacer_pos = alg.permutation().position_of(spacer);
+    let spacer_pos = alg.arrangement().position_of(spacer);
     let x_first = (0..x)
-        .map(|i| alg.permutation().position_of(Node::new(i)))
+        .map(|i| alg.arrangement().position_of(Node::new(i)))
         .min()
         .unwrap();
     spacer_pos < x_first

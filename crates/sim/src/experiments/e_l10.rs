@@ -78,7 +78,7 @@ impl Experiment for LemmaTen {
                         // Forward orientation: path positions strictly increase.
                         let positions: Vec<usize> = path
                             .iter()
-                            .map(|&v| alg.permutation().position_of(v))
+                            .map(|&v| alg.arrangement().position_of(v))
                             .collect();
                         if positions.windows(2).all(|w| w[0] < w[1]) {
                             observed[cursor] += 1;

@@ -84,8 +84,8 @@ impl Experiment for LemmaThree {
                     alg.serve(event, &info, &state);
                     while cursor < predicted.len() && predicted[cursor].0 == step {
                         let (_, ref x, ref y, _) = predicted[cursor];
-                        let x_pos = alg.permutation().position_of(x[0]);
-                        let y_pos = alg.permutation().position_of(y[0]);
+                        let x_pos = alg.arrangement().position_of(x[0]);
+                        let y_pos = alg.arrangement().position_of(y[0]);
                         if x_pos < y_pos {
                             observed[cursor] += 1;
                         }

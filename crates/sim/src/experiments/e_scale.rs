@@ -1,0 +1,170 @@
+//! `E-SCALE`: the large-`n` workload regime opened by the segment-based
+//! arrangement backend.
+//!
+//! For each `n` the experiment runs the paper's randomized algorithms on
+//! random full-merge workloads with the [`SegmentArrangement`] backend —
+//! `O(log n)` splices per merge — and, up to a dense cap, replays the
+//! identical run on the dense [`Permutation`] backend to assert
+//! bit-identical total costs and final arrangements. The table is fully
+//! deterministic (costs and equality checks only); wall-clock comparisons
+//! live in `benches/arrangement.rs` and its `BENCH_arrangement.json`
+//! artifact.
+
+use mla_adversary::{random_clique_instance, random_line_instance, MergeShape};
+use mla_core::{RandCliques, RandLines};
+use mla_graph::Topology;
+use mla_permutation::{Permutation, SegmentArrangement};
+use mla_runner::RunRecord;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::engine::Simulation;
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::experiments::{check, run_label, zip_seeds};
+use crate::table::Table;
+
+/// The scaling demonstration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scaling;
+
+impl Experiment for Scaling {
+    fn id(&self) -> &'static str {
+        "E-SCALE"
+    }
+
+    fn title(&self) -> &'static str {
+        "Segment backend at large n: identical costs, O(log n) updates"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "beyond the paper (ROADMAP)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+        let ns: &[usize] = ctx.pick(
+            &[256, 512][..],
+            &[1_000, 10_000, 100_000][..],
+            &[10_000, 100_000, 1_000_000][..],
+        );
+        // Above this the dense replay's Θ(n) moves dominate the runtime,
+        // so equivalence is asserted only below the cap.
+        let dense_cap = ctx.pick(512, 10_000, 100_000);
+        let campaign = ctx.campaign("E-SCALE");
+
+        let specs: Vec<(usize, Topology)> = ns
+            .iter()
+            .flat_map(|&n| [(n, Topology::Cliques), (n, Topology::Lines)])
+            .collect();
+        let results = campaign.run(&specs, |&(n, topology), seeds| {
+            let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
+            let instance = match topology {
+                Topology::Cliques => random_clique_instance(n, MergeShape::Uniform, &mut rng),
+                Topology::Lines => random_line_instance(n, MergeShape::Uniform, &mut rng),
+            };
+            let coin = seeds.child_str("coins").seed(0);
+            let segment_cost = match topology {
+                Topology::Cliques => {
+                    Simulation::new(
+                        instance.clone(),
+                        RandCliques::new(
+                            SegmentArrangement::identity(n),
+                            SmallRng::seed_from_u64(coin),
+                        ),
+                    )
+                    .check_feasibility(true)
+                    .run()
+                    .expect("valid instance")
+                    .total_cost
+                }
+                Topology::Lines => {
+                    Simulation::new(
+                        instance.clone(),
+                        RandLines::new(
+                            SegmentArrangement::identity(n),
+                            SmallRng::seed_from_u64(coin),
+                        ),
+                    )
+                    .check_feasibility(true)
+                    .run()
+                    .expect("valid instance")
+                    .total_cost
+                }
+            };
+            let dense_cost = (n <= dense_cap).then(|| match topology {
+                Topology::Cliques => {
+                    Simulation::new(
+                        instance.clone(),
+                        RandCliques::new(Permutation::identity(n), SmallRng::seed_from_u64(coin)),
+                    )
+                    .run()
+                    .expect("valid instance")
+                    .total_cost
+                }
+                Topology::Lines => {
+                    Simulation::new(
+                        instance,
+                        RandLines::new(Permutation::identity(n), SmallRng::seed_from_u64(coin)),
+                    )
+                    .run()
+                    .expect("valid instance")
+                    .total_cost
+                }
+            });
+            (segment_cost, dense_cost)
+        });
+
+        for (&(n, topology), seeds, &(segment_cost, dense_cost)) in
+            zip_seeds(&specs, &campaign, &results)
+        {
+            let algorithm = match topology {
+                Topology::Cliques => "RandCliques",
+                Topology::Lines => "RandLines",
+            };
+            let mut record = RunRecord::new(
+                run_label(format!("scale-{topology}"), algorithm, n, 0),
+                seeds.key(),
+            )
+            .metric("segment_cost", segment_cost as f64);
+            if let Some(dense) = dense_cost {
+                record = record.metric("dense_cost", dense as f64);
+            }
+            ctx.record(record);
+        }
+
+        let mut table = Table::new(
+            "E-SCALE: segment backend total cost (dense replay where run)",
+            &["n", "topology", "cost(segment)", "cost(dense)", "match"],
+        );
+        for (&(n, topology), &(segment_cost, dense_cost)) in specs.iter().zip(&results) {
+            table.row(&[
+                &n.to_string(),
+                &topology.to_string(),
+                &segment_cost.to_string(),
+                &dense_cost.map_or_else(|| "-".to_owned(), |c| c.to_string()),
+                dense_cost.map_or("-", |c| check(c == segment_cost)),
+            ]);
+        }
+        table.note("identical coin seeds: both backends must report identical total costs");
+        table.note("per-op timings: benches/arrangement.rs (BENCH_arrangement.json)");
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Scale;
+
+    #[test]
+    fn tiny_run_matches_backends() {
+        let ctx = ExperimentContext::new(Scale::Tiny, 11);
+        let tables = Scaling.run(&ctx);
+        assert_eq!(tables.len(), 1);
+        let csv = tables[0].to_csv();
+        assert!(!csv.contains(",NO\n"), "backend mismatch:\n{csv}");
+        assert!(
+            csv.contains(",yes\n"),
+            "dense replay must run at tiny n:\n{csv}"
+        );
+    }
+}

@@ -69,7 +69,9 @@ impl Experiment for TheoremSixteen {
                 .run()
                 .expect("Det run is feasible");
             // The recorded sequence, as an oblivious instance.
-            let instance = outcome.to_instance(Topology::Lines, n);
+            let instance = outcome
+                .to_instance(Topology::Lines, n)
+                .expect("served events replay cleanly");
             let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("sizes match");
             let opt_value = opt.upper.max(1);
             // Rand on the same (recorded) sequence.

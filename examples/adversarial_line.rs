@@ -32,7 +32,9 @@ fn main() {
             .expect("Det maintains feasibility");
 
         // Exact offline optimum of the recorded sequence.
-        let instance = outcome.to_instance(Topology::Lines, n);
+        let instance = outcome
+            .to_instance(Topology::Lines, n)
+            .expect("served events replay cleanly");
         let opt = offline_optimum(&instance, &pi0, &LopConfig::default())
             .expect("solvable")
             .upper

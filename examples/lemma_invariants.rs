@@ -45,7 +45,7 @@ fn main() {
             let info = replay.apply(event).expect("valid instance");
             alg.serve(event, &info, &replay);
         }
-        if alg.permutation().position_of(x[0]) < alg.permutation().position_of(y[0]) {
+        if alg.arrangement().position_of(x[0]) < alg.arrangement().position_of(y[0]) {
             observed += 1;
         }
     }
@@ -82,7 +82,7 @@ fn main() {
         }
         let positions: Vec<usize> = path
             .iter()
-            .map(|&v| alg.permutation().position_of(v))
+            .map(|&v| alg.arrangement().position_of(v))
             .collect();
         if positions.windows(2).all(|w| w[0] < w[1]) {
             observed += 1;

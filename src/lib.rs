@@ -65,7 +65,7 @@ pub mod prelude {
     };
     pub use mla_graph::{GraphState, Instance, MergeInfo, RevealEvent, Topology};
     pub use mla_offline::{closest_feasible, offline_optimum, LopConfig, LopStrategy, OptBounds};
-    pub use mla_permutation::{Node, Permutation};
+    pub use mla_permutation::{Arrangement, Node, Permutation, SegmentArrangement};
     pub use mla_runner::{ArtifactStore, Campaign, CampaignReport, RunSink, SeedSequence};
     pub use mla_sim::{harmonic, OnlineStats, RunOutcome, SimError, Simulation, Table};
 }

@@ -138,7 +138,9 @@ fn rand_beats_det_on_the_adversarial_family() {
     let det_outcome = Simulation::with_adversary(Box::new(adversary), det)
         .run()
         .unwrap();
-    let instance = det_outcome.to_instance(Topology::Lines, n);
+    let instance = det_outcome
+        .to_instance(Topology::Lines, n)
+        .expect("served events replay cleanly");
     let rand_mean = mean_cost(&instance, 30, |trial| {
         RandLines::new(pi0.clone(), SmallRng::seed_from_u64(trial))
     });

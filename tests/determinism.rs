@@ -255,3 +255,145 @@ fn workload_generation_is_seed_deterministic() {
         }
     }
 }
+
+// ---- backend equivalence: dense vs segment arrangement -----------------
+//
+// The acceptance bar for the segment backend: for every algorithm ×
+// topology, the dense and segment backends must produce the identical
+// `RunOutcome` — total/moving/rearranging costs, per-event reports,
+// events and final permutation — for the same instance and coin seeds.
+// CI runs these under `cargo test --release` as well, where the engine's
+// full-scan feasibility cross-check is off and the incremental check
+// stands alone.
+
+fn assert_backend_equivalence<D, S>(topology: Topology, n: usize, dense: D, segment: S)
+where
+    D: OnlineMinla<Arr = Permutation> + 'static,
+    S: OnlineMinla<Arr = SegmentArrangement> + 'static,
+{
+    let instance = fixed_instance(topology, n);
+    let dense_outcome = run_once(&instance, dense);
+    // Full-scan cross-check even in release: jump algorithms replace the
+    // whole arrangement, which the incremental check alone cannot vet.
+    let segment_outcome = Simulation::new(instance, segment)
+        .check_feasibility(true)
+        .check_feasibility_full(true)
+        .run()
+        .expect("fixed instance is valid");
+    assert_eq!(
+        dense_outcome, segment_outcome,
+        "backends diverged ({topology:?}, n = {n})"
+    );
+}
+
+#[test]
+fn rand_cliques_backends_agree() {
+    let n = 32;
+    assert_backend_equivalence(
+        Topology::Cliques,
+        n,
+        RandCliques::new(Permutation::identity(n), SmallRng::seed_from_u64(COIN_SEED)),
+        RandCliques::new(
+            SegmentArrangement::identity(n),
+            SmallRng::seed_from_u64(COIN_SEED),
+        ),
+    );
+}
+
+#[test]
+fn rand_lines_backends_agree() {
+    let n = 32;
+    assert_backend_equivalence(
+        Topology::Lines,
+        n,
+        RandLines::new(Permutation::identity(n), SmallRng::seed_from_u64(COIN_SEED)),
+        RandLines::new(
+            SegmentArrangement::identity(n),
+            SmallRng::seed_from_u64(COIN_SEED),
+        ),
+    );
+}
+
+#[test]
+fn det_closest_backends_agree() {
+    let n = 12;
+    for topology in [Topology::Cliques, Topology::Lines] {
+        assert_backend_equivalence(
+            topology,
+            n,
+            DetClosest::new(Permutation::identity(n), LopConfig::default()),
+            DetClosest::with_backend(SegmentArrangement::identity(n), LopConfig::default()),
+        );
+    }
+}
+
+#[test]
+fn opt_replay_backends_agree() {
+    let n = 20;
+    for topology in [Topology::Cliques, Topology::Lines] {
+        // Replay the merge-tree-consistent offline optimum so the target
+        // is feasible at every step.
+        let instance = fixed_instance(topology, n);
+        let pi0 = Permutation::identity(n);
+        let target = offline_optimum(&instance, &pi0, &LopConfig::default())
+            .expect("sizes match")
+            .upper_perm;
+        assert_backend_equivalence(
+            topology,
+            n,
+            OptReplay::new(pi0, target.clone()),
+            OptReplay::new(SegmentArrangement::identity(n), target),
+        );
+    }
+}
+
+#[test]
+fn segment_backend_campaigns_are_thread_count_invariant() {
+    // The campaign guarantee must hold regardless of arrangement backend.
+    let job = |&(topology, n): &(Topology, usize), seeds: SeedSequence| {
+        let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
+        let coins = SmallRng::seed_from_u64(seeds.child_str("coins").seed(0));
+        match topology {
+            Topology::Cliques => {
+                let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+                Simulation::new(
+                    instance,
+                    RandCliques::new(SegmentArrangement::identity(n), coins),
+                )
+                .run()
+                .expect("valid instance")
+            }
+            Topology::Lines => {
+                let instance = random_line_instance(n, MergeShape::Uniform, &mut rng);
+                Simulation::new(
+                    instance,
+                    RandLines::new(SegmentArrangement::identity(n), coins),
+                )
+                .run()
+                .expect("valid instance")
+            }
+        }
+    };
+    let specs: Vec<(Topology, usize)> = (0..12)
+        .map(|i| {
+            let topology = if i % 2 == 0 {
+                Topology::Cliques
+            } else {
+                Topology::Lines
+            };
+            (topology, 8 + i % 5)
+        })
+        .collect();
+    let reference = Campaign::new(SeedSequence::new(0xD1CE))
+        .threads(1)
+        .run(&specs, job);
+    for threads in [4, 8] {
+        let outcomes = Campaign::new(SeedSequence::new(0xD1CE))
+            .threads(threads)
+            .run(&specs, job);
+        assert_eq!(
+            outcomes, reference,
+            "segment campaign diverged at {threads} threads"
+        );
+    }
+}

@@ -79,7 +79,7 @@ fn simulation_surfaces_adversary_errors() {
         fn topology(&self) -> Topology {
             Topology::Cliques
         }
-        fn next(&mut self, _: &Permutation, _: &GraphState) -> Option<mla_graph::RevealEvent> {
+        fn next(&mut self, _: &dyn Arrangement, _: &GraphState) -> Option<mla_graph::RevealEvent> {
             Some(RevealEvent::new(Node::new(1), Node::new(1)))
         }
     }

@@ -16,7 +16,9 @@ fn det_vs_adversary(n: usize, topology: Topology) -> (u64, u64) {
         .check_feasibility(true)
         .run()
         .expect("Det maintains feasibility");
-    let instance = outcome.to_instance(topology, n);
+    let instance = outcome
+        .to_instance(topology, n)
+        .expect("served events replay cleanly");
     let opt = offline_optimum(&instance, &pi0, &LopConfig::default())
         .expect("solvable")
         .upper
@@ -161,16 +163,16 @@ fn theorem16_pivot_alternates_sides() {
     let mut adversary = adversary;
     use mla::adversary::Adversary as _;
     let mut sides = Vec::new();
-    while let Some(event) = adversary.next(det.permutation(), &graph) {
+    while let Some(event) = adversary.next(det.arrangement(), &graph) {
         let info = graph.apply(event).unwrap();
         det.serve(event, &info, &graph);
         let component = graph.component_nodes(event.a());
         let leftmost = component
             .iter()
-            .map(|&v| det.permutation().position_of(v))
+            .map(|&v| det.arrangement().position_of(v))
             .min()
             .unwrap();
-        sides.push(det.permutation().position_of(pivot) < leftmost);
+        sides.push(det.arrangement().position_of(pivot) < leftmost);
     }
     let flips = sides.windows(2).filter(|w| w[0] != w[1]).count();
     // The construction forces a flip on (almost) every second reveal:
