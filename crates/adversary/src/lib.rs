@@ -13,6 +13,11 @@
 //!   `Ω(n²)` while `Opt = O(n)`;
 //! * [`random_clique_instance`] / [`random_line_instance`] — random
 //!   workloads in four [`MergeShape`]s;
+//! * [`StreamingWorkload`] — the same workloads as a lazy
+//!   [`RevealSource`](mla_graph::RevealSource): one merge generated per
+//!   pull, no event vector materialized (the `n = 10⁷+` path), with
+//!   [`SourceAdversary`] bridging any source into the engine's
+//!   [`Adversary`] interface;
 //! * [`datacenter_instance`] — the Section 1.2 motivation: tenant clusters
 //!   arriving, growing and federating.
 //!
@@ -36,10 +41,12 @@ mod binary_tree;
 mod datacenter;
 mod det_line;
 mod random;
+mod streaming;
 mod traits;
 
 pub use binary_tree::BinaryTreeAdversary;
 pub use datacenter::{datacenter_instance, DatacenterConfig};
 pub use det_line::DetLineAdversary;
 pub use random::{random_clique_instance, random_line_instance, MergeShape};
-pub use traits::{Adversary, Oblivious};
+pub use streaming::StreamingWorkload;
+pub use traits::{Adversary, Oblivious, SourceAdversary};

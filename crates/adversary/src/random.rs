@@ -1,8 +1,9 @@
 //! Random workload generators for both topologies.
 
 use mla_graph::{Instance, RevealEvent, Topology};
-use mla_permutation::Node;
 use rand::Rng;
+
+use crate::streaming::WorkloadCore;
 
 /// The shape of a random merge schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,186 +83,16 @@ fn build_events<R: Rng + ?Sized>(
     shape: MergeShape,
     rng: &mut R,
 ) -> Vec<RevealEvent> {
-    // Components are tracked directly — node lists for cliques, path-order
-    // deques for lines — with smaller-into-larger absorption, so a full
-    // merge workload generates in O(n log n); `Instance::new` re-validates
-    // the events through the graph state afterwards. (The previous
-    // implementation materialized every component via `GraphState` per
-    // merge: Θ(n²), which capped workloads at small n.)
+    // One generator implementation for both paths: drain the streaming
+    // state machine (`WorkloadCore`) that `StreamingWorkload` advances
+    // per pull, so materialized and streamed sequences are identical by
+    // construction. `Instance::new` re-validates the events afterwards.
+    let mut core = WorkloadCore::new(topology, n, shape, rng);
     let mut events = Vec::with_capacity(n.saturating_sub(1));
-    match shape {
-        MergeShape::Uniform => {
-            let mut comps = singleton_components(n);
-            while comps.len() > 1 {
-                let i = rng.gen_range(0..comps.len());
-                let mut j = rng.gen_range(0..comps.len());
-                while j == i {
-                    j = rng.gen_range(0..comps.len());
-                }
-                let first = std::mem::take(&mut comps[i]);
-                let second = std::mem::take(&mut comps[j]);
-                comps[i] = join(topology, first, second, rng, &mut events);
-                comps.swap_remove(j);
-            }
-        }
-        MergeShape::SizeBiased => {
-            // Weighted sampling over component sizes via a Fenwick index.
-            // The second pick rejects collisions with the first — exactly
-            // the renormalized excluded distribution. Emptied slots keep
-            // weight 0 so Fenwick indices stay stable.
-            let mut comps = singleton_components(n);
-            let mut weights = WeightIndex::with_unit_weights(n);
-            for _ in 1..n {
-                let i = weights.select(rng.gen_range(0..n as u64));
-                let mut j = weights.select(rng.gen_range(0..n as u64));
-                while j == i {
-                    j = weights.select(rng.gen_range(0..n as u64));
-                }
-                let first = std::mem::take(&mut comps[i]);
-                let second = std::mem::take(&mut comps[j]);
-                let absorbed = second.len() as u64;
-                comps[i] = join(topology, first, second, rng, &mut events);
-                weights.add(i, absorbed);
-                weights.sub(j, absorbed);
-            }
-        }
-        MergeShape::Sequential => {
-            // The component of node 0 absorbs the others in random order.
-            let mut anchor = std::collections::VecDeque::from(vec![Node::new(0)]);
-            let mut order: Vec<usize> = (1..n).collect();
-            shuffle(&mut order, rng);
-            for v in order {
-                let singleton = std::collections::VecDeque::from(vec![Node::new(v)]);
-                anchor = join(topology, anchor, singleton, rng, &mut events);
-            }
-        }
-        MergeShape::Balanced => {
-            let mut comps = singleton_components(n);
-            while comps.len() > 1 {
-                shuffle(&mut comps, rng);
-                let odd = (comps.len() % 2 == 1).then(|| comps.pop().expect("non-empty"));
-                let mut next = Vec::with_capacity(comps.len() / 2 + 1);
-                while let (Some(second), Some(first)) = (comps.pop(), comps.pop()) {
-                    next.push(join(topology, first, second, rng, &mut events));
-                }
-                next.extend(odd);
-                comps = next;
-            }
-        }
+    while let Some(event) = core.next_event() {
+        events.push(event);
     }
     events
-}
-
-/// One singleton component per node.
-fn singleton_components(n: usize) -> Vec<std::collections::VecDeque<Node>> {
-    (0..n)
-        .map(|v| std::collections::VecDeque::from(vec![Node::new(v)]))
-        .collect()
-}
-
-/// Emits a valid join event between the two components (random members
-/// for cliques, random endpoints for lines) and returns the merged
-/// component, absorbing the smaller side into the larger — for lines, in
-/// path order with the junction nodes adjacent.
-fn join<R: Rng + ?Sized>(
-    topology: Topology,
-    a_comp: std::collections::VecDeque<Node>,
-    b_comp: std::collections::VecDeque<Node>,
-    rng: &mut R,
-    events: &mut Vec<RevealEvent>,
-) -> std::collections::VecDeque<Node> {
-    let pick = |comp: &std::collections::VecDeque<Node>, rng: &mut R| match topology {
-        Topology::Cliques => *comp
-            .get(rng.gen_range(0..comp.len()))
-            .expect("non-empty component"),
-        Topology::Lines => {
-            if rng.gen_bool(0.5) {
-                *comp.front().expect("non-empty component")
-            } else {
-                *comp.back().expect("non-empty component")
-            }
-        }
-    };
-    let a = pick(&a_comp, rng);
-    let b = pick(&b_comp, rng);
-    events.push(RevealEvent::new(a, b));
-    let (mut into, other, junction_into, junction_other) = if a_comp.len() >= b_comp.len() {
-        (a_comp, b_comp, a, b)
-    } else {
-        (b_comp, a_comp, b, a)
-    };
-    match topology {
-        Topology::Cliques => into.extend(other),
-        Topology::Lines => {
-            // Attach `other` at `into`'s junction end, oriented so the two
-            // junction nodes become path neighbors.
-            let junction_at_back = *into.back().expect("non-empty") == junction_into;
-            let other_junction_first = *other.front().expect("non-empty") == junction_other;
-            match (junction_at_back, other_junction_first) {
-                (true, true) => other.into_iter().for_each(|v| into.push_back(v)),
-                (true, false) => other.into_iter().rev().for_each(|v| into.push_back(v)),
-                (false, true) => other.into_iter().for_each(|v| into.push_front(v)),
-                (false, false) => other.into_iter().rev().for_each(|v| into.push_front(v)),
-            }
-        }
-    }
-    into
-}
-
-/// A Fenwick-indexed weight table with O(log n) weighted sampling — the
-/// size-biased shape's component picker.
-struct WeightIndex {
-    tree: Vec<u64>,
-}
-
-impl WeightIndex {
-    /// All `n` slots start with weight 1.
-    fn with_unit_weights(n: usize) -> Self {
-        let mut tree = vec![0u64; n + 1];
-        for (slot, weight) in tree.iter_mut().enumerate().skip(1) {
-            *weight = (slot & slot.wrapping_neg()) as u64;
-        }
-        WeightIndex { tree }
-    }
-
-    fn add(&mut self, slot: usize, delta: u64) {
-        let mut index = slot + 1;
-        while index < self.tree.len() {
-            self.tree[index] += delta;
-            index += index & index.wrapping_neg();
-        }
-    }
-
-    fn sub(&mut self, slot: usize, delta: u64) {
-        let mut index = slot + 1;
-        while index < self.tree.len() {
-            self.tree[index] -= delta;
-            index += index & index.wrapping_neg();
-        }
-    }
-
-    /// The slot containing the `target`-th unit of cumulative weight.
-    fn select(&self, mut target: u64) -> usize {
-        let n = self.tree.len() - 1;
-        let mut pos = 0usize;
-        let mut step = n.next_power_of_two();
-        while step > 0 {
-            let next = pos + step;
-            if next <= n && self.tree[next] <= target {
-                target -= self.tree[next];
-                pos = next;
-            }
-            step >>= 1;
-        }
-        pos
-    }
-}
-
-fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
-    for i in (1..items.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        items.swap(i, j);
-    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! The adversary interface: oblivious and adaptive request generators.
 
-use mla_graph::{GraphState, Instance, RevealEvent, Topology};
+use mla_graph::{GraphState, Instance, RevealEvent, RevealSource, Topology};
 use mla_permutation::Arrangement;
 
 /// A request generator driven by the simulation engine.
@@ -81,6 +81,65 @@ impl Adversary for Oblivious {
         let event = self.instance.events().get(self.cursor).copied();
         self.cursor += event.is_some() as usize;
         event
+    }
+}
+
+/// Bridges any streaming [`RevealSource`] into the engine's
+/// [`Adversary`] interface. Like [`Oblivious`], it ignores the online
+/// algorithm's arrangement — a streamed sequence is fixed by its seed —
+/// but unlike it, events are produced lazily, so the engine can drive
+/// `n = 10⁷+` runs without an `Instance` (or its event vector) ever
+/// existing. Events are **not** pre-validated; the engine validates each
+/// one as it is applied and reports malformed reveals as errors.
+///
+/// # Examples
+///
+/// ```
+/// use mla_adversary::{Adversary, MergeShape, SourceAdversary, StreamingWorkload};
+/// use mla_graph::{GraphState, Topology};
+/// use mla_permutation::Permutation;
+///
+/// let source = StreamingWorkload::new(Topology::Cliques, 4, MergeShape::Uniform, 1);
+/// let mut adversary = SourceAdversary::new(source);
+/// let state = GraphState::new(Topology::Cliques, 4);
+/// assert!(adversary.next(&Permutation::identity(4), &state).is_some());
+/// ```
+#[derive(Debug)]
+pub struct SourceAdversary<S> {
+    source: S,
+}
+
+impl<S: RevealSource> SourceAdversary<S> {
+    /// Wraps a streaming source.
+    #[must_use]
+    pub fn new(source: S) -> Self {
+        SourceAdversary { source }
+    }
+
+    /// The wrapped source.
+    #[must_use]
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Unwraps the source (e.g. to restart it for a replay run).
+    #[must_use]
+    pub fn into_source(self) -> S {
+        self.source
+    }
+}
+
+impl<S: RevealSource> Adversary for SourceAdversary<S> {
+    fn n(&self) -> usize {
+        self.source.n()
+    }
+
+    fn topology(&self) -> Topology {
+        self.source.topology()
+    }
+
+    fn next(&mut self, _current: &dyn Arrangement, _state: &GraphState) -> Option<RevealEvent> {
+        self.source.next_event()
     }
 }
 

@@ -27,7 +27,7 @@ use rand::SeedableRng;
 
 const NS: &[usize] = &[1_000, 10_000, 100_000];
 
-fn run_dense(instance: &Instance, coin: u64) -> u64 {
+fn run_dense(instance: &Instance, coin: u64) -> u128 {
     let n = instance.n();
     match instance.topology() {
         Topology::Cliques => {
@@ -51,7 +51,7 @@ fn run_dense(instance: &Instance, coin: u64) -> u64 {
     }
 }
 
-fn run_segment(instance: &Instance, coin: u64) -> u64 {
+fn run_segment(instance: &Instance, coin: u64) -> u128 {
     let n = instance.n();
     match instance.topology() {
         Topology::Cliques => {
@@ -88,7 +88,7 @@ struct Cell {
     topology: Topology,
     dense_seconds: f64,
     segment_seconds: f64,
-    total_cost: u64,
+    total_cost: u128,
 }
 
 fn measure_cells() -> Vec<Cell> {
@@ -106,7 +106,7 @@ fn measure_cells() -> Vec<Cell> {
         let coin = seeds.child_str("coins").seed(0);
         // Best of 3 per backend: the CI speedup gate must not flake on a
         // single noisy sample from a shared runner.
-        let best_of = |run: &dyn Fn() -> u64| {
+        let best_of = |run: &dyn Fn() -> u128| {
             let mut best = f64::INFINITY;
             let mut cost = 0;
             for _ in 0..3 {

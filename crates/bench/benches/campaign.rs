@@ -20,7 +20,7 @@ use rand::SeedableRng;
 const RUNS: usize = 32;
 const N: usize = 96;
 
-fn one_run(seeds: SeedSequence) -> u64 {
+fn one_run(seeds: SeedSequence) -> u128 {
     let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
     let instance = random_clique_instance(N, MergeShape::Uniform, &mut rng);
     let pi0 = Permutation::random(N, &mut rng);
@@ -36,7 +36,7 @@ fn one_run(seeds: SeedSequence) -> u64 {
 
 fn bench_campaign_throughput(c: &mut Criterion) {
     let specs: Vec<usize> = (0..RUNS).collect();
-    let reference: Vec<u64> = Campaign::new(SeedSequence::new(1))
+    let reference: Vec<u128> = Campaign::new(SeedSequence::new(1))
         .threads(1)
         .run(&specs, |_, seeds| one_run(seeds));
     let mut group = c.benchmark_group("campaign_throughput");

@@ -15,7 +15,7 @@ fn bench_experiments(c: &mut Criterion) {
     for experiment in all_experiments() {
         group.bench_function(experiment.id(), |bencher| {
             bencher.iter(|| {
-                let tables = experiment.run(&ctx);
+                let tables = experiment.run(&ctx).expect("experiment runs cleanly");
                 assert!(!tables.is_empty());
                 tables.len()
             });

@@ -60,7 +60,7 @@ impl CliqueState {
     /// Nodes of the clique containing `v` (arbitrary order).
     #[must_use]
     pub fn component_nodes(&self, v: Node) -> Vec<Node> {
-        self.dsu.members_of(v).to_vec()
+        self.dsu.members_of(v)
     }
 
     /// All cliques as node lists.
@@ -93,8 +93,8 @@ impl CliqueState {
         if self.dsu.same_set(a, b) {
             return Err(GraphError::SameComponent { a, b });
         }
-        let x_nodes = self.dsu.members_of(a).to_vec();
-        let z_nodes = self.dsu.members_of(b).to_vec();
+        let x_nodes = self.dsu.members_of(a);
+        let z_nodes = self.dsu.members_of(b);
         self.dsu
             .union(a, b)
             .expect("distinct components must merge");
@@ -144,8 +144,10 @@ impl CliqueState {
 /// assert_eq!(clique_minla_value(4), 10);
 /// ```
 #[must_use]
-pub fn clique_minla_value(m: usize) -> u64 {
-    let m = m as u64;
+pub fn clique_minla_value(m: usize) -> u128 {
+    // u128 arithmetic: m³ overflows u64 past m ≈ 2.6×10⁶ and the value
+    // itself past m ≈ 4.7×10⁶, well inside the supported node range.
+    let m = m as u128;
     (m * m * m - m) / 6
 }
 
@@ -217,10 +219,32 @@ mod tests {
     #[test]
     fn clique_value_formula() {
         // Cross-check the closed form against direct summation.
-        for m in 1..=20u64 {
-            let direct: u64 = (1..m).map(|d| d * (m - d)).sum();
+        for m in 1..=20u128 {
+            let direct: u128 = (1..m).map(|d| d * (m - d)).sum();
             assert_eq!(clique_minla_value(m as usize), direct);
         }
         assert_eq!(clique_minla_value(0), 0);
+    }
+
+    #[test]
+    fn clique_value_survives_the_u64_boundary() {
+        // (m³ − m)/6 crosses u64::MAX between m = 4 805 843 and the next
+        // step; the old u64 arithmetic overflowed m³ already at
+        // m ≈ 2.6×10⁶. Pin both regimes against u128 reference sums.
+        let value = |m: u128| (m * m * m - m) / 6;
+        // Largest m whose m³ still overflows a u64 multiply chain but
+        // whose value fits u64 — the silent-wrap regime of the old code.
+        assert_eq!(clique_minla_value(3_000_000), value(3_000_000));
+        assert!(clique_minla_value(3_000_000) < u128::from(u64::MAX));
+        // Past the boundary the optimum itself no longer fits u64.
+        assert!(clique_minla_value(4_900_000) > u128::from(u64::MAX));
+        assert_eq!(clique_minla_value(4_900_000), value(4_900_000));
+        // Exact boundary bracket — confirms the ≈ 4.7×10⁶ crossover.
+        let boundary = (4_000_000u128..5_000_000)
+            .rev()
+            .find(|&m| value(m) <= u128::from(u64::MAX))
+            .expect("boundary lies in the scanned range");
+        assert!((4_600_000..4_900_000).contains(&boundary));
+        assert!(value(boundary + 1) > u128::from(u64::MAX));
     }
 }

@@ -10,6 +10,9 @@
 //! * [`CliqueState`] / [`LineState`] — the per-topology dynamic states with
 //!   full reveal validation;
 //! * [`Instance`] — an offline-validated (oblivious) request sequence;
+//! * [`RevealSource`] — streaming request sequences: iterator-style
+//!   reveal production with exact size hints and seedable restart, so
+//!   `n = 10⁷+` workloads never materialize an event vector;
 //! * [`MergeTree`] — the dendrogram of a request sequence;
 //! * [`UnionFind`] — disjoint sets with per-root member lists;
 //! * closed-form MinLA optima: [`clique_minla_value`] (`(m³−m)/6`) and
@@ -41,6 +44,7 @@ mod event;
 mod instance;
 mod line_state;
 mod merge_tree;
+mod source;
 mod state;
 mod text;
 mod union_find;
@@ -51,6 +55,7 @@ pub use event::{RevealEvent, Topology};
 pub use instance::Instance;
 pub use line_state::{path_minla_value, LineState};
 pub use merge_tree::{MergeTree, TreeId};
+pub use source::{collect_instance, final_state_of, InstanceSource, RevealSource};
 pub use state::{ComponentSnapshot, GraphState, MergeInfo};
 pub use text::{instance_to_text, text_to_instance, ParseInstanceError};
 pub use union_find::UnionFind;

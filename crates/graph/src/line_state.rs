@@ -29,16 +29,24 @@ use crate::union_find::UnionFind;
 /// ```
 #[derive(Debug, Clone)]
 pub struct LineState {
-    neighbors: Vec<[Option<Node>; 2]>,
+    /// Per-node adjacency, sentinel-coded: `Option<Node>` has no niche
+    /// (`Node` wraps a plain `u32`), so `[u32; 2]` slots with
+    /// [`NO_NEIGHBOR`] halve the array (8 instead of 16 bytes per node;
+    /// 80 MB saved at `n = 10⁷`).
+    neighbors: Vec<[u32; 2]>,
     dsu: UnionFind,
 }
+
+/// Adjacency null sentinel (`u32::MAX` is never a node id: arrangement
+/// capacity is bounded by `MAX_NODES`).
+const NO_NEIGHBOR: u32 = u32::MAX;
 
 impl LineState {
     /// Creates `n` singleton paths.
     #[must_use]
     pub fn new(n: usize) -> Self {
         LineState {
-            neighbors: vec![[None, None]; n],
+            neighbors: vec![[NO_NEIGHBOR, NO_NEIGHBOR]; n],
             dsu: UnionFind::new(n),
         }
     }
@@ -64,7 +72,10 @@ impl LineState {
     /// Degree of `v` in the current graph (0, 1 or 2).
     #[must_use]
     pub fn degree(&self, v: Node) -> usize {
-        self.neighbors[v.index()].iter().flatten().count()
+        self.neighbors[v.index()]
+            .iter()
+            .filter(|&&u| u != NO_NEIGHBOR)
+            .count()
     }
 
     /// Returns `true` if `v` is an endpoint of its path (degree ≤ 1;
@@ -78,7 +89,7 @@ impl LineState {
     /// [`LineState::path_of`] for path order).
     #[must_use]
     pub fn component_nodes(&self, v: Node) -> Vec<Node> {
-        self.dsu.members_of(v).to_vec()
+        self.dsu.members_of(v)
     }
 
     /// The path containing `v` in path order, starting from its
@@ -99,7 +110,7 @@ impl LineState {
     #[must_use]
     pub fn endpoints_of(&self, v: Node) -> (Node, Node) {
         let mut ends = Vec::with_capacity(2);
-        for &u in self.dsu.members_of(v) {
+        for u in self.dsu.members_iter(v) {
             if self.degree(u) <= 1 {
                 ends.push(u);
             }
@@ -120,8 +131,8 @@ impl LineState {
         loop {
             let next = self.neighbors[current.index()]
                 .iter()
-                .flatten()
-                .copied()
+                .filter(|&&u| u != NO_NEIGHBOR)
+                .map(|&u| Node::from(u))
                 .find(|&u| Some(u) != prev);
             match next {
                 Some(u) => {
@@ -190,14 +201,14 @@ impl LineState {
         // Link.
         let slot_a = self.neighbors[a.index()]
             .iter()
-            .position(Option::is_none)
+            .position(|&u| u == NO_NEIGHBOR)
             .expect("endpoint has a free slot");
-        self.neighbors[a.index()][slot_a] = Some(b);
+        self.neighbors[a.index()][slot_a] = b.raw();
         let slot_b = self.neighbors[b.index()]
             .iter()
-            .position(Option::is_none)
+            .position(|&u| u == NO_NEIGHBOR)
             .expect("endpoint has a free slot");
-        self.neighbors[b.index()][slot_b] = Some(a);
+        self.neighbors[b.index()][slot_b] = a.raw();
         self.dsu
             .union(a, b)
             .expect("distinct components must merge");
@@ -219,9 +230,9 @@ impl LineState {
     pub fn edges(&self) -> Vec<(Node, Node)> {
         let mut edges = Vec::new();
         for i in 0..self.n() {
-            for &u in self.neighbors[i].iter().flatten() {
-                if i < u.index() {
-                    edges.push((Node::new(i), u));
+            for &u in &self.neighbors[i] {
+                if u != NO_NEIGHBOR && i < u as usize {
+                    edges.push((Node::new(i), Node::from(u)));
                 }
             }
         }
@@ -240,8 +251,8 @@ impl LineState {
 /// assert_eq!(path_minla_value(5), 4);
 /// ```
 #[must_use]
-pub fn path_minla_value(m: usize) -> u64 {
-    m.saturating_sub(1) as u64
+pub fn path_minla_value(m: usize) -> u128 {
+    m.saturating_sub(1) as u128
 }
 
 #[cfg(test)]

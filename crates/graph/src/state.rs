@@ -177,18 +177,21 @@ impl GraphState {
     ///
     /// Panics if `pi` does not cover all nodes of the graph.
     #[must_use]
-    pub fn arrangement_cost<P: Arrangement + ?Sized>(&self, pi: &P) -> u64 {
+    pub fn arrangement_cost<P: Arrangement + ?Sized>(&self, pi: &P) -> u128 {
+        // u128 totals: a single clique's stretch sum exceeds u64 past
+        // m ≈ 4.7×10⁶ (it equals (m³−m)/6 at the optimum).
         self.edges()
             .iter()
-            .map(|&(u, v)| pi.position_of(u).abs_diff(pi.position_of(v)) as u64)
+            .map(|&(u, v)| pi.position_of(u).abs_diff(pi.position_of(v)) as u128)
             .sum()
     }
 
     /// The optimum MinLA value of the revealed graph: the sum of the
     /// closed-form optima of its components (`(m³−m)/6` per clique, `m−1`
-    /// per path).
+    /// per path). Returned as `u128`: the clique optimum alone exceeds
+    /// `u64::MAX` near `m ≈ 4.7×10⁶`.
     #[must_use]
-    pub fn minla_value(&self) -> u64 {
+    pub fn minla_value(&self) -> u128 {
         match self {
             GraphState::Cliques(s) => s
                 .components()

@@ -78,7 +78,7 @@ proptest! {
             let mut state = GraphState::new(topology, n);
             for &event in &events {
                 state.apply(event).unwrap();
-                let expected: u64 = state
+                let expected: u128 = state
                     .components()
                     .iter()
                     .map(|c| match topology {

@@ -29,6 +29,13 @@ use crate::perm::Permutation;
 /// and every implementation must be **observably identical** to the dense
 /// [`Permutation`] reference: same layouts, same costs, same panics on
 /// invalid ranges (see the backend-equivalence property tests).
+///
+/// **Cost width.** Per-operation costs fit `u64` for every supported
+/// node count: each is bounded by `C(n, 2) < 2⁶³` at the
+/// [`MAX_NODES`](crate::MAX_NODES) capacity limit. *Totals* accumulated
+/// over a run do not — a full clique workload's cost grows like `n³/6`
+/// and exceeds `u64::MAX` near `n ≈ 4.7×10⁶` — so run-level accumulators
+/// (`mla-sim`'s `RunOutcome`) are `u128`.
 pub trait Arrangement {
     /// Number of nodes.
     fn len(&self) -> usize;

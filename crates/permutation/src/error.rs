@@ -27,6 +27,14 @@ pub enum PermutationError {
         /// Size of the right-hand side.
         right: usize,
     },
+    /// The requested node count exceeds the addressable capacity of the
+    /// arrangement backends ([`MAX_NODES`](crate::MAX_NODES)): positions
+    /// and arena slots are stored as `u32`, so constructing a larger
+    /// arrangement would silently truncate instead of corrupting state.
+    CapacityExceeded {
+        /// The requested node count.
+        n: usize,
+    },
 }
 
 impl fmt::Display for PermutationError {
@@ -40,6 +48,13 @@ impl fmt::Display for PermutationError {
             }
             PermutationError::SizeMismatch { left, right } => {
                 write!(f, "permutation sizes differ: {left} vs {right}")
+            }
+            PermutationError::CapacityExceeded { n } => {
+                write!(
+                    f,
+                    "node count {n} exceeds the arrangement capacity of {} nodes",
+                    crate::MAX_NODES
+                )
             }
         }
     }

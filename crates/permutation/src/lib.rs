@@ -53,6 +53,17 @@ mod transcript;
 
 pub use arrangement::Arrangement;
 pub use error::PermutationError;
+
+/// The maximum node count either arrangement backend can address.
+///
+/// Both backends store positions (and, for the segment backend, arena
+/// slot ids with `u32::MAX` reserved as the null sentinel) as `u32`, so
+/// arrangements are limited to `u32::MAX` nodes. Constructors enforce the
+/// bound up front — [`Permutation::try_identity`] /
+/// [`SegmentArrangement::try_identity`] return
+/// [`PermutationError::CapacityExceeded`], the infallible constructors
+/// panic — instead of silently truncating positions past `n = 2³²`.
+pub const MAX_NODES: usize = u32::MAX as usize;
 pub use inversions::{
     count_inversions, count_inversions_naive, count_inversions_usize, cross_inversions_sorted,
     FenwickTree,

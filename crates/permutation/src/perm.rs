@@ -42,16 +42,46 @@ pub struct Permutation {
     node_to_pos: Vec<u32>,
 }
 
+/// Returns [`PermutationError::CapacityExceeded`] for node counts beyond
+/// [`MAX_NODES`](crate::MAX_NODES) — checked **before** any allocation so
+/// an oversized request can never corrupt state.
+pub(crate) fn check_capacity(n: usize) -> Result<(), PermutationError> {
+    if n > crate::MAX_NODES {
+        Err(PermutationError::CapacityExceeded { n })
+    } else {
+        Ok(())
+    }
+}
+
 impl Permutation {
     /// The identity arrangement: node `i` at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_NODES`](crate::MAX_NODES) (positions
+    /// are stored as `u32`); use [`Permutation::try_identity`] for a
+    /// non-panicking variant.
     #[must_use]
     pub fn identity(n: usize) -> Self {
+        Self::try_identity(n).expect("node count exceeds the dense backend's u32 capacity")
+    }
+
+    /// The identity arrangement, or
+    /// [`PermutationError::CapacityExceeded`] if `n` exceeds
+    /// [`MAX_NODES`](crate::MAX_NODES).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::CapacityExceeded`] for `n >
+    /// MAX_NODES`; the check runs before any allocation.
+    pub fn try_identity(n: usize) -> Result<Self, PermutationError> {
+        check_capacity(n)?;
         let pos_to_node = (0..n).map(Node::new).collect();
-        let node_to_pos = (0..n as u32).collect();
-        Permutation {
+        let node_to_pos = (0..n).map(|p| p as u32).collect();
+        Ok(Permutation {
             pos_to_node,
             node_to_pos,
-        }
+        })
     }
 
     /// Builds a permutation from the node sequence in position order.
@@ -59,7 +89,9 @@ impl Permutation {
     /// # Errors
     ///
     /// Returns [`PermutationError::NodeOutOfRange`] if a node is not in
-    /// `0..n` and [`PermutationError::DuplicateNode`] if a node repeats.
+    /// `0..n`, [`PermutationError::DuplicateNode`] if a node repeats, and
+    /// [`PermutationError::CapacityExceeded`] if the sequence is longer
+    /// than [`MAX_NODES`](crate::MAX_NODES).
     ///
     /// # Examples
     ///
@@ -73,6 +105,7 @@ impl Permutation {
     /// ```
     pub fn from_nodes(nodes: Vec<Node>) -> Result<Self, PermutationError> {
         let n = nodes.len();
+        check_capacity(n)?;
         let mut node_to_pos = vec![u32::MAX; n];
         for (pos, &node) in nodes.iter().enumerate() {
             if node.index() >= n {
@@ -512,6 +545,19 @@ mod tests {
 
     fn perm(indices: &[usize]) -> Permutation {
         Permutation::from_indices(indices).unwrap()
+    }
+
+    #[test]
+    fn capacity_guard_rejects_oversized_requests() {
+        let oversized = crate::MAX_NODES + 1;
+        assert!(matches!(
+            Permutation::try_identity(oversized),
+            Err(PermutationError::CapacityExceeded { n }) if n == oversized
+        ));
+        assert_eq!(
+            Permutation::try_identity(3).unwrap(),
+            Permutation::identity(3)
+        );
     }
 
     #[test]

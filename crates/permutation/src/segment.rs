@@ -27,6 +27,12 @@
 //! The backend is observably identical to the dense [`Permutation`]:
 //! same layouts, same costs, same panics (see the equivalence property
 //! tests in `tests/properties.rs`).
+//!
+//! **Supported range:** at most [`MAX_NODES`](crate::MAX_NODES) =
+//! `u32::MAX` nodes. Positions, in-segment offsets and arena slot ids are
+//! stored as `u32` (with `u32::MAX` as the arena's null sentinel);
+//! constructors reject larger node counts up front instead of silently
+//! truncating those fields.
 
 use std::cell::Cell;
 use std::fmt;
@@ -66,20 +72,27 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// One contiguous run of nodes plus its treap bookkeeping.
+///
+/// Kept to 48 bytes (`n` live segments at startup — 10⁷ of these is the
+/// single biggest allocation of a large-`n` run): priorities and subtree
+/// counts are `u32` — counts are bounded by the backend's
+/// [`MAX_NODES`](crate::MAX_NODES) capacity, and 32 priority bits keep
+/// treap collisions rare enough at any supported size (ties only cost a
+/// slightly lopsided merge).
 #[derive(Debug, Clone)]
 struct Seg {
     /// Content in storage order; read right-to-left when `reversed`.
     nodes: Vec<Node>,
-    /// Lazy orientation: `true` means the segment reads as the reversed
-    /// storage order.
-    reversed: bool,
     /// Treap heap priority (deterministic, from the allocation counter).
-    prio: u64,
+    prio: u32,
     left: u32,
     right: u32,
     parent: u32,
     /// Total node count of the subtree rooted here.
-    subtree: usize,
+    subtree: u32,
+    /// Lazy orientation: `true` means the segment reads as the reversed
+    /// storage order.
+    reversed: bool,
 }
 
 /// A linear arrangement stored as an ordered list of segments over an
@@ -118,20 +131,45 @@ pub struct SegmentArrangement {
 
 impl SegmentArrangement {
     /// The identity arrangement: node `i` at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_NODES`](crate::MAX_NODES) — positions,
+    /// in-segment offsets and arena slot ids are `u32` (with `u32::MAX`
+    /// reserved as the null sentinel), so the backend supports at most
+    /// `u32::MAX` nodes. Use [`SegmentArrangement::try_identity`] for a
+    /// non-panicking variant.
     #[must_use]
     pub fn identity(n: usize) -> Self {
-        Self::from_order((0..n).map(Node::new), n)
+        Self::try_identity(n).expect("node count exceeds the segment backend's u32 capacity")
     }
 
-    /// Builds the segment arrangement matching a dense permutation.
+    /// The identity arrangement, or
+    /// [`PermutationError`](crate::PermutationError) if `n` exceeds
+    /// [`MAX_NODES`](crate::MAX_NODES).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityExceeded`](crate::PermutationError::CapacityExceeded)
+    /// for `n > MAX_NODES`; the check runs before any allocation, so an
+    /// oversized request can never leave truncated `u32` offsets behind.
+    pub fn try_identity(n: usize) -> Result<Self, crate::PermutationError> {
+        crate::perm::check_capacity(n)?;
+        Ok(Self::from_order((0..n).map(Node::new), n))
+    }
+
+    /// Builds the segment arrangement matching a dense permutation (whose
+    /// own constructors already enforce the shared `u32` capacity bound).
     #[must_use]
     pub fn from_permutation(perm: &Permutation) -> Self {
         Self::from_order(perm.iter().copied(), perm.len())
     }
 
     /// Builds from nodes in position order, one singleton segment per node
-    /// (components start as singletons), in `O(n)`.
+    /// (components start as singletons), in `O(n)`. Callers have already
+    /// checked `n <= MAX_NODES`.
     fn from_order(nodes: impl Iterator<Item = Node>, n: usize) -> Self {
+        debug_assert!(n <= crate::MAX_NODES, "capacity must be checked upstream");
         let mut arr = SegmentArrangement {
             segs: Vec::with_capacity(n),
             free: Vec::new(),
@@ -633,13 +671,13 @@ impl SegmentArrangement {
         if t == NIL {
             0
         } else {
-            self.segs[t as usize].subtree
+            self.segs[t as usize].subtree as usize
         }
     }
 
-    fn next_prio(&mut self) -> u64 {
+    fn next_prio(&mut self) -> u32 {
         self.prio_counter = self.prio_counter.wrapping_add(1);
-        splitmix64(self.prio_counter)
+        (splitmix64(self.prio_counter) >> 32) as u32
     }
 
     /// Allocates a detached segment and points its nodes' lookup entries
@@ -651,12 +689,12 @@ impl SegmentArrangement {
             None => {
                 self.segs.push(Seg {
                     nodes: Vec::new(),
-                    reversed: false,
                     prio: 0,
                     left: NIL,
                     right: NIL,
                     parent: NIL,
                     subtree: 0,
+                    reversed: false,
                 });
                 (self.segs.len() - 1) as u32
             }
@@ -666,7 +704,7 @@ impl SegmentArrangement {
             self.node_off[v.index()] = off as u32;
         }
         let seg = &mut self.segs[slot as usize];
-        seg.subtree = nodes.len();
+        seg.subtree = nodes.len() as u32;
         seg.nodes = nodes;
         seg.reversed = reversed;
         seg.prio = prio;
@@ -688,7 +726,7 @@ impl SegmentArrangement {
             (seg.left, seg.right)
         };
         let total = self.segs[t as usize].nodes.len() + self.sub(left) + self.sub(right);
-        self.segs[t as usize].subtree = total;
+        self.segs[t as usize].subtree = total as u32;
         if left != NIL {
             self.segs[left as usize].parent = t;
         }
@@ -877,11 +915,11 @@ impl SegmentArrangement {
             seg.left = NIL;
             seg.right = NIL;
             seg.parent = NIL;
-            seg.subtree = seg.nodes.len();
+            seg.subtree = seg.nodes.len() as u32;
         }
         let (kept, emptied) = self.absorb_adjacent_content(first, second);
         self.free_seg(emptied);
-        self.segs[kept as usize].subtree = self.segs[kept as usize].nodes.len();
+        self.segs[kept as usize].subtree = self.segs[kept as usize].nodes.len() as u32;
         kept
     }
 
@@ -989,7 +1027,7 @@ impl SegmentArrangement {
                 (seg.left, seg.right)
             };
             self.segs[current as usize].subtree =
-                self.segs[current as usize].nodes.len() + self.sub(left) + self.sub(right);
+                (self.segs[current as usize].nodes.len() + self.sub(left) + self.sub(right)) as u32;
             current = self.segs[current as usize].parent;
         }
     }
@@ -1022,7 +1060,7 @@ impl SegmentArrangement {
         seg.left = NIL;
         seg.right = NIL;
         seg.parent = NIL;
-        seg.subtree = seg.nodes.len();
+        seg.subtree = seg.nodes.len() as u32;
     }
 
     /// Reinserts a detached segment so that it starts at `position`.
@@ -1263,6 +1301,18 @@ mod tests {
         }
         assert!(arr.check_consistent());
         assert_eq!(arr.to_permutation(), Permutation::identity(5));
+    }
+
+    #[test]
+    fn capacity_guard_rejects_oversized_requests() {
+        // The guard runs before any allocation, so asking for more nodes
+        // than u32 can address fails cleanly instead of truncating.
+        let oversized = crate::MAX_NODES + 1;
+        assert!(matches!(
+            SegmentArrangement::try_identity(oversized),
+            Err(crate::PermutationError::CapacityExceeded { n }) if n == oversized
+        ));
+        assert!(SegmentArrangement::try_identity(4).is_ok());
     }
 
     #[test]

@@ -17,9 +17,11 @@ pub enum Json {
     /// A finite number (rendered via [`format_number`]).
     Number(f64),
     /// An unsigned integer, rendered exactly — use this (via
-    /// `From<u64>`/`From<usize>`) for counts and ids; routing them
-    /// through [`Json::Number`]'s `f64` would round above `2^53`.
-    UInt(u64),
+    /// `From<u64>`/`From<u128>`/`From<usize>`) for counts, costs and
+    /// ids; routing them through [`Json::Number`]'s `f64` would round
+    /// above `2^53`. Wide enough for `u128` cost totals (large-clique
+    /// MinLA costs exceed `u64` near `n ≈ 4.7×10⁶`).
+    UInt(u128),
     /// A string.
     Str(String),
     /// An array.
@@ -167,15 +169,21 @@ impl From<f64> for Json {
     }
 }
 
+impl From<u128> for Json {
+    fn from(x: u128) -> Self {
+        Json::UInt(x)
+    }
+}
+
 impl From<u64> for Json {
     fn from(x: u64) -> Self {
-        Json::UInt(x)
+        Json::UInt(u128::from(x))
     }
 }
 
 impl From<usize> for Json {
     fn from(x: usize) -> Self {
-        Json::UInt(x as u64)
+        Json::UInt(x as u128)
     }
 }
 

@@ -144,7 +144,9 @@ fn main() {
             ctx = ctx.with_sink(Arc::clone(sink));
         }
         let start = std::time::Instant::now();
-        let tables = experiment.run(&ctx);
+        let tables = experiment
+            .run(&ctx)
+            .unwrap_or_else(|e| die(&format!("{} failed: {e}", experiment.id())));
         let elapsed = start.elapsed();
         for (index, table) in tables.iter().enumerate() {
             println!();
@@ -191,13 +193,28 @@ fn main() {
     }
 }
 
-/// The `--scale N` path: a large-n smoke run on the segment backend, with
-/// per-reveal feasibility checking on (incremental, so it stays cheap).
+/// Peak resident set size (`VmHWM`) in mebibytes, from `/proc/self/status`
+/// (Linux only; `None` elsewhere).
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|line| line.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// The `--scale N` path: a large-n smoke run with **streamed** reveals on
+/// the segment backend — one merge generated per pull, no `Instance`, no
+/// event vector, no per-event recording — with per-reveal feasibility
+/// checking on (incremental, so it stays cheap). Emits a
+/// `BENCH_scale.json` artifact (timings + peak RSS) next to the
+/// arrangement bench artifact, and honors `MLA_SCALE_MAX_RSS_MB` as a
+/// hard peak-RSS ceiling (CI sets it).
 fn run_scale_smoke(n: usize, seed: u64) {
-    use mla_adversary::{random_clique_instance, random_line_instance, MergeShape};
+    use mla_adversary::{MergeShape, StreamingWorkload};
     use mla_core::{RandCliques, RandLines};
+    use mla_graph::Topology;
     use mla_permutation::SegmentArrangement;
-    use mla_runner::SeedSequence;
+    use mla_runner::{Json, SeedSequence};
     use mla_sim::Simulation;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -206,42 +223,93 @@ fn run_scale_smoke(n: usize, seed: u64) {
         die("--scale needs n >= 2");
     }
     let seeds = SeedSequence::new(seed).child_str("scale-smoke");
-    println!("scale smoke: segment backend, n = {n}, seed {seed}");
-    for topology in ["cliques", "lines"] {
-        let mut rng = SmallRng::seed_from_u64(seeds.child_str(topology).seed(0));
+    println!("scale smoke: streaming reveals, segment backend, n = {n}, seed {seed}");
+    let mut cells: Vec<Json> = Vec::new();
+    for topology in [Topology::Cliques, Topology::Lines] {
+        let label = topology.to_string();
+        let source = StreamingWorkload::new(
+            topology,
+            n,
+            MergeShape::Uniform,
+            seeds.child_str(&label).seed(0),
+        );
+        let coin = SmallRng::seed_from_u64(seeds.child_str(&label).seed(1));
         let start = std::time::Instant::now();
-        let instance = if topology == "cliques" {
-            random_clique_instance(n, MergeShape::Uniform, &mut rng)
-        } else {
-            random_line_instance(n, MergeShape::Uniform, &mut rng)
-        };
-        let generated = start.elapsed();
-        let coin = SmallRng::seed_from_u64(seeds.child_str(topology).seed(1));
-        let start = std::time::Instant::now();
-        let outcome = if topology == "cliques" {
-            Simulation::new(
-                instance,
+        let outcome = match topology {
+            Topology::Cliques => Simulation::from_source(
+                source,
                 RandCliques::new(SegmentArrangement::identity(n), coin),
             )
             .check_feasibility(true)
-            .run()
-        } else {
-            Simulation::new(
-                instance,
+            .record_events(false)
+            .run(),
+            Topology::Lines => Simulation::from_source(
+                source,
                 RandLines::new(SegmentArrangement::identity(n), coin),
             )
             .check_feasibility(true)
-            .run()
+            .record_events(false)
+            .run(),
         };
         let served = start.elapsed();
         let outcome = outcome.unwrap_or_else(|e| die(&format!("scale smoke failed: {e}")));
-        let reveals = outcome.per_event.len();
+        let reveals = n - 1;
         let per_second = reveals as f64 / served.as_secs_f64().max(1e-9);
         println!(
-            "  {topology:<8} {reveals} reveals, total cost {}, generated in {generated:.2?}, \
-             served in {served:.2?} ({per_second:.0} reveals/s)",
+            "  {label:<8} {reveals} reveals streamed, total cost {}, served in {served:.2?} \
+             ({per_second:.0} reveals/s)",
             outcome.total_cost,
         );
+        cells.push(
+            Json::object()
+                .field("n", n)
+                .field("topology", label)
+                .field("reveals", reveals)
+                .field("total_cost", outcome.total_cost)
+                .field("serve_seconds", Json::Number(served.as_secs_f64()))
+                .field("reveals_per_second", Json::Number(per_second)),
+        );
+    }
+    let peak = peak_rss_mb();
+    match peak {
+        Some(mb) => println!("  peak RSS {mb:.0} MiB"),
+        None => println!("  peak RSS unavailable on this platform"),
+    }
+
+    // BENCH_scale.json next to BENCH_arrangement.json, so CI tracks the
+    // E-SCALE regime's timing trajectory across PRs.
+    let dir = std::env::var("MLA_BENCH_ARTIFACT_DIR")
+        .unwrap_or_else(|_| "target/bench-artifacts".to_owned());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        die(&format!("cannot create {dir}: {e}"));
+    }
+    let report = Json::object()
+        .field("id", "BENCH_scale")
+        .field(
+            "description",
+            "streaming --scale smoke: segment backend, streamed reveals, no event recording",
+        )
+        .field("seed", seed)
+        .field("peak_rss_mb", peak.map_or(Json::Null, Json::Number))
+        .field("cells", Json::Array(cells));
+    let path = std::path::Path::new(&dir).join("BENCH_scale.json");
+    if let Err(e) = std::fs::write(&path, report.render_pretty()) {
+        die(&format!("cannot write {}: {e}", path.display()));
+    }
+    println!("[scale artifact: {}]", path.display());
+
+    // Hard memory ceiling (CI): fail loudly instead of silently swapping.
+    if let Ok(limit) = std::env::var("MLA_SCALE_MAX_RSS_MB") {
+        let limit: f64 = limit
+            .parse()
+            .unwrap_or_else(|_| die("MLA_SCALE_MAX_RSS_MB must be a number"));
+        match peak {
+            Some(mb) if mb > limit => die(&format!(
+                "peak RSS {mb:.0} MiB exceeds the {limit} MiB ceiling"
+            )),
+            Some(mb) => println!("  peak RSS {mb:.0} MiB within the {limit} MiB ceiling"),
+            None => die("MLA_SCALE_MAX_RSS_MB set but peak RSS is unavailable"),
+        }
     }
 }
 

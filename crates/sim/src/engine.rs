@@ -1,8 +1,8 @@
 //! The simulation engine: drives an adversary against an online algorithm.
 
-use mla_adversary::{Adversary, Oblivious};
+use mla_adversary::{Adversary, Oblivious, SourceAdversary};
 use mla_core::{OnlineMinla, UpdateReport};
-use mla_graph::{GraphState, Instance, RevealEvent};
+use mla_graph::{GraphState, Instance, RevealEvent, RevealSource};
 use mla_permutation::{Arrangement, Permutation};
 
 use crate::error::SimError;
@@ -10,17 +10,24 @@ use crate::error::SimError;
 /// Outcome of one complete run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOutcome {
-    /// Sum of all update costs.
-    pub total_cost: u64,
+    /// Sum of all update costs. Accumulated in `u128`: per-event costs
+    /// are bounded by `n²` and fit `u64`, but a full clique workload's
+    /// total grows like `n³/6` and exceeds `u64::MAX` near `n ≈ 4.7×10⁶`.
+    pub total_cost: u128,
     /// Sum of the moving parts.
-    pub moving_cost: u64,
+    pub moving_cost: u128,
     /// Sum of the rearranging parts.
-    pub rearranging_cost: u64,
-    /// Per-reveal cost reports, in reveal order.
+    pub rearranging_cost: u128,
+    /// Per-reveal cost reports, in reveal order. Empty when recording was
+    /// disabled (see [`Simulation::record_events`]).
     pub per_event: Vec<UpdateReport>,
     /// The reveals served (useful for adaptive adversaries, whose sequence
-    /// is only known after the run).
+    /// is only known after the run). Empty when recording was disabled.
     pub events: Vec<RevealEvent>,
+    /// Whether `per_event`/`events` were recorded. Large-`n` streaming
+    /// runs turn recording off so memory stays bounded by the `O(n)`
+    /// engine state instead of growing two `Θ(k)` vectors.
+    pub events_recorded: bool,
     /// The algorithm's final permutation (materialized from whichever
     /// arrangement backend the algorithm ran on).
     pub final_perm: Permutation,
@@ -32,8 +39,10 @@ impl RunOutcome {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Graph`] if the recorded events do not replay
-    /// cleanly under `topology`/`n` — for outcomes produced by
+    /// Returns [`SimError::EventsNotRecorded`] if the run was executed
+    /// with [`Simulation::record_events`]`(false)`, and
+    /// [`SimError::Graph`] if the recorded events do not replay cleanly
+    /// under `topology`/`n` — for outcomes produced by
     /// [`Simulation::run`] that means the caller passed a different
     /// topology or node count than the run used.
     pub fn to_instance(
@@ -41,6 +50,9 @@ impl RunOutcome {
         topology: mla_graph::Topology,
         n: usize,
     ) -> Result<Instance, SimError> {
+        if !self.events_recorded {
+            return Err(SimError::EventsNotRecorded);
+        }
         Instance::new(topology, n, self.events.clone()).map_err(SimError::Graph)
     }
 }
@@ -78,6 +90,7 @@ pub struct Simulation<A> {
     algorithm: A,
     check_feasibility: bool,
     full_scan: bool,
+    record_events: bool,
 }
 
 impl<A> std::fmt::Debug for Simulation<A> {
@@ -95,12 +108,39 @@ impl<A: OnlineMinla> Simulation<A> {
     /// A simulation of an oblivious (pre-validated) instance.
     #[must_use]
     pub fn new(instance: Instance, algorithm: A) -> Self {
-        Simulation {
-            adversary: Box::new(Oblivious::new(instance)),
-            algorithm,
-            check_feasibility: false,
-            full_scan: cfg!(debug_assertions),
-        }
+        Self::with_adversary(Box::new(Oblivious::new(instance)), algorithm)
+    }
+
+    /// A simulation fed by a streaming [`RevealSource`] — events are
+    /// generated one merge per reveal, so no event vector ever
+    /// materializes on the adversary side. Streamed events are validated
+    /// as they are applied; a malformed event surfaces as
+    /// [`SimError::Graph`], not a panic. For large `n`, combine with
+    /// [`Simulation::record_events`]`(false)` to keep the outcome side
+    /// `O(n)` too.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mla_adversary::{MergeShape, StreamingWorkload};
+    /// use mla_core::RandCliques;
+    /// use mla_graph::Topology;
+    /// use mla_permutation::SegmentArrangement;
+    /// use mla_sim::Simulation;
+    /// use rand::rngs::SmallRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let source = StreamingWorkload::new(Topology::Cliques, 64, MergeShape::Uniform, 1);
+    /// let alg = RandCliques::new(SegmentArrangement::identity(64), SmallRng::seed_from_u64(2));
+    /// let outcome = Simulation::from_source(source, alg)
+    ///     .record_events(false)
+    ///     .run()
+    ///     .expect("streamed events are valid");
+    /// assert!(outcome.per_event.is_empty() && !outcome.events_recorded);
+    /// ```
+    #[must_use]
+    pub fn from_source(source: impl RevealSource + 'static, algorithm: A) -> Self {
+        Self::with_adversary(Box::new(SourceAdversary::new(source)), algorithm)
     }
 
     /// A simulation driven by an arbitrary (possibly adaptive) adversary.
@@ -111,7 +151,19 @@ impl<A: OnlineMinla> Simulation<A> {
             algorithm,
             check_feasibility: false,
             full_scan: cfg!(debug_assertions),
+            record_events: true,
         }
+    }
+
+    /// Controls whether per-event reports and served events are recorded
+    /// into the [`RunOutcome`] (default: `true`). Turn off for large-`n`
+    /// streaming runs: cost totals are still accumulated exactly, but the
+    /// two `Θ(k)` vectors are never grown, keeping the run's memory
+    /// bounded by the `O(n)` engine state.
+    #[must_use]
+    pub fn record_events(mut self, on: bool) -> Self {
+        self.record_events = on;
+        self
     }
 
     /// Enables verification that the algorithm's arrangement is a MinLA of
@@ -159,9 +211,13 @@ impl<A: OnlineMinla> Simulation<A> {
         let mut state = GraphState::new(self.adversary.topology(), n);
         let mut per_event = Vec::new();
         let mut events = Vec::new();
-        let mut moving_cost = 0u64;
-        let mut rearranging_cost = 0u64;
+        let mut moving_cost = 0u128;
+        let mut rearranging_cost = 0u128;
+        // Served-reveal counter — independent of `per_event`, which stays
+        // empty when recording is off.
+        let mut step = 0usize;
         while let Some(event) = self.adversary.next(self.algorithm.arrangement(), &state) {
+            step += 1;
             let info = state.apply(event)?;
             let report = self.algorithm.serve(event, &info, &state);
             if self.check_feasibility {
@@ -169,15 +225,17 @@ impl<A: OnlineMinla> Simulation<A> {
                     && (!self.full_scan || state.is_minla(self.algorithm.arrangement()));
                 if !feasible {
                     return Err(SimError::FeasibilityViolation {
-                        step: per_event.len() + 1,
+                        step,
                         algorithm: self.algorithm.name().to_owned(),
                     });
                 }
             }
-            moving_cost += report.moving_cost;
-            rearranging_cost += report.rearranging_cost;
-            per_event.push(report);
-            events.push(event);
+            moving_cost += u128::from(report.moving_cost);
+            rearranging_cost += u128::from(report.rearranging_cost);
+            if self.record_events {
+                per_event.push(report);
+                events.push(event);
+            }
         }
         Ok(RunOutcome {
             total_cost: moving_cost + rearranging_cost,
@@ -185,6 +243,7 @@ impl<A: OnlineMinla> Simulation<A> {
             rearranging_cost,
             per_event,
             events,
+            events_recorded: self.record_events,
             final_perm: self.algorithm.arrangement().to_permutation(),
         })
     }
@@ -215,7 +274,11 @@ mod tests {
             outcome.total_cost,
             outcome.moving_cost + outcome.rearranging_cost
         );
-        let per_event_total: u64 = outcome.per_event.iter().map(UpdateReport::total).sum();
+        let per_event_total: u128 = outcome
+            .per_event
+            .iter()
+            .map(|r| u128::from(r.total()))
+            .sum();
         assert_eq!(outcome.total_cost, per_event_total);
     }
 
@@ -246,7 +309,7 @@ mod tests {
         let instance = random_line_instance(12, MergeShape::Sequential, &mut rng);
         let alg = RandLines::new(pi0.clone(), SmallRng::seed_from_u64(6));
         let outcome = Simulation::new(instance, alg).run().unwrap();
-        assert!(pi0.kendall_distance(&outcome.final_perm) <= outcome.total_cost);
+        assert!(u128::from(pi0.kendall_distance(&outcome.final_perm)) <= outcome.total_cost);
     }
 
     #[test]
@@ -331,6 +394,27 @@ mod tests {
         assert!(matches!(
             outcome,
             Err(SimError::FeasibilityViolation { step: 1, .. })
+        ));
+
+        // The reported step must stay correct when event recording is off
+        // (the streaming large-n mode): violation at reveal 2, not 1.
+        let instance = Instance::new(
+            Topology::Cliques,
+            4,
+            vec![
+                RevealEvent::new(mla_permutation::Node::new(0), mla_permutation::Node::new(1)),
+                RevealEvent::new(mla_permutation::Node::new(0), mla_permutation::Node::new(3)),
+            ],
+        )
+        .unwrap();
+        let outcome = Simulation::new(instance, Lazy(Permutation::identity(4)))
+            .check_feasibility(true)
+            .check_feasibility_full(false)
+            .record_events(false)
+            .run();
+        assert!(matches!(
+            outcome,
+            Err(SimError::FeasibilityViolation { step: 2, .. })
         ));
     }
 }

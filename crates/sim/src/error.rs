@@ -26,6 +26,16 @@ pub enum SimError {
         /// Nodes in the algorithm's permutation.
         actual: usize,
     },
+    /// A [`RunOutcome`](crate::RunOutcome) produced with event recording
+    /// disabled was asked for its event sequence.
+    EventsNotRecorded,
+    /// A permutation construction inside an experiment failed.
+    Permutation(mla_permutation::PermutationError),
+    /// An offline solver invoked by an experiment rejected its input.
+    Offline(mla_offline::OfflineError),
+    /// Any other failure inside an experiment, carried as a message
+    /// (e.g. the general-graphs crate's boxed errors).
+    Other(String),
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +54,12 @@ impl fmt::Display for SimError {
                     "algorithm permutation covers {actual} nodes, instance has {expected}"
                 )
             }
+            SimError::EventsNotRecorded => {
+                write!(f, "run outcome was produced with event recording disabled")
+            }
+            SimError::Permutation(e) => write!(f, "invalid permutation: {e}"),
+            SimError::Offline(e) => write!(f, "offline solver rejected its input: {e}"),
+            SimError::Other(message) => write!(f, "{message}"),
         }
     }
 }
@@ -52,6 +68,8 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Graph(e) => Some(e),
+            SimError::Permutation(e) => Some(e),
+            SimError::Offline(e) => Some(e),
             _ => None,
         }
     }
@@ -60,6 +78,18 @@ impl Error for SimError {
 impl From<GraphError> for SimError {
     fn from(e: GraphError) -> Self {
         SimError::Graph(e)
+    }
+}
+
+impl From<mla_permutation::PermutationError> for SimError {
+    fn from(e: mla_permutation::PermutationError) -> Self {
+        SimError::Permutation(e)
+    }
+}
+
+impl From<mla_offline::OfflineError> for SimError {
+    fn from(e: mla_offline::OfflineError) -> Self {
+        SimError::Offline(e)
     }
 }
 

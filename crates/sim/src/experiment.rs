@@ -126,7 +126,14 @@ pub trait Experiment {
     fn paper_ref(&self) -> &'static str;
 
     /// Runs the experiment, returning one or more tables.
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table>;
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`](crate::SimError) when a run inside the
+    /// experiment fails — a malformed (streamed) reveal, a feasibility
+    /// violation, or an offline solver rejecting its input. Experiment
+    /// hot paths propagate these instead of panicking mid-campaign.
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, crate::SimError>;
 }
 
 /// All experiments in presentation order.

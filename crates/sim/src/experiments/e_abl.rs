@@ -16,8 +16,9 @@ use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{expected_cost, f2, run_label, zip_seeds};
+use crate::experiments::{expected_cost, f2, run_label, try_results, zip_seeds};
 use crate::table::Table;
 
 /// The design-choice ablation.
@@ -37,7 +38,7 @@ impl Experiment for Ablation {
         "Sections 3.1 & 4.1 (design choices)"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let ns: &[usize] = ctx.pick(&[32][..], &[32, 128][..], &[32, 128, 512][..]);
         let trials = ctx.pick(10, 60, 200);
         let policies: [(&str, MovePolicy, RearrangePolicy); 3] = [
@@ -78,36 +79,35 @@ impl Experiment for Ablation {
                 Topology::Lines => random_line_instance(n, shape, &mut rng),
             };
             let pi0 = Permutation::random(n, &mut rng);
-            let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("sizes match");
+            let opt = offline_optimum(&instance, &pi0, &LopConfig::default())?;
             let reference = opt.upper.max(1) as f64;
             // One shared coin stream for all three policies: common random
             // numbers keep the cross-policy comparison variance-matched.
             let coins = seeds.child_str("coins");
-            let means: Vec<f64> = policies
-                .iter()
-                .map(|&(_, move_policy, rearrange_policy)| {
-                    let stats = match topology {
-                        Topology::Cliques => expected_cost(&instance, trials, coins, |seed| {
-                            RandCliques::with_policy(
-                                pi0.clone(),
-                                SmallRng::seed_from_u64(seed),
-                                move_policy,
-                            )
-                        }),
-                        Topology::Lines => expected_cost(&instance, trials, coins, |seed| {
-                            RandLines::with_policies(
-                                pi0.clone(),
-                                SmallRng::seed_from_u64(seed),
-                                move_policy,
-                                rearrange_policy,
-                            )
-                        }),
-                    };
-                    stats.mean()
-                })
-                .collect();
-            (reference, means)
+            let mut means = Vec::with_capacity(policies.len());
+            for &(_, move_policy, rearrange_policy) in &policies {
+                let stats = match topology {
+                    Topology::Cliques => expected_cost(&instance, trials, coins, |seed| {
+                        RandCliques::with_policy(
+                            pi0.clone(),
+                            SmallRng::seed_from_u64(seed),
+                            move_policy,
+                        )
+                    })?,
+                    Topology::Lines => expected_cost(&instance, trials, coins, |seed| {
+                        RandLines::with_policies(
+                            pi0.clone(),
+                            SmallRng::seed_from_u64(seed),
+                            move_policy,
+                            rearrange_policy,
+                        )
+                    })?,
+                };
+                means.push(stats.mean());
+            }
+            Ok((reference, means))
         });
+        let results = try_results(results)?;
         for (&(topology, n, shape), seeds, (reference, means)) in
             zip_seeds(&specs, &campaign, &results)
         {
@@ -135,7 +135,7 @@ impl Experiment for Ablation {
             "sequential workloads: the fair coin pays Θ(n/log n) times more than the biased coin",
         );
         table.note("greedy smaller-moves looks fine on average but admits Ω(n) adversarial ratios (Thm 16 family)");
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn biased_coin_beats_fair_coin_on_sequential_cliques() {
         let ctx = ExperimentContext::new(Scale::Quick, 21);
-        let tables = Ablation.run(&ctx);
+        let tables = Ablation.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         // Collect (policy, ratio) for cliques/sequential at the largest n.
         let mut biased = f64::MAX;

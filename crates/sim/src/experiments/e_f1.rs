@@ -13,6 +13,7 @@ use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
 use crate::experiments::{check, f3, run_label, zip_seeds};
 use crate::table::Table;
@@ -26,33 +27,38 @@ pub struct FigureOne;
 /// Layout: `[X block][spacer][Z block]` in `π0` = identity; `X` =
 /// `{0..x}`, spacer = `{x}`, `Z` = `{x+1..x+1+z}`. Whoever moved ends up
 /// on the far side of the spacer.
-fn x_moved(x: usize, z: usize, seed: u64) -> bool {
+fn x_moved(x: usize, z: usize, seed: u64) -> Result<bool, SimError> {
     let n = x + z + 1;
     let spacer = Node::new(x);
     let pi0 = Permutation::identity(n);
     let mut graph = GraphState::new(Topology::Cliques, n);
     let mut alg = RandCliques::new(pi0, SmallRng::seed_from_u64(seed));
     // Build the X and Z cliques (already contiguous: free).
-    let serve = |graph: &mut GraphState, alg: &mut RandCliques<SmallRng>, a: usize, b: usize| {
+    let serve = |graph: &mut GraphState,
+                 alg: &mut RandCliques<SmallRng>,
+                 a: usize,
+                 b: usize|
+     -> Result<(), SimError> {
         let event = RevealEvent::new(Node::new(a), Node::new(b));
-        let info = graph.apply(event).unwrap();
+        let info = graph.apply(event)?;
         alg.serve(event, &info, graph);
+        Ok(())
     };
     for i in 1..x {
-        serve(&mut graph, &mut alg, 0, i);
+        serve(&mut graph, &mut alg, 0, i)?;
     }
     for i in 1..z {
-        serve(&mut graph, &mut alg, x + 1, x + 1 + i);
+        serve(&mut graph, &mut alg, x + 1, x + 1 + i)?;
     }
     // The merge under test.
-    serve(&mut graph, &mut alg, 0, x + 1);
+    serve(&mut graph, &mut alg, 0, x + 1)?;
     // If X moved right, the spacer now precedes all X nodes.
     let spacer_pos = alg.arrangement().position_of(spacer);
     let x_first = (0..x)
         .map(|i| alg.arrangement().position_of(Node::new(i)))
         .min()
-        .unwrap();
-    spacer_pos < x_first
+        .expect("x >= 1 in every Figure 1 cell");
+    Ok(spacer_pos < x_first)
 }
 
 impl Experiment for FigureOne {
@@ -68,7 +74,7 @@ impl Experiment for FigureOne {
         "Figure 1 (Section 3.1)"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let trials = ctx.pick(1_000, 4_000, 20_000);
         let sizes = [1usize, 2, 4, 8];
         let mut table = Table::new(
@@ -82,12 +88,17 @@ impl Experiment for FigureOne {
             .flat_map(|&x| sizes.iter().map(move |&z| (x, z)))
             .collect();
         let campaign = ctx.campaign("E-F1");
-        let moved_counts = campaign.run(&specs, |&(x, z), seeds| {
+        let moved_counts = campaign.run(&specs, |&(x, z), seeds| -> Result<u64, SimError> {
             let coins = seeds.child_str("coins");
-            (0..trials)
-                .filter(|&trial| x_moved(x, z, coins.seed(trial)))
-                .count() as u64
+            let mut moved = 0u64;
+            for trial in 0..trials {
+                if x_moved(x, z, coins.seed(trial))? {
+                    moved += 1;
+                }
+            }
+            Ok(moved)
         });
+        let moved_counts: Vec<u64> = moved_counts.into_iter().collect::<Result<_, _>>()?;
         for (&(x, z), seeds, &moved) in zip_seeds(&specs, &campaign, &moved_counts) {
             ctx.record(
                 RunRecord::new(
@@ -113,7 +124,7 @@ impl Experiment for FigureOne {
             ]);
         }
         table.note("moving costs: X pays |X|·gap, Z pays |Z|·gap (verified in mla-core tests)");
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -125,7 +136,7 @@ mod tests {
     #[test]
     fn probabilities_match_theory() {
         let ctx = ExperimentContext::new(Scale::Tiny, 1);
-        let tables = FigureOne.run(&ctx);
+        let tables = FigureOne.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "{csv}");
     }
@@ -136,7 +147,7 @@ mod tests {
         let mut any_moved = false;
         let mut any_stayed = false;
         for seed in 0..200 {
-            if x_moved(1, 8, seed) {
+            if x_moved(1, 8, seed).unwrap() {
                 any_moved = true;
             } else {
                 any_stayed = true;

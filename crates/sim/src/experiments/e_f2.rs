@@ -12,6 +12,7 @@ use mla_graph::ComponentSnapshot;
 use mla_permutation::{Node, Permutation};
 use mla_runner::RunRecord;
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
 use crate::experiments::{check, f3, run_label, zip_seeds};
 use crate::table::Table;
@@ -69,7 +70,7 @@ impl Experiment for FigureTwo {
         "Figure 2 (Section 4.1)"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let (x, z) = (3usize, 2usize);
         let pairs_total = {
             let m = (x + z) as u64;
@@ -157,7 +158,7 @@ impl Experiment for FigureTwo {
             &((x * z + z * (z - 1) / 2).to_string()),
             &drawn.reversed.cost.to_string(),
         ]);
-        vec![table, formula]
+        Ok(vec![table, formula])
     }
 }
 
@@ -169,7 +170,7 @@ mod tests {
     #[test]
     fn all_configurations_sum_to_total_pairs() {
         let ctx = ExperimentContext::new(Scale::Tiny, 0);
-        let tables = FigureTwo.run(&ctx);
+        let tables = FigureTwo.run(&ctx).unwrap();
         assert_eq!(tables.len(), 2);
         assert!(!tables[0].to_csv().contains(",NO\n"));
     }

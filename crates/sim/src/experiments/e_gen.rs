@@ -16,8 +16,9 @@ use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{f2, run_label, worst_by, zip_seeds};
+use crate::experiments::{f2, run_label, try_results, worst_by, zip_seeds};
 use crate::table::Table;
 
 /// The general-graph extension experiment.
@@ -101,7 +102,7 @@ impl Experiment for GeneralGraphs {
         "Section 6 (open question)"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let ns: &[usize] = ctx.pick(&[8][..], &[8, 10, 12][..], &[8, 10, 12, 14][..]);
         let instances = ctx.pick(2, 4, 8);
         let mut table = Table::new(
@@ -130,14 +131,15 @@ impl Experiment for GeneralGraphs {
             let pi0 = Permutation::random(n, &mut rng);
             let mut alg = GeneralDet::new(pi0.clone(), anchor);
             for &(a, b) in &edges {
-                alg.serve(a, b).expect("valid reveal, n <= 14");
+                alg.serve(a, b)
+                    .map_err(|e| SimError::Other(e.to_string()))?;
             }
             // Valid OPT lower bound: any trajectory must end at some
             // exact MinLA of the final graph.
-            let (_, opt_lb, _) =
-                mla_offline::minla_exact_closest(n, alg.state().edges(), &pi0).expect("n <= 14");
-            (alg.total_cost(), opt_lb)
+            let (_, opt_lb, _) = mla_offline::minla_exact_closest(n, alg.state().edges(), &pi0)?;
+            Ok((alg.total_cost(), opt_lb))
         });
+        let results = try_results(results)?;
         for (&(family, n, anchor, inst), seeds, &(cost, opt_lb)) in
             zip_seeds(&specs, &campaign, &results)
         {
@@ -182,7 +184,7 @@ impl Experiment for GeneralGraphs {
         table.note(
             "cycles are hostile to the initial anchor: closing the cycle can force a global flip",
         );
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -194,7 +196,7 @@ mod tests {
     #[test]
     fn runs_and_produces_sane_ratios() {
         let ctx = ExperimentContext::new(Scale::Tiny, 3);
-        let tables = GeneralGraphs.run(&ctx);
+        let tables = GeneralGraphs.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         for line in csv.lines().skip(1) {
             let cells: Vec<&str> = line.split(',').collect();

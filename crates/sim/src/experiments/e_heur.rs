@@ -15,8 +15,9 @@ use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{f3, f4, run_label, zip_seeds};
+use crate::experiments::{f3, f4, run_label, try_results, zip_seeds};
 use crate::stats::OnlineStats;
 use crate::table::Table;
 
@@ -37,7 +38,7 @@ impl Experiment for HeuristicGap {
         "methodology (offline reference quality)"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         // Control the number of multi-node blocks by stopping a pairing
         // workload after `blocks` merges of disjoint pairs.
         let block_counts: &[usize] =
@@ -80,7 +81,7 @@ impl Experiment for HeuristicGap {
             // Keep roughly `blocks` multi-node components: stop the
             // balanced pairing after ~2n/3 merges.
             let keep = (n - blocks).min(full.len());
-            let instance = Instance::new(topology, n, full.events()[..keep].to_vec()).unwrap();
+            let instance = Instance::new(topology, n, full.events()[..keep].to_vec())?;
             let state = instance.final_state();
             let pi0 = Permutation::random(n, &mut rng);
             let exact = closest_feasible(
@@ -93,7 +94,7 @@ impl Experiment for HeuristicGap {
                 },
             );
             let Ok(exact) = exact else {
-                return None; // more blocks than the exact cap; skip
+                return Ok(None); // more blocks than the exact cap; skip
             };
             let heuristic = closest_feasible(
                 &state,
@@ -102,12 +103,12 @@ impl Experiment for HeuristicGap {
                     strategy: LopStrategy::Heuristic,
                     ..LopConfig::default()
                 },
-            )
-            .expect("heuristic always runs");
+            )?;
             debug_assert!(heuristic.distance >= exact.distance);
             let gap = (heuristic.distance - exact.distance) as f64 / exact.distance.max(1) as f64;
-            Some((gap, heuristic.distance == exact.distance))
+            Ok(Some((gap, heuristic.distance == exact.distance)))
         });
+        let results = try_results(results)?;
         for (&(topology, shape, blocks, case), seeds, result) in
             zip_seeds(&specs, &campaign, &results)
         {
@@ -149,7 +150,7 @@ impl Experiment for HeuristicGap {
         }
         table.note("gap = (heuristic − exact)/exact on the closest-feasible distance");
         table.note("small gaps justify heuristic offline references at n > exact range");
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -161,7 +162,7 @@ mod tests {
     #[test]
     fn gaps_are_small_and_nonnegative() {
         let ctx = ExperimentContext::new(Scale::Tiny, 8);
-        let tables = HeuristicGap.run(&ctx);
+        let tables = HeuristicGap.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         for line in csv.lines().skip(1) {
             let cells: Vec<&str> = line.split(',').collect();

@@ -12,6 +12,7 @@ use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
 use crate::experiments::{f4, run_label, trial_chunks};
 use crate::table::Table;
@@ -33,7 +34,7 @@ impl Experiment for LemmaTen {
         "Lemma 10"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let n = ctx.pick(8, 12, 16);
         let trials = ctx.pick(800, 5_000, 20_000);
         let mut rng = SmallRng::seed_from_u64(ctx.seeds().child_str("E-L10/workload").seed(0));
@@ -46,7 +47,7 @@ impl Experiment for LemmaTen {
         {
             let mut state = GraphState::new(instance.topology(), n);
             for (step, &event) in instance.events().iter().enumerate() {
-                state.apply(event).unwrap();
+                state.apply(event)?;
                 for path in state.components() {
                     if path.len() < 2 {
                         continue;
@@ -71,7 +72,7 @@ impl Experiment for LemmaTen {
                     RandLines::new(pi0.clone(), SmallRng::seed_from_u64(coins.seed(trial)));
                 let mut cursor = 0usize;
                 for (step, &event) in instance.events().iter().enumerate() {
-                    let info = state.apply(event).unwrap();
+                    let info = state.apply(event)?;
                     alg.serve(event, &info, &state);
                     while cursor < predicted.len() && predicted[cursor].0 == step {
                         let (_, ref path, _) = predicted[cursor];
@@ -87,8 +88,9 @@ impl Experiment for LemmaTen {
                     }
                 }
             }
-            observed
+            Ok::<_, SimError>(observed)
         });
+        let partials: Vec<Vec<u64>> = partials.into_iter().collect::<Result<_, _>>()?;
         let mut observed = vec![0u64; predicted.len()];
         for (chunk, partial) in chunks.iter().zip(&partials) {
             for (total, count) in observed.iter_mut().zip(partial) {
@@ -134,7 +136,7 @@ impl Experiment for LemmaTen {
             if max_dev <= tolerance { "yes" } else { "NO" },
         ]);
         table.note("Lemma 10: orientation probabilities depend only on pi0");
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -146,7 +148,7 @@ mod tests {
     #[test]
     fn lemma10_holds_within_tolerance() {
         let ctx = ExperimentContext::new(Scale::Tiny, 6);
-        let tables = LemmaTen.run(&ctx);
+        let tables = LemmaTen.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         assert!(csv.contains("within tolerance,yes"), "{csv}");
     }

@@ -14,6 +14,7 @@ use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
 use crate::experiments::{f4, run_label, trial_chunks};
 use crate::table::Table;
@@ -35,7 +36,7 @@ impl Experiment for LemmaThree {
         "Lemma 3"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let n = ctx.pick(8, 12, 16);
         let trials = ctx.pick(800, 5_000, 20_000);
         let mut rng = SmallRng::seed_from_u64(ctx.seeds().child_str("E-L3/workload").seed(0));
@@ -53,7 +54,7 @@ impl Experiment for LemmaThree {
         {
             let mut state = GraphState::new(instance.topology(), n);
             for (step, &event) in instance.events().iter().enumerate() {
-                state.apply(event).unwrap();
+                state.apply(event)?;
                 let components = state.components();
                 for i in 0..components.len() {
                     for j in (i + 1)..components.len() {
@@ -80,7 +81,7 @@ impl Experiment for LemmaThree {
                     RandCliques::new(pi0.clone(), SmallRng::seed_from_u64(coins.seed(trial)));
                 let mut cursor = 0usize;
                 for (step, &event) in instance.events().iter().enumerate() {
-                    let info = state.apply(event).unwrap();
+                    let info = state.apply(event)?;
                     alg.serve(event, &info, &state);
                     while cursor < predicted.len() && predicted[cursor].0 == step {
                         let (_, ref x, ref y, _) = predicted[cursor];
@@ -93,8 +94,9 @@ impl Experiment for LemmaThree {
                     }
                 }
             }
-            observed
+            Ok::<_, SimError>(observed)
         });
+        let partials: Vec<Vec<u64>> = partials.into_iter().collect::<Result<_, _>>()?;
         let mut observed = vec![0u64; predicted.len()];
         for (chunk, partial) in chunks.iter().zip(&partials) {
             for (total, count) in observed.iter_mut().zip(partial) {
@@ -151,7 +153,7 @@ impl Experiment for LemmaThree {
             if max_dev <= tolerance { "yes" } else { "NO" },
         ]);
         table.note("Lemma 3: the distribution depends only on pi0, not on the reveal order");
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -163,7 +165,7 @@ mod tests {
     #[test]
     fn lemma3_holds_within_tolerance() {
         let ctx = ExperimentContext::new(Scale::Tiny, 4);
-        let tables = LemmaThree.run(&ctx);
+        let tables = LemmaThree.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         assert!(csv.contains("within tolerance,yes"), "{csv}");
     }

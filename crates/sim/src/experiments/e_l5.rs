@@ -9,6 +9,7 @@ use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
 use crate::experiments::{f3, run_label, zip_seeds};
 use crate::stats::harmonic;
@@ -85,7 +86,7 @@ impl Experiment for HarmonicLemmas {
         "Lemma 5, Lemma 13"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let campaign = ctx.campaign("E-L5");
         let random_series = ctx.pick(200, 2_000, 10_000);
         // One campaign spec per series family; the random family
@@ -159,7 +160,7 @@ impl Experiment for HarmonicLemmas {
             ]);
         }
         table.note("all-ones achieves LHS/H_S = 1 exactly: Lemma 5 is tight");
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -171,7 +172,7 @@ mod tests {
     #[test]
     fn inequalities_hold_on_all_families() {
         let ctx = ExperimentContext::new(Scale::Tiny, 9);
-        let tables = HarmonicLemmas.run(&ctx);
+        let tables = HarmonicLemmas.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "{csv}");
     }

@@ -17,8 +17,9 @@ use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{check, run_label, zip_seeds};
+use crate::experiments::{check, run_label, try_results, zip_seeds};
 use crate::table::Table;
 
 /// The offline-solver cross-check.
@@ -67,7 +68,7 @@ impl Experiment for OptCrossCheck {
         "Observation 7 (and the model's MinLA characterization)"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let cases = ctx.pick(5, 20, 60);
         let mut table = Table::new(
             "E-OPT: solver agreement over random instances",
@@ -85,56 +86,62 @@ impl Experiment for OptCrossCheck {
             .flat_map(|check_idx| (0..cases).map(move |case| (check_idx, case)))
             .collect();
         let campaign = ctx.campaign("E-OPT");
-        let agreements = campaign.run(&specs, |&(check_idx, case), seeds| {
-            let mut rng = SmallRng::seed_from_u64(seeds.child_str("instance").seed(0));
-            match check_idx {
-                // 1. Closed forms vs exact subset DP.
-                0 => {
-                    let n = 8 + (case % 5);
-                    let instance = if case % 2 == 0 {
-                        random_clique_instance(n, MergeShape::Uniform, &mut rng)
-                    } else {
-                        random_line_instance(n, MergeShape::Uniform, &mut rng)
-                    };
-                    // Truncate to keep several components.
-                    let events = instance.events()[..n / 2].to_vec();
-                    let truncated = Instance::new(instance.topology(), n, events).unwrap();
-                    let state = truncated.final_state();
-                    let (exact, _) = minla_exact(n, &state.edges()).expect("n <= 12");
-                    exact == state.minla_value()
-                }
-                // 2. closest_feasible vs brute force (n <= 7).
-                1 => {
-                    let n = 6 + (case % 2);
-                    let instance = if case % 2 == 0 {
-                        random_clique_instance(n, MergeShape::Uniform, &mut rng)
-                    } else {
-                        random_line_instance(n, MergeShape::Uniform, &mut rng)
-                    };
-                    let events = instance.events()[..n / 2].to_vec();
-                    let truncated = Instance::new(instance.topology(), n, events).unwrap();
-                    let state = truncated.final_state();
-                    let pi0 = Permutation::random(n, &mut rng);
-                    let placement = closest_feasible(&state, &pi0, &LopConfig::default()).unwrap();
-                    placement.exact && placement.distance == brute_force_delta(&state, &pi0)
-                }
-                // 3. Clique OPT sandwich and step-wise feasibility of the
-                //    upper bound's permutation.
-                _ => {
-                    let n = 8 + (case % 5);
-                    let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
-                    let pi0 = Permutation::random(n, &mut rng);
-                    let bounds = offline_optimum(&instance, &pi0, &LopConfig::default()).unwrap();
-                    let mut replay = GraphState::new(Topology::Cliques, n);
-                    let mut feasible = replay.is_minla(&bounds.upper_perm);
-                    for &event in instance.events() {
-                        replay.apply(event).unwrap();
-                        feasible &= replay.is_minla(&bounds.upper_perm);
+        let agreements =
+            campaign.run(
+                &specs,
+                |&(check_idx, case), seeds| -> Result<bool, SimError> {
+                    let mut rng = SmallRng::seed_from_u64(seeds.child_str("instance").seed(0));
+                    match check_idx {
+                        // 1. Closed forms vs exact subset DP.
+                        0 => {
+                            let n = 8 + (case % 5);
+                            let instance = if case % 2 == 0 {
+                                random_clique_instance(n, MergeShape::Uniform, &mut rng)
+                            } else {
+                                random_line_instance(n, MergeShape::Uniform, &mut rng)
+                            };
+                            // Truncate to keep several components.
+                            let events = instance.events()[..n / 2].to_vec();
+                            let truncated = Instance::new(instance.topology(), n, events)?;
+                            let state = truncated.final_state();
+                            let (exact, _) = minla_exact(n, &state.edges())?;
+                            Ok(u128::from(exact) == state.minla_value())
+                        }
+                        // 2. closest_feasible vs brute force (n <= 7).
+                        1 => {
+                            let n = 6 + (case % 2);
+                            let instance = if case % 2 == 0 {
+                                random_clique_instance(n, MergeShape::Uniform, &mut rng)
+                            } else {
+                                random_line_instance(n, MergeShape::Uniform, &mut rng)
+                            };
+                            let events = instance.events()[..n / 2].to_vec();
+                            let truncated = Instance::new(instance.topology(), n, events)?;
+                            let state = truncated.final_state();
+                            let pi0 = Permutation::random(n, &mut rng);
+                            let placement = closest_feasible(&state, &pi0, &LopConfig::default())?;
+                            Ok(placement.exact
+                                && placement.distance == brute_force_delta(&state, &pi0))
+                        }
+                        // 3. Clique OPT sandwich and step-wise feasibility of the
+                        //    upper bound's permutation.
+                        _ => {
+                            let n = 8 + (case % 5);
+                            let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+                            let pi0 = Permutation::random(n, &mut rng);
+                            let bounds = offline_optimum(&instance, &pi0, &LopConfig::default())?;
+                            let mut replay = GraphState::new(Topology::Cliques, n);
+                            let mut feasible = replay.is_minla(&bounds.upper_perm);
+                            for &event in instance.events() {
+                                replay.apply(event)?;
+                                feasible &= replay.is_minla(&bounds.upper_perm);
+                            }
+                            Ok(bounds.lower <= bounds.upper && feasible)
+                        }
                     }
-                    bounds.lower <= bounds.upper && feasible
-                }
-            }
-        });
+                },
+            );
+        let agreements = try_results(agreements)?;
         for (&(check_idx, case), seeds, &ok) in zip_seeds(&specs, &campaign, &agreements) {
             // Mirror each check's own case-index → n mapping.
             let n = match check_idx {
@@ -159,7 +166,7 @@ impl Experiment for OptCrossCheck {
             ]);
         }
         table.note("see also the property tests in mla-offline and tests/ for deeper coverage");
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -171,7 +178,7 @@ mod tests {
     #[test]
     fn all_cross_checks_pass() {
         let ctx = ExperimentContext::new(Scale::Tiny, 12);
-        let tables = OptCrossCheck.run(&ctx);
+        let tables = OptCrossCheck.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "{csv}");
     }

@@ -1,31 +1,82 @@
 //! `E-SCALE`: the large-`n` workload regime opened by the segment-based
-//! arrangement backend.
+//! arrangement backend and the streaming reveal pipeline.
 //!
 //! For each `n` the experiment runs the paper's randomized algorithms on
-//! random full-merge workloads with the [`SegmentArrangement`] backend —
-//! `O(log n)` splices per merge — and, up to a dense cap, replays the
-//! identical run on the dense [`Permutation`] backend to assert
-//! bit-identical total costs and final arrangements. The table is fully
-//! deterministic (costs and equality checks only); wall-clock comparisons
-//! live in `benches/arrangement.rs` and its `BENCH_arrangement.json`
-//! artifact.
+//! **streamed** random full-merge workloads — each campaign job builds a
+//! [`StreamingWorkload`] straight from its [`SeedSequence`]; no
+//! `Instance` (and no event vector) is ever materialized — with the
+//! [`SegmentArrangement`] backend, `O(log n)` splices per merge. Up to a
+//! dense cap the job then *restarts* the identical source and replays the
+//! run on the dense [`Permutation`] backend, asserting bit-identical
+//! total costs. The table is fully deterministic (costs and equality
+//! checks only); wall-clock comparisons live in `benches/arrangement.rs`
+//! and the `--scale` smoke path's `BENCH_scale.json` artifact.
+//!
+//! [`SeedSequence`]: mla_runner::SeedSequence
 
-use mla_adversary::{random_clique_instance, random_line_instance, MergeShape};
+use mla_adversary::{MergeShape, StreamingWorkload};
 use mla_core::{RandCliques, RandLines};
-use mla_graph::Topology;
+use mla_graph::{RevealSource, Topology};
 use mla_permutation::{Permutation, SegmentArrangement};
 use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::engine::Simulation;
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{check, run_label, zip_seeds};
+use crate::experiments::{check, run_label, try_results, zip_seeds};
 use crate::table::Table;
 
 /// The scaling demonstration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Scaling;
+
+/// One streamed run: `algorithm × backend` selected by the `dense` flag.
+/// The engine gets a fresh source built from the workload's seed, so a
+/// dense replay sees the identical sequence without cloning anything; the
+/// outcome is reduced to its total cost, so per-event recording stays off
+/// — this experiment's memory is the `O(n)` engine + generator state.
+fn run_streamed(workload: &StreamingWorkload, coin: u64, dense: bool) -> Result<u128, SimError> {
+    let n = workload.n();
+    let topology = workload.topology();
+    let source = StreamingWorkload::new(topology, n, workload.shape(), workload.seed());
+    let outcome = match (topology, dense) {
+        (Topology::Cliques, false) => Simulation::from_source(
+            source,
+            RandCliques::new(
+                SegmentArrangement::identity(n),
+                SmallRng::seed_from_u64(coin),
+            ),
+        )
+        .check_feasibility(true)
+        .record_events(false)
+        .run()?,
+        (Topology::Lines, false) => Simulation::from_source(
+            source,
+            RandLines::new(
+                SegmentArrangement::identity(n),
+                SmallRng::seed_from_u64(coin),
+            ),
+        )
+        .check_feasibility(true)
+        .record_events(false)
+        .run()?,
+        (Topology::Cliques, true) => Simulation::from_source(
+            source,
+            RandCliques::new(Permutation::identity(n), SmallRng::seed_from_u64(coin)),
+        )
+        .record_events(false)
+        .run()?,
+        (Topology::Lines, true) => Simulation::from_source(
+            source,
+            RandLines::new(Permutation::identity(n), SmallRng::seed_from_u64(coin)),
+        )
+        .record_events(false)
+        .run()?,
+    };
+    Ok(outcome.total_cost)
+}
 
 impl Experiment for Scaling {
     fn id(&self) -> &'static str {
@@ -33,14 +84,14 @@ impl Experiment for Scaling {
     }
 
     fn title(&self) -> &'static str {
-        "Segment backend at large n: identical costs, O(log n) updates"
+        "Streaming reveals at large n: identical costs, O(log n) updates"
     }
 
     fn paper_ref(&self) -> &'static str {
         "beyond the paper (ROADMAP)"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let ns: &[usize] = ctx.pick(
             &[256, 512][..],
             &[1_000, 10_000, 100_000][..],
@@ -56,62 +107,20 @@ impl Experiment for Scaling {
             .flat_map(|&n| [(n, Topology::Cliques), (n, Topology::Lines)])
             .collect();
         let results = campaign.run(&specs, |&(n, topology), seeds| {
-            let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
-            let instance = match topology {
-                Topology::Cliques => random_clique_instance(n, MergeShape::Uniform, &mut rng),
-                Topology::Lines => random_line_instance(n, MergeShape::Uniform, &mut rng),
-            };
+            // The workload never materializes: the source is rebuilt from
+            // the derived seed for every backend replay.
+            let workload_seed = seeds.child_str("workload").seed(0);
+            let source = StreamingWorkload::new(topology, n, MergeShape::Uniform, workload_seed);
             let coin = seeds.child_str("coins").seed(0);
-            let segment_cost = match topology {
-                Topology::Cliques => {
-                    Simulation::new(
-                        instance.clone(),
-                        RandCliques::new(
-                            SegmentArrangement::identity(n),
-                            SmallRng::seed_from_u64(coin),
-                        ),
-                    )
-                    .check_feasibility(true)
-                    .run()
-                    .expect("valid instance")
-                    .total_cost
-                }
-                Topology::Lines => {
-                    Simulation::new(
-                        instance.clone(),
-                        RandLines::new(
-                            SegmentArrangement::identity(n),
-                            SmallRng::seed_from_u64(coin),
-                        ),
-                    )
-                    .check_feasibility(true)
-                    .run()
-                    .expect("valid instance")
-                    .total_cost
-                }
+            let segment_cost = run_streamed(&source, coin, false)?;
+            let dense_cost = if n <= dense_cap {
+                Some(run_streamed(&source, coin, true)?)
+            } else {
+                None
             };
-            let dense_cost = (n <= dense_cap).then(|| match topology {
-                Topology::Cliques => {
-                    Simulation::new(
-                        instance.clone(),
-                        RandCliques::new(Permutation::identity(n), SmallRng::seed_from_u64(coin)),
-                    )
-                    .run()
-                    .expect("valid instance")
-                    .total_cost
-                }
-                Topology::Lines => {
-                    Simulation::new(
-                        instance,
-                        RandLines::new(Permutation::identity(n), SmallRng::seed_from_u64(coin)),
-                    )
-                    .run()
-                    .expect("valid instance")
-                    .total_cost
-                }
-            });
-            (segment_cost, dense_cost)
+            Ok((segment_cost, dense_cost))
         });
+        let results = try_results(results)?;
 
         for (&(n, topology), seeds, &(segment_cost, dense_cost)) in
             zip_seeds(&specs, &campaign, &results)
@@ -132,7 +141,7 @@ impl Experiment for Scaling {
         }
 
         let mut table = Table::new(
-            "E-SCALE: segment backend total cost (dense replay where run)",
+            "E-SCALE: streamed reveals, segment backend total cost (dense replay where run)",
             &["n", "topology", "cost(segment)", "cost(dense)", "match"],
         );
         for (&(n, topology), &(segment_cost, dense_cost)) in specs.iter().zip(&results) {
@@ -144,9 +153,12 @@ impl Experiment for Scaling {
                 dense_cost.map_or("-", |c| check(c == segment_cost)),
             ]);
         }
+        table.note(
+            "reveals are streamed per merge (no event vector); replays restart the seeded source",
+        );
         table.note("identical coin seeds: both backends must report identical total costs");
-        table.note("per-op timings: benches/arrangement.rs (BENCH_arrangement.json)");
-        vec![table]
+        table.note("per-op timings: benches/arrangement.rs (BENCH_arrangement.json) and --scale (BENCH_scale.json)");
+        Ok(vec![table])
     }
 }
 
@@ -158,7 +170,7 @@ mod tests {
     #[test]
     fn tiny_run_matches_backends() {
         let ctx = ExperimentContext::new(Scale::Tiny, 11);
-        let tables = Scaling.run(&ctx);
+        let tables = Scaling.run(&ctx).unwrap();
         assert_eq!(tables.len(), 1);
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "backend mismatch:\n{csv}");
@@ -166,5 +178,26 @@ mod tests {
             csv.contains(",yes\n"),
             "dense replay must run at tiny n:\n{csv}"
         );
+    }
+
+    #[test]
+    fn streamed_run_matches_materialized_instance_run() {
+        // The streaming path must be observably identical to the old
+        // materialized path: same events, same outcome.
+        use mla_adversary::random_clique_instance;
+        let n = 96;
+        let seed = 0x5CA1E;
+        let source = StreamingWorkload::new(Topology::Cliques, n, MergeShape::Uniform, seed);
+        let streamed_cost = run_streamed(&source, 42, false).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+        let materialized = Simulation::new(
+            instance,
+            RandCliques::new(SegmentArrangement::identity(n), SmallRng::seed_from_u64(42)),
+        )
+        .check_feasibility(true)
+        .run()
+        .unwrap();
+        assert_eq!(streamed_cost, materialized.total_cost);
     }
 }

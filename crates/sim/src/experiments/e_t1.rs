@@ -16,8 +16,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::engine::Simulation;
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{check, f2, run_label, worst_by, zip_seeds};
+use crate::experiments::{check, f2, run_label, try_results, worst_by, zip_seeds};
 use crate::table::Table;
 
 /// The Theorem 1 reproduction.
@@ -37,7 +38,7 @@ impl Experiment for TheoremOne {
         "Theorem 1"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let ns: &[usize] = ctx.pick(&[8, 12][..], &[8, 12, 16, 20][..], &[8, 12, 16, 20, 24][..]);
         let instances_per_cell = ctx.pick(2, 5, 10);
         let campaign = ctx.campaign("E-T1");
@@ -67,16 +68,16 @@ impl Experiment for TheoremOne {
             };
             // Truncate to keep several final components.
             let events = full.events()[..n / 2].to_vec();
-            let instance = Instance::new(topology, n, events).expect("truncated prefix is valid");
+            let instance = Instance::new(topology, n, events)?;
             let pi0 = Permutation::random(n, &mut rng);
-            let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("sizes match");
+            let opt = offline_optimum(&instance, &pi0, &LopConfig::default())?;
             let alg = DetClosest::new(pi0, LopConfig::default());
             let outcome = Simulation::new(instance, alg)
                 .check_feasibility(true)
-                .run()
-                .expect("Det run is feasible");
-            (outcome.total_cost, opt.lower, opt.upper)
+                .run()?;
+            Ok((outcome.total_cost, opt.lower, opt.upper))
         });
+        let results = try_results(results)?;
         for (&(n, topology, inst), seeds, &(cost, lo, hi)) in zip_seeds(&specs, &campaign, &results)
         {
             ctx.record(
@@ -109,7 +110,7 @@ impl Experiment for TheoremOne {
         table.note(
             "Det stays far below its worst case on random workloads (Thm 16 probes the worst case)",
         );
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -121,7 +122,7 @@ mod tests {
     #[test]
     fn tiny_run_respects_the_bound() {
         let ctx = ExperimentContext::new(Scale::Tiny, 3);
-        let tables = TheoremOne.run(&ctx);
+        let tables = TheoremOne.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "bound violated:\n{csv}");
     }

@@ -16,8 +16,9 @@ use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{expected_cost, f2, f3, run_label, zip_seeds};
+use crate::experiments::{expected_cost, f2, f3, run_label, try_results, zip_seeds};
 use crate::stats::{harmonic, OnlineStats};
 use crate::table::Table;
 
@@ -38,7 +39,7 @@ impl Experiment for TheoremFifteen {
         "Theorem 15"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let qs: &[u32] = ctx.pick(
             &[3, 4][..],
             &[3, 4, 5, 6, 7][..],
@@ -61,17 +62,17 @@ impl Experiment for TheoremFifteen {
             let mut rng = SmallRng::seed_from_u64(seeds.child_str("tree").seed(0));
             let adversary = BinaryTreeAdversary::sample(q, Topology::Lines, &mut rng);
             let pi0 = Permutation::identity(n);
-            let opt = offline_optimum(adversary.instance(), &pi0, &LopConfig::default())
-                .expect("sizes match");
+            let opt = offline_optimum(adversary.instance(), &pi0, &LopConfig::default())?;
             let opt_value = opt.upper.max(1);
             let stats = expected_cost(
                 adversary.instance(),
                 trials,
                 seeds.child_str("coins"),
                 |seed| RandLines::new(pi0.clone(), SmallRng::seed_from_u64(seed)),
-            );
-            (stats.mean(), opt_value)
+            )?;
+            Ok((stats.mean(), opt_value))
         });
+        let results = try_results(results)?;
         for (&(q, sample), seeds, &(mean, opt_value)) in zip_seeds(&specs, &campaign, &results) {
             ctx.record(
                 RunRecord::new(
@@ -124,17 +125,19 @@ impl Experiment for TheoremFifteen {
                     adversary.instance().clone(),
                     RandLines::new(pi0.clone(), SmallRng::seed_from_u64(coins.seed(trial))),
                 )
-                .run()
-                .expect("valid instance");
-                (0..adversary.levels())
-                    .map(|level| {
-                        outcome.per_event[adversary.level_range(level)]
-                            .iter()
-                            .map(mla_core::UpdateReport::total)
-                            .sum::<u64>()
-                    })
-                    .collect::<Vec<u64>>()
+                .run()?;
+                Ok::<_, SimError>(
+                    (0..adversary.levels())
+                        .map(|level| {
+                            outcome.per_event[adversary.level_range(level)]
+                                .iter()
+                                .map(mla_core::UpdateReport::total)
+                                .sum::<u64>()
+                        })
+                        .collect::<Vec<u64>>(),
+                )
             });
+        let level_costs = try_results(level_costs)?;
         let mut per_level = vec![OnlineStats::new(); adversary.levels()];
         for costs in &level_costs {
             for (stats, &cost) in per_level.iter_mut().zip(costs) {
@@ -167,7 +170,7 @@ impl Experiment for TheoremFifteen {
         }
         levels.note("the proof charges ≥ n²/8 per level to ANY algorithm (up to constants)");
         levels.note("upper levels merge huge components: few requests, each expensive");
-        vec![table, levels]
+        Ok(vec![table, levels])
     }
 }
 
@@ -179,7 +182,7 @@ mod tests {
     #[test]
     fn ratio_grows_with_n_and_respects_upper_bound() {
         let ctx = ExperimentContext::new(Scale::Quick, 2);
-        let tables = TheoremFifteen.run(&ctx);
+        let tables = TheoremFifteen.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         let rows: Vec<Vec<f64>> = csv
             .lines()

@@ -15,8 +15,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::engine::Simulation;
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{expected_cost, f2, f3, run_label, zip_seeds};
+use crate::experiments::{expected_cost, f2, f3, run_label, try_results, zip_seeds};
 use crate::table::Table;
 
 /// The Theorem 16 reproduction.
@@ -36,7 +37,7 @@ impl Experiment for TheoremSixteen {
         "Theorem 16 (with Theorem 8 as contrast)"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let ns: &[usize] = ctx.pick(
             &[9, 17][..],
             &[9, 17, 33, 65, 129][..],
@@ -66,20 +67,18 @@ impl Experiment for TheoremSixteen {
             let det = DetClosest::new(pi0.clone(), LopConfig::default());
             let outcome = Simulation::with_adversary(Box::new(adversary), det)
                 .check_feasibility(true)
-                .run()
-                .expect("Det run is feasible");
+                .run()?;
             // The recorded sequence, as an oblivious instance.
-            let instance = outcome
-                .to_instance(Topology::Lines, n)
-                .expect("served events replay cleanly");
-            let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("sizes match");
+            let instance = outcome.to_instance(Topology::Lines, n)?;
+            let opt = offline_optimum(&instance, &pi0, &LopConfig::default())?;
             let opt_value = opt.upper.max(1);
             // Rand on the same (recorded) sequence.
             let rand_stats = expected_cost(&instance, trials, seeds.child_str("coins"), |seed| {
                 RandLines::new(pi0.clone(), SmallRng::seed_from_u64(seed))
-            });
-            (outcome.total_cost, opt_value, rand_stats.mean())
+            })?;
+            Ok((outcome.total_cost, opt_value, rand_stats.mean()))
         });
+        let results = try_results(results)?;
         for (&n, seeds, &(det_cost, opt_value, rand_mean)) in zip_seeds(ns, &campaign, &results) {
             ctx.record(
                 RunRecord::new(run_label("adaptive-line", "Det+Rand", n, 0), seeds.key())
@@ -102,7 +101,7 @@ impl Experiment for TheoremSixteen {
         }
         table.note("det-ratio/n roughly flat => Det is Θ(n)-competitive here (Thm 16 tight)");
         table.note("rand-ratio/ln n roughly flat => Rand stays logarithmic on the same sequence");
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -114,7 +113,7 @@ mod tests {
     #[test]
     fn det_ratio_grows_with_n() {
         let ctx = ExperimentContext::new(Scale::Quick, 5);
-        let tables = TheoremSixteen.run(&ctx);
+        let tables = TheoremSixteen.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         let rows: Vec<Vec<f64>> = csv
             .lines()

@@ -15,8 +15,9 @@ use mla_runner::RunRecord;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{check, expected_cost, f2, run_label, worst_by, zip_seeds};
+use crate::experiments::{check, expected_cost, f2, run_label, try_results, worst_by, zip_seeds};
 use crate::stats::harmonic;
 use crate::table::Table;
 
@@ -37,7 +38,7 @@ impl Experiment for TheoremTwo {
         "Theorem 2 (+ Theorem 6)"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let ns: &[usize] = ctx.pick(
             &[16, 32][..],
             &[16, 32, 64, 128, 256][..],
@@ -66,14 +67,15 @@ impl Experiment for TheoremTwo {
             let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
             let instance = random_clique_instance(n, shape, &mut rng);
             let pi0 = Permutation::random(n, &mut rng);
-            let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("sizes match");
+            let opt = offline_optimum(&instance, &pi0, &LopConfig::default())?;
             // Achievable feasible-at-every-step reference.
             let reference = opt.upper.max(1);
             let stats = expected_cost(&instance, trials, seeds.child_str("coins"), |seed| {
                 RandCliques::new(pi0.clone(), SmallRng::seed_from_u64(seed))
-            });
-            (stats.mean(), stats.ci95(), reference)
+            })?;
+            Ok((stats.mean(), stats.ci95(), reference))
         });
+        let results = try_results(results)?;
         for (&(n, shape, inst), seeds, &(mean, ci, reference)) in
             zip_seeds(&specs, &campaign, &results)
         {
@@ -112,7 +114,7 @@ impl Experiment for TheoremTwo {
         }
         table.note("ratio = worst instance's E[cost] / d(pi0, merge-tree-consistent optimum)");
         table.note("paper shape: ratio grows logarithmically and stays below 4 ln n");
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -124,7 +126,7 @@ mod tests {
     #[test]
     fn tiny_run_respects_the_bound() {
         let ctx = ExperimentContext::new(Scale::Tiny, 7);
-        let tables = TheoremTwo.run(&ctx);
+        let tables = TheoremTwo.run(&ctx).unwrap();
         assert_eq!(tables.len(), 1);
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "bound violated:\n{csv}");

@@ -15,8 +15,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::engine::Simulation;
+use crate::error::SimError;
 use crate::experiment::{Experiment, ExperimentContext};
-use crate::experiments::{check, f2, run_label, worst_by, zip_seeds};
+use crate::experiments::{check, f2, run_label, try_results, worst_by, zip_seeds};
 use crate::stats::{harmonic, OnlineStats};
 use crate::table::Table;
 
@@ -37,7 +38,7 @@ impl Experiment for TheoremEight {
         "Theorem 8 (+ Theorem 14)"
     }
 
-    fn run(&self, ctx: &ExperimentContext) -> Vec<Table> {
+    fn run(&self, ctx: &ExperimentContext) -> Result<Vec<Table>, SimError> {
         let ns: &[usize] = ctx.pick(
             &[16, 32][..],
             &[16, 32, 64, 128, 256][..],
@@ -64,7 +65,7 @@ impl Experiment for TheoremEight {
             let mut rng = SmallRng::seed_from_u64(seeds.child_str("workload").seed(0));
             let instance = random_line_instance(n, shape, &mut rng);
             let pi0 = Permutation::random(n, &mut rng);
-            let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("sizes match");
+            let opt = offline_optimum(&instance, &pi0, &LopConfig::default())?;
             let reference = opt.upper.max(1);
             let coins = seeds.child_str("coins");
             let mut moving = OnlineStats::new();
@@ -72,15 +73,14 @@ impl Experiment for TheoremEight {
             let mut total = OnlineStats::new();
             for trial in 0..trials {
                 let alg = RandLines::new(pi0.clone(), SmallRng::seed_from_u64(coins.seed(trial)));
-                let outcome = Simulation::new(instance.clone(), alg)
-                    .run()
-                    .expect("validated instance");
+                let outcome = Simulation::new(instance.clone(), alg).run()?;
                 moving.push(outcome.moving_cost as f64);
                 rearranging.push(outcome.rearranging_cost as f64);
                 total.push(outcome.total_cost as f64);
             }
-            (moving.mean(), rearranging.mean(), total.mean(), reference)
+            Ok((moving.mean(), rearranging.mean(), total.mean(), reference))
         });
+        let results = try_results(results)?;
         for (&(n, shape, inst), seeds, &(mv, re, tot, reference)) in
             zip_seeds(&specs, &campaign, &results)
         {
@@ -121,7 +121,7 @@ impl Experiment for TheoremEight {
         }
         table.note("opt is the exact line optimum (Observation 7 is tight for lines)");
         table.note("paper shape: ratio grows logarithmically and stays below 8 ln n");
-        vec![table]
+        Ok(vec![table])
     }
 }
 
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn tiny_run_respects_the_bound() {
         let ctx = ExperimentContext::new(Scale::Tiny, 11);
-        let tables = TheoremEight.run(&ctx);
+        let tables = TheoremEight.run(&ctx).unwrap();
         let csv = tables[0].to_csv();
         assert!(!csv.contains(",NO\n"), "bound violated:\n{csv}");
     }

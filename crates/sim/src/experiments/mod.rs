@@ -22,6 +22,7 @@ use mla_graph::Instance;
 use mla_runner::{Campaign, RunSpec, SeedSequence};
 
 use crate::engine::Simulation;
+use crate::error::SimError;
 use crate::stats::OnlineStats;
 
 /// Estimates the expected total cost of a randomized algorithm on a fixed
@@ -36,19 +37,23 @@ pub(crate) fn expected_cost<A, F>(
     trials: u64,
     coins: SeedSequence,
     make: F,
-) -> OnlineStats
+) -> Result<OnlineStats, SimError>
 where
     A: OnlineMinla,
     F: Fn(u64) -> A,
 {
     let mut stats = OnlineStats::new();
     for trial in 0..trials {
-        let outcome = Simulation::new(instance.clone(), make(coins.seed(trial)))
-            .run()
-            .expect("validated instance runs cleanly");
+        let outcome = Simulation::new(instance.clone(), make(coins.seed(trial))).run()?;
         stats.push(outcome.total_cost as f64);
     }
-    stats
+    Ok(stats)
+}
+
+/// Collects campaign job results, surfacing the first error — the
+/// standard epilogue of a fallible campaign (`Vec<Result<T>>` → `Vec<T>`).
+pub(crate) fn try_results<T>(results: Vec<Result<T, SimError>>) -> Result<Vec<T>, SimError> {
+    results.into_iter().collect()
 }
 
 /// Zips campaign specs with each job's derived seed sequence and result —

@@ -43,7 +43,7 @@ fn main() {
         "{:<22} {:>12} {:>10}  note",
         "strategy", "migrations", "vs offline"
     );
-    let show = |name: &str, cost: u64, note: &str| {
+    let show = |name: &str, cost: u128, note: &str| {
         println!(
             "{:<22} {:>12} {:>10.2}  {note}",
             name,
@@ -65,7 +65,7 @@ fn main() {
     let summary = Summary::of(&costs);
     show(
         "rand (paper)",
-        summary.mean as u64,
+        summary.mean as u128,
         "E[cost] over 50 coin seeds",
     );
 
@@ -84,7 +84,7 @@ fn main() {
                 .total_cost as f64,
         );
     }
-    show("fair coin (ablation)", fair.mean() as u64, "ignores sizes");
+    show("fair coin (ablation)", fair.mean() as u128, "ignores sizes");
 
     // Deterministic greedy: smaller cluster always migrates.
     let greedy = RandCliques::with_policy(

@@ -59,6 +59,6 @@ fn main() {
     );
 
     // The trajectory end-to-end distance never exceeds the paid cost.
-    assert!(pi0.kendall_distance(&outcome.final_perm) <= outcome.total_cost);
+    assert!(u128::from(pi0.kendall_distance(&outcome.final_perm)) <= outcome.total_cost);
     println!("final arrangement: {}", outcome.final_perm);
 }

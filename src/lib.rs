@@ -41,7 +41,7 @@
 //!
 //! let opt = offline_optimum(&instance, &pi0, &LopConfig::default()).expect("solvable");
 //! assert!(outcome.total_cost <= 1000); // small instance, tiny cost
-//! assert!(opt.lower <= outcome.total_cost.max(1));
+//! assert!(u128::from(opt.lower) <= outcome.total_cost.max(1));
 //! ```
 
 pub use mla_adversary as adversary;
@@ -58,12 +58,15 @@ pub mod prelude {
     pub use mla_adversary::{
         datacenter_instance, random_clique_instance, random_line_instance, Adversary,
         BinaryTreeAdversary, DatacenterConfig, DetLineAdversary, MergeShape, Oblivious,
+        SourceAdversary, StreamingWorkload,
     };
     pub use mla_core::{
         DetClosest, MovePolicy, OnlineMinla, OptReplay, RandCliques, RandLines, RearrangePolicy,
         UpdateReport,
     };
-    pub use mla_graph::{GraphState, Instance, MergeInfo, RevealEvent, Topology};
+    pub use mla_graph::{
+        GraphState, Instance, InstanceSource, MergeInfo, RevealEvent, RevealSource, Topology,
+    };
     pub use mla_offline::{closest_feasible, offline_optimum, LopConfig, LopStrategy, OptBounds};
     pub use mla_permutation::{Arrangement, Node, Permutation, SegmentArrangement};
     pub use mla_runner::{ArtifactStore, Campaign, CampaignReport, RunSink, SeedSequence};

@@ -91,7 +91,7 @@ fn theorem1_det_cost_bound() {
                 .check_feasibility(true)
                 .run()
                 .unwrap();
-            let bound = (2 * n - 2) as u64 * bounds.upper;
+            let bound = u128::from((2 * n - 2) as u64 * bounds.upper);
             assert!(
                 outcome.total_cost <= bound,
                 "Theorem 1 violated: cost {} > (2n-2)·opt {} ({topology}, seed {seed})",
@@ -121,7 +121,7 @@ fn observation7_opt_lower_bound_is_respected_by_every_algorithm() {
         .run()
         .unwrap();
         assert!(
-            outcome.total_cost >= bounds.lower,
+            outcome.total_cost >= u128::from(bounds.lower),
             "no run can pay less than Δ* = {}",
             bounds.lower
         );
@@ -145,7 +145,7 @@ fn rand_beats_det_on_the_adversarial_family() {
         RandLines::new(pi0.clone(), SmallRng::seed_from_u64(trial))
     });
     assert!(
-        (rand_mean as u64) * 4 < det_outcome.total_cost,
+        u128::from(rand_mean as u64) * 4 < det_outcome.total_cost,
         "Rand ({rand_mean:.0}) should be far cheaper than Det ({}) at n = {n}",
         det_outcome.total_cost
     );

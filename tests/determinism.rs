@@ -170,6 +170,7 @@ fn run_experiment_with_sink(id: &str, threads: usize) -> (Vec<TableData>, Vec<Ru
     let tables = find_experiment(id)
         .expect("known experiment id")
         .run(&ctx)
+        .expect("experiment runs cleanly")
         .iter()
         .map(mla::sim::Table::to_artifact)
         .collect();

@@ -108,8 +108,11 @@ fn opt_replay_validates_upper_bound_trajectories() {
                 .check_feasibility(true)
                 .run()
                 .expect("upper-bound trajectory must be feasible throughout");
-            assert_eq!(outcome.total_cost, bounds.upper);
-            assert_eq!(outcome.total_cost, pi0.kendall_distance(&bounds.upper_perm));
+            assert_eq!(outcome.total_cost, u128::from(bounds.upper));
+            assert_eq!(
+                outcome.total_cost,
+                u128::from(pi0.kendall_distance(&bounds.upper_perm))
+            );
         }
     }
 }

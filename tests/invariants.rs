@@ -22,7 +22,11 @@ fn assert_clean_run<A: OnlineMinla>(instance: Instance, algorithm: A) {
         .check_feasibility(true)
         .run()
         .expect("run must maintain the MinLA invariant");
-    let per_event_total: u64 = outcome.per_event.iter().map(UpdateReport::total).sum();
+    let per_event_total: u128 = outcome
+        .per_event
+        .iter()
+        .map(|r| u128::from(r.total()))
+        .sum();
     assert_eq!(outcome.total_cost, per_event_total);
 }
 

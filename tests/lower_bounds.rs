@@ -8,7 +8,7 @@ use rand::SeedableRng;
 
 /// Runs Det against the adaptive Theorem 16 adversary; returns
 /// (det cost, exact offline upper bound of the recorded sequence).
-fn det_vs_adversary(n: usize, topology: Topology) -> (u64, u64) {
+fn det_vs_adversary(n: usize, topology: Topology) -> (u128, u64) {
     let pi0 = Permutation::identity(n);
     let adversary = DetLineAdversary::new(pi0.clone(), topology);
     let det = DetClosest::new(pi0.clone(), LopConfig::default());
@@ -31,7 +31,7 @@ fn theorem16_det_cost_is_quadratic_on_lines() {
     // The construction is exactly tight: Det pays C(n-1, 2).
     for n in [9usize, 17, 33, 65] {
         let (cost, opt) = det_vs_adversary(n, Topology::Lines);
-        let expected = ((n - 1) * (n - 2) / 2) as u64;
+        let expected = ((n - 1) * (n - 2) / 2) as u128;
         assert_eq!(cost, expected, "Det cost at n = {n}");
         assert!(opt <= n as u64, "opt stays linear at n = {n}");
         let ratio = cost as f64 / opt as f64;

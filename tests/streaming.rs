@@ -1,0 +1,289 @@
+//! Streaming-pipeline equivalence: the streamed generator and the
+//! materialized generator must produce **identical** event sequences and
+//! **identical** [`RunOutcome`]s — for every algorithm × topology, at
+//! n ∈ {10², 10³, 10⁴}, under both arrangement backends — plus the
+//! bounded-memory mode's contract and the `u128` cost-accumulation
+//! regression at the `u64` boundary.
+
+use mla::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const WORKLOAD_SEED: u64 = 0x57EA;
+const COIN_SEED: u64 = 0xC0FFEE;
+
+/// The satellite's required sizes. Jump algorithms (`DetClosest`,
+/// `OptReplay`) run their LOP solver per merge, so they are exercised at
+/// the smallest size only; the `Rand` algorithms cover all three.
+const NS: [usize; 3] = [100, 1_000, 10_000];
+
+fn materialized(topology: Topology, n: usize, shape: MergeShape, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match topology {
+        Topology::Cliques => random_clique_instance(n, shape, &mut rng),
+        Topology::Lines => random_line_instance(n, shape, &mut rng),
+    }
+}
+
+#[test]
+fn streamed_and_materialized_event_sequences_are_identical() {
+    for topology in [Topology::Cliques, Topology::Lines] {
+        for shape in MergeShape::all() {
+            for n in NS {
+                let mut source = StreamingWorkload::new(topology, n, shape, WORKLOAD_SEED);
+                let streamed: Vec<RevealEvent> =
+                    std::iter::from_fn(|| source.next_event()).collect();
+                let instance = materialized(topology, n, shape, WORKLOAD_SEED);
+                assert_eq!(
+                    streamed.len(),
+                    n - 1,
+                    "full merge schedule ({topology:?}/{shape:?}/n={n})"
+                );
+                assert_eq!(
+                    streamed,
+                    instance.events(),
+                    "event sequences diverged ({topology:?}/{shape:?}/n={n})"
+                );
+            }
+        }
+    }
+}
+
+/// Runs `alg` over the materialized instance and (a fresh copy of) `alg2`
+/// over the streamed source, asserting bit-identical outcomes.
+fn assert_streamed_matches_materialized<A, F>(topology: Topology, n: usize, make: F)
+where
+    A: OnlineMinla + 'static,
+    F: Fn() -> A,
+{
+    let instance = materialized(topology, n, MergeShape::Uniform, WORKLOAD_SEED);
+    let from_instance = Simulation::new(instance, make())
+        .run()
+        .expect("materialized run succeeds");
+    let source = StreamingWorkload::new(topology, n, MergeShape::Uniform, WORKLOAD_SEED);
+    let from_stream = Simulation::from_source(source, make())
+        .run()
+        .expect("streamed run succeeds");
+    assert_eq!(
+        from_instance, from_stream,
+        "streamed vs materialized outcome diverged ({topology:?}, n = {n})"
+    );
+}
+
+#[test]
+fn rand_algorithms_match_on_both_backends_at_all_sizes() {
+    for n in NS {
+        assert_streamed_matches_materialized(Topology::Cliques, n, || {
+            RandCliques::new(Permutation::identity(n), SmallRng::seed_from_u64(COIN_SEED))
+        });
+        assert_streamed_matches_materialized(Topology::Cliques, n, || {
+            RandCliques::new(
+                SegmentArrangement::identity(n),
+                SmallRng::seed_from_u64(COIN_SEED),
+            )
+        });
+        assert_streamed_matches_materialized(Topology::Lines, n, || {
+            RandLines::new(Permutation::identity(n), SmallRng::seed_from_u64(COIN_SEED))
+        });
+        assert_streamed_matches_materialized(Topology::Lines, n, || {
+            RandLines::new(
+                SegmentArrangement::identity(n),
+                SmallRng::seed_from_u64(COIN_SEED),
+            )
+        });
+    }
+}
+
+#[test]
+fn jump_algorithms_match_on_both_backends() {
+    // LOP-solver algorithms: per-merge solver calls make 10³⁺ too slow
+    // for a unit test; the streamed-vs-materialized contract is size-
+    // independent (same events in, same serve calls out), so the smallest
+    // satellite size pins it.
+    let n = 100;
+    for topology in [Topology::Cliques, Topology::Lines] {
+        assert_streamed_matches_materialized(topology, n, || {
+            DetClosest::new(Permutation::identity(n), LopConfig::default())
+        });
+        assert_streamed_matches_materialized(topology, n, || {
+            DetClosest::with_backend(SegmentArrangement::identity(n), LopConfig::default())
+        });
+        let instance = materialized(topology, n, MergeShape::Uniform, WORKLOAD_SEED);
+        let pi0 = Permutation::identity(n);
+        let target = offline_optimum(&instance, &pi0, &LopConfig::default())
+            .expect("sizes match")
+            .upper_perm;
+        let dense_target = target.clone();
+        assert_streamed_matches_materialized(topology, n, move || {
+            OptReplay::new(Permutation::identity(n), dense_target.clone())
+        });
+        let segment_target = target.clone();
+        assert_streamed_matches_materialized(topology, n, move || {
+            OptReplay::new(SegmentArrangement::identity(n), segment_target.clone())
+        });
+    }
+}
+
+#[test]
+fn engine_restart_replays_identically() {
+    // Two engine runs from two fresh sources at the same seed, plus one
+    // from an explicitly restarted source: all identical.
+    let n = 500;
+    let run = |mut source: StreamingWorkload| {
+        source.restart();
+        Simulation::from_source(
+            source,
+            RandLines::new(
+                SegmentArrangement::identity(n),
+                SmallRng::seed_from_u64(COIN_SEED),
+            ),
+        )
+        .run()
+        .expect("valid streamed run")
+    };
+    let fresh = run(StreamingWorkload::new(
+        Topology::Lines,
+        n,
+        MergeShape::SizeBiased,
+        WORKLOAD_SEED,
+    ));
+    let mut drained =
+        StreamingWorkload::new(Topology::Lines, n, MergeShape::SizeBiased, WORKLOAD_SEED);
+    while drained.next_event().is_some() {}
+    let restarted = run(drained);
+    assert_eq!(fresh, restarted);
+}
+
+#[test]
+fn record_events_off_only_drops_the_vectors() {
+    let n = 2_000;
+    let run = |record: bool| {
+        let source = StreamingWorkload::new(Topology::Cliques, n, MergeShape::Uniform, 5);
+        Simulation::from_source(
+            source,
+            RandCliques::new(
+                SegmentArrangement::identity(n),
+                SmallRng::seed_from_u64(COIN_SEED),
+            ),
+        )
+        .record_events(record)
+        .run()
+        .expect("valid streamed run")
+    };
+    let recorded = run(true);
+    let unrecorded = run(false);
+    assert!(recorded.events_recorded && !unrecorded.events_recorded);
+    assert_eq!(recorded.per_event.len(), n - 1);
+    assert!(unrecorded.per_event.is_empty() && unrecorded.events.is_empty());
+    // The cost accounting and final arrangement are unaffected.
+    assert_eq!(recorded.total_cost, unrecorded.total_cost);
+    assert_eq!(recorded.moving_cost, unrecorded.moving_cost);
+    assert_eq!(recorded.rearranging_cost, unrecorded.rearranging_cost);
+    assert_eq!(recorded.final_perm, unrecorded.final_perm);
+    // And asking an unrecorded outcome for its events is a typed error.
+    assert!(matches!(
+        unrecorded.to_instance(Topology::Cliques, n),
+        Err(SimError::EventsNotRecorded)
+    ));
+    assert!(recorded.to_instance(Topology::Cliques, n).is_ok());
+}
+
+#[test]
+fn malformed_streamed_event_surfaces_as_error_not_panic() {
+    // A source whose second event re-merges the same component: the
+    // engine must return SimError::Graph, not panic mid-run.
+    #[derive(Debug)]
+    struct Broken {
+        cursor: usize,
+    }
+    impl RevealSource for Broken {
+        fn topology(&self) -> Topology {
+            Topology::Cliques
+        }
+        fn n(&self) -> usize {
+            4
+        }
+        fn len(&self) -> usize {
+            3
+        }
+        fn remaining(&self) -> usize {
+            self.len() - self.cursor
+        }
+        fn next_event(&mut self) -> Option<RevealEvent> {
+            let events = [
+                RevealEvent::new(Node::new(0), Node::new(1)),
+                RevealEvent::new(Node::new(1), Node::new(0)), // same component
+                RevealEvent::new(Node::new(2), Node::new(3)),
+            ];
+            let event = events.get(self.cursor).copied();
+            self.cursor += usize::from(event.is_some());
+            event
+        }
+        fn restart(&mut self) {
+            self.cursor = 0;
+        }
+    }
+    let outcome = Simulation::from_source(
+        Broken { cursor: 0 },
+        RandCliques::new(Permutation::identity(4), SmallRng::seed_from_u64(1)),
+    )
+    .run();
+    assert!(matches!(outcome, Err(SimError::Graph(_))));
+}
+
+#[test]
+fn run_totals_accumulate_beyond_u64() {
+    // Overflow regression (the n ≈ 4.7×10⁶ clique boundary, scaled down):
+    // an algorithm whose per-event costs are near u64::MAX must
+    // accumulate into exact u128 totals, not wrap.
+    struct Huge(Permutation);
+    impl OnlineMinla for Huge {
+        type Arr = Permutation;
+        fn name(&self) -> &str {
+            "huge-cost-stub"
+        }
+        fn arrangement(&self) -> &Permutation {
+            &self.0
+        }
+        fn serve(&mut self, _: RevealEvent, _: &MergeInfo, _: &GraphState) -> UpdateReport {
+            UpdateReport {
+                moving_cost: u64::MAX / 2,
+                rearranging_cost: u64::MAX / 4,
+            }
+        }
+    }
+    let n = 8;
+    let source = StreamingWorkload::new(Topology::Cliques, n, MergeShape::Uniform, 3);
+    let outcome = Simulation::from_source(source, Huge(Permutation::identity(n)))
+        .run()
+        .expect("stub run succeeds");
+    let per_event = u128::from(u64::MAX / 2) + u128::from(u64::MAX / 4);
+    let expected = per_event * (n as u128 - 1);
+    assert_eq!(outcome.total_cost, expected);
+    assert!(outcome.total_cost > u128::from(u64::MAX));
+    assert_eq!(
+        outcome.moving_cost,
+        u128::from(u64::MAX / 2) * (n as u128 - 1)
+    );
+}
+
+#[test]
+fn instance_source_drives_the_engine_like_the_instance() {
+    // The trivial adapter: Simulation::new(instance) and
+    // Simulation::from_source(InstanceSource::new(instance)) agree.
+    let n = 300;
+    let instance = materialized(Topology::Lines, n, MergeShape::Balanced, WORKLOAD_SEED);
+    let direct = Simulation::new(
+        instance.clone(),
+        RandLines::new(Permutation::identity(n), SmallRng::seed_from_u64(COIN_SEED)),
+    )
+    .run()
+    .expect("valid instance");
+    let adapted = Simulation::from_source(
+        InstanceSource::new(instance),
+        RandLines::new(Permutation::identity(n), SmallRng::seed_from_u64(COIN_SEED)),
+    )
+    .run()
+    .expect("valid instance");
+    assert_eq!(direct, adapted);
+}
