@@ -13,6 +13,9 @@
 //!   `Ω(n²)` while `Opt = O(n)`;
 //! * [`random_clique_instance`] / [`random_line_instance`] — random
 //!   workloads in four [`MergeShape`]s;
+//! * [`sharded_instance`] — multi-tenant workloads: merges confined to
+//!   contiguous node shards, round-robin interleaved — the span-local
+//!   structure the engine's batched parallel serving exploits;
 //! * [`StreamingWorkload`] — the same workloads as a lazy
 //!   [`RevealSource`](mla_graph::RevealSource): one merge generated per
 //!   pull, no event vector materialized (the `n = 10⁷+` path), with
@@ -41,6 +44,7 @@ mod binary_tree;
 mod datacenter;
 mod det_line;
 mod random;
+mod sharded;
 mod streaming;
 mod traits;
 
@@ -48,5 +52,6 @@ pub use binary_tree::BinaryTreeAdversary;
 pub use datacenter::{datacenter_instance, DatacenterConfig};
 pub use det_line::DetLineAdversary;
 pub use random::{random_clique_instance, random_line_instance, MergeShape};
+pub use sharded::{shard_sizes, sharded_instance};
 pub use streaming::StreamingWorkload;
 pub use traits::{Adversary, Oblivious, SourceAdversary};

@@ -1,0 +1,253 @@
+//! Intra-run parallel serving: the batched executor
+//! ([`Simulation::parallel`]) against the classic sequential reveal loop,
+//! on an `n = 10⁵` sharded (multi-tenant) clique campaign.
+//!
+//! Three timings per cell, all over the *same* algorithm/backend
+//! (`RandCliques` on a region-partitioned [`ShardedArrangement`]) and
+//! verified bit-identical:
+//!
+//! * `sequential_seconds` — the classic per-reveal `Simulation::run` loop;
+//! * `one_worker_seconds` — the batched pipeline at `T = 1` (batching
+//!   bookkeeping, no worker threads);
+//! * `parallel_seconds` — the batched pipeline at `T = 4`.
+//!
+//! A degraded-mode cell (uniform single-tenant workload, where merge
+//! spans hull most of the arrangement and batches collapse to size 1) is
+//! also measured and recorded: its one-worker overhead is the price of
+//! the pipeline when no parallelism exists.
+//!
+//! The artifact `BENCH_parallel.json` lands next to the other `BENCH_*`
+//! files (`MLA_BENCH_ARTIFACT_DIR`, default `target/bench-artifacts`).
+//! Set `MLA_BENCH_REQUIRE_SPEEDUP=<factor>` to fail the run unless the
+//! four-worker run beats the one-worker run by at least that factor on
+//! the sharded campaign — enforced only when the host actually has ≥ 4
+//! hardware threads (thread-count scaling is unmeasurable on fewer; the
+//! numbers are still recorded).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mla_adversary::{random_clique_instance, shard_sizes, sharded_instance, MergeShape};
+use mla_core::RandCliques;
+use mla_graph::{Instance, Topology};
+use mla_permutation::ShardedArrangement;
+use mla_runner::{format_number, Json};
+use mla_sim::{RunOutcome, Simulation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Campaign size: the acceptance target is an `n = 10⁵` clique campaign.
+const N: usize = 100_000;
+/// Tenants (= arrangement regions) of the sharded campaign.
+const SHARDS: usize = 1_024;
+/// Worker count of the parallel cells.
+const THREADS: usize = 4;
+/// Repetitions per campaign cell (workload seeds); the gate uses the
+/// totals across the campaign.
+const REPS: u64 = 3;
+
+struct Cell {
+    label: &'static str,
+    shards: usize,
+    sequential_seconds: f64,
+    one_worker_seconds: f64,
+    parallel_seconds: f64,
+    total_cost: u128,
+}
+
+fn campaign_instances(shards: usize) -> Vec<Instance> {
+    (0..REPS)
+        .map(|rep| {
+            let mut rng = SmallRng::seed_from_u64(0xBA7C_0DE5 ^ rep);
+            if shards > 1 {
+                sharded_instance(Topology::Cliques, N, shards, MergeShape::Uniform, &mut rng)
+            } else {
+                random_clique_instance(N, MergeShape::Uniform, &mut rng)
+            }
+        })
+        .collect()
+}
+
+fn make_alg(shards: usize) -> RandCliques<SmallRng, ShardedArrangement> {
+    let arrangement = if shards > 1 {
+        ShardedArrangement::with_regions(&shard_sizes(N, shards))
+    } else {
+        ShardedArrangement::identity(N)
+    };
+    RandCliques::new(arrangement, SmallRng::seed_from_u64(0xC01))
+}
+
+/// Wall-clock of one full campaign (sum over repetitions), best of 2
+/// sweeps so the CI gate does not flake on one noisy sample. Returns the
+/// per-instance outcomes so callers can assert **full** `RunOutcome`
+/// equality across execution modes (costs *and* final arrangements), not
+/// just aggregate totals.
+fn measure(
+    instances: &[Instance],
+    run: &dyn Fn(&Instance) -> RunOutcome,
+) -> (f64, Vec<RunOutcome>) {
+    let mut best = f64::INFINITY;
+    let mut outcomes = Vec::new();
+    for _ in 0..2 {
+        let start = Instant::now();
+        outcomes = instances.iter().map(run).collect();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, outcomes)
+}
+
+fn measure_cell(label: &'static str, shards: usize) -> Cell {
+    let instances = campaign_instances(shards);
+    let sequential = |instance: &Instance| {
+        Simulation::new(instance.clone(), make_alg(shards))
+            .record_events(false)
+            .run()
+            .expect("valid campaign instance")
+    };
+    let batched = move |threads: usize| {
+        move |instance: &Instance| {
+            Simulation::new(instance.clone(), make_alg(shards))
+                .record_events(false)
+                .parallel(threads)
+                .run()
+                .expect("valid campaign instance")
+        }
+    };
+    let (sequential_seconds, sequential_outcomes) = measure(&instances, &sequential);
+    let (one_worker_seconds, one_outcomes) = measure(&instances, &batched(1));
+    let (parallel_seconds, parallel_outcomes) = measure(&instances, &batched(THREADS));
+    assert_eq!(
+        sequential_outcomes, one_outcomes,
+        "batched serving diverged from sequential ({label})"
+    );
+    assert_eq!(
+        sequential_outcomes, parallel_outcomes,
+        "parallel serving diverged from sequential ({label})"
+    );
+    Cell {
+        label,
+        shards,
+        sequential_seconds,
+        one_worker_seconds,
+        parallel_seconds,
+        total_cost: sequential_outcomes.iter().map(|o| o.total_cost).sum(),
+    }
+}
+
+fn write_artifact(cells: &[Cell], cores: usize) -> std::path::PathBuf {
+    let dir = std::env::var("MLA_BENCH_ARTIFACT_DIR").unwrap_or_else(|_| {
+        format!(
+            "{}/../../target/bench-artifacts",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    std::fs::create_dir_all(&dir).expect("create artifact directory");
+    let rows = cells
+        .iter()
+        .map(|cell| {
+            Json::object()
+                .field("label", cell.label)
+                .field("n", N)
+                .field("shards", cell.shards)
+                .field("reps", REPS)
+                .field("threads", THREADS)
+                .field("total_cost", cell.total_cost)
+                .field("sequential_seconds", Json::Number(cell.sequential_seconds))
+                .field("one_worker_seconds", Json::Number(cell.one_worker_seconds))
+                .field("parallel_seconds", Json::Number(cell.parallel_seconds))
+                .field(
+                    "speedup_vs_one_worker",
+                    Json::Number(cell.one_worker_seconds / cell.parallel_seconds.max(1e-12)),
+                )
+                .field(
+                    "speedup_vs_sequential",
+                    Json::Number(cell.sequential_seconds / cell.parallel_seconds.max(1e-12)),
+                )
+        })
+        .collect::<Vec<_>>();
+    let report = Json::object()
+        .field("id", "BENCH_parallel")
+        .field(
+            "description",
+            "intra-run batched parallel serving vs the sequential reveal loop",
+        )
+        .field("hardware_threads", cores)
+        .field("cells", Json::Array(rows));
+    let path = std::path::Path::new(&dir).join("BENCH_parallel.json");
+    std::fs::write(&path, report.render_pretty()).expect("write artifact");
+    path
+}
+
+fn bench_parallel_serving(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cells = vec![
+        measure_cell("sharded-cliques", SHARDS),
+        measure_cell("uniform-cliques", 1),
+    ];
+    let path = write_artifact(&cells, cores);
+    for cell in &cells {
+        println!(
+            "parallel n={N} {:<16} seq {:>9}s  T1 {:>9}s  T{THREADS} {:>9}s  \
+             scaling {:>5.2}x  vs-seq {:>5.2}x",
+            cell.label,
+            format_number(cell.sequential_seconds),
+            format_number(cell.one_worker_seconds),
+            format_number(cell.parallel_seconds),
+            cell.one_worker_seconds / cell.parallel_seconds.max(1e-12),
+            cell.sequential_seconds / cell.parallel_seconds.max(1e-12),
+        );
+    }
+    println!("[parallel artifact: {}]", path.display());
+    if let Ok(required) = std::env::var("MLA_BENCH_REQUIRE_SPEEDUP") {
+        let required: f64 = required.parse().expect("numeric MLA_BENCH_REQUIRE_SPEEDUP");
+        let sharded = &cells[0];
+        let scaling = sharded.one_worker_seconds / sharded.parallel_seconds.max(1e-12);
+        if cores >= THREADS {
+            assert!(
+                scaling >= required,
+                "parallel serving scaling {scaling:.2}x at T={THREADS} is below the \
+                 required {required}x on the sharded campaign"
+            );
+        } else {
+            println!(
+                "[speedup gate skipped: host has {cores} hardware thread(s), \
+                 T={THREADS} scaling is unmeasurable]"
+            );
+        }
+    }
+
+    // A criterion-visible target at a small n so `cargo bench` integrates
+    // the batched path into its normal reporting flow.
+    let n = 4_096;
+    let shards = 64;
+    let mut rng = SmallRng::seed_from_u64(11);
+    let instance = sharded_instance(Topology::Cliques, n, shards, MergeShape::Uniform, &mut rng);
+    let sizes = shard_sizes(n, shards);
+    let mut group = c.benchmark_group("parallel_serving");
+    group.throughput(Throughput::Elements(instance.len() as u64));
+    for threads in [1usize, THREADS] {
+        group.bench_with_input(
+            BenchmarkId::new("batched", threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| {
+                    Simulation::new(
+                        instance.clone(),
+                        RandCliques::new(
+                            ShardedArrangement::with_regions(&sizes),
+                            SmallRng::seed_from_u64(3),
+                        ),
+                    )
+                    .record_events(false)
+                    .parallel(threads)
+                    .run()
+                    .expect("valid instance")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_serving);
+criterion_main!(benches);

@@ -8,6 +8,13 @@
 //! * `offline_lop` — the LOP solver ladder and the placement DP;
 //! * `adversary_gen` — workload generation throughput;
 //! * `experiments` — one target per experiment (`Scale::Tiny`), so
-//!   `cargo bench` exercises every table-producing code path.
+//!   `cargo bench` exercises every table-producing code path;
+//! * `campaign` — sequential vs parallel campaign throughput
+//!   (`BENCH`-artifact-free);
+//! * `arrangement` — dense vs segment backend over full online runs
+//!   (`BENCH_arrangement.json`, CI speedup gate);
+//! * `parallel_serving` — intra-run batched parallel serving vs the
+//!   sequential reveal loop on a sharded clique campaign
+//!   (`BENCH_parallel.json`, CI scaling gate at `T = 4`).
 //!
 //! Run `cargo bench --workspace`; results land in `target/criterion/`.

@@ -22,6 +22,13 @@
 //! snapshots to the algorithm, which updates its arrangement and returns
 //! the exact cost in adjacent transpositions.
 //!
+//! The randomized algorithms additionally implement [`BatchServe`] — the
+//! decide / plan / apply decomposition of `serve` (module [`batch`]) that
+//! the engine's batched parallel executor schedules across worker
+//! threads: RNG draws stay in reveal order, plan construction is pure,
+//! and span-disjoint merge updates commute, so batched runs are
+//! bit-identical to sequential ones.
+//!
 //! Every algorithm is generic over the
 //! [`Arrangement`](mla_permutation::Arrangement) backend: the dense
 //! [`Permutation`](mla_permutation::Permutation) (the default type
@@ -55,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 mod det;
 pub mod mechanics;
 mod opt_replay;
@@ -64,6 +72,7 @@ mod rand_lines;
 mod report;
 mod traits;
 
+pub use batch::{BatchServe, MergeDecision, MergeLayout, MergePlan};
 pub use det::DetClosest;
 pub use opt_replay::OptReplay;
 pub use policies::{MovePolicy, RearrangePolicy};

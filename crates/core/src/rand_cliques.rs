@@ -5,7 +5,7 @@ use mla_graph::{GraphState, MergeInfo, RevealEvent, Topology};
 use mla_permutation::{Arrangement, Permutation};
 use rand::Rng;
 
-use crate::mechanics::BlockLayout;
+use crate::batch::{plan_move, BatchServe, MergeDecision, MergeLayout, MergePlan};
 use crate::policies::MovePolicy;
 use crate::report::UpdateReport;
 use crate::traits::OnlineMinla;
@@ -109,17 +109,33 @@ impl<R: Rng, P: Arrangement> OnlineMinla for RandCliques<R, P> {
 
     fn serve(&mut self, _event: RevealEvent, info: &MergeInfo, state: &GraphState) -> UpdateReport {
         debug_assert_eq!(state.topology(), Topology::Cliques);
-        let x_moves = x_moves(&mut self.rng, self.policy, info.x.len(), info.z.len());
         // One locate, then the whole update — move + coalesce — as a
-        // single backend operation.
-        let layout = BlockLayout::locate(&self.perm, &info.x, &info.z);
-        let (mover, stayer) = if x_moves {
-            (layout.x_range, layout.z_range)
-        } else {
-            (layout.z_range, layout.x_range)
-        };
-        let cost = self.perm.merge_move(mover, stayer, None);
-        UpdateReport::moving(cost)
+        // single backend operation, via the shared decide / plan / apply
+        // decomposition (the batched engine runs the same three calls in
+        // separate pipeline phases).
+        let layout = MergeLayout::locate(&self.perm, info);
+        let decision = self.decide(info, &layout);
+        let plan = Self::build_plan(info, &layout, decision);
+        self.apply_plan(plan)
+    }
+}
+
+impl<R: Rng, P: Arrangement> BatchServe for RandCliques<R, P> {
+    fn decide(&mut self, info: &MergeInfo, _layout: &MergeLayout) -> MergeDecision {
+        MergeDecision {
+            x_moves: x_moves(&mut self.rng, self.policy, info.x.len(), info.z.len()),
+            forward: true,
+        }
+    }
+
+    fn build_plan(_info: &MergeInfo, layout: &MergeLayout, decision: MergeDecision) -> MergePlan {
+        // Cliques have no rearranging part: any contiguous layout of a
+        // clique is a MinLA, so the update is the moving part alone.
+        plan_move(layout, decision.x_moves, None, 0)
+    }
+
+    fn arrangement_mut(&mut self) -> &mut P {
+        &mut self.perm
     }
 }
 

@@ -5,7 +5,10 @@ use mla_graph::{GraphState, MergeInfo, RevealEvent, Topology};
 use mla_permutation::{Arrangement, Permutation};
 use rand::Rng;
 
-use crate::mechanics::{rearrange_choices_pure, BlockLayout, RearrangeChoices};
+use crate::batch::{
+    fill_line_target, plan_move, BatchServe, MergeDecision, MergeLayout, MergePlan,
+};
+use crate::mechanics::RearrangeChoices;
 use crate::policies::{MovePolicy, RearrangePolicy};
 use crate::rand_cliques::x_moves;
 use crate::report::UpdateReport;
@@ -50,7 +53,7 @@ pub struct RandLines<R, P = Permutation> {
     move_policy: MovePolicy,
     rearrange_policy: RearrangePolicy,
     name: &'static str,
-    /// Reused buffer for each merge's target path content.
+    /// Reused buffer for each sequential merge's target path content.
     scratch: Vec<Node>,
 }
 
@@ -132,19 +135,57 @@ impl<R: Rng, P: Arrangement> OnlineMinla for RandLines<R, P> {
         // sizes, orientations and sides — none changed by the moving
         // part — so both parts are decided up front and the whole update
         // executes as a single backend operation: the merged path's final
-        // content is known in closed form from the snapshots.
-        let mover_is_x = x_moves(&mut self.rng, self.move_policy, info.x.len(), info.z.len());
-        let (layout, x_orientation, z_orientation) =
-            BlockLayout::locate_oriented(&self.perm, &info.x, &info.z);
-        let choices = rearrange_choices_pure(
-            info.x.len(),
-            info.z.len(),
-            layout.x_is_left(),
-            x_orientation,
-            z_orientation,
-        );
-        let forward = self.pick_forward(&choices);
-        let option = if forward {
+        // content is known in closed form from the snapshots. Same
+        // locate / decide semantics as the batched engine's pipeline
+        // (`BatchServe`), but with the target staged in the reused
+        // `scratch` buffer: the sequential loop never allocates per
+        // merge, while `build_plan` must own its buffer because plans
+        // cross threads.
+        let layout = MergeLayout::locate(&self.perm, info);
+        let decision = self.decide(info, &layout);
+        let option = {
+            let choices = layout.choices(info);
+            if decision.forward {
+                choices.forward
+            } else {
+                choices.reversed
+            }
+        };
+        // A free option means every required op is a no-op (singleton
+        // reversals) — skip the bulk rewrite so the backend's cheap
+        // order-preserving fold applies.
+        let target = if option.cost > 0 {
+            fill_line_target(&mut self.scratch, info, decision.forward);
+            Some(self.scratch.as_slice())
+        } else {
+            None
+        };
+        let (mover, stayer) = if decision.x_moves {
+            (layout.layout.x_range.clone(), layout.layout.z_range.clone())
+        } else {
+            (layout.layout.z_range.clone(), layout.layout.x_range.clone())
+        };
+        let moving_cost = self.perm.merge_move(mover, stayer, target);
+        UpdateReport {
+            moving_cost,
+            rearranging_cost: option.cost,
+        }
+    }
+}
+
+impl<R: Rng, P: Arrangement> BatchServe for RandLines<R, P> {
+    fn decide(&mut self, info: &MergeInfo, layout: &MergeLayout) -> MergeDecision {
+        // Draw order matters for seed reproducibility: the move coin
+        // first, then (total cost permitting) the rearrange coin —
+        // exactly the order sequential serving has always used.
+        let x_moves = x_moves(&mut self.rng, self.move_policy, info.x.len(), info.z.len());
+        let forward = self.pick_forward(&layout.choices(info));
+        MergeDecision { x_moves, forward }
+    }
+
+    fn build_plan(info: &MergeInfo, layout: &MergeLayout, decision: MergeDecision) -> MergePlan {
+        let choices = layout.choices(info);
+        let option = if decision.forward {
             choices.forward
         } else {
             choices.reversed
@@ -153,31 +194,16 @@ impl<R: Rng, P: Arrangement> OnlineMinla for RandLines<R, P> {
         // reversals), i.e. the post-move content already reads as the
         // target — skip the bulk rewrite so the backend's cheap
         // order-preserving fold applies.
-        let target = if option.cost > 0 {
-            self.scratch.clear();
-            if forward {
-                // x.nodes ++ z.nodes, reading left to right.
-                self.scratch.extend(info.x.nodes.iter().copied());
-                self.scratch.extend(info.z.nodes.iter().copied());
-            } else {
-                // reverse(z.nodes) ++ reverse(x.nodes).
-                self.scratch.extend(info.z.nodes.iter().rev().copied());
-                self.scratch.extend(info.x.nodes.iter().rev().copied());
-            }
-            Some(self.scratch.as_slice())
-        } else {
-            None
-        };
-        let (mover, stayer) = if mover_is_x {
-            (layout.x_range, layout.z_range)
-        } else {
-            (layout.z_range, layout.x_range)
-        };
-        let moving_cost = self.perm.merge_move(mover, stayer, target);
-        UpdateReport {
-            moving_cost,
-            rearranging_cost: option.cost,
-        }
+        let target = (option.cost > 0).then(|| {
+            let mut content = Vec::new();
+            fill_line_target(&mut content, info, decision.forward);
+            content
+        });
+        plan_move(layout, decision.x_moves, target, option.cost)
+    }
+
+    fn arrangement_mut(&mut self) -> &mut P {
+        &mut self.perm
     }
 }
 

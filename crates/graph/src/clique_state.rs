@@ -57,6 +57,14 @@ impl CliqueState {
         self.dsu.same_set(a, b)
     }
 
+    /// A representative node identifying `v`'s clique: two nodes share a
+    /// clique iff their representatives are equal. Stable between
+    /// mutations only.
+    #[must_use]
+    pub fn component_id(&self, v: Node) -> Node {
+        self.dsu.find_immutable(v)
+    }
+
     /// Nodes of the clique containing `v` (arbitrary order).
     #[must_use]
     pub fn component_nodes(&self, v: Node) -> Vec<Node> {
@@ -71,7 +79,8 @@ impl CliqueState {
 
     /// Applies a merge reveal, returning snapshots of the two cliques as
     /// they were **before** the merge (`x` contains `event.a()`, `z`
-    /// contains `event.b()`).
+    /// contains `event.b()`). Equivalent to [`CliqueState::peek`] followed
+    /// by [`CliqueState::commit`].
     ///
     /// # Errors
     ///
@@ -80,6 +89,21 @@ impl CliqueState {
     /// * [`GraphError::SameComponent`] if the endpoints already share a
     ///   clique.
     pub fn apply(&mut self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
+        let info = self.peek(event)?;
+        self.commit(event);
+        Ok(info)
+    }
+
+    /// Validates a merge reveal and snapshots the two cliques it would
+    /// merge, **without** mutating the state. This is the read-only half
+    /// of [`CliqueState::apply`]: it is safe to call from several threads
+    /// at once (the batched engine peeks a whole window of reveals in
+    /// parallel before committing any of them).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CliqueState::apply`].
+    pub fn peek(&self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
         let (a, b) = (event.a(), event.b());
         let n = self.n();
         for node in [a, b] {
@@ -93,21 +117,31 @@ impl CliqueState {
         if self.dsu.same_set(a, b) {
             return Err(GraphError::SameComponent { a, b });
         }
-        let x_nodes = self.dsu.members_of(a);
-        let z_nodes = self.dsu.members_of(b);
-        self.dsu
-            .union(a, b)
-            .expect("distinct components must merge");
         Ok(MergeInfo {
             x: ComponentSnapshot {
-                nodes: x_nodes,
+                nodes: self.dsu.members_of(a),
                 joined: a,
             },
             z: ComponentSnapshot {
-                nodes: z_nodes,
+                nodes: self.dsu.members_of(b),
                 joined: b,
             },
         })
+    }
+
+    /// The mutating half of [`CliqueState::apply`]: merges the two cliques
+    /// in `O(α(n))`, building no snapshots. Must follow a successful
+    /// [`CliqueState::peek`] of the same event with no intervening
+    /// mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's endpoints already share a clique (i.e. the
+    /// peek contract was violated).
+    pub fn commit(&mut self, event: RevealEvent) {
+        self.dsu
+            .union(event.a(), event.b())
+            .expect("commit requires a successfully peeked event");
     }
 
     /// All edges of the current graph: every intra-clique pair. Quadratic

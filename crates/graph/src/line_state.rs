@@ -69,6 +69,14 @@ impl LineState {
         self.dsu.same_set(a, b)
     }
 
+    /// A representative node identifying `v`'s path: two nodes share a
+    /// path iff their representatives are equal. Stable between
+    /// mutations only.
+    #[must_use]
+    pub fn component_id(&self, v: Node) -> Node {
+        self.dsu.find_immutable(v)
+    }
+
     /// Degree of `v` in the current graph (0, 1 or 2).
     #[must_use]
     pub fn degree(&self, v: Node) -> usize {
@@ -175,6 +183,21 @@ impl LineState {
     ///   path (the reveal would close a cycle);
     /// * [`GraphError::NotAnEndpoint`] if either node has degree 2.
     pub fn apply(&mut self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
+        let info = self.peek(event)?;
+        self.commit(event);
+        Ok(info)
+    }
+
+    /// Validates an edge reveal and snapshots the two paths it would join,
+    /// **without** mutating the state — the read-only half of
+    /// [`LineState::apply`], safe to call from several threads at once
+    /// (the batched engine peeks a whole window of reveals in parallel
+    /// before committing any of them).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LineState::apply`].
+    pub fn peek(&self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
         let (a, b) = (event.a(), event.b());
         let n = self.n();
         for node in [a, b] {
@@ -193,26 +216,9 @@ impl LineState {
                 return Err(GraphError::NotAnEndpoint { node });
             }
         }
-        // Snapshot path orders before linking.
         let mut x_nodes = self.walk_from(a);
         x_nodes.reverse(); // ends at a
         let z_nodes = self.walk_from(b); // starts at b
-
-        // Link.
-        let slot_a = self.neighbors[a.index()]
-            .iter()
-            .position(|&u| u == NO_NEIGHBOR)
-            .expect("endpoint has a free slot");
-        self.neighbors[a.index()][slot_a] = b.raw();
-        let slot_b = self.neighbors[b.index()]
-            .iter()
-            .position(|&u| u == NO_NEIGHBOR)
-            .expect("endpoint has a free slot");
-        self.neighbors[b.index()][slot_b] = a.raw();
-        self.dsu
-            .union(a, b)
-            .expect("distinct components must merge");
-
         Ok(MergeInfo {
             x: ComponentSnapshot {
                 nodes: x_nodes,
@@ -223,6 +229,32 @@ impl LineState {
                 joined: b,
             },
         })
+    }
+
+    /// The mutating half of [`LineState::apply`]: links the two endpoints
+    /// and merges their components in `O(α(n))`, building no snapshots.
+    /// Must follow a successful [`LineState::peek`] of the same event with
+    /// no intervening mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint has no free adjacency slot or the endpoints
+    /// already share a path (i.e. the peek contract was violated).
+    pub fn commit(&mut self, event: RevealEvent) {
+        let (a, b) = (event.a(), event.b());
+        let slot_a = self.neighbors[a.index()]
+            .iter()
+            .position(|&u| u == NO_NEIGHBOR)
+            .expect("commit requires a successfully peeked event (endpoint a)");
+        self.neighbors[a.index()][slot_a] = b.raw();
+        let slot_b = self.neighbors[b.index()]
+            .iter()
+            .position(|&u| u == NO_NEIGHBOR)
+            .expect("commit requires a successfully peeked event (endpoint b)");
+        self.neighbors[b.index()][slot_b] = a.raw();
+        self.dsu
+            .union(a, b)
+            .expect("commit requires a successfully peeked event");
     }
 
     /// All edges of the current graph.

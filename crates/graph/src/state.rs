@@ -129,6 +129,17 @@ impl GraphState {
         }
     }
 
+    /// A representative node identifying `v`'s component: two nodes share
+    /// a component iff their representatives are equal. Only stable
+    /// between mutations.
+    #[must_use]
+    pub fn component_id(&self, v: Node) -> Node {
+        match self {
+            GraphState::Cliques(s) => s.component_id(v),
+            GraphState::Lines(s) => s.component_id(v),
+        }
+    }
+
     /// Nodes of the component containing `v`. For lines, in path order
     /// (canonical orientation); for cliques, arbitrary order.
     #[must_use]
@@ -148,7 +159,8 @@ impl GraphState {
         }
     }
 
-    /// Applies one reveal.
+    /// Applies one reveal. Equivalent to [`GraphState::peek`] followed by
+    /// [`GraphState::commit`].
     ///
     /// # Errors
     ///
@@ -158,6 +170,39 @@ impl GraphState {
         match self {
             GraphState::Cliques(s) => s.apply(event),
             GraphState::Lines(s) => s.apply(event),
+        }
+    }
+
+    /// Validates one reveal and snapshots the two components it would
+    /// merge, without mutating the state. This is the read-only half of
+    /// [`GraphState::apply`] — it only reads `&self`, so a batch of
+    /// reveals against the same state can be peeked from worker threads
+    /// concurrently (the engine's parallel serving path does exactly
+    /// that, then commits the non-conflicting prefix in reveal order).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphState::apply`].
+    pub fn peek(&self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
+        match self {
+            GraphState::Cliques(s) => s.peek(event),
+            GraphState::Lines(s) => s.peek(event),
+        }
+    }
+
+    /// The mutating half of [`GraphState::apply`]: merges the two
+    /// components in `O(α(n))` without rebuilding the snapshots. Must
+    /// follow a successful [`GraphState::peek`] of the same event with no
+    /// intervening mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peek contract is violated (the event is not
+    /// currently a valid merge).
+    pub fn commit(&mut self, event: RevealEvent) {
+        match self {
+            GraphState::Cliques(s) => s.commit(event),
+            GraphState::Lines(s) => s.commit(event),
         }
     }
 

@@ -34,9 +34,9 @@
 //! constructors reject larger node counts up front instead of silently
 //! truncating those fields.
 
-use std::cell::Cell;
 use std::fmt;
 use std::ops::Range;
+use std::sync::Mutex;
 
 use crate::arrangement::Arrangement;
 use crate::inversions::count_inversions;
@@ -110,7 +110,6 @@ struct Seg {
 /// assert_eq!(arr.to_permutation().to_index_vec(), vec![2, 3, 0, 1]);
 /// assert_eq!(arr.position_of(Node::new(0)), 2);
 /// ```
-#[derive(Clone)]
 pub struct SegmentArrangement {
     segs: Vec<Seg>,
     free: Vec<u32>,
@@ -126,7 +125,33 @@ pub struct SegmentArrangement {
     version: u64,
     /// The last two verified range→segment facts (the two blocks a merge
     /// update locates), so the update itself needs no rediscovery walks.
-    memo: Cell<[RangeMemo; 2]>,
+    ///
+    /// A `Mutex` (accessed only via `try_lock`, so it can never block or
+    /// poison-cascade) rather than a `Cell`, which keeps the whole
+    /// arrangement `Sync`: the engine's batched serving path locates a
+    /// window of merges from worker threads through `&self` reads. Under
+    /// contention the memo merely misses — results never change, only
+    /// whether a rediscovery walk is saved.
+    memo: Mutex<[RangeMemo; 2]>,
+}
+
+impl Clone for SegmentArrangement {
+    fn clone(&self) -> Self {
+        SegmentArrangement {
+            segs: self.segs.clone(),
+            free: self.free.clone(),
+            root: self.root,
+            node_seg: self.node_seg.clone(),
+            node_off: self.node_off.clone(),
+            prio_counter: self.prio_counter,
+            version: self.version,
+            memo: Mutex::new(
+                self.memo
+                    .try_lock()
+                    .map_or([EMPTY_MEMO; 2], |entries| *entries),
+            ),
+        }
+    }
 }
 
 impl SegmentArrangement {
@@ -178,7 +203,7 @@ impl SegmentArrangement {
             node_off: vec![0; n],
             prio_counter: 0,
             version: 0,
-            memo: Cell::new([EMPTY_MEMO; 2]),
+            memo: Mutex::new([EMPTY_MEMO; 2]),
         };
         let slots: Vec<u32> = nodes.map(|v| arr.alloc_seg(vec![v], false)).collect();
         debug_assert_eq!(slots.len(), n, "builder must supply exactly n nodes");
@@ -968,26 +993,31 @@ impl SegmentArrangement {
     }
 
     /// Records a verified range→segment fact for the current version.
+    /// Lock-free in spirit: under cross-thread contention the fact is
+    /// simply not recorded (the memo is a pure cache).
     fn remember_segment(&self, start: usize, len: usize, slot: u32) {
         let Ok(len) = u32::try_from(len) else { return };
-        let mut entries = self.memo.get();
-        entries[1] = entries[0];
-        entries[0] = RangeMemo {
-            version: self.version,
-            start,
-            len,
-            slot,
-        };
-        self.memo.set(entries);
+        if let Ok(mut entries) = self.memo.try_lock() {
+            entries[1] = entries[0];
+            entries[0] = RangeMemo {
+                version: self.version,
+                start,
+                len,
+                slot,
+            };
+        }
     }
 
-    /// Looks up a remembered, still-valid range→segment fact.
+    /// Looks up a remembered, still-valid range→segment fact. Misses
+    /// (rather than blocks) when another thread holds the memo.
     fn recall_segment(&self, range: &Range<usize>) -> Option<u32> {
-        self.memo.get().iter().find_map(|entry| {
-            (entry.version == self.version
-                && entry.start == range.start
-                && entry.len as usize == range.len())
-            .then_some(entry.slot)
+        self.memo.try_lock().ok().and_then(|entries| {
+            entries.iter().find_map(|entry| {
+                (entry.version == self.version
+                    && entry.start == range.start
+                    && entry.len as usize == range.len())
+                .then_some(entry.slot)
+            })
         })
     }
 

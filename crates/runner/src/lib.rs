@@ -1,9 +1,11 @@
 //! # `mla-runner`
 //!
 //! Deterministic parallel run-campaign subsystem for the workspace: a
-//! std-only work-stealing thread pool behind a [`Campaign`] API, the
-//! [`SeedSequence`] splitter that gives every run an independent,
-//! reproducible seed stream, and a JSON artifact store
+//! std-only work-stealing thread pool behind a [`Campaign`] API (and the
+//! raw scoped-batch primitive [`run_indexed`], which also powers the
+//! simulation engine's intra-run batch phases), the [`SeedSequence`]
+//! splitter that gives every run an independent, reproducible seed
+//! stream, and a JSON artifact store
 //! ([`RunSink`] / [`CampaignReport`] / [`ArtifactStore`]) that persists
 //! per-run costs, per-experiment tables and environment metadata.
 //!
@@ -50,4 +52,5 @@ pub use artifact::{
 };
 pub use campaign::{resolve_threads, Campaign, RunSpec};
 pub use json::{format_number, Json};
+pub use pool::run_indexed;
 pub use seed::SeedSequence;

@@ -24,10 +24,29 @@ use std::sync::Mutex;
 /// `job` must be safe to call from several threads at once; each index in
 /// `0..count` is executed exactly once.
 ///
+/// Workers are **scoped** (`std::thread::scope`), so the job may borrow
+/// from the caller's stack — this is the primitive behind both the
+/// [`Campaign`](crate::Campaign) executor (jobs own their inputs) and the
+/// simulation engine's batched serving path, where workers plan a batch
+/// of merges against *borrowed* graph state and arrangement and the
+/// caller regains exclusive `&mut` access the moment this returns.
+///
+/// With `threads <= 1` (or one job) everything runs inline on the caller
+/// thread — no spawns, bit-identical results by construction.
+///
+/// # Examples
+///
+/// ```
+/// let data = vec![3u64, 1, 4, 1, 5];
+/// // Borrow `data` from worker threads; results come back in index order.
+/// let doubled = mla_runner::run_indexed(4, data.len(), |i| data[i] * 2);
+/// assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+/// ```
+///
 /// # Panics
 ///
 /// Propagates panics from `job` (the batch is aborted).
-pub(crate) fn run_indexed<T, F>(threads: usize, count: usize, job: F) -> Vec<T>
+pub fn run_indexed<T, F>(threads: usize, count: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

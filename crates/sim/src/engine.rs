@@ -1,10 +1,17 @@
-//! The simulation engine: drives an adversary against an online algorithm.
+//! The simulation engine: drives an adversary against an online algorithm,
+//! either through the classic sequential reveal loop or — for batchable
+//! algorithms against oblivious adversaries — through the batched
+//! parallel executor built on the conflict-detection layer in
+//! [`crate::batch`].
+
+use std::collections::VecDeque;
 
 use mla_adversary::{Adversary, Oblivious, SourceAdversary};
-use mla_core::{OnlineMinla, UpdateReport};
-use mla_graph::{GraphState, Instance, RevealEvent, RevealSource};
-use mla_permutation::{Arrangement, Permutation};
+use mla_core::{BatchServe, MergeDecision, MergePlan, OnlineMinla, UpdateReport};
+use mla_graph::{GraphState, Instance, RevealEvent, RevealSource, Topology};
+use mla_permutation::{Arrangement, MergeOp, Permutation};
 
+use crate::batch::{BatchPlanner, PARALLEL_DISPATCH_MIN};
 use crate::error::SimError;
 
 /// Outcome of one complete run.
@@ -19,15 +26,23 @@ pub struct RunOutcome {
     /// Sum of the rearranging parts.
     pub rearranging_cost: u128,
     /// Per-reveal cost reports, in reveal order. Empty when recording was
-    /// disabled (see [`Simulation::record_events`]).
+    /// disabled (see [`Simulation::record_events`]); holds only the final
+    /// `k` reports when a recording window was set
+    /// ([`Simulation::record_window`]).
     pub per_event: Vec<UpdateReport>,
     /// The reveals served (useful for adaptive adversaries, whose sequence
-    /// is only known after the run). Empty when recording was disabled.
+    /// is only known after the run). Empty when recording was disabled;
+    /// only the final `k` reveals under a recording window.
     pub events: Vec<RevealEvent>,
-    /// Whether `per_event`/`events` were recorded. Large-`n` streaming
-    /// runs turn recording off so memory stays bounded by the `O(n)`
-    /// engine state instead of growing two `Θ(k)` vectors.
+    /// Whether `per_event`/`events` were recorded **in full**. Large-`n`
+    /// streaming runs turn recording off (or window it) so memory stays
+    /// bounded by the `O(n)` engine state instead of growing two `Θ(k)`
+    /// vectors.
     pub events_recorded: bool,
+    /// The recording window, if one was set: `per_event`/`events` hold at
+    /// most this many trailing entries (`O(k)` memory however long the
+    /// run).
+    pub recorded_window: Option<usize>,
     /// The algorithm's final permutation (materialized from whichever
     /// arrangement backend the algorithm ran on).
     pub final_perm: Permutation,
@@ -91,6 +106,7 @@ pub struct Simulation<A> {
     check_feasibility: bool,
     full_scan: bool,
     record_events: bool,
+    record_window: Option<usize>,
 }
 
 impl<A> std::fmt::Debug for Simulation<A> {
@@ -152,6 +168,7 @@ impl<A: OnlineMinla> Simulation<A> {
             check_feasibility: false,
             full_scan: cfg!(debug_assertions),
             record_events: true,
+            record_window: None,
         }
     }
 
@@ -159,10 +176,49 @@ impl<A: OnlineMinla> Simulation<A> {
     /// into the [`RunOutcome`] (default: `true`). Turn off for large-`n`
     /// streaming runs: cost totals are still accumulated exactly, but the
     /// two `Θ(k)` vectors are never grown, keeping the run's memory
-    /// bounded by the `O(n)` engine state.
+    /// bounded by the `O(n)` engine state. Clears any recording window
+    /// set by [`Simulation::record_window`].
     #[must_use]
     pub fn record_events(mut self, on: bool) -> Self {
         self.record_events = on;
+        self.record_window = None;
+        self
+    }
+
+    /// Keeps only the **last `k`** per-event reports and reveals — the
+    /// middle ground between full recording (`Θ(reveals)` memory) and
+    /// [`Simulation::record_events`]`(false)` (nothing at all): cost
+    /// totals stay exact, the trailing window supports end-game
+    /// diagnostics of streamed large-`n` runs, and memory stays `O(k)`.
+    /// [`RunOutcome::recorded_window`] reports the window; replaying a
+    /// windowed outcome through [`RunOutcome::to_instance`] fails with
+    /// [`SimError::EventsNotRecorded`] like a fully unrecorded one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mla_adversary::{MergeShape, StreamingWorkload};
+    /// use mla_core::RandCliques;
+    /// use mla_graph::Topology;
+    /// use mla_permutation::SegmentArrangement;
+    /// use mla_sim::Simulation;
+    /// use rand::rngs::SmallRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let source = StreamingWorkload::new(Topology::Cliques, 64, MergeShape::Uniform, 1);
+    /// let alg = RandCliques::new(SegmentArrangement::identity(64), SmallRng::seed_from_u64(2));
+    /// let outcome = Simulation::from_source(source, alg)
+    ///     .record_window(8)
+    ///     .run()
+    ///     .expect("streamed events are valid");
+    /// assert_eq!(outcome.per_event.len(), 8);
+    /// assert_eq!(outcome.recorded_window, Some(8));
+    /// assert!(!outcome.events_recorded); // not the *full* sequence
+    /// ```
+    #[must_use]
+    pub fn record_window(mut self, k: usize) -> Self {
+        self.record_events = false;
+        self.record_window = Some(k);
         self
     }
 
@@ -209,15 +265,8 @@ impl<A: OnlineMinla> Simulation<A> {
             });
         }
         let mut state = GraphState::new(self.adversary.topology(), n);
-        let mut per_event = Vec::new();
-        let mut events = Vec::new();
-        let mut moving_cost = 0u128;
-        let mut rearranging_cost = 0u128;
-        // Served-reveal counter — independent of `per_event`, which stays
-        // empty when recording is off.
-        let mut step = 0usize;
+        let mut recorder = Recorder::new(self.record_events, self.record_window);
         while let Some(event) = self.adversary.next(self.algorithm.arrangement(), &state) {
-            step += 1;
             let info = state.apply(event)?;
             let report = self.algorithm.serve(event, &info, &state);
             if self.check_feasibility {
@@ -225,27 +274,301 @@ impl<A: OnlineMinla> Simulation<A> {
                     && (!self.full_scan || state.is_minla(self.algorithm.arrangement()));
                 if !feasible {
                     return Err(SimError::FeasibilityViolation {
-                        step,
+                        step: recorder.step() + 1,
                         algorithm: self.algorithm.name().to_owned(),
                     });
                 }
             }
-            moving_cost += u128::from(report.moving_cost);
-            rearranging_cost += u128::from(report.rearranging_cost);
-            if self.record_events {
-                per_event.push(report);
-                events.push(event);
-            }
+            recorder.record(event, report);
         }
-        Ok(RunOutcome {
-            total_cost: moving_cost + rearranging_cost,
-            moving_cost,
-            rearranging_cost,
-            per_event,
-            events,
-            events_recorded: self.record_events,
-            final_perm: self.algorithm.arrangement().to_permutation(),
-        })
+        Ok(recorder.finish(self.algorithm.arrangement().to_permutation()))
+    }
+
+    /// Upgrades this simulation to the **batched parallel executor**: the
+    /// engine pulls reveals ahead of the serving frontier, groups
+    /// consecutive reveals into maximal batches whose component spans are
+    /// pairwise disjoint (see [`BatchPlanner`](crate::BatchPlanner)), and
+    /// runs each batch's merge mechanics on `threads` workers — while
+    /// RNG draws and arrangement mutations stay strictly in reveal order,
+    /// so the outcome is **bit-identical to the sequential loop for every
+    /// thread count**.
+    ///
+    /// `threads = 0` means available parallelism; `threads = 1` exercises
+    /// the batching pipeline without worker threads (useful for tests).
+    /// Only oblivious adversaries are actually batched; adaptive ones
+    /// force a window of 1, which degenerates to the sequential loop.
+    ///
+    /// Requires a [`BatchServe`] algorithm (whose `serve` decomposes into
+    /// decide / plan / apply) over a `Sync` arrangement backend.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mla_adversary::{random_clique_instance, MergeShape};
+    /// use mla_core::RandCliques;
+    /// use mla_permutation::SegmentArrangement;
+    /// use mla_sim::Simulation;
+    /// use rand::rngs::SmallRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = SmallRng::seed_from_u64(1);
+    /// let instance = random_clique_instance(64, MergeShape::Uniform, &mut rng);
+    /// let alg = || RandCliques::new(SegmentArrangement::identity(64), SmallRng::seed_from_u64(2));
+    /// let sequential = Simulation::new(instance.clone(), alg()).run().unwrap();
+    /// let parallel = Simulation::new(instance, alg()).parallel(4).run().unwrap();
+    /// assert_eq!(sequential, parallel); // bit-identical, any thread count
+    /// ```
+    #[must_use]
+    pub fn parallel(self, threads: usize) -> ParallelSimulation<A> {
+        ParallelSimulation {
+            sim: self,
+            threads,
+            window: DEFAULT_BATCH_WINDOW,
+        }
+    }
+}
+
+/// Default maximal look-ahead window of the batched executor.
+const DEFAULT_BATCH_WINDOW: usize = 4096;
+
+/// The batched parallel executor returned by [`Simulation::parallel`].
+///
+/// Runs the same simulation as the sequential loop, in batches of
+/// span-disjoint merges planned concurrently. See
+/// [`Simulation::parallel`] for the contract and an example.
+pub struct ParallelSimulation<A> {
+    sim: Simulation<A>,
+    threads: usize,
+    window: usize,
+}
+
+impl<A> std::fmt::Debug for ParallelSimulation<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelSimulation")
+            .field("threads", &self.threads)
+            .field("window", &self.window)
+            .field("sim", &"Simulation { .. }")
+            .finish()
+    }
+}
+
+impl<A: BatchServe> ParallelSimulation<A>
+where
+    A::Arr: Sync,
+{
+    /// Sets the maximal look-ahead window: how many reveals the engine
+    /// may pull from an oblivious adversary (or streaming source) ahead
+    /// of the serving frontier. Larger windows admit larger batches at
+    /// the price of buffering more pending snapshots; the planner adapts
+    /// the effective window downward when conflicts are dense. Default:
+    /// 4096. Clamped to at least 1.
+    #[must_use]
+    pub fn batch_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Runs the sequence to completion through the batch pipeline. Same
+    /// error contract as [`Simulation::run`], same outcome bit-for-bit.
+    ///
+    /// Each batch executes in four phases:
+    ///
+    /// 1. **plan window** (parallel) — peek + locate candidate reveals
+    ///    against the frozen state, seal the span-disjoint prefix;
+    /// 2. **decide** (reveal order) — the algorithm draws each merge's
+    ///    random choices, keeping the RNG stream identical to sequential;
+    /// 3. **build plans** (parallel) — pure snapshot → plan construction,
+    ///    including staged target contents for rearranged merges;
+    /// 4. **apply** (reveal order) — commit the merge to the graph state
+    ///    and execute the plan as one backend `merge_move`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Simulation::run`], at the same steps.
+    pub fn run(mut self) -> Result<RunOutcome, SimError> {
+        let threads = mla_runner::resolve_threads(self.threads);
+        let n = self.sim.adversary.n();
+        if self.sim.algorithm.arrangement().len() != n {
+            return Err(SimError::SizeMismatch {
+                expected: n,
+                actual: self.sim.algorithm.arrangement().len(),
+            });
+        }
+        let mut state = GraphState::new(self.sim.adversary.topology(), n);
+        let mut recorder = Recorder::new(self.sim.record_events, self.sim.record_window);
+        // Adaptive adversaries must observe the arrangement after every
+        // reveal: window 1 makes the pipeline equivalent to the
+        // sequential loop.
+        let window_max = if self.sim.adversary.is_oblivious() {
+            self.window
+        } else {
+            1
+        };
+        let mut planner = BatchPlanner::new(window_max);
+        let mut exhausted = false;
+        let mut decisions: Vec<MergeDecision> = Vec::new();
+        loop {
+            while !exhausted && planner.queued() < planner.refill_target() {
+                match self
+                    .sim
+                    .adversary
+                    .next(self.sim.algorithm.arrangement(), &state)
+                {
+                    Some(event) => planner.push(event),
+                    None => exhausted = true,
+                }
+            }
+            if planner.is_empty() {
+                break;
+            }
+            // Phase 1: peek + locate the window, seal the disjoint prefix.
+            let batch = planner
+                .plan_batch(&state, self.sim.algorithm.arrangement(), threads)
+                .map_err(SimError::Graph)?;
+            // Phase 2: RNG draws, strictly in reveal order.
+            decisions.clear();
+            decisions.extend(
+                batch
+                    .iter()
+                    .map(|p| self.sim.algorithm.decide(&p.info, &p.layout)),
+            );
+            // Phase 3: pure plan construction. Only line merges carry
+            // per-plan staging buffers (the merged path's target
+            // content), so only they are worth a parallel dispatch.
+            let plans: Vec<MergePlan> = if threads > 1
+                && batch.len() >= PARALLEL_DISPATCH_MIN
+                && state.topology() == Topology::Lines
+            {
+                let batch = &batch;
+                let decisions = &decisions;
+                mla_runner::run_indexed(threads, batch.len(), |i| {
+                    A::build_plan(&batch[i].info, &batch[i].layout, decisions[i])
+                })
+            } else {
+                batch
+                    .iter()
+                    .zip(&decisions)
+                    .map(|(p, &decision)| A::build_plan(&p.info, &p.layout, decision))
+                    .collect()
+            };
+            // Phase 4: commit the graph mutations (reveal order, `O(α)`
+            // each), then execute the whole batch of span-disjoint merges
+            // through the backend — partitioned backends
+            // ([`mla_permutation::ShardedArrangement`]) run ops of
+            // different regions on worker threads. Disjoint spans
+            // commute, so the arrangement is bit-identical to the
+            // sequential per-reveal loop.
+            let mut reports = Vec::with_capacity(batch.len());
+            let mut ops = Vec::with_capacity(batch.len());
+            for (planned, plan) in batch.iter().zip(plans) {
+                state.commit(planned.event);
+                reports.push(plan.report);
+                ops.push(MergeOp {
+                    mover: plan.mover,
+                    stayer: plan.stayer,
+                    target: plan.target,
+                });
+            }
+            let costs = self
+                .sim
+                .algorithm
+                .arrangement_mut()
+                .apply_merge_batch(ops, threads);
+            debug_assert!(
+                costs
+                    .iter()
+                    .zip(&reports)
+                    .all(|(&cost, report)| cost == report.moving_cost),
+                "backend charged a different moving cost than the plan"
+            );
+            // Checks and recording, in reveal order. Feasibility is
+            // validated against the post-batch state; because batch spans
+            // are disjoint, each merged component's block is exactly what
+            // the per-reveal check would have seen.
+            for (planned, report) in batch.iter().zip(reports) {
+                if self.sim.check_feasibility {
+                    let feasible = state
+                        .merge_keeps_minla(self.sim.algorithm.arrangement(), &planned.info)
+                        && (!self.sim.full_scan
+                            || state.is_minla(self.sim.algorithm.arrangement()));
+                    if !feasible {
+                        return Err(SimError::FeasibilityViolation {
+                            step: recorder.step() + 1,
+                            algorithm: self.sim.algorithm.name().to_owned(),
+                        });
+                    }
+                }
+                recorder.record(planned.event, report);
+            }
+            planner.retire_batch(&state, &batch);
+        }
+        Ok(recorder.finish(self.sim.algorithm.arrangement().to_permutation()))
+    }
+}
+
+/// Shared outcome accumulator of the sequential and batched run loops:
+/// exact `u128` cost totals, plus full, windowed or no per-event
+/// recording.
+#[derive(Debug)]
+struct Recorder {
+    full: bool,
+    window: Option<usize>,
+    per_event: VecDeque<UpdateReport>,
+    events: VecDeque<RevealEvent>,
+    moving_cost: u128,
+    rearranging_cost: u128,
+    step: usize,
+}
+
+impl Recorder {
+    fn new(full: bool, window: Option<usize>) -> Self {
+        Recorder {
+            full,
+            window,
+            per_event: VecDeque::new(),
+            events: VecDeque::new(),
+            moving_cost: 0,
+            rearranging_cost: 0,
+            step: 0,
+        }
+    }
+
+    /// Reveals recorded so far (independent of what is retained).
+    fn step(&self) -> usize {
+        self.step
+    }
+
+    fn record(&mut self, event: RevealEvent, report: UpdateReport) {
+        self.step += 1;
+        self.moving_cost += u128::from(report.moving_cost);
+        self.rearranging_cost += u128::from(report.rearranging_cost);
+        let retain = if self.full {
+            usize::MAX
+        } else {
+            self.window.unwrap_or(0)
+        };
+        if retain == 0 {
+            return;
+        }
+        if self.per_event.len() == retain {
+            self.per_event.pop_front();
+            self.events.pop_front();
+        }
+        self.per_event.push_back(report);
+        self.events.push_back(event);
+    }
+
+    fn finish(self, final_perm: Permutation) -> RunOutcome {
+        RunOutcome {
+            total_cost: self.moving_cost + self.rearranging_cost,
+            moving_cost: self.moving_cost,
+            rearranging_cost: self.rearranging_cost,
+            per_event: self.per_event.into(),
+            events: self.events.into(),
+            events_recorded: self.full,
+            recorded_window: self.window,
+            final_perm,
+        }
     }
 }
 

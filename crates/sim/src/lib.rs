@@ -5,7 +5,14 @@
 //!
 //! * [`Simulation`] — drives an adversary against an [`OnlineMinla`]
 //!   algorithm, verifying the MinLA feasibility invariant after every
-//!   reveal and accounting exact costs;
+//!   reveal and accounting exact costs; per-event recording is full,
+//!   windowed ([`Simulation::record_window`]) or off;
+//! * [`Simulation::parallel`] — the batched parallel executor: the
+//!   [`batch`] conflict-detection layer ([`BatchPlanner`] /
+//!   [`ConflictGraph`]) groups consecutive reveals into maximal batches
+//!   of span-disjoint merges and serves each batch across worker
+//!   threads, bit-identically to the sequential loop for every thread
+//!   count;
 //! * [`OnlineStats`] / [`harmonic`] — measurement utilities;
 //! * [`Table`] — plain-text/CSV experiment output;
 //! * [`all_experiments`] — the registry reproducing every theorem, lemma
@@ -46,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 mod engine;
 mod error;
 mod experiment;
@@ -53,7 +61,8 @@ pub mod experiments;
 mod stats;
 mod table;
 
-pub use engine::{RunOutcome, Simulation};
+pub use batch::{BatchPlanner, ConflictGraph, PlannedReveal};
+pub use engine::{ParallelSimulation, RunOutcome, Simulation};
 pub use error::SimError;
 pub use experiment::{all_experiments, find_experiment, Experiment, ExperimentContext, Scale};
 pub use stats::{harmonic, percentile_sorted, OnlineStats, Summary};

@@ -56,19 +56,24 @@ pub use mla_sim as sim;
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
     pub use mla_adversary::{
-        datacenter_instance, random_clique_instance, random_line_instance, Adversary,
-        BinaryTreeAdversary, DatacenterConfig, DetLineAdversary, MergeShape, Oblivious,
+        datacenter_instance, random_clique_instance, random_line_instance, sharded_instance,
+        Adversary, BinaryTreeAdversary, DatacenterConfig, DetLineAdversary, MergeShape, Oblivious,
         SourceAdversary, StreamingWorkload,
     };
     pub use mla_core::{
-        DetClosest, MovePolicy, OnlineMinla, OptReplay, RandCliques, RandLines, RearrangePolicy,
-        UpdateReport,
+        BatchServe, DetClosest, MovePolicy, OnlineMinla, OptReplay, RandCliques, RandLines,
+        RearrangePolicy, UpdateReport,
     };
     pub use mla_graph::{
         GraphState, Instance, InstanceSource, MergeInfo, RevealEvent, RevealSource, Topology,
     };
     pub use mla_offline::{closest_feasible, offline_optimum, LopConfig, LopStrategy, OptBounds};
-    pub use mla_permutation::{Arrangement, Node, Permutation, SegmentArrangement};
+    pub use mla_permutation::{
+        Arrangement, Node, Permutation, SegmentArrangement, ShardedArrangement,
+    };
     pub use mla_runner::{ArtifactStore, Campaign, CampaignReport, RunSink, SeedSequence};
-    pub use mla_sim::{harmonic, OnlineStats, RunOutcome, SimError, Simulation, Table};
+    pub use mla_sim::{
+        harmonic, BatchPlanner, ConflictGraph, OnlineStats, ParallelSimulation, RunOutcome,
+        SimError, Simulation, Table,
+    };
 }

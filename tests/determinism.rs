@@ -398,3 +398,142 @@ fn segment_backend_campaigns_are_thread_count_invariant() {
         );
     }
 }
+
+/// One sequential/batched run pair for every (algorithm policy ×
+/// topology × backend) cell: the batched parallel executor must return a
+/// bit-identical [`RunOutcome`] — costs, per-event reports, events and
+/// final permutation — for every worker count.
+#[test]
+fn parallel_serving_is_bit_identical_for_every_thread_count() {
+    fn check<A, F>(label: &str, instance: &Instance, make: F)
+    where
+        A: BatchServe + 'static,
+        A::Arr: Sync,
+        F: Fn() -> A,
+    {
+        let sequential = Simulation::new(instance.clone(), make())
+            .run()
+            .expect("valid instance");
+        for threads in [1usize, 4, 8] {
+            let parallel = Simulation::new(instance.clone(), make())
+                .parallel(threads)
+                .run()
+                .expect("valid instance");
+            assert_eq!(
+                sequential, parallel,
+                "{label} diverged from sequential at T={threads}"
+            );
+        }
+    }
+
+    let n = 64;
+    let cliques = fixed_instance(Topology::Cliques, n);
+    let lines = fixed_instance(Topology::Lines, n);
+    let policies = [
+        (MovePolicy::SizeBiased, RearrangePolicy::CostBiased),
+        (MovePolicy::Fair, RearrangePolicy::Fair),
+        (MovePolicy::SmallerMoves, RearrangePolicy::Cheapest),
+    ];
+    for (move_policy, rearrange_policy) in policies {
+        check("cliques/dense", &cliques, || {
+            RandCliques::with_policy(
+                Permutation::identity(n),
+                SmallRng::seed_from_u64(COIN_SEED),
+                move_policy,
+            )
+        });
+        check("cliques/segment", &cliques, || {
+            RandCliques::with_policy(
+                SegmentArrangement::identity(n),
+                SmallRng::seed_from_u64(COIN_SEED),
+                move_policy,
+            )
+        });
+        check("cliques/sharded", &cliques, || {
+            RandCliques::with_policy(
+                ShardedArrangement::identity(n),
+                SmallRng::seed_from_u64(COIN_SEED),
+                move_policy,
+            )
+        });
+        check("lines/dense", &lines, || {
+            RandLines::with_policies(
+                Permutation::identity(n),
+                SmallRng::seed_from_u64(COIN_SEED),
+                move_policy,
+                rearrange_policy,
+            )
+        });
+        check("lines/segment", &lines, || {
+            RandLines::with_policies(
+                SegmentArrangement::identity(n),
+                SmallRng::seed_from_u64(COIN_SEED),
+                move_policy,
+                rearrange_policy,
+            )
+        });
+    }
+}
+
+/// Sharded (multi-tenant) campaigns exercise real multi-merge batches —
+/// the config the parallel bench gates on. Sequential, one-worker and
+/// multi-worker runs must agree on every backend, and the sharded
+/// backend must agree with the global segment backend.
+#[test]
+fn parallel_serving_on_sharded_campaigns_is_thread_count_invariant() {
+    let n = 96;
+    let shards = 8;
+    let sizes = mla::adversary::shard_sizes(n, shards);
+    for topology in [Topology::Cliques, Topology::Lines] {
+        let mut rng = SmallRng::seed_from_u64(WORKLOAD_SEED);
+        let instance = sharded_instance(topology, n, shards, MergeShape::Uniform, &mut rng);
+        fn run<A>(sim: Simulation<A>, threads: Option<usize>) -> Result<RunOutcome, SimError>
+        where
+            A: BatchServe + 'static,
+            A::Arr: Sync,
+        {
+            match threads {
+                None => sim.run(),
+                Some(t) => sim.parallel(t).run(),
+            }
+        }
+        let outcome = |threads: Option<usize>, sharded_backend: bool| {
+            let arrangement = if sharded_backend {
+                ShardedArrangement::with_regions(&sizes)
+            } else {
+                ShardedArrangement::identity(n)
+            };
+            match topology {
+                Topology::Cliques => run(
+                    Simulation::new(
+                        instance.clone(),
+                        RandCliques::new(arrangement, SmallRng::seed_from_u64(COIN_SEED)),
+                    ),
+                    threads,
+                )
+                .expect("valid instance"),
+                Topology::Lines => run(
+                    Simulation::new(
+                        instance.clone(),
+                        RandLines::new(arrangement, SmallRng::seed_from_u64(COIN_SEED)),
+                    ),
+                    threads,
+                )
+                .expect("valid instance"),
+            }
+        };
+        let reference = outcome(None, true);
+        assert_eq!(
+            reference,
+            outcome(None, false),
+            "{topology:?}: region-partitioned backend diverged from single-region"
+        );
+        for threads in [1usize, 4, 8] {
+            assert_eq!(
+                reference,
+                outcome(Some(threads), true),
+                "{topology:?}: sharded campaign diverged at T={threads}"
+            );
+        }
+    }
+}
