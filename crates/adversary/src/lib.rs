@@ -22,7 +22,10 @@
 //!   [`SourceAdversary`] bridging any source into the engine's
 //!   [`Adversary`] interface;
 //! * [`datacenter_instance`] — the Section 1.2 motivation: tenant clusters
-//!   arriving, growing and federating.
+//!   arriving, growing and federating;
+//! * [`FamilyWorkload`] — oracle-aligned topology families (interval /
+//!   series-parallel / tree merge-sequence), all RNG routed through
+//!   `SeedSequence` label paths, feeding the certified-ratio harness.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@
 mod binary_tree;
 mod datacenter;
 mod det_line;
+mod families;
 mod random;
 mod sharded;
 mod streaming;
@@ -51,6 +55,7 @@ mod traits;
 pub use binary_tree::BinaryTreeAdversary;
 pub use datacenter::{datacenter_instance, DatacenterConfig};
 pub use det_line::DetLineAdversary;
+pub use families::{FamilyWorkload, TopologyFamily, FAMILY_MAX_COMPONENT};
 pub use random::{random_clique_instance, random_line_instance, MergeShape};
 pub use sharded::{shard_sizes, sharded_instance};
 pub use streaming::StreamingWorkload;

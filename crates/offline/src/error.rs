@@ -28,6 +28,24 @@ pub enum OfflineError {
         /// Nodes in the permutation.
         actual: usize,
     },
+    /// A certifying oracle was handed a degenerate model (no nodes, a
+    /// zero-length interval unit, or fewer nodes than the guest class
+    /// admits).
+    EmptyModel,
+    /// An edge list handed to the path-reconstruction bridge is not a
+    /// disjoint union of simple paths.
+    NotAPathUnion {
+        /// Nodes in the instance.
+        n: usize,
+        /// Edges in the offending list.
+        edges: usize,
+    },
+    /// A series-parallel chain or forest is structurally invalid; the
+    /// index names the first offending gadget (or chain).
+    BadChain {
+        /// Zero-based index of the offending gadget or chain.
+        gadget: usize,
+    },
 }
 
 impl fmt::Display for OfflineError {
@@ -50,6 +68,18 @@ impl fmt::Display for OfflineError {
                     f,
                     "permutation covers {actual} nodes, instance has {expected}"
                 )
+            }
+            OfflineError::EmptyModel => {
+                write!(f, "oracle model is empty or degenerate")
+            }
+            OfflineError::NotAPathUnion { n, edges } => {
+                write!(
+                    f,
+                    "edge list ({edges} edges over {n} nodes) is not a disjoint union of paths"
+                )
+            }
+            OfflineError::BadChain { gadget } => {
+                write!(f, "series-parallel chain invalid at gadget {gadget}")
             }
         }
     }
@@ -82,6 +112,18 @@ mod tests {
             }
             .to_string(),
             "permutation covers 9 nodes, instance has 8"
+        );
+        assert_eq!(
+            OfflineError::EmptyModel.to_string(),
+            "oracle model is empty or degenerate"
+        );
+        assert_eq!(
+            OfflineError::NotAPathUnion { n: 4, edges: 5 }.to_string(),
+            "edge list (5 edges over 4 nodes) is not a disjoint union of paths"
+        );
+        assert_eq!(
+            OfflineError::BadChain { gadget: 2 }.to_string(),
+            "series-parallel chain invalid at gadget 2"
         );
     }
 

@@ -18,7 +18,15 @@
 //! * [`minla_exact`] — exact general MinLA (`O(2ⁿ·n)`, `n ≤ 20`), used to
 //!   validate the model's structural facts;
 //! * [`minla_anneal`] — simulated annealing for arbitrary guest graphs
-//!   (extension beyond the paper).
+//!   (extension beyond the paper);
+//! * the [`oracle`] subsystem — **certifying polynomial-time oracles**
+//!   for the tractable guest classes: linear-time proper-interval MinLA
+//!   ([`interval_minla`]), polynomial series-parallel chain MinLA
+//!   ([`series_parallel_minla`]) and the exact MaxLA duals
+//!   ([`maxla_cliques`], [`maxla_path`], [`maxla_cycle`]), each
+//!   returning an [`OracleResult`] whose [`Certificate`] the
+//!   independent [`verify_certificate`] checker re-validates in
+//!   `O(n log n + m)`.
 //!
 //! # Examples
 //!
@@ -57,6 +65,7 @@ mod error;
 mod exact;
 mod lop;
 mod opt;
+pub mod oracle;
 mod placement;
 mod weights;
 
@@ -70,6 +79,13 @@ pub use lop::{
     borda_seed, brute_force, solve_branch_bound, solve_exact_dp, solve_local_search, LopSolution,
 };
 pub use opt::{offline_optimum, OptBounds};
+pub use oracle::{
+    gadget_profile, interval_minla, maxla_cliques, maxla_cycle, maxla_path,
+    oracle_arrangement_value, paths_from_edges, series_parallel_minla, spread_weights,
+    verify_certificate, Certificate, CertificateError, CliqueSpreadCertificate,
+    ClosedFormCertificate, GadgetShape, GuestClass, IntervalCertificate, IntervalModel, Objective,
+    OracleResult, ProfileTable, SpCertificate, SpChain, SpChainWitness, SpForest, SpGadget,
+};
 pub use placement::{
     place_blocks, place_blocks_exact, place_blocks_heuristic, placement_lower_bound, Placement,
 };

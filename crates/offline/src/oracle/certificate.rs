@@ -1,0 +1,642 @@
+//! Certificates and the independent checker.
+//!
+//! Every oracle ships its answer with a [`Certificate`]: enough witness
+//! data for [`verify_certificate`] to re-derive the instance and the
+//! optimal value *from scratch* — re-sorting the sweep order,
+//! re-brute-forcing every DP table entry, re-applying the rearrangement
+//! inequality, re-evaluating the closed form — and confirm that the
+//! claimed arrangement attains the independently recomputed optimum.
+//! The checker shares no state with the solvers; it trusts only the raw
+//! `(n, edges)` instance handed to it.
+//!
+//! Any inconsistency — a swapped arrangement position, a truncated DP
+//! table, an edge list that does not match the model — surfaces as a
+//! typed [`CertificateError`]. The checker never panics on corrupted
+//! certificate data.
+//!
+//! Total cost is `O(n log n + m)`: one sort plus linear passes, with
+//! `O(1)` re-brute-forcing per series-parallel gadget (layouts have at
+//! most `4! = 24` candidates).
+
+use std::fmt;
+
+use mla_permutation::Node;
+
+use super::interval::IntervalModel;
+use super::maxla::GuestClass;
+use super::series_parallel::{layout_admissible, layout_cost, ProfileTable, SpChain, SpGadget};
+use super::{normalized_edges, oracle_arrangement_value, Objective, OracleResult};
+
+/// The per-topology optimality witness attached to an [`OracleResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Certificate {
+    /// Proper-interval MinLA: the representation plus its sweep order.
+    Interval(IntervalCertificate),
+    /// Series-parallel MinLA: the chain decomposition with DP tables
+    /// and witness layouts.
+    SeriesParallel(SpCertificate),
+    /// Disjoint-clique MaxLA: the partition the rearrangement
+    /// inequality is applied to.
+    CliqueSpread(CliqueSpreadCertificate),
+    /// Path/cycle MaxLA: the guest class and traversal order behind the
+    /// closed-form bound.
+    ClosedForm(ClosedFormCertificate),
+}
+
+impl Certificate {
+    /// The objective this certificate witnesses optimality for.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        match self {
+            Certificate::Interval(_) | Certificate::SeriesParallel(_) => Objective::MinLa,
+            Certificate::CliqueSpread(_) | Certificate::ClosedForm(_) => Objective::MaxLa,
+        }
+    }
+
+    /// Short label for tables and artifacts.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Certificate::Interval(_) => "interval-sweep",
+            Certificate::SeriesParallel(_) => "sp-profile-dp",
+            Certificate::CliqueSpread(_) => "clique-spread",
+            Certificate::ClosedForm(_) => "closed-form",
+        }
+    }
+}
+
+/// Witness for [`interval_minla`](super::interval_minla): the checker
+/// re-derives the intersection graph from `model` and re-sorts to
+/// confirm `order` is the canonical sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalCertificate {
+    /// The unit-interval representation of the instance.
+    pub model: IntervalModel,
+    /// The canonical sweep order the arrangement must equal.
+    pub order: Vec<Node>,
+}
+
+/// Witness for one chain inside an [`SpCertificate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpChainWitness {
+    /// The chain's gadget decomposition.
+    pub gadgets: Vec<SpGadget>,
+    /// The full DP table per gadget; the checker re-brute-forces every
+    /// entry.
+    pub tables: Vec<ProfileTable>,
+    /// The chosen local layout per gadget; must attain its table entry
+    /// under the gadget's boundary condition.
+    pub layouts: Vec<Vec<usize>>,
+}
+
+/// Witness for [`series_parallel_minla`](super::series_parallel_minla).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpCertificate {
+    /// One witness per chain.
+    pub chains: Vec<SpChainWitness>,
+    /// Nodes covered by no chain.
+    pub isolated: Vec<Node>,
+}
+
+/// Witness for [`maxla_cliques`](super::maxla_cliques): the clique
+/// partition; the checker re-runs the rearrangement pairing on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliqueSpreadCertificate {
+    /// The clique partition of `0..n`.
+    pub components: Vec<Vec<Node>>,
+}
+
+/// Witness for [`maxla_path`](super::maxla_path) /
+/// [`maxla_cycle`](super::maxla_cycle): the traversal order behind the
+/// closed form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedFormCertificate {
+    /// Which closed form applies.
+    pub class: GuestClass,
+    /// The path (or cycle) traversal order of `0..n`.
+    pub order: Vec<Node>,
+}
+
+/// A typed certificate rejection. Every variant names what failed to
+/// re-derive; corrupted certificates must land here, never in a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateError {
+    /// The result's objective is not the one its certificate witnesses.
+    ObjectiveMismatch {
+        /// Objective implied by the certificate kind.
+        expected: Objective,
+        /// Objective claimed by the result.
+        actual: Objective,
+    },
+    /// A node count disagrees with the instance's `n`.
+    SizeMismatch {
+        /// The instance's node count.
+        expected: usize,
+        /// The count found in the certificate or arrangement.
+        actual: usize,
+    },
+    /// The edge set the certificate re-derives is not the instance's.
+    ModelMismatch,
+    /// A witness order or layout is not a permutation of its domain.
+    NotAPermutation,
+    /// The interval order breaks `(left, index)` monotonicity at this
+    /// position, or the arrangement deviates from the sweep order.
+    SweepOrderViolation {
+        /// First violating position.
+        position: usize,
+    },
+    /// A chain witness's table or layout vector is shorter than its
+    /// gadget sequence.
+    TruncatedTable {
+        /// Chain index within the certificate.
+        chain: usize,
+        /// Gadget count.
+        expected: usize,
+        /// Shortest witness vector length found.
+        actual: usize,
+    },
+    /// A DP table entry disagrees with independent re-brute-forcing.
+    TableMismatch {
+        /// Chain index within the certificate.
+        chain: usize,
+        /// Gadget index within the chain.
+        gadget: usize,
+    },
+    /// A witness layout is inadmissible for its boundary condition or
+    /// misses its table entry's cost.
+    LayoutViolation {
+        /// Chain index within the certificate.
+        chain: usize,
+        /// Gadget index within the chain.
+        gadget: usize,
+    },
+    /// A witness chain is structurally invalid (junction or node-reuse
+    /// rules).
+    ChainViolation {
+        /// Chain index within the certificate.
+        chain: usize,
+    },
+    /// The certificate's components do not partition the node set.
+    CoverageViolation {
+        /// The instance's node count.
+        n: usize,
+    },
+    /// The claimed value does not match the arrangement's recomputed
+    /// cost or the independently recomputed optimum.
+    CostMismatch {
+        /// Value claimed by the result.
+        claimed: u128,
+        /// Independently recomputed value.
+        actual: u128,
+    },
+    /// The claimed value misses the proven closed-form optimum.
+    NotOptimal {
+        /// Value claimed by the result.
+        claimed: u128,
+        /// The proven bound.
+        bound: u128,
+    },
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::ObjectiveMismatch { expected, actual } => write!(
+                f,
+                "certificate witnesses {} but the result claims {}",
+                expected.label(),
+                actual.label()
+            ),
+            CertificateError::SizeMismatch { expected, actual } => {
+                write!(f, "expected {expected} nodes, certificate has {actual}")
+            }
+            CertificateError::ModelMismatch => {
+                write!(f, "certificate model does not reproduce the instance edges")
+            }
+            CertificateError::NotAPermutation => {
+                write!(f, "certificate order is not a permutation of the node set")
+            }
+            CertificateError::SweepOrderViolation { position } => {
+                write!(f, "interval sweep order violated at position {position}")
+            }
+            CertificateError::TruncatedTable {
+                chain,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "chain {chain} witness truncated: {actual} entries for {expected} gadgets"
+            ),
+            CertificateError::TableMismatch { chain, gadget } => {
+                write!(
+                    f,
+                    "DP table of chain {chain} gadget {gadget} fails recomputation"
+                )
+            }
+            CertificateError::LayoutViolation { chain, gadget } => {
+                write!(
+                    f,
+                    "witness layout of chain {chain} gadget {gadget} is not optimal"
+                )
+            }
+            CertificateError::ChainViolation { chain } => {
+                write!(f, "chain {chain} is not a valid series composition")
+            }
+            CertificateError::CoverageViolation { n } => {
+                write!(f, "certificate components do not partition the {n} nodes")
+            }
+            CertificateError::CostMismatch { claimed, actual } => {
+                write!(f, "claimed value {claimed}, recomputation gives {actual}")
+            }
+            CertificateError::NotOptimal { claimed, bound } => {
+                write!(
+                    f,
+                    "claimed value {claimed} misses the proven optimum {bound}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// Independently validates an oracle answer against the raw instance:
+/// re-derives the edge set and the optimal value from the certificate
+/// alone and confirms the claimed arrangement attains it.
+/// `O(n log n + m)`.
+///
+/// # Errors
+///
+/// Returns the [`CertificateError`] naming the first inconsistency.
+pub fn verify_certificate(
+    n: usize,
+    edges: &[(Node, Node)],
+    result: &OracleResult,
+) -> Result<(), CertificateError> {
+    if result.arrangement.len() != n {
+        return Err(CertificateError::SizeMismatch {
+            expected: n,
+            actual: result.arrangement.len(),
+        });
+    }
+    for &(a, b) in edges {
+        if a.index() >= n || b.index() >= n {
+            return Err(CertificateError::SizeMismatch {
+                expected: n,
+                actual: a.index().max(b.index()) + 1,
+            });
+        }
+    }
+    let expected_objective = result.certificate.objective();
+    if result.objective != expected_objective {
+        return Err(CertificateError::ObjectiveMismatch {
+            expected: expected_objective,
+            actual: result.objective,
+        });
+    }
+    match &result.certificate {
+        Certificate::Interval(cert) => verify_interval(n, edges, result, cert),
+        Certificate::SeriesParallel(cert) => verify_series_parallel(n, edges, result, cert),
+        Certificate::CliqueSpread(cert) => verify_clique_spread(n, edges, result, cert),
+        Certificate::ClosedForm(cert) => verify_closed_form(n, edges, result, cert),
+    }
+}
+
+/// Checks that `members`, taken over all of `partition`, hit every node
+/// in `0..n` exactly once.
+fn check_partition(n: usize, partition: &[Vec<Node>]) -> Result<(), CertificateError> {
+    let mut seen = vec![false; n];
+    let mut covered = 0usize;
+    for node in partition.iter().flatten() {
+        if node.index() >= n || seen[node.index()] {
+            return Err(CertificateError::CoverageViolation { n });
+        }
+        seen[node.index()] = true;
+        covered += 1;
+    }
+    if covered != n {
+        return Err(CertificateError::CoverageViolation { n });
+    }
+    Ok(())
+}
+
+fn verify_interval(
+    n: usize,
+    edges: &[(Node, Node)],
+    result: &OracleResult,
+    cert: &IntervalCertificate,
+) -> Result<(), CertificateError> {
+    if cert.model.n() != n || cert.order.len() != n {
+        return Err(CertificateError::SizeMismatch {
+            expected: n,
+            actual: cert.model.n().min(cert.order.len()),
+        });
+    }
+    check_partition(n, std::slice::from_ref(&cert.order))
+        .map_err(|_| CertificateError::NotAPermutation)?;
+    // The witness order must be the canonical sweep: (left, index)
+    // strictly increasing along it.
+    for (position, pair) in cert.order.windows(2).enumerate() {
+        let key = |v: Node| (cert.model.left(v), v.index());
+        if key(pair[0]) >= key(pair[1]) {
+            return Err(CertificateError::SweepOrderViolation { position });
+        }
+    }
+    // The arrangement must *be* the sweep order.
+    for (position, &node) in cert.order.iter().enumerate() {
+        if result.arrangement.node_at(position) != node {
+            return Err(CertificateError::SweepOrderViolation { position });
+        }
+    }
+    // The model must reproduce the instance's edge set exactly.
+    if normalized_edges(&cert.model.edges()) != normalized_edges(edges) {
+        return Err(CertificateError::ModelMismatch);
+    }
+    let actual = oracle_arrangement_value(&result.arrangement, edges);
+    if actual != result.value {
+        return Err(CertificateError::CostMismatch {
+            claimed: result.value,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+fn verify_series_parallel(
+    n: usize,
+    edges: &[(Node, Node)],
+    result: &OracleResult,
+    cert: &SpCertificate,
+) -> Result<(), CertificateError> {
+    let mut optimum: u128 = 0;
+    let mut covered: Vec<Vec<Node>> = vec![cert.isolated.clone()];
+    let mut derived_edges: Vec<(Node, Node)> = Vec::new();
+    for (chain_index, witness) in cert.chains.iter().enumerate() {
+        let count = witness.gadgets.len();
+        let shortest = witness.tables.len().min(witness.layouts.len());
+        if shortest < count {
+            return Err(CertificateError::TruncatedTable {
+                chain: chain_index,
+                expected: count,
+                actual: shortest,
+            });
+        }
+        // Structural validity: junctions shared, no node reused.
+        let chain = SpChain::new(witness.gadgets.clone())
+            .map_err(|_| CertificateError::ChainViolation { chain: chain_index })?;
+        covered.push(chain.nodes());
+        derived_edges.extend(chain.edges());
+        for (gadget_index, gadget) in witness.gadgets.iter().enumerate() {
+            let (left_end, right_end) = (gadget_index > 0, gadget_index + 1 < count);
+            // Re-brute-force the whole DP table, not just the used slot.
+            if witness.tables[gadget_index] != ProfileTable::of(gadget.shape) {
+                return Err(CertificateError::TableMismatch {
+                    chain: chain_index,
+                    gadget: gadget_index,
+                });
+            }
+            let layout = &witness.layouts[gadget_index];
+            let size = gadget.shape.size();
+            let mut hit = vec![false; size];
+            if layout.len() != size || {
+                layout
+                    .iter()
+                    .any(|&local| local >= size || std::mem::replace(&mut hit[local], true))
+            } {
+                return Err(CertificateError::NotAPermutation);
+            }
+            let entry =
+                witness.tables[gadget_index].costs[ProfileTable::index(left_end, right_end)];
+            if !layout_admissible(layout, size, left_end, right_end)
+                || layout_cost(gadget.shape, layout) != entry
+            {
+                return Err(CertificateError::LayoutViolation {
+                    chain: chain_index,
+                    gadget: gadget_index,
+                });
+            }
+            optimum += u128::from(entry);
+        }
+    }
+    check_partition(n, &covered)?;
+    if normalized_edges(&derived_edges) != normalized_edges(edges) {
+        return Err(CertificateError::ModelMismatch);
+    }
+    if result.value != optimum {
+        return Err(CertificateError::CostMismatch {
+            claimed: result.value,
+            actual: optimum,
+        });
+    }
+    let actual = oracle_arrangement_value(&result.arrangement, edges);
+    if actual != result.value {
+        return Err(CertificateError::CostMismatch {
+            claimed: result.value,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+fn verify_clique_spread(
+    n: usize,
+    edges: &[(Node, Node)],
+    result: &OracleResult,
+    cert: &CliqueSpreadCertificate,
+) -> Result<(), CertificateError> {
+    check_partition(n, &cert.components)?;
+    // The partition must reproduce the instance: each component a
+    // clique, nothing across.
+    let mut derived: Vec<(usize, usize)> = Vec::new();
+    for component in &cert.components {
+        let mut members: Vec<usize> = component.iter().map(|node| node.index()).collect();
+        members.sort_unstable();
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                derived.push((a, b));
+            }
+        }
+    }
+    derived.sort_unstable();
+    if derived != normalized_edges(edges) {
+        return Err(CertificateError::ModelMismatch);
+    }
+    // Rearrangement-inequality optimum, recomputed from the partition:
+    // all spread weights sorted ascending, paired with positions 0..n.
+    let mut weights: Vec<i64> = cert
+        .components
+        .iter()
+        .flat_map(|component| super::maxla::spread_weights(component.len()))
+        .collect();
+    weights.sort_unstable();
+    let optimum: i128 = weights
+        .iter()
+        .enumerate()
+        .map(|(position, &weight)| i128::from(weight) * position as i128)
+        .sum();
+    let optimum = u128::try_from(optimum).map_err(|_| CertificateError::ModelMismatch)?;
+    if result.value != optimum {
+        return Err(CertificateError::NotOptimal {
+            claimed: result.value,
+            bound: optimum,
+        });
+    }
+    let actual = oracle_arrangement_value(&result.arrangement, edges);
+    if actual != result.value {
+        return Err(CertificateError::CostMismatch {
+            claimed: result.value,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+fn verify_closed_form(
+    n: usize,
+    edges: &[(Node, Node)],
+    result: &OracleResult,
+    cert: &ClosedFormCertificate,
+) -> Result<(), CertificateError> {
+    let min_nodes = match cert.class {
+        GuestClass::Path => 2,
+        GuestClass::Cycle => 3,
+    };
+    if n < min_nodes || cert.order.len() != n {
+        return Err(CertificateError::SizeMismatch {
+            expected: n,
+            actual: cert.order.len(),
+        });
+    }
+    check_partition(n, std::slice::from_ref(&cert.order))
+        .map_err(|_| CertificateError::NotAPermutation)?;
+    let mut derived: Vec<(Node, Node)> = cert
+        .order
+        .windows(2)
+        .map(|pair| (pair[0], pair[1]))
+        .collect();
+    if cert.class == GuestClass::Cycle {
+        derived.push((cert.order[n - 1], cert.order[0]));
+    }
+    if normalized_edges(&derived) != normalized_edges(edges) {
+        return Err(CertificateError::ModelMismatch);
+    }
+    let bound = cert.class.closed_form(n);
+    if result.value != bound {
+        return Err(CertificateError::NotOptimal {
+            claimed: result.value,
+            bound,
+        });
+    }
+    let actual = oracle_arrangement_value(&result.arrangement, edges);
+    if actual != result.value {
+        return Err(CertificateError::CostMismatch {
+            claimed: result.value,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{
+        interval_minla, maxla_cliques, maxla_path, series_parallel_minla, IntervalModel, SpForest,
+    };
+    use super::*;
+
+    fn nodes(ids: &[usize]) -> Vec<Node> {
+        ids.iter().copied().map(Node::new).collect()
+    }
+
+    #[test]
+    fn every_solver_round_trips_through_the_checker() {
+        let model = IntervalModel::new(vec![0, 1, 2, 9], 2).unwrap();
+        let result = interval_minla(&model).unwrap();
+        verify_certificate(4, &model.edges(), &result).unwrap();
+
+        let forest = SpForest::from_paths(5, &[nodes(&[0, 3, 1]), nodes(&[2, 4])]).unwrap();
+        let result = series_parallel_minla(&forest).unwrap();
+        verify_certificate(5, &forest.edges(), &result).unwrap();
+
+        let components = vec![nodes(&[0, 2]), nodes(&[1, 3, 4])];
+        let result = maxla_cliques(5, &components).unwrap();
+        let mut edges = vec![(Node::new(0), Node::new(2))];
+        for &(a, b) in &[(1, 3), (1, 4), (3, 4)] {
+            edges.push((Node::new(a), Node::new(b)));
+        }
+        verify_certificate(5, &edges, &result).unwrap();
+
+        let order = nodes(&[2, 0, 1, 3]);
+        let result = maxla_path(4, &order).unwrap();
+        let path_edges: Vec<(Node, Node)> = order.windows(2).map(|w| (w[0], w[1])).collect();
+        verify_certificate(4, &path_edges, &result).unwrap();
+    }
+
+    #[test]
+    fn objective_mismatch_is_detected() {
+        let model = IntervalModel::new(vec![0, 1], 2).unwrap();
+        let mut result = interval_minla(&model).unwrap();
+        result.objective = Objective::MaxLa;
+        assert_eq!(
+            verify_certificate(2, &model.edges(), &result),
+            Err(CertificateError::ObjectiveMismatch {
+                expected: Objective::MinLa,
+                actual: Objective::MaxLa,
+            })
+        );
+    }
+
+    #[test]
+    fn foreign_edges_are_rejected() {
+        let model = IntervalModel::new(vec![0, 1, 9], 2).unwrap();
+        let result = interval_minla(&model).unwrap();
+        let forged = vec![(Node::new(0), Node::new(2))];
+        assert_eq!(
+            verify_certificate(3, &forged, &result),
+            Err(CertificateError::ModelMismatch)
+        );
+    }
+
+    #[test]
+    fn display_messages_render() {
+        let errors: Vec<CertificateError> = vec![
+            CertificateError::ObjectiveMismatch {
+                expected: Objective::MinLa,
+                actual: Objective::MaxLa,
+            },
+            CertificateError::SizeMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            CertificateError::ModelMismatch,
+            CertificateError::NotAPermutation,
+            CertificateError::SweepOrderViolation { position: 1 },
+            CertificateError::TruncatedTable {
+                chain: 0,
+                expected: 2,
+                actual: 1,
+            },
+            CertificateError::TableMismatch {
+                chain: 0,
+                gadget: 1,
+            },
+            CertificateError::LayoutViolation {
+                chain: 0,
+                gadget: 1,
+            },
+            CertificateError::ChainViolation { chain: 2 },
+            CertificateError::CoverageViolation { n: 5 },
+            CertificateError::CostMismatch {
+                claimed: 7,
+                actual: 8,
+            },
+            CertificateError::NotOptimal {
+                claimed: 7,
+                bound: 9,
+            },
+        ];
+        for error in errors {
+            assert!(!error.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Linear-time MinLA on proper (unit) interval graphs.
+//!
+//! A *proper* interval graph has an interval representation where no
+//! interval contains another; equivalently it is a *unit* interval
+//! (indifference) graph: nodes are unit-length intervals and two nodes
+//! are adjacent iff their intervals overlap. Safro's result (*The
+//! minimum linear arrangement problem on proper interval graphs*) is
+//! that the **canonical order** — intervals sorted by left endpoint —
+//! is an exact MinLA for this class, computable in linear time from the
+//! representation.
+//!
+//! The oracle here takes the representation ([`IntervalModel`]) as
+//! input, so the certificate can carry it as the optimality witness:
+//! the checker re-derives the intersection graph from the model,
+//! matches it against the instance's raw edge list, and re-checks that
+//! the claimed arrangement is the sweep order. Ties (identical left
+//! endpoints, e.g. a clique of identical intervals) are broken by node
+//! index; tied nodes are true twins, so any tie order attains the same
+//! value.
+
+use mla_permutation::{Node, Permutation};
+
+use super::certificate::{Certificate, IntervalCertificate};
+use super::{oracle_arrangement_value, Objective, OracleResult};
+use crate::error::OfflineError;
+
+/// A unit-interval (indifference) representation: node `v` is the
+/// interval `[left[v], left[v] + unit)`, and `u ~ v` iff
+/// `|left[u] − left[v]| < unit`.
+///
+/// Endpoints are integers, so intersection tests and certificate
+/// replays are exact — no float tolerance anywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalModel {
+    lefts: Vec<u64>,
+    unit: u64,
+}
+
+impl IntervalModel {
+    /// A model from per-node left endpoints and a common (positive)
+    /// interval length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfflineError::EmptyModel`] if `unit == 0`.
+    pub fn new(lefts: Vec<u64>, unit: u64) -> Result<Self, OfflineError> {
+        if unit == 0 {
+            return Err(OfflineError::EmptyModel);
+        }
+        Ok(IntervalModel { lefts, unit })
+    }
+
+    /// A model for a disjoint union of cliques: every node of clique
+    /// `c` gets the same left endpoint, and consecutive cliques sit
+    /// `2 × unit` apart, so cliques are complete and mutually
+    /// non-adjacent. This is the representation the `Topology::Cliques`
+    /// engine guests use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a component names a node outside `0..n` or twice.
+    #[must_use]
+    pub fn for_cliques(n: usize, components: &[Vec<Node>]) -> IntervalModel {
+        let unit = 1u64;
+        let mut lefts = vec![u64::MAX; n];
+        for (band, component) in components.iter().enumerate() {
+            for node in component {
+                assert!(
+                    lefts[node.index()] == u64::MAX,
+                    "node {node} listed in two components"
+                );
+                lefts[node.index()] = 2 * unit * band as u64;
+            }
+        }
+        assert!(
+            lefts.iter().all(|&l| l != u64::MAX),
+            "components must cover all {n} nodes"
+        );
+        IntervalModel { lefts, unit }
+    }
+
+    /// Number of nodes (intervals).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.lefts.len()
+    }
+
+    /// The common interval length.
+    #[must_use]
+    pub fn unit(&self) -> u64 {
+        self.unit
+    }
+
+    /// The left endpoint of node `v`'s interval.
+    #[must_use]
+    pub fn left(&self, v: Node) -> u64 {
+        self.lefts[v.index()]
+    }
+
+    /// The intersection graph's edge list, `O(n log n + m)` via a
+    /// sliding window over the sorted endpoints.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(Node, Node)> {
+        let order = self.canonical_nodes();
+        let mut edges = Vec::new();
+        let mut window_start = 0usize;
+        for (i, &v) in order.iter().enumerate() {
+            let lv = self.lefts[v.index()];
+            while self.lefts[order[window_start].index()] + self.unit <= lv {
+                window_start += 1;
+            }
+            for &u in &order[window_start..i] {
+                edges.push((u, v));
+            }
+        }
+        edges
+    }
+
+    /// The canonical (sweep) order: nodes sorted by `(left, index)`.
+    #[must_use]
+    pub fn canonical_nodes(&self) -> Vec<Node> {
+        let mut order: Vec<Node> = (0..self.n()).map(Node::new).collect();
+        order.sort_by_key(|v| (self.lefts[v.index()], v.index()));
+        order
+    }
+}
+
+/// Exact MinLA of the model's intersection graph: the canonical sweep
+/// order, with its cost and an [`IntervalCertificate`] witness.
+/// `O(n log n + m)`.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::EmptyModel`] if the model has no nodes (an
+/// arrangement needs at least one position).
+pub fn interval_minla(model: &IntervalModel) -> Result<OracleResult, OfflineError> {
+    if model.n() == 0 {
+        return Err(OfflineError::EmptyModel);
+    }
+    let order = model.canonical_nodes();
+    let arrangement =
+        Permutation::from_nodes(order.clone()).expect("canonical order is a permutation");
+    let value = oracle_arrangement_value(&arrangement, &model.edges());
+    Ok(OracleResult {
+        objective: Objective::MinLa,
+        value,
+        arrangement,
+        certificate: Certificate::Interval(IntervalCertificate {
+            model: model.clone(),
+            order,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_unit_is_rejected() {
+        assert!(matches!(
+            IntervalModel::new(vec![0, 1], 0),
+            Err(OfflineError::EmptyModel)
+        ));
+    }
+
+    #[test]
+    fn empty_model_is_rejected_by_the_solver() {
+        let model = IntervalModel::new(Vec::new(), 1).unwrap();
+        assert!(matches!(
+            interval_minla(&model),
+            Err(OfflineError::EmptyModel)
+        ));
+    }
+
+    #[test]
+    fn overlapping_chain_edges_and_value() {
+        // Lefts 0,1,2 with unit 2: 0~1, 1~2, not 0~2 — the path P3.
+        let model = IntervalModel::new(vec![0, 1, 2], 2).unwrap();
+        let edges = model.edges();
+        assert_eq!(edges.len(), 2);
+        let result = interval_minla(&model).unwrap();
+        assert_eq!(result.value, 2);
+        assert_eq!(result.objective, Objective::MinLa);
+    }
+
+    #[test]
+    fn clique_model_builds_bands() {
+        let components = vec![
+            vec![Node::new(0), Node::new(2)],
+            vec![Node::new(1)],
+            vec![Node::new(3), Node::new(4), Node::new(5)],
+        ];
+        let model = IntervalModel::for_cliques(6, &components);
+        let edges = model.edges();
+        // K2 + K1 + K3 → 1 + 0 + 3 edges.
+        assert_eq!(edges.len(), 4);
+        let result = interval_minla(&model).unwrap();
+        // MinLA: 1 (K2) + 0 + 4 (K3) with components contiguous.
+        assert_eq!(result.value, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "two components")]
+    fn clique_model_rejects_overlapping_components() {
+        let _ =
+            IntervalModel::for_cliques(2, &[vec![Node::new(0), Node::new(1)], vec![Node::new(1)]]);
+    }
+
+    #[test]
+    fn canonical_order_breaks_ties_by_index() {
+        let model = IntervalModel::new(vec![5, 5, 0], 1).unwrap();
+        let order = model.canonical_nodes();
+        assert_eq!(
+            order,
+            vec![Node::new(2), Node::new(0), Node::new(1)],
+            "sorted by left endpoint, then node index"
+        );
+    }
+}

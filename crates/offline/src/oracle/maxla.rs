@@ -1,0 +1,334 @@
+//! Exact MaxLA — the dual objective — on the engine's guest classes.
+//!
+//! Alemany-Puig, Esteban and Ferrer-i-Cancho study the *maximum* linear
+//! arrangement problem and solve it exactly for specific graph classes.
+//! The classes the online engine's guests fall into are exactly
+//! solvable here:
+//!
+//! * **Disjoint cliques** ([`maxla_cliques`]): within one clique of
+//!   size `m` whose sorted positions are `p₀ < … < p_{m−1}`, the
+//!   pairwise-distance sum telescopes to `Σᵢ (2i − m + 1)·pᵢ`. The
+//!   global optimum is therefore an assignment problem solved by the
+//!   rearrangement inequality: sort all per-node *spread weights*
+//!   `2i − m + 1` ascending and pair them with positions `0..n`
+//!   ascending. This is provably optimal, no structural conjecture
+//!   involved.
+//! * **A spanning path** ([`maxla_path`]): `MaxLA(Pₙ) = ⌊n²/2⌋ − 1`,
+//!   attained by the zigzag walk that starts at position `⌊n/2⌋` and
+//!   alternates between the lowest and highest unused positions.
+//! * **A spanning cycle** ([`maxla_cycle`]): `MaxLA(Cₙ) = 2·⌊n²/4⌋`,
+//!   attained by the same zigzag, closed.
+//!
+//! Each result's certificate lets [`verify_certificate`] recompute the
+//! closed-form bound *and* the construction's cost independently — a
+//! genuine optimality proof, since the two must agree.
+//!
+//! [`verify_certificate`]: super::verify_certificate
+
+use mla_permutation::{Node, Permutation};
+
+use super::certificate::{Certificate, CliqueSpreadCertificate, ClosedFormCertificate};
+use super::{Objective, OracleResult};
+use crate::error::OfflineError;
+
+/// The closed-form MaxLA guest classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuestClass {
+    /// A single path spanning all nodes.
+    Path,
+    /// A single cycle spanning all nodes.
+    Cycle,
+}
+
+impl GuestClass {
+    /// Lower-case label, used in tables and artifacts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GuestClass::Path => "path",
+            GuestClass::Cycle => "cycle",
+        }
+    }
+
+    /// The proven `MaxLA` closed form for this class on `n` nodes.
+    #[must_use]
+    pub fn closed_form(self, n: usize) -> u128 {
+        let n = n as u128;
+        match self {
+            GuestClass::Path => n * n / 2 - 1,
+            GuestClass::Cycle => 2 * (n * n / 4),
+        }
+    }
+}
+
+/// The spread weights of one clique of size `m`: rank `i` (by sorted
+/// position) contributes `2i − m + 1`. Their pairing with sorted
+/// positions is what the rearrangement inequality maximizes.
+#[must_use]
+pub fn spread_weights(m: usize) -> Vec<i64> {
+    (0..m).map(|i| 2 * i as i64 - m as i64 + 1).collect()
+}
+
+/// Exact MaxLA of a disjoint union of cliques, `O(n log n)` by the
+/// rearrangement inequality. `components` must partition `0..n`; each
+/// component is one clique (singletons allowed).
+///
+/// # Errors
+///
+/// Returns [`OfflineError::EmptyModel`] if `n == 0` or
+/// [`OfflineError::SizeMismatch`] if the components do not partition
+/// `0..n`.
+pub fn maxla_cliques(n: usize, components: &[Vec<Node>]) -> Result<OracleResult, OfflineError> {
+    if n == 0 {
+        return Err(OfflineError::EmptyModel);
+    }
+    let covered: usize = components.iter().map(Vec::len).sum();
+    let mut seen = vec![false; n];
+    for node in components.iter().flatten() {
+        if node.index() >= n || seen[node.index()] {
+            return Err(OfflineError::SizeMismatch {
+                expected: n,
+                actual: covered,
+            });
+        }
+        seen[node.index()] = true;
+    }
+    if covered != n {
+        return Err(OfflineError::SizeMismatch {
+            expected: n,
+            actual: covered,
+        });
+    }
+    // One (weight, node) pair per node; ranks within a clique follow
+    // node index, which is irrelevant to the value but keeps the
+    // construction deterministic.
+    let mut weighted: Vec<(i64, Node)> = Vec::with_capacity(n);
+    for component in components {
+        let mut members = component.clone();
+        members.sort_unstable_by_key(|node| node.index());
+        for (weight, node) in spread_weights(members.len()).into_iter().zip(members) {
+            weighted.push((weight, node));
+        }
+    }
+    weighted.sort_unstable_by_key(|&(weight, node)| (weight, node.index()));
+    let value: i128 = weighted
+        .iter()
+        .enumerate()
+        .map(|(position, &(weight, _))| i128::from(weight) * position as i128)
+        .sum();
+    let arrangement = Permutation::from_nodes(weighted.into_iter().map(|(_, node)| node).collect())
+        .expect("components partition the node set");
+    Ok(OracleResult {
+        objective: Objective::MaxLa,
+        value: u128::try_from(value).expect("spread value is non-negative"),
+        arrangement,
+        certificate: Certificate::CliqueSpread(CliqueSpreadCertificate {
+            components: components.to_vec(),
+        }),
+    })
+}
+
+/// The zigzag position walk: start at `⌊n/2⌋`, then alternate between
+/// the lowest and highest unused positions. `walk[i]` is the position
+/// of the `i`-th node along the path or cycle.
+#[must_use]
+pub(crate) fn zigzag_walk(n: usize) -> Vec<usize> {
+    let h = n / 2;
+    let mut walk = Vec::with_capacity(n);
+    walk.push(h);
+    let (mut lo, mut hi) = (0usize, n.saturating_sub(1));
+    let mut take_lo = true;
+    while walk.len() < n {
+        if take_lo {
+            if lo == h {
+                lo += 1;
+            }
+            walk.push(lo);
+            lo += 1;
+        } else {
+            if hi == h {
+                hi -= 1;
+            }
+            walk.push(hi);
+            hi -= 1;
+        }
+        take_lo = !take_lo;
+    }
+    walk
+}
+
+fn zigzag_arrangement(order: &[Node]) -> Permutation {
+    let n = order.len();
+    let walk = zigzag_walk(n);
+    let mut at = vec![Node::new(0); n];
+    for (i, &node) in order.iter().enumerate() {
+        at[walk[i]] = node;
+    }
+    Permutation::from_nodes(at).expect("order is a permutation")
+}
+
+fn closed_form_result(
+    class: GuestClass,
+    n: usize,
+    order: &[Node],
+) -> Result<OracleResult, OfflineError> {
+    let min_nodes = match class {
+        GuestClass::Path => 2,
+        GuestClass::Cycle => 3,
+    };
+    if n < min_nodes {
+        return Err(OfflineError::EmptyModel);
+    }
+    if order.len() != n {
+        return Err(OfflineError::SizeMismatch {
+            expected: n,
+            actual: order.len(),
+        });
+    }
+    let mut seen = vec![false; n];
+    for node in order {
+        if node.index() >= n || seen[node.index()] {
+            return Err(OfflineError::SizeMismatch {
+                expected: n,
+                actual: order.len(),
+            });
+        }
+        seen[node.index()] = true;
+    }
+    Ok(OracleResult {
+        objective: Objective::MaxLa,
+        value: class.closed_form(n),
+        arrangement: zigzag_arrangement(order),
+        certificate: Certificate::ClosedForm(ClosedFormCertificate {
+            class,
+            order: order.to_vec(),
+        }),
+    })
+}
+
+/// Exact MaxLA of a spanning path given in path order:
+/// `⌊n²/2⌋ − 1` with the zigzag construction as witness. `O(n)`.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::EmptyModel`] for `n < 2` and
+/// [`OfflineError::SizeMismatch`] if `order` is not a permutation of
+/// `0..n`.
+pub fn maxla_path(n: usize, order: &[Node]) -> Result<OracleResult, OfflineError> {
+    closed_form_result(GuestClass::Path, n, order)
+}
+
+/// Exact MaxLA of a spanning cycle given in cycle order:
+/// `2·⌊n²/4⌋` with the closed zigzag construction as witness. `O(n)`.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::EmptyModel`] for `n < 3` and
+/// [`OfflineError::SizeMismatch`] if `order` is not a permutation of
+/// `0..n`.
+pub fn maxla_cycle(n: usize, order: &[Node]) -> Result<OracleResult, OfflineError> {
+    closed_form_result(GuestClass::Cycle, n, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::oracle_arrangement_value;
+    use super::*;
+
+    fn nodes(ids: &[usize]) -> Vec<Node> {
+        ids.iter().copied().map(Node::new).collect()
+    }
+
+    fn path_edges(order: &[Node]) -> Vec<(Node, Node)> {
+        order.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    #[test]
+    fn spread_weights_sum_to_zero() {
+        for m in 1..10 {
+            assert_eq!(spread_weights(m).iter().sum::<i64>(), 0);
+        }
+    }
+
+    #[test]
+    fn single_clique_maxla_is_arrangement_invariant() {
+        // Every arrangement of a clique has the same value (m³ − m) / 6.
+        let result = maxla_cliques(4, &[nodes(&[0, 1, 2, 3])]).unwrap();
+        assert_eq!(result.value, (64 - 4) / 6);
+    }
+
+    #[test]
+    fn two_cliques_interleave_beats_contiguous() {
+        // Two K2s: contiguous blocks give 1 + 1 = 2; the spread optimum
+        // stretches both edges: positions {0,2} and {1,3} give 2 + 2 = 4.
+        let result = maxla_cliques(4, &[nodes(&[0, 1]), nodes(&[2, 3])]).unwrap();
+        assert_eq!(result.value, 4);
+        let edges = vec![(Node::new(0), Node::new(1)), (Node::new(2), Node::new(3))];
+        assert_eq!(
+            oracle_arrangement_value(&result.arrangement, &edges),
+            result.value
+        );
+    }
+
+    #[test]
+    fn partition_violations_are_typed_errors() {
+        assert!(matches!(
+            maxla_cliques(3, &[nodes(&[0, 1])]),
+            Err(OfflineError::SizeMismatch { .. })
+        ));
+        assert!(matches!(
+            maxla_cliques(2, &[nodes(&[0, 0])]),
+            Err(OfflineError::SizeMismatch { .. })
+        ));
+        assert!(matches!(
+            maxla_cliques(0, &[]),
+            Err(OfflineError::EmptyModel)
+        ));
+    }
+
+    #[test]
+    fn path_zigzag_attains_the_closed_form() {
+        for n in 2..=9 {
+            let order = nodes(&(0..n).collect::<Vec<_>>());
+            let result = maxla_path(n, &order).unwrap();
+            assert_eq!(result.value, (n * n / 2 - 1) as u128);
+            assert_eq!(
+                oracle_arrangement_value(&result.arrangement, &path_edges(&order)),
+                result.value,
+                "zigzag construction must attain the bound at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_zigzag_attains_the_closed_form() {
+        for n in 3..=9 {
+            let order = nodes(&(0..n).collect::<Vec<_>>());
+            let result = maxla_cycle(n, &order).unwrap();
+            assert_eq!(result.value, (2 * (n * n / 4)) as u128);
+            let mut edges = path_edges(&order);
+            edges.push((order[n - 1], order[0]));
+            assert_eq!(
+                oracle_arrangement_value(&result.arrangement, &edges),
+                result.value,
+                "closed zigzag must attain the bound at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_are_rejected() {
+        assert!(matches!(
+            maxla_path(1, &nodes(&[0])),
+            Err(OfflineError::EmptyModel)
+        ));
+        assert!(matches!(
+            maxla_cycle(2, &nodes(&[0, 1])),
+            Err(OfflineError::EmptyModel)
+        ));
+        assert!(matches!(
+            maxla_path(3, &nodes(&[0, 1])),
+            Err(OfflineError::SizeMismatch { .. })
+        ));
+    }
+}

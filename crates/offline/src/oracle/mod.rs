@@ -1,0 +1,248 @@
+//! Certifying polynomial-time arrangement oracles.
+//!
+//! The `n ≤ 8` brute-force permutation oracle ([`minla_exact`] caps out
+//! at `n = 20`) certifies the paper's bounds only on toy instances. This
+//! module turns "online vs `Opt`" into a scalable harness by exploiting
+//! graph classes where linear arrangement is solvable in polynomial
+//! time:
+//!
+//! * [`interval_minla`] — **linear-time MinLA on proper (unit) interval
+//!   graphs**: sorting the intervals by left endpoint (the canonical /
+//!   indifference order) is an optimal arrangement (Safro, *The minimum
+//!   linear arrangement problem on proper interval graphs*);
+//! * [`series_parallel_minla`] — **polynomial MinLA on series chains of
+//!   two-terminal series-parallel gadgets** (the tractable regime opened
+//!   by Eikel–Scheideler–Setzer's series-parallel MinLA work): a
+//!   profile DP over a brute-forced per-gadget layout catalog;
+//! * [`maxla_cliques`] / [`maxla_path`] / [`maxla_cycle`] — the **MaxLA
+//!   dual objective** (Alemany-Puig–Esteban–Ferrer-i-Cancho): exact by
+//!   the rearrangement inequality on disjoint cliques and by closed
+//!   forms with zigzag constructions on paths and cycles.
+//!
+//! Every solver returns an [`OracleResult`]: the optimal value, an
+//! arrangement achieving it, and a [`Certificate`] — a per-topology
+//! optimality witness (interval sweep order, SP decomposition with DP
+//! tables, spread weights, zigzag walk) that the **independent** checker
+//! [`verify_certificate`] re-validates in `O(n log n + m)` against the
+//! raw edge list, without trusting any solver state. Corrupted
+//! certificates surface as typed [`CertificateError`]s, never panics.
+//!
+//! The solvers are cross-validated against exhaustive permutation
+//! enumeration for every `n ≤ 8` catalog instance in
+//! `tests/offline_cross_validation.rs`, and drive the `E-RATIO`
+//! experiment's certified online-vs-`Opt` ratios at `n = 10⁵`.
+//!
+//! [`minla_exact`]: crate::minla_exact
+//!
+//! # Examples
+//!
+//! ```
+//! use mla_offline::{interval_minla, verify_certificate, IntervalModel};
+//!
+//! // Two unit intervals overlap, a third is far right: P2 + K1.
+//! let model = IntervalModel::new(vec![0, 1, 10], 2).unwrap();
+//! let edges = model.edges();
+//! let result = interval_minla(&model).unwrap();
+//! assert_eq!(result.value, 1);
+//! verify_certificate(3, &edges, &result).unwrap();
+//! ```
+
+mod certificate;
+mod interval;
+mod maxla;
+mod series_parallel;
+
+pub use certificate::{
+    verify_certificate, Certificate, CertificateError, CliqueSpreadCertificate,
+    ClosedFormCertificate, IntervalCertificate, SpCertificate, SpChainWitness,
+};
+pub use interval::{interval_minla, IntervalModel};
+pub use maxla::{maxla_cliques, maxla_cycle, maxla_path, spread_weights, GuestClass};
+pub use series_parallel::{
+    gadget_profile, series_parallel_minla, GadgetShape, ProfileTable, SpChain, SpForest, SpGadget,
+};
+
+use mla_permutation::{Node, Permutation};
+
+use crate::error::OfflineError;
+
+/// The two linear arrangement objectives the oracles certify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize `Σ |π(u) − π(v)|` over the edges.
+    MinLa,
+    /// Maximize `Σ |π(u) − π(v)|` over the edges (the dual of MinLA,
+    /// after Alemany-Puig et al.).
+    MaxLa,
+}
+
+impl Objective {
+    /// Lower-case label, used in tables and artifacts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Objective::MinLa => "minla",
+            Objective::MaxLa => "maxla",
+        }
+    }
+}
+
+/// A certified oracle answer: the optimal value, an arrangement
+/// achieving it, and the optimality witness the independent
+/// [`verify_certificate`] checker validates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleResult {
+    /// The objective the value is optimal for.
+    pub objective: Objective,
+    /// The optimal arrangement value `Σ |π(u) − π(v)|`.
+    pub value: u128,
+    /// An arrangement attaining [`value`](OracleResult::value).
+    pub arrangement: Permutation,
+    /// The per-topology optimality witness.
+    pub certificate: Certificate,
+}
+
+/// The arrangement value `Σ |π(u) − π(v)|` of a permutation over an
+/// edge list — the quantity both objectives optimize. `O(m)` position
+/// lookups.
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is outside the permutation's node set.
+#[must_use]
+pub fn oracle_arrangement_value(pi: &Permutation, edges: &[(Node, Node)]) -> u128 {
+    edges
+        .iter()
+        .map(|&(a, b)| {
+            let pa = pi.position_of(a);
+            let pb = pi.position_of(b);
+            pa.abs_diff(pb) as u128
+        })
+        .sum()
+}
+
+/// Reconstructs the path order of every component of a disjoint union
+/// of simple paths from its edge list — the bridge from an engine
+/// [`GraphState`](mla_graph::GraphState) (`Topology::Lines`) to the
+/// series-parallel oracle's chain decomposition. Isolated nodes come
+/// back as single-node paths.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::NotAPathUnion`] if any node has degree
+/// greater than two or a component contains a cycle.
+pub fn paths_from_edges(n: usize, edges: &[(Node, Node)]) -> Result<Vec<Vec<Node>>, OfflineError> {
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        let (a, b) = (a.index(), b.index());
+        adjacency[a].push(b);
+        adjacency[b].push(a);
+        if adjacency[a].len() > 2 || adjacency[b].len() > 2 {
+            return Err(OfflineError::NotAPathUnion {
+                n,
+                edges: edges.len(),
+            });
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut paths = Vec::new();
+    // Walk each component from an endpoint (degree ≤ 1).
+    for start in 0..n {
+        if seen[start] || adjacency[start].len() == 2 {
+            continue;
+        }
+        let mut order = Vec::new();
+        let mut prev = usize::MAX;
+        let mut at = start;
+        loop {
+            seen[at] = true;
+            order.push(Node::new(at));
+            match adjacency[at].iter().find(|&&next| next != prev) {
+                Some(&next) if !seen[next] => {
+                    prev = at;
+                    at = next;
+                }
+                _ => break,
+            }
+        }
+        paths.push(order);
+    }
+    // Any unvisited node now sits on a cycle (every degree-2 component).
+    if seen.iter().any(|&v| !v) {
+        return Err(OfflineError::NotAPathUnion {
+            n,
+            edges: edges.len(),
+        });
+    }
+    Ok(paths)
+}
+
+/// Normalizes an edge list into a sorted, deduplicated vector of
+/// `(low, high)` index pairs — the canonical form certificate checks
+/// compare edge sets in.
+pub(crate) fn normalized_edges(edges: &[(Node, Node)]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = edges
+        .iter()
+        .map(|&(a, b)| {
+            let (a, b) = (a.index(), b.index());
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(a: usize, b: usize) -> (Node, Node) {
+        (Node::new(a), Node::new(b))
+    }
+
+    #[test]
+    fn objective_labels() {
+        assert_eq!(Objective::MinLa.label(), "minla");
+        assert_eq!(Objective::MaxLa.label(), "maxla");
+    }
+
+    #[test]
+    fn arrangement_value_sums_edge_spans() {
+        let pi = Permutation::from_indices(&[2, 0, 1]).unwrap();
+        let edges = vec![ev(0, 1), ev(1, 2)];
+        let expected: u128 = edges
+            .iter()
+            .map(|&(a, b)| pi.position_of(a).abs_diff(pi.position_of(b)) as u128)
+            .sum();
+        assert_eq!(oracle_arrangement_value(&pi, &edges), expected);
+    }
+
+    #[test]
+    fn paths_from_edges_reconstructs_orders() {
+        // 0-1-2 and 3-4, node 5 isolated.
+        let paths = paths_from_edges(6, &[ev(1, 2), ev(0, 1), ev(4, 3)]).unwrap();
+        assert_eq!(paths.len(), 3);
+        let as_indices: Vec<Vec<usize>> = paths
+            .iter()
+            .map(|p| p.iter().map(|v| v.index()).collect())
+            .collect();
+        assert!(as_indices.contains(&vec![0, 1, 2]) || as_indices.contains(&vec![2, 1, 0]));
+        assert!(as_indices.contains(&vec![3, 4]) || as_indices.contains(&vec![4, 3]));
+        assert!(as_indices.contains(&vec![5]));
+    }
+
+    #[test]
+    fn paths_from_edges_rejects_high_degree_and_cycles() {
+        // Star: node 0 with three legs.
+        assert!(matches!(
+            paths_from_edges(4, &[ev(0, 1), ev(0, 2), ev(0, 3)]),
+            Err(OfflineError::NotAPathUnion { .. })
+        ));
+        // Triangle: a cycle component.
+        assert!(matches!(
+            paths_from_edges(3, &[ev(0, 1), ev(1, 2), ev(2, 0)]),
+            Err(OfflineError::NotAPathUnion { .. })
+        ));
+    }
+}

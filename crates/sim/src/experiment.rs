@@ -155,6 +155,7 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::experiments::e_gen::GeneralGraphs),
         Box::new(crate::experiments::e_heur::HeuristicGap),
         Box::new(crate::experiments::e_scale::Scaling),
+        Box::new(crate::experiments::e_ratio::CertifiedRatio),
     ]
 }
 
@@ -174,10 +175,10 @@ mod tests {
     fn registry_ids_are_unique_and_findable() {
         let experiments = all_experiments();
         let mut ids: Vec<&str> = experiments.iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 15, "duplicate experiment ids");
+        assert_eq!(ids.len(), 16, "duplicate experiment ids");
         assert!(find_experiment("e-t2").is_some());
         assert!(find_experiment("E-T16").is_some());
         assert!(find_experiment("nope").is_none());

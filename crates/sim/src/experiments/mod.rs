@@ -10,6 +10,7 @@ pub mod e_l10;
 pub mod e_l3;
 pub mod e_l5;
 pub mod e_opt;
+pub mod e_ratio;
 pub mod e_scale;
 pub mod e_t1;
 pub mod e_t15;

@@ -12,7 +12,9 @@
 //!
 //! * [`permutation`] — arrangements, Kendall tau, block operations;
 //! * [`graph`] — dynamic clique/line collection states and reveal events;
-//! * [`offline`] — offline optimum solvers (exact and heuristic);
+//! * [`offline`] — offline optimum solvers (exact and heuristic), plus
+//!   certifying polynomial-time oracles for interval and series-parallel
+//!   guests with an independent certificate checker;
 //! * [`core`] — the online algorithms: `Det`, `Rand` for cliques
 //!   (`4 ln n`-competitive) and `Rand` for lines (`8 ln n`-competitive);
 //! * [`adversary`] — lower-bound constructions and workload generators;
@@ -57,8 +59,8 @@ pub use mla_sim as sim;
 pub mod prelude {
     pub use mla_adversary::{
         datacenter_instance, random_clique_instance, random_line_instance, sharded_instance,
-        Adversary, BinaryTreeAdversary, DatacenterConfig, DetLineAdversary, MergeShape, Oblivious,
-        SourceAdversary, StreamingWorkload,
+        Adversary, BinaryTreeAdversary, DatacenterConfig, DetLineAdversary, FamilyWorkload,
+        MergeShape, Oblivious, SourceAdversary, StreamingWorkload, TopologyFamily,
     };
     pub use mla_core::{
         BatchServe, DetClosest, MovePolicy, OnlineMinla, OptReplay, RandCliques, RandLines,
@@ -67,7 +69,11 @@ pub mod prelude {
     pub use mla_graph::{
         GraphState, Instance, InstanceSource, MergeInfo, RevealEvent, RevealSource, Topology,
     };
-    pub use mla_offline::{closest_feasible, offline_optimum, LopConfig, LopStrategy, OptBounds};
+    pub use mla_offline::{
+        closest_feasible, interval_minla, maxla_cliques, maxla_path, offline_optimum,
+        series_parallel_minla, verify_certificate, Certificate, CertificateError, IntervalModel,
+        LopConfig, LopStrategy, OptBounds, OracleResult, SpForest,
+    };
     pub use mla_permutation::{
         Arrangement, Node, Permutation, SegmentArrangement, ShardedArrangement,
     };

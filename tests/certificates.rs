@@ -1,0 +1,273 @@
+//! Adversarial tests for the certificate checker: every way a
+//! certificate can be corrupted must produce a *typed*
+//! [`CertificateError`] — never a panic, never a silent pass.
+
+use mla::prelude::*;
+use mla_offline::CertificateError;
+use mla_permutation::Node;
+
+/// A certified interval-oracle answer on a 3-clique instance.
+fn interval_fixture() -> (usize, Vec<(Node, Node)>, OracleResult) {
+    let n = 7;
+    let components: Vec<Vec<Node>> = vec![
+        vec![Node::new(0), Node::new(1), Node::new(2)],
+        vec![Node::new(3), Node::new(4)],
+        vec![Node::new(5), Node::new(6)],
+    ];
+    let model = IntervalModel::for_cliques(n, &components);
+    let edges = model.edges();
+    let result = interval_minla(&model).unwrap();
+    verify_certificate(n, &edges, &result).unwrap();
+    (n, edges, result)
+}
+
+/// A certified series-parallel answer on a 2-path forest.
+fn sp_fixture() -> (usize, Vec<(Node, Node)>, OracleResult) {
+    let n = 8;
+    let paths: Vec<Vec<Node>> = vec![
+        (0..5).map(Node::new).collect(),
+        (5..8).map(Node::new).collect(),
+    ];
+    let forest = SpForest::from_paths(n, &paths).unwrap();
+    let edges = forest.edges();
+    let result = series_parallel_minla(&forest).unwrap();
+    verify_certificate(n, &edges, &result).unwrap();
+    (n, edges, result)
+}
+
+/// A certified MaxLA answer on a clique partition.
+fn spread_fixture() -> (usize, Vec<(Node, Node)>, OracleResult) {
+    let n = 6;
+    let components: Vec<Vec<Node>> = vec![
+        (0..4).map(Node::new).collect(),
+        (4..6).map(Node::new).collect(),
+    ];
+    let result = maxla_cliques(n, &components).unwrap();
+    let model = IntervalModel::for_cliques(n, &components);
+    let edges = model.edges();
+    verify_certificate(n, &edges, &result).unwrap();
+    (n, edges, result)
+}
+
+/// A certified MaxLA answer on a path.
+fn closed_form_fixture() -> (usize, Vec<(Node, Node)>, OracleResult) {
+    let n = 6;
+    let order: Vec<Node> = (0..n).map(Node::new).collect();
+    let edges: Vec<(Node, Node)> = order.windows(2).map(|w| (w[0], w[1])).collect();
+    let result = maxla_path(n, &order).unwrap();
+    verify_certificate(n, &edges, &result).unwrap();
+    (n, edges, result)
+}
+
+/// Swaps the nodes at two arrangement positions, keeping it a valid
+/// permutation — the classic "optimal-looking but not the witness"
+/// corruption.
+fn swap_positions(result: &mut OracleResult, a: usize, b: usize) {
+    let mut nodes = result.arrangement.as_nodes().to_vec();
+    nodes.swap(a, b);
+    result.arrangement = Permutation::from_nodes(nodes).unwrap();
+}
+
+#[test]
+fn swapped_arrangement_positions_are_rejected_everywhere() {
+    for fixture in [
+        interval_fixture,
+        sp_fixture,
+        spread_fixture,
+        closed_form_fixture,
+    ] {
+        let (n, edges, pristine) = fixture();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let mut corrupt = pristine.clone();
+                swap_positions(&mut corrupt, a, b);
+                let verdict = verify_certificate(n, &edges, &corrupt);
+                // A swap may coincidentally preserve the optimum (e.g.
+                // two symmetric nodes); if the cost is still optimal the
+                // checker is right to accept. Otherwise it must reject
+                // with a typed error.
+                let cost = mla_offline::oracle_arrangement_value(&corrupt.arrangement, &edges);
+                if cost != pristine.value || matches!(corrupt.certificate, Certificate::Interval(_))
+                {
+                    let err = verdict.expect_err("swap must be caught");
+                    assert!(!err.to_string().is_empty());
+                } else {
+                    verdict.unwrap();
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn at_least_one_swap_is_rejected_per_family() {
+    // The symmetric-swap escape hatch above must not make the previous
+    // test vacuous: each family has at least one genuinely-detected swap.
+    for fixture in [
+        interval_fixture,
+        sp_fixture,
+        spread_fixture,
+        closed_form_fixture,
+    ] {
+        let (n, edges, pristine) = fixture();
+        let mut rejected = 0usize;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let mut corrupt = pristine.clone();
+                swap_positions(&mut corrupt, a, b);
+                rejected += usize::from(verify_certificate(n, &edges, &corrupt).is_err());
+            }
+        }
+        assert!(
+            rejected > 0,
+            "{} swaps all passed",
+            pristine.certificate.label()
+        );
+    }
+}
+
+#[test]
+fn truncated_dp_table_is_a_typed_error_not_a_panic() {
+    let (n, edges, pristine) = sp_fixture();
+    let Certificate::SeriesParallel(cert) = &pristine.certificate else {
+        panic!("sp fixture must carry an SP certificate");
+    };
+    assert!(!cert.chains.is_empty());
+    for chain in 0..cert.chains.len() {
+        let mut corrupt = pristine.clone();
+        let Certificate::SeriesParallel(cert) = &mut corrupt.certificate else {
+            unreachable!();
+        };
+        cert.chains[chain].tables.pop();
+        match verify_certificate(n, &edges, &corrupt) {
+            Err(CertificateError::TruncatedTable { chain: c, .. }) => assert_eq!(c, chain),
+            other => panic!("expected TruncatedTable, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_layouts_are_a_typed_error_not_a_panic() {
+    let (n, edges, pristine) = sp_fixture();
+    let mut corrupt = pristine;
+    let Certificate::SeriesParallel(cert) = &mut corrupt.certificate else {
+        unreachable!();
+    };
+    cert.chains[0].layouts.clear();
+    assert!(matches!(
+        verify_certificate(n, &edges, &corrupt),
+        Err(CertificateError::TruncatedTable { .. })
+    ));
+}
+
+#[test]
+fn inflated_dp_entry_is_rejected() {
+    let (n, edges, pristine) = sp_fixture();
+    let mut corrupt = pristine;
+    let Certificate::SeriesParallel(cert) = &mut corrupt.certificate else {
+        unreachable!();
+    };
+    // Tampering with a single table entry must be caught by the
+    // re-brute-force, even though the claimed total is untouched.
+    for slot in cert.chains[0].tables[0].costs.iter_mut() {
+        *slot += 1;
+    }
+    assert!(matches!(
+        verify_certificate(n, &edges, &corrupt),
+        Err(CertificateError::TableMismatch {
+            chain: 0,
+            gadget: 0
+        })
+    ));
+}
+
+#[test]
+fn claimed_value_drift_is_rejected() {
+    for fixture in [
+        interval_fixture,
+        sp_fixture,
+        spread_fixture,
+        closed_form_fixture,
+    ] {
+        let (n, edges, pristine) = fixture();
+        for delta in [1i128, -1] {
+            let mut corrupt = pristine.clone();
+            corrupt.value = (corrupt.value as i128 + delta).max(0) as u128;
+            let err =
+                verify_certificate(n, &edges, &corrupt).expect_err("value drift must be caught");
+            assert!(
+                matches!(
+                    err,
+                    CertificateError::CostMismatch { .. } | CertificateError::NotOptimal { .. }
+                ),
+                "unexpected error for {}: {err:?}",
+                pristine.certificate.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn objective_swap_is_rejected() {
+    let (n, edges, minla) = interval_fixture();
+    let (_, _, maxla) = spread_fixture();
+    let mut corrupt = minla;
+    corrupt.certificate = maxla.certificate;
+    assert!(matches!(
+        verify_certificate(n, &edges, &corrupt),
+        Err(CertificateError::ObjectiveMismatch { .. })
+    ));
+}
+
+#[test]
+fn foreign_instance_is_rejected() {
+    // A pristine certificate presented against the wrong edge list.
+    let (n, _, pristine) = interval_fixture();
+    let foreign: Vec<(Node, Node)> = vec![(Node::new(0), Node::new(6))];
+    assert!(matches!(
+        verify_certificate(n, &foreign, &pristine),
+        Err(CertificateError::ModelMismatch)
+    ));
+}
+
+#[test]
+fn wrong_instance_size_is_rejected() {
+    let (n, edges, pristine) = sp_fixture();
+    assert!(matches!(
+        verify_certificate(n + 1, &edges, &pristine),
+        Err(CertificateError::SizeMismatch { .. })
+    ));
+}
+
+#[test]
+fn incomplete_partition_coverage_is_rejected() {
+    let (n, edges, pristine) = spread_fixture();
+    let mut corrupt = pristine;
+    let Certificate::CliqueSpread(cert) = &mut corrupt.certificate else {
+        unreachable!();
+    };
+    // Move a node across cliques: the partition still covers all nodes,
+    // but the derived edge set no longer matches the instance.
+    let node = cert.components[0].pop().unwrap();
+    cert.components[1].push(node);
+    let err = verify_certificate(n, &edges, &corrupt).expect_err("tampered partition");
+    assert!(
+        matches!(
+            err,
+            CertificateError::ModelMismatch | CertificateError::CoverageViolation { .. }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn every_error_formats_without_panicking() {
+    // Corruption should always be reportable: exercise Display on the
+    // errors produced above.
+    let (n, edges, pristine) = sp_fixture();
+    let mut corrupt = pristine;
+    corrupt.value += 7;
+    let err = verify_certificate(n, &edges, &corrupt).unwrap_err();
+    let rendered = err.to_string();
+    assert!(rendered.contains("claimed"), "{rendered}");
+}

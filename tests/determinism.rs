@@ -537,3 +537,57 @@ fn parallel_serving_on_sharded_campaigns_is_thread_count_invariant() {
         }
     }
 }
+
+/// The batched parallel executor stays bit-identical on the
+/// oracle-tractable workload families (interval, series-parallel, tree
+/// merge-sequences) for every worker count and arrangement backend.
+#[test]
+fn family_workloads_are_thread_count_invariant() {
+    let n = 64;
+    let root = SeedSequence::new(WORKLOAD_SEED);
+    for family in TopologyFamily::all() {
+        let mut source = FamilyWorkload::new(family, n, &root);
+        let instance = mla::graph::collect_instance(&mut source).expect("valid family stream");
+
+        fn check<A, F>(label: &str, instance: &Instance, make: F)
+        where
+            A: BatchServe + 'static,
+            A::Arr: Sync,
+            F: Fn() -> A,
+        {
+            let sequential = Simulation::new(instance.clone(), make()).run().unwrap();
+            for threads in [1usize, 4, 8] {
+                let parallel = Simulation::new(instance.clone(), make())
+                    .parallel(threads)
+                    .run()
+                    .unwrap();
+                assert_eq!(sequential, parallel, "{label} diverged at T={threads}");
+            }
+        }
+
+        match family.topology() {
+            Topology::Cliques => {
+                check(family.label(), &instance, || {
+                    RandCliques::new(Permutation::identity(n), SmallRng::seed_from_u64(COIN_SEED))
+                });
+                check(family.label(), &instance, || {
+                    RandCliques::new(
+                        SegmentArrangement::identity(n),
+                        SmallRng::seed_from_u64(COIN_SEED),
+                    )
+                });
+            }
+            Topology::Lines => {
+                check(family.label(), &instance, || {
+                    RandLines::new(Permutation::identity(n), SmallRng::seed_from_u64(COIN_SEED))
+                });
+                check(family.label(), &instance, || {
+                    RandLines::new(
+                        SegmentArrangement::identity(n),
+                        SmallRng::seed_from_u64(COIN_SEED),
+                    )
+                });
+            }
+        }
+    }
+}

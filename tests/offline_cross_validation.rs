@@ -216,3 +216,235 @@ fn heuristic_never_beats_exact_and_stays_close() {
         "heuristic optimality gap too large on small instances: {mean_gap:.3}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Certifying-oracle cross-validation: every oracle answer must agree
+// exactly with exhaustive permutation enumeration (n ≤ 8) and pass the
+// independent certificate checker — on every generated instance, for
+// both objectives.
+// ---------------------------------------------------------------------------
+
+use mla_graph::final_state_of;
+use mla_offline::{
+    gadget_profile, maxla_cycle, oracle_arrangement_value, GadgetShape, SpChain, SpGadget,
+};
+
+/// Brute-force arrangement optimum over an arbitrary edge list: the
+/// minimum (or maximum) of `Σ |π(u) − π(v)|` over all `n!` permutations.
+fn brute_value(n: usize, edges: &[(Node, Node)], maximize: bool) -> u128 {
+    let mut best = if maximize { 0 } else { u128::MAX };
+    for_each_permutation(n, &mut |perm| {
+        let value = oracle_arrangement_value(perm, edges);
+        best = if maximize {
+            best.max(value)
+        } else {
+            best.min(value)
+        };
+    });
+    best
+}
+
+/// Every series chain over the gadget catalog with at most `max_n`
+/// nodes, as shape sequences.
+fn catalog_chains(max_n: usize) -> Vec<Vec<GadgetShape>> {
+    fn rec(
+        current: &mut Vec<GadgetShape>,
+        n: usize,
+        max_n: usize,
+        out: &mut Vec<Vec<GadgetShape>>,
+    ) {
+        if !current.is_empty() {
+            out.push(current.clone());
+        }
+        for shape in GadgetShape::all() {
+            let added = shape.size() - usize::from(!current.is_empty());
+            if n + added <= max_n {
+                current.push(shape);
+                rec(current, n + added, max_n, out);
+                current.pop();
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut Vec::new(), 0, max_n, &mut out);
+    out
+}
+
+/// Materializes a shape sequence over consecutive node ids.
+fn build_chain(shapes: &[GadgetShape]) -> (usize, SpChain) {
+    let mut gadgets = Vec::with_capacity(shapes.len());
+    let mut next = 0usize;
+    for (index, &shape) in shapes.iter().enumerate() {
+        let start = if index == 0 { 0 } else { next - 1 };
+        let nodes: Vec<Node> = (start..start + shape.size()).map(Node::new).collect();
+        next = start + shape.size();
+        gadgets.push(SpGadget { shape, nodes });
+    }
+    (next, SpChain::new(gadgets).unwrap())
+}
+
+#[test]
+fn sp_oracle_is_exact_on_every_catalog_chain_up_to_n8() {
+    // The structural claim behind the profile DP (optimal arrangements
+    // exist with gadgets as contiguous blocks, junctions on block
+    // boundaries) is validated here against exhaustive enumeration for
+    // EVERY catalog chain with n ≤ 8 — no sampling.
+    let chains = catalog_chains(8);
+    assert_eq!(chains.len(), 319, "catalog enumeration drifted");
+    for shapes in chains {
+        let (n, chain) = build_chain(&shapes);
+        let forest = SpForest::new(n, vec![chain]).unwrap();
+        let edges = forest.edges();
+        let result = series_parallel_minla(&forest).unwrap();
+        assert_eq!(
+            result.value,
+            brute_value(n, &edges, false),
+            "SP oracle wrong on {shapes:?}"
+        );
+        assert_eq!(
+            oracle_arrangement_value(&result.arrangement, &edges),
+            result.value
+        );
+        verify_certificate(n, &edges, &result).unwrap();
+    }
+}
+
+#[test]
+fn gadget_profiles_match_their_witness_layouts() {
+    for shape in GadgetShape::all() {
+        for left_end in [false, true] {
+            for right_end in [false, true] {
+                let (cost, layout) = gadget_profile(shape, left_end, right_end);
+                assert_eq!(layout.len(), shape.size());
+                if left_end {
+                    assert_eq!(layout[0], 0, "{shape:?}: s must sit leftmost");
+                }
+                if right_end {
+                    assert_eq!(layout[shape.size() - 1], shape.size() - 1);
+                }
+                // The witness layout attains the claimed cost.
+                let position: Vec<usize> = {
+                    let mut p = vec![0; shape.size()];
+                    for (slot, &local) in layout.iter().enumerate() {
+                        p[local] = slot;
+                    }
+                    p
+                };
+                let attained: u64 = shape
+                    .local_edges()
+                    .iter()
+                    .map(|&(a, b)| position[a].abs_diff(position[b]) as u64)
+                    .sum();
+                assert_eq!(attained, cost);
+            }
+        }
+    }
+}
+
+#[test]
+fn maxla_closed_forms_match_brute_force() {
+    for n in 2usize..=8 {
+        let order: Vec<Node> = (0..n).map(Node::new).collect();
+        let path_edges: Vec<(Node, Node)> = order.windows(2).map(|w| (w[0], w[1])).collect();
+        let result = maxla_path(n, &order).unwrap();
+        assert_eq!(
+            result.value,
+            brute_value(n, &path_edges, true),
+            "path n={n}"
+        );
+        verify_certificate(n, &path_edges, &result).unwrap();
+        if n >= 3 {
+            let mut cycle_edges = path_edges.clone();
+            cycle_edges.push((order[n - 1], order[0]));
+            let result = maxla_cycle(n, &order).unwrap();
+            assert_eq!(
+                result.value,
+                brute_value(n, &cycle_edges, true),
+                "cycle n={n}"
+            );
+            verify_certificate(n, &cycle_edges, &result).unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interval_oracle_matches_brute_force(
+        (lefts, unit) in (proptest::collection::vec(0u64..12, 1..=7), 1u64..4)
+    ) {
+        let n = lefts.len();
+        let model = IntervalModel::new(lefts, unit).unwrap();
+        let edges = model.edges();
+        let result = interval_minla(&model).unwrap();
+        prop_assert_eq!(result.value, brute_value(n, &edges, false));
+        verify_certificate(n, &edges, &result).unwrap();
+    }
+
+    #[test]
+    fn clique_oracles_match_brute_force_on_truncated_instances(seed in any::<u64>()) {
+        // Engine-shaped inputs: a truncated clique workload's final
+        // components, both objectives.
+        let n = 7;
+        let instance = truncated_instance(Topology::Cliques, n, seed);
+        let state = instance.final_state();
+        let components = state.components();
+        let edges = state.edges();
+
+        let minla = interval_minla(&IntervalModel::for_cliques(n, &components)).unwrap();
+        prop_assert_eq!(minla.value, brute_value(n, &edges, false));
+        verify_certificate(n, &edges, &minla).unwrap();
+
+        let maxla = maxla_cliques(n, &components).unwrap();
+        prop_assert_eq!(maxla.value, brute_value(n, &edges, true));
+        verify_certificate(n, &edges, &maxla).unwrap();
+    }
+
+    #[test]
+    fn line_oracle_matches_brute_force_on_truncated_instances(seed in any::<u64>()) {
+        let n = 7;
+        let instance = truncated_instance(Topology::Lines, n, seed);
+        let state = instance.final_state();
+        let forest = SpForest::from_paths(n, &state.components()).unwrap();
+        let edges = state.edges();
+        let result = series_parallel_minla(&forest).unwrap();
+        prop_assert_eq!(result.value, brute_value(n, &edges, false));
+        prop_assert_eq!(result.value, state.minla_value());
+        verify_certificate(n, &edges, &result).unwrap();
+    }
+
+    #[test]
+    fn family_workloads_are_certified_and_exact(seed in any::<u64>()) {
+        // Every instance the E-RATIO families generate (at brute-force
+        // scale) is solved exactly and certified, for both objectives
+        // where the family admits a dual.
+        let n = 8;
+        let root = SeedSequence::new(seed);
+        for family in TopologyFamily::all() {
+            let mut source = FamilyWorkload::new(family, n, &root);
+            let state = final_state_of(&mut source).unwrap();
+            let components = state.components();
+            let edges = state.edges();
+            let minla = match family {
+                TopologyFamily::Interval => {
+                    let maxla = maxla_cliques(n, &components).unwrap();
+                    prop_assert_eq!(maxla.value, brute_value(n, &edges, true));
+                    verify_certificate(n, &edges, &maxla).unwrap();
+                    interval_minla(&IntervalModel::for_cliques(n, &components)).unwrap()
+                }
+                TopologyFamily::SeriesParallel | TopologyFamily::TreeMerge => {
+                    if family == TopologyFamily::TreeMerge {
+                        let maxla = maxla_path(n, &components[0]).unwrap();
+                        prop_assert_eq!(maxla.value, brute_value(n, &edges, true));
+                        verify_certificate(n, &edges, &maxla).unwrap();
+                    }
+                    series_parallel_minla(&SpForest::from_paths(n, &components).unwrap()).unwrap()
+                }
+            };
+            prop_assert_eq!(minla.value, brute_value(n, &edges, false));
+            prop_assert_eq!(minla.value, state.minla_value());
+            verify_certificate(n, &edges, &minla).unwrap();
+        }
+    }
+}

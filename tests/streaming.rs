@@ -287,3 +287,52 @@ fn instance_source_drives_the_engine_like_the_instance() {
     .expect("valid instance");
     assert_eq!(direct, adapted);
 }
+
+/// The oracle-tractable families stream exactly what they materialize:
+/// a fresh [`FamilyWorkload`] driven by the engine produces the same
+/// outcome as its collected [`Instance`], and `restart` replays the
+/// identical event sequence.
+#[test]
+fn family_workloads_stream_and_materialize_identically() {
+    let n = 64;
+    let root = SeedSequence::new(WORKLOAD_SEED);
+    for family in TopologyFamily::all() {
+        let mut source = FamilyWorkload::new(family, n, &root);
+        let instance = mla::graph::collect_instance(&mut source).expect("valid family stream");
+
+        // Restart replays the identical schedule.
+        source.restart();
+        let replay: Vec<RevealEvent> = std::iter::from_fn(|| source.next_event()).collect();
+        assert_eq!(
+            replay,
+            instance.events(),
+            "{} restart diverged",
+            family.label()
+        );
+
+        let fresh = FamilyWorkload::new(family, n, &root);
+        let (materialized, streamed) = match family.topology() {
+            Topology::Cliques => {
+                let make =
+                    || RandCliques::new(Permutation::identity(n), SmallRng::seed_from_u64(11));
+                (
+                    Simulation::new(instance, make()).run().unwrap(),
+                    Simulation::from_source(fresh, make()).run().unwrap(),
+                )
+            }
+            Topology::Lines => {
+                let make = || RandLines::new(Permutation::identity(n), SmallRng::seed_from_u64(11));
+                (
+                    Simulation::new(instance, make()).run().unwrap(),
+                    Simulation::from_source(fresh, make()).run().unwrap(),
+                )
+            }
+        };
+        assert_eq!(
+            materialized,
+            streamed,
+            "{}: streamed vs materialized outcome diverged",
+            family.label()
+        );
+    }
+}
