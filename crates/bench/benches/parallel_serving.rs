@@ -163,6 +163,10 @@ fn write_artifact(cells: &[Cell], cores: usize) -> std::path::PathBuf {
                     "speedup_vs_sequential",
                     Json::Number(cell.sequential_seconds / cell.parallel_seconds.max(1e-12)),
                 )
+                .field(
+                    "parked_overhead_vs_sequential",
+                    Json::Number(cell.one_worker_seconds / cell.sequential_seconds.max(1e-12)),
+                )
         })
         .collect::<Vec<_>>();
     let report = Json::object()
@@ -214,6 +218,20 @@ fn bench_parallel_serving(c: &mut Criterion) {
                  T={THREADS} scaling is unmeasurable]"
             );
         }
+    }
+    // The degraded-mode price: on the uniform (single-tenant) campaign
+    // the window parks at 1 and the pipeline must cost no more than the
+    // sequential loop plus noise. Unlike thread scaling this is
+    // measurable on any host, so the gate does not depend on core count.
+    if let Ok(max) = std::env::var("MLA_BENCH_MAX_PARKED_OVERHEAD") {
+        let max: f64 = max.parse().expect("numeric MLA_BENCH_MAX_PARKED_OVERHEAD");
+        let uniform = &cells[1];
+        let overhead = uniform.one_worker_seconds / uniform.sequential_seconds.max(1e-12);
+        assert!(
+            overhead <= max,
+            "parked degraded-mode overhead {overhead:.2}x vs sequential on the uniform \
+             campaign exceeds the allowed {max}x"
+        );
     }
 
     // A criterion-visible target at a small n so `cargo bench` integrates

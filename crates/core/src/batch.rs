@@ -59,10 +59,73 @@ impl MergeLayout {
     /// predating this merge).
     #[must_use]
     pub fn locate<P: Arrangement + ?Sized>(arr: &P, info: &MergeInfo) -> Self {
+        if info.x.is_lazy() || info.z.is_lazy() {
+            return Self::locate_lazy(arr, info);
+        }
         let (layout, x_orientation, z_orientation) =
             BlockLayout::locate_oriented(arr, &info.x, &info.z);
         MergeLayout {
             layout,
+            x_orientation,
+            z_orientation,
+        }
+    }
+
+    /// The `O(log n)` locate for lazy snapshots: each component resolves
+    /// through the backend's slot-based
+    /// [`locate_component`](Arrangement::locate_component) — no member
+    /// walk — and its orientation falls out of where the anchor (the
+    /// joined endpoint) landed inside the block.
+    ///
+    /// Sound because the engine only enables lazy snapshots for algorithm
+    /// runs, where every component is kept a single coalesced block, so
+    /// the slot lookup is exact. Debug builds cross-check against the
+    /// full member walk via the snapshots' shadow lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a component fails to resolve as a single block — the
+    /// lazy-mode equivalent of the feasibility-invariant panic in
+    /// [`BlockLayout::locate`].
+    fn locate_lazy<P: Arrangement + ?Sized>(arr: &P, info: &MergeInfo) -> Self {
+        let resolve = |snapshot: &mla_graph::ComponentSnapshot| {
+            let (range, anchor_pos) = arr
+                .locate_component(snapshot.joined(), snapshot.len())
+                .expect(
+                    "lazy locate missed: component is not a single block \
+                     (feasibility invariant or coalesce contract broken)",
+                );
+            let forward = snapshot.len() <= 1
+                || if snapshot.joined_at_end() {
+                    anchor_pos == range.end - 1
+                } else {
+                    anchor_pos == range.start
+                };
+            #[cfg(debug_assertions)]
+            if let Some(nodes) = snapshot.shadow_nodes() {
+                let (walked_range, walked_forward) = arr
+                    .oriented_contiguous_range(nodes)
+                    .expect("shadow member walk must agree that the component is contiguous");
+                debug_assert_eq!(
+                    range, walked_range,
+                    "slot locate disagrees with member walk"
+                );
+                debug_assert_eq!(
+                    forward, walked_forward,
+                    "anchor orientation disagrees with member walk"
+                );
+            }
+            let orientation = if forward {
+                Orientation::Forward
+            } else {
+                Orientation::Reversed
+            };
+            (range, orientation)
+        };
+        let (x_range, x_orientation) = resolve(&info.x);
+        let (z_range, z_orientation) = resolve(&info.z);
+        MergeLayout {
+            layout: BlockLayout { x_range, z_range },
             x_orientation,
             z_orientation,
         }
@@ -163,11 +226,11 @@ pub(crate) fn fill_line_target(content: &mut Vec<Node>, info: &MergeInfo, forwar
     content.clear();
     content.reserve(info.merged_len());
     if forward {
-        content.extend(info.x.nodes.iter().copied());
-        content.extend(info.z.nodes.iter().copied());
+        content.extend(info.x.nodes().iter().copied());
+        content.extend(info.z.nodes().iter().copied());
     } else {
-        content.extend(info.z.nodes.iter().rev().copied());
-        content.extend(info.x.nodes.iter().rev().copied());
+        content.extend(info.z.nodes().iter().rev().copied());
+        content.extend(info.x.nodes().iter().rev().copied());
     }
 }
 

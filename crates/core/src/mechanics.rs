@@ -33,10 +33,10 @@ impl BlockLayout {
         z: &ComponentSnapshot,
     ) -> Self {
         let x_range = perm
-            .contiguous_range(&x.nodes)
+            .contiguous_range(x.nodes())
             .expect("X component must be contiguous (feasibility invariant)");
         let z_range = perm
-            .contiguous_range(&z.nodes)
+            .contiguous_range(z.nodes())
             .expect("Z component must be contiguous (feasibility invariant)");
         BlockLayout { x_range, z_range }
     }
@@ -55,10 +55,10 @@ impl BlockLayout {
         z: &ComponentSnapshot,
     ) -> (Self, Orientation, Orientation) {
         let (x_range, x_forward) = perm
-            .oriented_contiguous_range(&x.nodes)
+            .oriented_contiguous_range(x.nodes())
             .expect("X component must be contiguous (feasibility invariant)");
         let (z_range, z_forward) = perm
-            .oriented_contiguous_range(&z.nodes)
+            .oriented_contiguous_range(z.nodes())
             .expect("Z component must be contiguous (feasibility invariant)");
         let orientation = |forward| {
             if forward {
@@ -268,8 +268,8 @@ pub fn rearrange_choices_located<P: Arrangement + ?Sized>(
     x: &ComponentSnapshot,
     z: &ComponentSnapshot,
 ) -> RearrangeChoices {
-    let x_orientation = orientation_in(perm, &x.nodes, &layout.x_range);
-    let z_orientation = orientation_in(perm, &z.nodes, &layout.z_range);
+    let x_orientation = orientation_in(perm, x.nodes(), &layout.x_range);
+    let z_orientation = orientation_in(perm, z.nodes(), &layout.z_range);
     rearrange_choices_pure(
         x.len(),
         z.len(),
@@ -418,10 +418,9 @@ mod tests {
     use mla_permutation::{Permutation, SegmentArrangement};
 
     fn snapshot(indices: &[usize]) -> ComponentSnapshot {
-        ComponentSnapshot {
-            nodes: indices.iter().map(|&i| Node::new(i)).collect(),
-            joined: Node::new(indices[indices.len() - 1]),
-        }
+        let nodes: Vec<Node> = indices.iter().map(|&i| Node::new(i)).collect();
+        let joined = nodes[nodes.len() - 1];
+        ComponentSnapshot::eager(nodes, joined)
     }
 
     #[test]
@@ -502,14 +501,8 @@ mod tests {
         // (so block reads reversed) and Z path is z_i-b (forward).
         // x_i = 1, a = 0, z_i = 2, b = 3.
         let perm = Permutation::from_indices(&[1, 0, 2, 3]).unwrap();
-        let x = ComponentSnapshot {
-            nodes: vec![Node::new(0), Node::new(1)],
-            joined: Node::new(1),
-        };
-        let z = ComponentSnapshot {
-            nodes: vec![Node::new(2), Node::new(3)],
-            joined: Node::new(2),
-        };
+        let x = ComponentSnapshot::eager(vec![Node::new(0), Node::new(1)], Node::new(1));
+        let z = ComponentSnapshot::eager(vec![Node::new(2), Node::new(3)], Node::new(2));
         let choices = rearrange_choices(&perm, &x, &z);
         // Forward target [0,1,2,3]: reverse X only → cost C(2,2)=1.
         assert!(choices.forward.reverse_x);
@@ -524,14 +517,8 @@ mod tests {
 
     #[test]
     fn execute_rearrange_reaches_targets() {
-        let x = ComponentSnapshot {
-            nodes: vec![Node::new(0), Node::new(1)],
-            joined: Node::new(1),
-        };
-        let z = ComponentSnapshot {
-            nodes: vec![Node::new(2), Node::new(3)],
-            joined: Node::new(2),
-        };
+        let x = ComponentSnapshot::eager(vec![Node::new(0), Node::new(1)], Node::new(1));
+        let z = ComponentSnapshot::eager(vec![Node::new(2), Node::new(3)], Node::new(2));
         for start in [
             vec![1usize, 0, 2, 3],
             vec![0, 1, 2, 3],
@@ -555,14 +542,8 @@ mod tests {
     fn mechanics_are_backend_agnostic() {
         // The full merge update — move, rearrange, coalesce — must behave
         // identically on the dense and segment backends.
-        let x = ComponentSnapshot {
-            nodes: vec![Node::new(0), Node::new(1)],
-            joined: Node::new(1),
-        };
-        let z = ComponentSnapshot {
-            nodes: vec![Node::new(4), Node::new(5)],
-            joined: Node::new(4),
-        };
+        let x = ComponentSnapshot::eager(vec![Node::new(0), Node::new(1)], Node::new(1));
+        let z = ComponentSnapshot::eager(vec![Node::new(4), Node::new(5)], Node::new(4));
         let mut dense = Permutation::from_indices(&[1, 0, 2, 3, 4, 5]).unwrap();
         let mut segment = SegmentArrangement::from_permutation(&dense);
         let dense_move = execute_move(&mut dense, &x, &z, true);
@@ -578,20 +559,14 @@ mod tests {
         coalesce_merged(&mut segment, &x, &z);
         assert_eq!(segment.to_permutation(), dense);
         // After the coalesce hint the merged component is one segment.
-        let merged: Vec<Node> = x.nodes.iter().chain(z.nodes.iter()).copied().collect();
+        let merged: Vec<Node> = x.nodes().iter().chain(z.nodes().iter()).copied().collect();
         assert!(segment.contiguous_range(&merged).is_some());
     }
 
     #[test]
     fn rearrange_with_singletons() {
-        let x = ComponentSnapshot {
-            nodes: vec![Node::new(0)],
-            joined: Node::new(0),
-        };
-        let z = ComponentSnapshot {
-            nodes: vec![Node::new(1)],
-            joined: Node::new(1),
-        };
+        let x = ComponentSnapshot::eager(vec![Node::new(0)], Node::new(0));
+        let z = ComponentSnapshot::eager(vec![Node::new(1)], Node::new(1));
         let perm = Permutation::from_indices(&[1, 0, 2]).unwrap();
         let choices = rearrange_choices(&perm, &x, &z);
         // Forward target [0,1]: needs the swap (cost 1); reversed is free.

@@ -118,6 +118,14 @@ impl<R: Rng, P: Arrangement> OnlineMinla for RandCliques<R, P> {
         let plan = Self::build_plan(info, &layout, decision);
         self.apply_plan(plan)
     }
+
+    fn wants_lazy_info(&self) -> bool {
+        // Every policy decides from component sizes alone and the update
+        // is a pure block move: member lists are never read, so lazy
+        // snapshots plus the slot-based locate serve each merge in
+        // `O(log n)` with no `O(len)` materialization.
+        true
+    }
 }
 
 impl<R: Rng, P: Arrangement> BatchServe for RandCliques<R, P> {

@@ -99,6 +99,56 @@ impl<R: Rng, P: Arrangement> RandLines<R, P> {
         (self.move_policy, self.rearrange_policy)
     }
 
+    /// Rebuilds the merged path's target content into `scratch` without
+    /// member lists: the forward target `x.nodes ++ z.nodes` is the
+    /// post-merge path read across the just-committed edge `(a, b)`, so
+    /// one two-sided adjacency walk outward from the joined endpoints
+    /// reconstructs it — no member scan, no canonical-endpoint search,
+    /// no intermediate allocation.
+    ///
+    /// `O(len)` — but only invoked when the rearranging option has
+    /// positive cost, where the update itself is already `Ω(len)`.
+    fn fill_target_from_state(&mut self, info: &MergeInfo, state: &GraphState, forward: bool) {
+        let a = info.x.joined();
+        let b = info.z.joined();
+        let GraphState::Lines(lines) = state else {
+            unreachable!("RandLines serves line reveals only");
+        };
+        self.scratch.clear();
+        self.scratch.reserve(info.merged_len());
+        // The a-side walk yields X from its joined end outward, i.e. the
+        // snapshot order reversed; flip that prefix in place, then stream
+        // the b-side walk, which is Z in snapshot order already.
+        self.scratch.push(a);
+        let (mut prev, mut cur) = (b, a);
+        while let Some(next) = lines.next_along(cur, Some(prev)) {
+            self.scratch.push(next);
+            prev = cur;
+            cur = next;
+        }
+        self.scratch.reverse();
+        self.scratch.push(b);
+        let (mut prev, mut cur) = (a, b);
+        while let Some(next) = lines.next_along(cur, Some(prev)) {
+            self.scratch.push(next);
+            prev = cur;
+            cur = next;
+        }
+        debug_assert_eq!(self.scratch.len(), info.merged_len());
+        if !forward {
+            self.scratch.reverse();
+        }
+        #[cfg(debug_assertions)]
+        if let (Some(xs), Some(zs)) = (info.x.shadow_nodes(), info.z.shadow_nodes()) {
+            let expect: Vec<Node> = if forward {
+                xs.iter().chain(zs.iter()).copied().collect()
+            } else {
+                zs.iter().rev().chain(xs.iter().rev()).copied().collect()
+            };
+            debug_assert_eq!(self.scratch, expect, "lazy target reconstruction mismatch");
+        }
+    }
+
     /// Chooses between the two rearranging options under the configured
     /// policy. Returns `true` for the forward target.
     fn pick_forward(&mut self, choices: &RearrangeChoices) -> bool {
@@ -155,7 +205,11 @@ impl<R: Rng, P: Arrangement> OnlineMinla for RandLines<R, P> {
         // reversals) — skip the bulk rewrite so the backend's cheap
         // order-preserving fold applies.
         let target = if option.cost > 0 {
-            fill_line_target(&mut self.scratch, info, decision.forward);
+            if info.x.is_lazy() || info.z.is_lazy() {
+                self.fill_target_from_state(info, state, decision.forward);
+            } else {
+                fill_line_target(&mut self.scratch, info, decision.forward);
+            }
             Some(self.scratch.as_slice())
         } else {
             None
@@ -170,6 +224,13 @@ impl<R: Rng, P: Arrangement> OnlineMinla for RandLines<R, P> {
             moving_cost,
             rearranging_cost: option.cost,
         }
+    }
+
+    fn wants_lazy_info(&self) -> bool {
+        // Decisions need only sizes and orientations, both available
+        // lazily; the rare rewritten target is rebuilt from the
+        // post-merge graph state in `fill_target_from_state`.
+        true
     }
 }
 

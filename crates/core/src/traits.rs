@@ -1,4 +1,16 @@
 //! The online algorithm interface.
+//!
+//! [`OnlineMinla`] is the engine-facing contract: one [`serve`] call per
+//! reveal, exact costs in adjacent transpositions, arrangement feasible
+//! afterwards. Two opt-in refinements ride on top:
+//!
+//! * [`wants_lazy_info`] — size-only [`MergeInfo`] snapshots for
+//!   policies that decide without member lists (the merge hot path);
+//! * [`BatchServe`](crate::BatchServe) — the decide / plan / apply
+//!   split the batched parallel executor drives.
+//!
+//! [`serve`]: OnlineMinla::serve
+//! [`wants_lazy_info`]: OnlineMinla::wants_lazy_info
 
 use mla_graph::{GraphState, MergeInfo, RevealEvent};
 use mla_permutation::Arrangement;
@@ -31,8 +43,33 @@ pub trait OnlineMinla {
     /// Serves one reveal. `info` snapshots the merging components as they
     /// were *before* the merge; `state` is the graph *after* it.
     ///
+    /// When the algorithm opted into lazy snapshots (see
+    /// [`wants_lazy_info`](OnlineMinla::wants_lazy_info)), `info` may
+    /// carry no member lists — implementations must then resolve block
+    /// ranges through
+    /// [`Arrangement::locate_component`] and reconstruct members from
+    /// `state` only where genuinely needed.
+    ///
     /// Returns the exact update cost.
     fn serve(&mut self, event: RevealEvent, info: &MergeInfo, state: &GraphState) -> UpdateReport;
+
+    /// Returns `true` if this algorithm can serve reveals from **lazy**
+    /// [`MergeInfo`] snapshots — sizes, joined endpoints and orientation
+    /// bits only, no member lists
+    /// ([`SnapshotMode::Lazy`](mla_graph::SnapshotMode)).
+    ///
+    /// Size-based policies (the paper's size-biased move and cost-biased
+    /// rearrange) only need component *sizes* to decide and an `O(log n)`
+    /// block locate to act, so materializing an `O(len)` member list per
+    /// reveal is pure overhead. The engine asks this once at start-up and
+    /// switches the graph state to lazy snapshots when both the algorithm
+    /// (here) and its arrangement backend
+    /// ([`Arrangement::supports_component_locate`]) agree.
+    ///
+    /// Default `false`: eager member lists, always correct.
+    fn wants_lazy_info(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

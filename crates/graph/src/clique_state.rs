@@ -4,7 +4,7 @@ use mla_permutation::Node;
 
 use crate::error::GraphError;
 use crate::event::RevealEvent;
-use crate::state::{ComponentSnapshot, MergeInfo};
+use crate::state::{ComponentSnapshot, MergeInfo, SnapshotMode};
 use crate::union_find::UnionFind;
 
 /// A collection of disjoint cliques, growing by merge reveals.
@@ -21,8 +21,8 @@ use crate::union_find::UnionFind;
 ///
 /// let mut state = CliqueState::new(4);
 /// let info = state.apply(RevealEvent::new(Node::new(0), Node::new(2))).unwrap();
-/// assert_eq!(info.x.nodes, vec![Node::new(0)]);
-/// assert_eq!(info.z.nodes, vec![Node::new(2)]);
+/// assert_eq!(info.x.nodes(), vec![Node::new(0)]);
+/// assert_eq!(info.z.nodes(), vec![Node::new(2)]);
 /// assert_eq!(state.component_count(), 3);
 /// ```
 #[derive(Debug, Clone)]
@@ -71,6 +71,13 @@ impl CliqueState {
         self.dsu.members_of(v)
     }
 
+    /// Iterates the clique containing `v` (arbitrary order) without
+    /// materializing a member list — the streaming counterpart of
+    /// [`CliqueState::component_nodes`] for `O(1)`-memory passes.
+    pub fn members_iter(&self, v: Node) -> impl Iterator<Item = Node> + '_ {
+        self.dsu.members_iter(v)
+    }
+
     /// All cliques as node lists.
     #[must_use]
     pub fn components(&self) -> Vec<Vec<Node>> {
@@ -104,6 +111,22 @@ impl CliqueState {
     ///
     /// Same as [`CliqueState::apply`].
     pub fn peek(&self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
+        self.peek_with(event, SnapshotMode::Eager)
+    }
+
+    /// [`CliqueState::peek`] with an explicit [`SnapshotMode`]: `Lazy`
+    /// runs the same validation but returns size-only snapshots built
+    /// from [`UnionFind::size_of`], making the whole peek `O(α(n))`
+    /// instead of two `O(size)` member walks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CliqueState::apply`].
+    pub fn peek_with(
+        &self,
+        event: RevealEvent,
+        mode: SnapshotMode,
+    ) -> Result<MergeInfo, GraphError> {
         let (a, b) = (event.a(), event.b());
         let n = self.n();
         for node in [a, b] {
@@ -117,16 +140,30 @@ impl CliqueState {
         if self.dsu.same_set(a, b) {
             return Err(GraphError::SameComponent { a, b });
         }
-        Ok(MergeInfo {
-            x: ComponentSnapshot {
-                nodes: self.dsu.members_of(a),
-                joined: a,
+        Ok(match mode {
+            SnapshotMode::Eager => MergeInfo {
+                x: ComponentSnapshot::eager(self.dsu.members_of(a), a),
+                z: ComponentSnapshot::eager(self.dsu.members_of(b), b),
             },
-            z: ComponentSnapshot {
-                nodes: self.dsu.members_of(b),
-                joined: b,
+            SnapshotMode::Lazy => MergeInfo {
+                x: self.lazy_snapshot(a),
+                z: self.lazy_snapshot(b),
             },
         })
+    }
+
+    /// Size-only snapshot of `joined`'s clique. Debug builds attach the
+    /// member list as a shadow so lazy-locate cross-checks can run; the
+    /// snapshot still reports itself as lazy either way.
+    fn lazy_snapshot(&self, joined: Node) -> ComponentSnapshot {
+        #[cfg(debug_assertions)]
+        {
+            ComponentSnapshot::lazy_with_shadow(self.dsu.members_of(joined), joined)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            ComponentSnapshot::lazy(self.dsu.size_of(joined), joined, false)
+        }
     }
 
     /// The mutating half of [`CliqueState::apply`]: merges the two cliques
@@ -201,8 +238,8 @@ mod tests {
         let info = state
             .apply(RevealEvent::new(Node::new(1), Node::new(3)))
             .unwrap();
-        let mut x: Vec<usize> = info.x.nodes.iter().map(|v| v.index()).collect();
-        let mut z: Vec<usize> = info.z.nodes.iter().map(|v| v.index()).collect();
+        let mut x: Vec<usize> = info.x.nodes().iter().map(|v| v.index()).collect();
+        let mut z: Vec<usize> = info.z.nodes().iter().map(|v| v.index()).collect();
         x.sort_unstable();
         z.sort_unstable();
         assert_eq!(x, vec![0, 1]);

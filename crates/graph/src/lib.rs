@@ -56,6 +56,6 @@ pub use instance::Instance;
 pub use line_state::{path_minla_value, LineState};
 pub use merge_tree::{MergeTree, TreeId};
 pub use source::{collect_instance, final_state_of, InstanceSource, RevealSource};
-pub use state::{ComponentSnapshot, GraphState, MergeInfo};
+pub use state::{ComponentSnapshot, GraphState, MergeInfo, SnapshotMode};
 pub use text::{instance_to_text, text_to_instance, ParseInstanceError};
 pub use union_find::UnionFind;

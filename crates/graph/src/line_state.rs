@@ -4,7 +4,7 @@ use mla_permutation::Node;
 
 use crate::error::GraphError;
 use crate::event::RevealEvent;
-use crate::state::{ComponentSnapshot, MergeInfo};
+use crate::state::{ComponentSnapshot, MergeInfo, SnapshotMode};
 use crate::union_find::UnionFind;
 
 /// A collection of disjoint simple paths, growing one edge at a time.
@@ -23,8 +23,8 @@ use crate::union_find::UnionFind;
 /// state.apply(RevealEvent::new(Node::new(0), Node::new(1))).unwrap();
 /// let info = state.apply(RevealEvent::new(Node::new(1), Node::new(2))).unwrap();
 /// // X snapshot ends at the joined endpoint, Z snapshot starts at it:
-/// assert_eq!(info.x.nodes, vec![Node::new(0), Node::new(1)]);
-/// assert_eq!(info.z.nodes, vec![Node::new(2)]);
+/// assert_eq!(info.x.nodes(), vec![Node::new(0), Node::new(1)]);
+/// assert_eq!(info.z.nodes(), vec![Node::new(2)]);
 /// assert_eq!(state.path_of(Node::new(0)), vec![Node::new(0), Node::new(1), Node::new(2)]);
 /// ```
 #[derive(Debug, Clone)]
@@ -130,27 +130,30 @@ impl LineState {
         }
     }
 
+    /// One step of a path walk: the neighbor of `current` other than
+    /// `prev`, if any. With `prev = None` this is the first neighbor —
+    /// use it to start a walk from a degree-1 endpoint.
+    #[must_use]
+    pub fn next_along(&self, current: Node, prev: Option<Node>) -> Option<Node> {
+        self.neighbors[current.index()]
+            .iter()
+            .filter(|&&u| u != NO_NEIGHBOR)
+            .map(|&u| Node::from(u))
+            .find(|&u| Some(u) != prev)
+    }
+
     /// Walks the path starting at endpoint `start` (must have degree ≤ 1),
     /// returning nodes in path order.
     fn walk_from(&self, start: Node) -> Vec<Node> {
         let mut order = vec![start];
         let mut prev: Option<Node> = None;
         let mut current = start;
-        loop {
-            let next = self.neighbors[current.index()]
-                .iter()
-                .filter(|&&u| u != NO_NEIGHBOR)
-                .map(|&u| Node::from(u))
-                .find(|&u| Some(u) != prev);
-            match next {
-                Some(u) => {
-                    order.push(u);
-                    prev = Some(current);
-                    current = u;
-                }
-                None => return order,
-            }
+        while let Some(u) = self.next_along(current, prev) {
+            order.push(u);
+            prev = Some(current);
+            current = u;
         }
+        order
     }
 
     /// All paths, each in path order (canonical orientation), in ascending
@@ -198,6 +201,24 @@ impl LineState {
     ///
     /// Same as [`LineState::apply`].
     pub fn peek(&self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
+        self.peek_with(event, SnapshotMode::Eager)
+    }
+
+    /// [`LineState::peek`] with an explicit [`SnapshotMode`]: `Lazy` runs
+    /// the same validation (including the endpoint checks, which are
+    /// `O(1)` degree lookups) but returns size-only snapshots built from
+    /// [`UnionFind::size_of`], skipping both `O(size)` path walks. The
+    /// lazy `X` snapshot records its joined endpoint as **last** and the
+    /// lazy `Z` snapshot as **first**, mirroring the eager orders.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LineState::apply`].
+    pub fn peek_with(
+        &self,
+        event: RevealEvent,
+        mode: SnapshotMode,
+    ) -> Result<MergeInfo, GraphError> {
         let (a, b) = (event.a(), event.b());
         let n = self.n();
         for node in [a, b] {
@@ -216,19 +237,40 @@ impl LineState {
                 return Err(GraphError::NotAnEndpoint { node });
             }
         }
-        let mut x_nodes = self.walk_from(a);
-        x_nodes.reverse(); // ends at a
-        let z_nodes = self.walk_from(b); // starts at b
-        Ok(MergeInfo {
-            x: ComponentSnapshot {
-                nodes: x_nodes,
-                joined: a,
-            },
-            z: ComponentSnapshot {
-                nodes: z_nodes,
-                joined: b,
+        Ok(match mode {
+            SnapshotMode::Eager => {
+                let mut x_nodes = self.walk_from(a);
+                x_nodes.reverse(); // ends at a
+                let z_nodes = self.walk_from(b); // starts at b
+                MergeInfo {
+                    x: ComponentSnapshot::eager(x_nodes, a),
+                    z: ComponentSnapshot::eager(z_nodes, b),
+                }
+            }
+            SnapshotMode::Lazy => MergeInfo {
+                x: self.lazy_snapshot(a, true),
+                z: self.lazy_snapshot(b, false),
             },
         })
+    }
+
+    /// Size-only snapshot of `joined`'s path, with `joined` recorded at
+    /// the end (`X` side) or the start (`Z` side) of snapshot order.
+    /// Debug builds attach the ordered path as a shadow so lazy-locate
+    /// cross-checks can run; the snapshot reports itself lazy either way.
+    fn lazy_snapshot(&self, joined: Node, joined_at_end: bool) -> ComponentSnapshot {
+        #[cfg(debug_assertions)]
+        {
+            let mut nodes = self.walk_from(joined);
+            if joined_at_end {
+                nodes.reverse();
+            }
+            ComponentSnapshot::lazy_with_shadow(nodes, joined)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            ComponentSnapshot::lazy(self.dsu.size_of(joined), joined, joined_at_end)
+        }
     }
 
     /// The mutating half of [`LineState::apply`]: links the two endpoints
@@ -318,14 +360,14 @@ mod tests {
         state.apply(ev(3, 4)).unwrap();
         // Join endpoint 1 (path [0,1]) with endpoint 4 (path [3,4]).
         let info = state.apply(ev(1, 4)).unwrap();
-        assert_eq!(info.x.nodes, vec![Node::new(0), Node::new(1)]);
-        assert_eq!(info.z.nodes, vec![Node::new(4), Node::new(3)]);
+        assert_eq!(info.x.nodes(), vec![Node::new(0), Node::new(1)]);
+        assert_eq!(info.z.nodes(), vec![Node::new(4), Node::new(3)]);
         // Merged path is x ++ z.
         let merged: Vec<Node> = info
             .x
-            .nodes
+            .nodes()
             .iter()
-            .chain(info.z.nodes.iter())
+            .chain(info.z.nodes().iter())
             .copied()
             .collect();
         let actual = state.path_of(Node::new(0));

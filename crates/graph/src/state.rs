@@ -8,30 +8,145 @@ use crate::error::GraphError;
 use crate::event::{RevealEvent, Topology};
 use crate::line_state::{path_minla_value, LineState};
 
+/// How much of a merging component a peek should snapshot.
+///
+/// The paper's randomized policies place a merge from component **sizes**
+/// and block **ranges** alone, so walking both member lists on every peek
+/// (`O(|X| + |Z|)`) is wasted work on the merge hot path. A
+/// [`Lazy`](SnapshotMode::Lazy) peek skips the walks and produces
+/// size-only snapshots in `O(α(n))`; callers that still need the lists
+/// (jump algorithms, feasibility cross-checks, tests) use
+/// [`Eager`](SnapshotMode::Eager) — the default and the historical
+/// behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Snapshot the full member lists (`O(|X| + |Z|)` walks).
+    Eager,
+    /// Snapshot only sizes and joined endpoints (`O(α(n))`).
+    Lazy,
+}
+
 /// Snapshot of one merging component, taken just before the merge.
+///
+/// Comes in two flavors (see [`SnapshotMode`]): **eager** snapshots carry
+/// the full member list behind [`nodes`](ComponentSnapshot::nodes);
+/// **lazy** ones carry only the size and the joined endpoint — enough for
+/// the size-biased policies and for an `O(log n)` block locate via
+/// [`Arrangement::locate_component`] — and panic if the list is asked
+/// for. In debug builds a lazy snapshot additionally carries a shadow
+/// member list so the lazy locate path can be cross-checked against the
+/// full walk ([`ComponentSnapshot::shadow_nodes`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ComponentSnapshot {
-    /// The component's nodes. For lines this is in **path order**, oriented
-    /// so that the joined endpoint is last for the `X` side and first for
-    /// the `Z` side (the merged path reads `x.nodes ++ z.nodes`). For
-    /// cliques the order is arbitrary.
-    pub nodes: Vec<Node>,
+    /// Members; empty for (release-build) lazy snapshots.
+    nodes: Vec<Node>,
+    /// Component size (always populated, lazy or not).
+    len: usize,
     /// The node named in the reveal event on this side.
-    pub joined: Node,
+    joined: Node,
+    /// Where the joined endpoint sits in snapshot order: `true` for the
+    /// lines `X` side (the walk ends at `a`), `false` for the lines `Z`
+    /// side and for cliques (the walk starts at the joined node). Lets
+    /// the lazy locate derive the block's reading direction from the
+    /// anchor position alone.
+    joined_at_end: bool,
+    lazy: bool,
 }
 
 impl ComponentSnapshot {
+    /// An eager snapshot carrying the full member list. For lines the
+    /// list is in **path order**, oriented so that the joined endpoint is
+    /// last for the `X` side and first for the `Z` side (the merged path
+    /// reads `x.nodes() ++ z.nodes()`); for cliques the order is
+    /// arbitrary with the joined node first.
+    #[must_use]
+    pub fn eager(nodes: Vec<Node>, joined: Node) -> Self {
+        let len = nodes.len();
+        let joined_at_end = len > 1 && nodes[len - 1] == joined;
+        ComponentSnapshot {
+            nodes,
+            len,
+            joined,
+            joined_at_end,
+            lazy: false,
+        }
+    }
+
+    /// A lazy snapshot: size and joined endpoint only.
+    #[must_use]
+    pub fn lazy(len: usize, joined: Node, joined_at_end: bool) -> Self {
+        ComponentSnapshot {
+            nodes: Vec::new(),
+            len,
+            joined,
+            joined_at_end,
+            lazy: true,
+        }
+    }
+
+    /// A lazy snapshot that also carries the member list, so debug builds
+    /// can cross-check the lazy locate path against the full walk.
+    #[must_use]
+    pub fn lazy_with_shadow(nodes: Vec<Node>, joined: Node) -> Self {
+        let mut snapshot = Self::eager(nodes, joined);
+        snapshot.lazy = true;
+        snapshot
+    }
+
     /// Component size.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.len
     }
 
     /// Returns `true` if the snapshot is empty (never produced by a valid
     /// merge, but useful for default values).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len == 0
+    }
+
+    /// The node named in the reveal event on this side.
+    #[must_use]
+    pub fn joined(&self) -> Node {
+        self.joined
+    }
+
+    /// Whether the joined endpoint is last (`true`) or first (`false`) in
+    /// snapshot order — see the field docs.
+    #[must_use]
+    pub fn joined_at_end(&self) -> bool {
+        self.joined_at_end
+    }
+
+    /// Returns `true` for a size-only (lazy) snapshot.
+    #[must_use]
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// The member list of an eager snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lazy snapshot — callers on the lazy path must place
+    /// the merge from sizes and block ranges (or rebuild the list from
+    /// the graph state) instead.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        assert!(
+            !self.lazy,
+            "lazy component snapshots carry no member list; \
+             peek eagerly or rebuild the list from the graph state"
+        );
+        &self.nodes
+    }
+
+    /// The member list when one was materialized — eager snapshots
+    /// always, lazy ones only in debug builds (the cross-check shadow).
+    #[must_use]
+    pub fn shadow_nodes(&self) -> Option<&[Node]> {
+        (self.nodes.len() == self.len).then_some(&self.nodes[..])
     }
 }
 
@@ -167,10 +282,25 @@ impl GraphState {
     /// Propagates the validation errors of the underlying state; see
     /// [`CliqueState::apply`] and [`LineState::apply`].
     pub fn apply(&mut self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
-        match self {
-            GraphState::Cliques(s) => s.apply(event),
-            GraphState::Lines(s) => s.apply(event),
-        }
+        self.apply_with(event, SnapshotMode::Eager)
+    }
+
+    /// [`GraphState::apply`] with an explicit [`SnapshotMode`]: `Lazy`
+    /// performs the same validation and merge but returns size-only
+    /// snapshots, making the whole call `O(α(n))` instead of
+    /// `O(|X| + |Z|)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphState::apply`].
+    pub fn apply_with(
+        &mut self,
+        event: RevealEvent,
+        mode: SnapshotMode,
+    ) -> Result<MergeInfo, GraphError> {
+        let info = self.peek_with(event, mode)?;
+        self.commit(event);
+        Ok(info)
     }
 
     /// Validates one reveal and snapshots the two components it would
@@ -184,9 +314,26 @@ impl GraphState {
     ///
     /// Same as [`GraphState::apply`].
     pub fn peek(&self, event: RevealEvent) -> Result<MergeInfo, GraphError> {
+        self.peek_with(event, SnapshotMode::Eager)
+    }
+
+    /// [`GraphState::peek`] with an explicit [`SnapshotMode`]: `Lazy`
+    /// runs the same validation but snapshots only sizes and joined
+    /// endpoints, in `O(α(n))`. In debug builds lazy snapshots still
+    /// carry shadow member lists so downstream lazy-locate cross-checks
+    /// can run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphState::apply`].
+    pub fn peek_with(
+        &self,
+        event: RevealEvent,
+        mode: SnapshotMode,
+    ) -> Result<MergeInfo, GraphError> {
         match self {
-            GraphState::Cliques(s) => s.peek(event),
-            GraphState::Lines(s) => s.peek(event),
+            GraphState::Cliques(s) => s.peek_with(event, mode),
+            GraphState::Lines(s) => s.peek_with(event, mode),
         }
     }
 
@@ -299,16 +446,74 @@ impl GraphState {
     /// * Lines: the merged path `x.nodes ++ z.nodes` must additionally
     ///   read in path order, forward or reversed.
     ///
+    /// With **lazy** snapshots the member lists are rebuilt from the
+    /// graph state instead, so the call must happen *after* the merge was
+    /// committed (the engine always checks post-commit); the cost is
+    /// still `O(|X| + |Z|)`, paid only when feasibility checking is on.
+    ///
     /// # Panics
     ///
     /// Panics if `info` names nodes outside `pi`.
     #[must_use]
     pub fn merge_keeps_minla<P: Arrangement + ?Sized>(&self, pi: &P, info: &MergeInfo) -> bool {
+        if info.x.is_lazy() || info.z.is_lazy() {
+            // Lazy snapshots carry no member lists, so the check rebuilds
+            // what it needs from the graph state. Distinct positions cover
+            // a contiguous block iff `max - min + 1 == len`, and a strictly
+            // monotone walk over an interval of positions must step by
+            // exactly ±1 — so the streaming envelope (lines) is as strong
+            // as the materialized contiguity + monotonicity passes it
+            // replaces.
+            let expected = info.merged_len();
+            return match self {
+                GraphState::Cliques(s) => {
+                    // One member walk feeding `contiguous_range`, whose
+                    // coalesced-component fast path costs O(len) slot
+                    // comparisons plus a single tree descent — streaming
+                    // per-member `position_of` lookups would pay O(log n)
+                    // each on the segment backend.
+                    let merged = s.component_nodes(info.x.joined());
+                    merged.len() == expected && pi.contiguous_range(&merged).is_some()
+                }
+                GraphState::Lines(s) => {
+                    // The merged path is reverse(a-side walk) ++ b-side
+                    // walk around the just-joined edge (a, b). It is
+                    // monotone in `pi` iff every outward step on the a
+                    // side moves against the a→b position direction and
+                    // every step on the b side moves along it.
+                    let (a, b) = (info.x.joined(), info.z.joined());
+                    let (pa, pb) = (pi.position_of(a), pi.position_of(b));
+                    let mut len = 2usize;
+                    let mut min = pa.min(pb);
+                    let mut max = pa.max(pb);
+                    for (start, anchor, start_pos, outward_up) in
+                        [(a, b, pa, pa > pb), (b, a, pb, pb > pa)]
+                    {
+                        let mut prev = anchor;
+                        let mut cur = start;
+                        let mut last = start_pos;
+                        while let Some(next) = s.next_along(cur, Some(prev)) {
+                            let p = pi.position_of(next);
+                            if (p > last) != outward_up {
+                                return false;
+                            }
+                            min = min.min(p);
+                            max = max.max(p);
+                            len += 1;
+                            last = p;
+                            prev = cur;
+                            cur = next;
+                        }
+                    }
+                    len == expected && max - min + 1 == len
+                }
+            };
+        }
         let merged: Vec<Node> = info
             .x
-            .nodes
+            .nodes()
             .iter()
-            .chain(info.z.nodes.iter())
+            .chain(info.z.nodes().iter())
             .copied()
             .collect();
         if pi.contiguous_range(&merged).is_none() {

@@ -170,13 +170,13 @@ proptest! {
         let mut state = GraphState::new(Topology::Lines, n);
         for &event in &events {
             let info = state.apply(event).unwrap();
-            prop_assert_eq!(*info.x.nodes.last().unwrap(), event.a());
-            prop_assert_eq!(info.z.nodes[0], event.b());
+            prop_assert_eq!(*info.x.nodes().last().unwrap(), event.a());
+            prop_assert_eq!(info.z.nodes()[0], event.b());
             let merged: Vec<Node> = info
                 .x
-                .nodes
+                .nodes()
                 .iter()
-                .chain(info.z.nodes.iter())
+                .chain(info.z.nodes().iter())
                 .copied()
                 .collect();
             let actual = state.component_nodes(event.a());

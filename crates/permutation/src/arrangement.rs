@@ -94,6 +94,41 @@ pub trait Arrangement {
         Some((range, forward))
     }
 
+    /// Resolves a coalesced component's block from a single member in
+    /// `O(log n)`, without walking the member list: given any `anchor`
+    /// node of a component known to occupy one contiguous block of
+    /// exactly `len` positions, returns the block's position range and
+    /// the anchor's absolute position within it.
+    ///
+    /// This is the lazy-`MergeInfo` locate primitive. Backends that track
+    /// component blocks structurally (the segment backend keeps every
+    /// coalesced component as exactly one segment) override it; the
+    /// default — and any backend that cannot certify the block from its
+    /// own structure — returns `None`, and the caller falls back to the
+    /// member-walking [`contiguous_range`](Arrangement::contiguous_range).
+    ///
+    /// A `Some((range, anchor_pos))` answer guarantees `range.len() == len`
+    /// and `node_at(anchor_pos) == anchor` with `anchor_pos ∈ range`; it
+    /// does **not** re-verify that the caller's component is really that
+    /// block — the caller owns that invariant (debug builds cross-check
+    /// it against the full walk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor` is out of range.
+    fn locate_component(&self, anchor: Node, len: usize) -> Option<(Range<usize>, usize)> {
+        let _ = (anchor, len);
+        None
+    }
+
+    /// Returns `true` if
+    /// [`locate_component`](Arrangement::locate_component) can answer for
+    /// components of this backend (so the lazy merge path is worth
+    /// taking).
+    fn supports_component_locate(&self) -> bool {
+        false
+    }
+
     /// Moves the contiguous block occupying `src` so that it starts at
     /// position `dest`, preserving its internal order. Returns the cost
     /// `src.len() × |dest − src.start|`.

@@ -36,7 +36,7 @@
 
 use std::fmt;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
 use crate::arrangement::Arrangement;
 use crate::inversions::count_inversions;
@@ -46,22 +46,139 @@ use crate::perm::Permutation;
 /// Arena null marker.
 const NIL: u32 = u32::MAX;
 
-/// A memoized "this range is exactly this segment" fact, valid only at
-/// the version it was recorded (any mutation bumps the version).
-#[derive(Debug, Clone, Copy)]
-struct RangeMemo {
-    version: u64,
-    start: usize,
-    len: u32,
-    slot: u32,
+/// Cap on recycled content buffers held by the arena's pool: enough to
+/// absorb the alloc/free churn of a merge-heavy run (each merge frees at
+/// most one buffer), small enough that the pool never holds more than a
+/// few KB of empty capacity.
+const POOL_CAP: usize = 64;
+
+/// One seqlock-published "this range is exactly this segment" fact.
+/// `version == u64::MAX` means never written.
+#[derive(Debug)]
+struct MemoSlot {
+    /// Sequence word: even = stable, odd = a publish is in progress.
+    seq: AtomicU64,
+    /// Arrangement version the fact was recorded at.
+    version: AtomicU64,
+    /// The range's start position.
+    start: AtomicU64,
+    /// Packed `len << 32 | slot` (both bounded by the `u32` capacity).
+    len_slot: AtomicU64,
 }
 
-const EMPTY_MEMO: RangeMemo = RangeMemo {
-    version: u64::MAX,
-    start: 0,
-    len: 0,
-    slot: NIL,
-};
+impl MemoSlot {
+    fn empty() -> Self {
+        MemoSlot {
+            seq: AtomicU64::new(0),
+            version: AtomicU64::new(u64::MAX),
+            start: AtomicU64::new(0),
+            len_slot: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The last two verified range→segment facts (the two blocks a merge
+/// update locates), so the update itself needs no rediscovery walks.
+///
+/// Published through a two-entry **seqlock** over plain atomics: readers
+/// and writers never block each other. The previous `Mutex` + `try_lock`
+/// scheme kept the type `Sync` but serialized every recall through one
+/// lock word and dropped facts whenever peeks contended; here contention
+/// costs at most a missed cache entry. Torn reads are impossible — a
+/// reader re-checks the sequence word after reading the fields and
+/// simply misses on any concurrent publish, which is always safe: the
+/// memo is a pure cache, consulted only at the version it was recorded
+/// (any mutation bumps the version through `&mut self`).
+#[derive(Debug)]
+struct SegMemo {
+    entries: [MemoSlot; 2],
+    /// Rotating write cursor: alternating publishes overwrite the older
+    /// entry, preserving the keep-the-last-two semantics.
+    cursor: AtomicUsize,
+}
+
+impl SegMemo {
+    fn empty() -> Self {
+        SegMemo {
+            entries: [MemoSlot::empty(), MemoSlot::empty()],
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publishes a fact; skips (never blocks) under contention.
+    fn publish(&self, version: u64, start: usize, len: u32, slot: u32) {
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed) & 1;
+        let entry = &self.entries[idx];
+        let seq = entry.seq.load(Ordering::Relaxed);
+        if seq & 1 == 1 {
+            return;
+        }
+        if entry
+            .seq
+            .compare_exchange(
+                seq,
+                seq.wrapping_add(1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return;
+        }
+        entry.version.store(version, Ordering::Relaxed);
+        entry.start.store(start as u64, Ordering::Relaxed);
+        entry
+            .len_slot
+            .store((u64::from(len) << 32) | u64::from(slot), Ordering::Relaxed);
+        entry.seq.store(seq.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Looks up a fact for `range` recorded at `version`; misses (rather
+    /// than blocks) on concurrent publishes.
+    fn recall(&self, version: u64, range: &Range<usize>) -> Option<u32> {
+        for entry in &self.entries {
+            let Some((fact_version, start, len_slot)) = Self::read_entry(entry) else {
+                continue;
+            };
+            if fact_version == version
+                && start as usize == range.start
+                && (len_slot >> 32) as usize == range.len()
+            {
+                return Some(len_slot as u32);
+            }
+        }
+        None
+    }
+
+    /// Seqlock read of one entry: `None` on a concurrent publish.
+    fn read_entry(entry: &MemoSlot) -> Option<(u64, u64, u64)> {
+        let seq = entry.seq.load(Ordering::Acquire);
+        if seq & 1 == 1 {
+            return None;
+        }
+        let version = entry.version.load(Ordering::Relaxed);
+        let start = entry.start.load(Ordering::Relaxed);
+        let len_slot = entry.len_slot.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        (entry.seq.load(Ordering::Relaxed) == seq).then_some((version, start, len_slot))
+    }
+
+    /// A point-in-time copy (for `Clone`); entries caught mid-publish
+    /// come out empty, which only costs a possible rediscovery walk.
+    fn snapshot(&self) -> SegMemo {
+        let copy = SegMemo::empty();
+        for (i, entry) in self.entries.iter().enumerate() {
+            if let Some((version, start, len_slot)) = Self::read_entry(entry) {
+                copy.entries[i].version.store(version, Ordering::Relaxed);
+                copy.entries[i].start.store(start, Ordering::Relaxed);
+                copy.entries[i].len_slot.store(len_slot, Ordering::Relaxed);
+            }
+        }
+        copy.cursor
+            .store(self.cursor.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy
+    }
+}
 
 /// SplitMix64 — deterministic treap priorities from an allocation counter.
 fn splitmix64(mut x: u64) -> u64 {
@@ -71,25 +188,69 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// One contiguous run of nodes plus its treap bookkeeping.
+/// Hot treap-navigation fields as parallel `u32` arrays (SoA).
 ///
-/// Kept to 48 bytes (`n` live segments at startup — 10⁷ of these is the
-/// single biggest allocation of a large-`n` run): priorities and subtree
-/// counts are `u32` — counts are bounded by the backend's
-/// [`MAX_NODES`](crate::MAX_NODES) capacity, and 32 priority bits keep
-/// treap collisions rare enough at any supported size (ties only cost a
-/// slightly lopsided merge).
+/// The old AoS layout interleaved each segment's 24-byte `Vec` header
+/// with its tree links, so every descent hop dragged a 48-byte node
+/// through the cache. Here one hop touches ~16 bytes of dense `u32`
+/// arrays (`left`/`right` or `parent`, `subtree`, `len`), and the `len`
+/// mirror keeps descents off the content arrays entirely. All counts are
+/// bounded by the backend's [`MAX_NODES`](crate::MAX_NODES) capacity, so
+/// `u32` everywhere; 32 priority bits keep treap collisions rare enough
+/// at any supported size (ties only cost a slightly lopsided merge).
+#[derive(Debug, Clone, Default)]
+struct SegTree {
+    /// Treap heap priority (deterministic, from the allocation counter).
+    prio: Vec<u32>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    parent: Vec<u32>,
+    /// Total node count of the subtree rooted at the slot.
+    subtree: Vec<u32>,
+    /// Node count of the slot's own segment — a mirror of
+    /// `content[slot].nodes.len()`, kept in sync by every content
+    /// mutator (`0` for free slots).
+    len: Vec<u32>,
+}
+
+impl SegTree {
+    fn with_capacity(n: usize) -> Self {
+        SegTree {
+            prio: Vec::with_capacity(n),
+            left: Vec::with_capacity(n),
+            right: Vec::with_capacity(n),
+            parent: Vec::with_capacity(n),
+            subtree: Vec::with_capacity(n),
+            len: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one zeroed slot to every array.
+    fn push_slot(&mut self) {
+        self.prio.push(0);
+        self.left.push(NIL);
+        self.right.push(NIL);
+        self.parent.push(NIL);
+        self.subtree.push(0);
+        self.len.push(0);
+    }
+
+    fn clear(&mut self) {
+        self.prio.clear();
+        self.left.clear();
+        self.right.clear();
+        self.parent.clear();
+        self.subtree.clear();
+        self.len.clear();
+    }
+}
+
+/// Cold per-segment payload, only touched when a lookup or splice
+/// actually reaches the segment's content.
 #[derive(Debug, Clone)]
-struct Seg {
+struct SegContent {
     /// Content in storage order; read right-to-left when `reversed`.
     nodes: Vec<Node>,
-    /// Treap heap priority (deterministic, from the allocation counter).
-    prio: u32,
-    left: u32,
-    right: u32,
-    parent: u32,
-    /// Total node count of the subtree rooted here.
-    subtree: u32,
     /// Lazy orientation: `true` means the segment reads as the reversed
     /// storage order.
     reversed: bool,
@@ -111,8 +272,15 @@ struct Seg {
 /// assert_eq!(arr.position_of(Node::new(0)), 2);
 /// ```
 pub struct SegmentArrangement {
-    segs: Vec<Seg>,
+    /// Hot treap-navigation fields, SoA (see [`SegTree`]).
+    tree: SegTree,
+    /// Cold per-segment content, indexed by the same slot ids.
+    content: Vec<SegContent>,
     free: Vec<u32>,
+    /// Recycled content buffers (bounded by [`POOL_CAP`]): merges free
+    /// one segment buffer each, and the next rebuild reuses it instead
+    /// of round-tripping the allocator.
+    pool: Vec<Vec<Node>>,
     root: u32,
     /// Node → arena slot of its segment.
     node_seg: Vec<u32>,
@@ -123,33 +291,27 @@ pub struct SegmentArrangement {
     /// Mutation counter: bumped before every structural change so the
     /// range memo below can be trusted only between mutations.
     version: u64,
-    /// The last two verified range→segment facts (the two blocks a merge
-    /// update locates), so the update itself needs no rediscovery walks.
-    ///
-    /// A `Mutex` (accessed only via `try_lock`, so it can never block or
-    /// poison-cascade) rather than a `Cell`, which keeps the whole
-    /// arrangement `Sync`: the engine's batched serving path locates a
-    /// window of merges from worker threads through `&self` reads. Under
-    /// contention the memo merely misses — results never change, only
-    /// whether a rediscovery walk is saved.
-    memo: Mutex<[RangeMemo; 2]>,
+    /// Seqlock-published range→segment facts; keeps the whole
+    /// arrangement `Sync` without a lock: the engine's batched serving
+    /// path locates a window of merges from worker threads through
+    /// `&self` reads.
+    memo: SegMemo,
 }
 
 impl Clone for SegmentArrangement {
     fn clone(&self) -> Self {
         SegmentArrangement {
-            segs: self.segs.clone(),
+            tree: self.tree.clone(),
+            content: self.content.clone(),
             free: self.free.clone(),
+            // Pooled buffers are unobservable spare capacity.
+            pool: Vec::new(),
             root: self.root,
             node_seg: self.node_seg.clone(),
             node_off: self.node_off.clone(),
             prio_counter: self.prio_counter,
             version: self.version,
-            memo: Mutex::new(
-                self.memo
-                    .try_lock()
-                    .map_or([EMPTY_MEMO; 2], |entries| *entries),
-            ),
+            memo: self.memo.snapshot(),
         }
     }
 }
@@ -196,14 +358,16 @@ impl SegmentArrangement {
     fn from_order(nodes: impl Iterator<Item = Node>, n: usize) -> Self {
         debug_assert!(n <= crate::MAX_NODES, "capacity must be checked upstream");
         let mut arr = SegmentArrangement {
-            segs: Vec::with_capacity(n),
+            tree: SegTree::with_capacity(n),
+            content: Vec::with_capacity(n),
             free: Vec::new(),
+            pool: Vec::new(),
             root: NIL,
             node_seg: vec![NIL; n],
             node_off: vec![0; n],
             prio_counter: 0,
             version: 0,
-            memo: Mutex::new([EMPTY_MEMO; 2]),
+            memo: SegMemo::empty(),
         };
         let slots: Vec<u32> = nodes.map(|v| arr.alloc_seg(vec![v], false)).collect();
         debug_assert_eq!(slots.len(), n, "builder must supply exactly n nodes");
@@ -228,7 +392,7 @@ impl SegmentArrangement {
     /// coalesced component in algorithm runs).
     #[must_use]
     pub fn segment_count(&self) -> usize {
-        self.segs.len() - self.free.len()
+        self.content.len() - self.free.len()
     }
 
     /// The node at `position`.
@@ -246,21 +410,24 @@ impl SegmentArrangement {
         let mut t = self.root;
         let mut pos = position;
         loop {
-            let seg = &self.segs[t as usize];
-            let left_size = self.sub(seg.left);
+            let i = t as usize;
+            let left = self.tree.left[i];
+            let left_size = self.sub(left);
+            let here = self.tree.len[i] as usize;
             if pos < left_size {
-                t = seg.left;
-            } else if pos < left_size + seg.nodes.len() {
+                t = left;
+            } else if pos < left_size + here {
                 let index = pos - left_size;
+                let seg = &self.content[i];
                 let storage = if seg.reversed {
-                    seg.nodes.len() - 1 - index
+                    here - 1 - index
                 } else {
                     index
                 };
                 return seg.nodes[storage];
             } else {
-                pos -= left_size + seg.nodes.len();
-                t = seg.right;
+                pos -= left_size + here;
+                t = self.tree.right[i];
             }
         }
     }
@@ -273,14 +440,7 @@ impl SegmentArrangement {
     #[must_use]
     pub fn position_of(&self, node: Node) -> usize {
         let slot = self.node_seg[node.index()];
-        let seg = &self.segs[slot as usize];
-        let off = self.node_off[node.index()] as usize;
-        let index = if seg.reversed {
-            seg.nodes.len() - 1 - off
-        } else {
-            off
-        };
-        self.seg_start(slot) + index
+        self.seg_start(slot) + self.in_seg_index(node)
     }
 
     /// Returns `true` if `a` occupies a position strictly left of `b`.
@@ -310,7 +470,7 @@ impl SegmentArrangement {
             return Some(0..0);
         }
         let slot = self.node_seg[nodes[0].index()];
-        if self.segs[slot as usize].nodes.len() == nodes.len()
+        if self.seg_len(slot) == nodes.len()
             && nodes.iter().all(|&v| self.node_seg[v.index()] == slot)
         {
             let start = self.seg_start(slot);
@@ -393,7 +553,7 @@ impl SegmentArrangement {
         // tree restructuring, subtree sizes unchanged (the range memo
         // stays valid: boundaries are untouched).
         if let Some(slot) = self.exact_segment(&range) {
-            let seg = &mut self.segs[slot as usize];
+            let seg = &mut self.content[slot as usize];
             seg.reversed = !seg.reversed;
             return cost;
         }
@@ -468,7 +628,8 @@ impl SegmentArrangement {
     pub fn assign(&mut self, target: &Permutation) -> u64 {
         let cost = self.kendall_to(target);
         self.bump_version();
-        self.segs.clear();
+        self.tree.clear();
+        self.content.clear();
         self.free.clear();
         if target.is_empty() {
             self.set_root(NIL);
@@ -509,10 +670,8 @@ impl SegmentArrangement {
         // adjacent segments. Absorb content in place, unlink the emptied
         // tree node; no boundary splits, no re-merge of the whole range.
         if self.in_seg_index(first_node) == 0
-            && self.in_seg_index(last_node) == self.segs[last_slot as usize].nodes.len() - 1
-            && self.segs[first_slot as usize].nodes.len()
-                + self.segs[last_slot as usize].nodes.len()
-                == range.len()
+            && self.in_seg_index(last_node) == self.seg_len(last_slot) - 1
+            && self.seg_len(first_slot) + self.seg_len(last_slot) == range.len()
         {
             self.bump_version();
             let (kept, emptied) = self.absorb_adjacent_content(first_slot, last_slot);
@@ -550,7 +709,7 @@ impl SegmentArrangement {
             return Some((0..0, true));
         }
         let slot = self.node_seg[nodes[0].index()];
-        if self.segs[slot as usize].nodes.len() == nodes.len()
+        if self.seg_len(slot) == nodes.len()
             && nodes.iter().all(|&v| self.node_seg[v.index()] == slot)
         {
             let start = self.seg_start(slot);
@@ -675,13 +834,47 @@ impl SegmentArrangement {
         self.set_root(root);
     }
 
+    /// Resolves a coalesced component's block from one member in
+    /// `O(log n)` — see [`Arrangement::locate_component`] for the full
+    /// contract. The segment backend keeps every coalesced component as
+    /// exactly one segment, so the anchor's slot *is* the block: the
+    /// answer needs one array lookup plus one rank walk, never a member
+    /// walk. Returns `None` when the anchor's segment length disagrees
+    /// with `len` (the component is not — or not yet — one segment, e.g.
+    /// mid-way through a primitive-op sequence), signalling the caller to
+    /// fall back to the member-walking locate.
+    ///
+    /// The located range is published to the range memo, so the merge
+    /// update that follows hits its segment-exact fast path without a
+    /// rediscovery walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor` is out of range.
+    #[must_use]
+    pub fn locate_component(&self, anchor: Node, len: usize) -> Option<(Range<usize>, usize)> {
+        let slot = self.node_seg[anchor.index()];
+        if self.seg_len(slot) != len {
+            return None;
+        }
+        let start = self.seg_start(slot);
+        self.remember_segment(start, len, slot);
+        let anchor_pos = start + self.in_seg_index(anchor);
+        Some((start..start + len, anchor_pos))
+    }
+
     /// Checks internal consistency: in-order traversal, both lookup
-    /// directions and subtree sizes must agree. Used by tests.
+    /// directions, subtree sizes and the SoA length mirror must agree.
+    /// Used by tests.
     #[doc(hidden)]
     #[must_use]
     pub fn check_consistent(&self) -> bool {
         let order = self.collect_all();
         if order.len() != self.len() || self.sub(self.root) != self.len() {
+            return false;
+        }
+        if (0..self.content.len()).any(|i| self.tree.len[i] as usize != self.content[i].nodes.len())
+        {
             return false;
         }
         order
@@ -696,7 +889,37 @@ impl SegmentArrangement {
         if t == NIL {
             0
         } else {
-            self.segs[t as usize].subtree as usize
+            self.tree.subtree[t as usize] as usize
+        }
+    }
+
+    /// Node count of slot `t`'s own segment (the SoA `len` mirror).
+    fn seg_len(&self, t: u32) -> usize {
+        self.tree.len[t as usize] as usize
+    }
+
+    /// Re-syncs the `len` mirror after a content mutation of slot `t`.
+    fn sync_len(&mut self, t: u32) {
+        self.tree.len[t as usize] = self.content[t as usize].nodes.len() as u32;
+    }
+
+    /// Returns a content buffer to the bounded pool.
+    fn recycle(&mut self, mut buf: Vec<Node>) {
+        if buf.capacity() > 0 && self.pool.len() < POOL_CAP {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+
+    /// A cleared buffer from the pool (grown to `capacity`), or a fresh
+    /// allocation.
+    fn take_buffer(&mut self, capacity: usize) -> Vec<Node> {
+        match self.pool.pop() {
+            Some(mut buf) => {
+                buf.reserve(capacity);
+                buf
+            }
+            None => Vec::with_capacity(capacity),
         }
     }
 
@@ -712,58 +935,55 @@ impl SegmentArrangement {
         let slot = match self.free.pop() {
             Some(slot) => slot,
             None => {
-                self.segs.push(Seg {
+                self.tree.push_slot();
+                self.content.push(SegContent {
                     nodes: Vec::new(),
-                    prio: 0,
-                    left: NIL,
-                    right: NIL,
-                    parent: NIL,
-                    subtree: 0,
                     reversed: false,
                 });
-                (self.segs.len() - 1) as u32
+                (self.content.len() - 1) as u32
             }
         };
         for (off, v) in nodes.iter().enumerate() {
             self.node_seg[v.index()] = slot;
             self.node_off[v.index()] = off as u32;
         }
-        let seg = &mut self.segs[slot as usize];
-        seg.subtree = nodes.len() as u32;
-        seg.nodes = nodes;
-        seg.reversed = reversed;
-        seg.prio = prio;
-        seg.left = NIL;
-        seg.right = NIL;
-        seg.parent = NIL;
+        let i = slot as usize;
+        self.tree.prio[i] = prio;
+        self.tree.left[i] = NIL;
+        self.tree.right[i] = NIL;
+        self.tree.parent[i] = NIL;
+        self.tree.subtree[i] = nodes.len() as u32;
+        self.tree.len[i] = nodes.len() as u32;
+        self.content[i].nodes = nodes;
+        self.content[i].reversed = reversed;
         slot
     }
 
     fn free_seg(&mut self, slot: u32) {
-        self.segs[slot as usize].nodes = Vec::new();
+        let buf = std::mem::take(&mut self.content[slot as usize].nodes);
+        self.recycle(buf);
+        self.tree.len[slot as usize] = 0;
         self.free.push(slot);
     }
 
     /// Recomputes `subtree` and re-parents the children of `t`.
     fn upd(&mut self, t: u32) {
-        let (left, right) = {
-            let seg = &self.segs[t as usize];
-            (seg.left, seg.right)
-        };
-        let total = self.segs[t as usize].nodes.len() + self.sub(left) + self.sub(right);
-        self.segs[t as usize].subtree = total as u32;
+        let i = t as usize;
+        let (left, right) = (self.tree.left[i], self.tree.right[i]);
+        let total = self.tree.len[i] as usize + self.sub(left) + self.sub(right);
+        self.tree.subtree[i] = total as u32;
         if left != NIL {
-            self.segs[left as usize].parent = t;
+            self.tree.parent[left as usize] = t;
         }
         if right != NIL {
-            self.segs[right as usize].parent = t;
+            self.tree.parent[right as usize] = t;
         }
     }
 
     fn set_root(&mut self, root: u32) {
         self.root = root;
         if root != NIL {
-            self.segs[root as usize].parent = NIL;
+            self.tree.parent[root as usize] = NIL;
         }
     }
 
@@ -774,16 +994,16 @@ impl SegmentArrangement {
         for &slot in slots {
             let mut last = NIL;
             while let Some(&top) = spine.last() {
-                if self.segs[top as usize].prio >= self.segs[slot as usize].prio {
+                if self.tree.prio[top as usize] >= self.tree.prio[slot as usize] {
                     break;
                 }
                 spine.pop();
                 self.upd(top);
                 last = top;
             }
-            self.segs[slot as usize].left = last;
+            self.tree.left[slot as usize] = last;
             if let Some(&top) = spine.last() {
-                self.segs[top as usize].right = slot;
+                self.tree.right[top as usize] = slot;
             }
             spine.push(slot);
         }
@@ -798,16 +1018,16 @@ impl SegmentArrangement {
     /// Rank of segment `slot`: total nodes strictly left of it, via parent
     /// pointers in `O(log n)` expected.
     fn seg_start(&self, slot: u32) -> usize {
-        let mut acc = self.sub(self.segs[slot as usize].left);
+        let mut acc = self.sub(self.tree.left[slot as usize]);
         let mut current = slot;
-        let mut parent = self.segs[slot as usize].parent;
+        let mut parent = self.tree.parent[slot as usize];
         while parent != NIL {
-            let seg = &self.segs[parent as usize];
-            if seg.right == current {
-                acc += self.sub(seg.left) + seg.nodes.len();
+            let i = parent as usize;
+            if self.tree.right[i] == current {
+                acc += self.sub(self.tree.left[i]) + self.tree.len[i] as usize;
             }
             current = parent;
-            parent = seg.parent;
+            parent = self.tree.parent[i];
         }
         acc
     }
@@ -819,26 +1039,28 @@ impl SegmentArrangement {
             debug_assert_eq!(k, 0, "split point beyond tree");
             return (NIL, NIL);
         }
-        let (left_child, right_child, seg_len) = {
-            let seg = &self.segs[t as usize];
-            (seg.left, seg.right, seg.nodes.len())
-        };
+        let i = t as usize;
+        let (left_child, right_child, seg_len) = (
+            self.tree.left[i],
+            self.tree.right[i],
+            self.tree.len[i] as usize,
+        );
         let left_size = self.sub(left_child);
         if k <= left_size {
             let (a, b) = self.split(left_child, k);
-            self.segs[t as usize].left = b;
+            self.tree.left[i] = b;
             self.upd(t);
             (a, t)
         } else if k >= left_size + seg_len {
             let (a, b) = self.split(right_child, k - left_size - seg_len);
-            self.segs[t as usize].right = a;
+            self.tree.right[i] = a;
             self.upd(t);
             (t, b)
         } else {
             // Interior cut: split this segment's content in two.
             let cut = k - left_size;
             let tail = self.split_seg_content(t, cut);
-            self.segs[t as usize].right = NIL;
+            self.tree.right[i] = NIL;
             self.upd(t);
             let rest = self.merge(tail, right_child);
             (t, rest)
@@ -853,16 +1075,16 @@ impl SegmentArrangement {
         if r == NIL {
             return l;
         }
-        if self.segs[l as usize].prio >= self.segs[r as usize].prio {
-            let lr = self.segs[l as usize].right;
+        if self.tree.prio[l as usize] >= self.tree.prio[r as usize] {
+            let lr = self.tree.right[l as usize];
             let m = self.merge(lr, r);
-            self.segs[l as usize].right = m;
+            self.tree.right[l as usize] = m;
             self.upd(l);
             l
         } else {
-            let rl = self.segs[r as usize].left;
+            let rl = self.tree.left[r as usize];
             let m = self.merge(l, rl);
-            self.segs[r as usize].left = m;
+            self.tree.left[r as usize] = m;
             self.upd(r);
             r
         }
@@ -880,21 +1102,24 @@ impl SegmentArrangement {
     /// keeping them in `t`; returns a new detached segment holding the
     /// remainder. `O(segment)`.
     fn split_seg_content(&mut self, t: u32, cut: usize) -> u32 {
-        let reversed = self.segs[t as usize].reversed;
-        let len = self.segs[t as usize].nodes.len();
+        let i = t as usize;
+        let reversed = self.content[i].reversed;
+        let len = self.content[i].nodes.len();
         debug_assert!(cut > 0 && cut < len, "interior cut expected");
         if reversed {
             // Arrangement order is reversed storage: the first `cut`
             // arrangement nodes are the last `cut` storage nodes.
-            let mut stored = std::mem::take(&mut self.segs[t as usize].nodes);
+            let mut stored = std::mem::take(&mut self.content[i].nodes);
             let kept = stored.split_off(len - cut);
             for (off, v) in kept.iter().enumerate() {
                 self.node_off[v.index()] = off as u32;
             }
-            self.segs[t as usize].nodes = kept;
+            self.content[i].nodes = kept;
+            self.sync_len(t);
             self.alloc_seg(stored, true)
         } else {
-            let tail = self.segs[t as usize].nodes.split_off(cut);
+            let tail = self.content[i].nodes.split_off(cut);
+            self.sync_len(t);
             self.alloc_seg(tail, false)
         }
     }
@@ -903,13 +1128,14 @@ impl SegmentArrangement {
     /// segment, otherwise compaction into one reversed segment.
     fn reverse_detached(&mut self, block: u32) -> u32 {
         debug_assert_ne!(block, NIL);
-        let seg = &self.segs[block as usize];
-        if seg.left == NIL && seg.right == NIL {
-            let seg = &mut self.segs[block as usize];
+        let i = block as usize;
+        if self.tree.left[i] == NIL && self.tree.right[i] == NIL {
+            let seg = &mut self.content[i];
             seg.reversed = !seg.reversed;
             return block;
         }
-        let order = self.collect_subtree(block);
+        let mut order = self.take_buffer(self.sub(block));
+        self.collect_subtree_into(block, &mut order);
         self.free_subtree(block);
         self.alloc_seg(order, true)
     }
@@ -919,14 +1145,15 @@ impl SegmentArrangement {
     /// append (the common two-segment merge case).
     fn compact_detached(&mut self, block: u32) -> u32 {
         debug_assert_ne!(block, NIL);
-        if self.segs[block as usize].left == NIL && self.segs[block as usize].right == NIL {
+        if self.tree.left[block as usize] == NIL && self.tree.right[block as usize] == NIL {
             return block;
         }
         let slots = self.collect_slots(block);
         if slots.len() == 2 {
             return self.coalesce_pair(slots[0], slots[1]);
         }
-        let order = self.collect_subtree(block);
+        let mut order = self.take_buffer(self.sub(block));
+        self.collect_subtree_into(block, &mut order);
         self.free_subtree(block);
         self.alloc_seg(order, false)
     }
@@ -936,38 +1163,44 @@ impl SegmentArrangement {
     fn coalesce_pair(&mut self, first: u32, second: u32) -> u32 {
         // Detach both from their two-node tree.
         for &slot in &[first, second] {
-            let seg = &mut self.segs[slot as usize];
-            seg.left = NIL;
-            seg.right = NIL;
-            seg.parent = NIL;
-            seg.subtree = seg.nodes.len() as u32;
+            let i = slot as usize;
+            self.tree.left[i] = NIL;
+            self.tree.right[i] = NIL;
+            self.tree.parent[i] = NIL;
+            self.tree.subtree[i] = self.tree.len[i];
         }
         let (kept, emptied) = self.absorb_adjacent_content(first, second);
         self.free_seg(emptied);
-        self.segs[kept as usize].subtree = self.segs[kept as usize].nodes.len() as u32;
+        self.tree.subtree[kept as usize] = self.tree.len[kept as usize];
         kept
     }
 
     /// In-order nodes of a detached subtree (arrangement order).
     fn collect_subtree(&self, t: u32) -> Vec<Node> {
         let mut out = Vec::with_capacity(self.sub(t));
+        self.collect_subtree_into(t, &mut out);
+        out
+    }
+
+    /// [`collect_subtree`](Self::collect_subtree) into a caller-supplied
+    /// (typically pooled) buffer.
+    fn collect_subtree_into(&self, t: u32, out: &mut Vec<Node>) {
         let mut stack: Vec<u32> = Vec::new();
         let mut current = t;
         while current != NIL || !stack.is_empty() {
             while current != NIL {
                 stack.push(current);
-                current = self.segs[current as usize].left;
+                current = self.tree.left[current as usize];
             }
             let slot = stack.pop().expect("loop guard ensures non-empty stack");
-            let seg = &self.segs[slot as usize];
+            let seg = &self.content[slot as usize];
             if seg.reversed {
                 out.extend(seg.nodes.iter().rev().copied());
             } else {
                 out.extend(seg.nodes.iter().copied());
             }
-            current = seg.right;
+            current = self.tree.right[slot as usize];
         }
-        out
     }
 
     /// Arena slots of a detached subtree, in arrangement order.
@@ -978,11 +1211,11 @@ impl SegmentArrangement {
         while current != NIL || !stack.is_empty() {
             while current != NIL {
                 stack.push(current);
-                current = self.segs[current as usize].left;
+                current = self.tree.left[current as usize];
             }
             let slot = stack.pop().expect("loop guard ensures non-empty stack");
             out.push(slot);
-            current = self.segs[slot as usize].right;
+            current = self.tree.right[slot as usize];
         }
         out
     }
@@ -992,42 +1225,26 @@ impl SegmentArrangement {
         self.version = self.version.wrapping_add(1);
     }
 
-    /// Records a verified range→segment fact for the current version.
-    /// Lock-free in spirit: under cross-thread contention the fact is
+    /// Records a verified range→segment fact for the current version
+    /// through the seqlock: under cross-thread contention the fact is
     /// simply not recorded (the memo is a pure cache).
     fn remember_segment(&self, start: usize, len: usize, slot: u32) {
         let Ok(len) = u32::try_from(len) else { return };
-        if let Ok(mut entries) = self.memo.try_lock() {
-            entries[1] = entries[0];
-            entries[0] = RangeMemo {
-                version: self.version,
-                start,
-                len,
-                slot,
-            };
-        }
+        self.memo.publish(self.version, start, len, slot);
     }
 
     /// Looks up a remembered, still-valid range→segment fact. Misses
-    /// (rather than blocks) when another thread holds the memo.
+    /// (rather than blocks) on concurrent publishes.
     fn recall_segment(&self, range: &Range<usize>) -> Option<u32> {
-        self.memo.try_lock().ok().and_then(|entries| {
-            entries.iter().find_map(|entry| {
-                (entry.version == self.version
-                    && entry.start == range.start
-                    && entry.len as usize == range.len())
-                .then_some(entry.slot)
-            })
-        })
+        self.memo.recall(self.version, range)
     }
 
     /// The arrangement-order index of `node` inside its segment.
     fn in_seg_index(&self, node: Node) -> usize {
         let slot = self.node_seg[node.index()];
-        let seg = &self.segs[slot as usize];
         let off = self.node_off[node.index()] as usize;
-        if seg.reversed {
-            seg.nodes.len() - 1 - off
+        if self.content[slot as usize].reversed {
+            self.seg_len(slot) - 1 - off
         } else {
             off
         }
@@ -1043,8 +1260,7 @@ impl SegmentArrangement {
         }
         let first = self.node_at(range.start);
         let slot = self.node_seg[first.index()];
-        (self.segs[slot as usize].nodes.len() == range.len() && self.in_seg_index(first) == 0)
-            .then_some(slot)
+        (self.seg_len(slot) == range.len() && self.in_seg_index(first) == 0).then_some(slot)
     }
 
     /// Recomputes subtree sizes from `t` up to the root (child links and
@@ -1052,13 +1268,11 @@ impl SegmentArrangement {
     fn recompute_sizes_upward(&mut self, t: u32) {
         let mut current = t;
         while current != NIL {
-            let (left, right) = {
-                let seg = &self.segs[current as usize];
-                (seg.left, seg.right)
-            };
-            self.segs[current as usize].subtree =
-                (self.segs[current as usize].nodes.len() + self.sub(left) + self.sub(right)) as u32;
-            current = self.segs[current as usize].parent;
+            let i = current as usize;
+            let (left, right) = (self.tree.left[i], self.tree.right[i]);
+            self.tree.subtree[i] =
+                (self.tree.len[i] as usize + self.sub(left) + self.sub(right)) as u32;
+            current = self.tree.parent[i];
         }
     }
 
@@ -1067,30 +1281,27 @@ impl SegmentArrangement {
     /// carry lower priorities than `slot`, hence than its parent. The
     /// slot itself is left detached (content untouched, not freed).
     fn unlink_seg(&mut self, slot: u32) {
-        let (left, right, parent) = {
-            let seg = &self.segs[slot as usize];
-            (seg.left, seg.right, seg.parent)
-        };
+        let i = slot as usize;
+        let (left, right, parent) = (self.tree.left[i], self.tree.right[i], self.tree.parent[i]);
         let replacement = self.merge(left, right);
         if parent == NIL {
             self.set_root(replacement);
         } else {
-            let parent_seg = &mut self.segs[parent as usize];
-            if parent_seg.left == slot {
-                parent_seg.left = replacement;
+            let p = parent as usize;
+            if self.tree.left[p] == slot {
+                self.tree.left[p] = replacement;
             } else {
-                parent_seg.right = replacement;
+                self.tree.right[p] = replacement;
             }
             if replacement != NIL {
-                self.segs[replacement as usize].parent = parent;
+                self.tree.parent[replacement as usize] = parent;
             }
             self.recompute_sizes_upward(parent);
         }
-        let seg = &mut self.segs[slot as usize];
-        seg.left = NIL;
-        seg.right = NIL;
-        seg.parent = NIL;
-        seg.subtree = seg.nodes.len() as u32;
+        self.tree.left[i] = NIL;
+        self.tree.right[i] = NIL;
+        self.tree.parent[i] = NIL;
+        self.tree.subtree[i] = self.tree.len[i];
     }
 
     /// Reinserts a detached segment so that it starts at `position`.
@@ -1107,26 +1318,33 @@ impl SegmentArrangement {
     /// that the cheap tail append — leaving both slots' tree links
     /// untouched. Returns `(kept, emptied)`.
     fn absorb_adjacent_content(&mut self, first: u32, second: u32) -> (u32, u32) {
-        let first_reversed = self.segs[first as usize].reversed;
-        let second_reversed = self.segs[second as usize].reversed;
+        let first_reversed = self.content[first as usize].reversed;
+        let second_reversed = self.content[second as usize].reversed;
         if !first_reversed {
             // Append `second`'s arrangement order to `first`'s tail.
-            let absorbed = std::mem::take(&mut self.segs[second as usize].nodes);
+            let absorbed = std::mem::take(&mut self.content[second as usize].nodes);
+            self.sync_len(second);
             self.push_storage_tail(first, &absorbed, second_reversed);
+            self.recycle(absorbed);
             (first, second)
         } else if second_reversed {
             // `second` reads right-to-left, so `first`'s reversed
             // arrangement order — its storage order — appends at the tail.
-            let absorbed = std::mem::take(&mut self.segs[first as usize].nodes);
+            let absorbed = std::mem::take(&mut self.content[first as usize].nodes);
+            self.sync_len(first);
             self.push_storage_tail(second, &absorbed, false);
+            self.recycle(absorbed);
             (second, first)
         } else {
             // first reversed, second forward: rebuild into `first` forward.
-            let first_nodes = std::mem::take(&mut self.segs[first as usize].nodes);
-            let second_nodes = std::mem::take(&mut self.segs[second as usize].nodes);
-            let mut order = Vec::with_capacity(first_nodes.len() + second_nodes.len());
+            let first_nodes = std::mem::take(&mut self.content[first as usize].nodes);
+            let second_nodes = std::mem::take(&mut self.content[second as usize].nodes);
+            self.sync_len(second);
+            let mut order = self.take_buffer(first_nodes.len() + second_nodes.len());
             order.extend(first_nodes.iter().rev().copied());
             order.extend(second_nodes.iter().copied());
+            self.recycle(first_nodes);
+            self.recycle(second_nodes);
             self.install_seg_content(first, order);
             (first, second)
         }
@@ -1136,29 +1354,35 @@ impl SegmentArrangement {
     /// onto `dst`'s storage tail, keeping the node→segment/offset maps in
     /// sync. The single place absorb bookkeeping lives.
     fn push_storage_tail(&mut self, dst: u32, nodes: &[Node], rev: bool) {
-        let base = self.segs[dst as usize].nodes.len();
-        let iter: Box<dyn Iterator<Item = Node>> = if rev {
-            Box::new(nodes.iter().rev().copied())
+        let base = self.content[dst as usize].nodes.len();
+        if rev {
+            self.push_tail_inner(dst, base, nodes.iter().rev().copied());
         } else {
-            Box::new(nodes.iter().copied())
-        };
+            self.push_tail_inner(dst, base, nodes.iter().copied());
+        }
+        self.sync_len(dst);
+    }
+
+    fn push_tail_inner(&mut self, dst: u32, base: usize, iter: impl Iterator<Item = Node>) {
         for (i, v) in iter.enumerate() {
             self.node_seg[v.index()] = dst;
             self.node_off[v.index()] = (base + i) as u32;
-            self.segs[dst as usize].nodes.push(v);
+            self.content[dst as usize].nodes.push(v);
         }
     }
 
     /// Installs `content` as `slot`'s storage (forward order), syncing the
-    /// node maps. The owned-buffer sibling of `replace_seg_content`.
+    /// node maps and recycling the displaced buffer. The owned-buffer
+    /// sibling of `replace_seg_content`.
     fn install_seg_content(&mut self, slot: u32, content: Vec<Node>) {
         for (off, v) in content.iter().enumerate() {
             self.node_seg[v.index()] = slot;
             self.node_off[v.index()] = off as u32;
         }
-        let seg = &mut self.segs[slot as usize];
-        seg.nodes = content;
-        seg.reversed = false;
+        let old = std::mem::replace(&mut self.content[slot as usize].nodes, content);
+        self.recycle(old);
+        self.content[slot as usize].reversed = false;
+        self.sync_len(slot);
     }
 
     /// Overwrites a (linked) segment's content in place, forward order,
@@ -1169,10 +1393,11 @@ impl SegmentArrangement {
             self.node_seg[v.index()] = slot;
             self.node_off[v.index()] = off as u32;
         }
-        let seg = &mut self.segs[slot as usize];
-        seg.nodes.clear();
-        seg.nodes.extend_from_slice(content);
-        seg.reversed = false;
+        let c = &mut self.content[slot as usize];
+        c.nodes.clear();
+        c.nodes.extend_from_slice(content);
+        c.reversed = false;
+        self.sync_len(slot);
     }
 
     /// Folds the content of detached segment `other` into linked segment
@@ -1180,25 +1405,27 @@ impl SegmentArrangement {
     /// order (preserving both internal orders). Frees `other`. Subtree
     /// sizes are NOT fixed up — callers do that.
     fn fold_into_seg(&mut self, slot: u32, other: u32, other_is_left: bool) {
-        let other_nodes = std::mem::take(&mut self.segs[other as usize].nodes);
-        let other_reversed = self.segs[other as usize].reversed;
+        let other_nodes = std::mem::take(&mut self.content[other as usize].nodes);
+        let other_reversed = self.content[other as usize].reversed;
         self.free_seg(other);
-        let keep_reversed = self.segs[slot as usize].reversed;
+        let keep_reversed = self.content[slot as usize].reversed;
         // Cheap tail appends: arrangement-right content onto a forward
         // segment (in arrangement order), or arrangement-left content
         // onto a reversed one (in reversed arrangement order).
         if !other_is_left && !keep_reversed {
             self.push_storage_tail(slot, &other_nodes, other_reversed);
+            self.recycle(other_nodes);
             return;
         }
         if other_is_left && keep_reversed {
             self.push_storage_tail(slot, &other_nodes, !other_reversed);
+            self.recycle(other_nodes);
             return;
         }
         // Otherwise rebuild the merged content forward, other side first
         // or last as dictated.
-        let mut order =
-            Vec::with_capacity(self.segs[slot as usize].nodes.len() + other_nodes.len());
+        let keep_nodes = std::mem::take(&mut self.content[slot as usize].nodes);
+        let mut order = self.take_buffer(keep_nodes.len() + other_nodes.len());
         let extend_arr = |order: &mut Vec<Node>, nodes: &[Node], reversed: bool| {
             if reversed {
                 order.extend(nodes.iter().rev().copied());
@@ -1208,11 +1435,13 @@ impl SegmentArrangement {
         };
         if other_is_left {
             extend_arr(&mut order, &other_nodes, other_reversed);
-            extend_arr(&mut order, &self.segs[slot as usize].nodes, keep_reversed);
+            extend_arr(&mut order, &keep_nodes, keep_reversed);
         } else {
-            extend_arr(&mut order, &self.segs[slot as usize].nodes, keep_reversed);
+            extend_arr(&mut order, &keep_nodes, keep_reversed);
             extend_arr(&mut order, &other_nodes, other_reversed);
         }
+        self.recycle(other_nodes);
+        self.recycle(keep_nodes);
         self.install_seg_content(slot, order);
     }
 
@@ -1277,6 +1506,14 @@ impl Arrangement for SegmentArrangement {
 
     fn oriented_contiguous_range(&self, nodes: &[Node]) -> Option<(Range<usize>, bool)> {
         SegmentArrangement::oriented_contiguous_range(self, nodes)
+    }
+
+    fn locate_component(&self, anchor: Node, len: usize) -> Option<(Range<usize>, usize)> {
+        SegmentArrangement::locate_component(self, anchor, len)
+    }
+
+    fn supports_component_locate(&self) -> bool {
+        true
     }
 
     fn merge_move(
@@ -1547,5 +1784,63 @@ mod tests {
                 assert!(arr.check_consistent());
             }
         }
+    }
+
+    #[test]
+    fn locate_component_matches_walk() {
+        let mut arr = SegmentArrangement::identity(8);
+        arr.coalesce_range(2..5);
+        // Nodes 2..5 now live in one segment: the slot-based locate must
+        // agree with the member-walk contiguous_range.
+        let members = [Node::new(2), Node::new(3), Node::new(4)];
+        let walked = arr.contiguous_range(&members).unwrap();
+        let (range, anchor_pos) = arr.locate_component(Node::new(3), 3).unwrap();
+        assert_eq!(range, walked);
+        assert_eq!(arr.node_at(anchor_pos), Node::new(3));
+        // A length mismatch means the component is not a single segment:
+        // locate must decline rather than guess.
+        assert_eq!(arr.locate_component(Node::new(3), 2), None);
+        assert_eq!(arr.locate_component(Node::new(0), 3), None);
+    }
+
+    #[test]
+    fn locate_component_survives_reversal() {
+        let mut arr = SegmentArrangement::identity(8);
+        arr.coalesce_range(2..6);
+        arr.reverse_block(2..6);
+        let (range, anchor_pos) = arr.locate_component(Node::new(5), 4).unwrap();
+        assert_eq!(range, 2..6);
+        assert_eq!(arr.node_at(anchor_pos), Node::new(5));
+        assert_eq!(anchor_pos, 2);
+    }
+
+    #[test]
+    fn range_memo_is_safe_under_concurrent_readers() {
+        // The seqlock memo must never serve a torn entry: every recall hit
+        // used by the exact-segment fast path has to name the segment that
+        // actually covers the queried range. Hammer it from many readers.
+        let n = 64usize;
+        let mut arr = SegmentArrangement::identity(n);
+        for block in 0..n / 8 {
+            arr.coalesce_range(block * 8..(block + 1) * 8);
+        }
+        let arr = &arr;
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                scope.spawn(move || {
+                    for round in 0..200 {
+                        let block = (t * 7 + round) % (n / 8);
+                        let start = block * 8;
+                        let anchor = arr.node_at(start + round % 8);
+                        let (range, anchor_pos) = arr.locate_component(anchor, 8).unwrap();
+                        assert_eq!(range, start..start + 8);
+                        assert_eq!(arr.node_at(anchor_pos), anchor);
+                        let members: Vec<Node> = (start..start + 8).map(Node::new).collect();
+                        assert_eq!(arr.contiguous_range(&members), Some(start..start + 8));
+                    }
+                });
+            }
+        });
+        assert!(arr.check_consistent());
     }
 }

@@ -218,6 +218,21 @@ impl Arrangement for ShardedArrangement {
         Some((range, forward))
     }
 
+    fn locate_component(&self, anchor: Node, len: usize) -> Option<(Range<usize>, usize)> {
+        // Merges are region-local, so a component is always wholly inside
+        // the anchor's region; a `len` that cannot fit simply misses in
+        // the region-local locate.
+        let r = self.region_of(anchor.index());
+        let base = self.bounds[r];
+        self.regions[r]
+            .locate_component(Node::new(anchor.index() - base), len)
+            .map(|(range, anchor_pos)| (range.start + base..range.end + base, anchor_pos + base))
+    }
+
+    fn supports_component_locate(&self) -> bool {
+        true
+    }
+
     fn move_block(&mut self, src: Range<usize>, dest: usize) -> u64 {
         if src.is_empty() && src.start <= self.len() && dest <= self.len() {
             return 0;

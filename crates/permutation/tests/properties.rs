@@ -432,6 +432,198 @@ proptest! {
     }
 }
 
+// ---- lazy locate: slot-based locate vs the full member walk ------------
+
+use mla_permutation::ShardedArrangement;
+
+/// Raw schedule picks, resolved against the live component list at
+/// execution time: `(region_pick, first_pick, second_pick,
+/// reverse_target, shuffle_pick)`. Between merges, `shuffle_pick`
+/// optionally moves a whole component elsewhere in its region or
+/// reverses it in place — the other two block operations an algorithm
+/// run interleaves with merges.
+type MergePick = (usize, usize, usize, bool, usize);
+
+/// Strategy: an initial permutation plus a raw merge schedule. The picks
+/// are drawn as plain integers (the component list shrinks as merges
+/// execute, so the actual pair is resolved modulo the live count).
+fn merge_schedule() -> impl Strategy<Value = (Permutation, Vec<MergePick>)> {
+    (2usize..28).prop_flat_map(|n| {
+        permutation(n).prop_perturb(move |start, mut rng| {
+            let next =
+                |bound: usize, rng: &mut TestRng| (rng.next_u64() % bound.max(1) as u64) as usize;
+            let count = next(n, &mut rng);
+            let picks = (0..count)
+                .map(|_| {
+                    (
+                        next(1 << 16, &mut rng),
+                        next(1 << 16, &mut rng),
+                        next(1 << 16, &mut rng),
+                        next(2, &mut rng) == 0,
+                        next(1 << 16, &mut rng),
+                    )
+                })
+                .collect();
+            (start, picks)
+        })
+    })
+}
+
+/// Replays a merge schedule on `arr` (merges stay inside one region of
+/// `regions`, mirroring the sharded backend's region-local contract) and
+/// after **every** merge checks the slot-based `locate_component` against
+/// the full member walk, for every component and every possible anchor.
+fn check_locate_under_merges<A: Arrangement>(
+    arr: &mut A,
+    regions: &[std::ops::Range<usize>],
+    picks: &[MergePick],
+) {
+    // Components per region, each a member list in arbitrary order.
+    let mut comps: Vec<Vec<Vec<Node>>> = regions
+        .iter()
+        .map(|r| {
+            r.clone()
+                .map(|pos| vec![arr.node_at(pos)])
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let check_all = |arr: &A, comps: &[Vec<Vec<Node>>]| {
+        for members in comps.iter().flatten() {
+            let walked = arr
+                .contiguous_range(members)
+                .expect("merged components stay contiguous");
+            if !arr.supports_component_locate() {
+                continue;
+            }
+            for &anchor in members {
+                let (range, anchor_pos) = arr
+                    .locate_component(anchor, members.len())
+                    .expect("locate must answer for a coalesced component");
+                assert_eq!(range, walked, "locate range diverged from the member walk");
+                assert!(range.contains(&anchor_pos));
+                assert_eq!(arr.node_at(anchor_pos), anchor);
+                // A wrong component size must miss, never alias a block.
+                assert_eq!(arr.locate_component(anchor, members.len() + 1), None);
+            }
+        }
+    };
+    check_all(arr, &comps);
+    for &(region_pick, first_pick, second_pick, reverse, shuffle_pick) in picks {
+        let region = region_pick % comps.len();
+        // Interleave the other two whole-block operations a run uses:
+        // move a component to a random spot in its region, or reverse
+        // it in place. Neither may break a later locate.
+        if !comps[region].is_empty() {
+            let c = shuffle_pick % comps[region].len();
+            let range = arr
+                .contiguous_range(&comps[region][c])
+                .expect("component is contiguous");
+            let region_span = regions[region].clone();
+            match shuffle_pick % 3 {
+                0 => {
+                    // Valid destinations land flush against another
+                    // component (or the region start) — anything else
+                    // would split a block and break the contiguity
+                    // invariant the locate contract rests on.
+                    let mut dests = vec![region_span.start];
+                    for (j, other) in comps[region].iter().enumerate() {
+                        if j == c {
+                            continue;
+                        }
+                        let rc = arr
+                            .contiguous_range(other)
+                            .expect("component is contiguous");
+                        dests.push(if rc.start > range.start {
+                            rc.end - range.len()
+                        } else {
+                            rc.end
+                        });
+                    }
+                    let dest = dests[first_pick % dests.len()];
+                    arr.move_block(range, dest);
+                }
+                1 => {
+                    arr.reverse_block(range);
+                }
+                _ => {}
+            }
+            check_all(arr, &comps);
+        }
+        if comps[region].len() < 2 {
+            continue;
+        }
+        let a = first_pick % comps[region].len();
+        let mut b = second_pick % comps[region].len();
+        if b == a {
+            b = (b + 1) % comps[region].len();
+        }
+        let mover = arr
+            .contiguous_range(&comps[region][a])
+            .expect("component is contiguous");
+        let stayer = arr
+            .contiguous_range(&comps[region][b])
+            .expect("component is contiguous");
+        // Half the merges rewrite the merged block reversed, so reversed
+        // segments (and reversed-orientation locates) are exercised too.
+        let target: Option<Vec<Node>> = reverse.then(|| {
+            let mut pool: Vec<Node> = mover
+                .clone()
+                .chain(stayer.clone())
+                .map(|p| arr.node_at(p))
+                .collect();
+            pool.reverse();
+            pool
+        });
+        arr.merge_move(mover, stayer, target.as_deref());
+        let absorbed = std::mem::take(&mut comps[region][a]);
+        comps[region][b].extend(absorbed);
+        comps[region].swap_remove(a);
+        check_all(arr, &comps);
+    }
+}
+
+proptest! {
+    #[test]
+    fn segment_locate_matches_full_walk_under_merge_fuzz((start, picks) in merge_schedule()) {
+        let n = start.len();
+        let mut segment = SegmentArrangement::from_permutation(&start);
+        prop_assert!(segment.supports_component_locate());
+        check_locate_under_merges(&mut segment, std::slice::from_ref(&(0..n)), &picks);
+        prop_assert!(segment.check_consistent());
+    }
+
+    #[test]
+    fn sharded_locate_matches_full_walk_under_merge_fuzz((start, picks) in merge_schedule()) {
+        // Two regions (the sharded contract: merges are region-local); the
+        // initial order inside each region is the identity.
+        let n = start.len();
+        let mid = n / 2;
+        let regions: Vec<std::ops::Range<usize>> = if mid == 0 {
+            std::iter::once(0..n).collect()
+        } else {
+            vec![0..mid, mid..n]
+        };
+        let sizes: Vec<usize> = regions.iter().map(std::iter::ExactSizeIterator::len).collect();
+        let mut sharded = ShardedArrangement::with_regions(&sizes);
+        prop_assert!(sharded.supports_component_locate());
+        check_locate_under_merges(&mut sharded, &regions, &picks);
+    }
+
+    #[test]
+    fn dense_backend_reports_no_locate_support((start, picks) in merge_schedule()) {
+        // The dense backend has no structural block tracking: it must
+        // advertise that (so callers fall back to the member walk), and
+        // the default locate must answer `None` — which
+        // `check_locate_under_merges` skips over while still replaying
+        // the identical merge schedule.
+        let n = start.len();
+        let mut dense = start.clone();
+        prop_assert!(!Arrangement::supports_component_locate(&dense));
+        prop_assert_eq!(Arrangement::locate_component(&dense, dense.node_at(0), 1), None);
+        check_locate_under_merges(&mut dense, std::slice::from_ref(&(0..n)), &picks);
+    }
+}
+
 #[test]
 fn swap_adjacent_blocks_boundary_cases_match() {
     // Empty blocks at either side and blocks meeting at the array ends.

@@ -33,8 +33,25 @@ use std::collections::VecDeque;
 use std::ops::Range;
 
 use mla_core::MergeLayout;
-use mla_graph::{GraphError, GraphState, MergeInfo, RevealEvent};
+use mla_graph::{GraphError, GraphState, MergeInfo, RevealEvent, SnapshotMode};
 use mla_permutation::Arrangement;
+
+thread_local! {
+    /// Monotone count of [`ConflictGraph`] constructions on this thread —
+    /// a test hook proving the parked (window-1) degraded mode performs
+    /// no conflict bookkeeping at all.
+    static CONFLICT_GRAPH_ALLOCATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Returns how many [`ConflictGraph`]s this thread has built so far.
+///
+/// Test hook: regression tests snapshot it around a parallel run to
+/// assert the window-1 degraded mode allocates zero conflict structures.
+#[doc(hidden)]
+#[must_use]
+pub fn conflict_graph_allocations() -> u64 {
+    CONFLICT_GRAPH_ALLOCATIONS.with(std::cell::Cell::get)
+}
 
 /// Below this many uncached candidates the planner prepares inline on
 /// the engine thread: scoped-spawn overhead would exceed the work.
@@ -44,6 +61,13 @@ pub(crate) const PARALLEL_DISPATCH_MIN: usize = 64;
 /// hysteresis so a conflict-dense workload parked at window 1 only
 /// occasionally probes for newly available parallelism.
 const GROW_AFTER_FULL_SEALS: u32 = 3;
+
+/// Cap on the probe-backoff exponent: after this many consecutive
+/// failed probes the quiet period stops doubling (at
+/// `GROW_AFTER_FULL_SEALS << MAX_COLLAPSE_STREAK` = 3072 rounds), so a
+/// workload that *becomes* parallel mid-run is still discovered within a
+/// bounded number of reveals.
+const MAX_COLLAPSE_STREAK: u32 = 10;
 
 /// The pairwise span-overlap relation over one window of candidate
 /// merges, in reveal order.
@@ -73,6 +97,7 @@ impl ConflictGraph {
     /// Builds the relation over the given spans (reveal order).
     #[must_use]
     pub fn new(spans: Vec<Range<usize>>) -> Self {
+        CONFLICT_GRAPH_ALLOCATIONS.with(|c| c.set(c.get() + 1));
         ConflictGraph { spans }
     }
 
@@ -210,6 +235,14 @@ pub struct BatchPlanner {
     window_max: usize,
     /// Consecutive rounds in which the whole examined window sealed.
     full_seals: u32,
+    /// Consecutive probes that collapsed straight back to a batch of
+    /// one. Each failure doubles the quiet period before the next probe
+    /// (capped by [`MAX_COLLAPSE_STREAK`]), so a permanently
+    /// conflict-dense workload pays a vanishing probe tax instead of
+    /// re-peeking a doomed speculative candidate every few reveals.
+    collapse_streak: u32,
+    /// How candidate peeks snapshot the merging components.
+    mode: SnapshotMode,
 }
 
 impl BatchPlanner {
@@ -225,7 +258,19 @@ impl BatchPlanner {
             window: window_max.min(64),
             window_max,
             full_seals: 0,
+            collapse_streak: 0,
+            mode: SnapshotMode::Eager,
         }
+    }
+
+    /// Sets how candidate peeks snapshot the merging components
+    /// (default [`SnapshotMode::Eager`]). The engine selects
+    /// [`SnapshotMode::Lazy`] when the algorithm, the backend and the
+    /// topology all support serving from size-only snapshots.
+    #[must_use]
+    pub fn snapshot_mode(mut self, mode: SnapshotMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Appends a reveal to the look-ahead queue.
@@ -279,7 +324,58 @@ impl BatchPlanner {
     where
         P: Arrangement + Sync,
     {
+        let mut batch = Vec::new();
+        self.plan_batch_into(state, arr, threads, &mut batch)?;
+        Ok(batch)
+    }
+
+    /// [`plan_batch`](BatchPlanner::plan_batch) into a caller-owned
+    /// buffer (cleared first). The engine reuses one buffer across
+    /// rounds, so the parked (window-1) degraded mode performs **zero**
+    /// heap allocations per reveal.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`plan_batch`](BatchPlanner::plan_batch).
+    pub fn plan_batch_into<P>(
+        &mut self,
+        state: &GraphState,
+        arr: &P,
+        threads: usize,
+        out: &mut Vec<PlannedReveal>,
+    ) -> Result<(), GraphError>
+    where
+        P: Arrangement + Sync,
+    {
+        out.clear();
         let examined = self.queue.len().min(self.window);
+        // Parked (window-1) degraded mode must be genuinely free: one
+        // candidate can never conflict with itself, so skip ALL conflict
+        // bookkeeping — no todo list, no span vector, no `ConflictGraph`.
+        // This keeps the batched executor's per-reveal cost on
+        // conflict-dense workloads at the sequential loop's plus a few
+        // branches.
+        if examined == 1 {
+            if self.queue[0].layout.is_none() {
+                match prepare(&self.queue[0], state, arr, self.mode)? {
+                    Prepared::Fresh(info, layout) => {
+                        self.queue[0].info = Some(info);
+                        self.queue[0].layout = Some(layout);
+                    }
+                    Prepared::Relocated(layout) => self.queue[0].layout = Some(layout),
+                }
+            }
+            // Still counts as a clean full seal, so the parked window
+            // periodically probes for newly available parallelism.
+            self.adapt_window(1, 1);
+            let candidate = self.queue.pop_front().expect("examined == 1");
+            out.push(PlannedReveal {
+                event: candidate.event,
+                info: candidate.info.expect("prepared above"),
+                layout: candidate.layout.expect("prepared above"),
+            });
+            return Ok(());
+        }
         // Bring every candidate in the window to full preparation. Two
         // job kinds: `peek` (validation + snapshots + locate, for empty
         // caches) and `locate` (re-locate only — the snapshots survived
@@ -291,12 +387,13 @@ impl BatchPlanner {
         let prepared: Vec<Result<Prepared, GraphError>> =
             if threads > 1 && todo.len() >= PARALLEL_DISPATCH_MIN {
                 let queue = &self.queue;
+                let mode = self.mode;
                 mla_runner::run_indexed(threads, todo.len(), |k| {
-                    prepare(&queue[todo[k]], state, arr)
+                    prepare(&queue[todo[k]], state, arr, mode)
                 })
             } else {
                 todo.iter()
-                    .map(|&i| prepare(&self.queue[i], state, arr))
+                    .map(|&i| prepare(&self.queue[i], state, arr, self.mode))
                     .collect()
             };
         let mut blocked = examined; // first candidate that failed validation
@@ -330,16 +427,16 @@ impl BatchPlanner {
             .disjoint_prefix()
             .max(usize::from(examined > 0));
         self.adapt_window(sealed, examined);
-        let batch: Vec<PlannedReveal> = self
-            .queue
-            .drain(..sealed.min(self.queue.len()))
-            .map(|candidate| PlannedReveal {
-                event: candidate.event,
-                info: candidate.info.expect("sealed candidates are prepared"),
-                layout: candidate.layout.expect("sealed candidates are prepared"),
-            })
-            .collect();
-        Ok(batch)
+        out.extend(
+            self.queue
+                .drain(..sealed.min(self.queue.len()))
+                .map(|candidate| PlannedReveal {
+                    event: candidate.event,
+                    info: candidate.info.expect("sealed candidates are prepared"),
+                    layout: candidate.layout.expect("sealed candidates are prepared"),
+                }),
+        );
+        Ok(())
     }
 
     /// Invalidates cached preparations made stale by the just-applied
@@ -354,7 +451,10 @@ impl BatchPlanner {
     ///
     /// `state` must already reflect the batch's commits.
     pub fn retire_batch(&mut self, state: &GraphState, applied: &[PlannedReveal]) {
-        if applied.is_empty() {
+        if applied.is_empty() || self.queue.is_empty() {
+            // Nothing cached to invalidate — in particular the parked
+            // (window-1) mode, whose queue drains every round, pays
+            // nothing here.
             return;
         }
         let mut sorted: Vec<(usize, usize)> = applied
@@ -396,21 +496,35 @@ impl BatchPlanner {
         }
     }
 
+    /// Full seals required before the window grows: the base hysteresis,
+    /// doubled per consecutive failed probe (exponential backoff).
+    fn required_seals(&self) -> u32 {
+        GROW_AFTER_FULL_SEALS << self.collapse_streak.min(MAX_COLLAPSE_STREAK)
+    }
+
     /// Tracks the sealable batch size: gentle multiplicative growth
     /// (×1.25) while whole windows seal cleanly, and a collapse to just
     /// above the sealed size on conflicts. Keeping the window close to
     /// the conflict-free capacity bounds the speculative look-ahead that
     /// the next batch will invalidate: a conflict-dense workload — e.g.
     /// uniform random merging, whose spans hull most of the arrangement —
-    /// parks at a window of 1–2, where the pipeline degrades to the
-    /// sequential loop plus a bounded constant.
+    /// parks at a window of 1, where the pipeline degrades to the
+    /// sequential loop plus a few branches. Each probe that collapses
+    /// straight back doubles the quiet period before the next one
+    /// ([`MAX_COLLAPSE_STREAK`] caps the exponent), so the steady-state
+    /// probe tax on a permanently conflict-dense run is `O(1/3072)` per
+    /// reveal instead of a fixed fraction.
     fn adapt_window(&mut self, sealed: usize, examined: usize) {
         if examined == 0 {
             return;
         }
+        if sealed >= 2 {
+            // Real parallelism sealed — probing is paying off again.
+            self.collapse_streak = 0;
+        }
         if sealed >= examined {
             self.full_seals += 1;
-            if self.full_seals >= GROW_AFTER_FULL_SEALS && examined == self.window {
+            if self.full_seals >= self.required_seals() && examined == self.window {
                 self.window = (self.window + (self.window / 4).max(1)).min(self.window_max);
                 self.full_seals = 0;
             }
@@ -420,6 +534,7 @@ impl BatchPlanner {
             // window 1 the pipeline carries no speculative look-ahead at
             // all, so the degraded mode costs only the batch bookkeeping.
             self.window = if sealed <= 1 {
+                self.collapse_streak = (self.collapse_streak + 1).min(MAX_COLLAPSE_STREAK);
                 1
             } else {
                 (sealed + sealed / 8 + 1).min(self.window)
@@ -441,14 +556,19 @@ enum Prepared {
 /// re-locate. (A candidate with surviving snapshots is still a valid
 /// merge: its components were untouched, and components only ever grow
 /// together, never apart.)
-fn prepare<P>(candidate: &Candidate, state: &GraphState, arr: &P) -> Result<Prepared, GraphError>
+fn prepare<P>(
+    candidate: &Candidate,
+    state: &GraphState,
+    arr: &P,
+    mode: SnapshotMode,
+) -> Result<Prepared, GraphError>
 where
     P: Arrangement + Sync,
 {
     match &candidate.info {
         Some(info) => Ok(Prepared::Relocated(MergeLayout::locate(arr, info))),
         None => {
-            let info = state.peek(candidate.event)?;
+            let info = state.peek_with(candidate.event, mode)?;
             let layout = MergeLayout::locate(arr, &info);
             Ok(Prepared::Fresh(info, layout))
         }
@@ -571,9 +691,32 @@ mod tests {
         // look-ahead at all in degraded mode).
         planner.adapt_window(1, planner.refill_target());
         assert_eq!(planner.refill_target(), 1);
-        // Parked at 1, it still probes for parallelism after enough
-        // clean rounds, and the window never exceeds its maximum.
+        // Parked at 1 after one collapse, the quiet period before the
+        // next probe doubles once: 2 × GROW_AFTER_FULL_SEALS clean
+        // rounds, not GROW_AFTER_FULL_SEALS.
         for _ in 0..GROW_AFTER_FULL_SEALS {
+            planner.adapt_window(1, 1);
+        }
+        assert_eq!(planner.refill_target(), 1);
+        for _ in 0..GROW_AFTER_FULL_SEALS {
+            planner.adapt_window(1, 1);
+        }
+        assert_eq!(planner.refill_target(), 2);
+        // A failed probe doubles the backoff again (collapse streak 2 →
+        // 4 × GROW_AFTER_FULL_SEALS clean rounds before the next)…
+        planner.adapt_window(1, 2);
+        assert_eq!(planner.refill_target(), 1);
+        for _ in 0..4 * GROW_AFTER_FULL_SEALS - 1 {
+            planner.adapt_window(1, 1);
+            assert_eq!(planner.refill_target(), 1);
+        }
+        planner.adapt_window(1, 1);
+        assert_eq!(planner.refill_target(), 2);
+        // …while a probe that seals real parallelism resets the backoff
+        // entirely.
+        planner.adapt_window(2, 2);
+        planner.adapt_window(1, planner.refill_target());
+        for _ in 0..2 * GROW_AFTER_FULL_SEALS {
             planner.adapt_window(1, 1);
         }
         assert_eq!(planner.refill_target(), 2);

@@ -8,7 +8,7 @@ use std::collections::VecDeque;
 
 use mla_adversary::{Adversary, Oblivious, SourceAdversary};
 use mla_core::{BatchServe, MergeDecision, MergePlan, OnlineMinla, UpdateReport};
-use mla_graph::{GraphState, Instance, RevealEvent, RevealSource, Topology};
+use mla_graph::{GraphState, Instance, RevealEvent, RevealSource, SnapshotMode, Topology};
 use mla_permutation::{Arrangement, MergeOp, Permutation};
 
 use crate::batch::{BatchPlanner, PARALLEL_DISPATCH_MIN};
@@ -107,6 +107,7 @@ pub struct Simulation<A> {
     full_scan: bool,
     record_events: bool,
     record_window: Option<usize>,
+    eager_snapshots: bool,
 }
 
 impl<A> std::fmt::Debug for Simulation<A> {
@@ -169,6 +170,31 @@ impl<A: OnlineMinla> Simulation<A> {
             full_scan: cfg!(debug_assertions),
             record_events: true,
             record_window: None,
+            eager_snapshots: false,
+        }
+    }
+
+    /// Forces **eager** component snapshots even when the algorithm and
+    /// its backend would agree on lazy ones (see
+    /// [`OnlineMinla::wants_lazy_info`]). The engine picks lazily by
+    /// default because size-only policies never read member lists; this
+    /// switch pins the pre-PR behaviour — useful for A/B comparisons and
+    /// the lazy ≡ eager property tests.
+    #[must_use]
+    pub fn eager_snapshots(mut self, on: bool) -> Self {
+        self.eager_snapshots = on;
+        self
+    }
+
+    /// The snapshot mode this simulation's reveal loop will use.
+    fn snapshot_mode(&self) -> SnapshotMode {
+        if !self.eager_snapshots
+            && self.algorithm.wants_lazy_info()
+            && self.algorithm.arrangement().supports_component_locate()
+        {
+            SnapshotMode::Lazy
+        } else {
+            SnapshotMode::Eager
         }
     }
 
@@ -264,10 +290,11 @@ impl<A: OnlineMinla> Simulation<A> {
                 actual: self.algorithm.arrangement().len(),
             });
         }
+        let mode = self.snapshot_mode();
         let mut state = GraphState::new(self.adversary.topology(), n);
         let mut recorder = Recorder::new(self.record_events, self.record_window);
         while let Some(event) = self.adversary.next(self.algorithm.arrangement(), &state) {
-            let info = state.apply(event)?;
+            let info = state.apply_with(event, mode)?;
             let report = self.algorithm.serve(event, &info, &state);
             if self.check_feasibility {
                 let feasible = state.merge_keeps_minla(self.algorithm.arrangement(), &info)
@@ -404,9 +431,22 @@ where
         } else {
             1
         };
-        let mut planner = BatchPlanner::new(window_max);
+        // Lazy snapshots additionally require the cliques topology here:
+        // the batched lines pipeline builds rearranged target contents in
+        // `build_plan`, which needs member lists.
+        let mode = if self.sim.snapshot_mode() == SnapshotMode::Lazy
+            && state.topology() == Topology::Cliques
+        {
+            SnapshotMode::Lazy
+        } else {
+            SnapshotMode::Eager
+        };
+        let mut planner = BatchPlanner::new(window_max).snapshot_mode(mode);
         let mut exhausted = false;
         let mut decisions: Vec<MergeDecision> = Vec::new();
+        // Reused across rounds: the parked (window-1) degraded mode must
+        // not pay a heap allocation per reveal.
+        let mut batch: Vec<crate::batch::PlannedReveal> = Vec::new();
         loop {
             while !exhausted && planner.queued() < planner.refill_target() {
                 match self
@@ -422,9 +462,43 @@ where
                 break;
             }
             // Phase 1: peek + locate the window, seal the disjoint prefix.
-            let batch = planner
-                .plan_batch(&state, self.sim.algorithm.arrangement(), threads)
+            planner
+                .plan_batch_into(
+                    &state,
+                    self.sim.algorithm.arrangement(),
+                    threads,
+                    &mut batch,
+                )
                 .map_err(SimError::Graph)?;
+            // Batch of one — the parked degraded mode, and the tail of
+            // every run: skip the whole phase machinery (decision/plan/op
+            // staging vectors, the backend's batch dispatch) and run the
+            // exact sequential pipeline inline. Identical semantics —
+            // decide, build, commit, one `merge_move` — just without the
+            // bookkeeping, so a conflict-dense parallel run is never
+            // slower than the sequential loop.
+            if batch.len() == 1 {
+                let planned = &batch[0];
+                let decision = self.sim.algorithm.decide(&planned.info, &planned.layout);
+                let plan = A::build_plan(&planned.info, &planned.layout, decision);
+                state.commit(planned.event);
+                let report = self.sim.algorithm.apply_plan(plan);
+                if self.sim.check_feasibility {
+                    let feasible = state
+                        .merge_keeps_minla(self.sim.algorithm.arrangement(), &planned.info)
+                        && (!self.sim.full_scan
+                            || state.is_minla(self.sim.algorithm.arrangement()));
+                    if !feasible {
+                        return Err(SimError::FeasibilityViolation {
+                            step: recorder.step() + 1,
+                            algorithm: self.sim.algorithm.name().to_owned(),
+                        });
+                    }
+                }
+                recorder.record(planned.event, report);
+                planner.retire_batch(&state, &batch);
+                continue;
+            }
             // Phase 2: RNG draws, strictly in reveal order.
             decisions.clear();
             decisions.extend(

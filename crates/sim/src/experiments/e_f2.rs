@@ -46,14 +46,10 @@ fn configuration(
         z_block.into_iter().chain(x_block).collect()
     };
     let perm = Permutation::from_nodes(order).expect("valid layout");
-    let x_snapshot = ComponentSnapshot {
-        joined: *x_nodes.last().expect("non-empty"),
-        nodes: x_nodes,
-    };
-    let z_snapshot = ComponentSnapshot {
-        joined: z_nodes[0],
-        nodes: z_nodes,
-    };
+    let x_joined = *x_nodes.last().expect("non-empty");
+    let x_snapshot = ComponentSnapshot::eager(x_nodes, x_joined);
+    let z_joined = z_nodes[0];
+    let z_snapshot = ComponentSnapshot::eager(z_nodes, z_joined);
     rearrange_choices(&perm, &x_snapshot, &z_snapshot)
 }
 

@@ -61,7 +61,7 @@ pub mod experiments;
 mod stats;
 mod table;
 
-pub use batch::{BatchPlanner, ConflictGraph, PlannedReveal};
+pub use batch::{conflict_graph_allocations, BatchPlanner, ConflictGraph, PlannedReveal};
 pub use engine::{ParallelSimulation, RunOutcome, Simulation};
 pub use error::SimError;
 pub use experiment::{all_experiments, find_experiment, Experiment, ExperimentContext, Scale};

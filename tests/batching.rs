@@ -178,6 +178,47 @@ fn batched_equals_sequential_on_fuzzed_workloads() {
     }
 }
 
+/// Degraded mode must be genuinely zero-cost: a parallel run parked at
+/// window 1 (the state every conflict-dense uniform workload degrades
+/// to) serves every reveal through the planner's batch-of-1 fast path
+/// and never performs a single [`ConflictGraph`] allocation.
+#[test]
+fn parked_window_one_run_allocates_no_conflict_graphs() {
+    let n = 256;
+    let mut rng = SmallRng::seed_from_u64(21);
+    let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+    let run = |threads: usize| {
+        Simulation::new(
+            instance.clone(),
+            RandCliques::new(SegmentArrangement::identity(n), SmallRng::seed_from_u64(22)),
+        )
+        .parallel(threads)
+        .batch_window(1)
+        .run()
+        .expect("valid instance")
+    };
+    let sequential = Simulation::new(
+        instance.clone(),
+        RandCliques::new(SegmentArrangement::identity(n), SmallRng::seed_from_u64(22)),
+    )
+    .run()
+    .expect("valid instance");
+    for threads in [1usize, 4] {
+        // The planner and the batch-of-1 serve path both run on this
+        // thread, so the thread-local counter sees every allocation the
+        // parked pipeline would make.
+        let before = mla::sim::conflict_graph_allocations();
+        let outcome = run(threads);
+        let after = mla::sim::conflict_graph_allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "parked (window-1) run built a ConflictGraph at T={threads}"
+        );
+        assert_eq!(sequential, outcome, "parked run diverged at T={threads}");
+    }
+}
+
 /// An adversary replaying arbitrary (possibly invalid) events, to check
 /// error-path equivalence between the two executors.
 struct RawReplay {

@@ -538,6 +538,79 @@ fn parallel_serving_on_sharded_campaigns_is_thread_count_invariant() {
     }
 }
 
+/// Conflict-dense uniform campaigns: single-tenant uniform workloads are
+/// the batched executor's worst case — merge spans hull most of the
+/// arrangement, batches collapse to size 1 and the planner parks at
+/// window 1 (the zero-cost degraded mode). The parked pipeline must stay
+/// bit-identical to the sequential loop for `T ∈ {1, 4, 8}` on both
+/// topologies and both tree-backed backends, with full per-event
+/// recording compared.
+#[test]
+fn conflict_dense_uniform_campaigns_are_thread_count_invariant() {
+    let n = 512;
+    for topology in [Topology::Cliques, Topology::Lines] {
+        for seed in 0..2u64 {
+            let mut rng = SmallRng::seed_from_u64(WORKLOAD_SEED ^ seed);
+            let instance = match topology {
+                Topology::Cliques => random_clique_instance(n, MergeShape::Uniform, &mut rng),
+                Topology::Lines => random_line_instance(n, MergeShape::Uniform, &mut rng),
+            };
+
+            fn check<A, F>(label: &str, instance: &Instance, make: F)
+            where
+                A: BatchServe + 'static,
+                A::Arr: Sync,
+                F: Fn() -> A,
+            {
+                let sequential = Simulation::new(instance.clone(), make())
+                    .run()
+                    .expect("valid instance");
+                for threads in [1usize, 4, 8] {
+                    let parallel = Simulation::new(instance.clone(), make())
+                        .parallel(threads)
+                        .run()
+                        .expect("valid instance");
+                    assert_eq!(
+                        sequential, parallel,
+                        "{label}: conflict-dense uniform campaign diverged at T={threads}"
+                    );
+                }
+            }
+
+            match topology {
+                Topology::Cliques => {
+                    check("cliques/segment", &instance, || {
+                        RandCliques::new(
+                            SegmentArrangement::identity(n),
+                            SmallRng::seed_from_u64(COIN_SEED ^ seed),
+                        )
+                    });
+                    check("cliques/sharded", &instance, || {
+                        RandCliques::new(
+                            ShardedArrangement::identity(n),
+                            SmallRng::seed_from_u64(COIN_SEED ^ seed),
+                        )
+                    });
+                }
+                Topology::Lines => {
+                    check("lines/segment", &instance, || {
+                        RandLines::new(
+                            SegmentArrangement::identity(n),
+                            SmallRng::seed_from_u64(COIN_SEED ^ seed),
+                        )
+                    });
+                    check("lines/sharded", &instance, || {
+                        RandLines::new(
+                            ShardedArrangement::identity(n),
+                            SmallRng::seed_from_u64(COIN_SEED ^ seed),
+                        )
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// The batched parallel executor stays bit-identical on the
 /// oracle-tractable workload families (interval, series-parallel, tree
 /// merge-sequences) for every worker count and arrangement backend.

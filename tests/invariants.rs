@@ -85,6 +85,111 @@ fn all_randomized_policies_maintain_invariants_lines() {
     }
 }
 
+/// Lazy size-only merge info must be a pure execution-strategy change:
+/// for every policy × topology × merge shape, a run on the segment
+/// backend (where the `O(log n)` slot-based locate engages) is
+/// bit-identical — costs, per-event records and final arrangement — to
+/// the same run forced onto eager member-walking snapshots.
+#[test]
+fn lazy_merge_info_is_bit_identical_to_eager_for_every_policy() {
+    let n = 32;
+    for shape in MergeShape::all() {
+        for seed in 0..3u64 {
+            let cliques = build_instance(Topology::Cliques, n, shape, seed);
+            for policy in [
+                MovePolicy::SizeBiased,
+                MovePolicy::Fair,
+                MovePolicy::SmallerMoves,
+            ] {
+                let run = |eager: bool| {
+                    Simulation::new(
+                        cliques.clone(),
+                        RandCliques::with_policy(
+                            SegmentArrangement::identity(n),
+                            SmallRng::seed_from_u64(seed ^ 0xA),
+                            policy,
+                        ),
+                    )
+                    .check_feasibility(true)
+                    .eager_snapshots(eager)
+                    .run()
+                    .expect("clique run stays feasible")
+                };
+                assert_eq!(
+                    run(true),
+                    run(false),
+                    "lazy diverged from eager (cliques, {policy:?}, {shape:?}, seed {seed})"
+                );
+            }
+            let lines = build_instance(Topology::Lines, n, shape, seed);
+            for (move_policy, rearrange_policy) in [
+                (MovePolicy::SizeBiased, RearrangePolicy::CostBiased),
+                (MovePolicy::Fair, RearrangePolicy::Fair),
+                (MovePolicy::SmallerMoves, RearrangePolicy::Cheapest),
+            ] {
+                let run = |eager: bool| {
+                    Simulation::new(
+                        lines.clone(),
+                        RandLines::with_policies(
+                            SegmentArrangement::identity(n),
+                            SmallRng::seed_from_u64(seed ^ 0xB),
+                            move_policy,
+                            rearrange_policy,
+                        ),
+                    )
+                    .check_feasibility(true)
+                    .eager_snapshots(eager)
+                    .run()
+                    .expect("line run stays feasible")
+                };
+                assert_eq!(
+                    run(true),
+                    run(false),
+                    "lazy diverged from eager (lines, {move_policy:?}/{rearrange_policy:?}, \
+                     {shape:?}, seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// Same contract through the batched parallel executor on the sharded
+/// backend: the lazy clique path must not perturb outcomes at any
+/// thread count.
+#[test]
+fn lazy_merge_info_is_bit_identical_to_eager_in_parallel() {
+    let n = 64;
+    let shards = 8;
+    for seed in 0..3u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let instance =
+            sharded_instance(Topology::Cliques, n, shards, MergeShape::Uniform, &mut rng);
+        let sizes: Vec<usize> = vec![n / shards; shards];
+        let run = |eager: bool, threads: usize| {
+            Simulation::new(
+                instance.clone(),
+                RandCliques::new(
+                    ShardedArrangement::with_regions(&sizes),
+                    SmallRng::seed_from_u64(seed ^ 0xC),
+                ),
+            )
+            .check_feasibility(true)
+            .eager_snapshots(eager)
+            .parallel(threads)
+            .run()
+            .expect("sharded clique run stays feasible")
+        };
+        let sequential = run(true, 1);
+        for threads in [1usize, 4] {
+            assert_eq!(
+                sequential,
+                run(false, threads),
+                "lazy parallel run diverged (seed {seed}, T = {threads})"
+            );
+        }
+    }
+}
+
 #[test]
 fn det_maintains_invariants_and_anchors_to_pi0() {
     for topology in [Topology::Cliques, Topology::Lines] {
