@@ -18,3 +18,7 @@
 //!   (`BENCH_parallel.json`, CI scaling gate at `T = 4`).
 //!
 //! Run `cargo bench --workspace`; results land in `target/criterion/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]

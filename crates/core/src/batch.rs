@@ -91,6 +91,7 @@ impl MergeLayout {
         let resolve = |snapshot: &mla_graph::ComponentSnapshot| {
             let (range, anchor_pos) = arr
                 .locate_component(snapshot.joined(), snapshot.len())
+                // mla-lint: allow(panic-safety): trusted O(log n) locate; a miss means the feasibility/coalesce contract is already broken, and the debug shadow walk below cross-checks every hit
                 .expect(
                     "lazy locate missed: component is not a single block \
                      (feasibility invariant or coalesce contract broken)",
@@ -105,6 +106,7 @@ impl MergeLayout {
             if let Some(nodes) = snapshot.shadow_nodes() {
                 let (walked_range, walked_forward) = arr
                     .oriented_contiguous_range(nodes)
+                    // mla-lint: allow(panic-safety): debug-only shadow walk; a non-contiguous component here is the cross-check itself failing
                     .expect("shadow member walk must agree that the component is contiguous");
                 debug_assert_eq!(
                     range, walked_range,

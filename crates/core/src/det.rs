@@ -108,6 +108,7 @@ impl<P: Arrangement> OnlineMinla for DetClosest<P> {
         state: &GraphState,
     ) -> UpdateReport {
         let placement = closest_feasible(state, &self.pi0, &self.config)
+            // mla-lint: allow(panic-safety): the engine validates sizes up front and the Auto strategy always yields a placement
             .expect("engine guarantees matching sizes; Auto strategy cannot fail");
         self.all_exact &= placement.exact;
         let cost = self.perm.assign(&placement.perm);

@@ -178,6 +178,7 @@ impl CliqueState {
     pub fn commit(&mut self, event: RevealEvent) {
         self.dsu
             .union(event.a(), event.b())
+            // mla-lint: allow(panic-safety): peek/commit contract: commit only runs after a successful peek of the same event
             .expect("commit requires a successfully peeked event");
     }
 

@@ -287,15 +287,18 @@ impl LineState {
         let slot_a = self.neighbors[a.index()]
             .iter()
             .position(|&u| u == NO_NEIGHBOR)
+            // mla-lint: allow(panic-safety): peeked line endpoints have degree <= 1, so a free neighbor slot exists
             .expect("commit requires a successfully peeked event (endpoint a)");
         self.neighbors[a.index()][slot_a] = b.raw();
         let slot_b = self.neighbors[b.index()]
             .iter()
             .position(|&u| u == NO_NEIGHBOR)
+            // mla-lint: allow(panic-safety): peeked line endpoints have degree <= 1, so a free neighbor slot exists
             .expect("commit requires a successfully peeked event (endpoint b)");
         self.neighbors[b.index()][slot_b] = a.raw();
         self.dsu
             .union(a, b)
+            // mla-lint: allow(panic-safety): peek/commit contract: commit only runs after a successful peek of the same event
             .expect("commit requires a successfully peeked event");
     }
 

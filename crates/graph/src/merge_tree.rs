@@ -70,6 +70,7 @@ impl MergeTree {
             sizes[internal] = sizes[left] + sizes[right];
             let new_root = dsu
                 .union(event.a(), event.b())
+                // mla-lint: allow(panic-safety): the instance was validated: every reveal merges two distinct components
                 .expect("validated instance merges distinct components");
             tree_id_of_root[new_root.index()] = internal;
         }

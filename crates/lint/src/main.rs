@@ -1,0 +1,82 @@
+//! CLI for the workspace lint pass: `mla-lint --workspace` (the CI
+//! gate) or `mla-lint <file>...` for ad-hoc runs on single files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Finds the workspace root: walk up from the crate's manifest dir (set
+/// by cargo), falling back to the current directory, until a `Cargo.toml`
+/// declaring `[workspace]` appears.
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        dir = dir.parent()?;
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "mla-lint: workspace determinism/panic-safety lint pass\n\n\
+             USAGE:\n  mla-lint --workspace      lint every non-test, non-bench source file\n  \
+             mla-lint <file>...        lint specific files (paths decide rule scope)\n\n\
+             Exits nonzero on any violation. Suppress a finding per site with\n  \
+             // mla-lint: allow(<rule>): <justification>\n\
+             Rules: determinism, panic-safety, headers, cast-hygiene, pragma."
+        );
+        return ExitCode::SUCCESS;
+    }
+    let workspace = args.is_empty() || args.iter().any(|a| a == "--workspace");
+    let (diagnostics, scanned) = if workspace {
+        let Some(root) = workspace_root() else {
+            eprintln!("mla-lint: cannot locate the workspace root");
+            return ExitCode::FAILURE;
+        };
+        match mla_lint::lint_workspace(&root) {
+            Ok(result) => result,
+            Err(error) => {
+                eprintln!("mla-lint: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut diagnostics = Vec::new();
+        for rel in &args {
+            match mla_lint::lint_file(Path::new(""), rel) {
+                Ok(found) => diagnostics.extend(found),
+                Err(error) => {
+                    eprintln!("mla-lint: {rel}: {error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let count = args.len();
+        (diagnostics, count)
+    };
+    for diagnostic in &diagnostics {
+        println!("{diagnostic}");
+    }
+    if diagnostics.is_empty() {
+        println!("mla-lint: {scanned} files scanned, no violations");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "mla-lint: {} violation(s) across {scanned} scanned files",
+            diagnostics.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,389 @@
+//! The project rule catalog: which invariants are enforced, where.
+//!
+//! Rules are scoped by **crate**, derived from the workspace-relative
+//! path of the scanned file. Test modules (`#[cfg(test)]`), integration
+//! tests, benches and the vendored stand-ins are never scanned; binary
+//! targets (`src/bin/`) are exempt from the content rules because they
+//! are exactly the timing/CLI modules the determinism contract
+//! allowlists.
+
+use std::fmt;
+
+use crate::scan::{find_word, ScannedLine};
+
+/// Crates whose computation feeds `RunOutcome`s — the determinism
+/// contract (docs/ARCHITECTURE.md) requires bit-identical results for
+/// every thread count, so no iteration-order, wall-clock or environment
+/// dependence may exist in them. `mla-runner` is the allowlisted
+/// timing/scheduling layer; `mla-bench` only measures.
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "core",
+    "graph",
+    "permutation",
+    "general",
+    "adversary",
+    "offline",
+    "sim",
+];
+
+/// Crates on the serving path — the reveal loop and everything under it.
+/// A panic here tears down a whole campaign (or a worker thread), so
+/// library code must propagate `Result`s; every deliberate invariant
+/// panic needs a justified pragma.
+pub const SERVING_CRATES: &[&str] = &["permutation", "graph", "core", "sim"];
+
+/// The workspace lint header every crate root must carry.
+pub const REQUIRED_HEADERS: &[&str] = &[
+    "#![forbid(unsafe_code)]",
+    "#![warn(missing_docs)]",
+    "#![warn(missing_debug_implementations)]",
+];
+
+/// Identifier fragments that mark a value as cost/position arithmetic —
+/// the `u128` contract from the large-`n` hardening pass: cost totals
+/// are `u128`, so a lossy `as` narrowing of such a value silently
+/// truncates near `n ≈ 4.7×10⁶`.
+const COST_IDENT_FRAGMENTS: &[&str] = &["cost", "value", "total", "minla", "optimum"];
+
+/// Integer `as`-cast targets narrower than the `u128` cost contract.
+const NARROW_INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// The enforced rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// No `HashMap`/`HashSet`, wall clocks, thread ids or env reads in
+    /// outcome-affecting crates.
+    Determinism,
+    /// No `unwrap`/`expect`/`panic!`/`todo!` in serving-path library code.
+    PanicSafety,
+    /// Crate roots keep `#![forbid(unsafe_code)]` and the workspace lint
+    /// header.
+    Headers,
+    /// No lossy `as` narrowing of cost/position arithmetic.
+    CastHygiene,
+    /// Pragma hygiene: `mla-lint: allow(…)` must name a known rule and
+    /// carry a justification.
+    Pragma,
+}
+
+impl Rule {
+    /// The rule's pragma/report name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::PanicSafety => "panic-safety",
+            Rule::Headers => "headers",
+            Rule::CastHygiene => "cast-hygiene",
+            Rule::Pragma => "pragma",
+        }
+    }
+
+    /// Parses a pragma rule name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "determinism" => Some(Rule::Determinism),
+            "panic-safety" => Some(Rule::PanicSafety),
+            "headers" => Some(Rule::Headers),
+            "cast-hygiene" => Some(Rule::CastHygiene),
+            "pragma" => Some(Rule::Pragma),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, pointing at `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…` →
+/// `<name>`; the root facade is `"mla"`).
+#[must_use]
+pub fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("mla")
+}
+
+/// Whether a file is a crate root (`lib.rs`) subject to the header rule.
+#[must_use]
+pub fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+}
+
+/// Whether `rule` applies to the file at `path` at all (binary targets
+/// are the allowlisted CLI/timing modules).
+#[must_use]
+pub fn applies(rule: Rule, path: &str) -> bool {
+    let name = crate_of(path);
+    let is_bin = path.contains("/bin/");
+    match rule {
+        Rule::Determinism => DETERMINISM_CRATES.contains(&name) && !is_bin,
+        Rule::PanicSafety => SERVING_CRATES.contains(&name) && !is_bin,
+        Rule::CastHygiene => DETERMINISM_CRATES.contains(&name),
+        Rule::Headers => is_crate_root(path),
+        Rule::Pragma => true,
+    }
+}
+
+/// A `(rule, column, message)` finding on one line.
+pub(crate) type LineFinding = (Rule, usize, String);
+
+/// Runs every content rule over one scanned, non-test code line.
+pub(crate) fn check_line(path: &str, line: &ScannedLine, out: &mut Vec<LineFinding>) {
+    if applies(Rule::Determinism, path) {
+        check_determinism(&line.code, out);
+    }
+    if applies(Rule::PanicSafety, path) {
+        check_panic_safety(&line.code, out);
+    }
+    if applies(Rule::CastHygiene, path) {
+        check_cast_hygiene(&line.code, out);
+    }
+}
+
+/// Rule 1: sources of run-to-run nondeterminism.
+fn check_determinism(code: &str, out: &mut Vec<LineFinding>) {
+    const BANNED: &[(&str, &str)] = &[
+        (
+            "HashMap",
+            "iteration order is nondeterministic; use BTreeMap or a sorted Vec",
+        ),
+        (
+            "HashSet",
+            "iteration order is nondeterministic; use BTreeSet or a sorted Vec",
+        ),
+        (
+            "Instant",
+            "wall-clock reads make outcomes timing-dependent; timing belongs in runner/bench code",
+        ),
+        (
+            "SystemTime",
+            "wall-clock reads make outcomes timing-dependent; timing belongs in runner/bench code",
+        ),
+        (
+            "thread::current",
+            "thread identity must never influence an outcome (thread-count invariance)",
+        ),
+        (
+            "env::var",
+            "environment reads make outcomes host-dependent; plumb configuration explicitly",
+        ),
+        (
+            "env::args",
+            "argument reads belong in binary targets, not outcome-affecting library code",
+        ),
+        (
+            "env!",
+            "compile-time environment reads make outcomes build-host-dependent",
+        ),
+        (
+            "option_env!",
+            "compile-time environment reads make outcomes build-host-dependent",
+        ),
+    ];
+    for &(pattern, why) in BANNED {
+        if let Some(at) = find_word(code, pattern) {
+            out.push((Rule::Determinism, at, format!("`{pattern}`: {why}")));
+        }
+    }
+}
+
+/// Rule 2: panics in serving-path library code.
+fn check_panic_safety(code: &str, out: &mut Vec<LineFinding>) {
+    const BANNED: &[(&str, &str)] = &[
+        (
+            ".unwrap(",
+            "propagate the error (`?`) or prove the invariant with a justified pragma",
+        ),
+        (
+            ".expect(",
+            "propagate the error (`?`) or prove the invariant with a justified pragma",
+        ),
+        (
+            "panic!",
+            "serving-path code must return an error, not tear down the worker",
+        ),
+        ("todo!", "unfinished code must not ship on the serving path"),
+        (
+            "unimplemented!",
+            "unfinished code must not ship on the serving path",
+        ),
+    ];
+    for &(pattern, why) in BANNED {
+        // `.unwrap(` / `.expect(` carry their own boundaries; the macros
+        // need the word check so `should_panic`/`debug_assert` never match.
+        let at = if pattern.starts_with('.') {
+            code.find(pattern)
+        } else {
+            find_word(code, pattern)
+        };
+        if let Some(at) = at {
+            let shown = pattern.trim_start_matches('.').trim_end_matches('(');
+            out.push((Rule::PanicSafety, at, format!("`{shown}`: {why}")));
+        }
+    }
+}
+
+/// Rule 4: lossy `as` narrowing of cost/position arithmetic. Flags
+/// `<ident> as <int>` where the identifier names a cost-like value and
+/// the target integer type is narrower than the `u128` contract.
+fn check_cast_hygiene(code: &str, out: &mut Vec<LineFinding>) {
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find(" as ") {
+        let at = from + rel;
+        from = at + 4;
+        let Some(ident) = ident_before(&code[..at]) else {
+            continue;
+        };
+        let target: String = code[at + 4..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|&c| crate::scan::is_word(c))
+            .collect();
+        if !NARROW_INT_TYPES.contains(&target.as_str()) {
+            continue;
+        }
+        let lower = ident.to_lowercase();
+        if COST_IDENT_FRAGMENTS.iter().any(|f| lower.contains(f)) {
+            out.push((
+                Rule::CastHygiene,
+                at,
+                format!(
+                    "`{ident} as {target}` narrows cost/position arithmetic below the u128 \
+                     contract; use checked widening or justify the bound with a pragma"
+                ),
+            ));
+        }
+    }
+}
+
+/// The last identifier path segment ending at the end of `prefix`
+/// (skipping trailing whitespace), e.g. `self.total_cost` → `total_cost`.
+fn ident_before(prefix: &str) -> Option<&str> {
+    let trimmed = prefix.trim_end();
+    let bytes = trimmed.as_bytes();
+    let mut start = trimmed.len();
+    while start > 0 && crate::scan::is_word(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    (start < trimmed.len()).then(|| &trimmed[start..])
+}
+
+/// Rule 3: the crate-root header check (whole-file, not per-line).
+pub(crate) fn check_headers(path: &str, lines: &[ScannedLine], out: &mut Vec<Diagnostic>) {
+    if !applies(Rule::Headers, path) {
+        return;
+    }
+    for &header in REQUIRED_HEADERS {
+        let found = lines.iter().any(|l| l.code.contains(header));
+        if !found {
+            out.push(Diagnostic {
+                path: path.to_owned(),
+                line: 1,
+                rule: Rule::Headers,
+                message: format!("crate root is missing the workspace lint header `{header}`"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn findings(path: &str, code: &str) -> Vec<LineFinding> {
+        let scanned = scan(code);
+        let mut out = Vec::new();
+        for line in &scanned.lines {
+            check_line(path, line, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn crate_scoping() {
+        assert_eq!(crate_of("crates/core/src/lib.rs"), "core");
+        assert_eq!(crate_of("src/lib.rs"), "mla");
+        assert!(applies(Rule::Determinism, "crates/graph/src/state.rs"));
+        assert!(!applies(Rule::Determinism, "crates/runner/src/pool.rs"));
+        assert!(!applies(
+            Rule::Determinism,
+            "crates/sim/src/bin/experiments.rs"
+        ));
+        assert!(applies(Rule::PanicSafety, "crates/sim/src/engine.rs"));
+        assert!(!applies(Rule::PanicSafety, "crates/offline/src/lop.rs"));
+        assert!(is_crate_root("crates/lint/src/lib.rs"));
+        assert!(!is_crate_root("crates/lint/src/main.rs"));
+    }
+
+    #[test]
+    fn determinism_findings() {
+        let hits = findings(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nlet t = Instant::now();\n",
+        );
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|(rule, _, _)| *rule == Rule::Determinism));
+    }
+
+    #[test]
+    fn panic_safety_findings() {
+        let hits = findings("crates/sim/src/x.rs", "let v = list.first().unwrap();\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, Rule::PanicSafety);
+        // debug_assert!/should_panic never match the macro patterns.
+        assert!(findings("crates/sim/src/x.rs", "debug_assert!(a == b);\n").is_empty());
+    }
+
+    #[test]
+    fn cast_hygiene_findings() {
+        let hits = findings("crates/offline/src/x.rs", "let c = total_cost as u64;\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, Rule::CastHygiene);
+        // Widening to the contract type and float reporting are fine.
+        assert!(findings("crates/offline/src/x.rs", "let c = cost as u128;\n").is_empty());
+        assert!(findings("crates/offline/src/x.rs", "let c = cost as f64;\n").is_empty());
+        assert!(findings("crates/offline/src/x.rs", "let c = len as u32;\n").is_empty());
+    }
+
+    #[test]
+    fn header_rule() {
+        let scanned = scan("//! docs\n#![forbid(unsafe_code)]\n");
+        let mut out = Vec::new();
+        check_headers("crates/core/src/lib.rs", &scanned.lines, &mut out);
+        assert_eq!(out.len(), 2, "missing the two warn headers: {out:?}");
+        let mut out = Vec::new();
+        check_headers("crates/core/src/state.rs", &scanned.lines, &mut out);
+        assert!(out.is_empty(), "non-root files are exempt");
+    }
+}

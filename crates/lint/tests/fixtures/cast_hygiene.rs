@@ -1,0 +1,3 @@
+pub fn narrow(total_cost: u128) -> u32 {
+    total_cost as u32
+}

@@ -1,0 +1,7 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+fn now() -> u64 {
+    let _t = std::time::Instant::now();
+    let _ = std::env::var("MLA_SEED");
+    0
+}

@@ -1,0 +1,2 @@
+//! A crate root missing the workspace lint header.
+pub fn live() {}

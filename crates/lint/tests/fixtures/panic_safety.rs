@@ -1,0 +1,9 @@
+pub fn f(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+pub fn g(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+pub fn h() {
+    panic!("boom");
+}

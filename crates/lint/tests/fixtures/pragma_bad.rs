@@ -1,0 +1,8 @@
+pub fn f(v: Option<u32>) -> u32 {
+    // mla-lint: allow(panic-safety)
+    v.unwrap()
+}
+pub fn g() {
+    // mla-lint: allow(speed): not a real rule
+    let _ = 0;
+}

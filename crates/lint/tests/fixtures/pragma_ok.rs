@@ -1,0 +1,6 @@
+// mla-lint: allow(determinism): fixture demonstrates a justified suppression
+use std::collections::HashMap;
+pub fn f(v: Option<u32>) -> u32 {
+    // mla-lint: allow(panic-safety): fixture demonstrates a justified suppression
+    v.unwrap()
+}

@@ -1,0 +1,155 @@
+//! Fixture tests: each rule fires with the right `file:line`, a
+//! justified pragma silences it, and an unjustified or unknown-rule
+//! pragma is itself a violation. The fixtures live under
+//! `tests/fixtures/` — a directory the workspace walk skips, so the
+//! deliberately bad code never pollutes `mla-lint --workspace`.
+
+use mla_lint::{lint_source, Rule};
+
+/// Renders `(line, rule)` pairs for compact assertions.
+fn fired(path: &str, text: &str) -> Vec<(usize, Rule)> {
+    lint_source(path, text)
+        .into_iter()
+        .map(|d| (d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn determinism_rule_fires_per_line() {
+    let text = include_str!("fixtures/determinism.rs");
+    let fired = fired("crates/core/src/fixture.rs", text);
+    assert_eq!(
+        fired,
+        vec![
+            (1, Rule::Determinism),
+            (2, Rule::Determinism),
+            (4, Rule::Determinism),
+            (5, Rule::Determinism),
+        ]
+    );
+}
+
+#[test]
+fn determinism_rule_is_scoped_to_outcome_affecting_crates() {
+    let text = include_str!("fixtures/determinism.rs");
+    // The runner crate resolves thread counts and may touch the
+    // environment; the determinism rule does not apply there.
+    let fired = fired("crates/runner/src/fixture.rs", text);
+    assert!(fired.iter().all(|&(_, rule)| rule != Rule::Determinism));
+}
+
+#[test]
+fn panic_safety_rule_fires_per_line() {
+    let text = include_str!("fixtures/panic_safety.rs");
+    let fired = fired("crates/permutation/src/fixture.rs", text);
+    assert_eq!(
+        fired,
+        vec![
+            (2, Rule::PanicSafety),
+            (5, Rule::PanicSafety),
+            (8, Rule::PanicSafety),
+        ]
+    );
+}
+
+#[test]
+fn cast_hygiene_rule_fires_on_cost_narrowing() {
+    let text = include_str!("fixtures/cast_hygiene.rs");
+    let fired = fired("crates/offline/src/fixture.rs", text);
+    assert_eq!(fired, vec![(2, Rule::CastHygiene)]);
+}
+
+#[test]
+fn headers_rule_fires_on_crate_roots_only() {
+    let text = include_str!("fixtures/headers.rs");
+    let fired = fired("crates/core/src/lib.rs", text);
+    assert_eq!(fired.len(), 3, "{fired:?}"); // one per missing header
+    assert!(fired.iter().all(|&(_, rule)| rule == Rule::Headers));
+    // The same content in a non-root module is fine.
+    assert!(fired_empty("crates/core/src/module.rs", text));
+}
+
+#[test]
+fn justified_pragmas_silence_findings() {
+    let text = include_str!("fixtures/pragma_ok.rs");
+    assert!(fired_empty("crates/core/src/fixture.rs", text));
+}
+
+#[test]
+fn unjustified_or_unknown_pragmas_are_violations() {
+    let text = include_str!("fixtures/pragma_bad.rs");
+    let fired = fired("crates/core/src/fixture.rs", text);
+    assert_eq!(
+        fired,
+        vec![
+            (2, Rule::Pragma),      // missing justification
+            (3, Rule::PanicSafety), // ...so the finding is NOT suppressed
+            (6, Rule::Pragma),      // unknown rule name
+        ]
+    );
+}
+
+#[test]
+fn diagnostics_render_file_line_and_rule() {
+    let text = include_str!("fixtures/panic_safety.rs");
+    let diags = lint_source("crates/graph/src/fixture.rs", text);
+    let rendered = format!("{}", diags[0]);
+    assert!(
+        rendered.starts_with("crates/graph/src/fixture.rs:2: panic-safety:"),
+        "{rendered}"
+    );
+}
+
+fn fired_empty(path: &str, text: &str) -> bool {
+    let diags = lint_source(path, text);
+    if diags.is_empty() {
+        true
+    } else {
+        eprintln!("unexpected diagnostics: {diags:?}");
+        false
+    }
+}
+
+mod cli {
+    use std::process::Command;
+
+    /// `mla-lint --workspace` must exit 0 on this repository — the same
+    /// invocation CI runs as a hard gate.
+    #[test]
+    fn workspace_run_is_clean() {
+        let output = Command::new(env!("CARGO_BIN_EXE_mla-lint"))
+            .arg("--workspace")
+            .output()
+            .expect("spawn mla-lint");
+        assert!(
+            output.status.success(),
+            "mla-lint --workspace failed:\n{}",
+            String::from_utf8_lossy(&output.stdout)
+        );
+    }
+
+    /// Pointing the CLI at a rule-violating file (staged under a path
+    /// that places it inside an outcome-affecting crate) must exit
+    /// nonzero and name the file and line.
+    #[test]
+    fn cli_fails_on_fixture_violations() {
+        let staging = std::env::temp_dir().join(format!("mla-lint-fixture-{}", std::process::id()));
+        let src_dir = staging.join("crates/core/src");
+        std::fs::create_dir_all(&src_dir).expect("create staging dir");
+        let staged = src_dir.join("fixture.rs");
+        std::fs::write(&staged, include_str!("../tests/fixtures/determinism.rs"))
+            .expect("stage fixture");
+        let output = Command::new(env!("CARGO_BIN_EXE_mla-lint"))
+            .arg("crates/core/src/fixture.rs")
+            .current_dir(&staging)
+            .output()
+            .expect("spawn mla-lint");
+        std::fs::remove_dir_all(&staging).ok();
+        assert!(!output.status.success(), "violations must fail the CLI");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains("crates/core/src/fixture.rs:1: determinism:"),
+            "{stdout}"
+        );
+    }
+}

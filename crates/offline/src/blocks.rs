@@ -123,8 +123,8 @@ pub fn hierarchical_block(tree: &MergeTree, root: TreeId, pi0: &Permutation) -> 
     subtree.sort_unstable();
 
     // Per tree vertex: layout (node order) and sorted π0 positions.
-    use std::collections::HashMap;
-    let mut layouts: HashMap<TreeId, (Vec<Node>, Vec<u32>, u64)> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut layouts: BTreeMap<TreeId, (Vec<Node>, Vec<u32>, u64)> = BTreeMap::new();
     for &v in &subtree {
         match tree.children(v) {
             None => {

@@ -246,6 +246,7 @@ pub fn solve_local_search(weights: &BlockWeights, seed: &[usize]) -> LopSolution
             if best_slot != idx {
                 let block = order.remove(idx);
                 order.insert(best_slot, block);
+                // mla-lint: allow(cast-hygiene): the improvement delta is bounded by the current cost; the debug_assert below re-derives the exact cost
                 cost = (cost as i64 + best_delta) as u64;
                 improved = true;
             }

@@ -232,7 +232,7 @@ impl SpChain {
         if gadgets.is_empty() {
             return Err(OfflineError::BadChain { gadget: 0 });
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (index, gadget) in gadgets.iter().enumerate() {
             if gadget.nodes.len() != gadget.shape.size() {
                 return Err(OfflineError::BadChain { gadget: index });

@@ -45,6 +45,7 @@ pub fn count_inversions(seq: &[u32]) -> u64 {
 pub fn count_inversions_usize(seq: &[usize]) -> u64 {
     let as_u32: Vec<u32> = seq
         .iter()
+        // mla-lint: allow(panic-safety): documented panic: the u32 input contract of the inversion counter
         .map(|&v| u32::try_from(v).expect("sequence value exceeds u32::MAX"))
         .collect();
     count_inversions(&as_u32)

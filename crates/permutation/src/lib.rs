@@ -55,11 +55,13 @@ mod node;
 mod pairs;
 mod perm;
 mod segment;
+pub mod shadow;
 mod sharded;
 mod transcript;
 
 pub use arrangement::{Arrangement, MergeOp};
 pub use error::PermutationError;
+pub use shadow::ShadowLog;
 pub use sharded::ShardedArrangement;
 
 /// The maximum node count either arrangement backend can address.

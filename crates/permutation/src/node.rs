@@ -33,6 +33,7 @@ impl Node {
     #[inline]
     #[must_use]
     pub fn new(index: usize) -> Self {
+        // mla-lint: allow(panic-safety): documented panic: node ids are u32 by the MAX_NODES capacity contract
         Node(u32::try_from(index).expect("node index exceeds u32::MAX"))
     }
 

@@ -63,6 +63,7 @@ impl Permutation {
     /// non-panicking variant.
     #[must_use]
     pub fn identity(n: usize) -> Self {
+        // mla-lint: allow(panic-safety): documented panic; try_identity is the non-panicking variant
         Self::try_identity(n).expect("node count exceeds the dense backend's u32 capacity")
     }
 
@@ -139,6 +140,7 @@ impl Permutation {
     pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
         let mut nodes: Vec<Node> = (0..n).map(Node::new).collect();
         nodes.shuffle(rng);
+        // mla-lint: allow(panic-safety): shuffling the identity permutes it; from_nodes cannot reject it
         Self::from_nodes(nodes).expect("shuffled identity is a valid permutation")
     }
 
@@ -218,6 +220,7 @@ impl Permutation {
         for pos in 0..n {
             nodes[self.pos_to_node[pos].index()] = Node::new(pos);
         }
+        // mla-lint: allow(panic-safety): the inverse of a valid permutation is a permutation
         Permutation::from_nodes(nodes).expect("inverse of a permutation is a permutation")
     }
 
@@ -248,6 +251,7 @@ impl Permutation {
             .iter()
             .map(|&v| other.node_at(v.index()))
             .collect();
+        // mla-lint: allow(panic-safety): composing two size-checked permutations yields a permutation
         Permutation::from_nodes(nodes).expect("composition of permutations is a permutation")
     }
 
@@ -468,6 +472,7 @@ impl Permutation {
     #[must_use]
     pub fn kendall_distance(&self, other: &Permutation) -> u64 {
         self.try_kendall_distance(other)
+            // mla-lint: allow(panic-safety): documented panic; try_kendall_distance is the non-panicking variant
             .expect("kendall_distance: size mismatch")
     }
 

@@ -328,6 +328,7 @@ impl SegmentArrangement {
     /// non-panicking variant.
     #[must_use]
     pub fn identity(n: usize) -> Self {
+        // mla-lint: allow(panic-safety): documented panic; try_identity is the non-panicking variant
         Self::try_identity(n).expect("node count exceeds the segment backend's u32 capacity")
     }
 
@@ -692,6 +693,7 @@ impl SegmentArrangement {
     #[must_use]
     pub fn to_permutation(&self) -> Permutation {
         Permutation::from_nodes(self.collect_all())
+            // mla-lint: allow(panic-safety): segments partition the node universe by construction
             .expect("segment arrangement always holds a valid permutation")
     }
 
@@ -971,6 +973,7 @@ impl SegmentArrangement {
         let i = t as usize;
         let (left, right) = (self.tree.left[i], self.tree.right[i]);
         let total = self.tree.len[i] as usize + self.sub(left) + self.sub(right);
+        // mla-lint: allow(cast-hygiene): subtree node counts are bounded by MAX_NODES = u32::MAX
         self.tree.subtree[i] = total as u32;
         if left != NIL {
             self.tree.parent[left as usize] = t;
@@ -1192,6 +1195,7 @@ impl SegmentArrangement {
                 stack.push(current);
                 current = self.tree.left[current as usize];
             }
+            // mla-lint: allow(panic-safety): loop guard: the stack is non-empty when popped
             let slot = stack.pop().expect("loop guard ensures non-empty stack");
             let seg = &self.content[slot as usize];
             if seg.reversed {
@@ -1213,6 +1217,7 @@ impl SegmentArrangement {
                 stack.push(current);
                 current = self.tree.left[current as usize];
             }
+            // mla-lint: allow(panic-safety): loop guard: the stack is non-empty when popped
             let slot = stack.pop().expect("loop guard ensures non-empty stack");
             out.push(slot);
             current = self.tree.right[slot as usize];

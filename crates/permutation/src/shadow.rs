@@ -1,0 +1,192 @@
+//! Debug-build data-race shadow checker for the partitioned-write
+//! executor.
+//!
+//! [`Arrangement::apply_merge_batch`](crate::Arrangement::apply_merge_batch)
+//! distributes per-region `&mut` sub-arrangements over scoped workers.
+//! Its safety argument is *structural* — Rust's borrow rules make
+//! overlapping mutable access unrepresentable — but the argument rests
+//! on an upstream promise: the batch planner only seals batches whose
+//! merge spans are pairwise disjoint, so grouping ops by region is a
+//! partition of the touched coordinates.
+//!
+//! This module *checks* that promise dynamically in debug builds. While
+//! a batch executes, every worker records a [`Claim`] — `(worker,
+//! region, global span)` — for each op it applies; when the batch
+//! commits, [`ShadowLog::assert_disjoint`] sorts the claims by start
+//! coordinate and verifies that no two overlap, aborting with both
+//! offending claims otherwise. The check deliberately uses a different
+//! algorithm (sort + adjacent comparison) than the planner's conflict
+//! graph (ordered-map predecessor/successor probes), so a bug in the
+//! sealing logic cannot hide itself in the checker.
+//!
+//! In release builds (`cfg(not(debug_assertions))`) the whole checker
+//! compiles to a field-less unit type with empty inlined methods: no
+//! allocation, no locking, no branches on the hot path.
+
+#[cfg(not(debug_assertions))]
+pub use self::disabled::{Claim, ShadowLog};
+#[cfg(debug_assertions)]
+pub use self::enabled::{Claim, ShadowLog};
+
+/// The real checker, compiled into debug builds only.
+#[cfg(debug_assertions)]
+mod enabled {
+    use std::ops::Range;
+    use std::sync::Mutex;
+
+    /// One recorded write claim: worker `worker` applied a merge whose
+    /// hull is `span` (global coordinates) inside region `region`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Claim {
+        /// Index of the scoped worker that performed the write.
+        pub worker: usize,
+        /// Region index the write landed in.
+        pub region: usize,
+        /// Global-coordinate hull of the merge op.
+        pub span: Range<usize>,
+    }
+
+    /// A per-batch log of write claims, asserted disjoint at commit.
+    #[derive(Debug, Default)]
+    pub struct ShadowLog {
+        claims: Mutex<Vec<Claim>>,
+    }
+
+    impl ShadowLog {
+        /// Creates an empty log for one batch.
+        #[must_use]
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Records one write claim. Callable concurrently from workers.
+        pub fn claim(&self, worker: usize, region: usize, span: Range<usize>) {
+            self.claims
+                .lock()
+                // mla-lint: allow(panic-safety): debug-only checker; a poisoned log means a worker already panicked
+                .expect("shadow log poisoned")
+                .push(Claim {
+                    worker,
+                    region,
+                    span,
+                });
+        }
+
+        /// Number of claims recorded so far.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            // mla-lint: allow(panic-safety): debug-only checker; a poisoned log means a worker already panicked
+            self.claims.lock().expect("shadow log poisoned").len()
+        }
+
+        /// `true` when no claims have been recorded.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Asserts that all recorded claims are pairwise disjoint,
+        /// panicking with both offending claims otherwise. `context`
+        /// names the call site in the failure message.
+        ///
+        /// # Panics
+        ///
+        /// Panics when two claims overlap — i.e. the batch violated the
+        /// partitioned-write contract the planner was supposed to seal.
+        pub fn assert_disjoint(&self, context: &str) {
+            // mla-lint: allow(panic-safety): debug-only checker; a poisoned log means a worker already panicked
+            let mut claims = self.claims.lock().expect("shadow log poisoned");
+            claims.sort_by_key(|claim| (claim.span.start, claim.span.end));
+            for pair in claims.windows(2) {
+                let (a, b) = (&pair[0], &pair[1]);
+                if a.span.end > b.span.start {
+                    // mla-lint: allow(panic-safety): the shadow checker exists to abort on a detected write overlap (debug builds only)
+                    panic!(
+                        "shadow checker: overlapping write claims in {context}: \
+                         worker {} region {} span {:?} vs worker {} region {} span {:?}",
+                        a.worker, a.region, a.span, b.worker, b.region, b.span
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The zero-cost stand-in compiled into release builds.
+#[cfg(not(debug_assertions))]
+mod disabled {
+    use std::ops::Range;
+
+    /// Release-build stand-in for the debug claim record (never built).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Claim;
+
+    /// Release-build stand-in: same API as the debug checker, no state.
+    #[derive(Debug, Default)]
+    pub struct ShadowLog;
+
+    impl ShadowLog {
+        /// Creates the stateless stand-in.
+        #[inline(always)]
+        #[must_use]
+        pub fn new() -> Self {
+            Self
+        }
+
+        /// No-op in release builds.
+        #[inline(always)]
+        pub fn claim(&self, _worker: usize, _region: usize, _span: Range<usize>) {}
+
+        /// Always zero in release builds.
+        #[inline(always)]
+        #[must_use]
+        pub fn len(&self) -> usize {
+            0
+        }
+
+        /// Always `true` in release builds.
+        #[inline(always)]
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+
+        /// No-op in release builds.
+        #[inline(always)]
+        pub fn assert_disjoint(&self, _context: &str) {}
+    }
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::ShadowLog;
+
+    #[test]
+    fn disjoint_claims_pass() {
+        let log = ShadowLog::new();
+        log.claim(0, 0, 0..4);
+        log.claim(1, 1, 4..9);
+        log.claim(0, 2, 9..10);
+        log.assert_disjoint("test");
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_claims_abort() {
+        let log = ShadowLog::new();
+        log.claim(0, 0, 0..4);
+        log.claim(1, 0, 3..6);
+        let err = std::panic::catch_unwind(move || log.assert_disjoint("test"))
+            .expect_err("overlap must trip the checker");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("overlapping write claims"), "{message}");
+    }
+
+    #[test]
+    fn touching_spans_are_disjoint() {
+        let log = ShadowLog::new();
+        log.claim(0, 0, 0..4);
+        log.claim(1, 0, 4..8);
+        log.assert_disjoint("test");
+    }
+}

@@ -95,10 +95,12 @@ impl ShardedArrangement {
         let mut bounds = Vec::with_capacity(sizes.len() + 1);
         bounds.push(0usize);
         let mut regions = Vec::with_capacity(sizes.len());
+        let mut end = 0usize;
         for &size in sizes {
             assert!(size > 0, "region sizes must be positive");
             regions.push(SegmentArrangement::identity(size));
-            bounds.push(bounds.last().unwrap() + size);
+            end += size;
+            bounds.push(end);
         }
         ShardedArrangement { regions, bounds }
     }
@@ -162,6 +164,7 @@ impl ShardedArrangement {
 
 impl Arrangement for ShardedArrangement {
     fn len(&self) -> usize {
+        // mla-lint: allow(panic-safety): bounds always holds at least the origin 0
         *self.bounds.last().expect("bounds always holds the origin")
     }
 
@@ -307,6 +310,7 @@ impl Arrangement for ShardedArrangement {
                 })
                 .collect();
             let local = Permutation::from_nodes(slice)
+                // mla-lint: allow(panic-safety): a region-preserving slice of a permutation is itself a permutation (checked just above)
                 .expect("a region-preserving slice of a permutation is a permutation");
             cost += self.regions[r].assign(&local);
         }
@@ -333,6 +337,7 @@ impl Arrangement for ShardedArrangement {
                     .map(|v| Node::new(v.index() + base)),
             );
         }
+        // mla-lint: allow(panic-safety): regions partition the node universe
         Permutation::from_nodes(nodes).expect("regions partition the node universe")
     }
 
@@ -394,36 +399,50 @@ impl Arrangement for ShardedArrangement {
         }
         // Each busy region pairs with exclusive `&mut` access to its
         // sub-arrangement; distributing those pairs over workers is safe
-        // by construction.
-        let mut work: Vec<(&mut SegmentArrangement, Vec<(usize, MergeOp)>)> = self
+        // by construction. The shadow log (debug builds only) records
+        // every write claim and re-checks the planner's disjointness
+        // promise at commit — see [`crate::shadow`].
+        let shadow = crate::shadow::ShadowLog::new();
+        let bounds = &self.bounds;
+        let mut work: Vec<RegionWork<'_>> = self
             .regions
             .iter_mut()
+            .enumerate()
             .zip(groups)
             .filter(|(_, group)| !group.is_empty())
+            .map(|((r, region), group)| (r, bounds[r], region, group))
             .collect();
         let mut costs = vec![0u64; count];
         if work.len() <= 1 {
-            for (region, group) in work {
+            for (r, base, region, group) in work {
                 for (index, op) in group {
+                    let hull = op.span();
+                    shadow.claim(0, r, base + hull.start..base + hull.end);
                     costs[index] = region.merge_move(op.mover, op.stayer, op.target.as_deref());
                 }
             }
+            shadow.assert_disjoint("apply_merge_batch");
             return costs;
         }
         let workers = threads.min(work.len());
         let queue = Mutex::new(std::mem::take(&mut work));
         let harvested: Vec<Vec<(usize, u64)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|worker| {
                     let queue = &queue;
+                    let shadow = &shadow;
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
-                            let Some((region, group)) = queue.lock().expect("queue poisoned").pop()
+                            let Some((r, base, region, group)) =
+                                // mla-lint: allow(panic-safety): a poisoned queue means a worker already panicked; propagating is the only sound response
+                                queue.lock().expect("queue poisoned").pop()
                             else {
                                 return local;
                             };
                             for (index, op) in group {
+                                let hull = op.span();
+                                shadow.claim(worker, r, base + hull.start..base + hull.end);
                                 local.push((
                                     index,
                                     region.merge_move(op.mover, op.stayer, op.target.as_deref()),
@@ -435,15 +454,26 @@ impl Arrangement for ShardedArrangement {
                 .collect();
             handles
                 .into_iter()
+                // mla-lint: allow(panic-safety): worker panics are re-raised on the coordinating thread by design
                 .map(|handle| handle.join().expect("batch worker panicked"))
                 .collect()
         });
+        shadow.assert_disjoint("apply_merge_batch");
         for (index, cost) in harvested.into_iter().flatten() {
             costs[index] = cost;
         }
         costs
     }
 }
+
+/// One unit of partitioned batch work: `(region index, region base
+/// offset, exclusive region access, localized ops with original index)`.
+type RegionWork<'a> = (
+    usize,
+    usize,
+    &'a mut SegmentArrangement,
+    Vec<(usize, MergeOp)>,
+);
 
 impl fmt::Debug for ShardedArrangement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -587,6 +617,39 @@ mod tests {
             assert_eq!(costs, sequential, "costs diverged at T={threads}");
             assert_eq!(arr, reference, "arrangement diverged at T={threads}");
         }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn shadow_checker_catches_overlapping_batch() {
+        // Two overlapping merges in region 0 (spans 0..4 and 2..6) plus
+        // one in region 1 so the partitioned path engages. The planner's
+        // ConflictGraph would never seal this batch; feeding it directly
+        // must trip the debug-build shadow checker at commit.
+        let ops = vec![
+            MergeOp {
+                mover: 0..2,
+                stayer: 2..4,
+                target: None,
+            },
+            MergeOp {
+                mover: 2..4,
+                stayer: 4..6,
+                target: None,
+            },
+            MergeOp {
+                mover: 8..9,
+                stayer: 9..10,
+                target: None,
+            },
+        ];
+        let err = std::panic::catch_unwind(move || {
+            let mut arr = ShardedArrangement::with_regions(&[8, 4]);
+            arr.apply_merge_batch(ops, 2)
+        })
+        .expect_err("overlapping batch must trip the shadow checker");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("overlapping write claims"), "{message}");
     }
 
     #[test]

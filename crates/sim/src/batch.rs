@@ -243,6 +243,11 @@ pub struct BatchPlanner {
     collapse_streak: u32,
     /// How candidate peeks snapshot the merging components.
     mode: SnapshotMode,
+    /// Test hook: seal the whole validated window *without* the
+    /// `ConflictGraph` disjointness check. Exists solely so regression
+    /// tests can drive an overlapping-span batch into the executor and
+    /// prove the debug-build shadow checker catches it downstream.
+    unchecked_sealing: bool,
 }
 
 impl BatchPlanner {
@@ -260,7 +265,19 @@ impl BatchPlanner {
             full_seals: 0,
             collapse_streak: 0,
             mode: SnapshotMode::Eager,
+            unchecked_sealing: false,
         }
+    }
+
+    /// Test hook: disables the `ConflictGraph` disjointness check so the
+    /// whole validated window seals even when spans overlap. Only for
+    /// regression tests of the downstream shadow checker — never enable
+    /// this in serving code.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn unchecked_sealing(mut self, on: bool) -> Self {
+        self.unchecked_sealing = on;
+        self
     }
 
     /// Sets how candidate peeks snapshot the merging components
@@ -368,10 +385,13 @@ impl BatchPlanner {
             // Still counts as a clean full seal, so the parked window
             // periodically probes for newly available parallelism.
             self.adapt_window(1, 1);
+            // mla-lint: allow(panic-safety): examined == 1 implies the queue is non-empty
             let candidate = self.queue.pop_front().expect("examined == 1");
             out.push(PlannedReveal {
                 event: candidate.event,
+                // mla-lint: allow(panic-safety): the head candidate was prepared unconditionally above
                 info: candidate.info.expect("prepared above"),
+                // mla-lint: allow(panic-safety): the head candidate was prepared unconditionally above
                 layout: candidate.layout.expect("prepared above"),
             });
             return Ok(());
@@ -423,16 +443,23 @@ impl BatchPlanner {
         // `disjoint_prefix` cannot return 0 for a non-empty window: the
         // head candidate is validated (or its error was returned above)
         // and a merge span is never empty.
-        let sealed = ConflictGraph::new(spans)
-            .disjoint_prefix()
-            .max(usize::from(examined > 0));
+        let sealed = if self.unchecked_sealing {
+            // Test hook: seal everything validated, overlaps included.
+            spans.len().max(usize::from(examined > 0))
+        } else {
+            ConflictGraph::new(spans)
+                .disjoint_prefix()
+                .max(usize::from(examined > 0))
+        };
         self.adapt_window(sealed, examined);
         out.extend(
             self.queue
                 .drain(..sealed.min(self.queue.len()))
                 .map(|candidate| PlannedReveal {
                     event: candidate.event,
+                    // mla-lint: allow(panic-safety): sealed candidates were fully prepared before sealing
                     info: candidate.info.expect("sealed candidates are prepared"),
+                    // mla-lint: allow(panic-safety): sealed candidates were fully prepared before sealing
                     layout: candidate.layout.expect("sealed candidates are prepared"),
                 }),
         );

@@ -351,12 +351,39 @@ impl<A: OnlineMinla> Simulation<A> {
             sim: self,
             threads,
             window: DEFAULT_BATCH_WINDOW,
+            unchecked_sealing: false,
         }
     }
 }
 
 /// Default maximal look-ahead window of the batched executor.
 const DEFAULT_BATCH_WINDOW: usize = 4096;
+
+/// Debug-build re-check of the planner's sealing contract: every span in
+/// a sealed batch must be pairwise disjoint, or the partitioned-write
+/// executor's `&mut`-distribution argument does not hold. Uses sort +
+/// adjacent comparison — deliberately a different algorithm than the
+/// planner's [`crate::batch::ConflictGraph`] — so a sealing bug cannot
+/// hide itself in the checker.
+#[cfg(debug_assertions)]
+fn assert_batch_spans_disjoint(batch: &[crate::batch::PlannedReveal]) {
+    let mut spans: Vec<(std::ops::Range<usize>, usize)> = batch
+        .iter()
+        .enumerate()
+        .map(|(index, planned)| (planned.span(), index))
+        .collect();
+    spans.sort_by_key(|(span, _)| (span.start, span.end));
+    for pair in spans.windows(2) {
+        let ((a, a_at), (b, b_at)) = (&pair[0], &pair[1]);
+        if a.end > b.start {
+            // mla-lint: allow(panic-safety): the shadow checker exists to abort on a detected sealing violation (debug builds only)
+            panic!(
+                "shadow checker: sealed batch contains overlapping spans: \
+                 reveal {a_at} span {a:?} vs reveal {b_at} span {b:?}"
+            );
+        }
+    }
+}
 
 /// The batched parallel executor returned by [`Simulation::parallel`].
 ///
@@ -367,6 +394,8 @@ pub struct ParallelSimulation<A> {
     sim: Simulation<A>,
     threads: usize,
     window: usize,
+    /// Test hook, forwarded to [`BatchPlanner::unchecked_sealing`].
+    unchecked_sealing: bool,
 }
 
 impl<A> std::fmt::Debug for ParallelSimulation<A> {
@@ -392,6 +421,17 @@ where
     #[must_use]
     pub fn batch_window(mut self, window: usize) -> Self {
         self.window = window.max(1);
+        self
+    }
+
+    /// Test hook: disables the planner's `ConflictGraph` disjointness
+    /// check, letting overlapping spans reach the executor so regression
+    /// tests can prove the debug-build shadow checker trips. Never
+    /// enable outside tests.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn unchecked_sealing(mut self, on: bool) -> Self {
+        self.unchecked_sealing = on;
         self
     }
 
@@ -441,7 +481,9 @@ where
         } else {
             SnapshotMode::Eager
         };
-        let mut planner = BatchPlanner::new(window_max).snapshot_mode(mode);
+        let mut planner = BatchPlanner::new(window_max)
+            .snapshot_mode(mode)
+            .unchecked_sealing(self.unchecked_sealing);
         let mut exhausted = false;
         let mut decisions: Vec<MergeDecision> = Vec::new();
         // Reused across rounds: the parked (window-1) degraded mode must
@@ -532,6 +574,12 @@ where
             // different regions on worker threads. Disjoint spans
             // commute, so the arrangement is bit-identical to the
             // sequential per-reveal loop.
+            // Debug-build shadow check: re-verify the planner's sealing
+            // promise with an independent algorithm (sort + adjacent
+            // comparison, vs the planner's ordered-map probes) before any
+            // state mutation. Compiled out of release builds.
+            #[cfg(debug_assertions)]
+            assert_batch_spans_disjoint(&batch);
             let mut reports = Vec::with_capacity(batch.len());
             let mut ops = Vec::with_capacity(batch.len());
             for (planned, plan) in batch.iter().zip(plans) {
@@ -737,6 +785,33 @@ mod tests {
             outcome.to_instance(Topology::Lines, 3),
             Err(SimError::Graph(_))
         ));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn unchecked_sealing_trips_shadow_checker() {
+        // Events (0,1) and (1,2) both validate against the frozen state
+        // but their spans overlap (0..2 vs 1..3) — the planner would
+        // seal only the first. The test hook seals both, and the
+        // debug-build shadow check must refuse the batch before any
+        // state mutation.
+        let instance = Instance::new(
+            Topology::Cliques,
+            4,
+            vec![
+                RevealEvent::new(mla_permutation::Node::new(0), mla_permutation::Node::new(1)),
+                RevealEvent::new(mla_permutation::Node::new(1), mla_permutation::Node::new(2)),
+            ],
+        )
+        .unwrap();
+        let alg = RandCliques::new(Permutation::identity(4), SmallRng::seed_from_u64(9));
+        let run = Simulation::new(instance, alg)
+            .parallel(2)
+            .unchecked_sealing(true);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || run.run()))
+            .expect_err("overlapping batch must trip the shadow checker");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("shadow checker"), "{message}");
     }
 
     #[test]

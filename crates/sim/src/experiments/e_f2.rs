@@ -45,7 +45,9 @@ fn configuration(
     } else {
         z_block.into_iter().chain(x_block).collect()
     };
+    // mla-lint: allow(panic-safety): the constructed layout lists each node exactly once
     let perm = Permutation::from_nodes(order).expect("valid layout");
+    // mla-lint: allow(panic-safety): Figure 2 cells have non-empty X blocks
     let x_joined = *x_nodes.last().expect("non-empty");
     let x_snapshot = ComponentSnapshot::eager(x_nodes, x_joined);
     let z_joined = z_nodes[0];

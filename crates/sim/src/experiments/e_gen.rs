@@ -70,7 +70,7 @@ impl Family {
                 edges
             }
             Family::Sparse => {
-                let mut seen = std::collections::HashSet::new();
+                let mut seen = std::collections::BTreeSet::new();
                 let mut edges = Vec::new();
                 let target = (2 * n).min(n * (n - 1) / 2);
                 while edges.len() < target {

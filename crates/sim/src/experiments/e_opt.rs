@@ -27,7 +27,16 @@ use crate::table::Table;
 pub struct OptCrossCheck;
 
 /// Brute-force minimum distance from `pi0` to any feasible permutation.
-fn brute_force_delta(state: &GraphState, pi0: &Permutation) -> u64 {
+///
+/// # Errors
+///
+/// Propagates [`PermutationError`] from permutation construction (the
+/// enumerated index vectors are permutations by construction, so this
+/// only fires if that invariant is broken).
+fn brute_force_delta(
+    state: &GraphState,
+    pi0: &Permutation,
+) -> Result<u64, mla_permutation::PermutationError> {
     let n = state.n();
     let mut best = u64::MAX;
     let mut indices: Vec<usize> = (0..n).collect();
@@ -37,22 +46,23 @@ fn brute_force_delta(state: &GraphState, pi0: &Permutation) -> u64 {
         state: &GraphState,
         pi0: &Permutation,
         best: &mut u64,
-    ) {
+    ) -> Result<(), mla_permutation::PermutationError> {
         if at == indices.len() {
-            let perm = Permutation::from_indices(indices).unwrap();
+            let perm = Permutation::from_indices(indices)?;
             if state.is_minla(&perm) {
                 *best = (*best).min(pi0.kendall_distance(&perm));
             }
-            return;
+            return Ok(());
         }
         for i in at..indices.len() {
             indices.swap(at, i);
-            rec(indices, at + 1, state, pi0, best);
+            rec(indices, at + 1, state, pi0, best)?;
             indices.swap(at, i);
         }
+        Ok(())
     }
-    rec(&mut indices, 0, state, pi0, &mut best);
-    best
+    rec(&mut indices, 0, state, pi0, &mut best)?;
+    Ok(best)
 }
 
 impl Experiment for OptCrossCheck {
@@ -86,61 +96,60 @@ impl Experiment for OptCrossCheck {
             .flat_map(|check_idx| (0..cases).map(move |case| (check_idx, case)))
             .collect();
         let campaign = ctx.campaign("E-OPT");
-        let agreements =
-            campaign.run(
-                &specs,
-                |&(check_idx, case), seeds| -> Result<bool, SimError> {
-                    let mut rng = SmallRng::seed_from_u64(seeds.child_str("instance").seed(0));
-                    match check_idx {
-                        // 1. Closed forms vs exact subset DP.
-                        0 => {
-                            let n = 8 + (case % 5);
-                            let instance = if case % 2 == 0 {
-                                random_clique_instance(n, MergeShape::Uniform, &mut rng)
-                            } else {
-                                random_line_instance(n, MergeShape::Uniform, &mut rng)
-                            };
-                            // Truncate to keep several components.
-                            let events = instance.events()[..n / 2].to_vec();
-                            let truncated = Instance::new(instance.topology(), n, events)?;
-                            let state = truncated.final_state();
-                            let (exact, _) = minla_exact(n, &state.edges())?;
-                            Ok(u128::from(exact) == state.minla_value())
-                        }
-                        // 2. closest_feasible vs brute force (n <= 7).
-                        1 => {
-                            let n = 6 + (case % 2);
-                            let instance = if case % 2 == 0 {
-                                random_clique_instance(n, MergeShape::Uniform, &mut rng)
-                            } else {
-                                random_line_instance(n, MergeShape::Uniform, &mut rng)
-                            };
-                            let events = instance.events()[..n / 2].to_vec();
-                            let truncated = Instance::new(instance.topology(), n, events)?;
-                            let state = truncated.final_state();
-                            let pi0 = Permutation::random(n, &mut rng);
-                            let placement = closest_feasible(&state, &pi0, &LopConfig::default())?;
-                            Ok(placement.exact
-                                && placement.distance == brute_force_delta(&state, &pi0))
-                        }
-                        // 3. Clique OPT sandwich and step-wise feasibility of the
-                        //    upper bound's permutation.
-                        _ => {
-                            let n = 8 + (case % 5);
-                            let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
-                            let pi0 = Permutation::random(n, &mut rng);
-                            let bounds = offline_optimum(&instance, &pi0, &LopConfig::default())?;
-                            let mut replay = GraphState::new(Topology::Cliques, n);
-                            let mut feasible = replay.is_minla(&bounds.upper_perm);
-                            for &event in instance.events() {
-                                replay.apply(event)?;
-                                feasible &= replay.is_minla(&bounds.upper_perm);
-                            }
-                            Ok(bounds.lower <= bounds.upper && feasible)
-                        }
+        let agreements = campaign.run(
+            &specs,
+            |&(check_idx, case), seeds| -> Result<bool, SimError> {
+                let mut rng = SmallRng::seed_from_u64(seeds.child_str("instance").seed(0));
+                match check_idx {
+                    // 1. Closed forms vs exact subset DP.
+                    0 => {
+                        let n = 8 + (case % 5);
+                        let instance = if case % 2 == 0 {
+                            random_clique_instance(n, MergeShape::Uniform, &mut rng)
+                        } else {
+                            random_line_instance(n, MergeShape::Uniform, &mut rng)
+                        };
+                        // Truncate to keep several components.
+                        let events = instance.events()[..n / 2].to_vec();
+                        let truncated = Instance::new(instance.topology(), n, events)?;
+                        let state = truncated.final_state();
+                        let (exact, _) = minla_exact(n, &state.edges())?;
+                        Ok(u128::from(exact) == state.minla_value())
                     }
-                },
-            );
+                    // 2. closest_feasible vs brute force (n <= 7).
+                    1 => {
+                        let n = 6 + (case % 2);
+                        let instance = if case % 2 == 0 {
+                            random_clique_instance(n, MergeShape::Uniform, &mut rng)
+                        } else {
+                            random_line_instance(n, MergeShape::Uniform, &mut rng)
+                        };
+                        let events = instance.events()[..n / 2].to_vec();
+                        let truncated = Instance::new(instance.topology(), n, events)?;
+                        let state = truncated.final_state();
+                        let pi0 = Permutation::random(n, &mut rng);
+                        let placement = closest_feasible(&state, &pi0, &LopConfig::default())?;
+                        Ok(placement.exact
+                            && placement.distance == brute_force_delta(&state, &pi0)?)
+                    }
+                    // 3. Clique OPT sandwich and step-wise feasibility of the
+                    //    upper bound's permutation.
+                    _ => {
+                        let n = 8 + (case % 5);
+                        let instance = random_clique_instance(n, MergeShape::Uniform, &mut rng);
+                        let pi0 = Permutation::random(n, &mut rng);
+                        let bounds = offline_optimum(&instance, &pi0, &LopConfig::default())?;
+                        let mut replay = GraphState::new(Topology::Cliques, n);
+                        let mut feasible = replay.is_minla(&bounds.upper_perm);
+                        for &event in instance.events() {
+                            replay.apply(event)?;
+                            feasible &= replay.is_minla(&bounds.upper_perm);
+                        }
+                        Ok(bounds.lower <= bounds.upper && feasible)
+                    }
+                }
+            },
+        );
         let agreements = try_results(agreements)?;
         for (&(check_idx, case), seeds, &ok) in zip_seeds(&specs, &campaign, &agreements) {
             // Mirror each check's own case-index → n mapping.

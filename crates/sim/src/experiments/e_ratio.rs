@@ -305,6 +305,7 @@ fn write_ratio_artifact(
     n: usize,
     cells: Vec<Json>,
 ) -> Result<(), SimError> {
+    // mla-lint: allow(determinism): artifact output directory only; never affects computed outcomes
     let dir = std::env::var("MLA_BENCH_ARTIFACT_DIR")
         .unwrap_or_else(|_| "target/bench-artifacts".to_owned());
     std::fs::create_dir_all(&dir)

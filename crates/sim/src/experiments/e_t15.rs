@@ -109,6 +109,7 @@ impl Experiment for TheoremFifteen {
         // Second table: the proof's per-level accounting. Theorem 15 shows
         // every algorithm pays Ω(n²) *per tree level*; measure Rand's
         // per-level cost on the largest sampled n.
+        // mla-lint: allow(panic-safety): the experiment grid always holds at least one q
         let q = *qs.last().expect("at least one q");
         let n = 1usize << q;
         let mut rng = SmallRng::seed_from_u64(ctx.seeds().child_str("E-T15/level-tree").seed(0));

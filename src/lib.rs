@@ -46,6 +46,10 @@
 //! assert!(u128::from(opt.lower) <= outcome.total_cost.max(1));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
 pub use mla_adversary as adversary;
 pub use mla_core as core;
 pub use mla_general as general;
