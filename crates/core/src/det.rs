@@ -90,6 +90,25 @@ impl<P: Arrangement> DetClosest<P> {
     }
 }
 
+impl<P: Arrangement> crate::snapshot::PolicyState for DetClosest<P> {
+    fn encode_state_into(&self, out: &mut Vec<u8>) {
+        // The anchor is construction-time for a fresh run but *state* for
+        // a restore: `with_backend` anchors at the decoded arrangement's
+        // current order, which is not the original π0 mid-run.
+        self.pi0.encode_into(out);
+        mla_permutation::codec::put_bool(out, self.all_exact);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut mla_permutation::codec::ByteReader<'_>,
+    ) -> Result<(), mla_permutation::codec::CodecError> {
+        self.pi0 = Permutation::decode_from(r)?;
+        self.all_exact = r.bool("det-closest all_exact")?;
+        Ok(())
+    }
+}
+
 impl<P: Arrangement> OnlineMinla for DetClosest<P> {
     type Arr = P;
 

@@ -70,6 +70,7 @@ mod policies;
 mod rand_cliques;
 mod rand_lines;
 mod report;
+mod snapshot;
 mod traits;
 
 pub use batch::{BatchServe, MergeDecision, MergeLayout, MergePlan};
@@ -79,4 +80,5 @@ pub use policies::{MovePolicy, RearrangePolicy};
 pub use rand_cliques::RandCliques;
 pub use rand_lines::RandLines;
 pub use report::UpdateReport;
+pub use snapshot::PolicyState;
 pub use traits::OnlineMinla;

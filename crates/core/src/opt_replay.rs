@@ -56,6 +56,22 @@ impl<P: Arrangement> OptReplay<P> {
     }
 }
 
+impl<P: Arrangement> crate::snapshot::PolicyState for OptReplay<P> {
+    fn encode_state_into(&self, out: &mut Vec<u8>) {
+        self.target.encode_into(out);
+        mla_permutation::codec::put_bool(out, self.jumped);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut mla_permutation::codec::ByteReader<'_>,
+    ) -> Result<(), mla_permutation::codec::CodecError> {
+        self.target = Permutation::decode_from(r)?;
+        self.jumped = r.bool("opt-replay jumped")?;
+        Ok(())
+    }
+}
+
 impl<P: Arrangement> OnlineMinla for OptReplay<P> {
     type Arr = P;
 

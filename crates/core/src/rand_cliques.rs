@@ -128,6 +128,20 @@ impl<R: Rng, P: Arrangement> OnlineMinla for RandCliques<R, P> {
     }
 }
 
+impl<P: Arrangement> crate::snapshot::PolicyState for RandCliques<rand::rngs::SmallRng, P> {
+    fn encode_state_into(&self, out: &mut Vec<u8>) {
+        crate::snapshot::put_rng_state(out, self.rng.to_state());
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut mla_permutation::codec::ByteReader<'_>,
+    ) -> Result<(), mla_permutation::codec::CodecError> {
+        self.rng = rand::rngs::SmallRng::from_state(crate::snapshot::read_rng_state(r)?);
+        Ok(())
+    }
+}
+
 impl<R: Rng, P: Arrangement> BatchServe for RandCliques<R, P> {
     fn decide(&mut self, info: &MergeInfo, _layout: &MergeLayout) -> MergeDecision {
         MergeDecision {

@@ -234,6 +234,22 @@ impl<R: Rng, P: Arrangement> OnlineMinla for RandLines<R, P> {
     }
 }
 
+impl<P: Arrangement> crate::snapshot::PolicyState for RandLines<rand::rngs::SmallRng, P> {
+    fn encode_state_into(&self, out: &mut Vec<u8>) {
+        // `scratch` is a transient buffer rebuilt inside every serve —
+        // not state.
+        crate::snapshot::put_rng_state(out, self.rng.to_state());
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut mla_permutation::codec::ByteReader<'_>,
+    ) -> Result<(), mla_permutation::codec::CodecError> {
+        self.rng = rand::rngs::SmallRng::from_state(crate::snapshot::read_rng_state(r)?);
+        Ok(())
+    }
+}
+
 impl<R: Rng, P: Arrangement> BatchServe for RandLines<R, P> {
     fn decide(&mut self, info: &MergeInfo, layout: &MergeLayout) -> MergeDecision {
         // Draw order matters for seed reproducibility: the move coin

@@ -182,6 +182,25 @@ impl CliqueState {
             .expect("commit requires a successfully peeked event");
     }
 
+    /// Serializes the state for the checkpoint stack.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.dsu.encode_into(out);
+    }
+
+    /// Decodes a state written by [`CliqueState::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`](mla_permutation::codec::CodecError) on truncated or
+    /// inconsistent input.
+    pub fn decode_from(
+        r: &mut mla_permutation::codec::ByteReader<'_>,
+    ) -> Result<Self, mla_permutation::codec::CodecError> {
+        Ok(CliqueState {
+            dsu: UnionFind::decode_from(r)?,
+        })
+    }
+
     /// All edges of the current graph: every intra-clique pair. Quadratic
     /// in component sizes; intended for verification and small instances.
     #[must_use]

@@ -302,6 +302,101 @@ impl LineState {
             .expect("commit requires a successfully peeked event");
     }
 
+    /// Serializes the state (adjacency slots **verbatim** — slot order is
+    /// determinism-sensitive because `commit` fills the first free slot —
+    /// then the union-find) for the checkpoint stack.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        mla_permutation::codec::put_len(out, self.n());
+        for slots in &self.neighbors {
+            mla_permutation::codec::put_u32(out, slots[0]);
+            mla_permutation::codec::put_u32(out, slots[1]);
+        }
+        self.dsu.encode_into(out);
+    }
+
+    /// Decodes a state written by [`LineState::encode_into`],
+    /// re-validating that the adjacency is a symmetric, self-loop-free
+    /// union of simple paths that agrees with the union-find partition.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`](mla_permutation::codec::CodecError) on truncated or
+    /// inconsistent input.
+    pub fn decode_from(
+        r: &mut mla_permutation::codec::ByteReader<'_>,
+    ) -> Result<Self, mla_permutation::codec::CodecError> {
+        use mla_permutation::codec::CodecError;
+        let n = r.count(u32::MAX as usize, "line-state node")?;
+        let mut neighbors = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut slots = [NO_NEIGHBOR, NO_NEIGHBOR];
+            for slot in &mut slots {
+                let u = r.u32()?;
+                if u != NO_NEIGHBOR && u as usize >= n {
+                    return Err(CodecError::invalid(format!(
+                        "line-state neighbor {u} of node {v} out of range for n = {n}"
+                    )));
+                }
+                if u as usize == v {
+                    return Err(CodecError::invalid(format!(
+                        "line-state node {v} is its own neighbor"
+                    )));
+                }
+                *slot = u;
+            }
+            if slots[0] != NO_NEIGHBOR && slots[0] == slots[1] {
+                return Err(CodecError::invalid(format!(
+                    "line-state node {v} lists neighbor {} twice",
+                    slots[0]
+                )));
+            }
+            neighbors.push(slots);
+        }
+        let dsu = UnionFind::decode_from(r)?;
+        if dsu.len() != n {
+            return Err(CodecError::invalid(format!(
+                "line-state adjacency covers {n} nodes, union-find {}",
+                dsu.len()
+            )));
+        }
+        // Symmetry, component agreement, and per-component edge counts:
+        // a symmetric degree-≤2 graph whose components each hold exactly
+        // size − 1 edges is a disjoint union of simple paths.
+        let mut edges_at_root = vec![0u64; n];
+        for v in 0..n {
+            for &u in &neighbors[v] {
+                if u == NO_NEIGHBOR {
+                    continue;
+                }
+                let u = u as usize;
+                if !neighbors[u].contains(&(v as u32)) {
+                    return Err(CodecError::invalid(format!(
+                        "line-state edge {v} — {u} is not symmetric"
+                    )));
+                }
+                if !dsu.same_set(Node::new(v), Node::new(u)) {
+                    return Err(CodecError::invalid(format!(
+                        "line-state edge {v} — {u} crosses union-find components"
+                    )));
+                }
+                if v < u {
+                    edges_at_root[dsu.find_immutable(Node::new(v)).index()] += 1;
+                }
+            }
+        }
+        for root in dsu.roots() {
+            let size = dsu.size_of(root) as u64;
+            if edges_at_root[root.index()] != size - 1 {
+                return Err(CodecError::invalid(format!(
+                    "line-state component of {} has {} edges for {size} nodes",
+                    root.index(),
+                    edges_at_root[root.index()]
+                )));
+            }
+        }
+        Ok(LineState { neighbors, dsu })
+    }
+
     /// All edges of the current graph.
     #[must_use]
     pub fn edges(&self) -> Vec<(Node, Node)> {
@@ -338,6 +433,50 @@ mod tests {
 
     fn ev(a: usize, b: usize) -> RevealEvent {
         RevealEvent::new(Node::new(a), Node::new(b))
+    }
+
+    #[test]
+    fn codec_roundtrip_is_byte_exact() {
+        let mut state = LineState::new(8);
+        for (a, b) in [(0, 1), (2, 3), (1, 2), (5, 6)] {
+            state.apply(ev(a, b)).unwrap();
+        }
+        let mut bytes = Vec::new();
+        state.encode_into(&mut bytes);
+        let mut r = mla_permutation::codec::ByteReader::new(&bytes);
+        let back = LineState::decode_from(&mut r).unwrap();
+        r.finish().unwrap();
+        // Re-encoding the decoded state byte-identically proves every
+        // field (adjacency slot order included) survived.
+        let mut again = Vec::new();
+        back.encode_into(&mut again);
+        assert_eq!(bytes, again);
+        assert_eq!(back.path_of(Node::new(0)), state.path_of(Node::new(0)));
+        assert_eq!(back.component_count(), state.component_count());
+    }
+
+    #[test]
+    fn codec_rejects_broken_paths() {
+        use mla_permutation::codec::{ByteReader, CodecError};
+        // Tamper: make 0 claim neighbor 1 without reciprocity by
+        // encoding a valid state and flipping one adjacency slot.
+        let mut state = LineState::new(3);
+        state.apply(ev(0, 1)).unwrap();
+        let mut bytes = Vec::new();
+        state.encode_into(&mut bytes);
+        // Adjacency starts after the 8-byte length prefix; node 2's first
+        // slot sits at offset 8 + 2 * 8 = 24. Point it at node 0.
+        bytes[24..28].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            LineState::decode_from(&mut ByteReader::new(&bytes)),
+            Err(CodecError::Invalid { .. })
+        ));
+        // Truncations error out too.
+        let mut ok = Vec::new();
+        state.encode_into(&mut ok);
+        for cut in 0..ok.len() {
+            assert!(LineState::decode_from(&mut ByteReader::new(&ok[..cut])).is_err());
+        }
     }
 
     #[test]

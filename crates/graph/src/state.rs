@@ -353,6 +353,39 @@ impl GraphState {
         }
     }
 
+    /// Serializes the state (a topology tag, then the topology-specific
+    /// payload) for the checkpoint stack.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            GraphState::Cliques(s) => {
+                mla_permutation::codec::put_u8(out, 0);
+                s.encode_into(out);
+            }
+            GraphState::Lines(s) => {
+                mla_permutation::codec::put_u8(out, 1);
+                s.encode_into(out);
+            }
+        }
+    }
+
+    /// Decodes a state written by [`GraphState::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`](mla_permutation::codec::CodecError) on truncated or
+    /// inconsistent input.
+    pub fn decode_from(
+        r: &mut mla_permutation::codec::ByteReader<'_>,
+    ) -> Result<Self, mla_permutation::codec::CodecError> {
+        match r.u8()? {
+            0 => Ok(GraphState::Cliques(CliqueState::decode_from(r)?)),
+            1 => Ok(GraphState::Lines(LineState::decode_from(r)?)),
+            other => Err(mla_permutation::codec::CodecError::invalid(format!(
+                "unknown graph-state topology tag {other}"
+            ))),
+        }
+    }
+
     /// All edges of the revealed graph so far.
     #[must_use]
     pub fn edges(&self) -> Vec<(Node, Node)> {

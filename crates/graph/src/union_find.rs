@@ -175,6 +175,136 @@ impl UnionFind {
             .map(Node::new)
             .collect()
     }
+
+    /// Serializes the structure **exactly** — parent forest (including
+    /// any path-halving compression already applied), circular member
+    /// lists and per-root sizes — for the checkpoint stack.
+    ///
+    /// Exactness matters for the determinism contract: member-walk order
+    /// feeds the eager component snapshots the algorithms rearrange from,
+    /// and root identity feeds planner cache keys, so a restore must
+    /// reproduce the arrays bit-for-bit rather than any equivalent
+    /// partition.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        mla_permutation::codec::put_len(out, self.len());
+        for &p in &self.parent {
+            mla_permutation::codec::put_u32(out, p);
+        }
+        for &nx in &self.next {
+            mla_permutation::codec::put_u32(out, nx);
+        }
+        for &s in &self.size {
+            mla_permutation::codec::put_u32(out, s);
+        }
+    }
+
+    /// Decodes a structure written by [`UnionFind::encode_into`],
+    /// re-validating the invariants a well-formed instance upholds:
+    /// in-range parent pointers, an acyclic parent forest, `next` a
+    /// permutation whose cycles are exactly the components, and root
+    /// sizes that sum to `n`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`](mla_permutation::codec::CodecError) on truncated input or any inconsistency.
+    pub fn decode_from(
+        r: &mut mla_permutation::codec::ByteReader<'_>,
+    ) -> Result<Self, mla_permutation::codec::CodecError> {
+        use mla_permutation::codec::CodecError;
+        let n = r.count(u32::MAX as usize, "union-find node")?;
+        let mut parent = Vec::with_capacity(n);
+        let mut next = Vec::with_capacity(n);
+        let mut size = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = r.u32()?;
+            if p as usize >= n {
+                return Err(CodecError::invalid(format!(
+                    "union-find parent {p} out of range for n = {n}"
+                )));
+            }
+            parent.push(p);
+        }
+        for _ in 0..n {
+            let nx = r.u32()?;
+            if nx as usize >= n {
+                return Err(CodecError::invalid(format!(
+                    "union-find next pointer {nx} out of range for n = {n}"
+                )));
+            }
+            next.push(nx);
+        }
+        for _ in 0..n {
+            size.push(r.u32()?);
+        }
+        // Resolve every node's root, rejecting parent cycles: walking n
+        // steps without reaching a self-parent means a cycle.
+        let mut root_of = vec![u32::MAX; n];
+        for (start, root_slot) in root_of.iter_mut().enumerate() {
+            let mut i = start;
+            let mut steps = 0usize;
+            while parent[i] as usize != i {
+                i = parent[i] as usize;
+                steps += 1;
+                if steps > n {
+                    return Err(CodecError::invalid(format!(
+                        "union-find parent chain from {start} is cyclic"
+                    )));
+                }
+            }
+            // mla-lint: allow(cast-hygiene): node ids are bounded by the n <= u32::MAX guard above
+            *root_slot = i as u32;
+        }
+        let components = (0..n).filter(|&i| parent[i] as usize == i).count();
+        // The member cycles must agree with the parent forest: every
+        // node's cycle stays within its component and covers exactly
+        // size[root] members.
+        let mut seen = vec![false; n];
+        let mut covered = 0usize;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let root = root_of[start] as usize;
+            let mut cycle_len = 0usize;
+            let mut i = start;
+            loop {
+                if seen[i] {
+                    return Err(CodecError::invalid(format!(
+                        "union-find member list of {start} re-enters node {i}"
+                    )));
+                }
+                if root_of[i] as usize != root {
+                    return Err(CodecError::invalid(format!(
+                        "union-find member list of root {root} strays into node {i}"
+                    )));
+                }
+                seen[i] = true;
+                cycle_len += 1;
+                i = next[i] as usize;
+                if i == start {
+                    break;
+                }
+            }
+            if cycle_len != size[root] as usize {
+                return Err(CodecError::invalid(format!(
+                    "union-find root {root} has size {} but {cycle_len} members",
+                    size[root]
+                )));
+            }
+            covered += cycle_len;
+        }
+        if covered != n {
+            return Err(CodecError::invalid(
+                "union-find member cycles do not cover the universe",
+            ));
+        }
+        Ok(UnionFind {
+            parent,
+            next,
+            size,
+            components,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +396,73 @@ mod tests {
         for i in 0..10 {
             assert_eq!(dsu.find(Node::new(i)), dsu.find_immutable(Node::new(i)));
         }
+    }
+
+    #[test]
+    fn codec_roundtrip_is_exact() {
+        let mut dsu = UnionFind::new(12);
+        dsu.union(Node::new(0), Node::new(5));
+        dsu.union(Node::new(5), Node::new(7));
+        dsu.union(Node::new(2), Node::new(3));
+        dsu.union(Node::new(3), Node::new(0));
+        // Trigger some path halving so compressed state is exercised.
+        let _ = dsu.find(Node::new(7));
+        let mut bytes = Vec::new();
+        dsu.encode_into(&mut bytes);
+        let mut r = mla_permutation::codec::ByteReader::new(&bytes);
+        let back = UnionFind::decode_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.parent, dsu.parent);
+        assert_eq!(back.next, dsu.next);
+        assert_eq!(back.size, dsu.size);
+        assert_eq!(back.component_count(), dsu.component_count());
+        // Member walk order — the determinism-sensitive part — matches.
+        assert_eq!(back.members_of(Node::new(7)), dsu.members_of(Node::new(7)));
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_structures() {
+        use mla_permutation::codec::{put_len, put_u32, ByteReader, CodecError};
+        let mut dsu = UnionFind::new(6);
+        dsu.union(Node::new(0), Node::new(1));
+        let mut bytes = Vec::new();
+        dsu.encode_into(&mut bytes);
+        // Any truncation errors out.
+        for cut in 0..bytes.len() {
+            assert!(UnionFind::decode_from(&mut ByteReader::new(&bytes[..cut])).is_err());
+        }
+        // A parent cycle (0 -> 1 -> 0) is structural corruption.
+        let mut cyc = Vec::new();
+        put_len(&mut cyc, 2);
+        for v in [1u32, 0] {
+            put_u32(&mut cyc, v);
+        }
+        for v in [0u32, 1] {
+            put_u32(&mut cyc, v);
+        }
+        for _ in 0..2 {
+            put_u32(&mut cyc, 1);
+        }
+        assert!(matches!(
+            UnionFind::decode_from(&mut ByteReader::new(&cyc)),
+            Err(CodecError::Invalid { .. })
+        ));
+        // A member list that strays across components is rejected.
+        let mut stray = Vec::new();
+        put_len(&mut stray, 2);
+        for v in [0u32, 1] {
+            put_u32(&mut stray, v);
+        }
+        for v in [1u32, 0] {
+            put_u32(&mut stray, v);
+        }
+        for _ in 0..2 {
+            put_u32(&mut stray, 1);
+        }
+        assert!(matches!(
+            UnionFind::decode_from(&mut ByteReader::new(&stray)),
+            Err(CodecError::Invalid { .. })
+        ));
     }
 
     #[test]

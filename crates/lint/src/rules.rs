@@ -30,7 +30,7 @@ pub const DETERMINISM_CRATES: &[&str] = &[
 /// A panic here tears down a whole campaign (or a worker thread), so
 /// library code must propagate `Result`s; every deliberate invariant
 /// panic needs a justified pragma.
-pub const SERVING_CRATES: &[&str] = &["permutation", "graph", "core", "sim"];
+pub const SERVING_CRATES: &[&str] = &["permutation", "graph", "core", "sim", "serve"];
 
 /// The workspace lint header every crate root must carry.
 pub const REQUIRED_HEADERS: &[&str] = &[

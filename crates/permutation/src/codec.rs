@@ -1,0 +1,301 @@
+//! Minimal little-endian byte codec shared by the checkpoint/restore
+//! stack.
+//!
+//! The serving layers (`mla-graph` state, `mla-core` policy snapshots,
+//! `mla-sim` session checkpoints) all serialize through these helpers so
+//! that every decoder is bounds-checked and returns a structured
+//! [`CodecError`] instead of panicking on malformed bytes — the
+//! corruption-fuzz suite feeds arbitrary mutations of valid checkpoints
+//! through every decode path.
+//!
+//! The format is deliberately boring: fixed-width little-endian integers
+//! and length-prefixed sequences, no varints, no alignment. Versioning,
+//! magic headers and checksums live one layer up, in
+//! `mla-sim`'s checkpoint container.
+
+use std::fmt;
+
+/// Structured decoding failure. Decoders never panic on malformed input;
+/// they return one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The input ended before a fixed-width read could complete.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// The bytes decoded, but the value they encode is inconsistent
+    /// (out-of-range index, duplicate node, bad tag, ...).
+    Invalid {
+        /// What was being decoded and why it was rejected.
+        context: String,
+    },
+}
+
+impl CodecError {
+    /// Convenience constructor for [`CodecError::Invalid`].
+    #[must_use]
+    pub fn invalid(context: impl Into<String>) -> Self {
+        CodecError::Invalid {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(f, "input truncated: needed {needed} bytes, had {remaining}")
+            }
+            CodecError::Invalid { context } => write!(f, "invalid encoding: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Bounds-checked cursor over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes the next `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than `len` bytes remain.
+    pub fn bytes(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < len {
+            return Err(CodecError::Truncated {
+                needed: len,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.bytes(4)?;
+        // mla-lint: allow(panic-safety): bytes() returned exactly 4 bytes
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.bytes(8)?;
+        // mla-lint: allow(panic-safety): bytes() returned exactly 8 bytes
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a little-endian `u128`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than 16 bytes remain.
+    pub fn u128(&mut self) -> Result<u128, CodecError> {
+        let b = self.bytes(16)?;
+        // mla-lint: allow(panic-safety): bytes() returned exactly 16 bytes
+        Ok(u128::from_le_bytes(b.try_into().expect("16-byte slice")))
+    }
+
+    /// Reads a `u64` length/count and checks it against a ceiling before
+    /// any allocation sized by it.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] on short input, [`CodecError::Invalid`]
+    /// if the count exceeds `max` (the standard guard against
+    /// length-bomb payloads).
+    pub fn count(&mut self, max: usize, what: &str) -> Result<usize, CodecError> {
+        let raw = self.u64()?;
+        let n = usize::try_from(raw)
+            .map_err(|_| CodecError::invalid(format!("{what} count {raw} overflows usize")))?;
+        if n > max {
+            return Err(CodecError::invalid(format!(
+                "{what} count {n} exceeds bound {max}"
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a `bool` encoded as one byte (`0` or `1`).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input, [`CodecError::Invalid`]
+    /// for any byte other than `0`/`1`.
+    pub fn bool(&mut self, what: &str) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::invalid(format!(
+                "{what} flag must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+
+    /// Succeeds only if every byte has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] if trailing bytes remain.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::invalid(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Appends one byte.
+pub fn put_u8(out: &mut Vec<u8>, value: u8) {
+    out.push(value);
+}
+
+/// Appends a `bool` as one byte.
+pub fn put_bool(out: &mut Vec<u8>, value: bool) {
+    out.push(u8::from(value));
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian `u128`.
+pub fn put_u128(out: &mut Vec<u8>, value: u128) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `usize` as a little-endian `u64` (lossless: the workspace
+/// only targets 64-bit-or-smaller platforms).
+pub fn put_len(out: &mut Vec<u8>, value: usize) {
+    // mla-lint: allow(cast-hygiene): usize -> u64 is lossless on every supported (<= 64-bit) target
+    put_u64(out, value as u64);
+}
+
+/// CRC-64/ECMA-182 (reflected), the checksum the checkpoint container
+/// uses to reject bit-flipped payloads.
+#[must_use]
+pub fn crc64(bytes: &[u8]) -> u64 {
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut crc = !0u64;
+    for &byte in bytes {
+        crc ^= u64::from(byte);
+        for _ in 0..8 {
+            let mask = 0u64.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_bool(&mut buf, true);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_u128(&mut buf, u128::MAX / 3);
+        put_len(&mut buf, 42);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool("flag").unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.count(100, "answer").unwrap(), 42);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_structured_errors() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(
+            r.u32(),
+            Err(CodecError::Truncated {
+                needed: 4,
+                remaining: 2
+            })
+        ));
+        let mut r = ByteReader::new(&[1, 2]);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn counts_and_flags_are_validated() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 10);
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(r.count(9, "seg"), Err(CodecError::Invalid { .. })));
+        let mut r = ByteReader::new(&[2]);
+        assert!(matches!(r.bool("rev"), Err(CodecError::Invalid { .. })));
+    }
+
+    #[test]
+    fn crc64_detects_any_single_bit_flip() {
+        let base: Vec<u8> = (0u8..64).collect();
+        let reference = crc64(&base);
+        assert_eq!(crc64(&base), reference);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc64(&flipped), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -49,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 mod arrangement;
+pub mod codec;
 mod error;
 mod inversions;
 mod node;

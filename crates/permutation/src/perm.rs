@@ -209,6 +209,35 @@ impl Permutation {
         self.pos_to_node.iter()
     }
 
+    /// Serializes the permutation (length, then node ids in position
+    /// order) for the checkpoint stack.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        crate::codec::put_len(out, self.len());
+        for v in &self.pos_to_node {
+            // mla-lint: allow(cast-hygiene): node ids are bounded by MAX_NODES = u32::MAX
+            crate::codec::put_u32(out, v.index() as u32);
+        }
+    }
+
+    /// Decodes a permutation written by [`Permutation::encode_into`],
+    /// re-validating the permutation property.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`](crate::codec::CodecError) on truncated input or if
+    /// the decoded node list is not a permutation of `0..n`.
+    pub fn decode_from(
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> Result<Self, crate::codec::CodecError> {
+        let n = r.count(crate::MAX_NODES, "permutation node")?;
+        let mut indices = Vec::with_capacity(n);
+        for _ in 0..n {
+            indices.push(r.u32()? as usize);
+        }
+        Self::from_indices(&indices)
+            .map_err(|e| crate::codec::CodecError::invalid(format!("permutation: {e}")))
+    }
+
     /// The inverse permutation: maps position `p` to the node whose
     /// *position* is `p` in `self`… i.e. a permutation in which node `i`
     /// sits at the position that node at position `i` had. Mostly useful in

@@ -885,6 +885,107 @@ impl SegmentArrangement {
             .all(|(pos, &v)| self.position_of(v) == pos && self.node_at(pos) == v)
     }
 
+    /// Serializes the arrangement for the checkpoint stack: node count,
+    /// priority-stream counter, then the live segments in position order
+    /// (storage-order node list + lazy-reversal flag each).
+    ///
+    /// The treap *shape* and arena slot ids are deliberately **not**
+    /// encoded — they are unobservable (every cost is closed-form in
+    /// positions and sizes) and a decode rebuilds a fresh balanced treap
+    /// over the same segment partition. The partition itself *is*
+    /// observable: `locate_component` trusts that an algorithm run keeps
+    /// every component one coalesced segment, so a checkpoint must
+    /// restore the exact segment boundaries, storage orders and
+    /// orientation flags, not just the flat permutation.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        crate::codec::put_len(out, self.len());
+        crate::codec::put_u64(out, self.prio_counter);
+        let slots = if self.root == NIL {
+            Vec::new()
+        } else {
+            self.collect_slots(self.root)
+        };
+        crate::codec::put_len(out, slots.len());
+        for slot in slots {
+            let seg = &self.content[slot as usize];
+            crate::codec::put_bool(out, seg.reversed);
+            crate::codec::put_len(out, seg.nodes.len());
+            for v in &seg.nodes {
+                // mla-lint: allow(cast-hygiene): node ids are bounded by MAX_NODES = u32::MAX
+                crate::codec::put_u32(out, v.index() as u32);
+            }
+        }
+    }
+
+    /// Decodes an arrangement written by
+    /// [`SegmentArrangement::encode_into`], re-validating that the
+    /// segments partition `0..n` (every node exactly once, no empty
+    /// segment) before rebuilding the treap.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`](crate::codec::CodecError) on truncated input or an
+    /// inconsistent segment partition.
+    pub fn decode_from(
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let n = r.count(crate::MAX_NODES, "arrangement node")?;
+        let prio_counter = r.u64()?;
+        let seg_count = r.count(n, "segment")?;
+        let mut arr = SegmentArrangement {
+            tree: SegTree::with_capacity(n),
+            content: Vec::with_capacity(seg_count),
+            free: Vec::new(),
+            pool: Vec::new(),
+            root: NIL,
+            node_seg: vec![NIL; n],
+            node_off: vec![0; n],
+            prio_counter: 0,
+            version: 0,
+            memo: SegMemo::empty(),
+        };
+        let mut seen = vec![false; n];
+        let mut covered = 0usize;
+        let mut slots = Vec::with_capacity(seg_count);
+        for _ in 0..seg_count {
+            let reversed = r.bool("segment reversal")?;
+            let len = r.count(n - covered, "segment length")?;
+            if len == 0 {
+                return Err(CodecError::invalid("empty segment in arrangement"));
+            }
+            let mut nodes = Vec::with_capacity(len);
+            for _ in 0..len {
+                let raw = r.u32()? as usize;
+                if raw >= n {
+                    return Err(CodecError::invalid(format!(
+                        "segment node {raw} out of range for n = {n}"
+                    )));
+                }
+                if seen[raw] {
+                    return Err(CodecError::invalid(format!(
+                        "node {raw} appears in two segments"
+                    )));
+                }
+                seen[raw] = true;
+                nodes.push(Node::new(raw));
+            }
+            covered += len;
+            slots.push(arr.alloc_seg(nodes, reversed));
+        }
+        if covered != n {
+            return Err(CodecError::invalid(format!(
+                "segments cover {covered} of {n} nodes"
+            )));
+        }
+        let root = arr.build(&slots);
+        arr.set_root(root);
+        // Rebuilding drew fresh priorities from a zeroed counter; future
+        // draws must continue the checkpointed stream.
+        arr.prio_counter = prio_counter;
+        Ok(arr)
+    }
+
     // ---- treap internals ----------------------------------------------
 
     fn sub(&self, t: u32) -> usize {
@@ -1573,6 +1674,75 @@ mod tests {
         }
         assert!(arr.check_consistent());
         assert_eq!(arr.to_permutation(), Permutation::identity(5));
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_partition_orientation_and_prio_stream() {
+        // Build an arrangement whose segments are multi-node, reversed and
+        // interleaved, then round-trip it through the byte codec.
+        let mut arr = seg(&[3, 0, 1, 2, 4, 5, 6, 7]);
+        arr.coalesce_range(0..3);
+        arr.reverse_block(4..7);
+        arr.coalesce_range(4..8);
+        let order = arr.to_permutation();
+        let segments = arr.segment_count();
+        let mut bytes = Vec::new();
+        arr.encode_into(&mut bytes);
+        let mut r = crate::codec::ByteReader::new(&bytes);
+        let mut back = SegmentArrangement::decode_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert!(back.check_consistent());
+        assert_eq!(back.to_permutation(), order);
+        assert_eq!(back.segment_count(), segments);
+        assert_eq!(back.prio_counter, arr.prio_counter);
+        // Coalesced components stay locatable after the round trip.
+        let (range, _) = back.locate_component(Node::new(3), 3).unwrap();
+        assert_eq!(range, 0..3);
+        // Future priority draws continue the checkpointed stream.
+        assert_eq!(back.next_prio(), arr.next_prio());
+    }
+
+    #[test]
+    fn codec_rejects_inconsistent_partitions() {
+        use crate::codec::{put_bool, put_len, put_u32, put_u64, ByteReader, CodecError};
+        // Node out of range.
+        let mut bad = Vec::new();
+        put_len(&mut bad, 2);
+        put_u64(&mut bad, 0);
+        put_len(&mut bad, 1);
+        put_bool(&mut bad, false);
+        put_len(&mut bad, 2);
+        put_u32(&mut bad, 0);
+        put_u32(&mut bad, 9);
+        assert!(matches!(
+            SegmentArrangement::decode_from(&mut ByteReader::new(&bad)),
+            Err(CodecError::Invalid { .. })
+        ));
+        // Duplicate node across segments.
+        let mut dup = Vec::new();
+        put_len(&mut dup, 2);
+        put_u64(&mut dup, 0);
+        put_len(&mut dup, 2);
+        for _ in 0..2 {
+            put_bool(&mut dup, false);
+            put_len(&mut dup, 1);
+            put_u32(&mut dup, 0);
+        }
+        assert!(matches!(
+            SegmentArrangement::decode_from(&mut ByteReader::new(&dup)),
+            Err(CodecError::Invalid { .. })
+        ));
+        // Truncated input.
+        let mut arr = SegmentArrangement::identity(4);
+        let mut bytes = Vec::new();
+        arr.coalesce_range(0..2);
+        arr.encode_into(&mut bytes);
+        for cut in 0..bytes.len() {
+            assert!(
+                SegmentArrangement::decode_from(&mut ByteReader::new(&bytes[..cut])).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
     }
 
     #[test]

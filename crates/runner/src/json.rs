@@ -1,10 +1,14 @@
-//! A minimal hand-rolled JSON writer.
+//! A minimal hand-rolled JSON value tree: writer and parser.
 //!
 //! The build environment has no crates registry, so — mirroring the
-//! hand-rolled CSV in `mla-sim`'s `Table` — artifacts are serialized
-//! through this small value tree instead of `serde_json`. Only writing is
-//! supported; object keys keep insertion order so output is byte-stable.
+//! hand-rolled CSV in `mla-sim`'s `Table` — artifacts and wire messages
+//! are serialized through this small value tree instead of `serde_json`.
+//! Object keys keep insertion order so output is byte-stable; the parser
+//! ([`Json::parse`]) is bounds- and depth-checked and returns a
+//! structured [`JsonError`] (never panics), because the serving daemon
+//! feeds it bytes straight off a socket.
 
+use std::fmt;
 use std::fmt::Write as _;
 
 /// A JSON value tree.
@@ -63,6 +67,107 @@ impl Json {
         self.write(&mut out, Some(2), 0);
         out.push('\n');
         out
+    }
+
+    /// Parses a JSON document (the inverse of [`Json::render_compact`] /
+    /// [`Json::render_pretty`]).
+    ///
+    /// Non-negative integers up to `u128::MAX` parse exactly into
+    /// [`Json::UInt`]; every other number becomes [`Json::Number`].
+    /// Nesting is capped (64 levels) so a hostile payload cannot
+    /// overflow the parse stack.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the byte offset of the first violation.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer: [`Json::UInt`] directly,
+    /// or a [`Json::Number`] that is integral, non-negative and below
+    /// `2^53` (beyond that an `f64` cannot be trusted to be exact).
+    #[must_use]
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Json::UInt(x) => Some(*x),
+            Json::Number(x) if *x >= 0.0 && x.trunc() == *x && *x < 9_007_199_254_740_992.0 => {
+                // mla-lint: allow(cast-hygiene): integral, in-range f64 checked above
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Some(*x as u128)
+            }
+            _ => None,
+        }
+    }
+
+    /// [`Json::as_u128`] narrowed to `u64`.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_u128().and_then(|x| u64::try_from(x).ok())
+    }
+
+    /// [`Json::as_u128`] narrowed to `usize`.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u128().and_then(|x| usize::try_from(x).ok())
+    }
+
+    /// The value as a float ([`Json::Number`] or a losslessly-convertible
+    /// [`Json::UInt`]).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            #[allow(clippy::cast_precision_loss)]
+            Json::UInt(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -211,6 +316,294 @@ impl<T: Into<Json>> From<Option<T>> for Json {
     }
 }
 
+/// A structured parse failure: what went wrong and the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the first violation.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum container nesting [`Json::parse`] accepts — deep enough for
+/// every protocol message, shallow enough that recursion cannot blow the
+/// stack on hostile input.
+const MAX_PARSE_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", char::from(byte))))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{text}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting exceeds the depth limit"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character '{}'", char::from(other)))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            self.pos -= 1;
+                            return Err(
+                                self.err(format!("invalid escape '\\{}'", char::from(other)))
+                            );
+                        }
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Consume one UTF-8 scalar; the input is a &str, so
+                    // the boundaries are valid by construction.
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let Some(byte) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let digit = match byte {
+                b'0'..=b'9' => u32::from(byte - b'0'),
+                b'a'..=b'f' => u32::from(byte - b'a') + 10,
+                b'A'..=b'F' => u32::from(byte - b'A') + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        // Surrogate pair: a high surrogate must be followed by \uDC00..
+        if (0xD800..0xDC00).contains(&first) {
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if !(0xDC00..0xE000).contains(&second) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                return char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"));
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        if (0xDC00..0xE000).contains(&first) {
+            return Err(self.err("lone low surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return Err(self.err("expected digits"));
+        }
+        // Leading zeros are invalid JSON ("01"), except the single "0".
+        if self.bytes[int_start] == b'0' && self.pos - int_start > 1 {
+            self.pos = int_start;
+            return Err(self.err("leading zero in number"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected digits after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        // mla-lint: allow(panic-safety): the scanned range is ASCII digits/signs by construction
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if integral && self.bytes[start] != b'-' {
+            if let Ok(value) = text.parse::<u128>() {
+                return Ok(Json::UInt(value));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(value) if value.is_finite() => Ok(Json::Number(value)),
+            _ => {
+                self.pos = start;
+                Err(self.err("number out of range"))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +659,88 @@ mod tests {
     fn empty_containers() {
         assert_eq!(Json::Array(vec![]).render_compact(), "[]");
         assert_eq!(Json::object().render_compact(), "{}");
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let value = Json::object()
+            .field("op", "reveal")
+            .field("ok", true)
+            .field("none", Json::Null)
+            .field("cost", u128::from(u64::MAX) + 7)
+            .field("ratio", 0.75)
+            .field("events", vec![0u64, 3, 1])
+            .field("nested", Json::object().field("k", "v\n\"q\""));
+        for rendered in [value.render_compact(), value.render_pretty()] {
+            assert_eq!(Json::parse(&rendered).unwrap(), value, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_standard_forms() {
+        assert_eq!(Json::parse(" null ").unwrap(), Json::Null);
+        assert_eq!(Json::parse("-3.5e2").unwrap(), Json::Number(-350.0));
+        assert_eq!(Json::parse("0").unwrap(), Json::UInt(0));
+        assert_eq!(
+            Json::parse("\"\\u0041\\uD83D\\uDE00\"").unwrap(),
+            Json::Str("A\u{1F600}".to_owned())
+        );
+        assert_eq!(
+            Json::parse("[1, [2], {\"a\": 3}]").unwrap(),
+            Json::Array(vec![
+                Json::UInt(1),
+                Json::Array(vec![Json::UInt(2)]),
+                Json::object().field("a", 3u64),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"abc",
+            "\"\\x\"",
+            "\"\\uD800\"",
+            "[}",
+            "{\"a\":1,}",
+            "1 2",
+            "nul",
+            "[1]]",
+            "\u{1}",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.offset <= bad.len(), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_depth_limit_rejects_nesting_bombs() {
+        let bomb = "[".repeat(100_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.message.contains("depth"), "{err}");
+        // At the limit itself: fine.
+        let deep = format!("{}0{}", "[".repeat(60), "]".repeat(60));
+        Json::parse(&deep).unwrap();
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let value = Json::parse(r#"{"op":"cost","tenant":"t1","n":128,"ok":true}"#).unwrap();
+        assert_eq!(value.get("op").and_then(Json::as_str), Some("cost"));
+        assert_eq!(value.get("n").and_then(Json::as_usize), Some(128));
+        assert_eq!(value.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(value.get("missing"), None);
+        assert_eq!(Json::Number(3.0).as_u128(), Some(3));
+        assert_eq!(Json::Number(3.5).as_u128(), None);
+        assert_eq!(Json::Number(-1.0).as_u128(), None);
+        assert_eq!(Json::UInt(7).as_f64(), Some(7.0));
     }
 }

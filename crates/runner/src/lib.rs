@@ -45,12 +45,14 @@ mod campaign;
 mod json;
 mod pool;
 mod seed;
+pub mod wire;
 
 pub use artifact::{
     git_describe, strip_meta_lines, ArtifactStore, CampaignReport, ReportMeta, RunRecord, RunSink,
     TableData,
 };
 pub use campaign::{resolve_threads, Campaign, RunSpec};
-pub use json::{format_number, Json};
+pub use json::{format_number, Json, JsonError};
 pub use pool::run_indexed;
 pub use seed::SeedSequence;
+pub use wire::{read_frame, write_frame, WireError};

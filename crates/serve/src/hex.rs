@@ -1,0 +1,65 @@
+//! Hex transport encoding for checkpoint blobs.
+//!
+//! Checkpoints are binary; the wire protocol is JSON. Lowercase hex is
+//! the simplest encoding that survives JSON strings untouched, and the
+//! blobs it carries are small (session state is `O(n)`), so the 2×
+//! expansion is irrelevant next to debuggability.
+
+/// Encodes bytes as lowercase hex.
+#[must_use]
+pub fn encode_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &byte in bytes {
+        out.push(DIGITS[usize::from(byte >> 4)] as char);
+        out.push(DIGITS[usize::from(byte & 0xf)] as char);
+    }
+    out
+}
+
+/// Decodes the output of [`encode_hex`] (both nibble cases accepted).
+///
+/// # Errors
+///
+/// A description of the first violation: odd length, or a non-hex byte
+/// with its offset.
+pub fn decode_hex(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(format!("odd hex length {}", bytes.len()));
+    }
+    let nibble = |at: usize| -> Result<u8, String> {
+        match bytes[at] {
+            b @ b'0'..=b'9' => Ok(b - b'0'),
+            b @ b'a'..=b'f' => Ok(b - b'a' + 10),
+            b @ b'A'..=b'F' => Ok(b - b'A' + 10),
+            other => Err(format!("non-hex byte {other:#04x} at offset {at}")),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for at in (0..bytes.len()).step_by(2) {
+        out.push((nibble(at)? << 4) | nibble(at + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_all_byte_values() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let text = encode_hex(&bytes);
+        assert_eq!(decode_hex(&text).unwrap(), bytes);
+        assert_eq!(decode_hex(&text.to_uppercase()).unwrap(), bytes);
+        assert_eq!(decode_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(decode_hex("abc").unwrap_err().contains("odd"));
+        assert!(decode_hex("zz").unwrap_err().contains("offset 0"));
+        assert!(decode_hex("00g0").unwrap_err().contains("offset 2"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # `mla-serve`
+//!
+//! The multi-tenant serving daemon over the session layer of `mla-sim`:
+//! a [`Server`] keeps a table of named [`TenantSession`]s, routes each
+//! to a logical **shard**, applies reveal frames through the same batch
+//! executor as the simulation engine, answers position/cost queries
+//! mid-stream, and can checkpoint / restore **all** tenants at once —
+//! across a real process boundary — such that replaying the remaining
+//! reveals is bit-identical to the uninterrupted run.
+//!
+//! The wire protocol is length-prefixed JSON frames
+//! ([`mla_runner::wire`]); one request object in, one response object
+//! out. Every response carries `"ok"`; failures carry a machine-readable
+//! `"code"` plus a human-readable `"error"` and never tear down the
+//! server (panic-safety is lint-enforced on this crate).
+//!
+//! The `mla-serve` binary wraps [`serve_loop`] around stdin/stdout (the
+//! default) or a TCP listener, with `--restore`/`--checkpoint` flags for
+//! crash recovery. See `docs/ARCHITECTURE.md` § "Sessions and
+//! checkpoints" for the protocol reference.
+//!
+//! [`TenantSession`]: mla_sim::TenantSession
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hex;
+mod server;
+
+pub use hex::{decode_hex, encode_hex};
+pub use server::{serve_loop, Reply, Server};

@@ -1,0 +1,864 @@
+//! The multi-tenant session server and its request dispatcher.
+//!
+//! One [`Server`] owns a name → session table. Requests are JSON
+//! objects with an `"op"` field; [`Server::handle`] maps each to a
+//! response object that always carries `"ok"`. Failures are data, not
+//! panics: `{"ok": false, "code": "...", "error": "..."}` with a stable
+//! machine-readable code, so a misbehaving client can never tear down
+//! the other tenants.
+//!
+//! ## Operations
+//!
+//! | op           | required fields                          | effect |
+//! |--------------|------------------------------------------|--------|
+//! | `open`       | `tenant`, `topology`, `n`, `policy`      | create a session (`backend`, `seed`, `record`, `check_feasibility`, `target`, `shard` optional) |
+//! | `reveal`     | `tenant`, `a`, `b`                       | serve one reveal |
+//! | `reveals`    | `tenant`, `events` (`[[a,b],…]`)         | serve a frame through the batch executor |
+//! | `position`   | `tenant`, `node`                         | arrangement position mid-stream |
+//! | `cost`       | `tenant`                                 | exact cost totals so far |
+//! | `outcome`    | `tenant`                                 | totals plus the current permutation |
+//! | `tenants`    | —                                        | list tenants with shard placement |
+//! | `migrate`    | `tenant`, `shard`                        | reassign the tenant's shard label |
+//! | `close`      | `tenant`                                 | drop the session |
+//! | `checkpoint` | — (`path` optional)                      | serialize **all** tenants; to a file, or inline as hex |
+//! | `restore`    | `bytes` (hex) or `path`                  | replace the table from a checkpoint |
+//! | `shutdown`   | —                                        | checkpoint to the default path (if any) and stop |
+//!
+//! ## Shards
+//!
+//! Shards are logical placement labels (`0..shards`): routing metadata
+//! that a fleet scheduler would act on, carried through checkpoints and
+//! reassigned by `migrate`. They never influence outcomes — the
+//! determinism contract makes a session's result independent of where
+//! (and with how many threads) it runs, which is exactly what makes
+//! live migration safe.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+use mla_graph::{RevealEvent, Topology};
+use mla_permutation::codec::{put_len, ByteReader};
+use mla_permutation::{Node, Permutation};
+use mla_runner::{read_frame, write_frame, Json, WireError};
+use mla_sim::checkpoint;
+use mla_sim::{
+    decode_session, encode_session, open_session, BackendKind, CheckpointError, PolicyKind,
+    RecordMode, SessionSpec, SimError, TenantSession,
+};
+
+use crate::hex::{decode_hex, encode_hex};
+
+/// One tenant: a live session plus its shard placement label.
+struct Tenant {
+    session: Box<dyn TenantSession>,
+    shard: usize,
+}
+
+/// The multi-tenant session server. See the crate docs for the
+/// operation table.
+pub struct Server {
+    tenants: BTreeMap<String, Tenant>,
+    /// Number of logical shards; placement labels are `0..shards`.
+    shards: usize,
+    /// Worker threads handed to every session's batched apply path.
+    threads: usize,
+    /// Default target of `checkpoint`/`shutdown` checkpoints.
+    checkpoint_path: Option<PathBuf>,
+    /// Round-robin cursor for default shard assignment.
+    next_shard: usize,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("tenants", &self.tenants.len())
+            .field("shards", &self.shards)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What the serve loop should do after a response.
+#[derive(Debug)]
+pub enum Reply {
+    /// Send the response and keep serving.
+    Continue(Json),
+    /// Send the response, then stop the loop.
+    Shutdown(Json),
+}
+
+/// The `{"ok": true}` response seed.
+fn ok_response() -> Json {
+    Json::object().field("ok", true)
+}
+
+/// A structured failure response.
+fn err_response(code: &str, error: impl Into<String>) -> Json {
+    Json::object()
+        .field("ok", false)
+        .field("code", code)
+        .field("error", error.into())
+}
+
+/// The stable error code of a session-layer failure.
+fn sim_code(err: &SimError) -> &'static str {
+    match err {
+        SimError::Graph(_) => "graph",
+        SimError::FeasibilityViolation { .. } => "feasibility",
+        _ => "bad-request",
+    }
+}
+
+/// A required string field, or the `bad-request` response.
+fn want_str<'a>(request: &'a Json, key: &str) -> Result<&'a str, Json> {
+    request
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| err_response("bad-request", format!("missing string field {key:?}")))
+}
+
+/// A required unsigned-integer field, or the `bad-request` response.
+fn want_usize(request: &Json, key: &str) -> Result<usize, Json> {
+    request
+        .get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| err_response("bad-request", format!("missing integer field {key:?}")))
+}
+
+impl Server {
+    /// An empty server with `shards` placement labels (clamped to ≥ 1)
+    /// and `threads` workers per batched apply (`0` = available
+    /// parallelism).
+    #[must_use]
+    pub fn new(shards: usize, threads: usize) -> Self {
+        Server {
+            tenants: BTreeMap::new(),
+            shards: shards.max(1),
+            threads,
+            checkpoint_path: None,
+            next_shard: 0,
+        }
+    }
+
+    /// Sets the default file `checkpoint` and `shutdown` write to.
+    #[must_use]
+    pub fn checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Live tenant count.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Serializes every tenant (name, shard, session state) into one
+    /// sealed server checkpoint. Sessions are nested as their own sealed
+    /// blobs, so a tenant extracted from a server checkpoint is itself a
+    /// valid [`decode_session`] input.
+    #[must_use]
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        put_len(&mut body, self.tenants.len());
+        for (name, tenant) in &self.tenants {
+            put_len(&mut body, name.len());
+            body.extend_from_slice(name.as_bytes());
+            put_len(&mut body, tenant.shard);
+            let blob = encode_session(tenant.session.as_ref());
+            put_len(&mut body, blob.len());
+            body.extend_from_slice(&blob);
+        }
+        checkpoint::seal(&body)
+    }
+
+    /// Replaces the tenant table from [`Server::checkpoint_bytes`]
+    /// output. Shard labels are remapped modulo the **current** shard
+    /// count (the label is placement metadata; a restore into a smaller
+    /// deployment must still place every tenant somewhere).
+    ///
+    /// On any error the existing table is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// A structured [`CheckpointError`] for malformed input — container
+    /// damage, duplicate or non-UTF-8 tenant names, or a corrupt nested
+    /// session.
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<usize, CheckpointError> {
+        let body = checkpoint::open(bytes)?;
+        let mut r = ByteReader::new(body);
+        let count = r.count(body.len(), "tenant")?;
+        let mut tenants = BTreeMap::new();
+        for _ in 0..count {
+            let name_len = r.count(body.len(), "tenant-name byte")?;
+            let name = std::str::from_utf8(r.bytes(name_len)?)
+                .map_err(|_| CheckpointError::malformed("tenant name is not UTF-8".to_string()))?
+                .to_owned();
+            let shard = r.count(usize::MAX, "shard label")?;
+            let blob_len = r.count(body.len(), "session-checkpoint byte")?;
+            let mut session = decode_session(r.bytes(blob_len)?)?;
+            session.set_threads(self.threads);
+            let tenant = Tenant {
+                session,
+                shard: shard % self.shards,
+            };
+            if tenants.insert(name.clone(), tenant).is_some() {
+                return Err(CheckpointError::malformed(format!(
+                    "duplicate tenant {name:?} in checkpoint"
+                )));
+            }
+        }
+        r.finish()?;
+        self.tenants = tenants;
+        self.next_shard = self.tenants.len() % self.shards;
+        Ok(count)
+    }
+
+    /// Handles one request; the returned [`Reply`] tells the serve loop
+    /// whether to keep going.
+    pub fn handle(&mut self, request: &Json) -> Reply {
+        let Some(op) = request.get("op").and_then(Json::as_str) else {
+            return Reply::Continue(err_response("bad-request", "missing string field \"op\""));
+        };
+        if op == "shutdown" {
+            let mut response = ok_response().field("shutdown", true);
+            if let Some(path) = self.checkpoint_path.clone() {
+                match self.write_checkpoint(&path) {
+                    Ok(()) => response = response.field("path", path.display().to_string()),
+                    Err(error) => return Reply::Shutdown(err_response("io", error)),
+                }
+            }
+            return Reply::Shutdown(response);
+        }
+        let response = match self.dispatch(op, request) {
+            Ok(response) | Err(response) => response,
+        };
+        Reply::Continue(response)
+    }
+
+    fn dispatch(&mut self, op: &str, request: &Json) -> Result<Json, Json> {
+        match op {
+            "open" => self.op_open(request),
+            "reveal" => self.op_reveal(request),
+            "reveals" => self.op_reveals(request),
+            "position" => self.op_position(request),
+            "cost" => self.op_cost(request),
+            "outcome" => self.op_outcome(request),
+            "tenants" => Ok(self.op_tenants()),
+            "migrate" => self.op_migrate(request),
+            "close" => self.op_close(request),
+            "checkpoint" => self.op_checkpoint(request),
+            "restore" => self.op_restore(request),
+            other => Err(err_response("unknown-op", format!("unknown op {other:?}"))),
+        }
+    }
+
+    fn tenant_mut(&mut self, request: &Json) -> Result<&mut Tenant, Json> {
+        let name = want_str(request, "tenant")?;
+        match self.tenants.get_mut(name) {
+            Some(tenant) => Ok(tenant),
+            None => Err(err_response(
+                "unknown-tenant",
+                format!("no tenant {name:?}"),
+            )),
+        }
+    }
+
+    fn op_open(&mut self, request: &Json) -> Result<Json, Json> {
+        let name = want_str(request, "tenant")?.to_owned();
+        if self.tenants.contains_key(&name) {
+            return Err(err_response(
+                "duplicate-tenant",
+                format!("tenant {name:?} is already open"),
+            ));
+        }
+        let spec = parse_spec(request)?;
+        let shard = match request.get("shard") {
+            None => {
+                let shard = self.next_shard;
+                self.next_shard = (self.next_shard + 1) % self.shards;
+                shard
+            }
+            Some(value) => self.parse_shard(value)?,
+        };
+        let mut session =
+            open_session(spec).map_err(|err| err_response("bad-request", err.to_string()))?;
+        session.set_threads(self.threads);
+        let response = ok_response()
+            .field("tenant", name.as_str())
+            .field("shard", shard)
+            .field("algorithm", session.algorithm_name());
+        self.tenants.insert(name, Tenant { session, shard });
+        Ok(response)
+    }
+
+    fn parse_shard(&self, value: &Json) -> Result<usize, Json> {
+        let shard = value
+            .as_usize()
+            .ok_or_else(|| err_response("bad-request", "shard must be an unsigned integer"))?;
+        if shard >= self.shards {
+            return Err(err_response(
+                "bad-request",
+                format!("shard {shard} out of range for {} shards", self.shards),
+            ));
+        }
+        Ok(shard)
+    }
+
+    fn op_reveal(&mut self, request: &Json) -> Result<Json, Json> {
+        let a = want_usize(request, "a")?;
+        let b = want_usize(request, "b")?;
+        let tenant = self.tenant_mut(request)?;
+        let event = parse_event(a, b, tenant.session.spec().n)?;
+        tenant
+            .session
+            .apply_events(&[event])
+            .map_err(|err| err_response(sim_code(&err), err.to_string()))?;
+        Ok(cost_fields(ok_response(), tenant.session.as_ref()))
+    }
+
+    fn op_reveals(&mut self, request: &Json) -> Result<Json, Json> {
+        let entries = request
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or_else(|| err_response("bad-request", "missing array field \"events\""))?;
+        let tenant = self.tenant_mut(request)?;
+        let n = tenant.session.spec().n;
+        let mut events = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let pair = entry.as_array().unwrap_or(&[]);
+            let (a, b) = match (pair.first(), pair.get(1), pair.len()) {
+                (Some(a), Some(b), 2) => (a.as_usize(), b.as_usize()),
+                _ => (None, None),
+            };
+            let (Some(a), Some(b)) = (a, b) else {
+                return Err(err_response(
+                    "bad-request",
+                    "each event must be a two-integer array [a, b]",
+                ));
+            };
+            events.push(parse_event(a, b, n)?);
+        }
+        let applied = tenant
+            .session
+            .apply_events(&events)
+            .map_err(|err| err_response(sim_code(&err), err.to_string()))?;
+        Ok(cost_fields(
+            ok_response().field("applied", applied),
+            tenant.session.as_ref(),
+        ))
+    }
+
+    fn op_position(&mut self, request: &Json) -> Result<Json, Json> {
+        let node = want_usize(request, "node")?;
+        let tenant = self.tenant_mut(request)?;
+        if node >= tenant.session.spec().n {
+            return Err(err_response(
+                "bad-request",
+                format!(
+                    "node {node} out of range for n = {}",
+                    tenant.session.spec().n
+                ),
+            ));
+        }
+        let position = tenant
+            .session
+            .position_of(Node::new(node))
+            .map_err(|err| err_response(sim_code(&err), err.to_string()))?;
+        Ok(ok_response()
+            .field("node", node)
+            .field("position", position))
+    }
+
+    fn op_cost(&mut self, request: &Json) -> Result<Json, Json> {
+        let tenant = self.tenant_mut(request)?;
+        Ok(cost_fields(ok_response(), tenant.session.as_ref())
+            .field("algorithm", tenant.session.algorithm_name()))
+    }
+
+    fn op_outcome(&mut self, request: &Json) -> Result<Json, Json> {
+        let tenant = self.tenant_mut(request)?;
+        let outcome = tenant.session.outcome();
+        let perm: Vec<Json> = outcome
+            .final_perm
+            .iter()
+            .map(|node| Json::from(node.index()))
+            .collect();
+        Ok(cost_fields(ok_response(), tenant.session.as_ref())
+            .field("total_cost", outcome.total_cost)
+            .field("perm", Json::Array(perm)))
+    }
+
+    fn op_tenants(&self) -> Json {
+        let list: Vec<Json> = self
+            .tenants
+            .iter()
+            .map(|(name, tenant)| {
+                Json::object()
+                    .field("tenant", name.as_str())
+                    .field("shard", tenant.shard)
+                    .field("algorithm", tenant.session.algorithm_name())
+                    .field("steps", tenant.session.steps())
+                    .field("n", tenant.session.spec().n)
+            })
+            .collect();
+        ok_response()
+            .field("shards", self.shards)
+            .field("tenants", Json::Array(list))
+    }
+
+    fn op_migrate(&mut self, request: &Json) -> Result<Json, Json> {
+        let shard = self.parse_shard(
+            request
+                .get("shard")
+                .ok_or_else(|| err_response("bad-request", "missing integer field \"shard\""))?,
+        )?;
+        let name = want_str(request, "tenant")?.to_owned();
+        let tenant = self.tenant_mut(request)?;
+        tenant.shard = shard;
+        Ok(ok_response().field("tenant", name).field("shard", shard))
+    }
+
+    fn op_close(&mut self, request: &Json) -> Result<Json, Json> {
+        let name = want_str(request, "tenant")?;
+        match self.tenants.remove(name) {
+            Some(_) => Ok(ok_response().field("tenant", name)),
+            None => Err(err_response(
+                "unknown-tenant",
+                format!("no tenant {name:?}"),
+            )),
+        }
+    }
+
+    fn op_checkpoint(&self, request: &Json) -> Result<Json, Json> {
+        let response = ok_response().field("tenants", self.tenants.len());
+        let path = match request.get("path") {
+            Some(value) => {
+                Some(PathBuf::from(value.as_str().ok_or_else(|| {
+                    err_response("bad-request", "path must be a string")
+                })?))
+            }
+            None => self.checkpoint_path.clone(),
+        };
+        match path {
+            Some(path) => {
+                self.write_checkpoint(&path)
+                    .map_err(|error| err_response("io", error))?;
+                Ok(response.field("path", path.display().to_string()))
+            }
+            None => Ok(response.field("bytes", encode_hex(&self.checkpoint_bytes()))),
+        }
+    }
+
+    fn write_checkpoint(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.checkpoint_bytes())
+            .map_err(|err| format!("writing checkpoint {}: {err}", path.display()))
+    }
+
+    fn op_restore(&mut self, request: &Json) -> Result<Json, Json> {
+        let bytes = match (request.get("bytes"), request.get("path")) {
+            (Some(value), None) => {
+                let text = value
+                    .as_str()
+                    .ok_or_else(|| err_response("bad-request", "bytes must be a hex string"))?;
+                decode_hex(text).map_err(|error| err_response("bad-request", error))?
+            }
+            (None, Some(value)) => {
+                let path = value
+                    .as_str()
+                    .ok_or_else(|| err_response("bad-request", "path must be a string"))?;
+                std::fs::read(path).map_err(|err| {
+                    err_response("io", format!("reading checkpoint {path}: {err}"))
+                })?
+            }
+            _ => {
+                return Err(err_response(
+                    "bad-request",
+                    "restore takes exactly one of \"bytes\" or \"path\"",
+                ))
+            }
+        };
+        let count = self
+            .restore_bytes(&bytes)
+            .map_err(|err| err_response("checkpoint", err.to_string()))?;
+        Ok(ok_response().field("tenants", count))
+    }
+}
+
+/// Appends the exact cost totals of a session to a response.
+fn cost_fields(response: Json, session: &dyn TenantSession) -> Json {
+    response
+        .field("steps", session.steps())
+        .field("moving_cost", session.moving_cost())
+        .field("rearranging_cost", session.rearranging_cost())
+}
+
+/// A bounds-checked reveal event (the check keeps [`Node::new`]'s
+/// capacity panic unreachable from wire input).
+fn parse_event(a: usize, b: usize, n: usize) -> Result<RevealEvent, Json> {
+    if a >= n || b >= n {
+        return Err(err_response(
+            "bad-request",
+            format!("reveal ({a}, {b}) out of range for n = {n}"),
+        ));
+    }
+    Ok(RevealEvent::new(Node::new(a), Node::new(b)))
+}
+
+/// Builds the [`SessionSpec`] of an `open` request.
+fn parse_spec(request: &Json) -> Result<SessionSpec, Json> {
+    let topology = match want_str(request, "topology")? {
+        "cliques" => Topology::Cliques,
+        "lines" => Topology::Lines,
+        other => {
+            return Err(err_response(
+                "bad-request",
+                format!("unknown topology {other:?} (want \"cliques\" or \"lines\")"),
+            ))
+        }
+    };
+    let n = want_usize(request, "n")?;
+    let policy = match want_str(request, "policy")? {
+        "rand" => PolicyKind::Rand,
+        "fair" => PolicyKind::Fair,
+        "smaller-moves" => PolicyKind::SmallerMoves,
+        "det" => PolicyKind::Det,
+        "opt" => PolicyKind::Opt,
+        other => {
+            return Err(err_response(
+                "bad-request",
+                format!(
+                    "unknown policy {other:?} (want \"rand\", \"fair\", \"smaller-moves\", \
+                     \"det\" or \"opt\")"
+                ),
+            ))
+        }
+    };
+    let backend = match request.get("backend").and_then(Json::as_str) {
+        None | Some("segment") => BackendKind::Segment,
+        Some("dense") => BackendKind::Dense,
+        Some(other) => {
+            return Err(err_response(
+                "bad-request",
+                format!("unknown backend {other:?} (want \"dense\" or \"segment\")"),
+            ))
+        }
+    };
+    let seed = match request.get("seed") {
+        None => 0,
+        Some(value) => value
+            .as_u64()
+            .ok_or_else(|| err_response("bad-request", "seed must be an unsigned integer"))?,
+    };
+    let mut spec = SessionSpec::new(topology, n, policy, backend, seed);
+    match request.get("record") {
+        None => {}
+        Some(value) => {
+            let mode = match (value.as_str(), value.as_usize()) {
+                (Some("full"), _) => RecordMode::Full,
+                (Some("off"), _) => RecordMode::Off,
+                (None, Some(window)) => RecordMode::Window(window),
+                _ => {
+                    return Err(err_response(
+                        "bad-request",
+                        "record must be \"full\", \"off\" or a window size",
+                    ))
+                }
+            };
+            spec = spec.record(mode);
+        }
+    }
+    match request.get("check_feasibility") {
+        None => {}
+        Some(value) => {
+            let on = value.as_bool().ok_or_else(|| {
+                err_response("bad-request", "check_feasibility must be a boolean")
+            })?;
+            spec = spec.check_feasibility(on);
+        }
+    }
+    if let Some(value) = request.get("target") {
+        let entries = value
+            .as_array()
+            .ok_or_else(|| err_response("bad-request", "target must be an array of nodes"))?;
+        let mut nodes = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let index = entry.as_usize().ok_or_else(|| {
+                err_response("bad-request", "target entries must be unsigned integers")
+            })?;
+            if index >= n {
+                return Err(err_response(
+                    "bad-request",
+                    format!("target node {index} out of range for n = {n}"),
+                ));
+            }
+            nodes.push(Node::new(index));
+        }
+        let target = Permutation::from_nodes(nodes)
+            .map_err(|err| err_response("bad-request", err.to_string()))?;
+        spec = spec.target(target);
+    }
+    Ok(spec)
+}
+
+/// Serves frames from `reader` until end of stream, a `shutdown` op, or
+/// a wire-level failure. Returns `true` iff a `shutdown` op stopped the
+/// loop — on a TCP daemon, end-of-stream means "peer disconnected, keep
+/// accepting" while shutdown means "exit the process".
+///
+/// Malformed JSON in a well-framed payload gets a `bad-json` error
+/// response and the loop continues (the frame boundary is intact). A
+/// broken frame header, truncation or an I/O failure desyncs the byte
+/// stream: the loop sends a best-effort `wire` error and returns the
+/// failure.
+///
+/// # Errors
+///
+/// [`WireError`] when the stream desyncs or the transport fails.
+pub fn serve_loop(
+    server: &mut Server,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+) -> Result<bool, WireError> {
+    loop {
+        match read_frame(reader) {
+            Ok(None) => return Ok(false),
+            Ok(Some(request)) => match server.handle(&request) {
+                Reply::Continue(response) => write_frame(writer, &response)?,
+                Reply::Shutdown(response) => {
+                    write_frame(writer, &response)?;
+                    return Ok(true);
+                }
+            },
+            Err(WireError::Json(err)) => {
+                write_frame(writer, &err_response("bad-json", err.to_string()))?;
+            }
+            Err(err) => {
+                let _ = write_frame(writer, &err_response("wire", err.to_string()));
+                return Err(err);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(response: &Json) -> bool {
+        response.get("ok").and_then(Json::as_bool) == Some(true)
+    }
+
+    fn code(response: &Json) -> &str {
+        response.get("code").and_then(Json::as_str).unwrap_or("")
+    }
+
+    fn continue_response(reply: Reply) -> Json {
+        match reply {
+            Reply::Continue(response) => response,
+            Reply::Shutdown(response) => panic!("unexpected shutdown: {response:?}"),
+        }
+    }
+
+    fn request(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
+    fn open_tenant(server: &mut Server, name: &str, n: usize) -> Json {
+        continue_response(server.handle(&request(&format!(
+            "{{\"op\":\"open\",\"tenant\":\"{name}\",\"topology\":\"cliques\",\
+             \"n\":{n},\"policy\":\"rand\",\"seed\":7}}"
+        ))))
+    }
+
+    #[test]
+    fn open_reveal_query_close_lifecycle() {
+        let mut server = Server::new(4, 1);
+        let opened = open_tenant(&mut server, "t0", 8);
+        assert!(ok(&opened), "{opened:?}");
+        assert_eq!(opened.get("shard").and_then(Json::as_usize), Some(0));
+
+        let served = continue_response(server.handle(&request(
+            "{\"op\":\"reveals\",\"tenant\":\"t0\",\"events\":[[0,1],[2,3],[0,2]]}",
+        )));
+        assert!(ok(&served), "{served:?}");
+        assert_eq!(served.get("steps").and_then(Json::as_usize), Some(3));
+        assert_eq!(served.get("applied").and_then(Json::as_usize), Some(3));
+
+        let position = continue_response(server.handle(&request(
+            "{\"op\":\"position\",\"tenant\":\"t0\",\"node\":5}",
+        )));
+        assert!(ok(&position), "{position:?}");
+        assert!(position.get("position").and_then(Json::as_usize).is_some());
+
+        let outcome =
+            continue_response(server.handle(&request("{\"op\":\"outcome\",\"tenant\":\"t0\"}")));
+        assert_eq!(
+            outcome
+                .get("perm")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(8)
+        );
+
+        let closed =
+            continue_response(server.handle(&request("{\"op\":\"close\",\"tenant\":\"t0\"}")));
+        assert!(ok(&closed), "{closed:?}");
+        let gone =
+            continue_response(server.handle(&request("{\"op\":\"cost\",\"tenant\":\"t0\"}")));
+        assert_eq!(code(&gone), "unknown-tenant");
+    }
+
+    #[test]
+    fn malformed_requests_get_stable_error_codes() {
+        let mut server = Server::new(2, 1);
+        let opened = open_tenant(&mut server, "t0", 4);
+        assert!(ok(&opened), "{opened:?}");
+        let cases = [
+            ("{\"n\":4}", "bad-request"),
+            ("{\"op\":\"frobnicate\"}", "unknown-op"),
+            ("{\"op\":\"cost\",\"tenant\":\"nope\"}", "unknown-tenant"),
+            (
+                "{\"op\":\"open\",\"tenant\":\"t0\",\"topology\":\"cliques\",\"n\":4,\
+                 \"policy\":\"rand\"}",
+                "duplicate-tenant",
+            ),
+            (
+                "{\"op\":\"open\",\"tenant\":\"t1\",\"topology\":\"rings\",\"n\":4,\
+                 \"policy\":\"rand\"}",
+                "bad-request",
+            ),
+            (
+                "{\"op\":\"open\",\"tenant\":\"t1\",\"topology\":\"cliques\",\"n\":4,\
+                 \"policy\":\"opt\"}",
+                "bad-request",
+            ),
+            (
+                "{\"op\":\"reveal\",\"tenant\":\"t0\",\"a\":0,\"b\":9}",
+                "bad-request",
+            ),
+            (
+                "{\"op\":\"reveals\",\"tenant\":\"t0\",\"events\":[[0]]}",
+                "bad-request",
+            ),
+            (
+                "{\"op\":\"migrate\",\"tenant\":\"t0\",\"shard\":7}",
+                "bad-request",
+            ),
+            ("{\"op\":\"restore\",\"bytes\":\"zz\"}", "bad-request"),
+            ("{\"op\":\"restore\",\"bytes\":\"00ff\"}", "checkpoint"),
+        ];
+        for (text, want) in cases {
+            let response = continue_response(server.handle(&request(text)));
+            assert_eq!(code(&response), want, "{text} -> {response:?}");
+        }
+        // A merge of two nodes already in one component is a graph error.
+        let merged = continue_response(server.handle(&request(
+            "{\"op\":\"reveal\",\"tenant\":\"t0\",\"a\":0,\"b\":1}",
+        )));
+        assert!(ok(&merged), "{merged:?}");
+        let again = continue_response(server.handle(&request(
+            "{\"op\":\"reveal\",\"tenant\":\"t0\",\"a\":0,\"b\":1}",
+        )));
+        assert_eq!(code(&again), "graph");
+    }
+
+    #[test]
+    fn server_checkpoint_roundtrips_every_tenant() {
+        let mut server = Server::new(3, 1);
+        for (index, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+            let opened = open_tenant(&mut server, name, 8 + index);
+            assert!(ok(&opened), "{opened:?}");
+        }
+        let served = continue_response(server.handle(&request(
+            "{\"op\":\"reveals\",\"tenant\":\"beta\",\"events\":[[0,1],[2,3]]}",
+        )));
+        assert!(ok(&served), "{served:?}");
+        let migrated = continue_response(server.handle(&request(
+            "{\"op\":\"migrate\",\"tenant\":\"alpha\",\"shard\":2}",
+        )));
+        assert!(ok(&migrated), "{migrated:?}");
+
+        let bytes = server.checkpoint_bytes();
+        let mut restored = Server::new(3, 1);
+        assert_eq!(restored.restore_bytes(&bytes).unwrap(), 3);
+        let before = continue_response(server.handle(&request("{\"op\":\"tenants\"}")));
+        let after = continue_response(restored.handle(&request("{\"op\":\"tenants\"}")));
+        assert_eq!(before, after);
+
+        // Replay after restore matches replay without the roundtrip.
+        let frame = "{\"op\":\"reveals\",\"tenant\":\"beta\",\"events\":[[4,5],[0,2]]}";
+        let direct = continue_response(server.handle(&request(frame)));
+        let resumed = continue_response(restored.handle(&request(frame)));
+        assert_eq!(direct, resumed);
+    }
+
+    #[test]
+    fn restore_remaps_shards_into_smaller_deployments() {
+        let mut server = Server::new(8, 1);
+        let opened = open_tenant(&mut server, "t0", 6);
+        assert!(ok(&opened), "{opened:?}");
+        let migrated = continue_response(server.handle(&request(
+            "{\"op\":\"migrate\",\"tenant\":\"t0\",\"shard\":5}",
+        )));
+        assert!(ok(&migrated), "{migrated:?}");
+        let mut smaller = Server::new(2, 1);
+        smaller.restore_bytes(&server.checkpoint_bytes()).unwrap();
+        let listed = continue_response(smaller.handle(&request("{\"op\":\"tenants\"}")));
+        let tenants = listed.get("tenants").and_then(Json::as_array).unwrap();
+        assert_eq!(tenants[0].get("shard").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn corrupt_server_checkpoints_are_structured_errors() {
+        let mut server = Server::new(2, 1);
+        let opened = open_tenant(&mut server, "t0", 8);
+        assert!(ok(&opened), "{opened:?}");
+        let good = server.checkpoint_bytes();
+        let mut fresh = Server::new(2, 1);
+        for cut in 0..good.len() {
+            assert!(fresh.restore_bytes(&good[..cut]).is_err(), "cut {cut}");
+            assert_eq!(fresh.tenant_count(), 0, "table must stay untouched");
+        }
+        let mut flipped = good.clone();
+        flipped[good.len() / 2] ^= 0x10;
+        assert!(fresh.restore_bytes(&flipped).is_err());
+    }
+
+    #[test]
+    fn serve_loop_speaks_the_wire_protocol() {
+        let mut server = Server::new(2, 1);
+        let mut input = Vec::new();
+        for text in [
+            "{\"op\":\"open\",\"tenant\":\"t0\",\"topology\":\"lines\",\"n\":6,\
+             \"policy\":\"det\"}",
+            "{\"op\":\"reveal\",\"tenant\":\"t0\",\"a\":0,\"b\":1}",
+            "not json",
+            "{\"op\":\"shutdown\"}",
+        ] {
+            if let Ok(message) = Json::parse(text) {
+                write_frame(&mut input, &message).unwrap();
+            } else {
+                input.extend_from_slice(format!("{}\n{text}\n", text.len()).as_bytes());
+            }
+        }
+        let mut output = Vec::new();
+        let shut_down =
+            serve_loop(&mut server, &mut std::io::Cursor::new(input), &mut output).unwrap();
+        assert!(shut_down);
+        let mut r = std::io::Cursor::new(output);
+        let mut responses = Vec::new();
+        while let Some(response) = read_frame(&mut r).unwrap() {
+            responses.push(response);
+        }
+        assert_eq!(responses.len(), 4);
+        assert!(ok(&responses[0]), "{:?}", responses[0]);
+        assert!(ok(&responses[1]), "{:?}", responses[1]);
+        assert_eq!(code(&responses[2]), "bad-json");
+        assert_eq!(
+            responses[3].get("shutdown").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+}

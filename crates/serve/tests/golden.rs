@@ -1,0 +1,112 @@
+//! Golden checkpoint compatibility: a fixture produced by the version-1
+//! codec is committed to the repository, and this suite proves that
+//! today's decoder still accepts it **and** resumes it to the exact
+//! historical outcome. Any incompatible codec change trips this test —
+//! the fix is a version bump plus a migration path, never a silent
+//! format break.
+//!
+//! Regenerate (after an intentional, versioned format change) with:
+//!
+//! ```text
+//! cargo test -p mla-serve --test golden -- --ignored
+//! ```
+
+use mla_graph::{RevealEvent, Topology};
+use mla_permutation::Node;
+use mla_sim::{decode_session, encode_session, open_session, BackendKind, PolicyKind, SessionSpec};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/session-v1.ckpt");
+
+/// The fixture's reveal script: a fixed merge tournament on 12 nodes
+/// (hardcoded, so the fixture never depends on adversary-generator
+/// internals). Merges pair **distant** nodes so every step forces real
+/// movement — the costs pinned below are non-trivial. The checkpoint
+/// was taken after [`CUT`] reveals.
+const EVENTS: [(usize, usize); 11] = [
+    (0, 6),
+    (1, 7),
+    (2, 8),
+    (0, 1),
+    (3, 9),
+    (4, 10),
+    (2, 3),
+    (5, 11),
+    (0, 2),
+    (4, 5),
+    (0, 4),
+];
+const CUT: usize = 6;
+
+/// Historical values pinned at fixture-generation time. `regenerate`
+/// prints fresh ones.
+const MID_TOTAL_COST: u128 = 19;
+const FINAL_TOTAL_COST: u128 = 37;
+
+fn fixture_spec() -> SessionSpec {
+    SessionSpec::new(
+        Topology::Cliques,
+        12,
+        PolicyKind::Rand,
+        BackendKind::Segment,
+        42,
+    )
+}
+
+fn events(range: std::ops::Range<usize>) -> Vec<RevealEvent> {
+    EVENTS[range]
+        .iter()
+        .map(|&(a, b)| RevealEvent::new(Node::new(a), Node::new(b)))
+        .collect()
+}
+
+#[test]
+fn golden_fixture_still_decodes_and_resumes_to_the_historical_outcome() {
+    let bytes = std::fs::read(FIXTURE)
+        .expect("missing fixture — run `cargo test -p mla-serve --test golden -- --ignored`");
+    let mut session = decode_session(&bytes).expect("version-1 fixture must keep decoding");
+
+    let spec = session.spec().clone();
+    assert_eq!(spec, fixture_spec(), "fixture spec drifted");
+    assert_eq!(session.steps(), CUT);
+    assert_eq!(session.outcome().total_cost, MID_TOTAL_COST);
+
+    session.apply_events(&events(CUT..EVENTS.len())).unwrap();
+    let resumed = session.outcome();
+    assert_eq!(resumed.total_cost, FINAL_TOTAL_COST);
+
+    // The resumed historical session and a fresh uninterrupted run are
+    // bit-identical — the crash-recovery contract, pinned across codec
+    // versions.
+    let mut fresh = open_session(fixture_spec()).unwrap();
+    fresh.apply_events(&events(0..EVENTS.len())).unwrap();
+    assert_eq!(resumed, fresh.outcome());
+}
+
+#[test]
+fn reencoding_the_fixture_is_byte_stable() {
+    let bytes = std::fs::read(FIXTURE)
+        .expect("missing fixture — run `cargo test -p mla-serve --test golden -- --ignored`");
+    let session = decode_session(&bytes).unwrap();
+    assert_eq!(
+        encode_session(session.as_ref()),
+        bytes,
+        "decode → encode must reproduce the committed bytes exactly"
+    );
+}
+
+#[test]
+#[ignore = "writes the committed fixture; run only after an intentional format change"]
+fn regenerate_golden_fixture() {
+    let mut session = open_session(fixture_spec()).unwrap();
+    session.apply_events(&events(0..CUT)).unwrap();
+    let bytes = encode_session(session.as_ref());
+    let mid_total = session.outcome().total_cost;
+    session.apply_events(&events(CUT..EVENTS.len())).unwrap();
+    let final_total = session.outcome().total_cost;
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
+    std::fs::write(FIXTURE, &bytes).unwrap();
+    println!(
+        "wrote {} bytes to {FIXTURE}\nMID_TOTAL_COST = {mid_total}\nFINAL_TOTAL_COST = {final_total}",
+        bytes.len()
+    );
+}

@@ -1,0 +1,86 @@
+//! Subprocess driver for the `mla-serve` daemon: spawn the real binary,
+//! speak the wire protocol over its pipes, and kill it hard (SIGKILL)
+//! to simulate crashes. Shared by the crash-recovery and soak suites.
+
+use std::io::BufReader;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use mla_runner::{read_frame, write_frame, Json};
+
+/// A live `mla-serve` subprocess with its wire pipes.
+pub struct Daemon {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    /// Spawns the daemon binary built by this test profile.
+    pub fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_mla-serve"))
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn mla-serve");
+        let stdin = child.stdin.take().expect("child stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        Daemon {
+            child,
+            stdin: Some(stdin),
+            stdout,
+        }
+    }
+
+    /// Sends one request (JSON text) and returns the response.
+    pub fn request(&mut self, text: &str) -> Json {
+        let message = Json::parse(text).expect("request must be valid JSON");
+        let stdin = self.stdin.as_mut().expect("daemon stdin already closed");
+        write_frame(stdin, &message).expect("write request frame");
+        read_frame(&mut self.stdout)
+            .expect("read response frame")
+            .expect("daemon closed the stream mid-conversation")
+    }
+
+    /// Sends a request and asserts the response is `"ok": true`.
+    pub fn request_ok(&mut self, text: &str) -> Json {
+        let response = self.request(text);
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {text} failed: {response:?}"
+        );
+        response
+    }
+
+    /// SIGKILL — the crash being recovered from. No shutdown op, no
+    /// flush, no goodbye.
+    pub fn kill9(mut self) {
+        self.child.kill().expect("kill -9 the daemon");
+        let _ = self.child.wait();
+    }
+
+    /// Clean shutdown through the protocol; waits for process exit.
+    pub fn shutdown(mut self) {
+        let response = self.request("{\"op\":\"shutdown\"}");
+        assert_eq!(response.get("shutdown").and_then(Json::as_bool), Some(true));
+        drop(self.stdin.take());
+        let status = self.child.wait().expect("wait for daemon exit");
+        assert!(status.success(), "daemon exited with {status:?}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Never leak a daemon when an assertion fails mid-test.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Renders `[[a,b],…]` for a `reveals` request.
+pub fn events_json(events: &[(usize, usize)]) -> String {
+    let entries: Vec<String> = events.iter().map(|&(a, b)| format!("[{a},{b}]")).collect();
+    format!("[{}]", entries.join(","))
+}

@@ -356,8 +356,9 @@ impl<A: OnlineMinla> Simulation<A> {
     }
 }
 
-/// Default maximal look-ahead window of the batched executor.
-const DEFAULT_BATCH_WINDOW: usize = 4096;
+/// Default maximal look-ahead window of the batched executor (shared
+/// with the session layer's internal planner).
+pub(crate) const DEFAULT_BATCH_WINDOW: usize = 4096;
 
 /// Debug-build re-check of the planner's sealing contract: every span in
 /// a sealed batch must be pairwise disjoint, or the partitioned-write
@@ -383,6 +384,140 @@ fn assert_batch_spans_disjoint(batch: &[crate::batch::PlannedReveal]) {
             );
         }
     }
+}
+
+/// Incremental feasibility check shared by the batch execution paths:
+/// validates the merged component's block (and, under `full_scan`, the
+/// whole arrangement) against the post-merge state.
+fn batch_step_feasible<P: Arrangement>(
+    state: &GraphState,
+    arr: &P,
+    info: &mla_graph::MergeInfo,
+    full_scan: bool,
+) -> bool {
+    state.merge_keeps_minla(arr, info) && (!full_scan || state.is_minla(arr))
+}
+
+/// Executes one **sealed** batch of span-disjoint planned reveals through
+/// the decide / plan / apply pipeline — phases 2–4 of the batched
+/// executor (see [`Simulation::parallel`]), with per-reveal feasibility
+/// checks and recording.
+///
+/// This is the single execution path shared by [`ParallelSimulation::run`]
+/// and the serving session layer ([`crate::session`]): both therefore
+/// apply merges through byte-identical code, which is what makes a
+/// checkpoint taken mid-stream resumable into either driver.
+///
+/// The caller owns the planning half of the contract: `batch` must come
+/// from [`BatchPlanner::plan_batch_into`] against the *current* `state`
+/// and arrangement, and [`BatchPlanner::retire_batch`] must be called
+/// after this returns `Ok`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_planned_batch<A: BatchServe>(
+    algorithm: &mut A,
+    state: &mut GraphState,
+    recorder: &mut Recorder,
+    batch: &[crate::batch::PlannedReveal],
+    decisions: &mut Vec<MergeDecision>,
+    threads: usize,
+    check_feasibility: bool,
+    full_scan: bool,
+) -> Result<(), SimError>
+where
+    A::Arr: Sync,
+{
+    // Batch of one — the parked degraded mode, and the tail of every
+    // run: skip the whole phase machinery (decision/plan/op staging
+    // vectors, the backend's batch dispatch) and run the exact
+    // sequential pipeline inline. Identical semantics — decide, build,
+    // commit, one `merge_move` — just without the bookkeeping, so a
+    // conflict-dense parallel run is never slower than the sequential
+    // loop.
+    if batch.len() == 1 {
+        let planned = &batch[0];
+        let decision = algorithm.decide(&planned.info, &planned.layout);
+        let plan = A::build_plan(&planned.info, &planned.layout, decision);
+        state.commit(planned.event);
+        let report = algorithm.apply_plan(plan);
+        if check_feasibility
+            && !batch_step_feasible(state, algorithm.arrangement(), &planned.info, full_scan)
+        {
+            return Err(SimError::FeasibilityViolation {
+                step: recorder.step() + 1,
+                algorithm: algorithm.name().to_owned(),
+            });
+        }
+        recorder.record(planned.event, report);
+        return Ok(());
+    }
+    // Phase 2: RNG draws, strictly in reveal order.
+    decisions.clear();
+    decisions.extend(batch.iter().map(|p| algorithm.decide(&p.info, &p.layout)));
+    // Phase 3: pure plan construction. Only line merges carry per-plan
+    // staging buffers (the merged path's target content), so only they
+    // are worth a parallel dispatch.
+    let plans: Vec<MergePlan> = if threads > 1
+        && batch.len() >= PARALLEL_DISPATCH_MIN
+        && state.topology() == Topology::Lines
+    {
+        let decisions = &*decisions;
+        mla_runner::run_indexed(threads, batch.len(), |i| {
+            A::build_plan(&batch[i].info, &batch[i].layout, decisions[i])
+        })
+    } else {
+        batch
+            .iter()
+            .zip(decisions.iter())
+            .map(|(p, &decision)| A::build_plan(&p.info, &p.layout, decision))
+            .collect()
+    };
+    // Phase 4: commit the graph mutations (reveal order, `O(α)` each),
+    // then execute the whole batch of span-disjoint merges through the
+    // backend — partitioned backends
+    // ([`mla_permutation::ShardedArrangement`]) run ops of different
+    // regions on worker threads. Disjoint spans commute, so the
+    // arrangement is bit-identical to the sequential per-reveal loop.
+    // Debug-build shadow check: re-verify the planner's sealing promise
+    // with an independent algorithm (sort + adjacent comparison, vs the
+    // planner's ordered-map probes) before any state mutation. Compiled
+    // out of release builds.
+    #[cfg(debug_assertions)]
+    assert_batch_spans_disjoint(batch);
+    let mut reports = Vec::with_capacity(batch.len());
+    let mut ops = Vec::with_capacity(batch.len());
+    for (planned, plan) in batch.iter().zip(plans) {
+        state.commit(planned.event);
+        reports.push(plan.report);
+        ops.push(MergeOp {
+            mover: plan.mover,
+            stayer: plan.stayer,
+            target: plan.target,
+        });
+    }
+    let costs = algorithm.arrangement_mut().apply_merge_batch(ops, threads);
+    debug_assert!(
+        costs
+            .iter()
+            .zip(&reports)
+            .all(|(&cost, report)| cost == report.moving_cost),
+        "backend charged a different moving cost than the plan"
+    );
+    // Checks and recording, in reveal order. Feasibility is validated
+    // against the post-batch state; because batch spans are disjoint,
+    // each merged component's block is exactly what the per-reveal
+    // check would have seen.
+    for (planned, report) in batch.iter().zip(reports) {
+        if check_feasibility
+            && !batch_step_feasible(state, algorithm.arrangement(), &planned.info, full_scan)
+        {
+            return Err(SimError::FeasibilityViolation {
+                step: recorder.step() + 1,
+                algorithm: algorithm.name().to_owned(),
+            });
+        }
+        recorder.record(planned.event, report);
+    }
+    Ok(())
 }
 
 /// The batched parallel executor returned by [`Simulation::parallel`].
@@ -512,116 +647,18 @@ where
                     &mut batch,
                 )
                 .map_err(SimError::Graph)?;
-            // Batch of one — the parked degraded mode, and the tail of
-            // every run: skip the whole phase machinery (decision/plan/op
-            // staging vectors, the backend's batch dispatch) and run the
-            // exact sequential pipeline inline. Identical semantics —
-            // decide, build, commit, one `merge_move` — just without the
-            // bookkeeping, so a conflict-dense parallel run is never
-            // slower than the sequential loop.
-            if batch.len() == 1 {
-                let planned = &batch[0];
-                let decision = self.sim.algorithm.decide(&planned.info, &planned.layout);
-                let plan = A::build_plan(&planned.info, &planned.layout, decision);
-                state.commit(planned.event);
-                let report = self.sim.algorithm.apply_plan(plan);
-                if self.sim.check_feasibility {
-                    let feasible = state
-                        .merge_keeps_minla(self.sim.algorithm.arrangement(), &planned.info)
-                        && (!self.sim.full_scan
-                            || state.is_minla(self.sim.algorithm.arrangement()));
-                    if !feasible {
-                        return Err(SimError::FeasibilityViolation {
-                            step: recorder.step() + 1,
-                            algorithm: self.sim.algorithm.name().to_owned(),
-                        });
-                    }
-                }
-                recorder.record(planned.event, report);
-                planner.retire_batch(&state, &batch);
-                continue;
-            }
-            // Phase 2: RNG draws, strictly in reveal order.
-            decisions.clear();
-            decisions.extend(
-                batch
-                    .iter()
-                    .map(|p| self.sim.algorithm.decide(&p.info, &p.layout)),
-            );
-            // Phase 3: pure plan construction. Only line merges carry
-            // per-plan staging buffers (the merged path's target
-            // content), so only they are worth a parallel dispatch.
-            let plans: Vec<MergePlan> = if threads > 1
-                && batch.len() >= PARALLEL_DISPATCH_MIN
-                && state.topology() == Topology::Lines
-            {
-                let batch = &batch;
-                let decisions = &decisions;
-                mla_runner::run_indexed(threads, batch.len(), |i| {
-                    A::build_plan(&batch[i].info, &batch[i].layout, decisions[i])
-                })
-            } else {
-                batch
-                    .iter()
-                    .zip(&decisions)
-                    .map(|(p, &decision)| A::build_plan(&p.info, &p.layout, decision))
-                    .collect()
-            };
-            // Phase 4: commit the graph mutations (reveal order, `O(α)`
-            // each), then execute the whole batch of span-disjoint merges
-            // through the backend — partitioned backends
-            // ([`mla_permutation::ShardedArrangement`]) run ops of
-            // different regions on worker threads. Disjoint spans
-            // commute, so the arrangement is bit-identical to the
-            // sequential per-reveal loop.
-            // Debug-build shadow check: re-verify the planner's sealing
-            // promise with an independent algorithm (sort + adjacent
-            // comparison, vs the planner's ordered-map probes) before any
-            // state mutation. Compiled out of release builds.
-            #[cfg(debug_assertions)]
-            assert_batch_spans_disjoint(&batch);
-            let mut reports = Vec::with_capacity(batch.len());
-            let mut ops = Vec::with_capacity(batch.len());
-            for (planned, plan) in batch.iter().zip(plans) {
-                state.commit(planned.event);
-                reports.push(plan.report);
-                ops.push(MergeOp {
-                    mover: plan.mover,
-                    stayer: plan.stayer,
-                    target: plan.target,
-                });
-            }
-            let costs = self
-                .sim
-                .algorithm
-                .arrangement_mut()
-                .apply_merge_batch(ops, threads);
-            debug_assert!(
-                costs
-                    .iter()
-                    .zip(&reports)
-                    .all(|(&cost, report)| cost == report.moving_cost),
-                "backend charged a different moving cost than the plan"
-            );
-            // Checks and recording, in reveal order. Feasibility is
-            // validated against the post-batch state; because batch spans
-            // are disjoint, each merged component's block is exactly what
-            // the per-reveal check would have seen.
-            for (planned, report) in batch.iter().zip(reports) {
-                if self.sim.check_feasibility {
-                    let feasible = state
-                        .merge_keeps_minla(self.sim.algorithm.arrangement(), &planned.info)
-                        && (!self.sim.full_scan
-                            || state.is_minla(self.sim.algorithm.arrangement()));
-                    if !feasible {
-                        return Err(SimError::FeasibilityViolation {
-                            step: recorder.step() + 1,
-                            algorithm: self.sim.algorithm.name().to_owned(),
-                        });
-                    }
-                }
-                recorder.record(planned.event, report);
-            }
+            // Phases 2–4 (decide / build / apply), shared with the
+            // serving session layer.
+            execute_planned_batch(
+                &mut self.sim.algorithm,
+                &mut state,
+                &mut recorder,
+                &batch,
+                &mut decisions,
+                threads,
+                self.sim.check_feasibility,
+                self.sim.full_scan,
+            )?;
             planner.retire_batch(&state, &batch);
         }
         Ok(recorder.finish(self.sim.algorithm.arrangement().to_permutation()))
@@ -630,9 +667,11 @@ where
 
 /// Shared outcome accumulator of the sequential and batched run loops:
 /// exact `u128` cost totals, plus full, windowed or no per-event
-/// recording.
-#[derive(Debug)]
-struct Recorder {
+/// recording. `pub(crate)` so the serving session layer
+/// ([`crate::session`]) accumulates through the identical code path and
+/// can checkpoint/restore the accumulator state exactly.
+#[derive(Debug, Clone)]
+pub(crate) struct Recorder {
     full: bool,
     window: Option<usize>,
     per_event: VecDeque<UpdateReport>,
@@ -643,7 +682,7 @@ struct Recorder {
 }
 
 impl Recorder {
-    fn new(full: bool, window: Option<usize>) -> Self {
+    pub(crate) fn new(full: bool, window: Option<usize>) -> Self {
         Recorder {
             full,
             window,
@@ -656,11 +695,117 @@ impl Recorder {
     }
 
     /// Reveals recorded so far (independent of what is retained).
-    fn step(&self) -> usize {
+    pub(crate) fn step(&self) -> usize {
         self.step
     }
 
-    fn record(&mut self, event: RevealEvent, report: UpdateReport) {
+    /// Exact accumulated moving cost.
+    pub(crate) fn moving_cost(&self) -> u128 {
+        self.moving_cost
+    }
+
+    /// Exact accumulated rearranging cost.
+    pub(crate) fn rearranging_cost(&self) -> u128 {
+        self.rearranging_cost
+    }
+
+    /// The record mode `(full, window)` this recorder was built with.
+    pub(crate) fn mode(&self) -> (bool, Option<usize>) {
+        (self.full, self.window)
+    }
+
+    /// Non-consuming [`Recorder::finish`]: snapshots the accumulator into
+    /// a [`RunOutcome`] without ending the run — the session layer
+    /// answers outcome queries mid-stream.
+    pub(crate) fn outcome_snapshot(&self, final_perm: Permutation) -> RunOutcome {
+        self.clone().finish(final_perm)
+    }
+
+    /// Serializes the accumulator exactly: totals, step counter, record
+    /// mode, and every retained (event, report) pair in retention order.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        use mla_permutation::codec::{put_bool, put_len, put_u128, put_u64};
+        put_bool(out, self.full);
+        match self.window {
+            None => put_bool(out, false),
+            Some(k) => {
+                put_bool(out, true);
+                put_len(out, k);
+            }
+        }
+        put_u128(out, self.moving_cost);
+        put_u128(out, self.rearranging_cost);
+        put_len(out, self.step);
+        put_len(out, self.per_event.len());
+        for (report, event) in self.per_event.iter().zip(&self.events) {
+            put_u64(out, report.moving_cost);
+            put_u64(out, report.rearranging_cost);
+            // mla-lint: allow(cast-hygiene): node indices are < n <= MAX_NODES < 2^32
+            out.extend_from_slice(&(event.a().index() as u32).to_le_bytes());
+            // mla-lint: allow(cast-hygiene): node indices are < n <= MAX_NODES < 2^32
+            out.extend_from_slice(&(event.b().index() as u32).to_le_bytes());
+        }
+    }
+
+    /// Inverse of [`Recorder::encode_into`], validating internal
+    /// consistency (retention never exceeds the step count or the
+    /// window; node indices stay below `n`).
+    pub(crate) fn decode_from(
+        r: &mut mla_permutation::codec::ByteReader<'_>,
+        n: usize,
+    ) -> Result<Self, mla_permutation::codec::CodecError> {
+        use mla_permutation::codec::CodecError;
+        let full = r.bool("recorder full flag")?;
+        let window = if r.bool("recorder window flag")? {
+            Some(r.count(usize::MAX, "recorder window")?)
+        } else {
+            None
+        };
+        let moving_cost = r.u128()?;
+        let rearranging_cost = r.u128()?;
+        let step = r.count(usize::MAX, "recorder step")?;
+        let retained = r.count(step, "recorder retained entries")?;
+        if !full {
+            let cap = window.unwrap_or(0);
+            if retained > cap {
+                return Err(CodecError::invalid(format!(
+                    "recorder retains {retained} entries but the window is {cap}"
+                )));
+            }
+        }
+        let mut per_event = VecDeque::with_capacity(retained);
+        let mut events = VecDeque::with_capacity(retained);
+        for _ in 0..retained {
+            let moving = r.u64()?;
+            let rearranging = r.u64()?;
+            let a = r.u32()? as usize;
+            let b = r.u32()? as usize;
+            if a >= n || b >= n {
+                return Err(CodecError::invalid(format!(
+                    "recorded event ({a}, {b}) out of range for n = {n}"
+                )));
+            }
+            per_event.push_back(UpdateReport {
+                moving_cost: moving,
+                rearranging_cost: rearranging,
+            });
+            events.push_back(RevealEvent::new(
+                mla_permutation::Node::new(a),
+                mla_permutation::Node::new(b),
+            ));
+        }
+        Ok(Recorder {
+            full,
+            window,
+            per_event,
+            events,
+            moving_cost,
+            rearranging_cost,
+            step,
+        })
+    }
+
+    pub(crate) fn record(&mut self, event: RevealEvent, report: UpdateReport) {
         self.step += 1;
         self.moving_cost += u128::from(report.moving_cost);
         self.rearranging_cost += u128::from(report.rearranging_cost);
@@ -680,7 +825,7 @@ impl Recorder {
         self.events.push_back(event);
     }
 
-    fn finish(self, final_perm: Permutation) -> RunOutcome {
+    pub(crate) fn finish(self, final_perm: Permutation) -> RunOutcome {
         RunOutcome {
             total_cost: self.moving_cost + self.rearranging_cost,
             moving_cost: self.moving_cost,

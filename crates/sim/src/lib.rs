@@ -54,16 +54,23 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod checkpoint;
 mod engine;
 mod error;
 mod experiment;
 pub mod experiments;
+pub mod session;
 mod stats;
 mod table;
 
 pub use batch::{conflict_graph_allocations, BatchPlanner, ConflictGraph, PlannedReveal};
+pub use checkpoint::CheckpointError;
 pub use engine::{ParallelSimulation, RunOutcome, Simulation};
 pub use error::SimError;
 pub use experiment::{all_experiments, find_experiment, Experiment, ExperimentContext, Scale};
+pub use session::{
+    decode_session, encode_session, open_session, ArrCodec, BackendKind, PolicyKind, RecordMode,
+    Session, SessionSpec, TenantSession,
+};
 pub use stats::{harmonic, percentile_sorted, OnlineStats, Summary};
 pub use table::Table;

@@ -1,0 +1,1120 @@
+//! Long-lived, resumable serving sessions.
+//!
+//! A [`Session`] is the serving-daemon counterpart of a [`Simulation`]
+//! run: the same graph state, algorithm, feasibility checks and outcome
+//! accumulator, but driven **incrementally** — reveals arrive in frames
+//! over a wire protocol, position/cost queries interleave with them, and
+//! at any drained point the entire live state can be serialized into a
+//! checkpoint and restored **in a different process** such that replaying
+//! the remaining reveals is bit-identical to the uninterrupted run.
+//!
+//! Three layers:
+//!
+//! * [`Session<A>`] — the typed engine. Sequential serving mirrors
+//!   [`Simulation::run`] exactly; batched serving
+//!   ([`Session::apply_batch`]) routes frames through the *same* sealed
+//!   batch executor as [`Simulation::parallel`]
+//!   (`execute_planned_batch`), so merges applied by a daemon are
+//!   byte-identical to an engine run.
+//! * [`TenantSession`] — the object-safe facade a multi-tenant server
+//!   stores: apply / query / checkpoint without knowing the concrete
+//!   policy × backend type.
+//! * [`SessionSpec`] + [`encode_session`] / [`decode_session`] — the
+//!   versioned checkpoint codec. Everything that can influence future
+//!   serves is captured: arrangement (including segment-arena partition
+//!   and orientation flags), graph state (union-find arrays and
+//!   neighbor slots verbatim), RNG streams, per-policy algorithm state,
+//!   the outcome accumulator, and the batch planner's adaptive-window
+//!   tuning.
+//!
+//! [`Simulation`]: crate::Simulation
+//! [`Simulation::run`]: crate::Simulation::run
+//! [`Simulation::parallel`]: crate::Simulation::parallel
+
+use mla_core::{
+    BatchServe, DetClosest, MergeDecision, MovePolicy, OnlineMinla, OptReplay, PolicyState,
+    RandCliques, RandLines, RearrangePolicy, UpdateReport,
+};
+use mla_graph::{GraphState, RevealEvent, SnapshotMode, Topology};
+use mla_offline::LopConfig;
+use mla_permutation::codec::{put_bool, put_len, put_u32, put_u64, put_u8, ByteReader, CodecError};
+use mla_permutation::{Arrangement, Node, Permutation, SegmentArrangement, MAX_NODES};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::batch::{BatchPlanner, PlannedReveal};
+use crate::checkpoint::{self, CheckpointError};
+use crate::engine::{execute_planned_batch, Recorder, RunOutcome, DEFAULT_BATCH_WINDOW};
+use crate::error::SimError;
+
+// ---- spec ----
+
+/// Which arrangement backend a session runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The dense [`Permutation`] (`O(n)` block splices).
+    Dense,
+    /// The [`SegmentArrangement`] (`O(log n)` splices).
+    Segment,
+}
+
+/// Which online algorithm a session runs. The topology in the
+/// [`SessionSpec`] selects the clique or line variant of the randomized
+/// policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's randomized algorithm (size-biased / cost-biased).
+    Rand,
+    /// Fair-coin ablation.
+    Fair,
+    /// Deterministic smaller-moves / cheapest-move ablation.
+    SmallerMoves,
+    /// The deterministic `Det` algorithm (closest feasible to `π0`).
+    Det,
+    /// Offline-trajectory replay; requires [`SessionSpec::target`].
+    Opt,
+}
+
+/// How much per-event history a session retains (mirrors
+/// [`Simulation::record_events`](crate::Simulation::record_events) /
+/// [`Simulation::record_window`](crate::Simulation::record_window)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordMode {
+    /// Record every (event, report) pair.
+    Full,
+    /// Record nothing; cost totals stay exact.
+    Off,
+    /// Retain only the trailing `k` pairs.
+    Window(usize),
+}
+
+/// Construction-time description of a session: everything needed to
+/// build it fresh, and (together with the serialized state) to rebuild
+/// it from a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// Cliques or lines.
+    pub topology: Topology,
+    /// Node count.
+    pub n: usize,
+    /// Arrangement backend.
+    pub backend: BackendKind,
+    /// Algorithm family.
+    pub policy: PolicyKind,
+    /// Replay target — required iff `policy` is [`PolicyKind::Opt`].
+    pub target: Option<Permutation>,
+    /// Seed of the session's RNG stream (derive per-tenant seeds with
+    /// [`SeedSequence`](mla_runner::SeedSequence)). Only consulted at
+    /// fresh construction; a restore overwrites the RNG with the exact
+    /// serialized state.
+    pub seed: u64,
+    /// Per-event history retention.
+    pub record: RecordMode,
+    /// Validate the MinLA invariant after every reveal.
+    pub check_feasibility: bool,
+}
+
+impl SessionSpec {
+    /// A spec with full recording, feasibility checking off, and no
+    /// replay target.
+    #[must_use]
+    pub fn new(
+        topology: Topology,
+        n: usize,
+        policy: PolicyKind,
+        backend: BackendKind,
+        seed: u64,
+    ) -> Self {
+        SessionSpec {
+            topology,
+            n,
+            backend,
+            policy,
+            target: None,
+            seed,
+            record: RecordMode::Full,
+            check_feasibility: false,
+        }
+    }
+
+    /// Sets the [`PolicyKind::Opt`] replay target.
+    #[must_use]
+    pub fn target(mut self, target: Permutation) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// Sets the history retention mode.
+    #[must_use]
+    pub fn record(mut self, mode: RecordMode) -> Self {
+        self.record = mode;
+        self
+    }
+
+    /// Enables per-reveal feasibility validation.
+    #[must_use]
+    pub fn check_feasibility(mut self, on: bool) -> Self {
+        self.check_feasibility = on;
+        self
+    }
+
+    /// Checks internal consistency: `n` within backend capacity, replay
+    /// target present exactly for [`PolicyKind::Opt`] and of matching
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Other`] describing the inconsistency.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.n > MAX_NODES {
+            return Err(SimError::Other(format!(
+                "session n = {} exceeds the backend capacity {MAX_NODES}",
+                self.n
+            )));
+        }
+        match (self.policy, &self.target) {
+            (PolicyKind::Opt, None) => Err(SimError::Other(
+                "policy opt requires a replay target".into(),
+            )),
+            (PolicyKind::Opt, Some(t)) if t.len() != self.n => Err(SimError::Other(format!(
+                "replay target covers {} nodes but the session has {}",
+                t.len(),
+                self.n
+            ))),
+            (PolicyKind::Opt, Some(_)) => Ok(()),
+            (_, Some(_)) => Err(SimError::Other(
+                "only policy opt takes a replay target".into(),
+            )),
+            (_, None) => Ok(()),
+        }
+    }
+
+    /// Serializes the spec (the prefix of every session checkpoint body).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u8(
+            out,
+            match self.topology {
+                Topology::Cliques => 0,
+                Topology::Lines => 1,
+            },
+        );
+        put_len(out, self.n);
+        put_u8(
+            out,
+            match self.backend {
+                BackendKind::Dense => 0,
+                BackendKind::Segment => 1,
+            },
+        );
+        put_u8(
+            out,
+            match self.policy {
+                PolicyKind::Rand => 0,
+                PolicyKind::Fair => 1,
+                PolicyKind::SmallerMoves => 2,
+                PolicyKind::Det => 3,
+                PolicyKind::Opt => 4,
+            },
+        );
+        match &self.target {
+            None => put_bool(out, false),
+            Some(target) => {
+                put_bool(out, true);
+                target.encode_into(out);
+            }
+        }
+        put_u64(out, self.seed);
+        match self.record {
+            RecordMode::Full => put_u8(out, 0),
+            RecordMode::Off => put_u8(out, 1),
+            RecordMode::Window(k) => {
+                put_u8(out, 2);
+                put_len(out, k);
+            }
+        }
+        put_bool(out, self.check_feasibility);
+    }
+
+    /// Inverse of [`SessionSpec::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated input or unknown tags.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let topology = match r.u8()? {
+            0 => Topology::Cliques,
+            1 => Topology::Lines,
+            other => return Err(CodecError::invalid(format!("unknown topology tag {other}"))),
+        };
+        let n = r.count(MAX_NODES, "session node")?;
+        let backend = match r.u8()? {
+            0 => BackendKind::Dense,
+            1 => BackendKind::Segment,
+            other => return Err(CodecError::invalid(format!("unknown backend tag {other}"))),
+        };
+        let policy = match r.u8()? {
+            0 => PolicyKind::Rand,
+            1 => PolicyKind::Fair,
+            2 => PolicyKind::SmallerMoves,
+            3 => PolicyKind::Det,
+            4 => PolicyKind::Opt,
+            other => return Err(CodecError::invalid(format!("unknown policy tag {other}"))),
+        };
+        let target = if r.bool("replay target flag")? {
+            Some(Permutation::decode_from(r)?)
+        } else {
+            None
+        };
+        let seed = r.u64()?;
+        let record = match r.u8()? {
+            0 => RecordMode::Full,
+            1 => RecordMode::Off,
+            2 => RecordMode::Window(r.count(usize::MAX, "record window")?),
+            other => {
+                return Err(CodecError::invalid(format!(
+                    "unknown record-mode tag {other}"
+                )))
+            }
+        };
+        let check_feasibility = r.bool("check-feasibility flag")?;
+        Ok(SessionSpec {
+            topology,
+            n,
+            backend,
+            policy,
+            target,
+            seed,
+            record,
+            check_feasibility,
+        })
+    }
+}
+
+// ---- arrangement codec dispatch ----
+
+/// Arrangement backends a session can checkpoint: fresh construction,
+/// exact serialization, and the [`BackendKind`] tag the spec records.
+pub trait ArrCodec: Arrangement + Sized {
+    /// The tag [`SessionSpec::backend`] uses for this type.
+    const KIND: BackendKind;
+
+    /// The identity arrangement on `n` nodes (the fresh-session start).
+    fn fresh(n: usize) -> Self;
+
+    /// Serializes the arrangement exactly (for the segment backend that
+    /// includes the observable segment partition, not just the flat
+    /// permutation).
+    fn encode_arr(&self, out: &mut Vec<u8>);
+
+    /// Inverse of [`ArrCodec::encode_arr`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or inconsistent input.
+    fn decode_arr(r: &mut ByteReader<'_>) -> Result<Self, CodecError>;
+}
+
+impl ArrCodec for Permutation {
+    const KIND: BackendKind = BackendKind::Dense;
+
+    fn fresh(n: usize) -> Self {
+        Permutation::identity(n)
+    }
+
+    fn encode_arr(&self, out: &mut Vec<u8>) {
+        self.encode_into(out);
+    }
+
+    fn decode_arr(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Permutation::decode_from(r)
+    }
+}
+
+impl ArrCodec for SegmentArrangement {
+    const KIND: BackendKind = BackendKind::Segment;
+
+    fn fresh(n: usize) -> Self {
+        SegmentArrangement::identity(n)
+    }
+
+    fn encode_arr(&self, out: &mut Vec<u8>) {
+        self.encode_into(out);
+    }
+
+    fn decode_arr(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        SegmentArrangement::decode_from(r)
+    }
+}
+
+// ---- the typed session engine ----
+
+/// A long-lived serving session: a [`Simulation`](crate::Simulation) run
+/// broken out of its closed loop. Reveals are applied as they arrive
+/// (one at a time or in frames through the batch executor), queries are
+/// answered mid-stream, and the whole live state can be checkpointed at
+/// any point between calls.
+pub struct Session<A: OnlineMinla> {
+    spec: SessionSpec,
+    state: GraphState,
+    algorithm: A,
+    recorder: Recorder,
+    /// Snapshot mode of the sequential serve path (the engine rule:
+    /// lazy iff algorithm and backend agree).
+    mode: SnapshotMode,
+    check_feasibility: bool,
+    full_scan: bool,
+    threads: usize,
+    planner: BatchPlanner,
+    decisions: Vec<MergeDecision>,
+    batch_buf: Vec<PlannedReveal>,
+}
+
+impl<A: OnlineMinla> std::fmt::Debug for Session<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("spec", &self.spec)
+            .field("steps", &self.recorder.step())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: OnlineMinla> Session<A> {
+    /// Builds a session around an already-constructed algorithm. The
+    /// algorithm's arrangement must cover `spec.n` nodes — use
+    /// [`open_session`] for the spec-driven construction that guarantees
+    /// it.
+    fn build(spec: SessionSpec, algorithm: A) -> Self {
+        let mode =
+            if algorithm.wants_lazy_info() && algorithm.arrangement().supports_component_locate() {
+                SnapshotMode::Lazy
+            } else {
+                SnapshotMode::Eager
+            };
+        // The batched path additionally requires cliques for lazy
+        // snapshots (the lines pipeline builds target contents from
+        // member lists) — same rule as `Simulation::parallel`.
+        let batch_mode = if mode == SnapshotMode::Lazy && spec.topology == Topology::Cliques {
+            SnapshotMode::Lazy
+        } else {
+            SnapshotMode::Eager
+        };
+        let (full, window) = match spec.record {
+            RecordMode::Full => (true, None),
+            RecordMode::Off => (false, None),
+            RecordMode::Window(k) => (false, Some(k)),
+        };
+        Session {
+            state: GraphState::new(spec.topology, spec.n),
+            recorder: Recorder::new(full, window),
+            mode,
+            check_feasibility: spec.check_feasibility,
+            full_scan: cfg!(debug_assertions),
+            threads: 1,
+            planner: BatchPlanner::new(DEFAULT_BATCH_WINDOW).snapshot_mode(batch_mode),
+            decisions: Vec::new(),
+            batch_buf: Vec::new(),
+            algorithm,
+            spec,
+        }
+    }
+
+    /// The spec this session was opened with.
+    #[must_use]
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// Reveals served so far.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.recorder.step()
+    }
+
+    /// Exact accumulated moving cost.
+    #[must_use]
+    pub fn moving_cost(&self) -> u128 {
+        self.recorder.moving_cost()
+    }
+
+    /// Exact accumulated rearranging cost.
+    #[must_use]
+    pub fn rearranging_cost(&self) -> u128 {
+        self.recorder.rearranging_cost()
+    }
+
+    /// Worker threads for batched applies (`0` = available parallelism).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = mla_runner::resolve_threads(threads);
+    }
+
+    /// Current position of `node` in the arrangement.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Other`] if `node` is out of range (queries come off
+    /// the wire; they must not panic the server).
+    pub fn position_of(&self, node: Node) -> Result<usize, SimError> {
+        if node.index() >= self.spec.n {
+            return Err(SimError::Other(format!(
+                "node {} out of range for n = {}",
+                node.index(),
+                self.spec.n
+            )));
+        }
+        Ok(self.algorithm.arrangement().position_of(node))
+    }
+
+    /// Snapshot of the run outcome so far (mid-stream: totals, retained
+    /// history and the current permutation).
+    #[must_use]
+    pub fn outcome(&self) -> RunOutcome {
+        self.recorder
+            .outcome_snapshot(self.algorithm.arrangement().to_permutation())
+    }
+
+    /// Serves one reveal through the **sequential** path — the exact
+    /// body of [`Simulation::run`](crate::Simulation::run)'s loop.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Graph`] for an invalid reveal,
+    /// [`SimError::FeasibilityViolation`] if checking is enabled and the
+    /// algorithm breaks the invariant.
+    pub fn apply(&mut self, event: RevealEvent) -> Result<UpdateReport, SimError> {
+        let info = self.state.apply_with(event, self.mode)?;
+        let report = self.algorithm.serve(event, &info, &self.state);
+        if self.check_feasibility {
+            let feasible = self
+                .state
+                .merge_keeps_minla(self.algorithm.arrangement(), &info)
+                && (!self.full_scan || self.state.is_minla(self.algorithm.arrangement()));
+            if !feasible {
+                return Err(SimError::FeasibilityViolation {
+                    step: self.recorder.step() + 1,
+                    algorithm: self.algorithm.name().to_owned(),
+                });
+            }
+        }
+        self.recorder.record(event, report);
+        Ok(report)
+    }
+}
+
+impl<A: BatchServe> Session<A>
+where
+    A::Arr: Sync,
+{
+    /// Serves a frame of reveals through the **batch executor** — the
+    /// same plan → decide → build → apply pipeline as
+    /// [`Simulation::parallel`](crate::Simulation::parallel), with the
+    /// same bit-identity contract: any frame partition of a reveal
+    /// sequence produces the sequential outcome.
+    ///
+    /// The internal planner is always drained before returning, so the
+    /// session is checkpointable between calls.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::apply`]. On error, reveals of this frame past the
+    /// failure point are **dropped** (never half-applied); totals and
+    /// the arrangement stay consistent, so the session remains usable
+    /// for queries and checkpoints.
+    pub fn apply_batch(&mut self, events: &[RevealEvent]) -> Result<(), SimError> {
+        for &event in events {
+            self.planner.push(event);
+        }
+        while !self.planner.is_empty() {
+            let planned = self.planner.plan_batch_into(
+                &self.state,
+                self.algorithm.arrangement(),
+                self.threads,
+                &mut self.batch_buf,
+            );
+            if let Err(err) = planned {
+                self.planner.clear_queue();
+                return Err(SimError::Graph(err));
+            }
+            let applied = execute_planned_batch(
+                &mut self.algorithm,
+                &mut self.state,
+                &mut self.recorder,
+                &self.batch_buf,
+                &mut self.decisions,
+                self.threads,
+                self.check_feasibility,
+                self.full_scan,
+            );
+            if let Err(err) = applied {
+                self.planner.clear_queue();
+                return Err(err);
+            }
+            self.planner.retire_batch(&self.state, &self.batch_buf);
+        }
+        Ok(())
+    }
+}
+
+impl<A> Session<A>
+where
+    A: OnlineMinla + PolicyState,
+    A::Arr: ArrCodec,
+{
+    /// Serializes the full live state into a sealed checkpoint (see
+    /// [`encode_session`] for the contract).
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        self.encode_body(&mut body);
+        checkpoint::seal(&body)
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        debug_assert!(
+            self.planner.is_empty(),
+            "checkpoints are taken at drained-planner points"
+        );
+        self.spec.encode_into(out);
+        // The arrangement precedes the graph state: the decoder needs it
+        // first to construct the algorithm it then restores into.
+        self.algorithm.arrangement().encode_arr(out);
+        self.state.encode_into(out);
+        self.algorithm.encode_state_into(out);
+        self.recorder.encode_into(out);
+        let (window, full_seals, collapse_streak) = self.planner.tuning();
+        put_len(out, window);
+        put_u32(out, full_seals);
+        put_u32(out, collapse_streak);
+    }
+
+    /// Restores the serialized state into a freshly built session whose
+    /// spec already matched. The arrangement was decoded *before* the
+    /// algorithm was constructed; this consumes the rest of the body.
+    fn restore_body(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        let state = GraphState::decode_from(r)?;
+        if state.topology() != self.spec.topology || state.n() != self.spec.n {
+            return Err(CheckpointError::malformed(format!(
+                "graph state is {:?}/{} but the spec says {:?}/{}",
+                state.topology(),
+                state.n(),
+                self.spec.topology,
+                self.spec.n
+            )));
+        }
+        self.state = state;
+        self.algorithm.restore_state(r)?;
+        let recorder = Recorder::decode_from(r, self.spec.n)?;
+        let expected_mode = match self.spec.record {
+            RecordMode::Full => (true, None),
+            RecordMode::Off => (false, None),
+            RecordMode::Window(k) => (false, Some(k)),
+        };
+        if recorder.mode() != expected_mode {
+            return Err(CheckpointError::malformed(
+                "recorder mode disagrees with the session spec".to_string(),
+            ));
+        }
+        self.recorder = recorder;
+        let window = r.count(usize::MAX, "planner window")?;
+        let full_seals = r.u32()?;
+        let collapse_streak = r.u32()?;
+        self.planner
+            .restore_tuning(window, full_seals, collapse_streak);
+        Ok(())
+    }
+}
+
+// ---- the object-safe tenant facade ----
+
+/// The object-safe session interface a multi-tenant server stores —
+/// apply reveals, answer queries, checkpoint — independent of the
+/// concrete policy × backend type. Obtain one from [`open_session`] or
+/// [`decode_session`].
+pub trait TenantSession: Send {
+    /// The spec this session was opened with.
+    fn spec(&self) -> &SessionSpec;
+
+    /// The algorithm's machine-readable name (e.g. `"rand-cliques"`).
+    fn algorithm_name(&self) -> String;
+
+    /// Reveals served so far.
+    fn steps(&self) -> usize;
+
+    /// Exact accumulated moving cost.
+    fn moving_cost(&self) -> u128;
+
+    /// Exact accumulated rearranging cost.
+    fn rearranging_cost(&self) -> u128;
+
+    /// Worker threads for batched applies (`0` = available parallelism).
+    fn set_threads(&mut self, threads: usize);
+
+    /// Serves a frame of reveals — through the batch executor when the
+    /// policy supports it, sequentially otherwise. Returns the number of
+    /// reveals applied (the whole frame on success).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::apply`]; a failed frame is never half-recorded
+    /// beyond the failing reveal.
+    fn apply_events(&mut self, events: &[RevealEvent]) -> Result<usize, SimError>;
+
+    /// Current position of `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Other`] for an out-of-range node.
+    fn position_of(&self, node: Node) -> Result<usize, SimError>;
+
+    /// Mid-stream outcome snapshot.
+    fn outcome(&self) -> RunOutcome;
+
+    /// The sealed checkpoint of the full live state.
+    fn encode(&self) -> Vec<u8>;
+}
+
+impl std::fmt::Debug for dyn TenantSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantSession")
+            .field("spec", self.spec())
+            .field("steps", &self.steps())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Batched-policy tenant: frames go through the batch executor.
+struct Batched<A: BatchServe>(Session<A>)
+where
+    A::Arr: Sync;
+
+/// Jump-policy tenant (`Det`, `Opt`): frames replay sequentially.
+struct Sequential<A: OnlineMinla>(Session<A>);
+
+/// Restore hook shared by the wrappers, dispatched before boxing (the
+/// concrete type is still known there).
+trait RestoreBody {
+    fn restore_body(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError>;
+}
+
+impl<A> RestoreBody for Batched<A>
+where
+    A: BatchServe + PolicyState,
+    A::Arr: ArrCodec + Sync,
+{
+    fn restore_body(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        self.0.restore_body(r)
+    }
+}
+
+impl<A> RestoreBody for Sequential<A>
+where
+    A: OnlineMinla + PolicyState,
+    A::Arr: ArrCodec,
+{
+    fn restore_body(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        self.0.restore_body(r)
+    }
+}
+
+impl<A> TenantSession for Batched<A>
+where
+    A: BatchServe + PolicyState + Send,
+    A::Arr: ArrCodec + Sync + Send,
+{
+    fn spec(&self) -> &SessionSpec {
+        self.0.spec()
+    }
+
+    fn algorithm_name(&self) -> String {
+        self.0.algorithm.name().to_owned()
+    }
+
+    fn steps(&self) -> usize {
+        self.0.steps()
+    }
+
+    fn moving_cost(&self) -> u128 {
+        self.0.moving_cost()
+    }
+
+    fn rearranging_cost(&self) -> u128 {
+        self.0.rearranging_cost()
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.0.set_threads(threads);
+    }
+
+    fn apply_events(&mut self, events: &[RevealEvent]) -> Result<usize, SimError> {
+        self.0.apply_batch(events)?;
+        Ok(events.len())
+    }
+
+    fn position_of(&self, node: Node) -> Result<usize, SimError> {
+        self.0.position_of(node)
+    }
+
+    fn outcome(&self) -> RunOutcome {
+        self.0.outcome()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        self.0.checkpoint()
+    }
+}
+
+impl<A> TenantSession for Sequential<A>
+where
+    A: OnlineMinla + PolicyState + Send,
+    A::Arr: ArrCodec + Send,
+{
+    fn spec(&self) -> &SessionSpec {
+        self.0.spec()
+    }
+
+    fn algorithm_name(&self) -> String {
+        self.0.algorithm.name().to_owned()
+    }
+
+    fn steps(&self) -> usize {
+        self.0.steps()
+    }
+
+    fn moving_cost(&self) -> u128 {
+        self.0.moving_cost()
+    }
+
+    fn rearranging_cost(&self) -> u128 {
+        self.0.rearranging_cost()
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.0.set_threads(threads);
+    }
+
+    fn apply_events(&mut self, events: &[RevealEvent]) -> Result<usize, SimError> {
+        for &event in events {
+            self.0.apply(event)?;
+        }
+        Ok(events.len())
+    }
+
+    fn position_of(&self, node: Node) -> Result<usize, SimError> {
+        self.0.position_of(node)
+    }
+
+    fn outcome(&self) -> RunOutcome {
+        self.0.outcome()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        self.0.checkpoint()
+    }
+}
+
+// ---- construction and the checkpoint codec ----
+
+/// Opens a fresh session for `spec` (identity arrangement, seed-derived
+/// RNG stream, zeroed accumulators).
+///
+/// # Errors
+///
+/// [`SimError::Other`] if the spec is inconsistent (see
+/// [`SessionSpec::validate`]).
+pub fn open_session(spec: SessionSpec) -> Result<Box<dyn TenantSession>, SimError> {
+    spec.validate()?;
+    build_session(spec, None).map_err(|err| SimError::Other(err.to_string()))
+}
+
+/// Serializes a session into its sealed checkpoint: the
+/// [`SessionSpec`], graph state, arrangement, policy/RNG state, outcome
+/// accumulator and planner tuning, wrapped in the magic / version /
+/// CRC-64 envelope of [`crate::checkpoint`].
+///
+/// Contract: [`decode_session`] of these bytes — in this process or
+/// another — yields a session whose replay of the remaining reveals is
+/// **bit-identical** to the uninterrupted run, including its RNG draws,
+/// retained history and final permutation.
+#[must_use]
+pub fn encode_session(session: &dyn TenantSession) -> Vec<u8> {
+    session.encode()
+}
+
+/// Rebuilds a session from checkpoint bytes produced by
+/// [`encode_session`].
+///
+/// # Errors
+///
+/// A structured [`CheckpointError`] for **any** malformed input —
+/// truncation, foreign files, bit flips, future versions, or internally
+/// inconsistent state. Never panics, never restores silently-wrong
+/// state.
+pub fn decode_session(bytes: &[u8]) -> Result<Box<dyn TenantSession>, CheckpointError> {
+    let body = checkpoint::open(bytes)?;
+    let mut r = ByteReader::new(body);
+    let spec = SessionSpec::decode_from(&mut r)?;
+    spec.validate()
+        .map_err(|err| CheckpointError::malformed(err.to_string()))?;
+    let session = build_session(spec, Some(&mut r))?;
+    r.finish().map_err(CheckpointError::from)?;
+    Ok(session)
+}
+
+/// Builds the concrete policy × backend × topology session; with a
+/// reader, decodes the arrangement and restores the serialized state.
+fn build_session(
+    spec: SessionSpec,
+    restore: Option<&mut ByteReader<'_>>,
+) -> Result<Box<dyn TenantSession>, CheckpointError> {
+    match spec.backend {
+        BackendKind::Dense => build_with_backend::<Permutation>(spec, restore),
+        BackendKind::Segment => build_with_backend::<SegmentArrangement>(spec, restore),
+    }
+}
+
+fn build_with_backend<Arr>(
+    spec: SessionSpec,
+    mut restore: Option<&mut ByteReader<'_>>,
+) -> Result<Box<dyn TenantSession>, CheckpointError>
+where
+    Arr: ArrCodec + Sync + Send + 'static,
+{
+    // The arrangement comes before the algorithm: constructors consume
+    // it (and `DetClosest::with_backend` snapshots it, which is why the
+    // anchor π0 lives in the policy state, restored afterwards).
+    let arr: Arr = match restore.as_deref_mut() {
+        None => Arr::fresh(spec.n),
+        Some(r) => {
+            let arr = Arr::decode_arr(r)?;
+            if arr.len() != spec.n {
+                return Err(CheckpointError::malformed(format!(
+                    "arrangement covers {} nodes but the spec says {}",
+                    arr.len(),
+                    spec.n
+                )));
+            }
+            arr
+        }
+    };
+    let rng = SmallRng::seed_from_u64(spec.seed);
+    match (spec.policy, spec.topology) {
+        (PolicyKind::Rand, Topology::Cliques) => finish_tenant(
+            Batched(Session::build(
+                spec,
+                RandCliques::with_policy(arr, rng, MovePolicy::SizeBiased),
+            )),
+            restore,
+        ),
+        (PolicyKind::Fair, Topology::Cliques) => finish_tenant(
+            Batched(Session::build(
+                spec,
+                RandCliques::with_policy(arr, rng, MovePolicy::Fair),
+            )),
+            restore,
+        ),
+        (PolicyKind::SmallerMoves, Topology::Cliques) => finish_tenant(
+            Batched(Session::build(
+                spec,
+                RandCliques::with_policy(arr, rng, MovePolicy::SmallerMoves),
+            )),
+            restore,
+        ),
+        (PolicyKind::Rand, Topology::Lines) => finish_tenant(
+            Batched(Session::build(
+                spec,
+                RandLines::with_policies(
+                    arr,
+                    rng,
+                    MovePolicy::SizeBiased,
+                    RearrangePolicy::CostBiased,
+                ),
+            )),
+            restore,
+        ),
+        (PolicyKind::Fair, Topology::Lines) => finish_tenant(
+            Batched(Session::build(
+                spec,
+                RandLines::with_policies(arr, rng, MovePolicy::Fair, RearrangePolicy::Fair),
+            )),
+            restore,
+        ),
+        (PolicyKind::SmallerMoves, Topology::Lines) => finish_tenant(
+            Batched(Session::build(
+                spec,
+                RandLines::with_policies(
+                    arr,
+                    rng,
+                    MovePolicy::SmallerMoves,
+                    RearrangePolicy::Cheapest,
+                ),
+            )),
+            restore,
+        ),
+        (PolicyKind::Det, _) => finish_tenant(
+            Sequential(Session::build(
+                spec,
+                DetClosest::with_backend(arr, LopConfig::default()),
+            )),
+            restore,
+        ),
+        (PolicyKind::Opt, _) => {
+            let Some(target) = spec.target.clone() else {
+                // `validate` already rejected this; keep the decode path
+                // panic-free regardless.
+                return Err(CheckpointError::malformed(
+                    "policy opt without a replay target".to_string(),
+                ));
+            };
+            finish_tenant(
+                Sequential(Session::build(spec, OptReplay::new(arr, target))),
+                restore,
+            )
+        }
+    }
+}
+
+fn finish_tenant<T>(
+    mut tenant: T,
+    restore: Option<&mut ByteReader<'_>>,
+) -> Result<Box<dyn TenantSession>, CheckpointError>
+where
+    T: RestoreBody + TenantSession + 'static,
+{
+    if let Some(r) = restore {
+        tenant.restore_body(r)?;
+    }
+    Ok(Box::new(tenant))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+    use mla_adversary::{random_clique_instance, random_line_instance, MergeShape};
+
+    fn instance_events(topology: Topology, n: usize, seed: u64) -> Vec<RevealEvent> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let instance = match topology {
+            Topology::Cliques => random_clique_instance(n, MergeShape::Uniform, &mut rng),
+            Topology::Lines => random_line_instance(n, MergeShape::Uniform, &mut rng),
+        };
+        instance.events().to_vec()
+    }
+
+    #[test]
+    fn session_outcome_is_bit_identical_to_engine_run() {
+        for topology in [Topology::Cliques, Topology::Lines] {
+            let n = 24;
+            let events = instance_events(topology, n, 11);
+            let instance = mla_graph::Instance::new(topology, n, events.clone()).unwrap();
+            let reference = match topology {
+                Topology::Cliques => Simulation::new(
+                    instance,
+                    RandCliques::new(SegmentArrangement::identity(n), SmallRng::seed_from_u64(7)),
+                )
+                .run()
+                .unwrap(),
+                Topology::Lines => Simulation::new(
+                    instance,
+                    RandLines::new(SegmentArrangement::identity(n), SmallRng::seed_from_u64(7)),
+                )
+                .run()
+                .unwrap(),
+            };
+            let mut session = open_session(SessionSpec::new(
+                topology,
+                n,
+                PolicyKind::Rand,
+                BackendKind::Segment,
+                7,
+            ))
+            .unwrap();
+            // Apply in ragged frames to exercise the batch pipeline.
+            for frame in events.chunks(5) {
+                session.apply_events(frame).unwrap();
+            }
+            assert_eq!(session.outcome(), reference, "{topology:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_mid_stream_and_replays_identically() {
+        let n = 20;
+        let events = instance_events(Topology::Cliques, n, 3);
+        let spec = SessionSpec::new(
+            Topology::Cliques,
+            n,
+            PolicyKind::Rand,
+            BackendKind::Dense,
+            5,
+        );
+        let mut uninterrupted = open_session(spec.clone()).unwrap();
+        uninterrupted.apply_events(&events).unwrap();
+        let want = uninterrupted.outcome();
+
+        for cut in [0, 1, events.len() / 2, events.len() - 1, events.len()] {
+            let mut first = open_session(spec.clone()).unwrap();
+            first.apply_events(&events[..cut]).unwrap();
+            let bytes = encode_session(first.as_ref());
+            let mut resumed = decode_session(&bytes).unwrap();
+            resumed.apply_events(&events[cut..]).unwrap();
+            assert_eq!(resumed.outcome(), want, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_queries_error_instead_of_panicking() {
+        let spec = SessionSpec::new(
+            Topology::Cliques,
+            4,
+            PolicyKind::Rand,
+            BackendKind::Dense,
+            1,
+        );
+        let session = open_session(spec).unwrap();
+        assert!(session.position_of(Node::new(4)).is_err());
+        assert_eq!(session.position_of(Node::new(3)).unwrap(), 3);
+    }
+
+    #[test]
+    fn spec_validation_rejects_inconsistencies() {
+        let missing_target =
+            SessionSpec::new(Topology::Cliques, 4, PolicyKind::Opt, BackendKind::Dense, 1);
+        assert!(open_session(missing_target).is_err());
+        let stray_target = SessionSpec::new(
+            Topology::Cliques,
+            4,
+            PolicyKind::Rand,
+            BackendKind::Dense,
+            1,
+        )
+        .target(Permutation::identity(4));
+        assert!(open_session(stray_target).is_err());
+        let short_target =
+            SessionSpec::new(Topology::Cliques, 4, PolicyKind::Opt, BackendKind::Dense, 1)
+                .target(Permutation::identity(3));
+        assert!(open_session(short_target).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_spec_state_mismatches() {
+        // Hand-craft a body whose spec says cliques but whose graph
+        // state is lines: the cross-check must fire.
+        let spec = SessionSpec::new(Topology::Cliques, 4, PolicyKind::Det, BackendKind::Dense, 1);
+        let session = open_session(spec).unwrap();
+        let good = encode_session(session.as_ref());
+        let body = checkpoint::open(&good).unwrap();
+        // The topology tag is byte 0 of the spec *and* the graph-state
+        // tag right after it; flipping only the graph-state tag breaks
+        // the cross-check (the offset is spec-length dependent, so
+        // locate it by decoding the spec first).
+        let mut r = ByteReader::new(body);
+        let _ = SessionSpec::decode_from(&mut r).unwrap();
+        let _ = Permutation::decode_from(&mut r).unwrap();
+        let state_tag_offset = body.len() - r.remaining();
+        let mut tampered = body.to_vec();
+        tampered[state_tag_offset] = 1; // cliques -> lines
+        let resealed = checkpoint::seal(&tampered);
+        let err = decode_session(&resealed).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err:?}");
+    }
+}

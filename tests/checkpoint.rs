@@ -1,0 +1,254 @@
+//! Checkpoint/restore property suite: the crash-recovery contract of
+//! the session layer.
+//!
+//! **Contract.** For every policy × topology × backend, a session
+//! checkpointed after any prefix of its reveal stream and restored —
+//! even in another process — replays the remaining reveals
+//! **bit-identically** to the uninterrupted run: same RNG draws, same
+//! retained history, same final permutation, same exact cost totals.
+//! (The cross-process half lives in `crates/serve/tests/`, where the
+//! `mla-serve` binary is reachable; this suite proves the codec and the
+//! in-process half.)
+//!
+//! **Corruption.** Any damaged checkpoint — truncated, bit-flipped,
+//! wrong version, wrong magic, trailing garbage — yields a structured
+//! [`CheckpointError`], never a panic and never a silently-wrong
+//! restore.
+
+use mla_adversary::{random_clique_instance, random_line_instance, MergeShape};
+use mla_graph::{RevealEvent, Topology};
+use mla_permutation::Permutation;
+use mla_sim::{
+    decode_session, encode_session, open_session, BackendKind, CheckpointError, PolicyKind,
+    RecordMode, SessionSpec,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Every policy the session layer serves.
+const POLICIES: [PolicyKind; 5] = [
+    PolicyKind::Rand,
+    PolicyKind::Fair,
+    PolicyKind::SmallerMoves,
+    PolicyKind::Det,
+    PolicyKind::Opt,
+];
+
+const BACKENDS: [BackendKind; 2] = [BackendKind::Dense, BackendKind::Segment];
+
+fn instance_events(topology: Topology, n: usize, seed: u64) -> Vec<RevealEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match topology {
+        Topology::Cliques => random_clique_instance(n, MergeShape::Uniform, &mut rng)
+            .events()
+            .to_vec(),
+        Topology::Lines => random_line_instance(n, MergeShape::Uniform, &mut rng)
+            .events()
+            .to_vec(),
+    }
+}
+
+/// A spec for one cell of the policy × topology × backend grid. `Opt`
+/// gets a random (seed-fixed) replay target.
+fn grid_spec(
+    topology: Topology,
+    n: usize,
+    policy: PolicyKind,
+    backend: BackendKind,
+    seed: u64,
+) -> SessionSpec {
+    let spec = SessionSpec::new(topology, n, policy, backend, seed);
+    match policy {
+        PolicyKind::Opt => spec.target(Permutation::random(
+            n,
+            &mut SmallRng::seed_from_u64(seed ^ 0xa5),
+        )),
+        _ => spec,
+    }
+}
+
+/// Checkpoint after `events[..cut]`, restore from bytes, replay the
+/// remainder in ragged frames; the outcome must equal `want`.
+fn assert_prefix_replays(
+    spec: &SessionSpec,
+    events: &[RevealEvent],
+    cut: usize,
+    want: &mla_sim::RunOutcome,
+) {
+    let mut first = open_session(spec.clone()).unwrap();
+    first.apply_events(&events[..cut]).unwrap();
+    let bytes = encode_session(first.as_ref());
+    drop(first);
+    let mut resumed = decode_session(&bytes).unwrap();
+    // Ragged frames exercise the batch executor's frame-partition
+    // invariance on the resumed side.
+    for frame in events[cut..].chunks(3) {
+        resumed.apply_events(frame).unwrap();
+    }
+    assert_eq!(
+        &resumed.outcome(),
+        want,
+        "{:?}/{:?}/{:?} diverged after restore at prefix {cut}",
+        spec.policy,
+        spec.topology,
+        spec.backend,
+    );
+}
+
+/// The tentpole property over the whole grid: checkpoints at prefix 0,
+/// a few random interior prefixes, and n−1 all replay bit-identically.
+#[test]
+fn every_policy_topology_backend_restores_bit_identically_at_any_prefix() {
+    let n = 18;
+    let mut cut_rng = SmallRng::seed_from_u64(0xc0de);
+    for topology in [Topology::Cliques, Topology::Lines] {
+        let events = instance_events(topology, n, 17);
+        for policy in POLICIES {
+            for backend in BACKENDS {
+                let spec = grid_spec(topology, n, policy, backend, 23);
+                let mut uninterrupted = open_session(spec.clone()).unwrap();
+                uninterrupted.apply_events(&events).unwrap();
+                let want = uninterrupted.outcome();
+
+                let mut cuts = vec![0, events.len() - 1];
+                for _ in 0..3 {
+                    cuts.push(cut_rng.gen_range(1..events.len()));
+                }
+                for cut in cuts {
+                    assert_prefix_replays(&spec, &events, cut, &want);
+                }
+            }
+        }
+    }
+}
+
+/// Restoring is stable under recording modes: windowed and disabled
+/// history checkpoints replay to the same totals as full recording.
+#[test]
+fn record_modes_checkpoint_and_replay_consistently() {
+    let n = 16;
+    let events = instance_events(Topology::Cliques, n, 5);
+    let cut = events.len() / 2;
+    let mut totals = Vec::new();
+    for record in [RecordMode::Full, RecordMode::Off, RecordMode::Window(4)] {
+        let spec = SessionSpec::new(
+            Topology::Cliques,
+            n,
+            PolicyKind::Rand,
+            BackendKind::Segment,
+            9,
+        )
+        .record(record);
+        let mut uninterrupted = open_session(spec.clone()).unwrap();
+        uninterrupted.apply_events(&events).unwrap();
+        let want = uninterrupted.outcome();
+        assert_prefix_replays(&spec, &events, cut, &want);
+        totals.push((want.total_cost, want.final_perm.clone()));
+    }
+    // History retention must not change what happened — only what is
+    // remembered about it.
+    assert_eq!(totals[0], totals[1]);
+    assert_eq!(totals[0], totals[2]);
+}
+
+/// A mid-stream golden checkpoint for the corruption fuzz below.
+fn golden_checkpoint() -> Vec<u8> {
+    let n = 12;
+    let events = instance_events(Topology::Cliques, n, 2);
+    let spec = SessionSpec::new(
+        Topology::Cliques,
+        n,
+        PolicyKind::Rand,
+        BackendKind::Segment,
+        3,
+    );
+    let mut session = open_session(spec).unwrap();
+    session.apply_events(&events[..events.len() / 2]).unwrap();
+    encode_session(session.as_ref())
+}
+
+#[test]
+fn canonical_corruptions_yield_their_specific_errors() {
+    let good = golden_checkpoint();
+    assert!(decode_session(&good).is_ok());
+
+    assert!(matches!(
+        decode_session(&[]),
+        Err(CheckpointError::Truncated)
+    ));
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(matches!(
+        decode_session(&bad_magic),
+        Err(CheckpointError::BadMagic)
+    ));
+
+    let mut future = good.clone();
+    future[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        decode_session(&future),
+        Err(CheckpointError::UnsupportedVersion { found: 99 })
+    ));
+
+    let mut flipped = good.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x01;
+    assert!(matches!(
+        decode_session(&flipped),
+        Err(CheckpointError::ChecksumMismatch)
+    ));
+
+    let mut trailing = good;
+    trailing.push(0);
+    assert!(matches!(
+        decode_session(&trailing),
+        Err(CheckpointError::Malformed { .. })
+    ));
+}
+
+#[test]
+fn every_truncation_prefix_is_a_structured_error() {
+    let good = golden_checkpoint();
+    for cut in 0..good.len() {
+        assert!(decode_session(&good[..cut]).is_err(), "prefix {cut}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any single bit flip is caught — by a header check or by the
+    /// CRC-64 over the body — never a panic, never an `Ok`.
+    #[test]
+    fn any_single_bit_flip_is_rejected((position, bit) in (any::<usize>(), 0usize..8)) {
+        let mut bytes = golden_checkpoint();
+        let at = position % bytes.len();
+        bytes[at] ^= 1u8 << bit;
+        prop_assert!(decode_session(&bytes).is_err(), "flip at {at}.{bit}");
+    }
+
+    /// Arbitrary byte-splice mutations (overwrite a random window with
+    /// random bytes) are rejected as well.
+    #[test]
+    fn random_splice_mutations_are_rejected(
+        (start, replacement) in (any::<usize>(), proptest::collection::vec(any::<u8>(), 1..24))
+    ) {
+        let mut bytes = golden_checkpoint();
+        let at = start % bytes.len();
+        let end = (at + replacement.len()).min(bytes.len());
+        let changed = bytes[at..end] != replacement[..end - at];
+        bytes[at..end].copy_from_slice(&replacement[..end - at]);
+        if changed {
+            prop_assert!(decode_session(&bytes).is_err(), "splice at {at}");
+        }
+    }
+
+    /// Foreign bytes (arbitrary garbage, any length) never panic the
+    /// decoder.
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode_session(&bytes);
+    }
+}
